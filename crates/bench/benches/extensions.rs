@@ -1,0 +1,92 @@
+//! Benchmarks of the beyond-the-paper extensions: sensitivity search,
+//! the EER histogram, the RG rule-2 ablation and the (unsound)
+//! first-instance-only analysis against Lehoczky's correct one.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync_core::analysis::sa_pm::{analyze_pm, subtask_response_first_instance_only};
+use rtsync_core::analysis::sensitivity::critical_scaling;
+use rtsync_core::analysis::AnalysisConfig;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::time::Dur;
+use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_sim::histogram::EerHistogram;
+use rtsync_workload::{generate, WorkloadSpec};
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let set = generate(&WorkloadSpec::paper(3, 0.6), &mut rng).expect("generates");
+    let cfg = AnalysisConfig::default();
+    c.bench_function("critical_scaling_n3_u60", |b| {
+        b.iter(|| critical_scaling(black_box(&set), Protocol::ReleaseGuard, &cfg, 4_000))
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_10k_plus_quantiles", |b| {
+        b.iter(|| {
+            let mut h = EerHistogram::new();
+            for i in 0..10_000i64 {
+                h.record(Dur::from_ticks((i * 7919) % 1_000_000));
+            }
+            (h.quantile(0.5), h.quantile(0.99))
+        })
+    });
+}
+
+fn bench_rule2_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let set = generate(&WorkloadSpec::paper(4, 0.7).with_random_phases(), &mut rng)
+        .expect("generates");
+    let mut group = c.benchmark_group("rg_rule2");
+    group.sample_size(20);
+    group.bench_function("with_rule2", |b| {
+        let cfg = SimConfig::new(Protocol::ReleaseGuard).with_instances(10);
+        b.iter(|| simulate(black_box(&set), &cfg).expect("simulates"))
+    });
+    group.bench_function("rule1_only", |b| {
+        let cfg = SimConfig::new(Protocol::ReleaseGuard)
+            .with_instances(10)
+            .without_rg_rule2();
+        b.iter(|| simulate(black_box(&set), &cfg).expect("simulates"))
+    });
+    group.finish();
+}
+
+fn bench_first_instance_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let set = generate(&WorkloadSpec::paper(5, 0.8), &mut rng).expect("generates");
+    let cfg = AnalysisConfig::default();
+    let mut group = c.benchmark_group("busy_period_depth");
+    group.sample_size(20);
+    group.bench_function("lehoczky_all_instances", |b| {
+        b.iter(|| analyze_pm(black_box(&set), &cfg).expect("analyzes"))
+    });
+    group.bench_function("first_instance_only_unsound", |b| {
+        b.iter(|| {
+            let mut acc = Dur::ZERO;
+            for task in set.tasks() {
+                for sub in task.subtasks() {
+                    acc = acc.max(
+                        subtask_response_first_instance_only(black_box(&set), sub.id(), &cfg)
+                            .expect("analyzes"),
+                    );
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sensitivity,
+    bench_histogram,
+    bench_rule2_ablation,
+    bench_first_instance_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Benchmarks of the discrete-event simulator: whole-system runs per
+//! protocol and the event-queue kernel.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::TaskId;
+use rtsync_core::time::Time;
+use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_sim::event::{EventKind, EventQueue};
+use rtsync_workload::{generate, WorkloadSpec};
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let set = generate(&WorkloadSpec::paper(4, 0.7).with_random_phases(), &mut rng)
+        .expect("paper spec generates");
+    // Count the events once so the group can report events/second.
+    let probe = simulate(
+        &set,
+        &SimConfig::new(Protocol::DirectSync).with_instances(10),
+    )
+    .expect("simulation runs");
+
+    let mut group = c.benchmark_group("simulate_4x12_n4_u70");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(probe.events));
+    for protocol in Protocol::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.tag()),
+            &protocol,
+            |b, &protocol| {
+                let cfg = SimConfig::new(protocol).with_instances(10);
+                b.iter(|| simulate(black_box(&set), &cfg).expect("simulation runs"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_recording_overhead(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let set = generate(&WorkloadSpec::paper(3, 0.6), &mut rng).expect("paper spec generates");
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(20);
+    group.bench_function("metrics_only", |b| {
+        let cfg = SimConfig::new(Protocol::DirectSync).with_instances(10);
+        b.iter(|| simulate(black_box(&set), &cfg).expect("simulation runs"))
+    });
+    group.bench_function("with_trace", |b| {
+        let cfg = SimConfig::new(Protocol::DirectSync)
+            .with_instances(10)
+            .with_trace();
+        b.iter(|| simulate(black_box(&set), &cfg).expect("simulation runs"))
+    });
+    group.finish();
+}
+
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    // How much the event-driven engine buys over the naive tick loop on
+    // the same workload (the reference is the correctness oracle, not a
+    // performance baseline — ticks here are coarse; real workloads use
+    // 1000 ticks per paper unit, where the gap widens proportionally).
+    use rtsync_core::time::Time;
+    use rtsync_sim::reference::simulate_reference;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut spec = WorkloadSpec::paper(3, 0.6);
+    spec.ticks_per_unit = 1; // keep the tick loop feasible
+    let set = generate(&spec, &mut rng).expect("generates");
+    let horizon = Time::from_ticks(20_000);
+    let mut group = c.benchmark_group("engine_vs_reference");
+    group.sample_size(10);
+    group.bench_function("event_driven", |b| {
+        let cfg = SimConfig::new(Protocol::ReleaseGuard)
+            .with_horizon(horizon)
+            .with_instances(u64::MAX);
+        b.iter(|| simulate(black_box(&set), &cfg).expect("simulates"))
+    });
+    group.bench_function("tick_reference", |b| {
+        let cfg = SimConfig::new(Protocol::ReleaseGuard);
+        b.iter(|| simulate_reference(black_box(&set), &cfg, horizon))
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000i64 {
+                q.push(
+                    Time::from_ticks((i * 7919) % 1000),
+                    EventKind::SourceRelease {
+                        task: TaskId::new((i % 12) as usize),
+                        instance: i as u64,
+                    },
+                );
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_trace_recording_overhead,
+    bench_engine_vs_reference,
+    bench_event_queue
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness crate; see the `benches/` directory.

@@ -1,0 +1,389 @@
+//! **Algorithm IEERT** (Figure 10 of the paper): one sweep of the
+//! intermediate-end-to-end-response-time analysis for the DS protocol.
+//!
+//! Under direct synchronization a subtask's release time inherits the
+//! variability of its predecessor's completion ("clumping"): instances of
+//! `T_{u,v}` may release up to `R_{u,v−1}` ticks after their periodic
+//! baseline, so a window of length `t` can contain
+//! `⌈(t + R_{u,v−1})/p_u⌉` of them. One IEERT sweep takes a set of IEER
+//! bounds `R` and produces a new set `R′ = IEERT(T, R)`:
+//!
+//! 1. `D_{i,j}` = least `t > 0` with
+//!    `t = Σ_{T_{u,v} ∈ H_{i,j} ∪ {T_{i,j}}} ⌈(t + R_{u,v−1})/p_u⌉ · c_{u,v}`;
+//! 2. `M_{i,j} = ⌈(D_{i,j} + R_{i,j−1}) / p_i⌉`;
+//! 3. for `m = 1..M`: `C_{i,j}(m)` = least `t` with
+//!    `t = m·c_{i,j} + Σ_{H_{i,j}} ⌈(t + R_{u,v−1})/p_u⌉ · c_{u,v}`, and
+//!    `R_{i,j}(m) = C_{i,j}(m) + R_{i,j−1} − (m−1)p_i`;
+//! 4. `R′_{i,j} = max_m R_{i,j}(m)`.
+//!
+//! `R_{u,0}` (the "IEER of the predecessor of a first subtask") is zero.
+//!
+//! [`crate::analysis::sa_ds`] iterates sweeps to the least fixed point.
+
+use crate::analysis::busy_period::{
+    fixed_point, fixed_point_with_hint, utilization_ppm, DemandTerm, FixedPointFailure,
+    FixedPointLimits,
+};
+use crate::analysis::sa_pm::map_failure;
+use crate::analysis::AnalysisConfig;
+use crate::error::AnalyzeError;
+use crate::task::{SubtaskId, TaskId, TaskSet};
+use crate::time::Dur;
+
+/// A set of IEER bounds, one per subtask: `bounds[i][j]` bounds the time
+/// from the release of `T_{i,1}(m)` to the completion of `T_{i,j}(m)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IeerBounds {
+    bounds: Vec<Vec<Dur>>,
+}
+
+impl IeerBounds {
+    /// The optimistic seed of Algorithm SA/DS: `R_{i,j} = Σ_{k≤j} c_{i,k}`
+    /// (pure execution, no interference).
+    pub fn seed(set: &TaskSet) -> IeerBounds {
+        let bounds = set
+            .tasks()
+            .iter()
+            .map(|t| {
+                let mut acc = Dur::ZERO;
+                t.subtasks()
+                    .iter()
+                    .map(|s| {
+                        acc += s.execution();
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        IeerBounds { bounds }
+    }
+
+    /// Builds bounds from raw per-subtask values (`[task][chain index]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the shape does not match any task set the
+    /// caller later uses it with; no validation is possible here.
+    pub fn from_raw(bounds: Vec<Vec<Dur>>) -> IeerBounds {
+        IeerBounds { bounds }
+    }
+
+    /// The IEER bound of one subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: SubtaskId) -> Dur {
+        self.bounds[id.task().index()][id.index()]
+    }
+
+    /// The IEER bound of `id`'s predecessor, or zero for a first subtask
+    /// (the paper's `R_{i,j−1}` with `R_{i,0} = 0`).
+    pub fn predecessor_bound(&self, id: SubtaskId) -> Dur {
+        match id.predecessor() {
+            Some(p) => self.get(p),
+            None => Dur::ZERO,
+        }
+    }
+
+    /// The end-to-end bound of a task: the IEER bound of its last subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task_bound(&self, id: TaskId) -> Dur {
+        *self.bounds[id.index()]
+            .last()
+            .expect("chains are non-empty")
+    }
+
+    /// Raw bounds, `[task][chain index]`.
+    pub fn as_slices(&self) -> &[Vec<Dur>] {
+        &self.bounds
+    }
+
+    fn set(&mut self, id: SubtaskId, value: Dur) {
+        self.bounds[id.task().index()][id.index()] = value;
+    }
+}
+
+/// One Jacobi sweep: every new bound is computed from the *input* bounds,
+/// exactly as the pseudo-code of Figure 10 reads.
+///
+/// # Errors
+///
+/// Any [`AnalyzeError`]; [`AnalyzeError::is_failure`] errors correspond to
+/// the paper's "no finite bound" outcome.
+pub fn ieert_pass(
+    set: &TaskSet,
+    current: &IeerBounds,
+    cfg: &AnalysisConfig,
+) -> Result<IeerBounds, AnalyzeError> {
+    let mut next = current.clone();
+    for task in set.tasks() {
+        for sub in task.subtasks() {
+            let value = subtask_ieer(set, sub.id(), current, cfg)?;
+            next.set(sub.id(), value);
+        }
+    }
+    Ok(next)
+}
+
+/// One Gauss–Seidel sweep (ablation): bounds computed earlier in the sweep
+/// are used immediately by later subtasks. Converges to the same least
+/// fixed point as [`ieert_pass`] in fewer sweeps (both iterations are
+/// monotone from the same seed; see the `sa_ds` tests).
+pub fn ieert_pass_gauss_seidel(
+    set: &TaskSet,
+    current: &IeerBounds,
+    cfg: &AnalysisConfig,
+) -> Result<IeerBounds, AnalyzeError> {
+    let mut state = current.clone();
+    for task in set.tasks() {
+        for sub in task.subtasks() {
+            let value = subtask_ieer(set, sub.id(), &state, cfg)?;
+            state.set(sub.id(), value);
+        }
+    }
+    Ok(state)
+}
+
+/// Steps 1–4 of Figure 10 for one subtask.
+fn subtask_ieer(
+    set: &TaskSet,
+    id: SubtaskId,
+    bounds: &IeerBounds,
+    cfg: &AnalysisConfig,
+) -> Result<Dur, AnalyzeError> {
+    let me = set.subtask(id);
+    let period = set.task(id.task()).period();
+    let own_jitter = bounds.predecessor_bound(id);
+
+    let interference: Vec<DemandTerm> = set
+        .interference_set(id)
+        .into_iter()
+        .map(|sid| {
+            DemandTerm::jittered(
+                set.task(sid.task()).period(),
+                set.subtask(sid).execution(),
+                bounds.predecessor_bound(sid),
+            )
+        })
+        .collect();
+
+    // Blocking by lower-priority non-preemptive work (zero in the paper's
+    // fully preemptive base model).
+    let blocking = set.blocking_bound(id);
+
+    // Step 1: busy-period duration with jittered demand.
+    let mut with_self = interference.clone();
+    with_self.push(DemandTerm::jittered(period, me.execution(), own_jitter));
+    let busy_cap = busy_period_cap(&with_self, cfg);
+    let limits = FixedPointLimits::new(busy_cap, cfg.max_fixed_point_iterations);
+    let duration = fixed_point(blocking, &with_self, limits).map_err(|f| match f {
+        FixedPointFailure::ExceedsCap => {
+            if utilization_ppm(&with_self) >= 1_000_000 {
+                AnalyzeError::Overload {
+                    subtask: id,
+                    utilization_ppm: utilization_ppm(&with_self),
+                }
+            } else {
+                // Below capacity but the jitter terms alone exceed the cap:
+                // the bounds have blown up — a failure, not an overload.
+                AnalyzeError::BoundExceedsCap {
+                    subtask: id,
+                    cap: busy_cap,
+                }
+            }
+        }
+        other => map_failure(other, id, busy_cap),
+    })?;
+
+    // Step 2: instances to examine.
+    let instances = duration
+        .checked_add(own_jitter)
+        .ok_or(AnalyzeError::ArithmeticOverflow { subtask: id })?
+        .ceil_div(period)
+        .max(1);
+
+    // Step 3: per-instance completion and IEER times.
+    let limits = FixedPointLimits::new(duration, cfg.max_fixed_point_iterations);
+    let cap = cfg.cap_for_period(period);
+    let mut worst = Dur::ZERO;
+    let mut prev_completion = Dur::ZERO;
+    for m in 1..=instances {
+        let offset = me
+            .execution()
+            .checked_mul(m)
+            .and_then(|x| x.checked_add(blocking))
+            .ok_or(AnalyzeError::ArithmeticOverflow { subtask: id })?;
+        let completion = fixed_point_with_hint(prev_completion, offset, &interference, limits)
+            .map_err(|f| map_failure(f, id, duration))?;
+        prev_completion = completion;
+        let ieer = completion
+            .checked_add(own_jitter)
+            .ok_or(AnalyzeError::ArithmeticOverflow { subtask: id })?
+            - period * (m - 1);
+        worst = worst.max(ieer);
+        // Once the per-instance IEER already exceeds the failure cap there
+        // is no point examining further instances this sweep: the outer
+        // SA/DS loop will declare failure anyway.
+        if worst > cap {
+            return Err(AnalyzeError::BoundExceedsCap { subtask: id, cap });
+        }
+    }
+
+    Ok(worst)
+}
+
+/// Busy-period search limit: base periods scaled by the failure factor,
+/// plus the jitters (which shift demand without adding steady-state load).
+fn busy_period_cap(terms: &[DemandTerm], cfg: &AnalysisConfig) -> Dur {
+    let total_period: Dur = terms.iter().map(|t| t.period).sum();
+    let total_jitter: Dur = terms.iter().map(|t| t.jitter).sum();
+    total_period
+        .saturating_mul(cfg.failure_factor)
+        .saturating_add(total_jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example2;
+    use crate::task::Priority;
+    use crate::time::Dur;
+
+    fn d(t: i64) -> Dur {
+        Dur::from_ticks(t)
+    }
+
+    fn sid(t: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(t), j)
+    }
+
+    #[test]
+    fn seed_is_cumulative_execution() {
+        let set = example2();
+        let seed = IeerBounds::seed(&set);
+        assert_eq!(seed.get(sid(0, 0)), d(2));
+        assert_eq!(seed.get(sid(1, 0)), d(2));
+        assert_eq!(seed.get(sid(1, 1)), d(5));
+        assert_eq!(seed.get(sid(2, 0)), d(2));
+        assert_eq!(seed.task_bound(TaskId::new(1)), d(5));
+        assert_eq!(seed.predecessor_bound(sid(1, 1)), d(2));
+        assert_eq!(seed.predecessor_bound(sid(1, 0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn first_pass_on_example2() {
+        // Hand-computed sweep from the seed (see module docs for the
+        // equations): T0.0 → 2, T1.0 → 4, T1.1 → 5 (jitter 2),
+        // T2.0 → 8 (two jittered T1.1 instances can land in its window).
+        let set = example2();
+        let seed = IeerBounds::seed(&set);
+        let pass1 = ieert_pass(&set, &seed, &AnalysisConfig::default()).unwrap();
+        assert_eq!(pass1.get(sid(0, 0)), d(2));
+        assert_eq!(pass1.get(sid(1, 0)), d(4));
+        assert_eq!(pass1.get(sid(1, 1)), d(5));
+        assert_eq!(pass1.get(sid(2, 0)), d(8));
+    }
+
+    #[test]
+    fn second_pass_reaches_fixpoint_values() {
+        let set = example2();
+        let cfg = AnalysisConfig::default();
+        let seed = IeerBounds::seed(&set);
+        let pass1 = ieert_pass(&set, &seed, &cfg).unwrap();
+        let pass2 = ieert_pass(&set, &pass1, &cfg).unwrap();
+        // T1.1 now sees jitter R_{1,0} = 4: IEER 7. T2.0 stays 8.
+        assert_eq!(pass2.get(sid(1, 1)), d(7));
+        assert_eq!(pass2.get(sid(2, 0)), d(8));
+        let pass3 = ieert_pass(&set, &pass2, &cfg).unwrap();
+        assert_eq!(pass3, pass2, "fixed point reached");
+    }
+
+    #[test]
+    fn zero_jitter_reduces_to_sa_pm_for_first_subtasks() {
+        use crate::analysis::sa_pm::analyze_pm;
+        let set = example2();
+        let cfg = AnalysisConfig::default();
+        let pm = analyze_pm(&set, &cfg).unwrap();
+        let seed = IeerBounds::seed(&set);
+        let pass1 = ieert_pass(&set, &seed, &cfg).unwrap();
+        // A first subtask whose interferers are also first subtasks sees no
+        // jitter anywhere, so one IEERT step computes exactly the SA/PM
+        // response bound: true for T0.0 (no interference) and T1.0
+        // (interfered only by T0.0).
+        assert_eq!(pass1.get(sid(0, 0)), pm.response(sid(0, 0)));
+        assert_eq!(pass1.get(sid(1, 0)), pm.response(sid(1, 0)));
+        // T2.0 is interfered by the *second* subtask T1.1, whose release
+        // jitter inflates the IEERT bound beyond SA/PM's.
+        assert!(pass1.get(sid(2, 0)) > pm.response(sid(2, 0)));
+    }
+
+    #[test]
+    fn gauss_seidel_single_sweep_dominates_jacobi() {
+        // GS propagates within the sweep, so after one sweep every GS bound
+        // is ≥ the Jacobi bound (both below the common fixed point).
+        let set = example2();
+        let cfg = AnalysisConfig::default();
+        let seed = IeerBounds::seed(&set);
+        let j = ieert_pass(&set, &seed, &cfg).unwrap();
+        let gs = ieert_pass_gauss_seidel(&set, &seed, &cfg).unwrap();
+        for task in set.tasks() {
+            for sub in task.subtasks() {
+                assert!(gs.get(sub.id()) >= j.get(sub.id()));
+            }
+        }
+        // And on this example GS already reaches the fixed point.
+        assert_eq!(gs.get(sid(1, 1)), d(7));
+        assert_eq!(gs.get(sid(2, 0)), d(8));
+    }
+
+    #[test]
+    fn failure_cap_fires_for_hopeless_systems() {
+        // Two long chains ping-ponging between two fully loaded processors:
+        // jitter feedback grows without bound. util per proc = 1.0.
+        let set = crate::task::TaskSet::builder(2)
+            .task(d(10))
+            .subtask(0, d(5), Priority::new(0))
+            .subtask(1, d(5), Priority::new(1))
+            .finish_task()
+            .task(d(10))
+            .subtask(1, d(5), Priority::new(0))
+            .subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let cfg = AnalysisConfig {
+            failure_factor: 10,
+            ..AnalysisConfig::default()
+        };
+        let mut bounds = IeerBounds::seed(&set);
+        let mut failed = false;
+        for _ in 0..200 {
+            match ieert_pass(&set, &bounds, &cfg) {
+                Ok(next) => {
+                    if next == bounds {
+                        break;
+                    }
+                    bounds = next;
+                }
+                Err(e) => {
+                    assert!(e.is_failure(), "unexpected error kind: {e:?}");
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "expected the failure criterion to fire");
+    }
+
+    #[test]
+    fn from_raw_roundtrips() {
+        let b = IeerBounds::from_raw(vec![vec![d(1), d(2)], vec![d(3)]]);
+        assert_eq!(b.get(sid(0, 1)), d(2));
+        assert_eq!(b.task_bound(TaskId::new(1)), d(3));
+        assert_eq!(b.as_slices().len(), 2);
+    }
+}

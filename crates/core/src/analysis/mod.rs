@@ -1,0 +1,82 @@
+//! Schedulability analysis algorithms.
+//!
+//! Three algorithms from the paper:
+//!
+//! * [`sa_pm::analyze_pm`] — **Algorithm SA/PM** (§4.1): busy-period
+//!   analysis of strictly periodic subtasks, valid for the PM and MPM
+//!   protocols, and — by the paper's Theorem 1 — for the RG protocol too.
+//! * [`ieert::ieert_pass`] — **Algorithm IEERT** (Figure 10): one sweep
+//!   computing new bounds on the *intermediate end-to-end response* (IEER)
+//!   times of all subtasks from a previous set of bounds, accounting for
+//!   release jitter ("clumping") under direct synchronization.
+//! * [`sa_ds::analyze_ds`] — **Algorithm SA/DS** (Figure 11): iterate IEERT
+//!   from an optimistic seed until a fixed point, or declare failure when a
+//!   bound exceeds `failure_factor × period` (300× by default, the paper's
+//!   "practically infinite" criterion).
+//!
+//! [`report`] assembles per-protocol bounds and deadlines into a
+//! human-readable schedulability verdict.
+
+pub mod busy_period;
+pub mod ieert;
+pub mod report;
+pub mod sa_ds;
+pub mod sa_pm;
+pub mod sensitivity;
+
+use crate::time::Dur;
+
+/// Tuning knobs shared by all analyses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AnalysisConfig {
+    /// A bound larger than `failure_factor × period` is treated as infinite
+    /// — the paper's failure criterion. Default 300.
+    pub failure_factor: i64,
+    /// Budget for any single fixed-point iteration. With integer ticks and
+    /// monotone demand this is a backstop, not a tuning knob. Default 10⁶.
+    pub max_fixed_point_iterations: u64,
+    /// Budget for the outer SA/DS loop (IEERT sweeps). Default 10⁵.
+    pub max_outer_iterations: u64,
+}
+
+impl AnalysisConfig {
+    /// The defaults used throughout the paper reproduction.
+    pub const DEFAULT: AnalysisConfig = AnalysisConfig {
+        failure_factor: 300,
+        max_fixed_point_iterations: 1_000_000,
+        max_outer_iterations: 100_000,
+    };
+
+    /// The per-subtask cap implied by the failure criterion:
+    /// `failure_factor × period` (saturating).
+    pub fn cap_for_period(&self, period: Dur) -> Dur {
+        period.saturating_mul(self.failure_factor)
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(cfg.failure_factor, 300);
+        assert_eq!(
+            cfg.cap_for_period(Dur::from_ticks(100)),
+            Dur::from_ticks(30_000)
+        );
+    }
+
+    #[test]
+    fn cap_saturates() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(cfg.cap_for_period(Dur::MAX), Dur::MAX);
+    }
+}

@@ -1,0 +1,282 @@
+//! **Algorithm SA/DS** (Figure 11 of the paper): schedulability analysis
+//! for the Direct Synchronization protocol.
+//!
+//! Seeds the IEER bounds optimistically at `R_{i,j} = Σ_{k≤j} c_{i,k}` and
+//! repeats [`IEERT`](crate::analysis::ieert) sweeps until the bounds stop
+//! changing. Because the sweep operator is monotone and the seed lies below
+//! every fixed point, the iteration converges to the **least** fixed point
+//! when one exists; when the bounds instead grow past
+//! `failure_factor × period` (300× by default) the analysis declares a
+//! *failure* — the paper's "bound is infinite for all practical purposes".
+//!
+//! # Examples
+//!
+//! Example 2: the DS bound of `T₂` (the paper's `T₃`) exceeds its deadline
+//! of 6, so its schedulability cannot be asserted — and indeed Figure 3
+//! shows it missing a deadline.
+//!
+//! ```
+//! use rtsync_core::analysis::sa_ds::analyze_ds;
+//! use rtsync_core::analysis::AnalysisConfig;
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::task::TaskId;
+//! use rtsync_core::time::Dur;
+//!
+//! let system = example2();
+//! let bounds = analyze_ds(&system, &AnalysisConfig::default())?;
+//! assert!(bounds.task_bound(TaskId::new(2)) > Dur::from_ticks(6));
+//! # Ok::<(), rtsync_core::error::AnalyzeError>(())
+//! ```
+//!
+//! > **Fidelity note.** The paper's prose reports the Example-2 bound of
+//! > `T₃` as 7; the formulas of Figure 10, as written, give 8 — and the
+//! > paper's own Figure 3 schedule exhibits an *actual* response of 8
+//! > (release at 4, completion at 12), so any sound bound must be ≥ 8.
+//! > We reproduce the algorithm, which here is also tight.
+
+use crate::analysis::ieert::{ieert_pass, ieert_pass_gauss_seidel, IeerBounds};
+use crate::analysis::AnalysisConfig;
+use crate::error::AnalyzeError;
+use crate::task::{SubtaskId, TaskId, TaskSet};
+use crate::time::Dur;
+
+/// Which sweep discipline the outer loop uses.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub enum SweepOrder {
+    /// Every sweep reads only the previous sweep's bounds — the literal
+    /// reading of Figure 11 (`R = IEERT(T, R′)`).
+    #[default]
+    Jacobi,
+    /// Bounds updated earlier in a sweep are visible later in the same
+    /// sweep. Same least fixed point, fewer sweeps (ablation; see the
+    /// `gauss_seidel_agrees_with_jacobi` test and the Criterion bench).
+    GaussSeidel,
+}
+
+/// The result of Algorithm SA/DS: converged IEER bounds plus iteration
+/// accounting.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DsBounds {
+    bounds: IeerBounds,
+    sweeps: u64,
+}
+
+impl DsBounds {
+    /// The IEER bound of one subtask: release of `T_{i,1}(m)` to completion
+    /// of `T_{i,j}(m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ieer(&self, id: SubtaskId) -> Dur {
+        self.bounds.get(id)
+    }
+
+    /// The end-to-end response-time bound of a task (the IEER bound of its
+    /// last subtask).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task_bound(&self, id: TaskId) -> Dur {
+        self.bounds.task_bound(id)
+    }
+
+    /// End-to-end bounds for every task, indexed by [`TaskId::index`].
+    pub fn task_bounds(&self) -> Vec<Dur> {
+        (0..self.bounds.as_slices().len())
+            .map(|i| self.task_bound(TaskId::new(i)))
+            .collect()
+    }
+
+    /// The converged bound set.
+    pub fn bounds(&self) -> &IeerBounds {
+        &self.bounds
+    }
+
+    /// Number of IEERT sweeps performed (including the one that verified
+    /// the fixed point).
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+}
+
+/// Runs Algorithm SA/DS with the literal Jacobi sweeps of Figure 11.
+///
+/// # Errors
+///
+/// Errors for which [`AnalyzeError::is_failure`] holds are the paper's
+/// *failure* outcome — no finite bound below the cap. Other errors indicate
+/// pathological inputs (overflow).
+pub fn analyze_ds(set: &TaskSet, cfg: &AnalysisConfig) -> Result<DsBounds, AnalyzeError> {
+    analyze_ds_with(set, cfg, SweepOrder::Jacobi)
+}
+
+/// Runs Algorithm SA/DS with a chosen sweep discipline.
+///
+/// # Errors
+///
+/// See [`analyze_ds`].
+pub fn analyze_ds_with(
+    set: &TaskSet,
+    cfg: &AnalysisConfig,
+    order: SweepOrder,
+) -> Result<DsBounds, AnalyzeError> {
+    let mut bounds = IeerBounds::seed(set);
+    for sweep in 1..=cfg.max_outer_iterations {
+        let next = match order {
+            SweepOrder::Jacobi => ieert_pass(set, &bounds, cfg)?,
+            SweepOrder::GaussSeidel => ieert_pass_gauss_seidel(set, &bounds, cfg)?,
+        };
+        if next == bounds {
+            return Ok(DsBounds {
+                bounds,
+                sweeps: sweep,
+            });
+        }
+        bounds = next;
+    }
+    // Still growing after the sweep budget: treat as the failure outcome,
+    // attributed to the subtask with the largest bound-to-period ratio.
+    let worst = worst_ratio_subtask(set, &bounds);
+    Err(AnalyzeError::IterationLimit {
+        subtask: worst,
+        limit: cfg.max_outer_iterations,
+    })
+}
+
+fn worst_ratio_subtask(set: &TaskSet, bounds: &IeerBounds) -> SubtaskId {
+    let mut best = SubtaskId::new(TaskId::new(0), 0);
+    let mut best_key = (i64::MIN, i64::MAX); // maximize bound/period exactly
+    for task in set.tasks() {
+        for sub in task.subtasks() {
+            let b = bounds.get(sub.id()).ticks();
+            let p = task.period().ticks();
+            // Compare b/p > best via cross multiplication on i128.
+            let lhs = b as i128 * best_key.1 as i128;
+            let rhs = best_key.0 as i128 * p as i128;
+            if lhs > rhs {
+                best_key = (b, p);
+                best = sub.id();
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::sa_pm::analyze_pm;
+    use crate::examples::example2;
+    use crate::task::{Priority, TaskSet};
+    use crate::time::Dur;
+
+    fn d(t: i64) -> Dur {
+        Dur::from_ticks(t)
+    }
+
+    fn sid(t: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(t), j)
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn example2_converges_to_documented_fixpoint() {
+        let set = example2();
+        let b = analyze_ds(&set, &cfg()).unwrap();
+        assert_eq!(b.ieer(sid(0, 0)), d(2));
+        assert_eq!(b.ieer(sid(1, 0)), d(4));
+        assert_eq!(b.ieer(sid(1, 1)), d(7));
+        // ≥ 8 is required for soundness (Figure 3 exhibits response 8);
+        // the Figure-10 formulas give exactly 8.
+        assert_eq!(b.ieer(sid(2, 0)), d(8));
+        assert_eq!(b.task_bounds(), vec![d(2), d(7), d(8)]);
+        assert!(b.sweeps() >= 3);
+        // T3's bound exceeds its deadline of 6: not schedulable under DS,
+        // matching the paper's §4.3 conclusion.
+        assert!(b.task_bound(TaskId::new(2)) > set.task(TaskId::new(2)).deadline());
+    }
+
+    #[test]
+    fn ds_bounds_dominate_pm_bounds() {
+        // §4.3: "Algorithm SA/DS always yields larger upper bounds on the
+        // task EER times than Algorithm SA/PM."
+        let set = example2();
+        let ds = analyze_ds(&set, &cfg()).unwrap();
+        let pm = analyze_pm(&set, &cfg()).unwrap();
+        for task in set.tasks() {
+            assert!(
+                ds.task_bound(task.id()) >= pm.task_bound(task.id()),
+                "task {}",
+                task.id()
+            );
+        }
+    }
+
+    #[test]
+    fn single_subtask_tasks_match_pm_exactly() {
+        // Without chains there is no clumping: SA/DS degenerates to SA/PM.
+        let set = TaskSet::builder(1)
+            .task(d(10))
+            .subtask(0, d(3), Priority::new(0))
+            .finish_task()
+            .task(d(14))
+            .subtask(0, d(4), Priority::new(1))
+            .finish_task()
+            .task(d(20))
+            .subtask(0, d(5), Priority::new(2))
+            .finish_task()
+            .build()
+            .unwrap();
+        let ds = analyze_ds(&set, &cfg()).unwrap();
+        let pm = analyze_pm(&set, &cfg()).unwrap();
+        for task in set.tasks() {
+            assert_eq!(ds.task_bound(task.id()), pm.task_bound(task.id()));
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_agrees_with_jacobi() {
+        let set = example2();
+        let j = analyze_ds_with(&set, &cfg(), SweepOrder::Jacobi).unwrap();
+        let gs = analyze_ds_with(&set, &cfg(), SweepOrder::GaussSeidel).unwrap();
+        assert_eq!(j.bounds(), gs.bounds());
+        assert!(gs.sweeps() <= j.sweeps());
+    }
+
+    #[test]
+    fn failure_on_saturated_chain_feedback() {
+        // Two chains ping-ponging across two processors at 100% load: the
+        // clumping feedback diverges and the failure criterion fires.
+        let set = TaskSet::builder(2)
+            .task(d(10))
+            .subtask(0, d(5), Priority::new(0))
+            .subtask(1, d(5), Priority::new(1))
+            .finish_task()
+            .task(d(10))
+            .subtask(1, d(5), Priority::new(0))
+            .subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let err = analyze_ds(&set, &cfg()).unwrap_err();
+        assert!(err.is_failure(), "{err:?}");
+    }
+
+    #[test]
+    fn sweep_count_is_reported() {
+        let set = example2();
+        let b = analyze_ds(&set, &cfg()).unwrap();
+        // Seed → pass1 → pass2 → pass3 (fixpoint check): at least 3 sweeps.
+        assert!(b.sweeps() >= 3 && b.sweeps() < 10, "{}", b.sweeps());
+    }
+
+    #[test]
+    fn default_sweep_order_is_jacobi() {
+        assert_eq!(SweepOrder::default(), SweepOrder::Jacobi);
+    }
+}

@@ -1,0 +1,210 @@
+//! Sensitivity analysis: how much execution-time growth a system tolerates.
+//!
+//! The *critical scaling factor* of a system under a protocol is the
+//! largest factor `α` by which **every** execution time can be multiplied
+//! while the protocol's schedulability analysis still proves every task's
+//! bound within its deadline. `α > 1` quantifies head-room, `α < 1` says
+//! by how much the workload must shrink to become provably schedulable —
+//! a practical lens the paper's yes/no verdicts lack.
+//!
+//! [`critical_scaling`] binary-searches `α` in integer permille
+//! (thousandths); scaled execution times are rounded **up** (conservative)
+//! and floored at one tick. Both the SA/PM and SA/DS analyses are monotone
+//! in execution times, so the predicate "provably schedulable at `α`" is
+//! monotone and the search is exact to the permille.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtsync_core::analysis::sensitivity::critical_scaling;
+//! use rtsync_core::analysis::AnalysisConfig;
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::protocol::Protocol;
+//!
+//! let system = example2();
+//! let cfg = AnalysisConfig::default();
+//! // Example 2 is NOT provably schedulable as given (T2's bound is 7 > 6
+//! // even under RG), so its critical scaling is below 1.0 …
+//! let rg = critical_scaling(&system, Protocol::ReleaseGuard, &cfg, 4_000);
+//! assert!(rg < 1_000);
+//! // … and DS tolerates even less.
+//! let ds = critical_scaling(&system, Protocol::DirectSync, &cfg, 4_000);
+//! assert!(ds <= rg);
+//! ```
+
+use crate::analysis::report::analyze;
+use crate::analysis::AnalysisConfig;
+use crate::protocol::Protocol;
+use crate::task::{TaskSet, TaskSetBuilder};
+use crate::time::Dur;
+
+/// Rebuilds `set` with every execution time multiplied by
+/// `permille / 1000`, rounded up, floored at one tick.
+pub fn scale_executions(set: &TaskSet, permille: u32) -> TaskSet {
+    let mut builder = TaskSetBuilder::new(set.num_processors());
+    for task in set.tasks() {
+        let mut tb = builder
+            .task(task.period())
+            .phase(task.phase())
+            .deadline(task.deadline());
+        for sub in task.subtasks() {
+            let scaled = (sub.execution().ticks() as i128 * permille as i128 + 999) / 1000;
+            let exec = Dur::from_ticks((scaled as i64).max(1));
+            tb = if sub.is_preemptible() {
+                tb.subtask(sub.processor().index(), exec, sub.priority())
+            } else {
+                tb.nonpreemptive_subtask(sub.processor().index(), exec, sub.priority())
+            };
+        }
+        builder = tb.finish_task();
+    }
+    builder.build().expect("scaling preserves validity")
+}
+
+/// `true` if the protocol's analysis proves every task schedulable at the
+/// given scaling.
+pub fn provably_schedulable_at(
+    set: &TaskSet,
+    protocol: Protocol,
+    cfg: &AnalysisConfig,
+    permille: u32,
+) -> bool {
+    let scaled = scale_executions(set, permille);
+    matches!(analyze(&scaled, protocol, cfg), Ok(report) if report.all_schedulable())
+}
+
+/// The largest scaling (in permille, searched over `[1, max_permille]`)
+/// at which the system is still provably schedulable under `protocol`;
+/// `0` if it is unschedulable even with every execution time at one tick.
+pub fn critical_scaling(
+    set: &TaskSet,
+    protocol: Protocol,
+    cfg: &AnalysisConfig,
+    max_permille: u32,
+) -> u32 {
+    if !provably_schedulable_at(set, protocol, cfg, 1) {
+        return 0;
+    }
+    if provably_schedulable_at(set, protocol, cfg, max_permille) {
+        return max_permille;
+    }
+    // Invariant: schedulable at `lo`, not at `hi`.
+    let (mut lo, mut hi) = (1u32, max_permille);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if provably_schedulable_at(set, protocol, cfg, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example2;
+    use crate::task::{Priority, SubtaskId, TaskId};
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn scaling_rounds_up_and_floors_at_one() {
+        let set = example2();
+        let half = scale_executions(&set, 500);
+        // c=3 → ceil(1.5) = 2; c=2 → 1.
+        assert_eq!(
+            half.subtask(SubtaskId::new(TaskId::new(1), 1)).execution(),
+            d(2)
+        );
+        assert_eq!(
+            half.subtask(SubtaskId::new(TaskId::new(0), 0)).execution(),
+            d(1)
+        );
+        let tiny = scale_executions(&set, 1);
+        for sub in tiny.subtasks() {
+            assert_eq!(sub.execution(), d(1), "floor at one tick");
+        }
+        let identity = scale_executions(&set, 1000);
+        assert_eq!(identity, set);
+    }
+
+    #[test]
+    fn search_brackets_the_transition_exactly() {
+        let set = example2();
+        for protocol in [Protocol::ReleaseGuard, Protocol::DirectSync] {
+            let alpha = critical_scaling(&set, protocol, &cfg(), 4_000);
+            assert!(alpha > 0, "{protocol:?}");
+            assert!(
+                provably_schedulable_at(&set, protocol, &cfg(), alpha),
+                "{protocol:?} at {alpha}"
+            );
+            assert!(
+                !provably_schedulable_at(&set, protocol, &cfg(), alpha + 1),
+                "{protocol:?} at {}",
+                alpha + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rg_headroom_dominates_ds() {
+        // RG's tighter analysis always tolerates at least as much load.
+        let set = example2();
+        let rg = critical_scaling(&set, Protocol::ReleaseGuard, &cfg(), 4_000);
+        let ds = critical_scaling(&set, Protocol::DirectSync, &cfg(), 4_000);
+        assert!(rg >= ds, "rg {rg} vs ds {ds}");
+        // Example 2 is not provably schedulable as given under either.
+        assert!(rg < 1_000);
+    }
+
+    #[test]
+    fn comfortable_system_hits_the_cap() {
+        let set = crate::task::TaskSet::builder(1)
+            .task(d(100))
+            .subtask(0, d(1), Priority::new(0))
+            .finish_task()
+            .build()
+            .unwrap();
+        assert_eq!(
+            critical_scaling(&set, Protocol::ReleaseGuard, &cfg(), 4_000),
+            4_000
+        );
+    }
+
+    #[test]
+    fn hopeless_system_returns_zero() {
+        // Deadline shorter than one tick of execution can ever satisfy…
+        // deadline 1 with a 2-subtask chain needs ≥ 2 ticks.
+        let set = crate::task::TaskSet::builder(2)
+            .task(d(100))
+            .deadline(d(1))
+            .subtask(0, d(5), Priority::new(0))
+            .subtask(1, d(5), Priority::new(0))
+            .finish_task()
+            .build()
+            .unwrap();
+        assert_eq!(
+            critical_scaling(&set, Protocol::ReleaseGuard, &cfg(), 4_000),
+            0
+        );
+    }
+
+    #[test]
+    fn monotone_in_protocol_strength_on_random_shape() {
+        // A small sanity grid: PM/MPM/RG share bounds, so identical α.
+        let set = example2();
+        let pm = critical_scaling(&set, Protocol::PhaseModification, &cfg(), 4_000);
+        let mpm = critical_scaling(&set, Protocol::ModifiedPhaseModification, &cfg(), 4_000);
+        let rg = critical_scaling(&set, Protocol::ReleaseGuard, &cfg(), 4_000);
+        assert_eq!(pm, mpm);
+        assert_eq!(pm, rg);
+    }
+}

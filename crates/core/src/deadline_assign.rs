@@ -1,0 +1,382 @@
+//! Local (per-subtask) deadline assignment.
+//!
+//! The paper's priority policy, Proportional-Deadline-Monotonic, is
+//! "similar to the Equal Flexibility assignment in [Kao & Garcia-Molina
+//! 1993]". That lineage splits an end-to-end deadline `D_i` into local
+//! deadlines `d_{i,j}` for the subtasks, which can then drive
+//! deadline-monotonic priorities per processor. This module implements the
+//! classic family:
+//!
+//! * **Ultimate deadline (UD)** — every subtask inherits the end-to-end
+//!   deadline: `d_{i,j} = D_i`.
+//! * **Effective deadline (ED)** — a subtask must leave enough time for
+//!   its successors to execute: `d_{i,j} = D_i − Σ_{k>j} c_{i,k}`.
+//! * **Equal slack (EQS)** — the end-to-end slack `D_i − Σ c` is divided
+//!   evenly among the subtasks:
+//!   `d_{i,j} = Σ_{k≤j} c_{i,k} + j·(D_i − Σ_k c_{i,k}) / n_i` (cumulative
+//!   form, so local deadlines are monotone along the chain).
+//! * **Equal flexibility (EQF)** — slack divided *in proportion to
+//!   execution time*, which in cumulative form makes the per-subtask
+//!   deadline *spans* exactly the paper's proportional deadlines
+//!   `PD_{i,j} = c_{i,j}·D_i / Σ_k c_{i,k}`.
+//!
+//! All arithmetic is exact: local deadlines are computed as integer ticks
+//! with floor division (conservative — a subtask never gets more time than
+//! the real-valued formula allows). [`LocalDeadlineMonotonic`] turns any
+//! of these into a [`PriorityPolicy`]: on each processor, shorter local
+//! deadline *span* (the time the assignment budgets for that subtask)
+//! means higher priority. With [`DeadlineSplit::EqualFlexibility`] this
+//! reproduces the paper's PDM ordering exactly (tested).
+
+use std::fmt;
+
+use crate::priority::{ChainSpec, PriorityKey, PriorityPolicy};
+use crate::task::{SubtaskId, TaskSet};
+use crate::time::Dur;
+
+/// A rule for splitting an end-to-end deadline into local deadlines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeadlineSplit {
+    /// `d_{i,j} = D_i` for every subtask.
+    Ultimate,
+    /// `d_{i,j} = D_i − Σ_{k>j} c_{i,k}`.
+    Effective,
+    /// Slack divided evenly among subtasks.
+    EqualSlack,
+    /// Slack divided in proportion to execution time (the paper's PDM
+    /// lineage).
+    EqualFlexibility,
+}
+
+impl DeadlineSplit {
+    /// All four rules, in the classic order.
+    pub const ALL: [DeadlineSplit; 4] = [
+        DeadlineSplit::Ultimate,
+        DeadlineSplit::Effective,
+        DeadlineSplit::EqualSlack,
+        DeadlineSplit::EqualFlexibility,
+    ];
+
+    /// Short tag, e.g. `"EQF"`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DeadlineSplit::Ultimate => "UD",
+            DeadlineSplit::Effective => "ED",
+            DeadlineSplit::EqualSlack => "EQS",
+            DeadlineSplit::EqualFlexibility => "EQF",
+        }
+    }
+
+    /// The *cumulative* local deadline of each subtask of a chain with
+    /// total deadline `deadline` and execution times `execs`: instance `m`
+    /// of subtask `j` is meant to finish within `d_j` of the chain's
+    /// release. Values are non-decreasing along the chain and the last
+    /// equals the end-to-end deadline (except UD, where all equal it).
+    pub fn cumulative(self, deadline: Dur, execs: &[Dur]) -> Vec<Dur> {
+        let n = execs.len() as i64;
+        let total: Dur = execs.iter().copied().sum();
+        let slack = (deadline - total).max(Dur::ZERO);
+        let mut cum = Dur::ZERO; // Σ_{k≤j} c
+        execs
+            .iter()
+            .enumerate()
+            .map(|(idx, &c)| {
+                cum += c;
+                let j = idx as i64 + 1;
+                match self {
+                    DeadlineSplit::Ultimate => deadline,
+                    DeadlineSplit::Effective => deadline - (total - cum),
+                    DeadlineSplit::EqualSlack => cum + Dur::from_ticks(slack.ticks() * j / n),
+                    DeadlineSplit::EqualFlexibility => {
+                        if total.is_zero() {
+                            deadline
+                        } else {
+                            cum + Dur::from_ticks(
+                                (slack.ticks() as i128 * cum.ticks() as i128
+                                    / total.ticks() as i128) as i64,
+                            )
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// The local deadline *span* budgeted for subtask `j`: the cumulative
+    /// deadline minus the predecessor's (the window the assignment gives
+    /// this link alone). This is the quantity deadline-monotonic ordering
+    /// ranks by.
+    pub fn spans(self, deadline: Dur, execs: &[Dur]) -> Vec<Dur> {
+        let cum = self.cumulative(deadline, execs);
+        let mut prev = Dur::ZERO;
+        cum.into_iter()
+            .enumerate()
+            .map(|(idx, d)| {
+                // UD gives every subtask the whole deadline; span == D.
+                if self == DeadlineSplit::Ultimate {
+                    return deadline;
+                }
+                let span = d - prev;
+                let _ = idx;
+                prev = d;
+                span
+            })
+            .collect()
+    }
+
+    /// Computes cumulative local deadlines for every subtask of a task set.
+    pub fn assign(self, set: &TaskSet) -> LocalDeadlines {
+        let per_task = set
+            .tasks()
+            .iter()
+            .map(|t| {
+                let execs: Vec<Dur> = t.subtasks().iter().map(|s| s.execution()).collect();
+                self.cumulative(t.deadline(), &execs)
+            })
+            .collect();
+        LocalDeadlines { per_task }
+    }
+}
+
+impl fmt::Display for DeadlineSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DeadlineSplit::Ultimate => "ultimate deadline",
+            DeadlineSplit::Effective => "effective deadline",
+            DeadlineSplit::EqualSlack => "equal slack",
+            DeadlineSplit::EqualFlexibility => "equal flexibility",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Cumulative local deadlines per subtask, produced by
+/// [`DeadlineSplit::assign`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocalDeadlines {
+    per_task: Vec<Vec<Dur>>,
+}
+
+impl LocalDeadlines {
+    /// The cumulative local deadline of one subtask (relative to the
+    /// chain's release).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cumulative(&self, id: SubtaskId) -> Dur {
+        self.per_task[id.task().index()][id.index()]
+    }
+
+    /// The local deadline span of one subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn span(&self, id: SubtaskId) -> Dur {
+        let row = &self.per_task[id.task().index()];
+        let prev = if id.index() == 0 {
+            Dur::ZERO
+        } else {
+            row[id.index() - 1]
+        };
+        row[id.index()] - prev
+    }
+
+    /// Raw cumulative deadlines, `[task][chain index]`.
+    pub fn as_slices(&self) -> &[Vec<Dur>] {
+        &self.per_task
+    }
+}
+
+/// A [`PriorityPolicy`] ranking subtasks on each processor by the local
+/// deadline *span* a [`DeadlineSplit`] gives them (shorter = higher).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LocalDeadlineMonotonic(pub DeadlineSplit);
+
+impl PriorityPolicy for LocalDeadlineMonotonic {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            DeadlineSplit::Ultimate => "local-dm/ultimate",
+            DeadlineSplit::Effective => "local-dm/effective",
+            DeadlineSplit::EqualSlack => "local-dm/equal-slack",
+            DeadlineSplit::EqualFlexibility => "local-dm/equal-flexibility",
+        }
+    }
+
+    fn key(&self, chains: &[ChainSpec], task_index: usize, subtask_index: usize) -> PriorityKey {
+        let chain = &chains[task_index];
+        let execs: Vec<Dur> = chain.subtasks.iter().map(|&(_, c)| c).collect();
+        let spans = self.0.spans(chain.deadline, &execs);
+        PriorityKey::integer(spans[subtask_index].ticks() as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example2;
+    use crate::priority::{build_with_policy, ProportionalDeadlineMonotonic};
+    use crate::task::{ProcessorId, TaskId};
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn ultimate_gives_everyone_the_full_deadline() {
+        let cum = DeadlineSplit::Ultimate.cumulative(d(100), &[d(10), d(20), d(30)]);
+        assert_eq!(cum, vec![d(100), d(100), d(100)]);
+        let spans = DeadlineSplit::Ultimate.spans(d(100), &[d(10), d(20), d(30)]);
+        assert_eq!(spans, vec![d(100), d(100), d(100)]);
+    }
+
+    #[test]
+    fn effective_reserves_successor_execution() {
+        // D=100, execs 10/20/30: d1 = 100-50 = 50; d2 = 100-30 = 70; d3 = 100.
+        let cum = DeadlineSplit::Effective.cumulative(d(100), &[d(10), d(20), d(30)]);
+        assert_eq!(cum, vec![d(50), d(70), d(100)]);
+    }
+
+    #[test]
+    fn equal_slack_divides_evenly() {
+        // Slack = 100 - 60 = 40, three subtasks → 13⅓ each (floored cumulatively).
+        let cum = DeadlineSplit::EqualSlack.cumulative(d(100), &[d(10), d(20), d(30)]);
+        assert_eq!(cum, vec![d(10 + 13), d(30 + 26), d(60 + 40)]);
+        // Last always reaches the end-to-end deadline.
+        assert_eq!(*cum.last().unwrap(), d(100));
+    }
+
+    #[test]
+    fn equal_flexibility_spans_are_the_papers_proportional_deadlines() {
+        // D=100, execs 10/30 (total 40): PD_1 = 10/40·100 = 25,
+        // PD_2 = 30/40·100 = 75. EQF cumulative: 10 + 60·10/40 = 25;
+        // 40 + 60·40/40 = 100. Spans: 25, 75. Exactly PDM's keys.
+        let spans = DeadlineSplit::EqualFlexibility.spans(d(100), &[d(10), d(30)]);
+        assert_eq!(spans, vec![d(25), d(75)]);
+    }
+
+    #[test]
+    fn cumulative_deadlines_are_monotone_and_end_at_d() {
+        for split in DeadlineSplit::ALL {
+            let cum = split.cumulative(d(97), &[d(5), d(11), d(3), d(20)]);
+            for w in cum.windows(2) {
+                assert!(w[0] <= w[1], "{split:?}: {cum:?}");
+            }
+            if split != DeadlineSplit::Ultimate {
+                assert_eq!(*cum.last().unwrap(), d(97), "{split:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_deadline_leaves_zero_slack() {
+        // D == Σc: every split degenerates to cumulative execution
+        // (except UD).
+        let execs = [d(10), d(20)];
+        for split in [
+            DeadlineSplit::Effective,
+            DeadlineSplit::EqualSlack,
+            DeadlineSplit::EqualFlexibility,
+        ] {
+            assert_eq!(
+                split.cumulative(d(30), &execs),
+                vec![d(10), d(30)],
+                "{split:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn assign_and_lookup_on_example2() {
+        let set = example2();
+        let ld = DeadlineSplit::EqualFlexibility.assign(&set);
+        // T1 (chain 2+3=5, D=6, slack 1): cumulative 2 + 1·2/5 = 2, then 6.
+        let t1_first = SubtaskId::new(TaskId::new(1), 0);
+        let t1_second = SubtaskId::new(TaskId::new(1), 1);
+        assert_eq!(ld.cumulative(t1_first), d(2));
+        assert_eq!(ld.cumulative(t1_second), d(6));
+        assert_eq!(ld.span(t1_first), d(2));
+        assert_eq!(ld.span(t1_second), d(4));
+        assert_eq!(ld.as_slices().len(), 3);
+    }
+
+    #[test]
+    fn eqf_local_dm_matches_pdm_ordering() {
+        // The headline correspondence: LocalDeadlineMonotonic(EQF) orders
+        // subtasks identically to the paper's PDM on every processor.
+        use crate::priority::ChainSpec;
+        let chains = vec![
+            ChainSpec::new(d(100), vec![(0, d(10)), (1, d(30))]),
+            ChainSpec::new(d(200), vec![(1, d(20)), (0, d(20))]),
+            ChainSpec::new(d(150), vec![(0, d(5)), (1, d(45)), (0, d(10))]),
+        ];
+        let pdm = build_with_policy(2, &chains, &ProportionalDeadlineMonotonic).unwrap();
+        let eqf = build_with_policy(
+            2,
+            &chains,
+            &LocalDeadlineMonotonic(DeadlineSplit::EqualFlexibility),
+        )
+        .unwrap();
+        for p in 0..2 {
+            let proc = ProcessorId::new(p);
+            let order = |set: &TaskSet| {
+                let mut v: Vec<_> = set
+                    .subtasks_on(proc)
+                    .map(|s| (s.priority(), s.id()))
+                    .collect();
+                v.sort();
+                v.into_iter().map(|(_, id)| id).collect::<Vec<_>>()
+            };
+            assert_eq!(order(&pdm), order(&eqf), "{proc}");
+        }
+    }
+
+    #[test]
+    fn splits_produce_different_priority_orders() {
+        use crate::priority::ChainSpec;
+        // A chain whose tail is heavy: UD ranks by D (ties), ED gives the
+        // head a short deadline, EQF spreads by execution.
+        let chains = vec![
+            ChainSpec::new(d(100), vec![(0, d(5)), (1, d(50))]),
+            ChainSpec::new(d(110), vec![(0, d(40)), (1, d(5))]),
+        ];
+        let ed = build_with_policy(
+            2,
+            &chains,
+            &LocalDeadlineMonotonic(DeadlineSplit::Effective),
+        )
+        .unwrap();
+        let ud = build_with_policy(
+            2,
+            &chains,
+            &LocalDeadlineMonotonic(DeadlineSplit::Ultimate),
+        )
+        .unwrap();
+        // Under ED on P0: T0.0 gets d=50 span 50, T1.0 gets d=105 span 105
+        // → T0.0 higher. Under UD: spans 100 vs 110 → also T0.0… pick the
+        // head-to-head that differs: P1: ED spans: T0.1: 100-50=50 vs
+        // T1.1: 110-105=5 → T1.1 higher; UD: 100 vs 110 → T0.1 higher.
+        let t01 = SubtaskId::new(TaskId::new(0), 1);
+        let t11 = SubtaskId::new(TaskId::new(1), 1);
+        assert!(ed
+            .subtask(t11)
+            .priority()
+            .is_higher_than(ed.subtask(t01).priority()));
+        assert!(ud
+            .subtask(t01)
+            .priority()
+            .is_higher_than(ud.subtask(t11).priority()));
+    }
+
+    #[test]
+    fn display_and_tags() {
+        assert_eq!(DeadlineSplit::Ultimate.tag(), "UD");
+        assert_eq!(DeadlineSplit::EqualFlexibility.to_string(), "equal flexibility");
+        assert_eq!(
+            LocalDeadlineMonotonic(DeadlineSplit::EqualSlack).name(),
+            "local-dm/equal-slack"
+        );
+        assert_eq!(DeadlineSplit::ALL.len(), 4);
+    }
+}

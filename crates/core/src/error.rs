@@ -1,0 +1,255 @@
+//! Error types for model validation and schedulability analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::task::{ProcessorId, ResourceId, SubtaskId, TaskId};
+use crate::time::Dur;
+
+/// An error raised while constructing or validating a task set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ValidateTaskSetError {
+    /// A task has no subtasks; a chain must contain at least one.
+    EmptyChain(TaskId),
+    /// A task's period is not strictly positive.
+    NonPositivePeriod(TaskId, Dur),
+    /// A task's relative deadline is not strictly positive.
+    NonPositiveDeadline(TaskId, Dur),
+    /// A subtask's execution time is not strictly positive.
+    NonPositiveExecution(SubtaskId, Dur),
+    /// A subtask references a processor outside the system.
+    UnknownProcessor(SubtaskId, ProcessorId),
+    /// Two consecutive subtasks of the same task share a processor. The
+    /// model of Sun & Liu places consecutive subtasks on different
+    /// processors (a same-processor pair should be merged into one subtask).
+    ConsecutiveOnSameProcessor(SubtaskId, ProcessorId),
+    /// Two subtasks on the same processor have the same priority but
+    /// priorities were declared unique.
+    DuplicatePriority(SubtaskId, SubtaskId),
+    /// A task's phase is negative; phases are non-negative offsets from the
+    /// timeline origin.
+    NegativePhase(TaskId),
+    /// The system declares zero processors.
+    NoProcessors,
+    /// A critical section extends outside its subtask's execution budget
+    /// or has non-positive length.
+    CriticalSectionOutOfRange(SubtaskId, ResourceId),
+    /// Two critical sections of one subtask overlap (sections must be
+    /// non-nested and disjoint).
+    CriticalSectionsOverlap(SubtaskId),
+    /// A resource is used by subtasks on two different processors;
+    /// resources are processor-local (remote blocking is out of scope).
+    ResourceSpansProcessors(ResourceId, ProcessorId, ProcessorId),
+}
+
+impl fmt::Display for ValidateTaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateTaskSetError::EmptyChain(t) => {
+                write!(f, "task {t} has an empty subtask chain")
+            }
+            ValidateTaskSetError::NonPositivePeriod(t, p) => {
+                write!(f, "task {t} has non-positive period {p}")
+            }
+            ValidateTaskSetError::NonPositiveDeadline(t, d) => {
+                write!(f, "task {t} has non-positive relative deadline {d}")
+            }
+            ValidateTaskSetError::NonPositiveExecution(s, c) => {
+                write!(f, "subtask {s} has non-positive execution time {c}")
+            }
+            ValidateTaskSetError::UnknownProcessor(s, p) => {
+                write!(f, "subtask {s} references unknown processor {p}")
+            }
+            ValidateTaskSetError::ConsecutiveOnSameProcessor(s, p) => write!(
+                f,
+                "subtask {s} runs on the same processor {p} as its immediate predecessor"
+            ),
+            ValidateTaskSetError::DuplicatePriority(a, b) => write!(
+                f,
+                "subtasks {a} and {b} share a processor and a priority level"
+            ),
+            ValidateTaskSetError::NegativePhase(t) => {
+                write!(f, "task {t} has a negative phase")
+            }
+            ValidateTaskSetError::NoProcessors => {
+                write!(f, "system has no processors")
+            }
+            ValidateTaskSetError::CriticalSectionOutOfRange(s, r) => write!(
+                f,
+                "critical section on {r} of subtask {s} lies outside its execution budget"
+            ),
+            ValidateTaskSetError::CriticalSectionsOverlap(s) => {
+                write!(f, "subtask {s} has overlapping critical sections")
+            }
+            ValidateTaskSetError::ResourceSpansProcessors(r, a, b) => write!(
+                f,
+                "resource {r} is used on both {a} and {b}; resources are processor-local"
+            ),
+        }
+    }
+}
+
+impl Error for ValidateTaskSetError {}
+
+/// An error raised by a schedulability-analysis algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalyzeError {
+    /// The equal-and-higher-priority demand at some subtask's priority level
+    /// exceeds the processor capacity, so the level-`φ` busy period is
+    /// unbounded and no finite response-time bound exists.
+    Overload {
+        /// The subtask whose priority level is overloaded.
+        subtask: SubtaskId,
+        /// Utilization of the overloading set, scaled by 10⁶
+        /// (`1_000_000` = 100%), computed exactly from tick arithmetic.
+        utilization_ppm: u64,
+    },
+    /// A fixed-point iteration exceeded the configured bound cap: the bound
+    /// grew beyond `failure_factor × period` and is treated as infinite
+    /// (the paper's "failure" criterion, 300 × period by default).
+    BoundExceedsCap {
+        /// The subtask whose bound blew past the cap.
+        subtask: SubtaskId,
+        /// The cap that was exceeded.
+        cap: Dur,
+    },
+    /// A fixed-point iteration failed to converge within the iteration
+    /// budget. With integer ticks and monotone demand this indicates a
+    /// pathological configuration rather than numerics.
+    IterationLimit {
+        /// The subtask being analyzed when the budget ran out.
+        subtask: SubtaskId,
+        /// The iteration budget that was exhausted.
+        limit: u64,
+    },
+    /// Arithmetic overflowed `i64` ticks while evaluating a demand function;
+    /// the workload's parameters are too large for the tick scale in use.
+    ArithmeticOverflow {
+        /// The subtask being analyzed when the overflow occurred.
+        subtask: SubtaskId,
+    },
+}
+
+impl AnalyzeError {
+    /// The subtask the error is attributed to.
+    pub fn subtask(&self) -> SubtaskId {
+        match *self {
+            AnalyzeError::Overload { subtask, .. }
+            | AnalyzeError::BoundExceedsCap { subtask, .. }
+            | AnalyzeError::IterationLimit { subtask, .. }
+            | AnalyzeError::ArithmeticOverflow { subtask } => subtask,
+        }
+    }
+
+    /// `true` if the error means "no finite bound exists / was found" (the
+    /// paper's *failure* outcome) as opposed to a usage or numeric problem.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            AnalyzeError::Overload { .. }
+                | AnalyzeError::BoundExceedsCap { .. }
+                | AnalyzeError::IterationLimit { .. }
+        )
+    }
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Overload {
+                subtask,
+                utilization_ppm,
+            } => write!(
+                f,
+                "priority level of subtask {subtask} is overloaded ({}.{:04}% utilization)",
+                utilization_ppm / 10_000,
+                utilization_ppm % 10_000
+            ),
+            AnalyzeError::BoundExceedsCap { subtask, cap } => write!(
+                f,
+                "bound for subtask {subtask} exceeded the failure cap of {cap} ticks"
+            ),
+            AnalyzeError::IterationLimit { subtask, limit } => write!(
+                f,
+                "fixed-point iteration for subtask {subtask} did not converge within {limit} steps"
+            ),
+            AnalyzeError::ArithmeticOverflow { subtask } => write!(
+                f,
+                "tick arithmetic overflowed while analyzing subtask {subtask}"
+            ),
+        }
+    }
+}
+
+impl Error for AnalyzeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ProcessorId, SubtaskId, TaskId};
+
+    fn sid(t: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(t), j)
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors: Vec<Box<dyn Error>> = vec![
+            Box::new(ValidateTaskSetError::EmptyChain(TaskId::new(0))),
+            Box::new(ValidateTaskSetError::NonPositivePeriod(
+                TaskId::new(1),
+                Dur::ZERO,
+            )),
+            Box::new(ValidateTaskSetError::UnknownProcessor(
+                sid(0, 0),
+                ProcessorId::new(9),
+            )),
+            Box::new(ValidateTaskSetError::NoProcessors),
+            Box::new(AnalyzeError::Overload {
+                subtask: sid(2, 1),
+                utilization_ppm: 1_050_000,
+            }),
+            Box::new(AnalyzeError::BoundExceedsCap {
+                subtask: sid(2, 1),
+                cap: Dur::from_ticks(300),
+            }),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn analyze_error_accessors() {
+        let e = AnalyzeError::Overload {
+            subtask: sid(3, 2),
+            utilization_ppm: 1_200_000,
+        };
+        assert_eq!(e.subtask(), sid(3, 2));
+        assert!(e.is_failure());
+        let e = AnalyzeError::ArithmeticOverflow { subtask: sid(0, 0) };
+        assert!(!e.is_failure());
+        let e = AnalyzeError::IterationLimit {
+            subtask: sid(0, 0),
+            limit: 10,
+        };
+        assert!(e.is_failure());
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn overload_display_formats_percentage() {
+        let e = AnalyzeError::Overload {
+            subtask: sid(0, 0),
+            utilization_ppm: 1_234_567,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("123.4567%"), "{msg}");
+    }
+}

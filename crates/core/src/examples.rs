@@ -1,0 +1,99 @@
+//! The paper's two running examples, as ready-made [`TaskSet`]s.
+//!
+//! These are used throughout the documentation, the golden-trace tests
+//! (Figures 3–7 of the paper) and the quickstart example.
+
+use crate::task::{Priority, TaskSet};
+use crate::time::{Dur, Time};
+
+/// **Example 1** (Figure 1): the monitor task — a single chain
+/// `sample → transfer → display` across three processors (the middle one
+/// modeling the communication link).
+///
+/// The paper's figure is schematic and gives no numbers; the parameters
+/// here (period 10; execution times 2, 3, 2) are chosen so that the PM/MPM
+/// schedules of Figures 4 and 6 can be rendered concretely.
+///
+/// ```
+/// use rtsync_core::examples::example1;
+/// let system = example1();
+/// assert_eq!(system.num_processors(), 3);
+/// assert_eq!(system.tasks()[0].chain_len(), 3);
+/// ```
+pub fn example1() -> TaskSet {
+    TaskSet::builder(3)
+        .task(Dur::from_ticks(10))
+        .subtask(0, Dur::from_ticks(2), Priority::new(0)) // sample, field processor
+        .subtask(1, Dur::from_ticks(3), Priority::new(0)) // transfer, "link" processor
+        .subtask(2, Dur::from_ticks(2), Priority::new(0)) // display, central processor
+        .finish_task()
+        .build()
+        .expect("example 1 is a valid task set")
+}
+
+/// **Example 2** (Figure 2): two processors, three tasks.
+///
+/// * `T₀` (the paper's `T₁`): period 4, one subtask of cost 2 on `P₀`,
+///   higher priority there.
+/// * `T₁` (the paper's `T₂`): period 6, chain `P₀ (cost 2) → P₁ (cost 3)`,
+///   lower priority on `P₀`, higher on `P₁`.
+/// * `T₂` (the paper's `T₃`): period 6, phase 4, one subtask of cost 2 on
+///   `P₁`, lower priority there.
+///
+/// Under the DS protocol `T₂` misses its deadline at time 10 (Figure 3);
+/// under PM (Figure 5) and RG (Figure 7) it meets it.
+///
+/// ```
+/// use rtsync_core::examples::example2;
+/// let system = example2();
+/// assert_eq!(system.num_tasks(), 3);
+/// ```
+pub fn example2() -> TaskSet {
+    TaskSet::builder(2)
+        .task(Dur::from_ticks(4))
+        .subtask(0, Dur::from_ticks(2), Priority::new(0))
+        .finish_task()
+        .task(Dur::from_ticks(6))
+        .subtask(0, Dur::from_ticks(2), Priority::new(1))
+        .subtask(1, Dur::from_ticks(3), Priority::new(0))
+        .finish_task()
+        .task(Dur::from_ticks(6))
+        .phase(Time::from_ticks(4))
+        .subtask(1, Dur::from_ticks(2), Priority::new(1))
+        .finish_task()
+        .build()
+        .expect("example 2 is a valid task set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ProcessorId;
+
+    #[test]
+    fn example1_is_one_chain_across_three_processors() {
+        let s = example1();
+        assert_eq!(s.num_tasks(), 1);
+        assert_eq!(s.num_subtasks(), 3);
+        for (j, sub) in s.tasks()[0].subtasks().iter().enumerate() {
+            assert_eq!(sub.processor(), ProcessorId::new(j));
+        }
+    }
+
+    #[test]
+    fn example2_matches_figure2_parameters() {
+        let s = example2();
+        let periods: Vec<i64> = s.tasks().iter().map(|t| t.period().ticks()).collect();
+        assert_eq!(periods, vec![4, 6, 6]);
+        let phases: Vec<i64> = s.tasks().iter().map(|t| t.phase().ticks()).collect();
+        assert_eq!(phases, vec![0, 0, 4]);
+        // T1 outranks T2's first subtask on P0; T2's second subtask
+        // outranks T3 on P1.
+        let t1 = s.tasks()[0].subtask(0);
+        let t21 = s.tasks()[1].subtask(0);
+        assert!(t1.priority().is_higher_than(t21.priority()));
+        let t22 = s.tasks()[1].subtask(1);
+        let t3 = s.tasks()[2].subtask(0);
+        assert!(t22.priority().is_higher_than(t3.priority()));
+    }
+}

@@ -1,0 +1,66 @@
+//! # rtsync-core
+//!
+//! The primary contribution of Sun & Liu, *"Synchronization Protocols in
+//! Distributed Real-Time Systems"* (ICDCS 1996), as a Rust library:
+//!
+//! * the **end-to-end periodic task model** — tasks as chains of subtasks
+//!   over multiple processors, fixed-priority scheduled ([`task`]);
+//! * the four **synchronization protocols** — Direct Synchronization,
+//!   Phase Modification, Modified Phase Modification and Release Guard
+//!   ([`protocol`], [`release_guard`], [`phase`]);
+//! * the **schedulability analyses** — Algorithm SA/PM (busy-period
+//!   analysis, valid for PM/MPM/RG) and Algorithm SA/DS (iterated IEERT
+//!   with the jitter/clumping correction) ([`analysis`]);
+//! * **priority assignment** — the paper's Proportional-Deadline-Monotonic
+//!   policy and classic alternatives ([`priority`]).
+//!
+//! The discrete-event simulator that executes these protocols lives in the
+//! companion crate `rtsync-sim`; synthetic workload generation (§5.1 of
+//! the paper) in `rtsync-workload`; the figure-reproduction harness in
+//! `rtsync-experiments`.
+//!
+//! ## Quick example
+//!
+//! Analyze the paper's Example 2 under two protocols:
+//!
+//! ```
+//! use rtsync_core::analysis::report::analyze;
+//! use rtsync_core::analysis::AnalysisConfig;
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::protocol::Protocol;
+//!
+//! let system = example2();
+//! let cfg = AnalysisConfig::default();
+//!
+//! let under_ds = analyze(&system, Protocol::DirectSync, &cfg)?;
+//! let under_rg = analyze(&system, Protocol::ReleaseGuard, &cfg)?;
+//!
+//! // T3 (index 2) is provably schedulable under RG but not under DS.
+//! use rtsync_core::task::TaskId;
+//! assert!(!under_ds.verdict(TaskId::new(2)).schedulable());
+//! assert!(under_rg.verdict(TaskId::new(2)).schedulable());
+//! # Ok::<(), rtsync_core::error::AnalyzeError>(())
+//! ```
+//!
+//! All time quantities are integer ticks (see [`time`]); the analyses and
+//! the simulator are exact and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod deadline_assign;
+pub mod error;
+pub mod examples;
+pub mod phase;
+pub mod priority;
+pub mod protocol;
+pub mod release_guard;
+pub mod task;
+pub mod textfmt;
+pub mod time;
+
+pub use analysis::AnalysisConfig;
+pub use protocol::Protocol;
+pub use task::{Priority, ProcessorId, Subtask, SubtaskId, Task, TaskId, TaskSet};
+pub use time::{Dur, Time};

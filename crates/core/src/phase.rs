@@ -1,0 +1,122 @@
+//! Phase computation for the Phase Modification protocol (§3.1).
+//!
+//! PM makes every subtask strictly periodic by giving subtask `T_{i,j}` its
+//! own phase
+//!
+//! ```text
+//! f_{i,j} = f_i + Σ_{k<j} R_{i,k}
+//! ```
+//!
+//! — the parent task's phase plus the summed response-time bounds of all
+//! predecessors. If clocks are synchronized and first subtasks are strictly
+//! periodic, an instance's predecessors are guaranteed complete by its
+//! (purely clock-driven) release.
+//!
+//! The same offsets drive the MPM protocol's per-release timers: MPM sets a
+//! timer `R_{i,j}` after each release of `T_{i,j}` and signals the
+//! successor's processor when it fires, producing the identical schedule
+//! without global clocks.
+
+use crate::analysis::sa_pm::PmBounds;
+use crate::task::{SubtaskId, TaskSet};
+use crate::time::Time;
+
+/// The per-subtask phases used by the PM protocol, derived from SA/PM
+/// response-time bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PmPhases {
+    /// `phases[i][j] = f_{i,j}`.
+    phases: Vec<Vec<Time>>,
+}
+
+impl PmPhases {
+    /// Computes `f_{i,j} = f_i + Σ_{k<j} R_{i,k}` for every subtask.
+    pub fn compute(set: &TaskSet, bounds: &PmBounds) -> PmPhases {
+        let phases = set
+            .tasks()
+            .iter()
+            .map(|task| {
+                task.subtasks()
+                    .iter()
+                    .map(|s| task.phase() + bounds.cumulative_before(s.id()))
+                    .collect()
+            })
+            .collect();
+        PmPhases { phases }
+    }
+
+    /// The phase `f_{i,j}` of one subtask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn phase(&self, id: SubtaskId) -> Time {
+        self.phases[id.task().index()][id.index()]
+    }
+
+    /// Release time of the `m`-th (0-based) instance of subtask `id`:
+    /// `f_{i,j} + m·p_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn release(&self, set: &TaskSet, id: SubtaskId, m: u64) -> Time {
+        self.phase(id) + set.task(id.task()).period() * (m as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::sa_pm::analyze_pm;
+    use crate::analysis::AnalysisConfig;
+    use crate::examples::example2;
+    use crate::task::TaskId;
+    use crate::time::Dur;
+
+    fn sid(t: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(t), j)
+    }
+
+    #[test]
+    fn example2_phases_match_figure5() {
+        let set = example2();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        let phases = PmPhases::compute(&set, &bounds);
+        // Figure 5: f_{2,2} = 4 (R_{2,1} = 4); first subtasks keep the
+        // parent phases.
+        assert_eq!(phases.phase(sid(1, 0)), Time::ZERO);
+        assert_eq!(phases.phase(sid(1, 1)), Time::from_ticks(4));
+        assert_eq!(phases.phase(sid(0, 0)), Time::ZERO);
+        assert_eq!(phases.phase(sid(2, 0)), Time::from_ticks(4));
+    }
+
+    #[test]
+    fn releases_are_periodic_from_the_phase() {
+        let set = example2();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        let phases = PmPhases::compute(&set, &bounds);
+        let id = sid(1, 1);
+        assert_eq!(phases.release(&set, id, 0), Time::from_ticks(4));
+        assert_eq!(phases.release(&set, id, 1), Time::from_ticks(10));
+        assert_eq!(phases.release(&set, id, 4), Time::from_ticks(28));
+    }
+
+    #[test]
+    fn task_phase_offsets_whole_chain() {
+        // A task with phase 3: every subtask phase shifts by 3.
+        use crate::task::{Priority, TaskSet};
+        let set = TaskSet::builder(2)
+            .task(Dur::from_ticks(10))
+            .phase(Time::from_ticks(3))
+            .subtask(0, Dur::from_ticks(2), Priority::new(0))
+            .subtask(1, Dur::from_ticks(4), Priority::new(0))
+            .finish_task()
+            .build()
+            .unwrap();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        let phases = PmPhases::compute(&set, &bounds);
+        assert_eq!(phases.phase(sid(0, 0)), Time::from_ticks(3));
+        assert_eq!(phases.phase(sid(0, 1)), Time::from_ticks(5)); // 3 + R=2
+    }
+}

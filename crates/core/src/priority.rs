@@ -1,0 +1,411 @@
+//! Priority assignment policies for subtasks.
+//!
+//! The paper assumes subtask priorities "have been assigned according to
+//! some priority assignment algorithm" and uses
+//! **Proportional-Deadline-Monotonic** (PDM) in its evaluation (§5.1): each
+//! subtask gets a *proportional deadline*
+//!
+//! ```text
+//! PD_{i,j} = c_{i,j} / (Σ_k c_{i,k}) · D_i
+//! ```
+//!
+//! and, on each processor, shorter proportional deadline means higher
+//! priority. This module provides PDM plus the classic global
+//! deadline-monotonic and rate-monotonic orders, all as [`PriorityPolicy`]
+//! implementations, and [`build_with_policy`] which turns raw [`ChainSpec`]s
+//! into a validated [`TaskSet`] with policy-assigned priorities.
+//!
+//! Keys are compared with exact rational arithmetic (`i128` cross
+//! multiplication) — no floating point enters a priority decision. Ties are
+//! broken deterministically by (task id, chain index).
+//!
+//! # Examples
+//!
+//! ```
+//! use rtsync_core::priority::{build_with_policy, ChainSpec, ProportionalDeadlineMonotonic};
+//! use rtsync_core::time::Dur;
+//!
+//! let chains = vec![
+//!     ChainSpec::new(Dur::from_ticks(100), vec![(0, Dur::from_ticks(10)), (1, Dur::from_ticks(30))]),
+//!     ChainSpec::new(Dur::from_ticks(200), vec![(1, Dur::from_ticks(20)), (0, Dur::from_ticks(20))]),
+//! ];
+//! let set = build_with_policy(2, &chains, &ProportionalDeadlineMonotonic)?;
+//! assert_eq!(set.num_tasks(), 2);
+//! # Ok::<(), rtsync_core::error::ValidateTaskSetError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::ValidateTaskSetError;
+use crate::task::{CriticalSection, Priority, TaskSet};
+use crate::time::{Dur, Time};
+
+/// A raw, priority-free description of one end-to-end task: its timing
+/// parameters and the (processor, execution time) chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainSpec {
+    /// Period `p_i`.
+    pub period: Dur,
+    /// Phase `f_i` (default [`Time::ZERO`]).
+    pub phase: Time,
+    /// End-to-end relative deadline `D_i` (default: the period).
+    pub deadline: Dur,
+    /// The chain: `(processor index, execution time)` per subtask.
+    pub subtasks: Vec<(usize, Dur)>,
+    /// Chain indices of subtasks that are **non-preemptive** (default
+    /// none — the paper's fully preemptive model).
+    pub nonpreemptive: Vec<usize>,
+    /// Critical sections, as `(chain index, section)` pairs (default none).
+    pub critical_sections: Vec<(usize, CriticalSection)>,
+}
+
+impl ChainSpec {
+    /// Creates a spec with phase 0 and deadline equal to the period.
+    pub fn new(period: Dur, subtasks: Vec<(usize, Dur)>) -> ChainSpec {
+        ChainSpec {
+            period,
+            phase: Time::ZERO,
+            deadline: period,
+            subtasks,
+            nonpreemptive: Vec::new(),
+            critical_sections: Vec::new(),
+        }
+    }
+
+    /// Marks the given chain indices as non-preemptive.
+    pub fn with_nonpreemptive(mut self, indices: Vec<usize>) -> ChainSpec {
+        self.nonpreemptive = indices;
+        self
+    }
+
+    /// Attaches a critical section to the subtask at `index`.
+    pub fn with_critical_section(mut self, index: usize, section: CriticalSection) -> ChainSpec {
+        self.critical_sections.push((index, section));
+        self
+    }
+
+    /// Sets the phase.
+    pub fn with_phase(mut self, phase: Time) -> ChainSpec {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the end-to-end relative deadline.
+    pub fn with_deadline(mut self, deadline: Dur) -> ChainSpec {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sum of the chain's execution times.
+    pub fn total_execution(&self) -> Dur {
+        self.subtasks.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// An exact rational priority key: **smaller key ⇒ higher priority**.
+///
+/// Represented as `num/den` with `den > 0`; comparison is by `i128` cross
+/// multiplication, so keys of the magnitudes produced by realistic tick
+/// scales (≤ 2⁶³ ticks) compare exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityKey {
+    num: i128,
+    den: i128,
+}
+
+impl PriorityKey {
+    /// Creates the key `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is not strictly positive.
+    pub fn ratio(num: i128, den: i128) -> PriorityKey {
+        assert!(den > 0, "priority key denominator must be positive");
+        PriorityKey { num, den }
+    }
+
+    /// Creates an integer-valued key.
+    pub fn integer(value: i128) -> PriorityKey {
+        PriorityKey { num: value, den: 1 }
+    }
+}
+
+impl PartialEq for PriorityKey {
+    fn eq(&self, other: &PriorityKey) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for PriorityKey {}
+
+impl PartialOrd for PriorityKey {
+    fn partial_cmp(&self, other: &PriorityKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PriorityKey {
+    fn cmp(&self, other: &PriorityKey) -> Ordering {
+        // den > 0 on both sides, so cross multiplication preserves order.
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+/// A rule that ranks subtasks for priority assignment.
+///
+/// On each processor, subtasks are sorted by the key this policy returns
+/// (smaller = higher priority, ties broken by task id then chain index) and
+/// given distinct [`Priority`] levels `0, 1, 2, …`.
+pub trait PriorityPolicy: fmt::Debug {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// The ranking key of subtask `subtask_index` of `chains[task_index]`.
+    fn key(&self, chains: &[ChainSpec], task_index: usize, subtask_index: usize) -> PriorityKey;
+}
+
+/// The paper's evaluation policy (§5.1): rank by proportional deadline
+/// `PD_{i,j} = c_{i,j}·D_i / Σ_k c_{i,k}`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ProportionalDeadlineMonotonic;
+
+impl PriorityPolicy for ProportionalDeadlineMonotonic {
+    fn name(&self) -> &'static str {
+        "proportional-deadline-monotonic"
+    }
+
+    fn key(&self, chains: &[ChainSpec], task_index: usize, subtask_index: usize) -> PriorityKey {
+        let chain = &chains[task_index];
+        let c = chain.subtasks[subtask_index].1.ticks() as i128;
+        let d = chain.deadline.ticks() as i128;
+        let total = chain.total_execution().ticks() as i128;
+        PriorityKey::ratio(c * d, total)
+    }
+}
+
+/// Rank by the parent task's end-to-end deadline (shorter = higher).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct DeadlineMonotonic;
+
+impl PriorityPolicy for DeadlineMonotonic {
+    fn name(&self) -> &'static str {
+        "deadline-monotonic"
+    }
+
+    fn key(&self, chains: &[ChainSpec], task_index: usize, _subtask_index: usize) -> PriorityKey {
+        PriorityKey::integer(chains[task_index].deadline.ticks() as i128)
+    }
+}
+
+/// Rank by the parent task's period (shorter = higher).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct RateMonotonic;
+
+impl PriorityPolicy for RateMonotonic {
+    fn name(&self) -> &'static str {
+        "rate-monotonic"
+    }
+
+    fn key(&self, chains: &[ChainSpec], task_index: usize, _subtask_index: usize) -> PriorityKey {
+        PriorityKey::integer(chains[task_index].period.ticks() as i128)
+    }
+}
+
+/// Builds a validated [`TaskSet`] from raw chains, assigning per-processor
+/// priorities with `policy`.
+///
+/// # Errors
+///
+/// Returns any [`ValidateTaskSetError`] the resulting set violates (empty
+/// chains, bad periods, consecutive subtasks sharing a processor, …).
+/// Priority uniqueness always holds by construction.
+pub fn build_with_policy(
+    num_processors: usize,
+    chains: &[ChainSpec],
+    policy: &dyn PriorityPolicy,
+) -> Result<TaskSet, ValidateTaskSetError> {
+    // Rank subtasks per processor.
+    let mut per_proc: Vec<Vec<(PriorityKey, usize, usize)>> = vec![Vec::new(); num_processors];
+    for (ti, chain) in chains.iter().enumerate() {
+        for (si, &(proc, _)) in chain.subtasks.iter().enumerate() {
+            if proc < num_processors {
+                per_proc[proc].push((policy.key(chains, ti, si), ti, si));
+            }
+            // Out-of-range processors fall through to builder validation.
+        }
+    }
+    let mut priorities: Vec<Vec<Priority>> = chains
+        .iter()
+        .map(|c| vec![Priority::HIGHEST; c.subtasks.len()])
+        .collect();
+    for ranked in &mut per_proc {
+        ranked.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        for (level, &(_, ti, si)) in ranked.iter().enumerate() {
+            priorities[ti][si] = Priority::new(level as u32);
+        }
+    }
+
+    let mut builder = TaskSet::builder(num_processors);
+    for (ti, chain) in chains.iter().enumerate() {
+        let mut tb = builder
+            .task(chain.period)
+            .phase(chain.phase)
+            .deadline(chain.deadline);
+        for (si, &(proc, exec)) in chain.subtasks.iter().enumerate() {
+            tb = if chain.nonpreemptive.contains(&si) {
+                tb.nonpreemptive_subtask(proc, exec, priorities[ti][si])
+            } else {
+                tb.subtask(proc, exec, priorities[ti][si])
+            };
+            for &(csi, cs) in &chain.critical_sections {
+                if csi == si {
+                    tb = tb.critical_section(cs.resource.index(), cs.start, cs.len);
+                }
+            }
+        }
+        builder = tb.finish_task();
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ProcessorId, SubtaskId, TaskId};
+
+    fn d(t: i64) -> Dur {
+        Dur::from_ticks(t)
+    }
+
+    #[test]
+    fn priority_key_cross_multiplication() {
+        // 1/3 < 2/5  because 5 < 6.
+        assert!(PriorityKey::ratio(1, 3) < PriorityKey::ratio(2, 5));
+        assert_eq!(PriorityKey::ratio(2, 4), PriorityKey::ratio(1, 2));
+        assert!(PriorityKey::integer(7) > PriorityKey::ratio(13, 2));
+        assert!(PriorityKey::ratio(-1, 2) < PriorityKey::integer(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn priority_key_rejects_bad_denominator() {
+        let _ = PriorityKey::ratio(1, 0);
+    }
+
+    #[test]
+    fn pdm_matches_paper_definition() {
+        // Task 0: period/deadline 100, chain (c=10 on P0, c=30 on P1).
+        //   PD_{0,0} = 10/40*100 = 25 ; PD_{0,1} = 30/40*100 = 75.
+        // Task 1: period/deadline 200, chain (c=20 on P1, c=20 on P0).
+        //   PD_{1,0} = 20/40*200 = 100 ; PD_{1,1} = 100.
+        let chains = vec![
+            ChainSpec::new(d(100), vec![(0, d(10)), (1, d(30))]),
+            ChainSpec::new(d(200), vec![(1, d(20)), (0, d(20))]),
+        ];
+        let set = build_with_policy(2, &chains, &ProportionalDeadlineMonotonic).unwrap();
+        // P0 hosts T0.0 (PD 25) and T1.1 (PD 100): T0.0 higher.
+        let t00 = set.subtask(SubtaskId::new(TaskId::new(0), 0));
+        let t11 = set.subtask(SubtaskId::new(TaskId::new(1), 1));
+        assert!(t00.priority().is_higher_than(t11.priority()));
+        // P1 hosts T0.1 (PD 75) and T1.0 (PD 100): T0.1 higher.
+        let t01 = set.subtask(SubtaskId::new(TaskId::new(0), 1));
+        let t10 = set.subtask(SubtaskId::new(TaskId::new(1), 0));
+        assert!(t01.priority().is_higher_than(t10.priority()));
+    }
+
+    #[test]
+    fn pdm_tie_breaks_by_task_id() {
+        // Identical tasks: PD keys equal, so task 0 must win on both procs.
+        let chains = vec![
+            ChainSpec::new(d(100), vec![(0, d(10)), (1, d(10))]),
+            ChainSpec::new(d(100), vec![(0, d(10)), (1, d(10))]),
+        ];
+        let set = build_with_policy(2, &chains, &ProportionalDeadlineMonotonic).unwrap();
+        for proc in 0..2 {
+            let mut on: Vec<_> = set
+                .subtasks_on(ProcessorId::new(proc))
+                .map(|s| (s.priority(), s.id().task()))
+                .collect();
+            on.sort();
+            assert_eq!(on[0].1, TaskId::new(0));
+        }
+    }
+
+    #[test]
+    fn priorities_are_dense_per_processor() {
+        let chains = vec![
+            ChainSpec::new(d(50), vec![(0, d(5)), (1, d(5))]),
+            ChainSpec::new(d(60), vec![(1, d(6)), (0, d(6))]),
+            ChainSpec::new(d(70), vec![(0, d(7)), (1, d(7))]),
+        ];
+        let set = build_with_policy(2, &chains, &RateMonotonic).unwrap();
+        for proc in 0..2 {
+            let mut levels: Vec<u32> = set
+                .subtasks_on(ProcessorId::new(proc))
+                .map(|s| s.priority().level())
+                .collect();
+            levels.sort_unstable();
+            assert_eq!(levels, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn rate_monotonic_orders_by_period() {
+        let chains = vec![
+            ChainSpec::new(d(200), vec![(0, d(5))]),
+            ChainSpec::new(d(100), vec![(0, d(5))]),
+        ];
+        let set = build_with_policy(1, &chains, &RateMonotonic).unwrap();
+        let slow = set.subtask(SubtaskId::new(TaskId::new(0), 0));
+        let fast = set.subtask(SubtaskId::new(TaskId::new(1), 0));
+        assert!(fast.priority().is_higher_than(slow.priority()));
+    }
+
+    #[test]
+    fn deadline_monotonic_uses_deadline_not_period() {
+        let chains = vec![
+            ChainSpec::new(d(100), vec![(0, d(5))]).with_deadline(d(30)),
+            ChainSpec::new(d(50), vec![(0, d(5))]).with_deadline(d(50)),
+        ];
+        let set = build_with_policy(1, &chains, &DeadlineMonotonic).unwrap();
+        let tight = set.subtask(SubtaskId::new(TaskId::new(0), 0));
+        let loose = set.subtask(SubtaskId::new(TaskId::new(1), 0));
+        assert!(tight.priority().is_higher_than(loose.priority()));
+    }
+
+    #[test]
+    fn chain_spec_builders() {
+        let spec = ChainSpec::new(d(10), vec![(0, d(1)), (1, d(2))])
+            .with_phase(Time::from_ticks(3))
+            .with_deadline(d(8));
+        assert_eq!(spec.phase, Time::from_ticks(3));
+        assert_eq!(spec.deadline, d(8));
+        assert_eq!(spec.total_execution(), d(3));
+    }
+
+    #[test]
+    fn build_with_policy_propagates_validation_errors() {
+        // Consecutive subtasks on the same processor.
+        let chains = vec![ChainSpec::new(d(10), vec![(0, d(1)), (0, d(1))])];
+        let err = build_with_policy(1, &chains, &RateMonotonic).unwrap_err();
+        assert!(matches!(
+            err,
+            ValidateTaskSetError::ConsecutiveOnSameProcessor(..)
+        ));
+        // Unknown processor index.
+        let chains = vec![ChainSpec::new(d(10), vec![(5, d(1))])];
+        let err = build_with_policy(1, &chains, &RateMonotonic).unwrap_err();
+        assert!(matches!(err, ValidateTaskSetError::UnknownProcessor(..)));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(
+            ProportionalDeadlineMonotonic.name(),
+            "proportional-deadline-monotonic"
+        );
+        assert_eq!(DeadlineMonotonic.name(), "deadline-monotonic");
+        assert_eq!(RateMonotonic.name(), "rate-monotonic");
+    }
+}

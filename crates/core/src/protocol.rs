@@ -1,0 +1,191 @@
+//! The four synchronization protocols and their static properties.
+//!
+//! A synchronization protocol governs *when* an instance of subtask
+//! `T_{i,j+1}` may be released once the corresponding instance of
+//! `T_{i,j}` has completed (§3 of the paper):
+//!
+//! * [`Protocol::DirectSync`] — release immediately on the completion
+//!   signal.
+//! * [`Protocol::PhaseModification`] — release strictly periodically at
+//!   phase `f_i + Σ_{k<j} R_{i,k}` (needs clock synchronization and
+//!   strictly periodic first subtasks).
+//! * [`Protocol::ModifiedPhaseModification`] — the predecessor's host sets
+//!   a timer `R_{i,j}` after each release and signals at the timer; works
+//!   off local clocks.
+//! * [`Protocol::ReleaseGuard`] — release at
+//!   `max(signal time, release guard)`; see [`crate::release_guard`].
+//!
+//! The protocol-behavioral machinery lives in the simulator crate; this
+//! module captures the protocol identity plus the implementation-complexity
+//! facts of §3.3 (interrupt support, per-subtask state, interrupts per
+//! instance) which the paper tabulates and we encode as tested constants.
+
+use std::fmt;
+
+/// A synchronization protocol identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Protocol {
+    /// Direct Synchronization (DS).
+    DirectSync,
+    /// Phase Modification (PM), after Bettati.
+    PhaseModification,
+    /// Modified Phase Modification (MPM).
+    ModifiedPhaseModification,
+    /// Release Guard (RG).
+    ReleaseGuard,
+}
+
+impl Protocol {
+    /// All four protocols, in the paper's order of presentation.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::DirectSync,
+        Protocol::PhaseModification,
+        Protocol::ModifiedPhaseModification,
+        Protocol::ReleaseGuard,
+    ];
+
+    /// Short uppercase tag, e.g. `"DS"`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Protocol::DirectSync => "DS",
+            Protocol::PhaseModification => "PM",
+            Protocol::ModifiedPhaseModification => "MPM",
+            Protocol::ReleaseGuard => "RG",
+        }
+    }
+
+    /// `true` if the protocol needs inter-processor synchronization-signal
+    /// interrupt support (§3.3).
+    pub fn needs_sync_interrupt(self) -> bool {
+        !matches!(self, Protocol::PhaseModification)
+    }
+
+    /// `true` if the protocol needs timer interrupt support (§3.3).
+    pub fn needs_timer_interrupt(self) -> bool {
+        !matches!(self, Protocol::DirectSync)
+    }
+
+    /// `true` if the protocol requires a centralized clock or strict global
+    /// clock synchronization (§3.1: only PM does).
+    pub fn needs_clock_sync(self) -> bool {
+        matches!(self, Protocol::PhaseModification)
+    }
+
+    /// Number of per-subtask scheduler variables the protocol maintains
+    /// (§3.3): PM/MPM store the response-time bound, RG stores the release
+    /// guard, DS stores nothing.
+    pub fn variables_per_subtask(self) -> usize {
+        match self {
+            Protocol::DirectSync => 0,
+            Protocol::PhaseModification
+            | Protocol::ModifiedPhaseModification
+            | Protocol::ReleaseGuard => 1,
+        }
+    }
+
+    /// Number of interrupts per subtask instance (§3.3): one for DS and PM,
+    /// two for MPM and RG.
+    pub fn interrupts_per_instance(self) -> usize {
+        match self {
+            Protocol::DirectSync | Protocol::PhaseModification => 1,
+            Protocol::ModifiedPhaseModification | Protocol::ReleaseGuard => 2,
+        }
+    }
+
+    /// `true` if the scheduler needs *global* load information (response
+    /// bounds of subtasks on other processors) to operate — the key
+    /// operational drawback of PM and MPM (§3.1) that RG avoids.
+    pub fn needs_global_load_information(self) -> bool {
+        matches!(
+            self,
+            Protocol::PhaseModification | Protocol::ModifiedPhaseModification
+        )
+    }
+
+    /// `true` if subtasks released under this protocol are strictly
+    /// periodic inside every busy period, i.e. Algorithm SA/PM bounds
+    /// apply (PM, MPM and — via the paper's Theorem 1 — RG).
+    pub fn busy_period_analysis_applies(self) -> bool {
+        !matches!(self, Protocol::DirectSync)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Protocol::DirectSync => "direct synchronization",
+            Protocol::PhaseModification => "phase modification",
+            Protocol::ModifiedPhaseModification => "modified phase modification",
+            Protocol::ReleaseGuard => "release guard",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_3_3_interrupt_table() {
+        use Protocol::*;
+        // "The DS protocol only requires the synchronization interrupt
+        // support; the PM protocol requires the timer interrupt support;
+        // and the MPM and RG protocols require both."
+        assert!(DirectSync.needs_sync_interrupt());
+        assert!(!DirectSync.needs_timer_interrupt());
+        assert!(!PhaseModification.needs_sync_interrupt());
+        assert!(PhaseModification.needs_timer_interrupt());
+        for p in [ModifiedPhaseModification, ReleaseGuard] {
+            assert!(p.needs_sync_interrupt());
+            assert!(p.needs_timer_interrupt());
+        }
+    }
+
+    #[test]
+    fn section_3_3_state_and_interrupt_counts() {
+        use Protocol::*;
+        // "the PM and MPM protocol need one variable for each subtask …
+        // the RG protocol needs one … The DS protocol does not need any."
+        assert_eq!(DirectSync.variables_per_subtask(), 0);
+        assert_eq!(PhaseModification.variables_per_subtask(), 1);
+        assert_eq!(ModifiedPhaseModification.variables_per_subtask(), 1);
+        assert_eq!(ReleaseGuard.variables_per_subtask(), 1);
+        // "In the case of the DS and PM protocols, there is one interrupt
+        // per instance … MPM and RG … two interrupts."
+        assert_eq!(DirectSync.interrupts_per_instance(), 1);
+        assert_eq!(PhaseModification.interrupts_per_instance(), 1);
+        assert_eq!(ModifiedPhaseModification.interrupts_per_instance(), 2);
+        assert_eq!(ReleaseGuard.interrupts_per_instance(), 2);
+    }
+
+    #[test]
+    fn clock_and_load_requirements() {
+        use Protocol::*;
+        assert!(PhaseModification.needs_clock_sync());
+        for p in [DirectSync, ModifiedPhaseModification, ReleaseGuard] {
+            assert!(!p.needs_clock_sync());
+        }
+        assert!(PhaseModification.needs_global_load_information());
+        assert!(ModifiedPhaseModification.needs_global_load_information());
+        assert!(!ReleaseGuard.needs_global_load_information());
+        assert!(!DirectSync.needs_global_load_information());
+    }
+
+    #[test]
+    fn analysis_dispatch_property() {
+        assert!(!Protocol::DirectSync.busy_period_analysis_applies());
+        assert!(Protocol::ReleaseGuard.busy_period_analysis_applies());
+        assert!(Protocol::PhaseModification.busy_period_analysis_applies());
+    }
+
+    #[test]
+    fn tags_and_display() {
+        assert_eq!(Protocol::DirectSync.tag(), "DS");
+        assert_eq!(Protocol::PhaseModification.tag(), "PM");
+        assert_eq!(Protocol::ModifiedPhaseModification.tag(), "MPM");
+        assert_eq!(Protocol::ReleaseGuard.tag(), "RG");
+        assert_eq!(Protocol::ReleaseGuard.to_string(), "release guard");
+        assert_eq!(Protocol::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! The release-guard state machine of the RG protocol (§3.2).
+//!
+//! For each subtask `T_{i,j}` (with `j > 1`) the scheduler of its host
+//! processor keeps a variable `g_{i,j}`, the *release guard*: the earliest
+//! instant the next instance of the subtask may be released. Two update
+//! rules:
+//!
+//! 1. when an instance of `T_{i,j}` is released, `g_{i,j} ← now + p_i`;
+//! 2. at an *idle point* of the processor (an instant by which every
+//!    instance released before it has completed), `g_{i,j} ← now`.
+//!
+//! When the completion signal for a predecessor instance arrives at `t`,
+//! the instance is released at `max(t, g_{i,j})` — immediately if the
+//! guard has passed, otherwise deferred. Because predecessor completions
+//! can clump (that is the whole point of the protocol), several signals may
+//! arrive within one guard window; deferred instances queue FIFO and are
+//! released one per guard window (or early, at idle points).
+//!
+//! [`ReleaseGuard`] is a pure, event-driven state machine: a simulator or a
+//! real scheduler feeds it signals, guard expiries and idle points, and
+//! acts on the returned decisions. Every mutation that queues or dequeues a
+//! deferred instance bumps a *generation* counter; a scheduled guard-expiry
+//! timer carries the generation it was scheduled under and is ignored if
+//! stale ([`ReleaseGuard::take_due`]). The discipline for the caller:
+//! after **every** call that returns or may create a pending head, consult
+//! [`ReleaseGuard::next_expiry`] and (re)schedule a timer for it.
+//!
+//! # Examples
+//!
+//! The `T_{2,2}` guard of the paper's Figure 7: first instance released at
+//! 4 (guard → 10); the second signal arrives at 8 and is deferred; the
+//! processor idles at 9, lowering the guard, and the deferred instance is
+//! released at 9.
+//!
+//! ```
+//! use rtsync_core::release_guard::{GuardDecision, ReleaseGuard};
+//! use rtsync_core::time::{Dur, Time};
+//!
+//! let mut g = ReleaseGuard::new(Dur::from_ticks(6));
+//! let t = Time::from_ticks;
+//!
+//! assert_eq!(g.offer(t(4)), GuardDecision::ReleaseNow);
+//! g.on_release(t(4)); // rule 1: guard = 10
+//! assert_eq!(g.offer(t(8)), GuardDecision::DeferUntil(t(10)));
+//! assert!(g.on_idle_point(t(9))); // rule 2 frees the deferred head at 9
+//! g.on_release(t(9));
+//! assert_eq!(g.guard(), t(15));
+//! assert_eq!(g.next_expiry(), None);
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::{Dur, Time};
+
+/// What to do with a predecessor-completion signal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuardDecision {
+    /// The guard has passed and nothing is queued: release the instance
+    /// now (then call [`ReleaseGuard::on_release`]).
+    ReleaseNow,
+    /// The instance became the queue head; it is due at the given instant —
+    /// schedule a guard-expiry timer for it (see
+    /// [`ReleaseGuard::next_expiry`]).
+    DeferUntil(Time),
+    /// The instance queued behind earlier deferred instances; no new timer
+    /// is needed beyond the one for the head.
+    Queued,
+}
+
+/// Release-guard state for **one** subtask.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReleaseGuard {
+    period: Dur,
+    guard: Time,
+    /// Signal times of deferred, not-yet-released instances (FIFO).
+    pending: VecDeque<Time>,
+    /// Bumped on every queue/dequeue; stamps scheduled expiries.
+    gen: u64,
+    /// Instant of the most recent release (rule 1 application).
+    armed_at: Option<Time>,
+}
+
+impl ReleaseGuard {
+    /// Creates the guard for a subtask of the given period. Initially
+    /// `g = 0` so the first instance is never delayed (§3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    pub fn new(period: Dur) -> ReleaseGuard {
+        assert!(period.is_positive(), "release guard needs a positive period");
+        ReleaseGuard {
+            period,
+            guard: Time::ZERO,
+            pending: VecDeque::new(),
+            gen: 0,
+            armed_at: None,
+        }
+    }
+
+    /// The current guard value `g_{i,j}`.
+    pub fn guard(&self) -> Time {
+        self.guard
+    }
+
+    /// The subtask's period.
+    pub fn period(&self) -> Dur {
+        self.period
+    }
+
+    /// Number of deferred instances waiting on the guard.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The timer the caller should have scheduled for the queue head:
+    /// `Some((due, generation))` while any instance is deferred. A fired
+    /// timer is only honored by [`ReleaseGuard::take_due`] if its
+    /// generation is still current.
+    pub fn next_expiry(&self) -> Option<(Time, u64)> {
+        (!self.pending.is_empty()).then_some((self.guard, self.gen))
+    }
+
+    /// A predecessor-completion signal arrives at `now`.
+    pub fn offer(&mut self, now: Time) -> GuardDecision {
+        if self.pending.is_empty() && now >= self.guard {
+            return GuardDecision::ReleaseNow;
+        }
+        self.pending.push_back(now);
+        self.gen += 1;
+        if self.pending.len() == 1 {
+            GuardDecision::DeferUntil(self.guard)
+        } else {
+            GuardDecision::Queued
+        }
+    }
+
+    /// Rule 1: an instance was released at `now`; `g ← now + period`.
+    pub fn on_release(&mut self, now: Time) {
+        self.guard = now + self.period;
+        self.armed_at = Some(now);
+        self.gen += 1;
+    }
+
+    /// Rule 2: `now` is an idle point of the host processor; `g ← now`
+    /// (the paper's literal rule — raising a guard that is already in the
+    /// past is harmless, since future signals arrive at ≥ `now`). Returns
+    /// `true` if a deferred head instance becomes releasable *now*: the
+    /// caller must release it, call [`ReleaseGuard::on_release`], and
+    /// reschedule via [`ReleaseGuard::next_expiry`].
+    ///
+    /// When an instance of this subtask was released at this very instant,
+    /// rule 1 wins and the idle point leaves the guard armed: the two
+    /// rules' outcome is then independent of the order the instant's
+    /// events are processed in, and releases inside one busy period stay
+    /// at least a period apart — the property the SA/PM bounds (Theorem 1)
+    /// rest on. (The busy period around `now` begins *with* that release;
+    /// the idle point marks the end of the previous one.)
+    pub fn on_idle_point(&mut self, now: Time) -> bool {
+        if self.armed_at == Some(now) {
+            return false; // rule 1 at the same instant takes precedence
+        }
+        self.guard = now;
+        self.gen += 1;
+        self.pending.pop_front().is_some()
+    }
+
+    /// A guard-expiry timer stamped with `gen` fired at `now`. Returns
+    /// `true` if it is still current and a deferred head is due: the caller
+    /// releases it, calls [`ReleaseGuard::on_release`], and reschedules via
+    /// [`ReleaseGuard::next_expiry`]. Stale timers return `false`.
+    pub fn take_due(&mut self, now: Time, gen: u64) -> bool {
+        if gen != self.gen || self.pending.is_empty() || now < self.guard {
+            return false;
+        }
+        self.pending.pop_front();
+        self.gen += 1;
+        true
+    }
+}
+
+impl fmt::Display for ReleaseGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guard@{}", self.guard.ticks())?;
+        if !self.pending.is_empty() {
+            write!(f, " ({} pending)", self.pending.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn guard6() -> ReleaseGuard {
+        ReleaseGuard::new(Dur::from_ticks(6))
+    }
+
+    #[test]
+    fn first_instance_is_never_delayed() {
+        let mut g = guard6();
+        assert_eq!(g.guard(), Time::ZERO);
+        assert_eq!(g.offer(t(0)), GuardDecision::ReleaseNow);
+        assert_eq!(g.offer(t(3)), GuardDecision::ReleaseNow);
+        assert_eq!(g.next_expiry(), None);
+    }
+
+    #[test]
+    fn rule1_spaces_releases_by_the_period() {
+        let mut g = guard6();
+        g.on_release(t(4));
+        assert_eq!(g.guard(), t(10));
+        // Early signal at 8 is deferred to 10.
+        assert_eq!(g.offer(t(8)), GuardDecision::DeferUntil(t(10)));
+        let (due, gen) = g.next_expiry().unwrap();
+        assert_eq!(due, t(10));
+        // The deferral becomes due at 10.
+        assert!(!g.take_due(t(10), gen + 99), "stale generation ignored");
+        assert!(g.take_due(t(10), gen));
+        g.on_release(t(10));
+        assert_eq!(g.guard(), t(16));
+        assert_eq!(g.next_expiry(), None);
+    }
+
+    #[test]
+    fn figure7_idle_point_releases_pending_early() {
+        // The exact §3.2 walk-through: release at 4 → guard 10; signal at 8
+        // deferred; idle point at 9 lowers the guard and frees the pending
+        // instance at 9.
+        let mut g = guard6();
+        assert_eq!(g.offer(t(4)), GuardDecision::ReleaseNow);
+        g.on_release(t(4));
+        let d = g.offer(t(8));
+        assert_eq!(d, GuardDecision::DeferUntil(t(10)));
+        let stale = g.next_expiry().unwrap();
+        assert!(g.on_idle_point(t(9)));
+        g.on_release(t(9));
+        assert_eq!(g.guard(), t(15));
+        // The timer scheduled for t=10 is now stale and must not fire a
+        // second release.
+        assert!(!g.take_due(t(10), stale.1));
+    }
+
+    #[test]
+    fn clumped_signals_queue_fifo() {
+        let mut g = guard6();
+        g.on_release(t(0)); // guard 6
+        assert_eq!(g.offer(t(1)), GuardDecision::DeferUntil(t(6)));
+        assert_eq!(g.offer(t(2)), GuardDecision::Queued);
+        assert_eq!(g.offer(t(3)), GuardDecision::Queued);
+        assert_eq!(g.pending_len(), 3);
+        // Head due at 6.
+        let (due, gen) = g.next_expiry().unwrap();
+        assert_eq!(due, t(6));
+        assert!(g.take_due(t(6), gen));
+        g.on_release(t(6)); // guard 12
+        // Next head waits for the *new* guard.
+        let (due, gen) = g.next_expiry().unwrap();
+        assert_eq!(due, t(12));
+        assert!(g.take_due(t(12), gen));
+        g.on_release(t(12));
+        assert_eq!(g.pending_len(), 1);
+        // Idle point releases the last one early.
+        assert!(g.on_idle_point(t(14)));
+        g.on_release(t(14));
+        assert_eq!(g.pending_len(), 0);
+        assert_eq!(g.next_expiry(), None);
+    }
+
+    #[test]
+    fn idle_point_sets_guard_to_now() {
+        let mut g = guard6();
+        g.on_release(t(0)); // guard 6
+        assert!(!g.on_idle_point(t(3)));
+        assert_eq!(g.guard(), t(3));
+        assert!(!g.on_idle_point(t(5)));
+        assert_eq!(g.guard(), t(5)); // rule 2 is literal: g := now
+        // Raising a past guard to now is harmless.
+        let mut g2 = guard6();
+        g2.on_release(t(10)); // guard 16
+        g2.on_idle_point(t(20));
+        assert_eq!(g2.guard(), t(20));
+        assert_eq!(g2.offer(t(20)), GuardDecision::ReleaseNow);
+    }
+
+    #[test]
+    fn late_signal_releases_immediately() {
+        let mut g = guard6();
+        g.on_release(t(0)); // guard 6
+        assert_eq!(g.offer(t(7)), GuardDecision::ReleaseNow);
+        assert_eq!(g.offer(t(6)), GuardDecision::ReleaseNow, "boundary");
+    }
+
+    #[test]
+    fn signal_behind_nonempty_queue_defers_even_after_guard() {
+        let mut g = guard6();
+        g.on_release(t(0)); // guard 6
+        let _ = g.offer(t(1)); // deferred head
+        // Guard passes, head not yet taken (timer in flight); a new signal
+        // at 7 must queue behind, not jump ahead.
+        assert_eq!(g.offer(t(7)), GuardDecision::Queued);
+        assert_eq!(g.pending_len(), 2);
+    }
+
+    #[test]
+    fn take_due_respects_guard_time_and_emptiness() {
+        let mut g = guard6();
+        g.on_release(t(0));
+        let _ = g.offer(t(1));
+        let (_, gen) = g.next_expiry().unwrap();
+        assert!(!g.take_due(t(5), gen), "not due yet");
+        assert!(g.take_due(t(6), gen));
+        assert!(!g.take_due(t(6), gen), "generation consumed");
+        let mut empty = guard6();
+        assert!(!empty.take_due(t(0), 0), "nothing pending");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive period")]
+    fn zero_period_rejected() {
+        let _ = ReleaseGuard::new(Dur::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_pending() {
+        let mut g = guard6();
+        g.on_release(t(0));
+        assert_eq!(g.to_string(), "guard@6");
+        let _ = g.offer(t(2));
+        let _ = g.offer(t(3));
+        assert!(g.to_string().contains("2 pending"));
+    }
+
+    #[test]
+    fn inter_release_separation_invariant() {
+        // Drive a long signal sequence; consecutive releases must never be
+        // closer than the period unless an idle point intervened (rule 2).
+        let mut g = guard6();
+        let mut releases: Vec<(Time, bool)> = Vec::new(); // (time, via idle)
+        let mut now = Time::ZERO;
+        for step in 0..60 {
+            now += Dur::from_ticks(1 + (step % 5));
+            match g.offer(now) {
+                GuardDecision::ReleaseNow => {
+                    g.on_release(now);
+                    releases.push((now, false));
+                }
+                GuardDecision::DeferUntil(_) | GuardDecision::Queued => {
+                    if step % 3 == 0 {
+                        let idle = now + Dur::from_ticks(1);
+                        if g.on_idle_point(idle) {
+                            g.on_release(idle);
+                            releases.push((idle, true));
+                        }
+                    } else if let Some((due, gen)) = g.next_expiry() {
+                        if due <= now + Dur::from_ticks(2) && g.take_due(due.max(now), gen) {
+                            let at = due.max(now);
+                            g.on_release(at);
+                            releases.push((at, false));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(releases.len() > 5, "scenario exercised releases");
+        for pair in releases.windows(2) {
+            let (prev, _) = pair[0];
+            let (next, via_idle) = pair[1];
+            assert!(
+                next - prev >= Dur::from_ticks(6) || via_idle,
+                "release at {next:?} too close to {prev:?} without an idle point"
+            );
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! A plain-text format for describing distributed task sets.
+//!
+//! The format is line-oriented; `#` starts a comment. One `processors`
+//! line, an optional `priorities` line, then `task` blocks whose indented
+//! (or not — indentation is cosmetic) `subtask` lines form the chain:
+//!
+//! ```text
+//! # Example 2 of Sun & Liu 1996
+//! processors 2
+//! priorities explicit        # explicit | pdm | dm | rm
+//!
+//! task period=4
+//!   subtask proc=0 exec=2 prio=0
+//!
+//! task period=6
+//!   subtask proc=0 exec=2 prio=1
+//!   subtask proc=1 exec=3 prio=0
+//!
+//! task period=6 phase=4     # deadline defaults to the period
+//!   subtask proc=1 exec=2 prio=1
+//! ```
+//!
+//! With `priorities pdm` (or `dm` / `rm`) the `prio=` fields are omitted
+//! and priorities are assigned by the named policy
+//! ([`crate::priority`]). All quantities are integer ticks.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtsync_core::textfmt::{parse, to_text};
+//! use rtsync_core::examples::example2;
+//!
+//! let text = to_text(&example2());
+//! let parsed = parse(&text)?;
+//! assert_eq!(parsed, example2());
+//! # Ok::<(), rtsync_core::textfmt::ParseTaskSetError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::error::ValidateTaskSetError;
+use crate::priority::{
+    build_with_policy, ChainSpec, DeadlineMonotonic, ProportionalDeadlineMonotonic, RateMonotonic,
+};
+use crate::task::{Priority, TaskSet};
+use crate::time::{Dur, Time};
+
+/// An error while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseTaskSetError {
+    /// A line could not be understood; carries the 1-based line number and
+    /// a description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The described system failed task-set validation.
+    Invalid(ValidateTaskSetError),
+}
+
+impl ParseTaskSetError {
+    fn syntax(line: usize, message: impl Into<String>) -> ParseTaskSetError {
+        ParseTaskSetError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTaskSetError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseTaskSetError::Invalid(e) => write!(f, "invalid task set: {e}"),
+        }
+    }
+}
+
+impl Error for ParseTaskSetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTaskSetError::Invalid(e) => Some(e),
+            ParseTaskSetError::Syntax { .. } => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PriorityMode {
+    Explicit,
+    Pdm,
+    Dm,
+    Rm,
+}
+
+#[derive(Debug)]
+struct PendingTask {
+    chain: ChainSpec,
+    priorities: Vec<Option<Priority>>,
+}
+
+/// Parses the text format into a validated [`TaskSet`].
+///
+/// # Errors
+///
+/// [`ParseTaskSetError::Syntax`] with a line number for malformed input;
+/// [`ParseTaskSetError::Invalid`] if the described system violates a model
+/// invariant (duplicate priorities, consecutive subtasks sharing a
+/// processor, …).
+pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
+    let mut processors: Option<usize> = None;
+    let mut mode = PriorityMode::Explicit;
+    let mut tasks: Vec<PendingTask> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line has a first word");
+        match keyword {
+            "processors" => {
+                let value = words
+                    .next()
+                    .ok_or_else(|| ParseTaskSetError::syntax(line_no, "processors needs a count"))?;
+                let n: usize = value.parse().map_err(|e| {
+                    ParseTaskSetError::syntax(line_no, format!("bad processor count: {e}"))
+                })?;
+                if processors.replace(n).is_some() {
+                    return Err(ParseTaskSetError::syntax(
+                        line_no,
+                        "duplicate processors line",
+                    ));
+                }
+            }
+            "priorities" => {
+                let value = words.next().ok_or_else(|| {
+                    ParseTaskSetError::syntax(line_no, "priorities needs a policy name")
+                })?;
+                mode = match value {
+                    "explicit" => PriorityMode::Explicit,
+                    "pdm" => PriorityMode::Pdm,
+                    "dm" => PriorityMode::Dm,
+                    "rm" => PriorityMode::Rm,
+                    other => {
+                        return Err(ParseTaskSetError::syntax(
+                            line_no,
+                            format!("unknown priority policy `{other}` (expected explicit, pdm, dm or rm)"),
+                        ))
+                    }
+                };
+                if !tasks.is_empty() {
+                    return Err(ParseTaskSetError::syntax(
+                        line_no,
+                        "priorities must come before the first task",
+                    ));
+                }
+            }
+            "task" => {
+                let fields = parse_fields(line_no, words)?;
+                let period = require_field(line_no, &fields, "period")?;
+                let mut chain = ChainSpec::new(Dur::from_ticks(period), Vec::new());
+                for (key, value) in &fields {
+                    match key.as_str() {
+                        "period" => {}
+                        "phase" => {
+                            chain.phase = Time::from_ticks(int_value(line_no, key, value)?)
+                        }
+                        "deadline" => {
+                            chain.deadline = Dur::from_ticks(int_value(line_no, key, value)?)
+                        }
+                        other => {
+                            return Err(ParseTaskSetError::syntax(
+                                line_no,
+                                format!("unknown task field `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                tasks.push(PendingTask {
+                    chain,
+                    priorities: Vec::new(),
+                });
+            }
+            "subtask" => {
+                let task = tasks.last_mut().ok_or_else(|| {
+                    ParseTaskSetError::syntax(line_no, "subtask before any task line")
+                })?;
+                let fields = parse_fields(line_no, words)?;
+                let proc = require_field(line_no, &fields, "proc")?;
+                let exec = require_field(line_no, &fields, "exec")?;
+                let mut prio: Option<Priority> = None;
+                let mut preemptible = true;
+                let mut sections: Vec<(i64, i64, i64)> = Vec::new();
+                for (key, value) in &fields {
+                    match key.as_str() {
+                        "proc" | "exec" => {}
+                        "nonpreempt" => preemptible = int_value(line_no, key, value)? == 0,
+                        "prio" => {
+                            let level = u32::try_from(int_value(line_no, key, value)?)
+                                .map_err(|_| {
+                                    ParseTaskSetError::syntax(
+                                        line_no,
+                                        "prio must be non-negative",
+                                    )
+                                })?;
+                            prio = Some(Priority::new(level));
+                        }
+                        // cs=RESOURCE:START:LEN — a critical section
+                        // (repeatable).
+                        "cs" => {
+                            let parts: Vec<&str> = value.split(':').collect();
+                            if parts.len() != 3 {
+                                return Err(ParseTaskSetError::syntax(
+                                    line_no,
+                                    "cs needs resource:start:len",
+                                ));
+                            }
+                            sections.push((
+                                int_value(line_no, "cs resource", parts[0])?,
+                                int_value(line_no, "cs start", parts[1])?,
+                                int_value(line_no, "cs len", parts[2])?,
+                            ));
+                        }
+                        other => {
+                            return Err(ParseTaskSetError::syntax(
+                                line_no,
+                                format!("unknown subtask field `{other}`"),
+                            ))
+                        }
+                    }
+                }
+                match (mode, prio) {
+                    (PriorityMode::Explicit, None) => {
+                        return Err(ParseTaskSetError::syntax(
+                            line_no,
+                            "prio= is required with explicit priorities",
+                        ))
+                    }
+                    (PriorityMode::Explicit, Some(_)) => {}
+                    (_, Some(_)) => {
+                        return Err(ParseTaskSetError::syntax(
+                            line_no,
+                            "prio= conflicts with a priority policy",
+                        ))
+                    }
+                    (_, None) => {}
+                }
+                let proc = usize::try_from(proc).map_err(|_| {
+                    ParseTaskSetError::syntax(line_no, "proc must be non-negative")
+                })?;
+                if !preemptible {
+                    task.chain.nonpreemptive.push(task.chain.subtasks.len());
+                }
+                for (resource, start, len) in sections {
+                    let resource = usize::try_from(resource).map_err(|_| {
+                        ParseTaskSetError::syntax(line_no, "cs resource must be non-negative")
+                    })?;
+                    task.chain.critical_sections.push((
+                        task.chain.subtasks.len(),
+                        rtsync_cs(resource, start, len),
+                    ));
+                }
+                task.chain.subtasks.push((proc, Dur::from_ticks(exec)));
+                task.priorities.push(prio);
+            }
+            other => {
+                return Err(ParseTaskSetError::syntax(
+                    line_no,
+                    format!("unknown keyword `{other}`"),
+                ))
+            }
+        }
+    }
+
+    let processors = processors
+        .ok_or_else(|| ParseTaskSetError::syntax(text.lines().count().max(1), "missing processors line"))?;
+
+    let chains: Vec<ChainSpec> = tasks.iter().map(|t| t.chain.clone()).collect();
+    match mode {
+        PriorityMode::Pdm => build_with_policy(processors, &chains, &ProportionalDeadlineMonotonic),
+        PriorityMode::Dm => build_with_policy(processors, &chains, &DeadlineMonotonic),
+        PriorityMode::Rm => build_with_policy(processors, &chains, &RateMonotonic),
+        PriorityMode::Explicit => {
+            let mut builder = TaskSet::builder(processors);
+            for task in &tasks {
+                let mut tb = builder
+                    .task(task.chain.period)
+                    .phase(task.chain.phase)
+                    .deadline(task.chain.deadline);
+                for (si, (&(proc, exec), prio)) in
+                    task.chain.subtasks.iter().zip(&task.priorities).enumerate()
+                {
+                    let prio = prio.expect("explicit mode checked per line");
+                    tb = if task.chain.nonpreemptive.contains(&si) {
+                        tb.nonpreemptive_subtask(proc, exec, prio)
+                    } else {
+                        tb.subtask(proc, exec, prio)
+                    };
+                    for &(csi, cs) in &task.chain.critical_sections {
+                        if csi == si {
+                            tb = tb.critical_section(cs.resource.index(), cs.start, cs.len);
+                        }
+                    }
+                }
+                builder = tb.finish_task();
+            }
+            builder.build()
+        }
+    }
+    .map_err(ParseTaskSetError::Invalid)
+}
+
+/// Renders a task set in the text format (always with explicit
+/// priorities, so the output is self-contained).
+pub fn to_text(set: &TaskSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "processors {}", set.num_processors());
+    let _ = writeln!(out, "priorities explicit");
+    for task in set.tasks() {
+        let _ = writeln!(out);
+        let _ = write!(out, "task period={}", task.period().ticks());
+        if task.phase() != Time::ZERO {
+            let _ = write!(out, " phase={}", task.phase().ticks());
+        }
+        if task.deadline() != task.period() {
+            let _ = write!(out, " deadline={}", task.deadline().ticks());
+        }
+        let _ = writeln!(out);
+        for sub in task.subtasks() {
+            let _ = write!(
+                out,
+                "  subtask proc={} exec={} prio={}",
+                sub.processor().index(),
+                sub.execution().ticks(),
+                sub.priority().level()
+            );
+            if !sub.is_preemptible() {
+                let _ = write!(out, " nonpreempt=1");
+            }
+            for cs in sub.critical_sections() {
+                let _ = write!(
+                    out,
+                    " cs={}:{}:{}",
+                    cs.resource.index(),
+                    cs.start.ticks(),
+                    cs.len.ticks()
+                );
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+fn rtsync_cs(resource: usize, start: i64, len: i64) -> crate::task::CriticalSection {
+    crate::task::CriticalSection {
+        resource: crate::task::ResourceId::new(resource),
+        start: Dur::from_ticks(start),
+        len: Dur::from_ticks(len),
+    }
+}
+
+type Fields = Vec<(String, String)>;
+
+fn parse_fields<'a>(
+    line_no: usize,
+    words: impl Iterator<Item = &'a str>,
+) -> Result<Fields, ParseTaskSetError> {
+    let mut fields = Vec::new();
+    for word in words {
+        let (key, value) = word.split_once('=').ok_or_else(|| {
+            ParseTaskSetError::syntax(line_no, format!("expected key=value, got `{word}`"))
+        })?;
+        fields.push((key.to_string(), value.to_string()));
+    }
+    Ok(fields)
+}
+
+fn int_value(line_no: usize, key: &str, value: &str) -> Result<i64, ParseTaskSetError> {
+    value.parse().map_err(|e| {
+        ParseTaskSetError::syntax(line_no, format!("bad value for `{key}`: {e}"))
+    })
+}
+
+fn require_field(line_no: usize, fields: &Fields, key: &str) -> Result<i64, ParseTaskSetError> {
+    let (_, v) = fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| ParseTaskSetError::syntax(line_no, format!("missing `{key}=`")))?;
+    int_value(line_no, key, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{example1, example2};
+    use crate::task::{SubtaskId, TaskId};
+
+    #[test]
+    fn roundtrip_examples() {
+        for set in [example1(), example2()] {
+            let text = to_text(&set);
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed, set);
+        }
+    }
+
+    #[test]
+    fn parses_the_documented_example() {
+        let text = "\
+# Example 2 of Sun & Liu 1996
+processors 2
+priorities explicit
+
+task period=4
+  subtask proc=0 exec=2 prio=0
+
+task period=6
+  subtask proc=0 exec=2 prio=1
+  subtask proc=1 exec=3 prio=0
+
+task period=6 phase=4     # deadline defaults to the period
+  subtask proc=1 exec=2 prio=1
+";
+        assert_eq!(parse(text).unwrap(), example2());
+    }
+
+    #[test]
+    fn pdm_mode_assigns_priorities() {
+        let text = "\
+processors 2
+priorities pdm
+task period=100
+  subtask proc=0 exec=10
+  subtask proc=1 exec=30
+task period=200
+  subtask proc=1 exec=20
+  subtask proc=0 exec=20
+";
+        let set = parse(text).unwrap();
+        let t00 = set.subtask(SubtaskId::new(TaskId::new(0), 0));
+        let t11 = set.subtask(SubtaskId::new(TaskId::new(1), 1));
+        assert!(t00.priority().is_higher_than(t11.priority()));
+    }
+
+    #[test]
+    fn deadline_and_phase_fields() {
+        let text = "\
+processors 1
+task period=10 phase=3 deadline=8
+  subtask proc=0 exec=2 prio=0
+";
+        let set = parse(text).unwrap();
+        let task = &set.tasks()[0];
+        assert_eq!(task.phase(), Time::from_ticks(3));
+        assert_eq!(task.deadline(), Dur::from_ticks(8));
+        // And the writer emits them back.
+        let text2 = to_text(&set);
+        assert!(text2.contains("phase=3"));
+        assert!(text2.contains("deadline=8"));
+        assert_eq!(parse(&text2).unwrap(), set);
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let cases: Vec<(&str, usize, &str)> = vec![
+            ("processors 1\nbogus line\n", 2, "unknown keyword"),
+            ("processors 1\nsubtask proc=0 exec=1 prio=0\n", 2, "before any task"),
+            ("processors 1\ntask\n", 2, "missing `period="),
+            (
+                "processors 1\ntask period=5\n  subtask proc=0 exec=1\n",
+                3,
+                "prio= is required",
+            ),
+            ("processors x\n", 1, "bad processor count"),
+            ("processors 1\nprocessors 2\n", 2, "duplicate processors"),
+            ("processors 1\npriorities nope\n", 2, "unknown priority policy"),
+            (
+                "processors 1\ntask period=5 bogus=1\n",
+                2,
+                "unknown task field",
+            ),
+            (
+                "processors 1\ntask period=5\n subtask proc=0 exec=1 prio=0 extra=2\n",
+                3,
+                "unknown subtask field",
+            ),
+            (
+                "processors 1\npriorities pdm\ntask period=5\n subtask proc=0 exec=1 prio=0\n",
+                4,
+                "conflicts with a priority policy",
+            ),
+            ("processors 1\ntask period=5\n subtask proc=0\n", 3, "missing `exec="),
+            ("processors 1\ntask period=5\n subtask proc zero\n", 3, "expected key=value"),
+        ];
+        for (text, line, needle) in cases {
+            match parse(text) {
+                Err(ParseTaskSetError::Syntax { line: l, message }) => {
+                    assert_eq!(l, line, "{text}");
+                    assert!(message.contains(needle), "`{message}` vs `{needle}`");
+                }
+                other => panic!("expected syntax error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_processors_line() {
+        let err = parse("task period=5\n  subtask proc=0 exec=1 prio=0\n").unwrap_err();
+        assert!(err.to_string().contains("missing processors"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let text = "\
+processors 1
+task period=5
+  subtask proc=0 exec=1 prio=0
+  subtask proc=0 exec=1 prio=1
+";
+        match parse(text) {
+            Err(ParseTaskSetError::Invalid(
+                ValidateTaskSetError::ConsecutiveOnSameProcessor(..),
+            )) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn priorities_line_must_precede_tasks() {
+        let text = "\
+processors 1
+task period=5
+  subtask proc=0 exec=1 prio=0
+priorities pdm
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("before the first task"));
+    }
+
+    #[test]
+    fn nonpreemptive_roundtrip() {
+        let text = "\
+processors 1
+task period=10
+  subtask proc=0 exec=2 prio=0
+task period=20
+  subtask proc=0 exec=5 prio=1 nonpreempt=1
+";
+        let set = parse(text).unwrap();
+        assert!(set.tasks()[0].subtask(0).is_preemptible());
+        assert!(!set.tasks()[1].subtask(0).is_preemptible());
+        let printed = to_text(&set);
+        assert!(printed.contains("nonpreempt=1"));
+        assert_eq!(parse(&printed).unwrap(), set);
+        // nonpreempt=0 is explicit preemptibility.
+        let text0 = text.replace("nonpreempt=1", "nonpreempt=0");
+        let set0 = parse(&text0).unwrap();
+        assert!(set0.tasks()[1].subtask(0).is_preemptible());
+    }
+
+    #[test]
+    fn critical_sections_roundtrip() {
+        let text = "\
+processors 1
+task period=20
+  subtask proc=0 exec=5 prio=0 cs=0:1:2
+task period=30
+  subtask proc=0 exec=8 prio=1 cs=0:0:3 cs=1:4:2
+";
+        let set = parse(text).unwrap();
+        let high = set.tasks()[0].subtask(0);
+        assert_eq!(high.critical_sections().len(), 1);
+        assert_eq!(high.critical_sections()[0].start, Dur::from_ticks(1));
+        let low = set.tasks()[1].subtask(0);
+        assert_eq!(low.critical_sections().len(), 2);
+        let printed = to_text(&set);
+        assert!(printed.contains("cs=0:1:2"), "{printed}");
+        assert!(printed.contains("cs=1:4:2"));
+        assert_eq!(parse(&printed).unwrap(), set);
+    }
+
+    #[test]
+    fn malformed_cs_fields_rejected() {
+        let base = "processors 1\ntask period=20\n  subtask proc=0 exec=5 prio=0 ";
+        for (field, needle) in [
+            ("cs=1:2", "resource:start:len"),
+            ("cs=a:0:1", "bad value"),
+            ("cs=-1:0:1", "non-negative"),
+        ] {
+            let err = parse(&format!("{base}{field}\n")).unwrap_err();
+            assert!(err.to_string().contains(needle), "{field}: {err}");
+        }
+        // Out-of-budget sections surface as validation errors.
+        let err = parse(&format!("{base}cs=0:4:9\n")).unwrap_err();
+        assert!(matches!(err, ParseTaskSetError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+# leading comment
+
+processors 1   # trailing comment
+
+task period=5  # another
+  subtask proc=0 exec=1 prio=0
+";
+        assert!(parse(text).is_ok());
+    }
+}

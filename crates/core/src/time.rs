@@ -1,0 +1,485 @@
+//! Integer-tick time arithmetic.
+//!
+//! Every quantity of time in this workspace is an integer number of *ticks*.
+//! Exact integer arithmetic is what makes the rest of the system trustworthy:
+//! the busy-period fixed-point equations of the schedulability analyses
+//! detect convergence by equality, the discrete-event simulator replays
+//! deterministically, and property tests can assert exact invariants without
+//! epsilon fudging.
+//!
+//! Two newtypes keep instants and durations from being mixed up
+//! ([C-NEWTYPE]):
+//!
+//! * [`Time`] — an absolute instant on the global timeline (ticks since the
+//!   origin; the origin is whatever the caller decides, conventionally the
+//!   earliest phase in the system).
+//! * [`Dur`] — a signed length of time.
+//!
+//! `Time − Time = Dur`, `Time ± Dur = Time`, and `Dur` supports the usual
+//! additive arithmetic plus the ceiling/floor divisions the analyses need.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtsync_core::time::{Dur, Time};
+//!
+//! let release = Time::from_ticks(40);
+//! let completion = Time::from_ticks(90);
+//! let response: Dur = completion - release;
+//! assert_eq!(response, Dur::from_ticks(50));
+//! assert_eq!(release + Dur::from_ticks(10), Time::from_ticks(50));
+//!
+//! // `ceil_div` counts how many whole periods fit a demand window, the
+//! // core operation of busy-period analysis.
+//! assert_eq!(Dur::from_ticks(10).ceil_div(Dur::from_ticks(4)), 3);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed duration in integer ticks.
+///
+/// `Dur` is `Copy` and totally ordered. Arithmetic panics on overflow in
+/// debug builds (standard integer semantics); the analyses use
+/// [`Dur::checked_add`] and [`Dur::checked_mul`] where workload parameters
+/// could plausibly overflow `i64`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(i64);
+
+/// An absolute instant in integer ticks since the timeline origin.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(i64);
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable duration; used as an "effectively infinite"
+    /// sentinel by iteration caps.
+    pub const MAX: Dur = Dur(i64::MAX);
+
+    /// Creates a duration from a raw tick count.
+    ///
+    /// ```
+    /// # use rtsync_core::time::Dur;
+    /// assert_eq!(Dur::from_ticks(7).ticks(), 7);
+    /// ```
+    #[inline]
+    pub const fn from_ticks(ticks: i64) -> Dur {
+        Dur(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if this duration is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// Returns `true` if this duration is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Dur) -> Option<Dur> {
+        self.0.checked_add(rhs.0).map(Dur)
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[inline]
+    pub fn checked_mul(self, rhs: i64) -> Option<Dur> {
+        self.0.checked_mul(rhs).map(Dur)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[inline]
+    pub fn saturating_mul(self, rhs: i64) -> Dur {
+        Dur(self.0.saturating_mul(rhs))
+    }
+
+    /// `⌈self / rhs⌉` for positive divisors: the number of periods of length
+    /// `rhs` needed to cover `self`. Negative or zero `self` yields the
+    /// mathematically correct ceiling (e.g. `⌈-1/4⌉ = 0`).
+    ///
+    /// This is the `⌈t/p⌉` term of the busy-period demand functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is not strictly positive.
+    ///
+    /// ```
+    /// # use rtsync_core::time::Dur;
+    /// let p = Dur::from_ticks(4);
+    /// assert_eq!(Dur::from_ticks(0).ceil_div(p), 0);
+    /// assert_eq!(Dur::from_ticks(1).ceil_div(p), 1);
+    /// assert_eq!(Dur::from_ticks(4).ceil_div(p), 1);
+    /// assert_eq!(Dur::from_ticks(5).ceil_div(p), 2);
+    /// assert_eq!(Dur::from_ticks(-3).ceil_div(p), 0);
+    /// ```
+    #[inline]
+    pub fn ceil_div(self, rhs: Dur) -> i64 {
+        assert!(rhs.0 > 0, "ceil_div divisor must be positive, got {rhs}");
+        self.0.div_euclid(rhs.0) + i64::from(self.0.rem_euclid(rhs.0) != 0)
+    }
+
+    /// `⌊self / rhs⌋` (Euclidean) for positive divisors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is not strictly positive.
+    #[inline]
+    pub fn floor_div(self, rhs: Dur) -> i64 {
+        assert!(rhs.0 > 0, "floor_div divisor must be positive, got {rhs}");
+        self.0.div_euclid(rhs.0)
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// Converts to a floating-point tick count (for reporting/ratios only —
+    /// never fed back into scheduling or analysis arithmetic).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Time {
+    /// The timeline origin.
+    pub const ZERO: Time = Time(0);
+    /// The latest representable instant; used as an "effectively never"
+    /// sentinel (e.g. an event that is not currently scheduled).
+    pub const MAX: Time = Time(i64::MAX);
+
+    /// Creates an instant from a raw tick count since the origin.
+    #[inline]
+    pub const fn from_ticks(ticks: i64) -> Time {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count since the origin.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Interprets this instant as a duration since [`Time::ZERO`].
+    #[inline]
+    pub const fn since_origin(self) -> Dur {
+        Dur(self.0)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Checked displacement; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Dur) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// Saturating displacement.
+    #[inline]
+    pub fn saturating_add(self, rhs: Dur) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Converts to a floating-point tick count (reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Dur {
+    type Output = Dur;
+    #[inline]
+    fn neg(self) -> Dur {
+        Dur(-self.0)
+    }
+}
+
+impl Mul<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: i64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Mul<Dur> for i64 {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: Dur) -> Dur {
+        Dur(self * rhs.0)
+    }
+}
+
+impl Div<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, rhs: i64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dur({})", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({})", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl From<i64> for Dur {
+    fn from(ticks: i64) -> Dur {
+        Dur(ticks)
+    }
+}
+
+impl From<Dur> for i64 {
+    fn from(d: Dur) -> i64 {
+        d.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dur_arithmetic_roundtrips() {
+        let a = Dur::from_ticks(10);
+        let b = Dur::from_ticks(3);
+        assert_eq!(a + b, Dur::from_ticks(13));
+        assert_eq!(a - b, Dur::from_ticks(7));
+        assert_eq!(-b, Dur::from_ticks(-3));
+        assert_eq!(a * 4, Dur::from_ticks(40));
+        assert_eq!(4 * a, Dur::from_ticks(40));
+        assert_eq!(a / 3, Dur::from_ticks(3));
+    }
+
+    #[test]
+    fn dur_sum_over_iterator() {
+        let total: Dur = (1..=4).map(Dur::from_ticks).sum();
+        assert_eq!(total, Dur::from_ticks(10));
+        let empty: Dur = std::iter::empty::<Dur>().sum();
+        assert_eq!(empty, Dur::ZERO);
+    }
+
+    #[test]
+    fn time_dur_interplay() {
+        let t = Time::from_ticks(100);
+        let d = Dur::from_ticks(25);
+        assert_eq!(t + d, Time::from_ticks(125));
+        assert_eq!(t - d, Time::from_ticks(75));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(Time::ZERO + Dur::from_ticks(5), Time::from_ticks(5));
+    }
+
+    #[test]
+    fn ceil_div_matches_mathematical_ceiling() {
+        let p = Dur::from_ticks(6);
+        assert_eq!(Dur::from_ticks(0).ceil_div(p), 0);
+        assert_eq!(Dur::from_ticks(1).ceil_div(p), 1);
+        assert_eq!(Dur::from_ticks(6).ceil_div(p), 1);
+        assert_eq!(Dur::from_ticks(7).ceil_div(p), 2);
+        assert_eq!(Dur::from_ticks(12).ceil_div(p), 2);
+        assert_eq!(Dur::from_ticks(13).ceil_div(p), 3);
+        // Negative numerators round toward zero-or-less correctly.
+        assert_eq!(Dur::from_ticks(-1).ceil_div(p), 0);
+        assert_eq!(Dur::from_ticks(-6).ceil_div(p), -1);
+        assert_eq!(Dur::from_ticks(-7).ceil_div(p), -1);
+    }
+
+    #[test]
+    fn floor_div_is_euclidean() {
+        let p = Dur::from_ticks(6);
+        assert_eq!(Dur::from_ticks(0).floor_div(p), 0);
+        assert_eq!(Dur::from_ticks(5).floor_div(p), 0);
+        assert_eq!(Dur::from_ticks(6).floor_div(p), 1);
+        assert_eq!(Dur::from_ticks(-1).floor_div(p), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be positive")]
+    fn ceil_div_rejects_zero_divisor() {
+        let _ = Dur::from_ticks(5).ceil_div(Dur::ZERO);
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert_eq!(Dur::MAX.checked_add(Dur::from_ticks(1)), None);
+        assert_eq!(Dur::MAX.checked_mul(2), None);
+        assert_eq!(
+            Dur::from_ticks(2).checked_mul(3),
+            Some(Dur::from_ticks(6))
+        );
+        assert_eq!(Time::MAX.checked_add(Dur::from_ticks(1)), None);
+        assert_eq!(Dur::MAX.saturating_add(Dur::from_ticks(1)), Dur::MAX);
+        assert_eq!(Dur::MAX.saturating_mul(3), Dur::MAX);
+        assert_eq!(Time::MAX.saturating_add(Dur::from_ticks(9)), Time::MAX);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Dur::from_ticks(2);
+        let b = Dur::from_ticks(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let t0 = Time::from_ticks(1);
+        let t1 = Time::from_ticks(4);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert_eq!(format!("{}", Dur::from_ticks(3)), "3");
+        assert_eq!(format!("{:?}", Dur::from_ticks(3)), "Dur(3)");
+        assert_eq!(format!("{}", Time::from_ticks(3)), "t=3");
+        assert_eq!(format!("{:?}", Time::from_ticks(3)), "Time(3)");
+        assert_eq!(format!("{}", Dur::ZERO), "0");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Dur::ZERO.is_zero());
+        assert!(Dur::from_ticks(1).is_positive());
+        assert!(Dur::from_ticks(-1).is_negative());
+        assert!(!Dur::from_ticks(-1).is_positive());
+    }
+
+    #[test]
+    fn conversions() {
+        let d: Dur = 42i64.into();
+        assert_eq!(d, Dur::from_ticks(42));
+        let raw: i64 = d.into();
+        assert_eq!(raw, 42);
+        assert_eq!(Time::from_ticks(10).since_origin(), Dur::from_ticks(10));
+        assert_eq!(Dur::from_ticks(3).as_f64(), 3.0);
+        assert_eq!(Time::from_ticks(3).as_f64(), 3.0);
+    }
+}

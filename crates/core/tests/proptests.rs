@@ -1,0 +1,224 @@
+//! Property-based tests of the core primitives: tick arithmetic, the
+//! busy-period solver, priority keys, the release-guard machine, the text
+//! format, and basic analysis laws.
+
+use proptest::prelude::*;
+use rtsync_core::analysis::busy_period::{
+    fixed_point, fixed_point_with_hint, DemandTerm, FixedPointLimits,
+};
+use rtsync_core::analysis::sa_pm::analyze_pm;
+use rtsync_core::analysis::AnalysisConfig;
+use rtsync_core::priority::{build_with_policy, ChainSpec, PriorityKey, ProportionalDeadlineMonotonic};
+use rtsync_core::release_guard::{GuardDecision, ReleaseGuard};
+use rtsync_core::task::TaskSet;
+use rtsync_core::textfmt;
+use rtsync_core::time::{Dur, Time};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `ceil_div` agrees with the mathematical ceiling of the rational.
+    #[test]
+    fn ceil_div_is_mathematical_ceiling(num in -10_000i64..10_000, den in 1i64..500) {
+        let got = Dur::from_ticks(num).ceil_div(Dur::from_ticks(den));
+        let expect = (num as f64 / den as f64).ceil() as i64;
+        prop_assert_eq!(got, expect);
+        // And floor_div likewise.
+        let got = Dur::from_ticks(num).floor_div(Dur::from_ticks(den));
+        let expect = (num as f64 / den as f64).floor() as i64;
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Time/Dur arithmetic laws.
+    #[test]
+    fn time_arithmetic_laws(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let t = Time::from_ticks(a);
+        let d = Dur::from_ticks(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(t - t, Dur::ZERO);
+        prop_assert_eq!(d + (-d), Dur::ZERO);
+    }
+
+    /// The busy-period solver returns the *least* fixed point of the
+    /// demand equation.
+    #[test]
+    fn fixed_point_is_least(
+        offset in 1i64..20,
+        terms in prop::collection::vec((2i64..30, 1i64..6, 0i64..40), 0..4),
+    ) {
+        let terms: Vec<DemandTerm> = terms
+            .into_iter()
+            .map(|(p, c, j)| DemandTerm::jittered(
+                Dur::from_ticks(p),
+                Dur::from_ticks(c.min(p)), // keep utilization ≤ 1 per term
+                Dur::from_ticks(j),
+            ))
+            .collect();
+        let limits = FixedPointLimits::new(Dur::from_ticks(1_000_000), 1_000_000);
+        let Ok(t) = fixed_point(Dur::from_ticks(offset), &terms, limits) else {
+            return Ok(()); // genuinely unbounded (utilization ≥ 1)
+        };
+        let demand = |x: Dur| -> Dur {
+            Dur::from_ticks(offset)
+                + terms.iter().map(|term| term.demand(x).unwrap()).sum::<Dur>()
+        };
+        // Fixed point…
+        prop_assert_eq!(demand(t), t);
+        // …and least: every smaller positive instant violates the equation
+        // from below (demand exceeds the candidate).
+        for x in 1..t.ticks() {
+            let x = Dur::from_ticks(x);
+            prop_assert!(demand(x) > x, "{x:?} would be an earlier fixed point");
+        }
+    }
+
+    /// Seeding the solver with any valid hint (≤ least fixed point) does
+    /// not change the answer.
+    #[test]
+    fn hinted_fixed_point_agrees(
+        offset in 1i64..20,
+        terms in prop::collection::vec((2i64..30, 1i64..6, 0i64..40), 0..4),
+        hint_frac in 0.0f64..1.0,
+    ) {
+        let terms: Vec<DemandTerm> = terms
+            .into_iter()
+            .map(|(p, c, j)| DemandTerm::jittered(
+                Dur::from_ticks(p),
+                Dur::from_ticks(c.min(p)),
+                Dur::from_ticks(j),
+            ))
+            .collect();
+        let limits = FixedPointLimits::new(Dur::from_ticks(1_000_000), 1_000_000);
+        let Ok(t) = fixed_point(Dur::from_ticks(offset), &terms, limits) else {
+            return Ok(());
+        };
+        let hint = Dur::from_ticks((t.ticks() as f64 * hint_frac) as i64);
+        let hinted = fixed_point_with_hint(hint, Dur::from_ticks(offset), &terms, limits).unwrap();
+        prop_assert_eq!(hinted, t);
+    }
+
+    /// PriorityKey's exact rational order agrees with cross-multiplication
+    /// (and is antisymmetric / transitive by construction of `Ord`).
+    #[test]
+    fn priority_key_orders_like_rationals(
+        a in -10_000i128..10_000, b in 1i128..10_000,
+        c in -10_000i128..10_000, d in 1i128..10_000,
+    ) {
+        let left = PriorityKey::ratio(a, b);
+        let right = PriorityKey::ratio(c, d);
+        let expect = (a * d).cmp(&(c * b));
+        prop_assert_eq!(left.cmp(&right), expect);
+    }
+
+    /// Release-guard conservation: every offered signal is eventually
+    /// released exactly once (by ReleaseNow, expiry or idle point), and
+    /// never while an earlier signal still waits.
+    #[test]
+    fn guard_conserves_signals(
+        period in 2i64..12,
+        script in prop::collection::vec((1i64..6, 0u8..3), 1..40),
+    ) {
+        let mut g = ReleaseGuard::new(Dur::from_ticks(period));
+        let mut now = Time::ZERO;
+        let mut offered = 0usize;
+        let mut released = 0usize;
+        for (advance, action) in script {
+            now += Dur::from_ticks(advance);
+            match action {
+                // A predecessor completion arrives.
+                0 => {
+                    offered += 1;
+                    if let GuardDecision::ReleaseNow = g.offer(now) {
+                        g.on_release(now);
+                        released += 1;
+                    }
+                }
+                // The pending head comes due (if it is).
+                1 => {
+                    if let Some((due, gen)) = g.next_expiry() {
+                        if now >= due && g.take_due(now.max(due), gen) {
+                            g.on_release(now.max(due));
+                            released += 1;
+                        }
+                    }
+                }
+                // An idle point.
+                _ => {
+                    if g.on_idle_point(now) {
+                        g.on_release(now);
+                        released += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(offered, released + g.pending_len());
+        }
+    }
+
+    /// SA/PM basics on random two-processor systems: every subtask bound
+    /// is at least its execution time, and every task bound at least the
+    /// chain's total execution.
+    #[test]
+    fn sa_pm_bounds_dominate_execution(
+        chains in prop::collection::vec(
+            (5i64..50, prop::collection::vec((0usize..2, 1i64..4), 1..3)),
+            1..4,
+        ),
+    ) {
+        let specs: Vec<ChainSpec> = chains
+            .into_iter()
+            .map(|(p, subs)| {
+                let mut prev = usize::MAX;
+                let subs = subs
+                    .into_iter()
+                    .map(|(proc, c)| {
+                        let proc = if proc == prev { (proc + 1) % 2 } else { proc };
+                        prev = proc;
+                        (proc, Dur::from_ticks(c))
+                    })
+                    .collect();
+                ChainSpec::new(Dur::from_ticks(p), subs)
+            })
+            .collect();
+        let set = build_with_policy(2, &specs, &ProportionalDeadlineMonotonic).unwrap();
+        let Ok(bounds) = analyze_pm(&set, &AnalysisConfig::default()) else {
+            return Ok(());
+        };
+        for task in set.tasks() {
+            prop_assert!(bounds.task_bound(task.id()) >= task.total_execution());
+            for sub in task.subtasks() {
+                prop_assert!(bounds.response(sub.id()) >= sub.execution());
+            }
+        }
+    }
+
+    /// The text format round-trips every valid system it can print.
+    #[test]
+    fn textfmt_roundtrip(
+        chains in prop::collection::vec(
+            (2i64..60, 0i64..10, prop::collection::vec((0usize..3, 1i64..5), 1..4)),
+            1..5,
+        ),
+    ) {
+        let specs: Vec<ChainSpec> = chains
+            .into_iter()
+            .map(|(p, phase, subs)| {
+                let mut prev = usize::MAX;
+                let subs = subs
+                    .into_iter()
+                    .map(|(proc, c)| {
+                        let proc = if proc == prev { (proc + 1) % 3 } else { proc };
+                        prev = proc;
+                        (proc, Dur::from_ticks(c))
+                    })
+                    .collect();
+                ChainSpec::new(Dur::from_ticks(p), subs).with_phase(Time::from_ticks(phase))
+            })
+            .collect();
+        let set: TaskSet =
+            build_with_policy(3, &specs, &ProportionalDeadlineMonotonic).unwrap();
+        let text = textfmt::to_text(&set);
+        let parsed = textfmt::parse(&text).unwrap();
+        prop_assert_eq!(parsed, set);
+    }
+}

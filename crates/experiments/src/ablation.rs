@@ -1,0 +1,298 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **RG rule 2** (§3.2): the paper argues rule 2 shortens average EER
+//!    times by letting idle points reset guards. [`rule2_ablation`]
+//!    measures `avg EER(RG, rule 1 only) / avg EER(RG)` — how much of the
+//!    protocol's advantage rule 2 actually buys at each configuration.
+//! 2. **Period distribution** (§5.1): the paper picked a truncated
+//!    exponential for extra variation. [`distribution_ablation`] re-runs
+//!    the Figure-13 bound-ratio metric under uniform and log-uniform
+//!    periods to check the conclusions aren't an artifact of that choice.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync_core::analysis::sa_ds::analyze_ds;
+use rtsync_core::analysis::sa_pm::analyze_pm;
+use rtsync_core::deadline_assign::{DeadlineSplit, LocalDeadlineMonotonic};
+use rtsync_core::priority::PriorityPolicy;
+use rtsync_core::protocol::Protocol;
+use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_workload::{generate, generate_with_policy, PeriodDistribution, WorkloadSpec};
+
+use crate::grid::Grid;
+use crate::study::StudyConfig;
+
+/// Grid of `avg EER(RG without rule 2) / avg EER(RG)` over `(N, U)`.
+/// Values ≥ 1; larger means rule 2 matters more there.
+pub fn rule2_ablation(cfg: &StudyConfig) -> Grid {
+    let mut grid = Grid::new(
+        "RG rule-2 ablation: avg-EER ratio rule1-only / full RG",
+        cfg.n_values.clone(),
+        cfg.u_values.clone(),
+    );
+    for (ni, &n) in cfg.n_values.iter().enumerate() {
+        for (ui, &u) in cfg.u_values.iter().enumerate() {
+            let spec = WorkloadSpec::paper(n, u).with_random_phases();
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for index in 0..cfg.systems_per_config {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed ^ 0xAB1A_7E00 ^ ((n as u64) << 24) ^ (((u * 100.0) as u64) << 8)
+                        ^ index as u64,
+                );
+                let set = generate(&spec, &mut rng).expect("paper spec generates");
+                let full = simulate(
+                    &set,
+                    &SimConfig::new(Protocol::ReleaseGuard)
+                        .with_instances(cfg.instances_per_task),
+                )
+                .expect("RG needs no analysis");
+                let rule1 = simulate(
+                    &set,
+                    &SimConfig::new(Protocol::ReleaseGuard)
+                        .with_instances(cfg.instances_per_task)
+                        .without_rg_rule2(),
+                )
+                .expect("RG needs no analysis");
+                for task in set.tasks() {
+                    if let (Some(a), Some(b)) = (
+                        rule1.metrics.task(task.id()).avg_eer(),
+                        full.metrics.task(task.id()).avg_eer(),
+                    ) {
+                        sum += a / b;
+                        count += 1;
+                    }
+                }
+            }
+            grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+        }
+    }
+    grid
+}
+
+/// Figure-13 metric (mean SA-DS / SA-PM bound ratio) under each period
+/// distribution, at the given configurations. Returns one grid per
+/// distribution, in the order exponential, uniform, log-uniform.
+pub fn distribution_ablation(cfg: &StudyConfig) -> Vec<Grid> {
+    let distributions = [
+        ("exponential", PeriodDistribution::TruncatedExponential { scale: 3_000.0 }),
+        ("uniform", PeriodDistribution::Uniform),
+        ("log-uniform", PeriodDistribution::LogUniform),
+    ];
+    distributions
+        .iter()
+        .map(|(label, dist)| {
+            let mut grid = Grid::new(
+                format!("bound ratio DS/PM with {label} periods"),
+                cfg.n_values.clone(),
+                cfg.u_values.clone(),
+            );
+            for (ni, &n) in cfg.n_values.iter().enumerate() {
+                for (ui, &u) in cfg.u_values.iter().enumerate() {
+                    let mut spec = WorkloadSpec::paper(n, u);
+                    spec.period_distribution = *dist;
+                    let mut sum = 0.0;
+                    let mut count = 0usize;
+                    for index in 0..cfg.systems_per_config {
+                        let mut rng = StdRng::seed_from_u64(
+                            cfg.seed
+                                ^ 0xD157_0000
+                                ^ ((n as u64) << 24)
+                                ^ (((u * 100.0) as u64) << 8)
+                                ^ index as u64,
+                        );
+                        let set = generate(&spec, &mut rng).expect("paper spec generates");
+                        let Ok(pm) = analyze_pm(&set, &cfg.analysis) else {
+                            continue;
+                        };
+                        let Ok(ds) = analyze_ds(&set, &cfg.analysis) else {
+                            continue;
+                        };
+                        for task in set.tasks() {
+                            sum += ds.task_bound(task.id()).as_f64()
+                                / pm.task_bound(task.id()).as_f64();
+                            count += 1;
+                        }
+                    }
+                    grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+                }
+            }
+            grid
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StudyConfig {
+        StudyConfig {
+            n_values: vec![3],
+            u_values: vec![0.6],
+            systems_per_config: 2,
+            instances_per_task: 8,
+            seed: 11,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn rule2_ablation_ratio_at_least_one() {
+        let grid = rule2_ablation(&tiny());
+        let v = grid.get(0, 0);
+        assert!(v >= 0.999, "rule-1-only can only be slower: {v}");
+    }
+
+    #[test]
+    fn distribution_ablation_produces_three_grids() {
+        let grids = distribution_ablation(&tiny());
+        assert_eq!(grids.len(), 3);
+        for g in &grids {
+            let v = g.get(0, 0);
+            assert!(v.is_nan() || v >= 1.0, "{}: {v}", g.name);
+        }
+        assert!(grids[1].name.contains("uniform"));
+    }
+}
+
+/// Resource-contention ablation (the §6 extension): per-task mean of
+/// `SA-PM bound with sections / SA-PM bound without`, i.e. how much the
+/// one-blocking term inflates the provable worst case as critical-section
+/// density grows. Columns are utilizations; one grid per section fraction.
+pub fn contention_ablation(cfg: &StudyConfig, fractions: &[f64]) -> Vec<Grid> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let mut grid = Grid::new(
+                format!(
+                    "bound inflation with {:.0}% critical-section density",
+                    fraction * 100.0
+                ),
+                cfg.n_values.clone(),
+                cfg.u_values.clone(),
+            );
+            for (ni, &n) in cfg.n_values.iter().enumerate() {
+                for (ui, &u) in cfg.u_values.iter().enumerate() {
+                    let mut sum = 0.0;
+                    let mut count = 0usize;
+                    for index in 0..cfg.systems_per_config {
+                        let seed = cfg.seed
+                            ^ 0xC0A7_0000
+                            ^ ((n as u64) << 24)
+                            ^ (((u * 100.0) as u64) << 8)
+                            ^ index as u64;
+                        // Same structural draw with and without sections:
+                        // identical seeds, only the fraction differs.
+                        let with = generate(
+                            &WorkloadSpec::paper(n, u)
+                                .with_critical_section_fraction(fraction),
+                            &mut StdRng::seed_from_u64(seed),
+                        )
+                        .expect("paper spec generates");
+                        let without = generate(
+                            &WorkloadSpec::paper(n, u),
+                            &mut StdRng::seed_from_u64(seed),
+                        )
+                        .expect("paper spec generates");
+                        let (Ok(a), Ok(b)) = (
+                            analyze_pm(&with, &cfg.analysis),
+                            analyze_pm(&without, &cfg.analysis),
+                        ) else {
+                            continue;
+                        };
+                        for task in with.tasks() {
+                            sum += a.task_bound(task.id()).as_f64()
+                                / b.task_bound(task.id()).as_f64();
+                            count += 1;
+                        }
+                    }
+                    grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+                }
+            }
+            grid
+        })
+        .collect()
+}
+
+/// Priority-policy ablation: the paper fixes PDM (≡ the EQF local-deadline
+/// split); how do the other classic splits fare? Returns, per split, the
+/// fraction of systems provably schedulable under RG (SA/PM bounds vs
+/// end-to-end deadlines) — larger is better.
+pub fn priority_policy_ablation(cfg: &StudyConfig) -> Vec<Grid> {
+    DeadlineSplit::ALL
+        .iter()
+        .map(|&split| {
+            let policy = LocalDeadlineMonotonic(split);
+            let mut grid = Grid::new(
+                format!("provably schedulable fraction under {}", policy.name()),
+                cfg.n_values.clone(),
+                cfg.u_values.clone(),
+            );
+            for (ni, &n) in cfg.n_values.iter().enumerate() {
+                for (ui, &u) in cfg.u_values.iter().enumerate() {
+                    let mut ok = 0usize;
+                    for index in 0..cfg.systems_per_config {
+                        let seed = cfg.seed
+                            ^ 0x70C1_0000
+                            ^ ((n as u64) << 24)
+                            ^ (((u * 100.0) as u64) << 8)
+                            ^ index as u64;
+                        let set = generate_with_policy(
+                            &WorkloadSpec::paper(n, u),
+                            &policy,
+                            &mut StdRng::seed_from_u64(seed),
+                        )
+                        .expect("paper spec generates");
+                        if let Ok(bounds) = analyze_pm(&set, &cfg.analysis) {
+                            let schedulable = set.tasks().iter().all(|t| {
+                                bounds.task_bound(t.id()) <= t.deadline()
+                            });
+                            if schedulable {
+                                ok += 1;
+                            }
+                        }
+                    }
+                    grid.set(ni, ui, ok as f64 / cfg.systems_per_config.max(1) as f64);
+                }
+            }
+            grid
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+
+    fn tiny() -> StudyConfig {
+        StudyConfig {
+            n_values: vec![3],
+            u_values: vec![0.6],
+            systems_per_config: 3,
+            instances_per_task: 8,
+            seed: 17,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn contention_inflates_bounds_monotonically() {
+        let grids = contention_ablation(&tiny(), &[0.0, 0.5]);
+        assert_eq!(grids.len(), 2);
+        let none = grids[0].get(0, 0);
+        let heavy = grids[1].get(0, 0);
+        assert!((none - 1.0).abs() < 1e-9, "zero density is the identity: {none}");
+        assert!(heavy >= 1.0, "blocking can only inflate: {heavy}");
+    }
+
+    #[test]
+    fn policy_ablation_covers_all_splits() {
+        let grids = priority_policy_ablation(&tiny());
+        assert_eq!(grids.len(), 4);
+        for g in &grids {
+            let v = g.get(0, 0);
+            assert!((0.0..=1.0).contains(&v), "{}: {v}", g.name);
+        }
+    }
+}

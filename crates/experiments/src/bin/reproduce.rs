@@ -1,0 +1,396 @@
+//! `reproduce` — regenerate the paper's figures from the command line.
+//!
+//! ```text
+//! reproduce all                      # every figure, small default study
+//! reproduce fig3 fig7                # just the schedule traces
+//! reproduce fig12 --systems 1000     # the paper-scale failure-rate study
+//! reproduce study --out results/     # figs 12-16 + CSVs under results/
+//! ```
+//!
+//! Options: `--systems N` (per configuration; paper used 1000),
+//! `--instances I` (end-to-end instances per task in the average-EER
+//! simulations), `--seed S`, `--threads T`, `--out DIR` (write CSVs).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtsync_experiments::figures::{custom_grid, figure_grid, Figure};
+use rtsync_experiments::study::{run_study, StudyConfig};
+use rtsync_experiments::traces::TraceFigure;
+
+struct Options {
+    trace_figures: BTreeSet<u32>,
+    study_figures: BTreeSet<u32>,
+    run_rule2_ablation: bool,
+    run_distribution_ablation: bool,
+    run_tightness: bool,
+    run_exact: bool,
+    run_tails: bool,
+    run_contention: bool,
+    run_policies: bool,
+    run_convergence: bool,
+    cfg: StudyConfig,
+    out_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut trace_figures = BTreeSet::new();
+    let mut study_figures = BTreeSet::new();
+    let mut run_rule2_ablation = false;
+    let mut run_distribution_ablation = false;
+    let mut run_tightness = false;
+    let mut run_exact = false;
+    let mut run_tails = false;
+    let mut run_contention = false;
+    let mut run_policies = false;
+    let mut run_convergence = false;
+    let mut cfg = StudyConfig::default();
+    let mut out_dir = None;
+    let mut saw_selector = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "all" => {
+                saw_selector = true;
+                trace_figures.extend([3, 5, 6, 7]);
+                study_figures.extend([12, 13, 14, 15, 16]);
+            }
+            "traces" => {
+                saw_selector = true;
+                trace_figures.extend([3, 5, 6, 7]);
+            }
+            "study" => {
+                saw_selector = true;
+                study_figures.extend([12, 13, 14, 15, 16]);
+            }
+            "fig3" => {
+                saw_selector = true;
+                trace_figures.insert(3);
+            }
+            "fig5" => {
+                saw_selector = true;
+                trace_figures.insert(5);
+            }
+            "fig6" => {
+                saw_selector = true;
+                trace_figures.insert(6);
+            }
+            "fig7" => {
+                saw_selector = true;
+                trace_figures.insert(7);
+            }
+            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" => {
+                saw_selector = true;
+                study_figures.insert(arg[3..].parse().expect("matched digits"));
+            }
+            "rule2" => {
+                saw_selector = true;
+                run_rule2_ablation = true;
+            }
+            "distributions" => {
+                saw_selector = true;
+                run_distribution_ablation = true;
+            }
+            "tightness" => {
+                saw_selector = true;
+                run_tightness = true;
+            }
+            "exact" => {
+                saw_selector = true;
+                run_exact = true;
+            }
+            "tails" => {
+                saw_selector = true;
+                run_tails = true;
+            }
+            "contention" => {
+                saw_selector = true;
+                run_contention = true;
+            }
+            "policies" => {
+                saw_selector = true;
+                run_policies = true;
+            }
+            "convergence" => {
+                saw_selector = true;
+                run_convergence = true;
+            }
+            "ablations" => {
+                saw_selector = true;
+                run_rule2_ablation = true;
+                run_distribution_ablation = true;
+                run_tightness = true;
+                run_contention = true;
+                run_policies = true;
+            }
+            "--systems" => {
+                cfg.systems_per_config = grab("--systems")?
+                    .parse()
+                    .map_err(|e| format!("--systems: {e}"))?;
+            }
+            "--instances" => {
+                cfg.instances_per_task = grab("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?;
+            }
+            "--seed" => {
+                cfg.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                cfg.threads = grab("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => out_dir = Some(PathBuf::from(grab("--out")?)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if !saw_selector {
+        trace_figures.extend([3, 5, 6, 7]);
+        study_figures.extend([12, 13, 14, 15, 16]);
+    }
+    Ok(Options {
+        trace_figures,
+        study_figures,
+        run_rule2_ablation,
+        run_distribution_ablation,
+        run_tightness,
+        run_exact,
+        run_tails,
+        run_contention,
+        run_policies,
+        run_convergence,
+        cfg,
+        out_dir,
+    })
+}
+
+fn write_csv(out_dir: &Option<PathBuf>, name: &str, content: &str) -> Result<(), String> {
+    let Some(dir) = out_dir else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join(name);
+    std::fs::write(&path, content).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|ablations]... \
+                 [--systems N] [--instances I] [--seed S] [--threads T] [--out DIR]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for fig in TraceFigure::ALL {
+        if opts.trace_figures.contains(&fig.number()) {
+            println!("{}", fig.render());
+        }
+    }
+
+    if opts.run_tails {
+        println!(
+            "running the tail-latency study (p99 EER ratios; beyond the paper)…"
+        );
+        let outcomes = run_study(&opts.cfg);
+        for (name, file, extract) in [
+            (
+                "p99-EER ratio PM/DS",
+                "tails_pm_ds_p99.csv",
+                (|o: &rtsync_experiments::ConfigOutcome| o.pm_ds_p99_mean)
+                    as fn(&rtsync_experiments::ConfigOutcome) -> f64,
+            ),
+            ("p99-EER ratio RG/DS", "tails_rg_ds_p99.csv", |o| {
+                o.rg_ds_p99_mean
+            }),
+        ] {
+            let grid = custom_grid(name, &outcomes, extract);
+            println!("{grid}");
+            if let Err(e) = write_csv(&opts.out_dir, file, &grid.to_csv()) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !opts.study_figures.is_empty() {
+        println!(
+            "running the simulation study: {} configurations x {} systems, \
+             {} instances/task, seed {} ({} threads)",
+            opts.cfg.n_values.len() * opts.cfg.u_values.len(),
+            opts.cfg.systems_per_config,
+            opts.cfg.instances_per_task,
+            opts.cfg.seed,
+            opts.cfg.threads,
+        );
+        let outcomes = run_study(&opts.cfg);
+        // The paper: "the 90% confidence intervals are negligibly small".
+        let max_ci = |f: fn(&rtsync_experiments::ConfigOutcome) -> f64| {
+            outcomes
+                .iter()
+                .map(f)
+                .filter(|v| v.is_finite())
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "90% CI half-widths (max over the grid): PM/DS ±{:.3}, RG/DS ±{:.3}, bound ratio ±{:.3}\n",
+            max_ci(|o| o.pm_ds_ci90),
+            max_ci(|o| o.rg_ds_ci90),
+            max_ci(|o| o.bound_ratio_ci90),
+        );
+        for fig in Figure::ALL {
+            if !opts.study_figures.contains(&fig.number()) {
+                continue;
+            }
+            let grid = figure_grid(fig, &outcomes);
+            println!("{grid}");
+            if let Err(e) = write_csv(
+                &opts.out_dir,
+                &format!("fig{}.csv", fig.number()),
+                &grid.to_csv(),
+            ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.run_rule2_ablation {
+        println!("running the RG rule-2 ablation…");
+        let grid = rtsync_experiments::ablation::rule2_ablation(&opts.cfg);
+        println!("{grid}");
+        if let Err(e) = write_csv(&opts.out_dir, "ablation_rule2.csv", &grid.to_csv()) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if opts.run_distribution_ablation {
+        println!("running the period-distribution ablation…");
+        for (i, grid) in rtsync_experiments::ablation::distribution_ablation(&opts.cfg)
+            .iter()
+            .enumerate()
+        {
+            println!("{grid}");
+            if let Err(e) = write_csv(
+                &opts.out_dir,
+                &format!("ablation_distribution_{i}.csv"),
+                &grid.to_csv(),
+            ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.run_exact {
+        use rtsync_core::analysis::sa_ds::analyze_ds;
+        use rtsync_core::analysis::sa_pm::analyze_pm;
+        use rtsync_core::examples::example2;
+        use rtsync_core::protocol::Protocol;
+        use rtsync_experiments::exact::{exact_worst_case, ExactConfig};
+        println!("exhaustive phase search on Example 2 (full integer grid):");
+        let set = example2();
+        let cfg = ExactConfig {
+            phase_steps: 0,
+            instances_per_task: 12,
+            max_combinations: 1_000,
+        };
+        let pm = analyze_pm(&set, &opts.cfg.analysis).expect("example 2 analyzes");
+        let ds = analyze_ds(&set, &opts.cfg.analysis).expect("example 2 analyzes");
+        for protocol in [Protocol::DirectSync, Protocol::ReleaseGuard, Protocol::PhaseModification] {
+            let exact = exact_worst_case(&set, protocol, &cfg).expect("example 2 simulates");
+            println!("  {}:", protocol.tag());
+            for (i, w) in exact.iter().enumerate() {
+                let bound = match protocol {
+                    Protocol::DirectSync => ds.task_bounds()[i],
+                    _ => pm.task_bounds()[i],
+                };
+                println!(
+                    "    T{i}: exact worst observed {} vs analyzed bound {}{}",
+                    w.ticks(),
+                    bound.ticks(),
+                    if *w == bound { "  (tight)" } else { "" }
+                );
+            }
+        }
+    }
+
+    if opts.run_contention {
+        println!("running the resource-contention ablation…");
+        for (i, grid) in
+            rtsync_experiments::ablation::contention_ablation(&opts.cfg, &[0.2, 0.5])
+                .iter()
+                .enumerate()
+        {
+            println!("{grid}");
+            if let Err(e) = write_csv(
+                &opts.out_dir,
+                &format!("ablation_contention_{i}.csv"),
+                &grid.to_csv(),
+            ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.run_policies {
+        println!("running the priority-policy (deadline split) ablation…");
+        for (i, grid) in rtsync_experiments::ablation::priority_policy_ablation(&opts.cfg)
+            .iter()
+            .enumerate()
+        {
+            println!("{grid}");
+            if let Err(e) = write_csv(
+                &opts.out_dir,
+                &format!("ablation_policy_{i}.csv"),
+                &grid.to_csv(),
+            ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.run_convergence {
+        println!("running the ratio-convergence study…");
+        for (n, u) in [(3usize, 0.6f64), (6, 0.8)] {
+            let rows = rtsync_experiments::convergence::convergence_study(
+                n,
+                u,
+                &opts.cfg,
+                &[5, 10, 20, 40, 80],
+            );
+            println!("{}", rtsync_experiments::convergence::render(n, u, &rows));
+        }
+    }
+
+    if opts.run_tightness {
+        println!("running the bound-tightness study…");
+        let mut rows = Vec::new();
+        for &n in &opts.cfg.n_values {
+            for &u in &opts.cfg.u_values {
+                rows.push(rtsync_experiments::tightness::tightness_config(
+                    n, u, &opts.cfg,
+                ));
+            }
+        }
+        println!("{}", rtsync_experiments::tightness::render(&rows));
+    }
+    ExitCode::SUCCESS
+}

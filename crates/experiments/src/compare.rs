@@ -1,0 +1,210 @@
+//! Side-by-side protocol comparison for one system: the analysis bounds
+//! and simulated statistics of every protocol in a single table — the
+//! summary a system designer choosing a synchronization protocol wants.
+
+use std::fmt;
+
+use rtsync_core::analysis::sa_ds::analyze_ds;
+use rtsync_core::analysis::sa_pm::analyze_pm;
+use rtsync_core::analysis::AnalysisConfig;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::{TaskId, TaskSet};
+use rtsync_core::time::Dur;
+use rtsync_sim::engine::{simulate, SimConfig, SimulateError};
+
+/// Simulated statistics of one task under one protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct SimCell {
+    /// Mean end-to-end response.
+    pub avg: f64,
+    /// Worst observed end-to-end response.
+    pub max: Dur,
+    /// p99 end-to-end response (histogram upper bound).
+    pub p99: Dur,
+    /// Deadline misses.
+    pub misses: u64,
+}
+
+/// One task's comparison row.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// The task.
+    pub task: TaskId,
+    /// Its relative deadline.
+    pub deadline: Dur,
+    /// SA/PM bound (valid for PM, MPM and RG).
+    pub pm_bound: Dur,
+    /// SA/DS bound, `None` on the paper's failure outcome.
+    pub ds_bound: Option<Dur>,
+    /// Simulated statistics per protocol, in [`Protocol::ALL`] order.
+    pub sim: [Option<SimCell>; 4],
+}
+
+/// A full comparison for one system.
+#[derive(Clone, Debug)]
+pub struct ProtocolComparison {
+    rows: Vec<CompareRow>,
+    instances: u64,
+}
+
+impl ProtocolComparison {
+    /// Per-task rows, indexed by [`TaskId::index`].
+    pub fn rows(&self) -> &[CompareRow] {
+        &self.rows
+    }
+}
+
+/// Analyzes and simulates `set` under every protocol.
+///
+/// # Errors
+///
+/// Propagates a [`SimulateError`] if PM/MPM cannot be simulated (SA/PM
+/// analysis failure); the DS *analysis* failing is an expected outcome and
+/// shows up as `ds_bound: None`.
+pub fn compare(
+    set: &TaskSet,
+    instances: u64,
+    cfg: &AnalysisConfig,
+) -> Result<ProtocolComparison, SimulateError> {
+    let pm = analyze_pm(set, cfg)?;
+    let ds = analyze_ds(set, cfg).ok();
+    let mut sims = Vec::new();
+    for protocol in Protocol::ALL {
+        sims.push(simulate(
+            set,
+            &SimConfig::new(protocol).with_instances(instances),
+        )?);
+    }
+    let rows = set
+        .tasks()
+        .iter()
+        .map(|task| {
+            let mut sim = [None; 4];
+            for (k, outcome) in sims.iter().enumerate() {
+                let s = outcome.metrics.task(task.id());
+                sim[k] = match (s.avg_eer(), s.max_eer(), s.eer_quantile(0.99)) {
+                    (Some(avg), Some(max), Some(p99)) => Some(SimCell {
+                        avg,
+                        max,
+                        p99,
+                        misses: s.deadline_misses(),
+                    }),
+                    _ => None,
+                };
+            }
+            CompareRow {
+                task: task.id(),
+                deadline: task.deadline(),
+                pm_bound: pm.task_bound(task.id()),
+                ds_bound: ds.as_ref().map(|b| b.task_bound(task.id())),
+                sim,
+            }
+        })
+        .collect();
+    Ok(ProtocolComparison { rows, instances })
+}
+
+impl fmt::Display for ProtocolComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "protocol comparison ({} end-to-end instances per task)",
+            self.instances
+        )?;
+        writeln!(
+            f,
+            "{:<6}{:>10}{:>12}{:>12}  avg EER per protocol (DS | PM | MPM | RG)",
+            "task", "deadline", "DS bound", "PM/RG bound"
+        )?;
+        for row in &self.rows {
+            let ds_bound = row
+                .ds_bound
+                .map(|d| d.ticks().to_string())
+                .unwrap_or_else(|| "infinite".into());
+            let avgs: Vec<String> = row
+                .sim
+                .iter()
+                .map(|c| c.map_or("-".into(), |c| format!("{:.0}", c.avg)))
+                .collect();
+            writeln!(
+                f,
+                "{:<6}{:>10}{:>12}{:>12}  {}",
+                row.task.to_string(),
+                row.deadline.ticks(),
+                ds_bound,
+                row.pm_bound.ticks(),
+                avgs.join(" | ")
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "      worst observed | p99 | misses per protocol (same order)"
+        )?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .sim
+                .iter()
+                .map(|c| {
+                    c.map_or("-".into(), |c| {
+                        format!("{}/{}/{}", c.max.ticks(), c.p99.ticks(), c.misses)
+                    })
+                })
+                .collect();
+            writeln!(f, "{:<6}{}", row.task.to_string(), cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::examples::example2;
+
+    #[test]
+    fn compare_covers_all_protocols_and_bounds() {
+        let set = example2();
+        let cmp = compare(&set, 20, &AnalysisConfig::default()).unwrap();
+        assert_eq!(cmp.rows().len(), 3);
+        let t2 = &cmp.rows()[2]; // the paper's T3
+        assert_eq!(t2.pm_bound, Dur::from_ticks(5));
+        assert_eq!(t2.ds_bound, Some(Dur::from_ticks(8)));
+        for cell in t2.sim.iter() {
+            let cell = cell.expect("all protocols simulated");
+            assert!(cell.avg > 0.0);
+            assert!(cell.max >= Dur::from_ticks(4));
+        }
+        // Under DS the paper's T3 misses; under the others it does not.
+        assert!(t2.sim[0].unwrap().misses > 0);
+        for k in 1..4 {
+            assert_eq!(t2.sim[k].unwrap().misses, 0, "protocol {k}");
+        }
+    }
+
+    #[test]
+    fn unanalyzable_system_is_a_simulate_error() {
+        use rtsync_core::task::{Priority, TaskSet};
+        // Overloaded processor: SA/PM fails, so PM cannot be simulated.
+        let set = TaskSet::builder(1)
+            .task(Dur::from_ticks(4))
+            .subtask(0, Dur::from_ticks(3), Priority::new(0))
+            .finish_task()
+            .task(Dur::from_ticks(4))
+            .subtask(0, Dur::from_ticks(3), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        assert!(compare(&set, 5, &AnalysisConfig::default()).is_err());
+    }
+
+    #[test]
+    fn display_renders_rows_and_failure() {
+        let set = example2();
+        let cmp = compare(&set, 10, &AnalysisConfig::default()).unwrap();
+        let text = cmp.to_string();
+        assert!(text.contains("protocol comparison"));
+        assert!(text.contains("T2"));
+        assert!(text.contains("DS | PM | MPM | RG"));
+    }
+}

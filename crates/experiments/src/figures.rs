@@ -1,0 +1,202 @@
+//! Mapping study outcomes onto the paper's figures (12–16).
+
+use crate::grid::Grid;
+use crate::study::ConfigOutcome;
+
+/// The five quantitative figures of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Figure {
+    /// Figure 12: SA/DS failure rate per configuration.
+    Fig12FailureRate,
+    /// Figure 13: mean bound ratio SA-DS / SA-PM.
+    Fig13BoundRatio,
+    /// Figure 14: mean avg-EER ratio PM / DS (simulation).
+    Fig14PmDs,
+    /// Figure 15: mean avg-EER ratio RG / DS.
+    Fig15RgDs,
+    /// Figure 16: mean avg-EER ratio PM / RG.
+    Fig16PmRg,
+}
+
+impl Figure {
+    /// All five, in paper order.
+    pub const ALL: [Figure; 5] = [
+        Figure::Fig12FailureRate,
+        Figure::Fig13BoundRatio,
+        Figure::Fig14PmDs,
+        Figure::Fig15RgDs,
+        Figure::Fig16PmRg,
+    ];
+
+    /// The figure's number in the paper.
+    pub fn number(self) -> u32 {
+        match self {
+            Figure::Fig12FailureRate => 12,
+            Figure::Fig13BoundRatio => 13,
+            Figure::Fig14PmDs => 14,
+            Figure::Fig15RgDs => 15,
+            Figure::Fig16PmRg => 16,
+        }
+    }
+
+    /// Metric name as used in grid headers and CSV filenames.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Figure::Fig12FailureRate => "DS failure rate",
+            Figure::Fig13BoundRatio => "bound ratio DS/PM",
+            Figure::Fig14PmDs => "avg-EER ratio PM/DS",
+            Figure::Fig15RgDs => "avg-EER ratio RG/DS",
+            Figure::Fig16PmRg => "avg-EER ratio PM/RG",
+        }
+    }
+
+    /// Extracts this figure's metric from one configuration outcome.
+    pub fn extract(self, outcome: &ConfigOutcome) -> f64 {
+        match self {
+            Figure::Fig12FailureRate => outcome.failure_rate(),
+            Figure::Fig13BoundRatio => outcome.bound_ratio_mean,
+            Figure::Fig14PmDs => outcome.pm_ds_mean,
+            Figure::Fig15RgDs => outcome.rg_ds_mean,
+            Figure::Fig16PmRg => outcome.pm_rg_mean,
+        }
+    }
+}
+
+/// Builds an `(N, U)` grid of any per-configuration metric.
+pub fn custom_grid(
+    name: &str,
+    outcomes: &[ConfigOutcome],
+    extract: impl Fn(&ConfigOutcome) -> f64,
+) -> Grid {
+    let mut n_values: Vec<usize> = outcomes.iter().map(|o| o.n).collect();
+    n_values.sort_unstable();
+    n_values.dedup();
+    let mut u_values: Vec<f64> = outcomes.iter().map(|o| o.u).collect();
+    u_values.sort_by(f64::total_cmp);
+    u_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let mut grid = Grid::new(name, n_values, u_values);
+    for o in outcomes {
+        let ni = grid
+            .n_values
+            .iter()
+            .position(|&n| n == o.n)
+            .expect("outcome n collected above");
+        let ui = grid
+            .u_values
+            .iter()
+            .position(|&u| (u - o.u).abs() < 1e-9)
+            .expect("outcome u collected above");
+        grid.set(ni, ui, extract(o));
+    }
+    grid
+}
+
+/// Builds the `(N, U)` grid of one figure from study outcomes.
+pub fn figure_grid(figure: Figure, outcomes: &[ConfigOutcome]) -> Grid {
+    let mut n_values: Vec<usize> = outcomes.iter().map(|o| o.n).collect();
+    n_values.sort_unstable();
+    n_values.dedup();
+    let mut u_values: Vec<f64> = outcomes.iter().map(|o| o.u).collect();
+    u_values.sort_by(f64::total_cmp);
+    u_values.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut grid = Grid::new(
+        format!("figure {}: {}", figure.number(), figure.metric_name()),
+        n_values,
+        u_values,
+    );
+    for o in outcomes {
+        let ni = grid
+            .n_values
+            .iter()
+            .position(|&n| n == o.n)
+            .expect("outcome n collected above");
+        let ui = grid
+            .u_values
+            .iter()
+            .position(|&u| (u - o.u).abs() < 1e-9)
+            .expect("outcome u collected above");
+        grid.set(ni, ui, figure.extract(o));
+    }
+    grid
+}
+
+#[cfg(test)]
+mod custom_grid_tests {
+    use super::*;
+
+    #[test]
+    fn custom_grid_extracts_any_metric() {
+        let outcomes = vec![ConfigOutcome {
+            n: 2,
+            u: 0.5,
+            systems: 1,
+            ds_failures: 0,
+            bound_ratio_mean: 1.0,
+            pm_ds_mean: 2.0,
+            rg_ds_mean: 1.1,
+            pm_rg_mean: 1.8,
+            pm_ds_p99_mean: 1.5,
+            rg_ds_p99_mean: 1.05,
+            pm_ds_ci90: 0.01,
+            rg_ds_ci90: 0.01,
+            bound_ratio_ci90: 0.01,
+        }];
+        let g = custom_grid("p99 PM/DS", &outcomes, |o| o.pm_ds_p99_mean);
+        assert_eq!(g.at(2, 0.5), Some(1.5));
+        assert_eq!(g.name, "p99 PM/DS");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(n: usize, u: f64) -> ConfigOutcome {
+        ConfigOutcome {
+            n,
+            u,
+            systems: 10,
+            ds_failures: 5,
+            bound_ratio_mean: 1.5,
+            pm_ds_mean: 2.0,
+            rg_ds_mean: 1.2,
+            pm_rg_mean: 1.7,
+            pm_ds_p99_mean: 2.1,
+            rg_ds_p99_mean: 1.3,
+            pm_ds_ci90: 0.01,
+            rg_ds_ci90: 0.01,
+            bound_ratio_ci90: 0.01,
+        }
+    }
+
+    #[test]
+    fn extraction_per_figure() {
+        let o = outcome(4, 0.7);
+        assert_eq!(Figure::Fig12FailureRate.extract(&o), 0.5);
+        assert_eq!(Figure::Fig13BoundRatio.extract(&o), 1.5);
+        assert_eq!(Figure::Fig14PmDs.extract(&o), 2.0);
+        assert_eq!(Figure::Fig15RgDs.extract(&o), 1.2);
+        assert_eq!(Figure::Fig16PmRg.extract(&o), 1.7);
+    }
+
+    #[test]
+    fn grid_assembles_from_outcomes() {
+        let outcomes = vec![outcome(2, 0.5), outcome(2, 0.6), outcome(3, 0.5)];
+        let g = figure_grid(Figure::Fig14PmDs, &outcomes);
+        assert_eq!(g.n_values, vec![2, 3]);
+        assert_eq!(g.u_values, vec![0.5, 0.6]);
+        assert_eq!(g.at(2, 0.6), Some(2.0));
+        assert!(g.at(3, 0.6).unwrap().is_nan(), "missing cell stays NaN");
+    }
+
+    #[test]
+    fn numbering_and_names() {
+        assert_eq!(Figure::ALL.len(), 5);
+        let numbers: Vec<u32> = Figure::ALL.iter().map(|f| f.number()).collect();
+        assert_eq!(numbers, vec![12, 13, 14, 15, 16]);
+        for f in Figure::ALL {
+            assert!(!f.metric_name().is_empty());
+        }
+    }
+}

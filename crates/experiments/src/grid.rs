@@ -1,0 +1,168 @@
+//! `(N, U)` result grids: the data behind Figures 12–16, with CSV and
+//! ASCII-table rendering.
+
+use std::fmt;
+
+/// A metric evaluated over the configuration grid: rows are subtask counts
+/// `N`, columns are processor utilizations `U`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Grid {
+    /// Metric name (e.g. `"failure rate"`).
+    pub name: String,
+    /// Row labels: subtasks per task.
+    pub n_values: Vec<usize>,
+    /// Column labels: per-processor utilization.
+    pub u_values: Vec<f64>,
+    /// `cells[n_idx][u_idx]`; `NaN` marks "no data" (e.g. a ratio over an
+    /// empty set of finite-bound systems).
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl Grid {
+    /// Creates a grid filled with `NaN`.
+    pub fn new(name: impl Into<String>, n_values: Vec<usize>, u_values: Vec<f64>) -> Grid {
+        let cells = vec![vec![f64::NAN; u_values.len()]; n_values.len()];
+        Grid {
+            name: name.into(),
+            n_values,
+            u_values,
+            cells,
+        }
+    }
+
+    /// Sets one cell by grid indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, n_idx: usize, u_idx: usize, value: f64) {
+        self.cells[n_idx][u_idx] = value;
+    }
+
+    /// Reads one cell by grid indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, n_idx: usize, u_idx: usize) -> f64 {
+        self.cells[n_idx][u_idx]
+    }
+
+    /// Reads the cell for configuration `(n, u)`.
+    pub fn at(&self, n: usize, u: f64) -> Option<f64> {
+        let ni = self.n_values.iter().position(|&x| x == n)?;
+        let ui = self.u_values.iter().position(|&x| (x - u).abs() < 1e-9)?;
+        Some(self.cells[ni][ui])
+    }
+
+    /// Serializes as CSV: header `n,u1,u2,…`, one row per `N`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("n");
+        for u in &self.u_values {
+            out.push_str(&format!(",{:.0}", u * 100.0));
+        }
+        out.push('\n');
+        for (ni, n) in self.n_values.iter().enumerate() {
+            out.push_str(&n.to_string());
+            for ui in 0..self.u_values.len() {
+                let v = self.cells[ni][ui];
+                if v.is_nan() {
+                    out.push(',');
+                } else {
+                    out.push_str(&format!(",{v:.4}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean over all non-`NaN` cells.
+    pub fn mean(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (rows: subtasks/task, cols: utilization %)", self.name)?;
+        write!(f, "{:>4}", "N\\U")?;
+        for u in &self.u_values {
+            write!(f, "{:>9.0}", u * 100.0)?;
+        }
+        writeln!(f)?;
+        for (ni, n) in self.n_values.iter().enumerate() {
+            write!(f, "{n:>4}")?;
+            for ui in 0..self.u_values.len() {
+                let v = self.cells[ni][ui];
+                if v.is_nan() {
+                    write!(f, "{:>9}", "-")?;
+                } else {
+                    write!(f, "{v:>9.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        let mut g = Grid::new("test metric", vec![2, 3], vec![0.5, 0.6]);
+        g.set(0, 0, 1.0);
+        g.set(0, 1, 2.0);
+        g.set(1, 0, 3.0);
+        g
+    }
+
+    #[test]
+    fn set_get_at() {
+        let g = grid();
+        assert_eq!(g.get(0, 1), 2.0);
+        assert_eq!(g.at(3, 0.5), Some(3.0));
+        assert!(g.at(3, 0.6).unwrap().is_nan());
+        assert_eq!(g.at(9, 0.5), None);
+        assert_eq!(g.at(2, 0.9), None);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = grid().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,50,60");
+        assert_eq!(lines[1], "2,1.0000,2.0000");
+        assert_eq!(lines[2], "3,3.0000,"); // NaN renders empty
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let text = grid().to_string();
+        assert!(text.contains("test metric"));
+        assert!(text.contains("N\\U"));
+        assert!(text.contains("50"));
+        assert!(text.contains("1.000"));
+        assert!(text.contains("-")); // NaN cell
+    }
+
+    #[test]
+    fn mean_skips_nan() {
+        assert_eq!(grid().mean(), 2.0);
+        let empty = Grid::new("e", vec![1], vec![0.5]);
+        assert!(empty.mean().is_nan());
+    }
+}

@@ -1,0 +1,49 @@
+//! # rtsync-experiments
+//!
+//! The reproduction harness for the evaluation of Sun & Liu (ICDCS 1996):
+//!
+//! * [`traces`] — the schedule-illustration figures (3, 5, 6, 7) replayed
+//!   exactly on the paper's running examples;
+//! * [`study`] — the §5 simulation study: synthetic systems per
+//!   configuration `(N, U)`, analyzed with SA/PM and SA/DS and simulated
+//!   under the DS, PM and RG protocols;
+//! * [`figures`] — the mapping from study outcomes to Figures 12–16;
+//! * [`grid`] — `(N, U)` result grids with CSV/ASCII rendering.
+//!
+//! The `reproduce` binary drives all of it:
+//!
+//! ```text
+//! reproduce all --systems 1000 --out results/
+//! reproduce fig12 fig13
+//! reproduce fig7
+//! ```
+//!
+//! ```
+//! use rtsync_experiments::study::{run_config, StudyConfig};
+//!
+//! let cfg = StudyConfig {
+//!     systems_per_config: 2,
+//!     instances_per_task: 5,
+//!     ..StudyConfig::default()
+//! };
+//! let outcome = run_config(3, 0.6, &cfg);
+//! assert_eq!(outcome.systems, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod compare;
+pub mod convergence;
+pub mod exact;
+pub mod figures;
+pub mod grid;
+pub mod study;
+pub mod tightness;
+pub mod traces;
+
+pub use figures::{figure_grid, Figure};
+pub use grid::Grid;
+pub use study::{run_config, run_study, ConfigOutcome, StudyConfig};
+pub use traces::TraceFigure;

@@ -1,0 +1,149 @@
+//! Reproduction of the paper's schedule figures (3, 5, 6, 7) as rendered
+//! traces of the simulator on the running examples.
+
+use rtsync_core::examples::{example1, example2};
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::{SubtaskId, TaskId};
+use rtsync_core::time::Time;
+use rtsync_sim::engine::{simulate, SimConfig, SimOutcome};
+
+/// The paper's schedule-illustration figures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceFigure {
+    /// Figure 3: Example 2 under DS — `T₃` misses its deadline at 10.
+    Fig3ExampleUnderDs,
+    /// Figure 5: Example 2 under PM — `T₃` meets its deadline.
+    Fig5ExampleUnderPm,
+    /// Figure 6: Example 1's chain under MPM (timer-delayed signals).
+    Fig6ChainUnderMpm,
+    /// Figure 7: Example 2 under RG — deferred release freed at the idle
+    /// point at 9.
+    Fig7ExampleUnderRg,
+}
+
+impl TraceFigure {
+    /// All four, in paper order.
+    pub const ALL: [TraceFigure; 4] = [
+        TraceFigure::Fig3ExampleUnderDs,
+        TraceFigure::Fig5ExampleUnderPm,
+        TraceFigure::Fig6ChainUnderMpm,
+        TraceFigure::Fig7ExampleUnderRg,
+    ];
+
+    /// The figure's number in the paper.
+    pub fn number(self) -> u32 {
+        match self {
+            TraceFigure::Fig3ExampleUnderDs => 3,
+            TraceFigure::Fig5ExampleUnderPm => 5,
+            TraceFigure::Fig6ChainUnderMpm => 6,
+            TraceFigure::Fig7ExampleUnderRg => 7,
+        }
+    }
+
+    /// Runs the simulation behind the figure.
+    pub fn run(self) -> SimOutcome {
+        let (set, protocol) = match self {
+            TraceFigure::Fig3ExampleUnderDs => (example2(), Protocol::DirectSync),
+            TraceFigure::Fig5ExampleUnderPm => (example2(), Protocol::PhaseModification),
+            TraceFigure::Fig6ChainUnderMpm => {
+                (example1(), Protocol::ModifiedPhaseModification)
+            }
+            TraceFigure::Fig7ExampleUnderRg => (example2(), Protocol::ReleaseGuard),
+        };
+        simulate(&set, &SimConfig::new(protocol).with_instances(5).with_trace())
+            .expect("the running examples are analyzable")
+    }
+
+    /// Renders the figure: an ASCII Gantt plus the key observations the
+    /// paper makes about the schedule.
+    pub fn render(self) -> String {
+        let out = self.run();
+        let trace = out.trace.as_ref().expect("trace recording enabled");
+        let gantt = trace.render_gantt(Time::from_ticks(30));
+        let mut text = format!(
+            "figure {} — {}\n{gantt}",
+            self.number(),
+            self.caption()
+        );
+        match self {
+            TraceFigure::Fig3ExampleUnderDs => {
+                let t22 = SubtaskId::new(TaskId::new(1), 1);
+                let rel: Vec<i64> = trace
+                    .releases_of(t22)
+                    .iter()
+                    .take(5)
+                    .map(|t| t.ticks())
+                    .collect();
+                text.push_str(&format!(
+                    "T2.2 releases: {rel:?} (paper: 4, 8, 16, 20, 28)\n\
+                     T3 deadline misses: {}\n",
+                    out.metrics.task(TaskId::new(2)).deadline_misses()
+                ));
+            }
+            TraceFigure::Fig5ExampleUnderPm | TraceFigure::Fig7ExampleUnderRg => {
+                text.push_str(&format!(
+                    "T3 deadline misses: {}\n",
+                    out.metrics.task(TaskId::new(2)).deadline_misses()
+                ));
+            }
+            TraceFigure::Fig6ChainUnderMpm => {
+                let s = out.metrics.task(TaskId::new(0));
+                text.push_str(&format!(
+                    "chain EER (timer-paced): avg {:?}, jitter {}\n",
+                    s.avg_eer(),
+                    s.max_output_jitter()
+                ));
+            }
+        }
+        text
+    }
+
+    fn caption(self) -> &'static str {
+        match self {
+            TraceFigure::Fig3ExampleUnderDs => "Example 2 under the DS protocol",
+            TraceFigure::Fig5ExampleUnderPm => "Example 2 under the PM protocol",
+            TraceFigure::Fig6ChainUnderMpm => "Example 1 under the MPM protocol",
+            TraceFigure::Fig7ExampleUnderRg => "Example 2 under the RG protocol",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_trace_figures_render() {
+        for fig in TraceFigure::ALL {
+            let text = fig.render();
+            assert!(text.contains(&format!("figure {}", fig.number())));
+            assert!(text.contains("P0"), "{text}");
+        }
+    }
+
+    #[test]
+    fn fig3_documents_the_miss() {
+        let text = TraceFigure::Fig3ExampleUnderDs.render();
+        assert!(text.contains("[4, 8, 16, 20, 28]"), "{text}");
+    }
+
+    #[test]
+    fn fig5_and_fig7_show_no_misses() {
+        for fig in [TraceFigure::Fig5ExampleUnderPm, TraceFigure::Fig7ExampleUnderRg] {
+            let out = fig.run();
+            assert_eq!(out.metrics.task(TaskId::new(2)).deadline_misses(), 0);
+        }
+    }
+
+    #[test]
+    fn fig6_chain_has_constant_eer() {
+        let out = TraceFigure::Fig6ChainUnderMpm.run();
+        let s = out.metrics.task(TaskId::new(0));
+        // MPM paces by bounds: with no interference the EER is exactly the
+        // sum of per-subtask bounds minus the head start… in Example 1 the
+        // bounds equal the execution times of the predecessors, so the EER
+        // equals R_{1,1} + R_{1,2} + c_{1,3} = 2 + 3 + 2 = 7 every time.
+        assert_eq!(s.avg_eer(), Some(7.0));
+        assert_eq!(s.max_output_jitter().ticks(), 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Post-hoc schedule validation.
+//!
+//! [`validate_schedule`] replays a recorded [`Trace`] against its
+//! [`TaskSet`] and checks every property a preemptive fixed-priority
+//! schedule must have, independent of how the engine produced it:
+//!
+//! 1. **No overlap** — a processor never runs two jobs at once.
+//! 2. **Execution budget** — every completed job executed exactly its
+//!    subtask's execution time, entirely between its release and
+//!    completion.
+//! 3. **Completion honesty** — a job's completion instant equals the end
+//!    of its last executed slice.
+//! 4. **Priority compliance (work conservation)** — whenever a job
+//!    executes, no higher-priority job on the same processor is released,
+//!    unfinished and not executing.
+//! 5. **Precedence** — no subtask instance is released before the same
+//!    instance of its predecessor completes (skipped for protocols that
+//!    are *expected* to violate it; the engine reports those as
+//!    [`Violation`](crate::engine::Violation)s).
+//!
+//! This is the simulator auditing itself: the engine upholds these by
+//! construction, and the validator proves it from the artifact alone —
+//! any future engine bug that slips past the unit tests gets caught by
+//! the property suite running this on random systems.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rtsync_core::task::TaskSet;
+use rtsync_core::time::{Dur, Time};
+
+use crate::job::JobId;
+use crate::trace::{Segment, Trace};
+
+/// A defect found in a recorded schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ScheduleDefect {
+    /// Two segments on one processor overlap in time.
+    Overlap {
+        /// The earlier-starting segment.
+        first: Segment,
+        /// The overlapping segment.
+        second: Segment,
+    },
+    /// A completed job's executed time does not equal its execution budget.
+    WrongBudget {
+        /// The job.
+        job: JobId,
+        /// Ticks actually executed.
+        executed: Dur,
+        /// The subtask's execution time.
+        budget: Dur,
+    },
+    /// A job executed outside its release–completion window.
+    OutsideWindow {
+        /// The job.
+        job: JobId,
+        /// The offending segment.
+        segment: Segment,
+    },
+    /// A completion instant does not match the end of the job's last slice.
+    DishonestCompletion {
+        /// The job.
+        job: JobId,
+        /// Recorded completion.
+        recorded: Time,
+        /// End of its last executed slice.
+        last_slice_end: Time,
+    },
+    /// A lower-priority job ran while a higher-priority job was released,
+    /// unfinished and idle on the same processor.
+    PriorityInversion {
+        /// The job that ran.
+        running: JobId,
+        /// The higher-priority job that should have run.
+        waiting: JobId,
+        /// When.
+        at: Time,
+    },
+    /// A subtask instance was released before its predecessor's completion.
+    PrecedenceViolation {
+        /// The prematurely released job.
+        job: JobId,
+        /// Its release time.
+        released: Time,
+        /// The predecessor instance's completion (`None` if it never
+        /// completed in the trace).
+        predecessor_completed: Option<Time>,
+    },
+}
+
+impl fmt::Display for ScheduleDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleDefect::Overlap { first, second } => write!(
+                f,
+                "segments overlap on {}: {} [{}, {}) and {} [{}, {})",
+                first.processor,
+                first.job,
+                first.start.ticks(),
+                first.end.ticks(),
+                second.job,
+                second.start.ticks(),
+                second.end.ticks()
+            ),
+            ScheduleDefect::WrongBudget {
+                job,
+                executed,
+                budget,
+            } => write!(f, "job {job} executed {executed} ticks, budget {budget}"),
+            ScheduleDefect::OutsideWindow { job, segment } => write!(
+                f,
+                "job {job} executed [{}, {}) outside its release-completion window",
+                segment.start.ticks(),
+                segment.end.ticks()
+            ),
+            ScheduleDefect::DishonestCompletion {
+                job,
+                recorded,
+                last_slice_end,
+            } => write!(
+                f,
+                "job {job} recorded complete at {} but last ran until {}",
+                recorded.ticks(),
+                last_slice_end.ticks()
+            ),
+            ScheduleDefect::PriorityInversion {
+                running,
+                waiting,
+                at,
+            } => write!(
+                f,
+                "{running} ran at {} while higher-priority {waiting} waited",
+                at.ticks()
+            ),
+            ScheduleDefect::PrecedenceViolation {
+                job,
+                released,
+                predecessor_completed,
+            } => write!(
+                f,
+                "{job} released at {} before predecessor completion {:?}",
+                released.ticks(),
+                predecessor_completed.map(|t| t.ticks())
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleDefect {}
+
+/// Validates a recorded schedule; returns every defect found (empty =
+/// valid). `check_precedence` should be `false` for PM/MPM runs with
+/// sporadic sources, where precedence violations are the *expected*
+/// finding (the engine already reports them).
+pub fn validate_schedule(
+    set: &TaskSet,
+    trace: &Trace,
+    check_precedence: bool,
+) -> Vec<ScheduleDefect> {
+    let mut defects = Vec::new();
+
+    let releases: HashMap<JobId, Time> = trace.releases().iter().copied().collect();
+    let completions: HashMap<JobId, Time> = trace.completions().iter().copied().collect();
+
+    // Per-job executed totals and window checks; per-processor overlap.
+    let mut executed: HashMap<JobId, Dur> = HashMap::new();
+    let mut last_slice_end: HashMap<JobId, Time> = HashMap::new();
+    for p in 0..set.num_processors() {
+        let proc = rtsync_core::task::ProcessorId::new(p);
+        let segs = trace.segments_on(proc);
+        for pair in segs.windows(2) {
+            if pair[1].start < pair[0].end {
+                defects.push(ScheduleDefect::Overlap {
+                    first: pair[0],
+                    second: pair[1],
+                });
+            }
+        }
+        for seg in &segs {
+            *executed.entry(seg.job).or_insert(Dur::ZERO) += seg.end - seg.start;
+            let entry = last_slice_end.entry(seg.job).or_insert(seg.end);
+            *entry = (*entry).max(seg.end);
+            let released = releases.get(&seg.job).copied();
+            let completed = completions.get(&seg.job).copied();
+            let ok_window = released.is_some_and(|r| seg.start >= r)
+                && completed.is_none_or(|c| seg.end <= c);
+            if !ok_window {
+                defects.push(ScheduleDefect::OutsideWindow {
+                    job: seg.job,
+                    segment: *seg,
+                });
+            }
+        }
+    }
+
+    // Budgets and completion honesty for completed jobs.
+    for (&job, &completed_at) in &completions {
+        let budget = set.subtask(job.subtask()).execution();
+        let total = executed.get(&job).copied().unwrap_or(Dur::ZERO);
+        if total != budget {
+            defects.push(ScheduleDefect::WrongBudget {
+                job,
+                executed: total,
+                budget,
+            });
+        }
+        if let Some(&end) = last_slice_end.get(&job) {
+            if end != completed_at {
+                defects.push(ScheduleDefect::DishonestCompletion {
+                    job,
+                    recorded: completed_at,
+                    last_slice_end: end,
+                });
+            }
+        }
+    }
+
+    // Priority compliance: for every segment, no released, unfinished,
+    // higher-priority job on the same processor may be idle during it —
+    // unless the segment belongs to a non-preemptive job that started at
+    // or before the other job's release (legitimate blocking).
+    for seg in trace.segments() {
+        let my_sub = set.subtask(seg.job.subtask());
+        let my_prio = my_sub.priority();
+        for (&other, &rel) in &releases {
+            if other == seg.job {
+                continue;
+            }
+            let o_sub = set.subtask(other.subtask());
+            if o_sub.processor() != seg.processor || !o_sub.priority().is_higher_than(my_prio) {
+                continue;
+            }
+            // The other job is pending throughout [max(rel, seg.start), min(completion, seg.end)).
+            let pend_from = rel.max(seg.start);
+            let pend_to = completions.get(&other).copied().unwrap_or(Time::MAX).min(seg.end);
+            if pend_from >= pend_to {
+                continue;
+            }
+            // A non-preemptive job may keep running past a higher-priority
+            // release it had already started before (or at) — a single
+            // contiguous segment, since it is never preempted.
+            if !my_sub.is_preemptible() && seg.start <= rel {
+                continue;
+            }
+            // A job inside a critical section runs at the resource ceiling
+            // (Highest Locker). Without executed-offset bookkeeping the
+            // validator accepts any window in which the running subtask
+            // *could* hold a ceiling at least as high as the waiter —
+            // conservative: it may miss an inversion in a section-bearing
+            // system, but never reports a false positive.
+            let could_hold_ceiling = my_sub.critical_sections().iter().any(|cs| {
+                set.resource_ceiling(cs.resource)
+                    .is_some_and(|c| c.is_at_least(o_sub.priority()))
+            });
+            if could_hold_ceiling {
+                continue;
+            }
+            // Fine only if `other` itself executes for all of [pend_from, pend_to)
+            // — impossible on the same processor while seg runs, so any
+            // nonempty pending overlap is an inversion.
+            defects.push(ScheduleDefect::PriorityInversion {
+                running: seg.job,
+                waiting: other,
+                at: pend_from,
+            });
+        }
+    }
+
+    if check_precedence {
+        for (&job, &rel) in &releases {
+            if let Some(pred) = job.predecessor() {
+                match completions.get(&pred) {
+                    Some(&c) if c <= rel => {}
+                    other => defects.push(ScheduleDefect::PrecedenceViolation {
+                        job,
+                        released: rel,
+                        predecessor_completed: other.copied(),
+                    }),
+                }
+            }
+        }
+    }
+
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, SimConfig};
+    use crate::processor::ExecutedSlice;
+    use rtsync_core::examples::{example1, example2};
+    use rtsync_core::protocol::Protocol;
+    use rtsync_core::task::{ProcessorId, SubtaskId, TaskId};
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn job(task: usize, sub: usize, m: u64) -> JobId {
+        JobId::new(SubtaskId::new(TaskId::new(task), sub), m)
+    }
+
+    #[test]
+    fn engine_schedules_validate_clean() {
+        for protocol in Protocol::ALL {
+            for set in [example1(), example2()] {
+                let out = simulate(
+                    &set,
+                    &SimConfig::new(protocol).with_instances(10).with_trace(),
+                )
+                .unwrap();
+                let defects = validate_schedule(&set, out.trace.as_ref().unwrap(), true);
+                assert!(defects.is_empty(), "{protocol:?}: {defects:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let set = example2();
+        let mut trace = Trace::new(2);
+        let p0 = ProcessorId::new(0);
+        trace.push_release(job(0, 0, 0), t(0));
+        trace.push_release(job(1, 0, 0), t(0));
+        trace.push_slice(
+            p0,
+            ExecutedSlice {
+                job: job(0, 0, 0),
+                start: t(0),
+                end: t(2),
+            },
+        );
+        trace.push_slice(
+            p0,
+            ExecutedSlice {
+                job: job(1, 0, 0),
+                start: t(1),
+                end: t(3),
+            },
+        );
+        let defects = validate_schedule(&set, &trace, false);
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::Overlap { .. })), "{defects:?}");
+    }
+
+    #[test]
+    fn detects_wrong_budget_and_dishonest_completion() {
+        let set = example2();
+        let mut trace = Trace::new(2);
+        let p0 = ProcessorId::new(0);
+        // T0.0 has budget 2 but only runs 1 tick, and "completes" at 5.
+        trace.push_release(job(0, 0, 0), t(0));
+        trace.push_slice(
+            p0,
+            ExecutedSlice {
+                job: job(0, 0, 0),
+                start: t(0),
+                end: t(1),
+            },
+        );
+        trace.push_completion(job(0, 0, 0), t(5));
+        let defects = validate_schedule(&set, &trace, false);
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::WrongBudget { .. })));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::DishonestCompletion { .. })));
+    }
+
+    #[test]
+    fn detects_execution_before_release() {
+        let set = example2();
+        let mut trace = Trace::new(2);
+        trace.push_release(job(0, 0, 0), t(3));
+        trace.push_slice(
+            ProcessorId::new(0),
+            ExecutedSlice {
+                job: job(0, 0, 0),
+                start: t(0),
+                end: t(2),
+            },
+        );
+        let defects = validate_schedule(&set, &trace, false);
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::OutsideWindow { .. })));
+    }
+
+    #[test]
+    fn detects_priority_inversion() {
+        let set = example2();
+        let mut trace = Trace::new(2);
+        let p0 = ProcessorId::new(0);
+        // T1.0 (low prio) runs 0-2 while T0.0 (high prio) is pending.
+        trace.push_release(job(0, 0, 0), t(0));
+        trace.push_release(job(1, 0, 0), t(0));
+        trace.push_slice(
+            p0,
+            ExecutedSlice {
+                job: job(1, 0, 0),
+                start: t(0),
+                end: t(2),
+            },
+        );
+        trace.push_completion(job(1, 0, 0), t(2));
+        let defects = validate_schedule(&set, &trace, false);
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::PriorityInversion { .. })), "{defects:?}");
+    }
+
+    #[test]
+    fn detects_precedence_violation() {
+        let set = example2();
+        let mut trace = Trace::new(2);
+        // T1.1 released at 1 although T1.0 completes at 4.
+        trace.push_release(job(1, 0, 0), t(0));
+        trace.push_completion(job(1, 0, 0), t(4));
+        trace.push_release(job(1, 1, 0), t(1));
+        let with = validate_schedule(&set, &trace, true);
+        assert!(with
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::PrecedenceViolation { .. })));
+        let without = validate_schedule(&set, &trace, false);
+        assert!(!without
+            .iter()
+            .any(|d| matches!(d, ScheduleDefect::PrecedenceViolation { .. })));
+    }
+
+    #[test]
+    fn defect_displays_are_informative() {
+        let seg = Segment {
+            processor: ProcessorId::new(0),
+            job: job(0, 0, 0),
+            start: t(0),
+            end: t(2),
+        };
+        let samples: Vec<ScheduleDefect> = vec![
+            ScheduleDefect::Overlap {
+                first: seg,
+                second: seg,
+            },
+            ScheduleDefect::WrongBudget {
+                job: job(0, 0, 0),
+                executed: Dur::from_ticks(1),
+                budget: Dur::from_ticks(2),
+            },
+            ScheduleDefect::OutsideWindow {
+                job: job(0, 0, 0),
+                segment: seg,
+            },
+            ScheduleDefect::DishonestCompletion {
+                job: job(0, 0, 0),
+                recorded: t(5),
+                last_slice_end: t(2),
+            },
+            ScheduleDefect::PriorityInversion {
+                running: job(1, 0, 0),
+                waiting: job(0, 0, 0),
+                at: t(0),
+            },
+            ScheduleDefect::PrecedenceViolation {
+                job: job(1, 1, 0),
+                released: t(1),
+                predecessor_completed: Some(t(4)),
+            },
+        ];
+        for d in samples {
+            assert!(!d.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Per-protocol release controllers.
+//!
+//! A [`Controller`] is the protocol-specific brain the engine consults at
+//! each scheduling event:
+//!
+//! * **DS** releases a successor the instant its predecessor completes.
+//! * **PM** does nothing here — all its releases are clock-driven
+//!   (`TimedRelease` events the engine schedules from [`PmPhases`]).
+//! * **MPM** schedules a timer `R_{i,j}` after every release; the timer —
+//!   not the completion — triggers the successor.
+//! * **RG** runs one [`ReleaseGuard`] per non-first subtask, deferring
+//!   early signals and freeing them at guard expiry or processor idle
+//!   points.
+
+use std::collections::VecDeque;
+
+use rtsync_core::analysis::sa_pm::PmBounds;
+use rtsync_core::release_guard::{GuardDecision, ReleaseGuard};
+use rtsync_core::task::{ProcessorId, SubtaskId, TaskSet};
+use rtsync_core::time::Time;
+
+use crate::event::EventKind;
+use crate::job::JobId;
+
+/// Dense numbering of every subtask in a task set.
+#[derive(Clone, Debug)]
+pub struct FlatIndex {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl FlatIndex {
+    /// Builds the numbering for `set`.
+    pub fn new(set: &TaskSet) -> FlatIndex {
+        let mut offsets = Vec::with_capacity(set.num_tasks());
+        let mut total = 0;
+        for task in set.tasks() {
+            offsets.push(total);
+            total += task.chain_len();
+        }
+        FlatIndex { offsets, total }
+    }
+
+    /// The dense index of a subtask.
+    pub fn of(&self, id: SubtaskId) -> usize {
+        self.offsets[id.task().index()] + id.index()
+    }
+
+    /// Total number of subtasks.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` if the set has no subtasks (impossible for validated sets).
+    #[allow(dead_code)] // companion to `len`, exercised by tests
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// What to do about the successor of a just-completed job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CompletionDirective {
+    /// Release the successor instance now.
+    ReleaseSuccessor,
+    /// The successor was deferred; (re)schedule its guard expiry.
+    ScheduleExpiry {
+        due: Time,
+        gen: u64,
+    },
+    /// Nothing to do (clock- or timer-driven protocols).
+    Nothing,
+}
+
+#[derive(Debug)]
+pub(crate) struct GuardSlot {
+    guard: ReleaseGuard,
+    /// Instance numbers of deferred releases, FIFO, in lock-step with the
+    /// guard's internal pending queue.
+    instances: VecDeque<u64>,
+    proc: ProcessorId,
+    subtask: SubtaskId,
+}
+
+/// Protocol-specific release logic (see module docs).
+#[derive(Debug)]
+pub(crate) enum Controller {
+    Ds,
+    Pm,
+    Mpm {
+        bounds: PmBounds,
+    },
+    Rg {
+        guards: Vec<GuardSlot>,
+        flat: FlatIndex,
+        slot_of: Vec<Option<usize>>,
+        /// Apply rule 2 (idle points reset guards). Disabling it is the
+        /// DESIGN.md ablation quantifying how much of RG's short average
+        /// EER time comes from rule 2.
+        apply_rule2: bool,
+    },
+}
+
+impl Controller {
+    pub(crate) fn ds() -> Controller {
+        Controller::Ds
+    }
+
+    pub(crate) fn pm() -> Controller {
+        Controller::Pm
+    }
+
+    pub(crate) fn mpm(bounds: PmBounds) -> Controller {
+        Controller::Mpm { bounds }
+    }
+
+    pub(crate) fn rg(set: &TaskSet, apply_rule2: bool) -> Controller {
+        let flat = FlatIndex::new(set);
+        let mut guards = Vec::new();
+        let mut slot_of = vec![None; flat.len()];
+        for task in set.tasks() {
+            for sub in task.subtasks().iter().skip(1) {
+                slot_of[flat.of(sub.id())] = Some(guards.len());
+                guards.push(GuardSlot {
+                    guard: ReleaseGuard::new(task.period()),
+                    instances: VecDeque::new(),
+                    proc: sub.processor(),
+                    subtask: sub.id(),
+                });
+            }
+        }
+        Controller::Rg {
+            guards,
+            flat,
+            slot_of,
+            apply_rule2,
+        }
+    }
+
+    /// The predecessor of `successor` just completed at `now`.
+    pub(crate) fn on_predecessor_complete(
+        &mut self,
+        successor: JobId,
+        now: Time,
+    ) -> CompletionDirective {
+        match self {
+            Controller::Ds => CompletionDirective::ReleaseSuccessor,
+            Controller::Pm | Controller::Mpm { .. } => CompletionDirective::Nothing,
+            Controller::Rg {
+                guards,
+                flat,
+                slot_of,
+                ..
+            } => {
+                let slot = &mut guards[slot_of[flat.of(successor.subtask())]
+                    .expect("non-first subtasks have guards")];
+                match slot.guard.offer(now) {
+                    GuardDecision::ReleaseNow => CompletionDirective::ReleaseSuccessor,
+                    GuardDecision::DeferUntil(_) | GuardDecision::Queued => {
+                        slot.instances.push_back(successor.instance());
+                        let (due, gen) = slot
+                            .guard
+                            .next_expiry()
+                            .expect("deferred instance has an expiry");
+                        CompletionDirective::ScheduleExpiry { due, gen }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `job` was just released at `now`. Returns events to schedule.
+    pub(crate) fn on_release(&mut self, set: &TaskSet, job: JobId, now: Time) -> Vec<(Time, EventKind)> {
+        match self {
+            Controller::Ds | Controller::Pm => Vec::new(),
+            Controller::Mpm { bounds } => {
+                // Timer drives the successor; none needed for chain tails.
+                let task = set.task(job.task());
+                if task.successor_of(job.subtask()).is_some() {
+                    vec![(
+                        now + bounds.response(job.subtask()),
+                        EventKind::MpmTimer { job },
+                    )]
+                } else {
+                    Vec::new()
+                }
+            }
+            Controller::Rg {
+                guards,
+                flat,
+                slot_of,
+                ..
+            } => {
+                let Some(slot_idx) = slot_of[flat.of(job.subtask())] else {
+                    return Vec::new(); // first subtasks are unguarded
+                };
+                let slot = &mut guards[slot_idx];
+                slot.guard.on_release(now); // rule 1
+                // Rule 1 bumped the generation: the queue head (if any)
+                // needs a fresh expiry.
+                match slot.guard.next_expiry() {
+                    Some((due, gen)) => vec![(
+                        due,
+                        EventKind::GuardExpiry {
+                            subtask: job.subtask(),
+                            gen,
+                        },
+                    )],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// `now` is an idle point of `proc` (rule 2). Returns deferred jobs
+    /// that become releasable right now, in deterministic subtask order.
+    pub(crate) fn on_idle_point(&mut self, proc: ProcessorId, now: Time) -> Vec<JobId> {
+        match self {
+            Controller::Rg {
+                guards,
+                apply_rule2: true,
+                ..
+            } => {
+                let mut freed = Vec::new();
+                for slot in guards.iter_mut().filter(|s| s.proc == proc) {
+                    if slot.guard.on_idle_point(now) {
+                        let instance = slot
+                            .instances
+                            .pop_front()
+                            .expect("instance queue in lock-step with guard");
+                        freed.push(JobId::new(slot.subtask, instance));
+                    }
+                }
+                freed
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// A guard-expiry timer fired. Returns the job to release, if the timer
+    /// is still current.
+    pub(crate) fn on_guard_expiry(
+        &mut self,
+        subtask: SubtaskId,
+        gen: u64,
+        now: Time,
+    ) -> Option<JobId> {
+        match self {
+            Controller::Rg {
+                guards,
+                flat,
+                slot_of,
+                ..
+            } => {
+                let slot = &mut guards[slot_of[flat.of(subtask)]?];
+                if slot.guard.take_due(now, gen) {
+                    let instance = slot
+                        .instances
+                        .pop_front()
+                        .expect("instance queue in lock-step with guard");
+                    Some(JobId::new(subtask, instance))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::examples::example2;
+    use rtsync_core::task::TaskId;
+    use rtsync_core::time::Dur;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn sid(task: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(task), j)
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_ordered() {
+        let set = example2();
+        let f = FlatIndex::new(&set);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        assert_eq!(f.of(sid(0, 0)), 0);
+        assert_eq!(f.of(sid(1, 0)), 1);
+        assert_eq!(f.of(sid(1, 1)), 2);
+        assert_eq!(f.of(sid(2, 0)), 3);
+    }
+
+    #[test]
+    fn ds_always_releases() {
+        let mut c = Controller::ds();
+        let succ = JobId::new(sid(1, 1), 0);
+        assert_eq!(
+            c.on_predecessor_complete(succ, t(4)),
+            CompletionDirective::ReleaseSuccessor
+        );
+        assert!(c.on_release(&example2(), succ, t(4)).is_empty());
+        assert!(c.on_idle_point(ProcessorId::new(1), t(9)).is_empty());
+    }
+
+    #[test]
+    fn pm_controller_is_inert() {
+        let mut c = Controller::pm();
+        let succ = JobId::new(sid(1, 1), 0);
+        assert_eq!(
+            c.on_predecessor_complete(succ, t(4)),
+            CompletionDirective::Nothing
+        );
+        assert!(c.on_release(&example2(), succ, t(4)).is_empty());
+    }
+
+    #[test]
+    fn mpm_schedules_timer_only_for_non_tail_subtasks() {
+        use rtsync_core::analysis::{sa_pm::analyze_pm, AnalysisConfig};
+        let set = example2();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        let mut c = Controller::mpm(bounds);
+        // T1.0 has a successor: timer at release + R_{1,0} = 0 + 4.
+        let head = JobId::new(sid(1, 0), 0);
+        let events = c.on_release(&set, head, t(0));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, t(4));
+        assert!(matches!(events[0].1, EventKind::MpmTimer { job } if job == head));
+        // Chain tails schedule nothing.
+        let tail = JobId::new(sid(1, 1), 0);
+        assert!(c.on_release(&set, tail, t(4)).is_empty());
+        assert_eq!(
+            c.on_predecessor_complete(tail, t(2)),
+            CompletionDirective::Nothing
+        );
+    }
+
+    #[test]
+    fn rg_defers_and_frees_at_idle_point() {
+        // Figure 7 flow on T1.1 (the paper's T2,2; period 6 on P1).
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let j0 = JobId::new(sid(1, 1), 0);
+        // First signal at 4: release immediately.
+        assert_eq!(
+            c.on_predecessor_complete(j0, t(4)),
+            CompletionDirective::ReleaseSuccessor
+        );
+        assert!(c.on_release(&set, j0, t(4)).is_empty()); // rule 1, no pending
+        // Second signal at 8: deferred until 10.
+        let j1 = JobId::new(sid(1, 1), 1);
+        match c.on_predecessor_complete(j1, t(8)) {
+            CompletionDirective::ScheduleExpiry { due, .. } => assert_eq!(due, t(10)),
+            other => panic!("{other:?}"),
+        }
+        // Idle point at 9 on P1 frees it.
+        let freed = c.on_idle_point(ProcessorId::new(1), t(9));
+        assert_eq!(freed, vec![j1]);
+        assert!(c.on_release(&set, j1, t(9)).is_empty());
+        // The stale expiry at 10 must not double-release.
+        assert_eq!(c.on_guard_expiry(sid(1, 1), 0, t(10)), None);
+    }
+
+    #[test]
+    fn rg_guard_expiry_releases_head() {
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let j0 = JobId::new(sid(1, 1), 0);
+        assert_eq!(
+            c.on_predecessor_complete(j0, t(0)),
+            CompletionDirective::ReleaseSuccessor
+        );
+        let _ = c.on_release(&set, j0, t(0)); // guard = 6
+        let j1 = JobId::new(sid(1, 1), 1);
+        let (due, gen) = match c.on_predecessor_complete(j1, t(3)) {
+            CompletionDirective::ScheduleExpiry { due, gen } => (due, gen),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(due, t(6));
+        assert_eq!(c.on_guard_expiry(sid(1, 1), gen, due), Some(j1));
+        // Release re-arms rule 1.
+        let _ = c.on_release(&set, j1, t(6));
+    }
+
+    #[test]
+    fn rg_clumped_signals_release_one_per_window() {
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let sub = sid(1, 1);
+        let j = |m| JobId::new(sub, m);
+        assert_eq!(
+            c.on_predecessor_complete(j(0), t(0)),
+            CompletionDirective::ReleaseSuccessor
+        );
+        let _ = c.on_release(&set, j(0), t(0)); // guard 6
+        // Three clumped signals.
+        let e1 = c.on_predecessor_complete(j(1), t(1));
+        let CompletionDirective::ScheduleExpiry { due: d1, gen: g1 } = e1 else {
+            panic!("{e1:?}")
+        };
+        assert_eq!(d1, t(6));
+        let e2 = c.on_predecessor_complete(j(2), t(2));
+        // Queued behind: expiry rescheduled (new generation, same due).
+        let CompletionDirective::ScheduleExpiry { due: d2, gen: g2 } = e2 else {
+            panic!("{e2:?}")
+        };
+        assert_eq!(d2, t(6));
+        assert_ne!(g1, g2);
+        // Old-generation timer is stale; new one fires.
+        assert_eq!(c.on_guard_expiry(sub, g1, t(6)), None);
+        assert_eq!(c.on_guard_expiry(sub, g2, t(6)), Some(j(1)));
+        let next = c.on_release(&set, j(1), t(6)); // guard 12, one pending
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].0, t(12));
+        let EventKind::GuardExpiry { subtask, gen } = next[0].1 else {
+            panic!("{:?}", next[0].1)
+        };
+        assert_eq!(subtask, sub);
+        assert_eq!(c.on_guard_expiry(sub, gen, t(12)), Some(j(2)));
+    }
+
+    #[test]
+    fn rg_idle_point_only_touches_its_processor() {
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let j1 = JobId::new(sid(1, 1), 0);
+        let _ = c.on_predecessor_complete(j1, t(0));
+        let _ = c.on_release(&set, j1, t(0)); // guard 6 on P1
+        let j2 = JobId::new(sid(1, 1), 1);
+        let _ = c.on_predecessor_complete(j2, t(1)); // deferred
+        // Idle point on P0 must not free a P1 deferral.
+        assert!(c.on_idle_point(ProcessorId::new(0), t(2)).is_empty());
+        assert_eq!(c.on_idle_point(ProcessorId::new(1), t(2)), vec![j2]);
+    }
+
+    #[test]
+    fn rg_guard_period_matches_task_period() {
+        // Guards inherit the parent task's period, exercised indirectly:
+        // release at 0 defers the next signal until exactly period 6.
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let j0 = JobId::new(sid(1, 1), 0);
+        let _ = c.on_predecessor_complete(j0, t(0));
+        let _ = c.on_release(&set, j0, t(0));
+        match c.on_predecessor_complete(JobId::new(sid(1, 1), 1), t(5)) {
+            CompletionDirective::ScheduleExpiry { due, .. } => {
+                assert_eq!(due - t(0), Time::from_ticks(6) - Time::ZERO);
+                assert_eq!(due, t(6));
+            }
+            other => panic!("{other:?}"),
+        }
+        let _ = Dur::ZERO; // keep the import exercised
+    }
+}

@@ -1,0 +1,1105 @@
+//! The discrete-event simulation engine.
+//!
+//! [`simulate`] executes a [`TaskSet`] under one synchronization protocol:
+//! per-processor preemptive fixed-priority scheduling, zero-cost
+//! inter-processor signals (the paper's model), deterministic event
+//! ordering, and full metrics/trace collection.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's Figure 3 observation — `T₃` misses its deadline
+//! under DS but not under RG:
+//!
+//! ```
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::protocol::Protocol;
+//! use rtsync_core::task::TaskId;
+//! use rtsync_sim::engine::{simulate, SimConfig};
+//!
+//! let system = example2();
+//! let ds = simulate(&system, &SimConfig::new(Protocol::DirectSync))?;
+//! let rg = simulate(&system, &SimConfig::new(Protocol::ReleaseGuard))?;
+//! assert!(ds.metrics.task(TaskId::new(2)).deadline_misses() > 0);
+//! assert_eq!(rg.metrics.task(TaskId::new(2)).deadline_misses(), 0);
+//! # Ok::<(), rtsync_sim::engine::SimulateError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use rtsync_core::analysis::sa_pm::analyze_pm;
+use rtsync_core::analysis::AnalysisConfig;
+use rtsync_core::error::AnalyzeError;
+use rtsync_core::phase::PmPhases;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::{ProcessorId, SubtaskId, TaskSet};
+use rtsync_core::time::{Dur, Time};
+
+use crate::controller::{CompletionDirective, Controller, FlatIndex};
+use crate::event::{EventKind, EventQueue};
+use crate::job::JobId;
+use crate::metrics::Metrics;
+use crate::processor::{Milestone, Processor, Resched};
+use crate::profile::PriorityProfile;
+use crate::source::SourceModel;
+use crate::trace::Trace;
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Which synchronization protocol to run.
+    pub protocol: Protocol,
+    /// How first-subtask releases are generated.
+    pub source: SourceModel,
+    /// Stop once every task has completed this many end-to-end instances.
+    pub instances_per_task: u64,
+    /// Hard time cap. `None` derives one generous enough for the instance
+    /// target (`max_i (phase_i + (period_i + max_extra)·(target + 5))`).
+    pub horizon: Option<Time>,
+    /// Record the full schedule trace (releases, completions, segments).
+    pub record_trace: bool,
+    /// Backstop on processed events.
+    pub max_events: u64,
+    /// Analysis knobs for the protocols that need offline bounds (PM, MPM).
+    pub analysis: AnalysisConfig,
+    /// Apply the RG protocol's rule 2 (idle points reset guards). `true`
+    /// is the paper's protocol; `false` is the rule-1-only ablation that
+    /// quantifies how much of RG's average-EER advantage rule 2 provides.
+    pub rg_apply_rule2: bool,
+    /// Exclude each task's first `warmup_instances` end-to-end completions
+    /// from the EER statistics (they still count toward the stop target),
+    /// removing the start-of-trace transient from average-EER estimates.
+    pub warmup_instances: u64,
+}
+
+impl SimConfig {
+    /// Defaults: periodic sources, 50 instances per task, trace off.
+    pub fn new(protocol: Protocol) -> SimConfig {
+        SimConfig {
+            protocol,
+            source: SourceModel::Periodic,
+            instances_per_task: 50,
+            horizon: None,
+            record_trace: false,
+            max_events: 100_000_000,
+            analysis: AnalysisConfig::default(),
+            rg_apply_rule2: true,
+            warmup_instances: 0,
+        }
+    }
+
+    /// Excludes each task's first `n` completions from the EER statistics.
+    pub fn with_warmup(mut self, n: u64) -> SimConfig {
+        self.warmup_instances = n;
+        self
+    }
+
+    /// Disables the RG protocol's rule 2 (the ablation knob).
+    pub fn without_rg_rule2(mut self) -> SimConfig {
+        self.rg_apply_rule2 = false;
+        self
+    }
+
+    /// Sets the per-task instance target.
+    pub fn with_instances(mut self, n: u64) -> SimConfig {
+        self.instances_per_task = n;
+        self
+    }
+
+    /// Enables full trace recording.
+    pub fn with_trace(mut self) -> SimConfig {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the source model.
+    pub fn with_source(mut self, source: SourceModel) -> SimConfig {
+        self.source = source;
+        self
+    }
+
+    /// Sets an explicit horizon.
+    pub fn with_horizon(mut self, horizon: Time) -> SimConfig {
+        self.horizon = Some(horizon);
+        self
+    }
+}
+
+/// Why a release broke the model's rules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// A subtask instance was released before the corresponding instance of
+    /// its predecessor completed (PM under sporadic sources; §3.1's caveat).
+    PrecedenceViolated,
+    /// An MPM timer fired before its job completed — the response-time
+    /// bound was violated (an overrun in the paper's terminology).
+    MpmOverrun,
+}
+
+/// One recorded protocol violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// What rule broke.
+    pub kind: ViolationKind,
+    /// The job involved (the released successor for precedence violations,
+    /// the overrunning job for MPM overruns).
+    pub job: JobId,
+    /// When.
+    pub time: Time,
+}
+
+/// Everything a simulation run produced.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// Per-task EER statistics.
+    pub metrics: Metrics,
+    /// The schedule trace, if [`SimConfig::record_trace`] was set.
+    pub trace: Option<Trace>,
+    /// Protocol violations observed (empty for DS/RG and for PM/MPM under
+    /// periodic sources).
+    pub violations: Vec<Violation>,
+    /// Events processed.
+    pub events: u64,
+    /// Simulation clock at the end of the run.
+    pub end_time: Time,
+    /// `true` if every task reached the instance target (as opposed to
+    /// stopping at the horizon or the event cap).
+    pub reached_target: bool,
+    /// Ticks each processor spent executing (observed busy time).
+    pub busy_ticks: Vec<Dur>,
+}
+
+impl SimOutcome {
+    /// Observed utilization of one processor: busy time over the run's
+    /// span, `None` before any time has elapsed.
+    pub fn observed_utilization(&self, proc: ProcessorId) -> Option<f64> {
+        let span = self.end_time.since_origin();
+        span.is_positive()
+            .then(|| self.busy_ticks[proc.index()].as_f64() / span.as_f64())
+    }
+}
+
+/// Errors from [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimulateError {
+    /// The PM/MPM protocols need SA/PM response-time bounds, and the
+    /// analysis failed (e.g. an overloaded processor).
+    Analysis(AnalyzeError),
+}
+
+impl fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulateError::Analysis(e) => {
+                write!(f, "offline analysis required by the protocol failed: {e}")
+            }
+        }
+    }
+}
+
+impl Error for SimulateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimulateError::Analysis(e) => Some(e),
+        }
+    }
+}
+
+impl From<AnalyzeError> for SimulateError {
+    fn from(e: AnalyzeError) -> SimulateError {
+        SimulateError::Analysis(e)
+    }
+}
+
+/// Runs one simulation.
+///
+/// # Errors
+///
+/// [`SimulateError::Analysis`] if the protocol needs SA/PM bounds and the
+/// analysis fails.
+pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimOutcome, SimulateError> {
+    Engine::new(set, cfg)?.run()
+}
+
+struct Engine<'a> {
+    set: &'a TaskSet,
+    cfg: &'a SimConfig,
+    queue: EventQueue,
+    procs: Vec<Processor>,
+    controller: Controller,
+    pm_phases: Option<PmPhases>,
+    flat: FlatIndex,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    violations: Vec<Violation>,
+    /// Released / completed instance counts per flat subtask index.
+    released: Vec<u64>,
+    completed: Vec<u64>,
+    /// Release times of in-flight instances per flat subtask index (FIFO —
+    /// instances complete in release order), for response-time stats.
+    inflight: Vec<std::collections::VecDeque<Time>>,
+    /// Previous source release time per task.
+    prev_source: Vec<Option<Time>>,
+    /// Processors touched during the current instant, awaiting the
+    /// end-of-instant reschedule.
+    dirty: Vec<bool>,
+    /// Executed ticks per processor.
+    busy_ticks: Vec<Dur>,
+    /// Effective-priority profile per flat subtask index (Highest Locker).
+    profiles: Vec<PriorityProfile>,
+    horizon: Time,
+    events: u64,
+    now: Time,
+}
+
+impl<'a> Engine<'a> {
+    fn new(set: &'a TaskSet, cfg: &'a SimConfig) -> Result<Engine<'a>, SimulateError> {
+        let flat = FlatIndex::new(set);
+        let (controller, pm_phases) = match cfg.protocol {
+            Protocol::DirectSync => (Controller::ds(), None),
+            Protocol::ReleaseGuard => (Controller::rg(set, cfg.rg_apply_rule2), None),
+            Protocol::PhaseModification => {
+                let bounds = analyze_pm(set, &cfg.analysis)?;
+                let phases = PmPhases::compute(set, &bounds);
+                (Controller::pm(), Some(phases))
+            }
+            Protocol::ModifiedPhaseModification => {
+                let bounds = analyze_pm(set, &cfg.analysis)?;
+                (Controller::mpm(bounds), None)
+            }
+        };
+        let horizon = cfg.horizon.unwrap_or_else(|| default_horizon(set, cfg));
+        Ok(Engine {
+            set,
+            cfg,
+            queue: EventQueue::new(),
+            procs: (0..set.num_processors())
+                .map(|i| Processor::new(ProcessorId::new(i)))
+                .collect(),
+            controller,
+            pm_phases,
+            flat,
+            metrics: Metrics::with_chains(
+                &set.tasks().iter().map(|t| t.chain_len()).collect::<Vec<_>>(),
+            ),
+            trace: cfg.record_trace.then(|| Trace::new(set.num_processors())),
+            violations: Vec::new(),
+            released: vec![0; flat_len(set)],
+            completed: vec![0; flat_len(set)],
+            inflight: vec![std::collections::VecDeque::new(); flat_len(set)],
+            prev_source: vec![None; set.num_tasks()],
+            dirty: vec![false; set.num_processors()],
+            busy_ticks: vec![Dur::ZERO; set.num_processors()],
+            profiles: set
+                .subtasks()
+                .map(|sub| PriorityProfile::for_subtask(set, sub))
+                .collect(),
+            horizon,
+            events: 0,
+            now: Time::ZERO,
+        })
+    }
+
+    fn run(mut self) -> Result<SimOutcome, SimulateError> {
+        // Seed the queue: source releases for every task, clock-driven
+        // releases for PM's later subtasks.
+        for task in self.set.tasks() {
+            let t0 = self.cfg.source.release_time(
+                task.id(),
+                task.period(),
+                task.phase(),
+                0,
+                None,
+            );
+            self.queue.push(
+                t0,
+                EventKind::SourceRelease {
+                    task: task.id(),
+                    instance: 0,
+                },
+            );
+        }
+        if let Some(phases) = &self.pm_phases {
+            for task in self.set.tasks() {
+                for sub in task.subtasks().iter().skip(1) {
+                    self.queue.push(
+                        phases.phase(sub.id()),
+                        EventKind::TimedRelease {
+                            subtask: sub.id(),
+                            instance: 0,
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut reached_target = false;
+        while let Some(event) = self.queue.pop() {
+            if event.time > self.horizon || self.events >= self.cfg.max_events {
+                break;
+            }
+            debug_assert!(event.time >= self.now, "event queue went backwards");
+            self.now = event.time;
+            self.events += 1;
+            match event.kind {
+                EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
+                EventKind::MpmTimer { job } => self.on_mpm_timer(job),
+                EventKind::GuardExpiry { subtask, gen } => self.on_guard_expiry(subtask, gen),
+                EventKind::SourceRelease { task, instance } => {
+                    self.on_source_release(task, instance)
+                }
+                EventKind::TimedRelease { subtask, instance } => {
+                    self.on_timed_release(subtask, instance)
+                }
+            }
+            // Dispatch decisions are made once per *instant*, after every
+            // same-instant event has been absorbed: simultaneous releases
+            // are arbitrated purely by priority, never by event order (a
+            // non-preemptive job must not start ahead of a higher-priority
+            // job released at the same instant).
+            if self.queue.peek_time() != Some(self.now) {
+                self.flush_dispatch();
+            }
+            if self.metrics.min_completed() >= self.cfg.instances_per_task {
+                reached_target = true;
+                break;
+            }
+        }
+
+        Ok(SimOutcome {
+            metrics: self.metrics,
+            trace: self.trace,
+            violations: self.violations,
+            events: self.events,
+            end_time: self.now,
+            reached_target,
+            busy_ticks: self.busy_ticks,
+        })
+    }
+
+    fn on_completion(&mut self, proc: ProcessorId, gen: u64) {
+        self.advance_proc(proc);
+        let job = match self.procs[proc.index()].take_milestone(gen) {
+            None => return, // stale tentative milestone
+            Some(Milestone::Boundary(_)) => {
+                // A critical-section boundary: the effective priority
+                // changed; re-arbitrate at the end of this instant.
+                self.mark_dirty(proc);
+                return;
+            }
+            Some(Milestone::Completed(job)) => job,
+        };
+        let fi = self.flat.of(job.subtask());
+        debug_assert_eq!(
+            self.completed[fi],
+            job.instance(),
+            "same-subtask instances must complete in order"
+        );
+        self.completed[fi] += 1;
+        if let Some(released) = self.inflight[fi].pop_front() {
+            self.metrics
+                .record_subtask_response(job.subtask(), self.now - released);
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.push_completion(job, self.now);
+        }
+        let task = self.set.task(job.task());
+        match task.successor_of(job.subtask()) {
+            None => {
+                // End-to-end completion.
+                self.metrics.record_task_completion(
+                    job.task(),
+                    job.instance(),
+                    self.now,
+                    task.deadline(),
+                    job.instance() >= self.cfg.warmup_instances,
+                );
+            }
+            Some(succ) => {
+                let succ_job = JobId::new(succ, job.instance());
+                match self.controller.on_predecessor_complete(succ_job, self.now) {
+                    CompletionDirective::ReleaseSuccessor => self.release(succ_job),
+                    CompletionDirective::ScheduleExpiry { due, gen } => {
+                        // Rule 2 applies at *every* idle instant (§3.2), not
+                        // only at completion instants: a signal deferred
+                        // onto an already-idle processor is released right
+                        // away (the idle point resets the guard). With rule
+                        // 2 disabled (the ablation) nothing is freed and the
+                        // expiry timer proceeds as scheduled.
+                        let succ_proc = self.set.subtask(succ).processor();
+                        let freed = if self.procs[succ_proc.index()].is_idle_point(self.now) {
+                            self.controller.on_idle_point(succ_proc, self.now)
+                        } else {
+                            Vec::new()
+                        };
+                        if freed.is_empty() {
+                            self.queue.push(
+                                due.max(self.now),
+                                EventKind::GuardExpiry {
+                                    subtask: succ,
+                                    gen,
+                                },
+                            );
+                        } else {
+                            for job in freed {
+                                self.release(job);
+                            }
+                        }
+                    }
+                    CompletionDirective::Nothing => {}
+                }
+            }
+        }
+        // Rule-2 idle points: the completing processor may have drained.
+        // Per the paper's definition, instances released *at* this very
+        // instant (e.g. a chain hop cascaded from another processor's
+        // same-instant completion) do not prevent the idle point.
+        if self.procs[proc.index()].is_idle_point(self.now) {
+            let now = self.now;
+            for freed in self.controller.on_idle_point(proc, now) {
+                self.release(freed);
+            }
+        }
+        self.mark_dirty(proc);
+    }
+
+    fn on_mpm_timer(&mut self, job: JobId) {
+        // The timer says job's response bound elapsed: signal the successor.
+        let fi = self.flat.of(job.subtask());
+        if self.completed[fi] <= job.instance() {
+            // Overrun: the bound was violated (can happen under sporadic
+            // sources or modeling error); record and release anyway, as a
+            // real MPM scheduler driven purely by the timer would.
+            self.violations.push(Violation {
+                kind: ViolationKind::MpmOverrun,
+                job,
+                time: self.now,
+            });
+        }
+        let succ = self
+            .set
+            .task(job.task())
+            .successor_of(job.subtask())
+            .expect("MPM timers are only scheduled for subtasks with successors");
+        self.release(JobId::new(succ, job.instance()));
+    }
+
+    fn on_guard_expiry(&mut self, subtask: SubtaskId, gen: u64) {
+        if let Some(job) = self.controller.on_guard_expiry(subtask, gen, self.now) {
+            self.release(job);
+        }
+    }
+
+    fn on_source_release(&mut self, task: rtsync_core::task::TaskId, instance: u64) {
+        let t = self.set.task(task);
+        let first = JobId::new(SubtaskId::new(task, 0), instance);
+        self.prev_source[task.index()] = Some(self.now);
+        self.metrics.record_first_release(task, instance, self.now);
+        self.release(first);
+        // Schedule the next arrival.
+        let next = self.cfg.source.release_time(
+            task,
+            t.period(),
+            t.phase(),
+            instance + 1,
+            Some(self.now),
+        );
+        if next <= self.horizon {
+            self.queue.push(
+                next,
+                EventKind::SourceRelease {
+                    task,
+                    instance: instance + 1,
+                },
+            );
+        }
+    }
+
+    fn on_timed_release(&mut self, subtask: SubtaskId, instance: u64) {
+        // PM's clock-driven release of a later subtask.
+        self.release(JobId::new(subtask, instance));
+        let period = self.set.task(subtask.task()).period();
+        let next = self.now + period;
+        if next <= self.horizon {
+            self.queue.push(
+                next,
+                EventKind::TimedRelease {
+                    subtask,
+                    instance: instance + 1,
+                },
+            );
+        }
+    }
+
+    /// Releases `job` on its host processor at the current instant.
+    fn release(&mut self, job: JobId) {
+        let sub = self.set.subtask(job.subtask());
+        let fi = self.flat.of(job.subtask());
+        debug_assert_eq!(
+            self.released[fi],
+            job.instance(),
+            "same-subtask instances must release in order"
+        );
+        self.released[fi] += 1;
+        self.inflight[fi].push_back(self.now);
+        // Precedence check: the same instance of the predecessor must have
+        // completed. Structurally guaranteed for DS/RG/MPM-in-bounds;
+        // recorded as a violation when PM (or an overrunning MPM) breaks it.
+        if let Some(pred) = job.predecessor() {
+            if self.completed[self.flat.of(pred.subtask())] <= pred.instance() {
+                self.violations.push(Violation {
+                    kind: ViolationKind::PrecedenceViolated,
+                    job,
+                    time: self.now,
+                });
+            }
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.push_release(job, self.now);
+        }
+        // Protocol hooks (RG rule 1, MPM timers).
+        for (time, kind) in self.controller.on_release(self.set, job, self.now) {
+            self.queue.push(time, kind);
+        }
+        let proc = sub.processor();
+        self.advance_proc(proc);
+        self.procs[proc.index()].release(
+            job,
+            self.profiles[fi].clone(),
+            sub.execution(),
+            sub.is_preemptible(),
+        );
+        self.mark_dirty(proc);
+    }
+
+    fn advance_proc(&mut self, proc: ProcessorId) {
+        let slice = self.procs[proc.index()].advance(self.now);
+        if let Some(slice) = slice {
+            self.busy_ticks[proc.index()] += slice.end - slice.start;
+            if let Some(tr) = &mut self.trace {
+                tr.push_slice(proc, slice);
+            }
+        }
+    }
+
+    fn mark_dirty(&mut self, proc: ProcessorId) {
+        self.dirty[proc.index()] = true;
+    }
+
+    /// End-of-instant dispatch: reschedules every processor touched during
+    /// the current instant and schedules the fresh completion events.
+    fn flush_dispatch(&mut self) {
+        for p in 0..self.dirty.len() {
+            if !std::mem::take(&mut self.dirty[p]) {
+                continue;
+            }
+            let proc = ProcessorId::new(p);
+            match self.procs[p].reschedule(self.now) {
+                Resched::NewMilestone { at, gen } => {
+                    self.queue.push(at, EventKind::Completion { proc, gen });
+                }
+                Resched::Unchanged | Resched::Idle => {}
+            }
+        }
+    }
+}
+
+fn flat_len(set: &TaskSet) -> usize {
+    set.num_subtasks()
+}
+
+/// A horizon generous enough for every task to release
+/// `instances_per_task + 5` instances even with sporadic slack.
+fn default_horizon(set: &TaskSet, cfg: &SimConfig) -> Time {
+    let extra = match cfg.source {
+        SourceModel::Periodic => Dur::ZERO,
+        SourceModel::Sporadic { max_extra, .. } => max_extra,
+    };
+    let n = cfg.instances_per_task as i64 + 5;
+    set.tasks()
+        .iter()
+        .map(|t| {
+            t.phase()
+                .saturating_add((t.period() + extra).saturating_mul(n))
+        })
+        .max()
+        .unwrap_or(Time::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::examples::{example1, example2};
+    use rtsync_core::task::TaskId;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn run(protocol: Protocol, instances: u64) -> SimOutcome {
+        simulate(
+            &example2(),
+            &SimConfig::new(protocol)
+                .with_instances(instances)
+                .with_trace(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ds_reproduces_figure3_releases_and_miss() {
+        let out = run(Protocol::DirectSync, 6);
+        let tr = out.trace.as_ref().unwrap();
+        // "instances of T2,2 are released at times 4, 8, 16, 20, 28, …"
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let releases = tr.releases_of(t22);
+        assert!(releases.len() >= 5, "{releases:?}");
+        assert_eq!(&releases[..5], &[t(4), t(8), t(16), t(20), t(28)]);
+        // T3 (our T2) misses its first deadline: released 4, due 10,
+        // completes at 12 (response 8).
+        let t3 = SubtaskId::new(TaskId::new(2), 0);
+        let completions = tr.completions_of(t3);
+        assert_eq!(completions[0], t(12));
+        assert!(out.metrics.task(TaskId::new(2)).deadline_misses() >= 1);
+        assert_eq!(
+            out.metrics.task(TaskId::new(2)).max_eer(),
+            Some(Dur::from_ticks(8))
+        );
+        assert!(out.violations.is_empty());
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn pm_reproduces_figure5() {
+        let out = run(Protocol::PhaseModification, 6);
+        let tr = out.trace.as_ref().unwrap();
+        // T2,2 strictly periodic from phase 4.
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        assert_eq!(&tr.releases_of(t22)[..4], &[t(4), t(10), t(16), t(22)]);
+        // First T3 instance completes by 9 and never misses.
+        let t3 = SubtaskId::new(TaskId::new(2), 0);
+        assert_eq!(tr.completions_of(t3)[0], t(9));
+        assert_eq!(out.metrics.task(TaskId::new(2)).deadline_misses(), 0);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn rg_reproduces_figure7() {
+        let out = run(Protocol::ReleaseGuard, 6);
+        let tr = out.trace.as_ref().unwrap();
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let releases = tr.releases_of(t22);
+        // First release at 4; second deferred from 8, freed by the idle
+        // point at 9 (T3 completes at 9).
+        assert_eq!(&releases[..2], &[t(4), t(9)]);
+        let t3 = SubtaskId::new(TaskId::new(2), 0);
+        assert_eq!(tr.completions_of(t3)[0], t(9));
+        assert_eq!(out.metrics.task(TaskId::new(2)).deadline_misses(), 0);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn mpm_equals_pm_under_ideal_conditions() {
+        // §3.1: "under the ideal conditions … the PM protocol and the MPM
+        // protocol produce identical schedules."
+        let pm = run(Protocol::PhaseModification, 10);
+        let mpm = run(Protocol::ModifiedPhaseModification, 10);
+        // Same-instant events interleave differently (timer vs clock), so
+        // compare the *schedule* — time-ordered segments per processor —
+        // rather than recording order.
+        for p in 0..2 {
+            let proc = ProcessorId::new(p);
+            assert_eq!(
+                pm.trace.as_ref().unwrap().segments_on(proc),
+                mpm.trace.as_ref().unwrap().segments_on(proc),
+                "{proc}"
+            );
+        }
+        assert!(mpm.violations.is_empty());
+    }
+
+    #[test]
+    fn chain_pipeline_on_example1() {
+        let out = simulate(
+            &example1(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(4)
+                .with_trace(),
+        )
+        .unwrap();
+        // Sole task, no interference: EER = 2 + 3 + 2 = 7 every instance.
+        let s = out.metrics.task(TaskId::new(0));
+        assert_eq!(s.completed(), 4);
+        assert_eq!(s.avg_eer(), Some(7.0));
+        assert_eq!(s.max_output_jitter(), Dur::ZERO);
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn horizon_stops_unschedulable_systems() {
+        // Under DS, T2 keeps missing; cap the horizon and make sure the
+        // run terminates without reaching an absurd target.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(1_000_000)
+                .with_horizon(t(600)),
+        )
+        .unwrap();
+        assert!(!out.reached_target);
+        assert!(out.end_time <= t(600));
+    }
+
+    #[test]
+    fn observed_utilization_matches_the_workload() {
+        // Example 2's processors are 5/6 ≈ 83.3% utilized; over many
+        // periods the observed busy fraction converges there.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::ReleaseGuard).with_instances(200),
+        )
+        .unwrap();
+        for p in 0..2 {
+            let u = out.observed_utilization(ProcessorId::new(p)).unwrap();
+            assert!((u - 5.0 / 6.0).abs() < 0.02, "P{p}: {u}");
+        }
+        assert_eq!(out.busy_ticks.len(), 2);
+    }
+
+    #[test]
+    fn per_subtask_responses_respect_sa_pm_bounds() {
+        use rtsync_core::analysis::sa_pm::analyze_pm;
+        use rtsync_core::analysis::AnalysisConfig;
+        let set = example2();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::ReleaseGuard).with_instances(30),
+        )
+        .unwrap();
+        for task in set.tasks() {
+            for sub in task.subtasks() {
+                let s = out.metrics.subtask(sub.id());
+                assert!(s.completed() >= 30, "{}", sub.id());
+                let max = s.max_response().unwrap();
+                assert!(
+                    max <= bounds.response(sub.id()),
+                    "{}: observed {max} > bound {}",
+                    sub.id(),
+                    bounds.response(sub.id())
+                );
+                assert!(s.avg_response().unwrap() >= sub.execution().as_f64());
+            }
+        }
+        // T2,1 (our T1.0) attains its bound 4 under interference from T1.
+        assert_eq!(
+            out.metrics
+                .subtask(SubtaskId::new(TaskId::new(1), 0))
+                .max_response(),
+            Some(Dur::from_ticks(4))
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_transient_from_statistics() {
+        // Warm-up changes only the accounting window, not the schedule.
+        let with = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(12)
+                .with_warmup(4),
+        )
+        .unwrap();
+        let without = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync).with_instances(12),
+        )
+        .unwrap();
+        let w = with.metrics.task(TaskId::new(2));
+        let wo = without.metrics.task(TaskId::new(2));
+        assert_eq!(w.completed(), wo.completed());
+        assert_eq!(w.measured() + 4, wo.measured());
+        assert!(w.max_eer() <= wo.max_eer());
+    }
+
+    #[test]
+    fn highest_locker_ceiling_blocks_and_analysis_covers_it() {
+        use rtsync_core::analysis::sa_pm::analyze_pm;
+        use rtsync_core::analysis::AnalysisConfig;
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        // Low-priority T1 (p=20, c=6) holds R0 on executed [1, 5); the
+        // high-priority T0 (p=20, c=2, phase 2, also uses R0 briefly) is
+        // released while T1 is inside the section and must wait for its
+        // end despite outranking T1.
+        let set = TaskSet::builder(1)
+            .task(d(20))
+            .phase(t(2))
+            .subtask(0, d(2), Priority::new(0))
+            .critical_section(0, d(0), d(1))
+            .finish_task()
+            .task(d(20))
+            .subtask(0, d(6), Priority::new(1))
+            .critical_section(0, d(1), d(4))
+            .finish_task()
+            .build()
+            .unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(3)
+                .with_trace(),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        // T1 runs 0-2 (base, then raised at executed 1); T0 arrives at 2
+        // but T1 is at ceiling until executed 5 (wall time 5); T0 runs 5-7;
+        // T1 finishes 7-8.
+        let t0 = SubtaskId::new(TaskId::new(0), 0);
+        let t1 = SubtaskId::new(TaskId::new(1), 0);
+        assert_eq!(tr.completions_of(t0)[0], t(7));
+        assert_eq!(tr.completions_of(t1)[0], t(8));
+        // Observed response of T0: 7 - 2 = 5 = blocking 4 + its own 2 - 1…
+        // and the blocking-aware SA/PM bound covers it: B = 4, C = 2 → 6.
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        assert_eq!(bounds.response(t0), d(6));
+        assert_eq!(out.metrics.task(TaskId::new(0)).max_eer(), Some(d(5)));
+        // The CS-aware validator accepts the schedule.
+        let defects = crate::check::validate_schedule(&set, tr, true);
+        assert!(defects.is_empty(), "{defects:?}");
+    }
+
+    #[test]
+    fn ceiling_lower_than_arrival_does_not_block() {
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        // R0's ceiling is priority 1 (only mid and low use it); a
+        // priority-0 arrival preempts even inside the section.
+        let set = TaskSet::builder(1)
+            .task(d(30))
+            .phase(t(2))
+            .subtask(0, d(2), Priority::new(0)) // no resources
+            .finish_task()
+            .task(d(30))
+            .subtask(0, d(3), Priority::new(1))
+            .critical_section(0, d(0), d(1))
+            .finish_task()
+            .task(d(30))
+            .subtask(0, d(6), Priority::new(2))
+            .critical_section(0, d(1), d(4))
+            .finish_task()
+            .build()
+            .unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(2)
+                .with_trace(),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        // Low T2 starts at 0 (T1 base 1 vs T2... wait: T1 released at 0
+        // too and outranks T2, runs 0-3; T2 runs 3-4 then enters its
+        // section at executed 1 (wall 4); T0 arrives at 2 — during T1!
+        // T1 is not in any ceiling ≥ 0, so T0 preempts at 2, runs 2-4.
+        let t0 = SubtaskId::new(TaskId::new(0), 0);
+        assert_eq!(tr.completions_of(t0)[0], t(4));
+    }
+
+    #[test]
+    fn nonpreemptive_subtask_blocks_higher_priority() {
+        use rtsync_core::analysis::sa_pm::analyze_pm;
+        use rtsync_core::analysis::AnalysisConfig;
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        // High-priority T0 (p=10, c=2) released at phase 1; low-priority
+        // non-preemptive T1 (p=10, c=5) grabs the processor at 0 and runs
+        // to 5 despite T0's arrival at 1.
+        let set = TaskSet::builder(1)
+            .task(d(10))
+            .phase(t(1))
+            .subtask(0, d(2), Priority::new(0))
+            .finish_task()
+            .task(d(10))
+            .nonpreemptive_subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(3)
+                .with_trace(),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        // T1 runs [0, 5) uninterrupted; T0's first instance completes at 7.
+        let t1_segs = tr.segments_on(ProcessorId::new(0));
+        assert_eq!(t1_segs[0].job, JobId::new(SubtaskId::new(TaskId::new(1), 0), 0));
+        assert_eq!((t1_segs[0].start, t1_segs[0].end), (t(0), t(5)));
+        let t0 = SubtaskId::new(TaskId::new(0), 0);
+        assert_eq!(tr.completions_of(t0)[0], t(7));
+        // The independent validator accepts this as legitimate blocking.
+        let defects = crate::check::validate_schedule(&set, tr, true);
+        assert!(defects.is_empty(), "{defects:?}");
+        // The blocking-aware analysis covers the observed worst case:
+        // B = 4, so R(T0) = 4 + 2 = 6 ≥ observed 7 − 1(phase-relative)…
+        // observed response = 7 − 1 = 6 exactly.
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        assert_eq!(bounds.response(t0), d(6));
+        assert_eq!(
+            out.metrics.task(TaskId::new(0)).max_eer(),
+            Some(d(6))
+        );
+    }
+
+    #[test]
+    fn preemptive_version_of_the_same_system_preempts() {
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        let set = TaskSet::builder(1)
+            .task(d(10))
+            .phase(t(1))
+            .subtask(0, d(2), Priority::new(0))
+            .finish_task()
+            .task(d(10))
+            .subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(3)
+                .with_trace(),
+        )
+        .unwrap();
+        let t0 = SubtaskId::new(TaskId::new(0), 0);
+        // T0 preempts at 1 and completes at 3.
+        assert_eq!(out.trace.as_ref().unwrap().completions_of(t0)[0], t(3));
+    }
+
+    #[test]
+    fn rg_rule2_fires_when_a_signal_lands_on_an_idle_processor() {
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        // P0: T1 (p=20, c=5, prio 0) delays T0.0 (p=10, c=2, prio 1) in the
+        // first period only. T0.1 (c=1) is alone on P1.
+        //   Signals to P1 arrive at 7 (delayed) and 12 (undelayed): 5 ticks
+        //   apart, inside the period-10 guard window — but P1 has been idle
+        //   since 8, so rule 2 must release the second instance at 12, not
+        //   at the guard time 17.
+        let set = TaskSet::builder(2)
+            .task(d(10))
+            .subtask(0, d(2), Priority::new(1))
+            .subtask(1, d(1), Priority::new(0))
+            .finish_task()
+            .task(d(20))
+            .subtask(0, d(5), Priority::new(0))
+            .finish_task()
+            .build()
+            .unwrap();
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::ReleaseGuard)
+                .with_instances(4)
+                .with_trace(),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        let t01 = SubtaskId::new(TaskId::new(0), 1);
+        let releases = tr.releases_of(t01);
+        assert_eq!(releases[0], t(7));
+        assert_eq!(releases[1], t(12), "idle point at the signal instant");
+    }
+
+    #[test]
+    fn rg_without_rule2_defers_to_the_guard() {
+        // The Figure-7 scenario with rule 2 disabled: the deferred second
+        // instance of T2,2 waits until its guard at 10 instead of being
+        // freed by the idle point at 9.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::ReleaseGuard)
+                .with_instances(4)
+                .with_trace()
+                .without_rg_rule2(),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        assert_eq!(&tr.releases_of(t22)[..2], &[t(4), t(10)]);
+        // Rule 1 alone still bounds the worst case: no deadline misses.
+        assert_eq!(out.metrics.task(TaskId::new(2)).deadline_misses(), 0);
+        // And the average EER of T2 (the chain) is strictly worse than
+        // with rule 2.
+        let with_rule2 = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::ReleaseGuard).with_instances(4),
+        )
+        .unwrap();
+        assert!(
+            out.metrics.task(TaskId::new(1)).avg_eer().unwrap()
+                > with_rule2.metrics.task(TaskId::new(1)).avg_eer().unwrap()
+        );
+    }
+
+    #[test]
+    fn same_instant_cross_processor_release_does_not_delay_a_finished_job() {
+        // Regression for a bound-soundness bug found by the property tests:
+        // T1 (lowest priority on P0) finishes its last tick at 12, the very
+        // instant T0's chain hops back onto P0 (T0.1 completes on P1 at 12
+        // and releases T0.2). T1's completion must be recognized at 12 —
+        // its worst EER is the SA/PM bound 8, not 10.
+        use rtsync_core::analysis::sa_pm::analyze_pm;
+        use rtsync_core::analysis::AnalysisConfig;
+        use rtsync_core::task::{Priority, TaskSet};
+        let d = Dur::from_ticks;
+        let set = TaskSet::builder(2)
+            .task(d(8))
+            .subtask(0, d(2), Priority::new(0))
+            .subtask(1, d(2), Priority::new(0))
+            .subtask(0, d(2), Priority::new(1))
+            .finish_task()
+            .task(d(16))
+            .phase(t(4))
+            .subtask(0, d(3), Priority::new(3))
+            .finish_task()
+            .task(d(8))
+            .subtask(0, d(1), Priority::new(2))
+            .finish_task()
+            .build()
+            .unwrap();
+        let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
+        for protocol in Protocol::ALL {
+            let out = simulate(&set, &SimConfig::new(protocol).with_instances(8)).unwrap();
+            for task in set.tasks() {
+                let max = out.metrics.task(task.id()).max_eer().unwrap();
+                assert!(
+                    max <= bounds.task_bound(task.id()),
+                    "{protocol:?}: task {} observed {max} > bound {}",
+                    task.id(),
+                    bounds.task_bound(task.id())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_events_backstop_terminates_runs() {
+        let mut cfg = SimConfig::new(Protocol::DirectSync).with_instances(1_000_000);
+        cfg.max_events = 25;
+        let out = simulate(&example2(), &cfg).unwrap();
+        assert!(out.events <= 25);
+        assert!(!out.reached_target);
+    }
+
+    #[test]
+    fn determinism_same_config_same_outcome() {
+        let a = run(Protocol::ReleaseGuard, 8);
+        let b = run(Protocol::ReleaseGuard, 8);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,239 @@
+//! The deterministic event queue.
+//!
+//! Events are totally ordered by `(time, kind rank, insertion sequence)`.
+//! The kind rank encodes the same-instant semantics the protocols need:
+//! completions are observed before any release at the same instant (a job
+//! finishing exactly when a higher-priority job arrives is *not* preempted),
+//! and timer/guard firings precede fresh releases. The insertion sequence
+//! makes every run bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rtsync_core::task::{ProcessorId, SubtaskId, TaskId};
+use rtsync_core::time::Time;
+
+use crate::job::JobId;
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A tentative completion of the job currently running on `proc`;
+    /// valid only if `gen` still matches the processor's completion
+    /// generation (stale completions are skipped).
+    Completion {
+        /// The processor whose running job completes.
+        proc: ProcessorId,
+        /// Generation stamp for lazy invalidation.
+        gen: u64,
+    },
+    /// An MPM per-release timer fired: `R_{i,j}` ticks after `job`'s
+    /// release, signal the successor's processor.
+    MpmTimer {
+        /// The predecessor job whose timer fired.
+        job: JobId,
+    },
+    /// A deferred RG release reaches its guard time; valid only if `gen`
+    /// matches the guard's generation (idle points invalidate deferrals).
+    GuardExpiry {
+        /// The guarded subtask.
+        subtask: SubtaskId,
+        /// Generation stamp for lazy invalidation.
+        gen: u64,
+    },
+    /// The external source releases the next instance of a task's first
+    /// subtask.
+    SourceRelease {
+        /// The task.
+        task: TaskId,
+        /// The 0-based instance to release.
+        instance: u64,
+    },
+    /// The PM protocol's clock-driven release of a later subtask.
+    TimedRelease {
+        /// The subtask.
+        subtask: SubtaskId,
+        /// The 0-based instance to release.
+        instance: u64,
+    },
+}
+
+impl EventKind {
+    /// Same-instant processing rank (lower fires first).
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::Completion { .. } => 0,
+            EventKind::MpmTimer { .. } => 1,
+            EventKind::GuardExpiry { .. } => 2,
+            EventKind::SourceRelease { .. } => 3,
+            EventKind::TimedRelease { .. } => 4,
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Time,
+    /// What fires.
+    pub kind: EventKind,
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of [`Event`]s.
+#[derive(Default, Debug)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, kind, seq });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn completion(proc: usize, gen: u64) -> EventKind {
+        EventKind::Completion {
+            proc: ProcessorId::new(proc),
+            gen,
+        }
+    }
+
+    fn source(task: usize, instance: u64) -> EventKind {
+        EventKind::SourceRelease {
+            task: TaskId::new(task),
+            instance,
+        }
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(t(5), source(0, 0));
+        q.push(t(1), source(1, 0));
+        q.push(t(3), source(2, 0));
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn completions_fire_before_releases_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(t(4), source(0, 1));
+        q.push(t(4), completion(0, 7));
+        let first = q.pop().unwrap();
+        assert!(matches!(first.kind, EventKind::Completion { .. }));
+        let second = q.pop().unwrap();
+        assert!(matches!(second.kind, EventKind::SourceRelease { .. }));
+    }
+
+    #[test]
+    fn full_same_instant_rank_order() {
+        let mut q = EventQueue::new();
+        let sub = SubtaskId::new(TaskId::new(0), 1);
+        q.push(t(2), EventKind::TimedRelease { subtask: sub, instance: 0 });
+        q.push(t(2), source(0, 0));
+        q.push(t(2), EventKind::GuardExpiry { subtask: sub, gen: 0 });
+        q.push(
+            t(2),
+            EventKind::MpmTimer {
+                job: JobId::new(sub, 0),
+            },
+        );
+        q.push(t(2), completion(1, 0));
+        let ranks: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Completion { .. } => 0,
+                EventKind::MpmTimer { .. } => 1,
+                EventKind::GuardExpiry { .. } => 2,
+                EventKind::SourceRelease { .. } => 3,
+                EventKind::TimedRelease { .. } => 4,
+            })
+            .collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(t(2), source(0, 0));
+        q.push(t(2), source(1, 0));
+        q.push(t(2), source(2, 0));
+        let tasks: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::SourceRelease { task, .. } => task.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tasks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(9), source(0, 0));
+        q.push(t(2), source(0, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! A compact logarithmic histogram of end-to-end response times.
+//!
+//! The paper's evaluation reports *mean* EER times; practitioners also
+//! want tails. [`EerHistogram`] records every measured EER in
+//! HDR-histogram-style buckets — 16 sub-buckets per octave, so any
+//! reported quantile is an upper bound within **6.25%** of the true sample
+//! — using a fixed 1 KiB footprint regardless of how many samples arrive.
+
+use rtsync_core::time::Dur;
+
+const SUB: u64 = 16; // sub-buckets per octave
+const BUCKETS: usize = 1024;
+
+/// Fixed-footprint log-bucket histogram of non-negative durations.
+#[derive(Clone, Debug)]
+pub struct EerHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for EerHistogram {
+    fn default() -> EerHistogram {
+        EerHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl EerHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> EerHistogram {
+        EerHistogram::default()
+    }
+
+    /// Records one duration. Negative durations (impossible for EER times
+    /// of precedence-respecting schedules) clamp to zero.
+    pub fn record(&mut self, value: Dur) {
+        let v = value.ticks().max(0) as u64;
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// An upper bound (within 6.25%) on the `q`-quantile of the recorded
+    /// samples, `q ∈ (0, 1]`; `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<Dur> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Dur::from_ticks(bucket_high(i) as i64));
+            }
+        }
+        unreachable!("cumulative count reaches the total");
+    }
+}
+
+/// Bucket index for value `v`: identity below 16, then
+/// `16 sub-buckets per power of two`.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64; // ≥ 4
+    let sub = (v >> (exp - 4)) - SUB; // top 4 mantissa bits
+    let idx = SUB + (exp - 4) * SUB + sub;
+    (idx as usize).min(BUCKETS - 1)
+}
+
+/// The largest value mapping to bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let octave = (i - SUB) / SUB + 4;
+    let sub = (i - SUB) % SUB;
+    let low = (SUB + sub) << (octave - 4);
+    low + (1u64 << (octave - 4)) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = EerHistogram::new();
+        for v in 0..16 {
+            h.record(d(v));
+        }
+        assert_eq!(h.len(), 16);
+        assert_eq!(h.quantile(1.0), Some(d(15)));
+        assert_eq!(h.quantile(0.5), Some(d(7))); // 8th of 16 samples
+        assert_eq!(h.quantile(0.0625), Some(d(0)));
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds_within_one_sixteenth() {
+        let mut h = EerHistogram::new();
+        let samples: Vec<i64> = (1..=2_000).map(|i| i * 37 % 100_000 + 1).collect();
+        for &s in &samples {
+            h.record(d(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q).unwrap().ticks();
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            assert!(
+                got as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "q={q}: {got} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for v in [0u64, 1, 15, 16, 17, 100, 1_000, 123_456, u32::MAX as u64] {
+            let b = bucket_of(v);
+            assert!(bucket_high(b) >= v, "v={v} b={b}");
+            if b > 0 {
+                // The previous bucket ends strictly below v.
+                assert!(bucket_high(b - 1) < v, "v={v} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_edges() {
+        let h = EerHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = EerHistogram::new();
+        h.record(d(-5)); // clamps to zero
+        assert_eq!(h.quantile(1.0), Some(d(0)));
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn quantile_range_checked() {
+        let mut h = EerHistogram::new();
+        h.record(d(1));
+        let _ = h.quantile(0.0);
+    }
+
+    #[test]
+    fn huge_values_saturate_into_the_last_bucket() {
+        let mut h = EerHistogram::new();
+        h.record(Dur::MAX);
+        assert_eq!(h.len(), 1);
+        assert!(h.quantile(1.0).is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! Job identities: one released instance of one subtask.
+
+use std::fmt;
+
+use rtsync_core::task::{SubtaskId, TaskId};
+
+/// The `instance`-th released instance (0-based) of a subtask. The paper
+/// writes `T_{i,j}(m)` with `m` 1-based; our `instance` is `m − 1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId {
+    subtask: SubtaskId,
+    instance: u64,
+}
+
+impl JobId {
+    /// Creates a job id.
+    pub const fn new(subtask: SubtaskId, instance: u64) -> JobId {
+        JobId { subtask, instance }
+    }
+
+    /// The subtask this job instantiates.
+    pub const fn subtask(self) -> SubtaskId {
+        self.subtask
+    }
+
+    /// The parent task.
+    pub const fn task(self) -> TaskId {
+        self.subtask.task()
+    }
+
+    /// The 0-based instance number.
+    pub const fn instance(self) -> u64 {
+        self.instance
+    }
+
+    /// The same instance of the predecessor subtask, if any.
+    pub fn predecessor(self) -> Option<JobId> {
+        self.subtask
+            .predecessor()
+            .map(|p| JobId::new(p, self.instance))
+    }
+
+    /// The same instance of the successor subtask (caller checks the chain
+    /// length; see [`rtsync_core::task::Task::successor_of`]).
+    pub fn successor_unchecked(self) -> JobId {
+        JobId::new(self.subtask.successor_unchecked(), self.instance)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.subtask, self.instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(t: usize, j: usize) -> SubtaskId {
+        SubtaskId::new(TaskId::new(t), j)
+    }
+
+    #[test]
+    fn accessors_and_navigation() {
+        let j = JobId::new(sid(2, 1), 5);
+        assert_eq!(j.subtask(), sid(2, 1));
+        assert_eq!(j.task(), TaskId::new(2));
+        assert_eq!(j.instance(), 5);
+        assert_eq!(j.predecessor(), Some(JobId::new(sid(2, 0), 5)));
+        assert_eq!(j.successor_unchecked(), JobId::new(sid(2, 2), 5));
+        assert_eq!(JobId::new(sid(2, 0), 5).predecessor(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(JobId::new(sid(1, 0), 3).to_string(), "T1.0#3");
+    }
+
+    #[test]
+    fn ordering_is_by_subtask_then_instance() {
+        let a = JobId::new(sid(0, 0), 9);
+        let b = JobId::new(sid(0, 1), 0);
+        assert!(a < b);
+        assert!(JobId::new(sid(0, 0), 1) < JobId::new(sid(0, 0), 2));
+    }
+}

@@ -1,0 +1,619 @@
+//! One processor's preemptive fixed-priority scheduler state.
+//!
+//! The engine drives each [`Processor`] with three operations:
+//!
+//! * [`Processor::advance`] — account the wall-clock progress of the
+//!   running job up to "now" (returns the executed slice for the trace);
+//! * [`Processor::release`] — enqueue a newly released job;
+//! * [`Processor::reschedule`] — (re)pick the job to run and learn whether
+//!   a new tentative *milestone* event must be scheduled.
+//!
+//! A milestone is the next instant the running job needs attention: its
+//! **completion**, or a **priority boundary** — the start or end of a
+//! critical section, where its Highest-Locker effective priority changes
+//! (see [`crate::profile`]). Tentative milestones are invalidated lazily:
+//! every time the running slot (or its effective priority) changes, the
+//! milestone *generation* is bumped, and a stale event is skipped by the
+//! engine.
+//!
+//! Dispatch rules:
+//!
+//! * comparisons use **effective** priorities: a never-started job queues
+//!   at its base priority (it holds no locks); started jobs carry the
+//!   profile priority at their executed amount;
+//! * equal effective priorities run FIFO in release order;
+//! * a running job with zero remaining work is never preempted (it has
+//!   finished at this very instant);
+//! * a running **non-preemptive** job is never preempted.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rtsync_core::task::{Priority, ProcessorId};
+use rtsync_core::time::{Dur, Time};
+
+use crate::job::JobId;
+use crate::profile::PriorityProfile;
+
+/// A contiguous slice of execution, for the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecutedSlice {
+    /// The job that ran.
+    pub job: JobId,
+    /// Slice start.
+    pub start: Time,
+    /// Slice end (exclusive).
+    pub end: Time,
+}
+
+#[derive(Clone, Debug)]
+struct QueuedJob {
+    effective: Priority,
+    fifo: u64,
+    job: JobId,
+    executed: Dur,
+    total: Dur,
+    profile: PriorityProfile,
+    preemptible: bool,
+    started: bool,
+    released_at: Time,
+}
+
+impl QueuedJob {
+    fn remaining(&self) -> Dur {
+        self.total - self.executed
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &QueuedJob) -> bool {
+        self.fifo == other.fifo
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &QueuedJob) -> Ordering {
+        // Max-heap: invert so the numerically lowest (= highest) effective
+        // priority wins, FIFO within a level.
+        other
+            .effective
+            .cmp(&self.effective)
+            .then_with(|| other.fifo.cmp(&self.fifo))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &QueuedJob) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// What [`Processor::reschedule`] decided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resched {
+    /// The running job keeps running and its outstanding milestone event is
+    /// still valid.
+    Unchanged,
+    /// A job (re)started or crossed a boundary: schedule a milestone event
+    /// at `at` with generation `gen`.
+    NewMilestone {
+        /// Milestone instant (completion or next priority boundary).
+        at: Time,
+        /// Generation to stamp on the event.
+        gen: u64,
+    },
+    /// Nothing to run.
+    Idle,
+}
+
+/// What a fired milestone meant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Milestone {
+    /// The job finished; it has been removed from the processor.
+    Completed(JobId),
+    /// The job reached a critical-section boundary: its effective priority
+    /// changed and it stays on the processor. Reschedule to arbitrate and
+    /// arm the next milestone.
+    Boundary(JobId),
+}
+
+/// Scheduler state of one processor.
+#[derive(Debug)]
+pub struct Processor {
+    id: ProcessorId,
+    ready: BinaryHeap<QueuedJob>,
+    running: Option<QueuedJob>,
+    last_advance: Time,
+    milestone_gen: u64,
+    /// The running job needs a fresh milestone event (set on dispatch and
+    /// on boundary crossings).
+    needs_milestone: bool,
+    next_fifo: u64,
+}
+
+impl Processor {
+    /// Creates an idle processor.
+    pub fn new(id: ProcessorId) -> Processor {
+        Processor {
+            id,
+            ready: BinaryHeap::new(),
+            running: None,
+            last_advance: Time::ZERO,
+            milestone_gen: 0,
+            needs_milestone: false,
+            next_fifo: 0,
+        }
+    }
+
+    /// This processor's id.
+    pub fn id(&self) -> ProcessorId {
+        self.id
+    }
+
+    /// `true` if nothing is running or ready.
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.ready.is_empty()
+    }
+
+    /// `true` if `now` is an *idle point* in the paper's sense (§3.2):
+    /// every instance released **strictly before** `now` has completed —
+    /// instances released at the instant itself do not count.
+    pub fn is_idle_point(&self, now: Time) -> bool {
+        self.running.is_none() && self.ready.iter().all(|j| j.released_at >= now)
+    }
+
+    /// The currently running job, if any.
+    pub fn running_job(&self) -> Option<JobId> {
+        self.running.as_ref().map(|r| r.job)
+    }
+
+    /// Number of released-but-incomplete jobs (running + ready).
+    pub fn backlog(&self) -> usize {
+        self.ready.len() + usize::from(self.running.is_some())
+    }
+
+    /// Accounts execution up to `now`. Returns the slice the running job
+    /// executed since the last advance, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time runs backwards or the running job is driven past its
+    /// remaining execution (both indicate an engine bug).
+    pub fn advance(&mut self, now: Time) -> Option<ExecutedSlice> {
+        assert!(now >= self.last_advance, "time ran backwards on {}", self.id);
+        let start = self.last_advance;
+        self.last_advance = now;
+        let elapsed = now - start;
+        if elapsed.is_zero() {
+            return None;
+        }
+        match self.running.as_mut() {
+            Some(r) => {
+                assert!(
+                    elapsed <= r.remaining(),
+                    "job {} overran: elapsed {elapsed} > remaining {}",
+                    r.job,
+                    r.remaining()
+                );
+                r.executed += elapsed;
+                Some(ExecutedSlice {
+                    job: r.job,
+                    start,
+                    end: now,
+                })
+            }
+            None => None,
+        }
+    }
+
+    /// Enqueues a released job: `execution` ticks of work under the given
+    /// effective-priority profile. A job with `preemptible: false` runs to
+    /// completion once it starts.
+    pub fn release(
+        &mut self,
+        job: JobId,
+        profile: PriorityProfile,
+        execution: Dur,
+        preemptible: bool,
+    ) {
+        let fifo = self.next_fifo;
+        self.next_fifo += 1;
+        self.ready.push(QueuedJob {
+            effective: profile.base(), // no locks held before first dispatch
+            fifo,
+            job,
+            executed: Dur::ZERO,
+            total: execution,
+            profile,
+            preemptible,
+            started: false,
+            released_at: self.last_advance,
+        });
+    }
+
+    /// Consumes a milestone event: `None` if `gen` is stale; otherwise
+    /// whether the job completed or crossed a priority boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gen` is current but there is no running job, or the job
+    /// is at neither its completion nor a boundary (engine bug:
+    /// [`Processor::advance`] must be called to `now` first).
+    pub fn take_milestone(&mut self, gen: u64) -> Option<Milestone> {
+        if gen != self.milestone_gen {
+            return None; // stale event, superseded
+        }
+        self.milestone_gen += 1;
+        let r = self
+            .running
+            .as_mut()
+            .expect("current-generation milestone with no running job");
+        if r.remaining().is_zero() {
+            let job = r.job;
+            self.running = None;
+            return Some(Milestone::Completed(job));
+        }
+        // A boundary: the effective priority changes right here.
+        debug_assert_eq!(
+            r.profile.next_change_after(r.executed - Dur::from_ticks(1)),
+            Some(r.executed),
+            "milestone fired away from completion or boundary on {}",
+            r.job
+        );
+        r.effective = r.profile.at(r.executed);
+        self.needs_milestone = true;
+        Some(Milestone::Boundary(r.job))
+    }
+
+    /// Picks the job to run at `now` (see the module docs for the rules).
+    pub fn reschedule(&mut self, now: Time) -> Resched {
+        let preempt = match (&self.running, self.ready.peek()) {
+            (Some(run), Some(top)) => {
+                run.preemptible
+                    && run.remaining().is_positive()
+                    && top.effective.is_higher_than(run.effective)
+            }
+            (None, Some(_)) => true,
+            (_, None) => false,
+        };
+        if preempt {
+            if let Some(run) = self.running.take() {
+                // The preempted job keeps its FIFO stamp and its *current*
+                // effective priority (locks stay held across preemption).
+                self.ready.push(run);
+            }
+            let mut top = self.ready.pop().expect("peeked job vanished");
+            // Dispatch acquires any lock whose section starts right here.
+            top.started = true;
+            top.effective = top.profile.at(top.executed);
+            self.running = Some(top);
+            self.needs_milestone = true;
+        }
+        if self.needs_milestone {
+            if let Some(run) = &self.running {
+                self.needs_milestone = false;
+                self.milestone_gen += 1;
+                let to_boundary = run
+                    .profile
+                    .next_change_after(run.executed)
+                    .map(|b| b - run.executed);
+                let step = match to_boundary {
+                    Some(b) => b.min(run.remaining()),
+                    None => run.remaining(),
+                };
+                return Resched::NewMilestone {
+                    at: now + step,
+                    gen: self.milestone_gen,
+                };
+            }
+        }
+        if self.running.is_some() {
+            Resched::Unchanged
+        } else {
+            Resched::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+impl Processor {
+    /// Test helper: the current milestone generation.
+    pub(crate) fn current_gen(&self) -> u64 {
+        self.milestone_gen
+    }
+}
+
+#[cfg(test)]
+impl PriorityProfile {
+    /// Test helper: a profile from explicit `(offset, priority)` change
+    /// points after the base.
+    pub(crate) fn for_subtask_test(
+        base: Priority,
+        changes: Vec<(Dur, Priority)>,
+    ) -> PriorityProfile {
+        let mut p = PriorityProfile::flat(base);
+        for (off, prio) in changes {
+            p.push_change(off, prio);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::task::{SubtaskId, TaskId};
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn job(task: usize, sub: usize, m: u64) -> JobId {
+        JobId::new(SubtaskId::new(TaskId::new(task), sub), m)
+    }
+
+    fn proc() -> Processor {
+        Processor::new(ProcessorId::new(0))
+    }
+
+    fn flat(level: u32) -> PriorityProfile {
+        PriorityProfile::flat(Priority::new(level))
+    }
+
+    /// Release with a flat profile (the no-resources common case).
+    fn rel(p: &mut Processor, j: JobId, level: u32, exec: i64) {
+        p.release(j, flat(level), d(exec), true);
+    }
+
+    #[test]
+    fn runs_a_single_job_to_completion() {
+        let mut p = proc();
+        assert!(p.is_idle());
+        rel(&mut p, job(0, 0, 0), 0, 3);
+        let r = p.reschedule(t(0));
+        assert_eq!(r, Resched::NewMilestone { at: t(3), gen: 1 });
+        let slice = p.advance(t(3)).unwrap();
+        assert_eq!(slice.job, job(0, 0, 0));
+        assert_eq!((slice.start, slice.end), (t(0), t(3)));
+        assert_eq!(p.take_milestone(1), Some(Milestone::Completed(job(0, 0, 0))));
+        assert!(p.is_idle());
+        assert_eq!(p.reschedule(t(3)), Resched::Idle);
+    }
+
+    #[test]
+    fn preemption_invalidates_old_milestone() {
+        let mut p = proc();
+        rel(&mut p, job(1, 0, 0), 1, 5);
+        let gen1 = match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(5));
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        // A higher-priority job arrives at 2.
+        p.advance(t(2));
+        rel(&mut p, job(0, 0, 0), 0, 3);
+        let gen2 = match p.reschedule(t(2)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(5));
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        assert!(gen2 > gen1);
+        p.advance(t(5));
+        assert_eq!(p.take_milestone(gen1), None, "stale event skipped");
+        assert_eq!(
+            p.take_milestone(gen2),
+            Some(Milestone::Completed(job(0, 0, 0)))
+        );
+        // The preempted job resumes with 3 ticks left.
+        match p.reschedule(t(5)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(8)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_preemption_by_equal_or_lower_priority() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 1, 4);
+        p.reschedule(t(0));
+        p.advance(t(1));
+        rel(&mut p, job(1, 0, 0), 2, 1);
+        assert_eq!(p.reschedule(t(1)), Resched::Unchanged);
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+    }
+
+    #[test]
+    fn fifo_among_equal_priority_instances() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 2);
+        rel(&mut p, job(0, 0, 1), 0, 2);
+        let gen = match p.reschedule(t(0)) {
+            Resched::NewMilestone { gen, .. } => gen,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+        p.advance(t(2));
+        assert_eq!(p.take_milestone(gen), Some(Milestone::Completed(job(0, 0, 0))));
+        match p.reschedule(t(2)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(4)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.running_job(), Some(job(0, 0, 1)));
+    }
+
+    #[test]
+    fn finished_job_is_not_preempted_at_its_completion_instant() {
+        let mut p = proc();
+        rel(&mut p, job(1, 0, 0), 1, 3);
+        let gen = match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(3));
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        p.advance(t(3)); // remaining hits zero
+        rel(&mut p, job(0, 0, 0), 0, 2);
+        assert_eq!(p.reschedule(t(3)), Resched::Unchanged);
+        assert_eq!(p.take_milestone(gen), Some(Milestone::Completed(job(1, 0, 0))));
+        match p.reschedule(t(3)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(5)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+    }
+
+    #[test]
+    fn nonpreemptive_running_job_blocks_higher_priority() {
+        let mut p = proc();
+        p.release(job(1, 0, 0), flat(1), d(4), false);
+        p.reschedule(t(0));
+        p.advance(t(1));
+        rel(&mut p, job(0, 0, 0), 0, 1);
+        assert_eq!(p.reschedule(t(1)), Resched::Unchanged);
+        assert_eq!(p.running_job(), Some(job(1, 0, 0)));
+    }
+
+    #[test]
+    fn boundary_raises_and_lowers_effective_priority() {
+        // Low job (base 2) with a ceiling-0 section on [1, 3) of 4 ticks.
+        let mut p = proc();
+        let profile = PriorityProfile::for_subtask_test(
+            Priority::new(2),
+            vec![(d(1), Priority::new(0)), (d(3), Priority::new(2))],
+        );
+        p.release(job(1, 0, 0), profile, d(4), true);
+        let g1 = match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(1), "first milestone at the section start");
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        p.advance(t(1));
+        assert_eq!(p.take_milestone(g1), Some(Milestone::Boundary(job(1, 0, 0))));
+        // Inside the section: a mid-priority arrival (1) cannot preempt
+        // the ceiling (0).
+        rel(&mut p, job(0, 0, 0), 1, 2);
+        let g2 = match p.reschedule(t(1)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(3), "next milestone at the section end");
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(p.running_job(), Some(job(1, 0, 0)));
+        p.advance(t(3));
+        assert_eq!(p.take_milestone(g2), Some(Milestone::Boundary(job(1, 0, 0))));
+        // Section over: the waiting mid-priority job preempts now.
+        match p.reschedule(t(3)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(5)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+        // …and the low job still holds its last tick for later.
+        p.advance(t(5));
+        assert!(matches!(
+            p.take_milestone(p.current_gen()),
+            Some(Milestone::Completed(_))
+        ));
+        match p.reschedule(t(5)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(6)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.running_job(), Some(job(1, 0, 0)));
+    }
+
+    #[test]
+    fn fresh_job_queues_at_base_not_ceiling() {
+        // A job whose section starts at offset 0 must still queue at base:
+        // a mid-priority job released at the same instant wins dispatch.
+        let mut p = proc();
+        let locker = PriorityProfile::for_subtask_test(
+            Priority::new(2),
+            vec![(d(0), Priority::new(0))],
+        );
+        p.release(job(1, 0, 0), locker, d(3), true);
+        rel(&mut p, job(0, 0, 0), 1, 2);
+        p.reschedule(t(0));
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+    }
+
+    #[test]
+    fn preempted_lock_holder_keeps_its_ceiling_in_the_queue() {
+        // The lock holder runs inside its section at ceiling 1; a priority-0
+        // job preempts; while queued, the holder outranks a fresh
+        // priority-2 arrival *and* a fresh priority-1½-style job cannot
+        // exist — verify it resumes before a later base-2 job.
+        let mut p = proc();
+        let holder = PriorityProfile::for_subtask_test(
+            Priority::new(3),
+            vec![(d(0), Priority::new(1))],
+        );
+        p.release(job(2, 0, 0), holder, d(2), true);
+        p.reschedule(t(0)); // holder starts, acquires (effective 1)
+        p.advance(t(1));
+        rel(&mut p, job(0, 0, 0), 0, 1); // preempts the ceiling
+        p.reschedule(t(1));
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)));
+        rel(&mut p, job(1, 0, 0), 2, 1); // fresh base-2 job
+        p.advance(t(2));
+        let _ = p.take_milestone(p.current_gen());
+        p.reschedule(t(2));
+        // The holder (effective 1 while holding) resumes ahead of base-2.
+        assert_eq!(p.running_job(), Some(job(2, 0, 0)));
+    }
+
+    #[test]
+    fn advance_splits_execution_into_slices() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 4);
+        p.reschedule(t(0));
+        let s1 = p.advance(t(1)).unwrap();
+        let s2 = p.advance(t(4)).unwrap();
+        assert_eq!((s1.start, s1.end), (t(0), t(1)));
+        assert_eq!((s2.start, s2.end), (t(1), t(4)));
+        assert_eq!(p.advance(t(4)), None, "zero elapsed yields no slice");
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn advance_backwards_panics() {
+        let mut p = proc();
+        p.advance(t(5));
+        p.advance(t(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "overran")]
+    fn advancing_past_remaining_panics() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 2);
+        p.reschedule(t(0));
+        p.advance(t(5));
+    }
+
+    #[test]
+    fn backlog_counts_running_and_ready() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 2);
+        rel(&mut p, job(1, 0, 0), 1, 2);
+        assert_eq!(p.backlog(), 2);
+        p.reschedule(t(0));
+        assert_eq!(p.backlog(), 2);
+        p.advance(t(2));
+        let _ = p.take_milestone(p.current_gen());
+        assert_eq!(p.backlog(), 1);
+    }
+}
+

@@ -1,0 +1,378 @@
+//! An independent tick-by-tick reference simulator.
+//!
+//! [`simulate_reference`] re-implements the whole system model — sources,
+//! all four synchronization protocols, preemptive fixed-priority dispatch
+//! — as a naive loop over integer ticks, sharing **no scheduling code**
+//! with the event-driven engine. Its purpose is cross-validation: on any
+//! critical-section-free system, the engine and the reference must produce
+//! identical release and completion histories (property-tested in
+//! `tests/reference_equivalence.rs` at the workspace root).
+//!
+//! The reference is O(horizon × jobs) instead of O(events log events), so
+//! it is only practical for small systems and short horizons — exactly the
+//! regime where an oracle is useful.
+//!
+//! # Panics
+//!
+//! [`simulate_reference`] panics if any subtask carries critical sections
+//! (effective-priority dynamics are out of the oracle's scope) or if the
+//! PM/MPM protocols are requested for a system SA/PM cannot analyze.
+
+use std::collections::VecDeque;
+
+use rtsync_core::analysis::sa_pm::{analyze_pm, PmBounds};
+use rtsync_core::phase::PmPhases;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::{SubtaskId, TaskSet};
+use rtsync_core::time::{Dur, Time};
+
+use crate::engine::SimConfig;
+use crate::job::JobId;
+
+/// Release and completion histories from the reference run.
+#[derive(Clone, Default, Debug)]
+pub struct ReferenceOutcome {
+    /// Every release, in occurrence order.
+    pub releases: Vec<(JobId, Time)>,
+    /// Every completion, in occurrence order.
+    pub completions: Vec<(JobId, Time)>,
+}
+
+struct LiveJob {
+    job: JobId,
+    remaining: Dur,
+    priority: rtsync_core::task::Priority,
+    preemptible: bool,
+    started: bool,
+    released_at: Time,
+    order: usize,
+}
+
+struct Guard {
+    subtask: SubtaskId,
+    proc: usize,
+    period: Dur,
+    time: Time,
+    pending: VecDeque<u64>,
+}
+
+/// Runs the reference simulation up to and including `horizon`.
+pub fn simulate_reference(set: &TaskSet, cfg: &SimConfig, horizon: Time) -> ReferenceOutcome {
+    assert!(
+        set.subtasks().all(|s| s.critical_sections().is_empty()),
+        "the reference oracle covers critical-section-free systems only"
+    );
+    let bounds: Option<PmBounds> = match cfg.protocol {
+        Protocol::PhaseModification | Protocol::ModifiedPhaseModification => Some(
+            analyze_pm(set, &cfg.analysis).expect("PM/MPM need an analyzable system"),
+        ),
+        _ => None,
+    };
+    let pm_phases = (cfg.protocol == Protocol::PhaseModification)
+        .then(|| PmPhases::compute(set, bounds.as_ref().expect("bounds computed")));
+
+    let mut out = ReferenceOutcome::default();
+    let mut live: Vec<LiveJob> = Vec::new();
+    let mut current: Vec<Option<JobId>> = vec![None; set.num_processors()];
+    let mut order = 0usize;
+
+    // Sources.
+    let mut src_next: Vec<Time> = set
+        .tasks()
+        .iter()
+        .map(|t| cfg.source.release_time(t.id(), t.period(), t.phase(), 0, None))
+        .collect();
+    let mut src_instance: Vec<u64> = vec![0; set.num_tasks()];
+
+    // PM clock releases.
+    let mut pm_next: Vec<(SubtaskId, Time, u64)> = match &pm_phases {
+        Some(phases) => set
+            .tasks()
+            .iter()
+            .flat_map(|t| {
+                t.subtasks()
+                    .iter()
+                    .skip(1)
+                    .map(|s| (s.id(), phases.phase(s.id()), 0u64))
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+
+    // MPM timers.
+    let mut timers: Vec<(Time, JobId)> = Vec::new();
+
+    // RG guards for non-first subtasks.
+    let mut guards: Vec<Guard> = if cfg.protocol == Protocol::ReleaseGuard {
+        set.tasks()
+            .iter()
+            .flat_map(|t| {
+                t.subtasks().iter().skip(1).map(|s| Guard {
+                    subtask: s.id(),
+                    proc: s.processor().index(),
+                    period: t.period(),
+                    time: Time::ZERO,
+                    pending: VecDeque::new(),
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut t = Time::ZERO;
+    while t <= horizon {
+        let mut to_release: Vec<JobId> = Vec::new();
+
+        // A. Completions (zero remaining work on the running job).
+        #[allow(clippy::needless_range_loop)] // indices pair `current` with processor ids
+        for p in 0..set.num_processors() {
+            let Some(cur) = current[p] else { continue };
+            let idx = live
+                .iter()
+                .position(|j| j.job == cur)
+                .expect("running job is live");
+            if !live[idx].remaining.is_zero() {
+                continue;
+            }
+            let job = live.remove(idx).job;
+            current[p] = None;
+            out.completions.push((job, t));
+            if let Some(succ) = set.task(job.task()).successor_of(job.subtask()) {
+                let succ_job = JobId::new(succ, job.instance());
+                match cfg.protocol {
+                    Protocol::DirectSync => to_release.push(succ_job),
+                    Protocol::ReleaseGuard => {
+                        let g = guards
+                            .iter_mut()
+                            .find(|g| g.subtask == succ)
+                            .expect("guarded subtask");
+                        if g.pending.is_empty() && t >= g.time {
+                            to_release.push(succ_job);
+                        } else {
+                            g.pending.push_back(succ_job.instance());
+                        }
+                    }
+                    Protocol::PhaseModification | Protocol::ModifiedPhaseModification => {}
+                }
+            }
+        }
+
+        // B. RG rule 2 at idle points (instances released at `t` itself do
+        //    not block idleness; `to_release` is not yet released at all).
+        if cfg.protocol == Protocol::ReleaseGuard && cfg.rg_apply_rule2 {
+            for p in 0..set.num_processors() {
+                let idle = live
+                    .iter()
+                    .filter(|j| set.subtask(j.job.subtask()).processor().index() == p)
+                    .all(|j| j.released_at >= t);
+                if !idle {
+                    continue;
+                }
+                for g in guards.iter_mut().filter(|g| g.proc == p) {
+                    g.time = t;
+                    if let Some(instance) = g.pending.pop_front() {
+                        to_release.push(JobId::new(g.subtask, instance));
+                    }
+                }
+            }
+        }
+
+        // C. MPM timers.
+        let mut i = 0;
+        while i < timers.len() {
+            if timers[i].0 == t {
+                let (_, job) = timers.swap_remove(i);
+                let succ = set
+                    .task(job.task())
+                    .successor_of(job.subtask())
+                    .expect("timers only for non-tails");
+                to_release.push(JobId::new(succ, job.instance()));
+            } else {
+                i += 1;
+            }
+        }
+
+        // D. RG guard expiries on busy processors.
+        if cfg.protocol == Protocol::ReleaseGuard {
+            for g in guards.iter_mut() {
+                if !g.pending.is_empty() && t >= g.time {
+                    let instance = g.pending.pop_front().expect("nonempty");
+                    to_release.push(JobId::new(g.subtask, instance));
+                }
+            }
+        }
+
+        // E. Source releases.
+        for (ti, task) in set.tasks().iter().enumerate() {
+            if src_next[ti] == t {
+                let job = JobId::new(SubtaskId::new(task.id(), 0), src_instance[ti]);
+                to_release.push(job);
+                src_instance[ti] += 1;
+                src_next[ti] = cfg.source.release_time(
+                    task.id(),
+                    task.period(),
+                    task.phase(),
+                    src_instance[ti],
+                    Some(t),
+                );
+            }
+        }
+
+        // F. PM clock releases.
+        for entry in pm_next.iter_mut() {
+            if entry.1 == t {
+                to_release.push(JobId::new(entry.0, entry.2));
+                entry.2 += 1;
+                entry.1 += set.task(entry.0.task()).period();
+            }
+        }
+
+        // Apply releases (RG rule 1 on guarded subtasks; MPM timers armed).
+        for job in to_release {
+            let sub = set.subtask(job.subtask());
+            out.releases.push((job, t));
+            live.push(LiveJob {
+                job,
+                remaining: sub.execution(),
+                priority: sub.priority(),
+                preemptible: sub.is_preemptible(),
+                started: false,
+                released_at: t,
+                order,
+            });
+            order += 1;
+            if cfg.protocol == Protocol::ReleaseGuard && !job.subtask().is_first() {
+                let g = guards
+                    .iter_mut()
+                    .find(|g| g.subtask == job.subtask())
+                    .expect("guarded subtask");
+                g.time = t + g.period; // rule 1
+            }
+            if cfg.protocol == Protocol::ModifiedPhaseModification {
+                let has_successor = set.task(job.task()).successor_of(job.subtask()).is_some();
+                if has_successor {
+                    let r = bounds
+                        .as_ref()
+                        .expect("MPM has bounds")
+                        .response(job.subtask());
+                    timers.push((t + r, job));
+                }
+            }
+        }
+
+        // G. Dispatch per processor.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..set.num_processors() {
+            let keep = current[p].is_some_and(|cur| {
+                let j = live.iter().find(|j| j.job == cur).expect("running is live");
+                j.started && !j.preemptible
+            });
+            if keep {
+                continue;
+            }
+            let best = live
+                .iter()
+                .filter(|j| set.subtask(j.job.subtask()).processor().index() == p)
+                .min_by_key(|j| (j.priority, j.order))
+                .map(|j| j.job);
+            match (current[p], best) {
+                (Some(cur), Some(b)) if b != cur => {
+                    let cur_prio = live
+                        .iter()
+                        .find(|j| j.job == cur)
+                        .expect("running is live")
+                        .priority;
+                    let b_prio = live
+                        .iter()
+                        .find(|j| j.job == b)
+                        .expect("best is live")
+                        .priority;
+                    if b_prio.is_higher_than(cur_prio) {
+                        current[p] = Some(b);
+                    }
+                }
+                (None, Some(b)) => current[p] = Some(b),
+                _ => {}
+            }
+        }
+
+        // H. One tick of execution.
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..set.num_processors() {
+            if let Some(cur) = current[p] {
+                let j = live
+                    .iter_mut()
+                    .find(|j| j.job == cur)
+                    .expect("running is live");
+                j.started = true;
+                j.remaining -= Dur::from_ticks(1);
+            }
+        }
+
+        t += Dur::from_ticks(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::examples::example2;
+    use rtsync_core::task::TaskId;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    #[test]
+    fn reference_reproduces_figure3_and_figure7() {
+        let set = example2();
+        let ds = simulate_reference(&set, &SimConfig::new(Protocol::DirectSync), t(30));
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let rel: Vec<i64> = ds
+            .releases
+            .iter()
+            .filter(|(j, _)| j.subtask() == t22)
+            .map(|&(_, time)| time.ticks())
+            .collect();
+        assert_eq!(&rel[..5], &[4, 8, 16, 20, 28]);
+
+        let rg = simulate_reference(&set, &SimConfig::new(Protocol::ReleaseGuard), t(30));
+        let rel: Vec<i64> = rg
+            .releases
+            .iter()
+            .filter(|(j, _)| j.subtask() == t22)
+            .map(|&(_, time)| time.ticks())
+            .collect();
+        assert_eq!(&rel[..2], &[4, 9], "rule 2 frees the deferral at 9");
+    }
+
+    #[test]
+    fn reference_pm_is_strictly_periodic() {
+        let set = example2();
+        let pm = simulate_reference(&set, &SimConfig::new(Protocol::PhaseModification), t(40));
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let rel: Vec<i64> = pm
+            .releases
+            .iter()
+            .filter(|(j, _)| j.subtask() == t22)
+            .map(|&(_, time)| time.ticks())
+            .collect();
+        assert_eq!(&rel[..4], &[4, 10, 16, 22]);
+    }
+
+    #[test]
+    #[should_panic(expected = "critical-section-free")]
+    fn rejects_systems_with_sections() {
+        use rtsync_core::task::{Priority, TaskSet};
+        let set = TaskSet::builder(1)
+            .task(Dur::from_ticks(10))
+            .subtask(0, Dur::from_ticks(2), Priority::new(0))
+            .critical_section(0, Dur::from_ticks(0), Dur::from_ticks(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let _ = simulate_reference(&set, &SimConfig::new(Protocol::DirectSync), t(10));
+    }
+}

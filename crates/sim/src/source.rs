@@ -1,0 +1,204 @@
+//! The external release process for first subtasks.
+//!
+//! The model of the paper: instances of each task's *first* subtask are
+//! released by the environment at a minimum separation of one period. Two
+//! source models:
+//!
+//! * [`SourceModel::Periodic`] — strictly periodic releases at
+//!   `phase + m·period` (the paper's simulation setting);
+//! * [`SourceModel::Sporadic`] — each release slips a deterministic
+//!   pseudo-random extra delay after the minimum separation
+//!   (`release_m = release_{m−1} + period + extra`). This is the setting
+//!   that breaks the PM protocol (§3.1: PM "does not work correctly" when
+//!   inter-release times exceed the period) while MPM and RG keep working —
+//!   exercised by the jitter-injection tests and example.
+//!
+//! Extra delays come from a tiny inline SplitMix64 keyed by
+//! `(seed, task, instance)`, so runs are reproducible without an RNG
+//! dependency.
+
+use rtsync_core::task::TaskId;
+use rtsync_core::time::{Dur, Time};
+
+/// How first-subtask releases are generated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SourceModel {
+    /// Strictly periodic: `phase + m·period`.
+    Periodic,
+    /// Sporadic: consecutive releases separated by
+    /// `period + U{0..=max_extra}` ticks (deterministic in `seed`).
+    Sporadic {
+        /// Largest extra delay added after the minimum separation.
+        max_extra: Dur,
+        /// Seed for the deterministic delay sequence.
+        seed: u64,
+    },
+}
+
+impl SourceModel {
+    /// The release time of instance `instance` (0-based) given the previous
+    /// release time (`None` for instance 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` is inconsistent with `instance` (a previous release
+    /// must exist exactly when `instance > 0`).
+    pub fn release_time(
+        &self,
+        task: TaskId,
+        period: Dur,
+        phase: Time,
+        instance: u64,
+        prev: Option<Time>,
+    ) -> Time {
+        assert_eq!(
+            instance > 0,
+            prev.is_some(),
+            "previous release must be given exactly for instances > 0"
+        );
+        match *self {
+            SourceModel::Periodic => phase + period * (instance as i64),
+            SourceModel::Sporadic { max_extra, seed } => {
+                let extra = extra_delay(seed, task, instance, max_extra);
+                match prev {
+                    None => phase + extra,
+                    Some(p) => p + period + extra,
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic extra delay in `0..=max_extra`.
+fn extra_delay(seed: u64, task: TaskId, instance: u64, max_extra: Dur) -> Dur {
+    if !max_extra.is_positive() {
+        return Dur::ZERO;
+    }
+    let h = splitmix64(
+        seed ^ (task.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ instance,
+    );
+    Dur::from_ticks((h % (max_extra.ticks() as u64 + 1)) as i64)
+}
+
+/// SplitMix64 — tiny, well-mixed, dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn periodic_releases() {
+        let m = SourceModel::Periodic;
+        let task = TaskId::new(0);
+        assert_eq!(m.release_time(task, d(6), t(4), 0, None), t(4));
+        assert_eq!(m.release_time(task, d(6), t(4), 1, Some(t(4))), t(10));
+        assert_eq!(m.release_time(task, d(6), t(4), 3, Some(t(16))), t(22));
+    }
+
+    #[test]
+    fn sporadic_separation_at_least_period() {
+        let m = SourceModel::Sporadic {
+            max_extra: d(5),
+            seed: 42,
+        };
+        let task = TaskId::new(1);
+        let mut prev = m.release_time(task, d(10), t(0), 0, None);
+        assert!(prev >= t(0) && prev <= t(5));
+        for i in 1..200 {
+            let next = m.release_time(task, d(10), t(0), i, Some(prev));
+            let gap = next - prev;
+            assert!(gap >= d(10), "gap {gap} below the period at instance {i}");
+            assert!(gap <= d(15), "gap {gap} above period + max_extra");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn sporadic_is_deterministic_in_seed() {
+        let a = SourceModel::Sporadic {
+            max_extra: d(7),
+            seed: 1,
+        };
+        let b = SourceModel::Sporadic {
+            max_extra: d(7),
+            seed: 1,
+        };
+        let c = SourceModel::Sporadic {
+            max_extra: d(7),
+            seed: 2,
+        };
+        let task = TaskId::new(3);
+        let ra: Vec<Time> = (0..20)
+            .scan(None, |prev, i| {
+                let r = a.release_time(task, d(9), t(0), i, *prev);
+                *prev = Some(r);
+                Some(r)
+            })
+            .collect();
+        let rb: Vec<Time> = (0..20)
+            .scan(None, |prev, i| {
+                let r = b.release_time(task, d(9), t(0), i, *prev);
+                *prev = Some(r);
+                Some(r)
+            })
+            .collect();
+        let rc: Vec<Time> = (0..20)
+            .scan(None, |prev, i| {
+                let r = c.release_time(task, d(9), t(0), i, *prev);
+                *prev = Some(r);
+                Some(r)
+            })
+            .collect();
+        assert_eq!(ra, rb);
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn sporadic_with_zero_extra_is_periodic() {
+        let m = SourceModel::Sporadic {
+            max_extra: Dur::ZERO,
+            seed: 9,
+        };
+        let task = TaskId::new(0);
+        let mut prev = m.release_time(task, d(6), t(2), 0, None);
+        assert_eq!(prev, t(2));
+        for i in 1..5 {
+            let next = m.release_time(task, d(6), t(2), i, Some(prev));
+            assert_eq!(next - prev, d(6));
+            prev = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "previous release")]
+    fn inconsistent_prev_panics() {
+        let m = SourceModel::Periodic;
+        let _ = m.release_time(TaskId::new(0), d(5), t(0), 1, None);
+    }
+
+    #[test]
+    fn extra_delays_cover_the_range() {
+        // Sanity: over many draws the extremes 0 and max both occur.
+        let max = d(3);
+        let mut seen = [false; 4];
+        for i in 0..200 {
+            let e = extra_delay(7, TaskId::new(0), i, max);
+            seen[e.ticks() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Full schedule traces: execution segments, releases, completions, and an
+//! ASCII Gantt renderer for the paper's schedule figures.
+
+use std::fmt::Write as _;
+
+use rtsync_core::task::ProcessorId;
+use rtsync_core::time::Time;
+
+use crate::job::JobId;
+use crate::processor::ExecutedSlice;
+
+/// A maximal contiguous interval during which one job ran on one processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Where it ran.
+    pub processor: ProcessorId,
+    /// What ran.
+    pub job: JobId,
+    /// Start instant.
+    pub start: Time,
+    /// End instant (exclusive).
+    pub end: Time,
+}
+
+/// A recorded schedule.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Trace {
+    segments: Vec<Segment>,
+    releases: Vec<(JobId, Time)>,
+    completions: Vec<(JobId, Time)>,
+    /// Per-processor index of the most recent segment, for merging.
+    last_on_proc: Vec<Option<usize>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for a system with `num_processors`.
+    pub fn new(num_processors: usize) -> Trace {
+        Trace {
+            last_on_proc: vec![None; num_processors],
+            ..Trace::default()
+        }
+    }
+
+    /// Records an executed slice, merging with the previous segment when the
+    /// same job continued running on the same processor.
+    pub fn push_slice(&mut self, proc: ProcessorId, slice: ExecutedSlice) {
+        if let Some(idx) = self.last_on_proc[proc.index()] {
+            let last = &mut self.segments[idx];
+            if last.job == slice.job && last.end == slice.start {
+                last.end = slice.end;
+                return;
+            }
+        }
+        self.segments.push(Segment {
+            processor: proc,
+            job: slice.job,
+            start: slice.start,
+            end: slice.end,
+        });
+        self.last_on_proc[proc.index()] = Some(self.segments.len() - 1);
+    }
+
+    /// Records a release.
+    pub fn push_release(&mut self, job: JobId, time: Time) {
+        self.releases.push((job, time));
+    }
+
+    /// Records a completion.
+    pub fn push_completion(&mut self, job: JobId, time: Time) {
+        self.completions.push((job, time));
+    }
+
+    /// All merged execution segments in recording order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segments on one processor, in time order.
+    pub fn segments_on(&self, proc: ProcessorId) -> Vec<Segment> {
+        let mut v: Vec<Segment> = self
+            .segments
+            .iter()
+            .copied()
+            .filter(|s| s.processor == proc)
+            .collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// All releases in time order of recording.
+    pub fn releases(&self) -> &[(JobId, Time)] {
+        &self.releases
+    }
+
+    /// All completions in time order of recording.
+    pub fn completions(&self) -> &[(JobId, Time)] {
+        &self.completions
+    }
+
+    /// Release times of every instance of one subtask, in instance order.
+    pub fn releases_of(&self, subtask: rtsync_core::task::SubtaskId) -> Vec<Time> {
+        self.releases
+            .iter()
+            .filter(|(j, _)| j.subtask() == subtask)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// Completion times of every instance of one subtask, in instance order.
+    pub fn completions_of(&self, subtask: rtsync_core::task::SubtaskId) -> Vec<Time> {
+        self.completions
+            .iter()
+            .filter(|(j, _)| j.subtask() == subtask)
+            .map(|&(_, t)| t)
+            .collect()
+    }
+
+    /// Serializes the trace as CSV for external plotting: one row per
+    /// event, `kind,processor,task,subtask,instance,start,end` (releases
+    /// and completions carry their instant in both time columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,processor,task,subtask,instance,start,end\n");
+        for seg in &self.segments {
+            let _ = writeln!(
+                out,
+                "run,{},{},{},{},{},{}",
+                seg.processor.index(),
+                seg.job.task().index(),
+                seg.job.subtask().index(),
+                seg.job.instance(),
+                seg.start.ticks(),
+                seg.end.ticks()
+            );
+        }
+        for &(job, t) in &self.releases {
+            let _ = writeln!(
+                out,
+                "release,,{},{},{},{},{}",
+                job.task().index(),
+                job.subtask().index(),
+                job.instance(),
+                t.ticks(),
+                t.ticks()
+            );
+        }
+        for &(job, t) in &self.completions {
+            let _ = writeln!(
+                out,
+                "complete,,{},{},{},{},{}",
+                job.task().index(),
+                job.subtask().index(),
+                job.instance(),
+                t.ticks(),
+                t.ticks()
+            );
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart: one row per processor, one column per
+    /// tick from 0 to `until`; each cell shows the running task's index
+    /// (mod 10), `.` when idle.
+    pub fn render_gantt(&self, until: Time) -> String {
+        let width = until.ticks().max(0) as usize;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "      {}",
+            (0..width)
+                .map(|i| char::from_digit((i % 10) as u32, 10).unwrap())
+                .collect::<String>()
+        );
+        for (pi, _) in self.last_on_proc.iter().enumerate() {
+            let proc = ProcessorId::new(pi);
+            let mut row = vec!['.'; width];
+            for seg in self.segments_on(proc) {
+                let label = char::from_digit((seg.job.task().index() % 10) as u32, 10).unwrap();
+                let lo = seg.start.ticks().max(0) as usize;
+                let hi = (seg.end.ticks().max(0) as usize).min(width);
+                for cell in row.iter_mut().take(hi).skip(lo) {
+                    *cell = label;
+                }
+            }
+            let _ = writeln!(out, "{proc:<4}| {}", row.into_iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::task::{SubtaskId, TaskId};
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn job(task: usize, sub: usize, m: u64) -> JobId {
+        JobId::new(SubtaskId::new(TaskId::new(task), sub), m)
+    }
+
+    fn slice(task: usize, sub: usize, m: u64, a: i64, b: i64) -> ExecutedSlice {
+        ExecutedSlice {
+            job: job(task, sub, m),
+            start: t(a),
+            end: t(b),
+        }
+    }
+
+    #[test]
+    fn contiguous_slices_merge() {
+        let mut tr = Trace::new(1);
+        let p = ProcessorId::new(0);
+        tr.push_slice(p, slice(0, 0, 0, 0, 2));
+        tr.push_slice(p, slice(0, 0, 0, 2, 5));
+        assert_eq!(tr.segments().len(), 1);
+        assert_eq!(tr.segments()[0].start, t(0));
+        assert_eq!(tr.segments()[0].end, t(5));
+    }
+
+    #[test]
+    fn different_jobs_do_not_merge() {
+        let mut tr = Trace::new(1);
+        let p = ProcessorId::new(0);
+        tr.push_slice(p, slice(0, 0, 0, 0, 2));
+        tr.push_slice(p, slice(1, 0, 0, 2, 4));
+        tr.push_slice(p, slice(0, 0, 0, 4, 6)); // resumed after preemption
+        assert_eq!(tr.segments().len(), 3);
+    }
+
+    #[test]
+    fn gaps_do_not_merge() {
+        let mut tr = Trace::new(1);
+        let p = ProcessorId::new(0);
+        tr.push_slice(p, slice(0, 0, 0, 0, 2));
+        tr.push_slice(p, slice(0, 0, 1, 4, 6));
+        assert_eq!(tr.segments().len(), 2);
+    }
+
+    #[test]
+    fn merging_is_per_processor() {
+        let mut tr = Trace::new(2);
+        tr.push_slice(ProcessorId::new(0), slice(0, 0, 0, 0, 2));
+        tr.push_slice(ProcessorId::new(1), slice(1, 0, 0, 1, 3));
+        tr.push_slice(ProcessorId::new(0), slice(0, 0, 0, 2, 4));
+        assert_eq!(tr.segments().len(), 2);
+        assert_eq!(tr.segments_on(ProcessorId::new(0))[0].end, t(4));
+    }
+
+    #[test]
+    fn releases_and_completions_filters() {
+        let mut tr = Trace::new(1);
+        tr.push_release(job(1, 0, 0), t(0));
+        tr.push_release(job(1, 1, 0), t(4));
+        tr.push_release(job(1, 0, 1), t(6));
+        tr.push_completion(job(1, 0, 0), t(4));
+        let sub = SubtaskId::new(TaskId::new(1), 0);
+        assert_eq!(tr.releases_of(sub), vec![t(0), t(6)]);
+        assert_eq!(tr.completions_of(sub), vec![t(4)]);
+        assert_eq!(tr.releases().len(), 3);
+        assert_eq!(tr.completions().len(), 1);
+    }
+
+    #[test]
+    fn csv_lists_all_events() {
+        let mut tr = Trace::new(1);
+        tr.push_release(job(1, 0, 0), t(0));
+        tr.push_slice(ProcessorId::new(0), slice(1, 0, 0, 0, 3));
+        tr.push_completion(job(1, 0, 0), t(3));
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,processor,task,subtask,instance,start,end");
+        assert!(lines.contains(&"run,0,1,0,0,0,3"));
+        assert!(lines.contains(&"release,,1,0,0,0,0"));
+        assert!(lines.contains(&"complete,,1,0,0,3,3"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_idle_dots() {
+        let mut tr = Trace::new(2);
+        tr.push_slice(ProcessorId::new(0), slice(0, 0, 0, 0, 2));
+        tr.push_slice(ProcessorId::new(1), slice(2, 0, 0, 1, 3));
+        let g = tr.render_gantt(t(4));
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 processors
+        assert!(lines[1].contains("P0"));
+        assert!(lines[1].contains("00.."));
+        assert!(lines[2].contains(".22."));
+    }
+}

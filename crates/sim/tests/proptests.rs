@@ -1,0 +1,217 @@
+//! Property tests of the simulator's scheduling core: the event-driven
+//! [`Processor`] is checked against a brute-force tick-by-tick reference
+//! scheduler on random job sets, and the event queue's ordering contract
+//! is exercised under random loads.
+
+use proptest::prelude::*;
+use rtsync_core::task::{Priority, ProcessorId, SubtaskId, TaskId};
+use rtsync_core::time::{Dur, Time};
+use rtsync_sim::event::{EventKind, EventQueue};
+use rtsync_sim::processor::{Milestone, Processor, Resched};
+use rtsync_sim::profile::PriorityProfile;
+use rtsync_sim::JobId;
+
+#[derive(Clone, Copy, Debug)]
+struct JobSpec {
+    release: i64,
+    priority: u32,
+    budget: i64,
+    preemptible: bool,
+}
+
+/// Brute-force reference: simulate tick by tick. Jobs are identified by
+/// their index; equal priorities break ties by release time then index
+/// (the FIFO the processor promises). Returns completion times.
+fn oracle(jobs: &[JobSpec]) -> Vec<i64> {
+    #[derive(Clone, Copy)]
+    struct Live {
+        idx: usize,
+        remaining: i64,
+        started: bool,
+    }
+    let mut completion = vec![0i64; jobs.len()];
+    let mut live: Vec<Live> = Vec::new();
+    let mut current: Option<usize> = None; // index into `live`
+    let mut t = 0i64;
+    let mut done = 0;
+    while done < jobs.len() {
+        // Completions exactly at t (from the previous tick of work).
+        if let Some(ci) = current {
+            if live[ci].remaining == 0 {
+                completion[live[ci].idx] = t;
+                live.remove(ci);
+                current = None;
+                done += 1;
+            }
+        }
+        // Releases at t.
+        for (idx, j) in jobs.iter().enumerate() {
+            if j.release == t {
+                live.push(Live {
+                    idx,
+                    remaining: j.budget,
+                    started: false,
+                });
+            }
+        }
+        // Dispatch: a started non-preemptible job keeps the slot.
+        let keep = current.is_some_and(|ci| {
+            let job = &live[ci];
+            job.started && !jobs[job.idx].preemptible && job.remaining > 0
+        });
+        if !keep && !live.is_empty() {
+            // Highest priority, FIFO by (release, index) within a level.
+            let best = (0..live.len())
+                .min_by_key(|&i| {
+                    let j = &jobs[live[i].idx];
+                    (j.priority, j.release, live[i].idx)
+                })
+                .expect("non-empty");
+            current = Some(best);
+        } else if live.is_empty() {
+            current = None;
+        }
+        // One tick of work.
+        if let Some(ci) = current {
+            live[ci].started = true;
+            live[ci].remaining -= 1;
+        }
+        t += 1;
+        if t > 10_000 {
+            unreachable!("oracle runaway");
+        }
+    }
+    completion
+}
+
+/// Drive the real `Processor` with a miniature engine (releases at known
+/// times, completion events from reschedule, end-of-instant dispatch).
+fn event_driven(jobs: &[JobSpec]) -> Vec<i64> {
+    let mut completion = vec![0i64; jobs.len()];
+    let mut p = Processor::new(ProcessorId::new(0));
+    // (time, kind): kind 0 = completion(gen), kind 1 = release(job index).
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Completion(u64),
+        Release(usize),
+    }
+    let mut queue: Vec<(i64, usize, Ev)> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.release, i, Ev::Release(i)))
+        .collect();
+    let mut seq = jobs.len();
+    let mut done = 0;
+    while done < jobs.len() {
+        // Pop the earliest event; completions before releases at a tie.
+        queue.sort_by_key(|&(t, s, ref ev)| {
+            (t, matches!(ev, Ev::Release(_)) as u8, s)
+        });
+        let (now, _, ev) = queue.remove(0);
+        let now_t = Time::from_ticks(now);
+        match ev {
+            Ev::Release(i) => {
+                let j = jobs[i];
+                if let Some(slice) = p.advance(now_t) {
+                    let _ = slice;
+                }
+                p.release(
+                    JobId::new(SubtaskId::new(TaskId::new(i), 0), 0),
+                    PriorityProfile::flat(Priority::new(j.priority)),
+                    Dur::from_ticks(j.budget),
+                    j.preemptible,
+                );
+            }
+            Ev::Completion(gen) => {
+                let _ = p.advance(now_t);
+                match p.take_milestone(gen) {
+                    Some(Milestone::Completed(job)) => {
+                        completion[job.task().index()] = now;
+                        done += 1;
+                    }
+                    Some(Milestone::Boundary(_)) => {
+                        unreachable!("flat profiles have no boundaries")
+                    }
+                    None => {}
+                }
+            }
+        }
+        // End-of-instant dispatch: only when no same-time event remains.
+        let more_now = queue.iter().any(|&(t, _, _)| t == now);
+        if !more_now {
+            if let Resched::NewMilestone { at, gen } = p.reschedule(now_t) {
+                queue.push((at.ticks(), seq, Ev::Completion(gen)));
+                seq += 1;
+            }
+        }
+    }
+    completion
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0i64..40, 0u32..4, 1i64..6, prop::bool::ANY),
+        1..10,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(release, priority, budget, preemptible)| JobSpec {
+                release,
+                priority,
+                budget,
+                preemptible,
+            })
+            .collect::<Vec<_>>()
+    })
+    .prop_filter("unique (priority, release) pairs keep FIFO deterministic", |jobs| {
+        // Two jobs with the same priority and the same release time would
+        // tie-break by engine insertion order vs oracle index — make them
+        // unambiguous by requiring distinct (priority, release) pairs.
+        let mut seen = std::collections::HashSet::new();
+        jobs.iter().all(|j| seen.insert((j.priority, j.release)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The event-driven processor completes every job at exactly the
+    /// instant the tick-by-tick reference scheduler does — including
+    /// non-preemptible jobs and same-instant arbitration.
+    #[test]
+    fn processor_matches_tick_oracle(jobs in arb_jobs()) {
+        let expect = oracle(&jobs);
+        let got = event_driven(&jobs);
+        prop_assert_eq!(got, expect, "jobs: {:?}", jobs);
+    }
+
+    /// The event queue pops in (time, kind-rank, insertion) order whatever
+    /// the insertion order was.
+    #[test]
+    fn event_queue_total_order(entries in prop::collection::vec((0i64..50, 0u8..2), 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &(t, k)) in entries.iter().enumerate() {
+            let kind = if k == 0 {
+                EventKind::Completion { proc: ProcessorId::new(0), gen: i as u64 }
+            } else {
+                EventKind::SourceRelease { task: TaskId::new(i), instance: 0 }
+            };
+            q.push(Time::from_ticks(t), kind);
+        }
+        let mut prev: Option<(i64, u8)> = None;
+        while let Some(ev) = q.pop() {
+            let rank = match ev.kind {
+                EventKind::Completion { .. } => 0u8,
+                _ => 3,
+            };
+            if let Some((pt, pr)) = prev {
+                prop_assert!(
+                    (pt, pr) <= (ev.time.ticks(), rank),
+                    "queue went backwards: ({pt}, {pr}) then ({}, {rank})",
+                    ev.time.ticks()
+                );
+            }
+            prev = Some((ev.time.ticks(), rank));
+        }
+    }
+}

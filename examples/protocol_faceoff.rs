@@ -1,0 +1,100 @@
+//! A protocol face-off on a synthetic workload straight out of the
+//! paper's evaluation: one system of configuration `(N=5, U=70%)`,
+//! analyzed with SA/PM and SA/DS, then simulated under DS, PM and RG.
+//!
+//! ```text
+//! cargo run --release --example protocol_faceoff [seed]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync::core::analysis::sa_ds::analyze_ds;
+use rtsync::core::analysis::sa_pm::analyze_pm;
+use rtsync::core::{AnalysisConfig, Protocol};
+use rtsync::sim::{simulate, SimConfig};
+use rtsync::workload::{generate, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(2024);
+
+    let spec = WorkloadSpec::paper(5, 0.7).with_random_phases();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let system = generate(&spec, &mut rng)?;
+    println!(
+        "configuration (5, 70): {} tasks x {} subtasks on {} processors (seed {seed})\n",
+        system.num_tasks(),
+        5,
+        system.num_processors()
+    );
+
+    let cfg = AnalysisConfig::default();
+    let pm_bounds = analyze_pm(&system, &cfg)?;
+    let ds_bounds = analyze_ds(&system, &cfg);
+
+    let sims: Vec<_> = [Protocol::DirectSync, Protocol::PhaseModification, Protocol::ReleaseGuard]
+        .into_iter()
+        .map(|p| simulate(&system, &SimConfig::new(p).with_instances(100)).map(|o| (p, o)))
+        .collect::<Result<_, _>>()?;
+
+    println!(
+        "{:<6}{:>12}{:>14}{:>14}{:>12}{:>12}{:>12}",
+        "task", "period", "SA/PM bound", "SA/DS bound", "avg DS", "avg PM", "avg RG"
+    );
+    for task in system.tasks() {
+        let ds_bound = match &ds_bounds {
+            Ok(b) => format!("{}", b.task_bound(task.id()).ticks()),
+            Err(_) => "infinite".to_string(),
+        };
+        let avgs: Vec<String> = sims
+            .iter()
+            .map(|(_, o)| {
+                o.metrics
+                    .task(task.id())
+                    .avg_eer()
+                    .map_or("-".into(), |v| format!("{v:.0}"))
+            })
+            .collect();
+        println!(
+            "{:<6}{:>12}{:>14}{:>14}{:>12}{:>12}{:>12}",
+            task.id().to_string(),
+            task.period().ticks(),
+            pm_bounds.task_bound(task.id()).ticks(),
+            ds_bound,
+            avgs[0],
+            avgs[1],
+            avgs[2],
+        );
+    }
+
+    // Aggregate ratios, the quantities behind Figures 13-16.
+    let mean = |f: &dyn Fn(usize) -> f64| -> f64 {
+        let v: Vec<f64> = (0..system.num_tasks()).map(f).collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    if let Ok(ds) = &ds_bounds {
+        let r = mean(&|i| {
+            let t = system.tasks()[i].id();
+            ds.task_bound(t).as_f64() / pm_bounds.task_bound(t).as_f64()
+        });
+        println!("\nmean bound ratio DS/PM (fig 13 quantity): {r:.2}");
+    }
+    let avg_of = |k: usize, i: usize| {
+        sims[k]
+            .1
+            .metrics
+            .task(system.tasks()[i].id())
+            .avg_eer()
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "mean avg-EER ratios: PM/DS {:.2} (fig 14), RG/DS {:.2} (fig 15), PM/RG {:.2} (fig 16)",
+        mean(&|i| avg_of(1, i) / avg_of(0, i)),
+        mean(&|i| avg_of(2, i) / avg_of(0, i)),
+        mean(&|i| avg_of(1, i) / avg_of(2, i)),
+    );
+    Ok(())
+}

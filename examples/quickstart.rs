@@ -1,0 +1,56 @@
+//! Quickstart: build the paper's Example 2, analyze it under every
+//! protocol, and watch the schedules that motivated the Release Guard
+//! protocol.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rtsync::core::analysis::report::analyze;
+use rtsync::core::examples::example2;
+use rtsync::core::task::TaskId;
+use rtsync::core::time::Time;
+use rtsync::core::{AnalysisConfig, Protocol};
+use rtsync::sim::{simulate, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 2 of the paper: two processors, three tasks; T1 (our T0) and
+    // T3 (our T2) are single subtasks, T2 (our T1) chains P0 -> P1.
+    let system = example2();
+    let cfg = AnalysisConfig::default();
+
+    println!("=== schedulability analysis ===");
+    for protocol in Protocol::ALL {
+        let report = analyze(&system, protocol, &cfg)?;
+        println!("{report}\n");
+    }
+
+    println!("=== simulated schedules (first 30 ticks) ===");
+    for protocol in [
+        Protocol::DirectSync,
+        Protocol::PhaseModification,
+        Protocol::ReleaseGuard,
+    ] {
+        let outcome = simulate(
+            &system,
+            &SimConfig::new(protocol).with_instances(5).with_trace(),
+        )?;
+        let trace = outcome.trace.as_ref().expect("trace enabled");
+        println!("{} protocol:", protocol.tag());
+        println!("{}", trace.render_gantt(Time::from_ticks(30)));
+        let t3 = outcome.metrics.task(TaskId::new(2));
+        println!(
+            "  T3: avg EER {:.2}, max EER {:?}, deadline misses {}\n",
+            t3.avg_eer().unwrap_or(f64::NAN),
+            t3.max_eer().map(|d| d.ticks()),
+            t3.deadline_misses()
+        );
+    }
+
+    println!(
+        "observation: under DS the worst case of T3 blows past its deadline\n\
+         of 6; PM fixes that at the cost of a longer average; RG gets the\n\
+         analyzable worst case of PM *and* nearly the average of DS."
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # rtsync
+//!
+//! A complete Rust reproduction of Jun Sun & Jane W.-S. Liu,
+//! *“Synchronization Protocols in Distributed Real-Time Systems”*
+//! (ICDCS 1996): the end-to-end periodic task model, the DS / PM / MPM /
+//! RG synchronization protocols, the SA/PM and SA/DS schedulability
+//! analyses, a deterministic discrete-event simulator, the §5.1 synthetic
+//! workload generator, and the harness that regenerates every figure of
+//! the paper's evaluation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — task model, protocols, analyses;
+//! * [`sim`] — the discrete-event simulator;
+//! * [`workload`] — synthetic workload generation;
+//! * [`experiments`] — figure reproduction.
+//!
+//! See the `examples/` directory for runnable walk-throughs, starting
+//! with `quickstart.rs`.
+//!
+//! ```
+//! use rtsync::core::analysis::report::analyze;
+//! use rtsync::core::examples::example2;
+//! use rtsync::core::{AnalysisConfig, Protocol};
+//!
+//! let report = analyze(&example2(), Protocol::ReleaseGuard, &AnalysisConfig::default())?;
+//! println!("{report}");
+//! # Ok::<(), rtsync::core::error::AnalyzeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rtsync_core as core;
+pub use rtsync_experiments as experiments;
+pub use rtsync_sim as sim;
+pub use rtsync_workload as workload;

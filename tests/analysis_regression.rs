@@ -1,0 +1,61 @@
+//! Golden numeric regression: the exact bound vectors of both analyses on
+//! a fixed synthetic system. Integer-tick arithmetic makes these values
+//! bit-stable across platforms; any change to the analysis code that moves
+//! a number shows up here immediately.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync::core::analysis::sa_ds::analyze_ds;
+use rtsync::core::analysis::sa_pm::analyze_pm;
+use rtsync::core::AnalysisConfig;
+use rtsync::workload::{generate, WorkloadSpec};
+
+#[test]
+fn golden_bounds_on_a_pinned_system() {
+    // Configuration (3, 60), pinned seed. Regenerate the constants below
+    // only for a *deliberate* semantic change, and record why in the
+    // commit message.
+    let mut spec = WorkloadSpec::paper(3, 0.6);
+    spec.num_tasks = 6;
+    spec.num_processors = 3;
+    let mut rng = StdRng::seed_from_u64(0xDECAF);
+    let set = generate(&spec, &mut rng).unwrap();
+    let cfg = AnalysisConfig::default();
+
+    // Structure is itself pinned (generator determinism).
+    let periods: Vec<i64> = set.tasks().iter().map(|t| t.period().ticks()).collect();
+    assert_eq!(
+        periods,
+        vec![888_217, 391_535, 1_008_669, 3_017_455, 216_789, 899_843],
+        "workload generator drifted; all golden values below are stale"
+    );
+
+    let pm = analyze_pm(&set, &cfg).unwrap();
+    let pm_bounds: Vec<i64> = pm.task_bounds().iter().map(|d| d.ticks()).collect();
+    assert_eq!(
+        pm_bounds,
+        golden_pm(),
+        "SA/PM bounds moved; if intentional, update golden_pm()"
+    );
+
+    let ds = analyze_ds(&set, &cfg).unwrap();
+    let ds_bounds: Vec<i64> = ds.task_bounds().iter().map(|d| d.ticks()).collect();
+    assert_eq!(
+        ds_bounds,
+        golden_ds(),
+        "SA/DS bounds moved; if intentional, update golden_ds()"
+    );
+
+    // Cross-checks that hold whatever the constants are.
+    for (p, d) in pm_bounds.iter().zip(&ds_bounds) {
+        assert!(d >= p, "SA/DS must dominate SA/PM");
+    }
+}
+
+fn golden_pm() -> Vec<i64> {
+    vec![495_779, 246_367, 541_058, 3_420_507, 74_351, 596_515]
+}
+
+fn golden_ds() -> Vec<i64> {
+    vec![510_496, 246_367, 583_931, 3_590_846, 74_351, 630_231]
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration: generated workloads flow through analysis and
+//! simulation, and the analyses are *sound* — no simulated end-to-end
+//! response ever exceeds its analyzed bound.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync::core::analysis::sa_ds::analyze_ds;
+use rtsync::core::analysis::sa_pm::analyze_pm;
+use rtsync::core::{AnalysisConfig, Protocol};
+use rtsync::sim::{simulate, SimConfig};
+use rtsync::workload::{generate, WorkloadSpec};
+
+fn small_spec(n: usize, u: f64) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::paper(n, u).with_random_phases();
+    // Shrink for debug-build test speed; the structure is unchanged.
+    spec.num_tasks = 6;
+    spec.num_processors = 3;
+    spec
+}
+
+#[test]
+fn analysis_bounds_are_sound_for_pm_mpm_rg() {
+    let cfg = AnalysisConfig::default();
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = generate(&small_spec(3, 0.7), &mut rng).unwrap();
+        let bounds = analyze_pm(&set, &cfg).unwrap();
+        for protocol in [
+            Protocol::PhaseModification,
+            Protocol::ModifiedPhaseModification,
+            Protocol::ReleaseGuard,
+        ] {
+            let out = simulate(&set, &SimConfig::new(protocol).with_instances(30)).unwrap();
+            assert!(out.violations.is_empty(), "{protocol:?} seed {seed}");
+            for task in set.tasks() {
+                if let Some(max) = out.metrics.task(task.id()).max_eer() {
+                    assert!(
+                        max <= bounds.task_bound(task.id()),
+                        "{protocol:?} seed {seed}: task {} observed {} > bound {}",
+                        task.id(),
+                        max,
+                        bounds.task_bound(task.id())
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ds_bounds_are_sound_when_finite() {
+    let cfg = AnalysisConfig::default();
+    let mut checked_tasks = 0;
+    for seed in 0..8 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let set = generate(&small_spec(3, 0.6), &mut rng).unwrap();
+        let Ok(bounds) = analyze_ds(&set, &cfg) else {
+            continue;
+        };
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::DirectSync).with_instances(30),
+        )
+        .unwrap();
+        for task in set.tasks() {
+            if let Some(max) = out.metrics.task(task.id()).max_eer() {
+                assert!(
+                    max <= bounds.task_bound(task.id()),
+                    "seed {seed}: task {} observed {} > DS bound {}",
+                    task.id(),
+                    max,
+                    bounds.task_bound(task.id())
+                );
+                checked_tasks += 1;
+            }
+        }
+    }
+    assert!(checked_tasks > 20, "soundness check exercised {checked_tasks} tasks");
+}
+
+#[test]
+fn ds_bounds_dominate_pm_bounds_on_random_systems() {
+    // §4.3: SA/DS always yields bounds at least as large as SA/PM's.
+    let cfg = AnalysisConfig::default();
+    for seed in 0..12 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let set = generate(&small_spec(2, 0.6), &mut rng).unwrap();
+        let pm = analyze_pm(&set, &cfg).unwrap();
+        let Ok(ds) = analyze_ds(&set, &cfg) else {
+            continue;
+        };
+        for task in set.tasks() {
+            assert!(
+                ds.task_bound(task.id()) >= pm.task_bound(task.id()),
+                "seed {seed}: task {}",
+                task.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn rg_average_tracks_ds_not_pm() {
+    // The headline claim: RG's average EER stays close to DS while PM's
+    // inflates. Averaged over several systems to keep it robust.
+    let mut pm_total = 0.0;
+    let mut rg_total = 0.0;
+    let mut ds_total = 0.0;
+    for seed in 0..4 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let set = generate(&small_spec(4, 0.6), &mut rng).unwrap();
+        for (protocol, total) in [
+            (Protocol::DirectSync, &mut ds_total),
+            (Protocol::PhaseModification, &mut pm_total),
+            (Protocol::ReleaseGuard, &mut rg_total),
+        ] {
+            let out = simulate(&set, &SimConfig::new(protocol).with_instances(30)).unwrap();
+            for task in set.tasks() {
+                *total += out.metrics.task(task.id()).avg_eer().unwrap_or(0.0);
+            }
+        }
+    }
+    assert!(
+        pm_total > 1.5 * ds_total,
+        "PM average ({pm_total:.0}) should be well above DS ({ds_total:.0})"
+    );
+    assert!(
+        rg_total < 1.3 * ds_total,
+        "RG average ({rg_total:.0}) should stay close to DS ({ds_total:.0})"
+    );
+}
+
+#[test]
+fn mpm_and_pm_schedules_agree_on_random_systems() {
+    use rtsync::core::task::ProcessorId;
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let mut spec = small_spec(3, 0.5);
+        spec.phases = rtsync::workload::PhaseModel::Zero;
+        let set = generate(&spec, &mut rng).unwrap();
+        let pm = simulate(
+            &set,
+            &SimConfig::new(Protocol::PhaseModification)
+                .with_instances(15)
+                .with_trace(),
+        )
+        .unwrap();
+        let mpm = simulate(
+            &set,
+            &SimConfig::new(Protocol::ModifiedPhaseModification)
+                .with_instances(15)
+                .with_trace(),
+        )
+        .unwrap();
+        for p in 0..set.num_processors() {
+            let proc = ProcessorId::new(p);
+            assert_eq!(
+                pm.trace.as_ref().unwrap().segments_on(proc),
+                mpm.trace.as_ref().unwrap().segments_on(proc),
+                "seed {seed}, {proc}"
+            );
+        }
+    }
+}

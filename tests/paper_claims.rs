@@ -1,0 +1,122 @@
+//! The paper's quantitative claims, encoded as tests: the Example-2
+//! numbers from §2–§4 and the qualitative shape of the §5 study at two
+//! extreme configurations.
+
+use rtsync::core::analysis::report::analyze;
+use rtsync::core::analysis::sa_ds::analyze_ds;
+use rtsync::core::analysis::sa_pm::analyze_pm;
+use rtsync::core::examples::example2;
+use rtsync::core::task::{SubtaskId, TaskId};
+use rtsync::core::time::Dur;
+use rtsync::core::{AnalysisConfig, Protocol};
+use rtsync::experiments::study::{run_config, StudyConfig};
+use rtsync::experiments::TraceFigure;
+
+fn d(x: i64) -> Dur {
+    Dur::from_ticks(x)
+}
+
+#[test]
+fn section2_example2_worst_cases() {
+    // §2: "Task T3 would have a worst-case response time of 5 time units
+    // and would never miss a deadline" (under periodic T2,2 releases).
+    let set = example2();
+    let cfg = AnalysisConfig::default();
+    let pm = analyze_pm(&set, &cfg).unwrap();
+    assert_eq!(pm.task_bound(TaskId::new(2)), d(5));
+    // §3.1: "The bound on the response time of T2,1 is 4 time units, and
+    // therefore the phase of T2,2 is 4."
+    assert_eq!(pm.response(SubtaskId::new(TaskId::new(1), 0)), d(4));
+}
+
+#[test]
+fn section4_example2_ds_bound_exceeds_deadline() {
+    // §4.3: applying SA/DS to Example 2, the bound on T3's EER time
+    // exceeds its relative deadline 6, so schedulability cannot be
+    // asserted. (The paper's prose quotes 7; the Figure-10 equations give
+    // 8 — which is also the *actual* worst case exhibited by Figure 3, so
+    // any sound bound must be ≥ 8. See EXPERIMENTS.md.)
+    let set = example2();
+    let ds = analyze_ds(&set, &AnalysisConfig::default()).unwrap();
+    let bound = ds.task_bound(TaskId::new(2));
+    assert!(bound > d(6), "bound {bound} must exceed the deadline");
+    assert_eq!(bound, d(8));
+}
+
+#[test]
+fn reports_match_protocol_dispatch() {
+    let set = example2();
+    let cfg = AnalysisConfig::default();
+    let ds = analyze(&set, Protocol::DirectSync, &cfg).unwrap();
+    let rg = analyze(&set, Protocol::ReleaseGuard, &cfg).unwrap();
+    // T3 provably schedulable under RG, not under DS.
+    assert!(rg.verdict(TaskId::new(2)).schedulable());
+    assert!(!ds.verdict(TaskId::new(2)).schedulable());
+}
+
+#[test]
+fn trace_figures_match_paper_observations() {
+    // Figure 3: T3 misses; Figures 5 and 7: it does not.
+    let ds = TraceFigure::Fig3ExampleUnderDs.run();
+    assert!(ds.metrics.task(TaskId::new(2)).deadline_misses() > 0);
+    for fig in [TraceFigure::Fig5ExampleUnderPm, TraceFigure::Fig7ExampleUnderRg] {
+        assert_eq!(fig.run().metrics.task(TaskId::new(2)).deadline_misses(), 0);
+    }
+}
+
+#[test]
+fn study_shape_at_extreme_configurations() {
+    // A miniature §5 study: the benign corner (2, 50%) vs the hostile
+    // corner (8, 90%). Small but big enough for the qualitative claims.
+    let cfg = StudyConfig {
+        systems_per_config: 4,
+        instances_per_task: 8,
+        seed: 1234,
+        ..StudyConfig::default()
+    };
+    let benign = run_config(2, 0.5, &cfg);
+    let hostile = run_config(8, 0.9, &cfg);
+
+    // Figure 12: failures are (near) zero at (2,50) and (near) one at (8,90).
+    assert_eq!(benign.failure_rate(), 0.0);
+    assert!(
+        hostile.failure_rate() >= 0.75,
+        "failure rate {} at (8,90)",
+        hostile.failure_rate()
+    );
+
+    // Figure 13: the bound ratio at the benign corner is close to 1.
+    assert!(
+        benign.bound_ratio_mean >= 1.0 && benign.bound_ratio_mean < 1.5,
+        "{}",
+        benign.bound_ratio_mean
+    );
+
+    // Figure 14: PM/DS grows with chain length; > 2 for N = 8 (paper: 3-4).
+    assert!(benign.pm_ds_mean >= 1.0);
+    assert!(
+        hostile.pm_ds_mean > 2.0,
+        "PM/DS at (8,90) was {}",
+        hostile.pm_ds_mean
+    );
+    assert!(hostile.pm_ds_mean > benign.pm_ds_mean);
+
+    // Figure 15: RG stays close to DS (mostly within 1-2).
+    for out in [&benign, &hostile] {
+        assert!(
+            out.rg_ds_mean >= 0.99 && out.rg_ds_mean < 2.0,
+            "RG/DS at ({}, {}) was {}",
+            out.n,
+            out.u,
+            out.rg_ds_mean
+        );
+    }
+
+    // Figure 16: PM/RG consistently above one, large for long chains.
+    assert!(benign.pm_rg_mean >= 1.0);
+    assert!(
+        hostile.pm_rg_mean > 2.0,
+        "PM/RG at (8,90) was {}",
+        hostile.pm_rg_mean
+    );
+}
