@@ -43,13 +43,14 @@ fn bench_sa_ds_sweep_orders(c: &mut Criterion) {
     group.sample_size(20);
     for (n, u) in [(2, 0.5), (4, 0.6), (5, 0.7)] {
         let set = system(n, u, 42);
-        for (label, order) in [("jacobi", SweepOrder::Jacobi), ("gauss_seidel", SweepOrder::GaussSeidel)] {
+        for (label, order) in [
+            ("jacobi", SweepOrder::Jacobi),
+            ("gauss_seidel", SweepOrder::GaussSeidel),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(label, format!("n{n}_u{}", (u * 100.0) as u32)),
                 &set,
-                |b, set| {
-                    b.iter(|| analyze_ds_with(black_box(set), &cfg, order).unwrap())
-                },
+                |b, set| b.iter(|| analyze_ds_with(black_box(set), &cfg, order).unwrap()),
             );
         }
     }

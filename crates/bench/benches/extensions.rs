@@ -39,8 +39,8 @@ fn bench_histogram(c: &mut Criterion) {
 
 fn bench_rule2_ablation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
-    let set = generate(&WorkloadSpec::paper(4, 0.7).with_random_phases(), &mut rng)
-        .expect("generates");
+    let set =
+        generate(&WorkloadSpec::paper(4, 0.7).with_random_phases(), &mut rng).expect("generates");
     let mut group = c.benchmark_group("rg_rule2");
     group.sample_size(20);
     group.bench_function("with_rule2", |b| {

@@ -50,8 +50,8 @@ fn fig13_bound_ratio(c: &mut Criterion) {
                 let pm = analyze_pm(set, &cfg).expect("U < 1 analyzes");
                 if let Ok(ds) = analyze_ds(set, &cfg) {
                     for task in set.tasks() {
-                        acc += ds.task_bound(task.id()).as_f64()
-                            / pm.task_bound(task.id()).as_f64();
+                        acc +=
+                            ds.task_bound(task.id()).as_f64() / pm.task_bound(task.id()).as_f64();
                     }
                 }
             }

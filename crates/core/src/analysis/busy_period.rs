@@ -305,12 +305,7 @@ mod tests {
         let terms = [DemandTerm::periodic(d(2), d(1))];
         // Utilization 0.5, offset huge: converges but slowly; strangle the
         // budget to force the limit error.
-        let err = fixed_point(
-            d(500_000),
-            &terms,
-            FixedPointLimits::new(Dur::MAX, 3),
-        )
-        .unwrap_err();
+        let err = fixed_point(d(500_000), &terms, FixedPointLimits::new(Dur::MAX, 3)).unwrap_err();
         assert_eq!(err, FixedPointFailure::IterationLimit);
     }
 

@@ -123,10 +123,7 @@ pub fn analyze(
             deadline: t.deadline(),
         })
         .collect();
-    Ok(SchedulabilityReport {
-        protocol,
-        verdicts,
-    })
+    Ok(SchedulabilityReport { protocol, verdicts })
 }
 
 #[cfg(test)]

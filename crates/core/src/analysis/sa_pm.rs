@@ -333,8 +333,7 @@ mod tests {
             .finish_task()
             .build()
             .unwrap();
-        let naive =
-            subtask_response_first_instance_only(&set, sid(1, 0), &cfg()).unwrap();
+        let naive = subtask_response_first_instance_only(&set, sid(1, 0), &cfg()).unwrap();
         let correct = analyze_pm(&set, &cfg()).unwrap().response(sid(1, 0));
         assert_eq!(naive, d(114));
         assert_eq!(correct, d(118));

@@ -347,12 +347,8 @@ mod tests {
             &LocalDeadlineMonotonic(DeadlineSplit::Effective),
         )
         .unwrap();
-        let ud = build_with_policy(
-            2,
-            &chains,
-            &LocalDeadlineMonotonic(DeadlineSplit::Ultimate),
-        )
-        .unwrap();
+        let ud = build_with_policy(2, &chains, &LocalDeadlineMonotonic(DeadlineSplit::Ultimate))
+            .unwrap();
         // Under ED on P0: T0.0 gets d=50 span 50, T1.0 gets d=105 span 105
         // → T0.0 higher. Under UD: spans 100 vs 110 → also T0.0… pick the
         // head-to-head that differs: P1: ED spans: T0.1: 100-50=50 vs
@@ -372,7 +368,10 @@ mod tests {
     #[test]
     fn display_and_tags() {
         assert_eq!(DeadlineSplit::Ultimate.tag(), "UD");
-        assert_eq!(DeadlineSplit::EqualFlexibility.to_string(), "equal flexibility");
+        assert_eq!(
+            DeadlineSplit::EqualFlexibility.to_string(),
+            "equal flexibility"
+        );
         assert_eq!(
             LocalDeadlineMonotonic(DeadlineSplit::EqualSlack).name(),
             "local-dm/equal-slack"

@@ -89,7 +89,10 @@ impl ReleaseGuard {
     ///
     /// Panics if `period` is not strictly positive.
     pub fn new(period: Dur) -> ReleaseGuard {
-        assert!(period.is_positive(), "release guard needs a positive period");
+        assert!(
+            period.is_positive(),
+            "release guard needs a positive period"
+        );
         ReleaseGuard {
             period,
             guard: Time::ZERO,
@@ -260,7 +263,7 @@ mod tests {
         assert_eq!(due, t(6));
         assert!(g.take_due(t(6), gen));
         g.on_release(t(6)); // guard 12
-        // Next head waits for the *new* guard.
+                            // Next head waits for the *new* guard.
         let (due, gen) = g.next_expiry().unwrap();
         assert_eq!(due, t(12));
         assert!(g.take_due(t(12), gen));
@@ -281,7 +284,7 @@ mod tests {
         assert_eq!(g.guard(), t(3));
         assert!(!g.on_idle_point(t(5)));
         assert_eq!(g.guard(), t(5)); // rule 2 is literal: g := now
-        // Raising a past guard to now is harmless.
+                                     // Raising a past guard to now is harmless.
         let mut g2 = guard6();
         g2.on_release(t(10)); // guard 16
         g2.on_idle_point(t(20));
@@ -302,8 +305,8 @@ mod tests {
         let mut g = guard6();
         g.on_release(t(0)); // guard 6
         let _ = g.offer(t(1)); // deferred head
-        // Guard passes, head not yet taken (timer in flight); a new signal
-        // at 7 must queue behind, not jump ahead.
+                               // Guard passes, head not yet taken (timer in flight); a new signal
+                               // at 7 must queue behind, not jump ahead.
         assert_eq!(g.offer(t(7)), GuardDecision::Queued);
         assert_eq!(g.pending_len(), 2);
     }

@@ -361,7 +361,9 @@ impl Task {
     /// The last subtask of the chain.
     #[inline]
     pub fn last_subtask(&self) -> &Subtask {
-        self.subtasks.last().expect("validated chains are non-empty")
+        self.subtasks
+            .last()
+            .expect("validated chains are non-empty")
     }
 
     /// The successor of `id` within this chain, or `None` for the last link.
@@ -489,7 +491,11 @@ impl TaskSet {
     /// ceiling.
     pub fn resource_ceiling(&self, resource: ResourceId) -> Option<Priority> {
         self.subtasks()
-            .filter(|s| s.critical_sections().iter().any(|cs| cs.resource == resource))
+            .filter(|s| {
+                s.critical_sections()
+                    .iter()
+                    .any(|cs| cs.resource == resource)
+            })
             .map(Subtask::priority)
             .min() // numerically smallest = highest priority
     }
@@ -699,7 +705,10 @@ fn validate(set: &TaskSet) -> Result<(), ValidateTaskSetError> {
             return Err(ValidateTaskSetError::EmptyChain(task.id));
         }
         if !task.period.is_positive() {
-            return Err(ValidateTaskSetError::NonPositivePeriod(task.id, task.period));
+            return Err(ValidateTaskSetError::NonPositivePeriod(
+                task.id,
+                task.period,
+            ));
         }
         if !task.deadline.is_positive() {
             return Err(ValidateTaskSetError::NonPositiveDeadline(
@@ -719,7 +728,10 @@ fn validate(set: &TaskSet) -> Result<(), ValidateTaskSetError> {
                 ));
             }
             if sub.processor.index() >= set.num_processors {
-                return Err(ValidateTaskSetError::UnknownProcessor(sub.id, sub.processor));
+                return Err(ValidateTaskSetError::UnknownProcessor(
+                    sub.id,
+                    sub.processor,
+                ));
             }
             if prev_proc == Some(sub.processor) {
                 return Err(ValidateTaskSetError::ConsecutiveOnSameProcessor(
@@ -739,10 +751,7 @@ fn validate(set: &TaskSet) -> Result<(), ValidateTaskSetError> {
             let mut sections = sub.critical_sections.clone();
             sections.sort_by_key(|cs| cs.start);
             for cs in &sections {
-                if !cs.len.is_positive()
-                    || cs.start < Dur::ZERO
-                    || cs.end() > sub.execution
-                {
+                if !cs.len.is_positive() || cs.start < Dur::ZERO || cs.end() > sub.execution {
                     return Err(ValidateTaskSetError::CriticalSectionOutOfRange(
                         sub.id,
                         cs.resource,
@@ -938,7 +947,10 @@ mod tests {
             .finish_task()
             .build()
             .unwrap_err();
-        assert!(matches!(err, ValidateTaskSetError::NonPositiveExecution(..)));
+        assert!(matches!(
+            err,
+            ValidateTaskSetError::NonPositiveExecution(..)
+        ));
     }
 
     #[test]
@@ -1090,7 +1102,10 @@ mod tests {
     fn resource_ceiling_and_counts() {
         let s = cs_system();
         assert_eq!(s.num_resources(), 1);
-        assert_eq!(s.resource_ceiling(ResourceId::new(0)), Some(Priority::new(0)));
+        assert_eq!(
+            s.resource_ceiling(ResourceId::new(0)),
+            Some(Priority::new(0))
+        );
         assert_eq!(s.resource_ceiling(ResourceId::new(5)), None);
         let high = s.subtask(SubtaskId::new(TaskId::new(0), 0));
         assert_eq!(high.critical_sections().len(), 1);

@@ -129,9 +129,9 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
         let keyword = words.next().expect("non-empty line has a first word");
         match keyword {
             "processors" => {
-                let value = words
-                    .next()
-                    .ok_or_else(|| ParseTaskSetError::syntax(line_no, "processors needs a count"))?;
+                let value = words.next().ok_or_else(|| {
+                    ParseTaskSetError::syntax(line_no, "processors needs a count")
+                })?;
                 let n: usize = value.parse().map_err(|e| {
                     ParseTaskSetError::syntax(line_no, format!("bad processor count: {e}"))
                 })?;
@@ -154,7 +154,9 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
                     other => {
                         return Err(ParseTaskSetError::syntax(
                             line_no,
-                            format!("unknown priority policy `{other}` (expected explicit, pdm, dm or rm)"),
+                            format!(
+                            "unknown priority policy `{other}` (expected explicit, pdm, dm or rm)"
+                        ),
                         ))
                     }
                 };
@@ -172,9 +174,7 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
                 for (key, value) in &fields {
                     match key.as_str() {
                         "period" => {}
-                        "phase" => {
-                            chain.phase = Time::from_ticks(int_value(line_no, key, value)?)
-                        }
+                        "phase" => chain.phase = Time::from_ticks(int_value(line_no, key, value)?),
                         "deadline" => {
                             chain.deadline = Dur::from_ticks(int_value(line_no, key, value)?)
                         }
@@ -206,12 +206,9 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
                         "proc" | "exec" => {}
                         "nonpreempt" => preemptible = int_value(line_no, key, value)? == 0,
                         "prio" => {
-                            let level = u32::try_from(int_value(line_no, key, value)?)
-                                .map_err(|_| {
-                                    ParseTaskSetError::syntax(
-                                        line_no,
-                                        "prio must be non-negative",
-                                    )
+                            let level =
+                                u32::try_from(int_value(line_no, key, value)?).map_err(|_| {
+                                    ParseTaskSetError::syntax(line_no, "prio must be non-negative")
                                 })?;
                             prio = Some(Priority::new(level));
                         }
@@ -255,9 +252,8 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
                     }
                     (_, None) => {}
                 }
-                let proc = usize::try_from(proc).map_err(|_| {
-                    ParseTaskSetError::syntax(line_no, "proc must be non-negative")
-                })?;
+                let proc = usize::try_from(proc)
+                    .map_err(|_| ParseTaskSetError::syntax(line_no, "proc must be non-negative"))?;
                 if !preemptible {
                     task.chain.nonpreemptive.push(task.chain.subtasks.len());
                 }
@@ -265,10 +261,9 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
                     let resource = usize::try_from(resource).map_err(|_| {
                         ParseTaskSetError::syntax(line_no, "cs resource must be non-negative")
                     })?;
-                    task.chain.critical_sections.push((
-                        task.chain.subtasks.len(),
-                        rtsync_cs(resource, start, len),
-                    ));
+                    task.chain
+                        .critical_sections
+                        .push((task.chain.subtasks.len(), rtsync_cs(resource, start, len)));
                 }
                 task.chain.subtasks.push((proc, Dur::from_ticks(exec)));
                 task.priorities.push(prio);
@@ -282,8 +277,9 @@ pub fn parse(text: &str) -> Result<TaskSet, ParseTaskSetError> {
         }
     }
 
-    let processors = processors
-        .ok_or_else(|| ParseTaskSetError::syntax(text.lines().count().max(1), "missing processors line"))?;
+    let processors = processors.ok_or_else(|| {
+        ParseTaskSetError::syntax(text.lines().count().max(1), "missing processors line")
+    })?;
 
     let chains: Vec<ChainSpec> = tasks.iter().map(|t| t.chain.clone()).collect();
     match mode {
@@ -387,9 +383,9 @@ fn parse_fields<'a>(
 }
 
 fn int_value(line_no: usize, key: &str, value: &str) -> Result<i64, ParseTaskSetError> {
-    value.parse().map_err(|e| {
-        ParseTaskSetError::syntax(line_no, format!("bad value for `{key}`: {e}"))
-    })
+    value
+        .parse()
+        .map_err(|e| ParseTaskSetError::syntax(line_no, format!("bad value for `{key}`: {e}")))
 }
 
 fn require_field(line_no: usize, fields: &Fields, key: &str) -> Result<i64, ParseTaskSetError> {
@@ -475,7 +471,11 @@ task period=10 phase=3 deadline=8
     fn error_lines_are_reported() {
         let cases: Vec<(&str, usize, &str)> = vec![
             ("processors 1\nbogus line\n", 2, "unknown keyword"),
-            ("processors 1\nsubtask proc=0 exec=1 prio=0\n", 2, "before any task"),
+            (
+                "processors 1\nsubtask proc=0 exec=1 prio=0\n",
+                2,
+                "before any task",
+            ),
             ("processors 1\ntask\n", 2, "missing `period="),
             (
                 "processors 1\ntask period=5\n  subtask proc=0 exec=1\n",
@@ -484,7 +484,11 @@ task period=10 phase=3 deadline=8
             ),
             ("processors x\n", 1, "bad processor count"),
             ("processors 1\nprocessors 2\n", 2, "duplicate processors"),
-            ("processors 1\npriorities nope\n", 2, "unknown priority policy"),
+            (
+                "processors 1\npriorities nope\n",
+                2,
+                "unknown priority policy",
+            ),
             (
                 "processors 1\ntask period=5 bogus=1\n",
                 2,
@@ -500,8 +504,16 @@ task period=10 phase=3 deadline=8
                 4,
                 "conflicts with a priority policy",
             ),
-            ("processors 1\ntask period=5\n subtask proc=0\n", 3, "missing `exec="),
-            ("processors 1\ntask period=5\n subtask proc zero\n", 3, "expected key=value"),
+            (
+                "processors 1\ntask period=5\n subtask proc=0\n",
+                3,
+                "missing `exec=",
+            ),
+            (
+                "processors 1\ntask period=5\n subtask proc zero\n",
+                3,
+                "expected key=value",
+            ),
         ];
         for (text, line, needle) in cases {
             match parse(text) {
@@ -529,9 +541,9 @@ task period=5
   subtask proc=0 exec=1 prio=1
 ";
         match parse(text) {
-            Err(ParseTaskSetError::Invalid(
-                ValidateTaskSetError::ConsecutiveOnSameProcessor(..),
-            )) => {}
+            Err(ParseTaskSetError::Invalid(ValidateTaskSetError::ConsecutiveOnSameProcessor(
+                ..,
+            ))) => {}
             other => panic!("{other:?}"),
         }
     }

@@ -432,10 +432,7 @@ mod tests {
     fn checked_ops_catch_overflow() {
         assert_eq!(Dur::MAX.checked_add(Dur::from_ticks(1)), None);
         assert_eq!(Dur::MAX.checked_mul(2), None);
-        assert_eq!(
-            Dur::from_ticks(2).checked_mul(3),
-            Some(Dur::from_ticks(6))
-        );
+        assert_eq!(Dur::from_ticks(2).checked_mul(3), Some(Dur::from_ticks(6)));
         assert_eq!(Time::MAX.checked_add(Dur::from_ticks(1)), None);
         assert_eq!(Dur::MAX.saturating_add(Dur::from_ticks(1)), Dur::MAX);
         assert_eq!(Dur::MAX.saturating_mul(3), Dur::MAX);

@@ -8,7 +8,9 @@ use rtsync_core::analysis::busy_period::{
 };
 use rtsync_core::analysis::sa_pm::analyze_pm;
 use rtsync_core::analysis::AnalysisConfig;
-use rtsync_core::priority::{build_with_policy, ChainSpec, PriorityKey, ProportionalDeadlineMonotonic};
+use rtsync_core::priority::{
+    build_with_policy, ChainSpec, PriorityKey, ProportionalDeadlineMonotonic,
+};
 use rtsync_core::release_guard::{GuardDecision, ReleaseGuard};
 use rtsync_core::task::TaskSet;
 use rtsync_core::textfmt;

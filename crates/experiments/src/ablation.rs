@@ -37,14 +37,16 @@ pub fn rule2_ablation(cfg: &StudyConfig) -> Grid {
             let mut count = 0usize;
             for index in 0..cfg.systems_per_config {
                 let mut rng = StdRng::seed_from_u64(
-                    cfg.seed ^ 0xAB1A_7E00 ^ ((n as u64) << 24) ^ (((u * 100.0) as u64) << 8)
+                    cfg.seed
+                        ^ 0xAB1A_7E00
+                        ^ ((n as u64) << 24)
+                        ^ (((u * 100.0) as u64) << 8)
                         ^ index as u64,
                 );
                 let set = generate(&spec, &mut rng).expect("paper spec generates");
                 let full = simulate(
                     &set,
-                    &SimConfig::new(Protocol::ReleaseGuard)
-                        .with_instances(cfg.instances_per_task),
+                    &SimConfig::new(Protocol::ReleaseGuard).with_instances(cfg.instances_per_task),
                 )
                 .expect("RG needs no analysis");
                 let rule1 = simulate(
@@ -64,7 +66,15 @@ pub fn rule2_ablation(cfg: &StudyConfig) -> Grid {
                     }
                 }
             }
-            grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+            grid.set(
+                ni,
+                ui,
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                },
+            );
         }
     }
     grid
@@ -75,7 +85,10 @@ pub fn rule2_ablation(cfg: &StudyConfig) -> Grid {
 /// distribution, in the order exponential, uniform, log-uniform.
 pub fn distribution_ablation(cfg: &StudyConfig) -> Vec<Grid> {
     let distributions = [
-        ("exponential", PeriodDistribution::TruncatedExponential { scale: 3_000.0 }),
+        (
+            "exponential",
+            PeriodDistribution::TruncatedExponential { scale: 3_000.0 },
+        ),
         ("uniform", PeriodDistribution::Uniform),
         ("log-uniform", PeriodDistribution::LogUniform),
     ];
@@ -114,7 +127,15 @@ pub fn distribution_ablation(cfg: &StudyConfig) -> Vec<Grid> {
                             count += 1;
                         }
                     }
-                    grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+                    grid.set(
+                        ni,
+                        ui,
+                        if count == 0 {
+                            f64::NAN
+                        } else {
+                            sum / count as f64
+                        },
+                    );
                 }
             }
             grid
@@ -185,16 +206,13 @@ pub fn contention_ablation(cfg: &StudyConfig, fractions: &[f64]) -> Vec<Grid> {
                         // Same structural draw with and without sections:
                         // identical seeds, only the fraction differs.
                         let with = generate(
-                            &WorkloadSpec::paper(n, u)
-                                .with_critical_section_fraction(fraction),
+                            &WorkloadSpec::paper(n, u).with_critical_section_fraction(fraction),
                             &mut StdRng::seed_from_u64(seed),
                         )
                         .expect("paper spec generates");
-                        let without = generate(
-                            &WorkloadSpec::paper(n, u),
-                            &mut StdRng::seed_from_u64(seed),
-                        )
-                        .expect("paper spec generates");
+                        let without =
+                            generate(&WorkloadSpec::paper(n, u), &mut StdRng::seed_from_u64(seed))
+                                .expect("paper spec generates");
                         let (Ok(a), Ok(b)) = (
                             analyze_pm(&with, &cfg.analysis),
                             analyze_pm(&without, &cfg.analysis),
@@ -202,12 +220,20 @@ pub fn contention_ablation(cfg: &StudyConfig, fractions: &[f64]) -> Vec<Grid> {
                             continue;
                         };
                         for task in with.tasks() {
-                            sum += a.task_bound(task.id()).as_f64()
-                                / b.task_bound(task.id()).as_f64();
+                            sum +=
+                                a.task_bound(task.id()).as_f64() / b.task_bound(task.id()).as_f64();
                             count += 1;
                         }
                     }
-                    grid.set(ni, ui, if count == 0 { f64::NAN } else { sum / count as f64 });
+                    grid.set(
+                        ni,
+                        ui,
+                        if count == 0 {
+                            f64::NAN
+                        } else {
+                            sum / count as f64
+                        },
+                    );
                 }
             }
             grid
@@ -245,9 +271,10 @@ pub fn priority_policy_ablation(cfg: &StudyConfig) -> Vec<Grid> {
                         )
                         .expect("paper spec generates");
                         if let Ok(bounds) = analyze_pm(&set, &cfg.analysis) {
-                            let schedulable = set.tasks().iter().all(|t| {
-                                bounds.task_bound(t.id()) <= t.deadline()
-                            });
+                            let schedulable = set
+                                .tasks()
+                                .iter()
+                                .all(|t| bounds.task_bound(t.id()) <= t.deadline());
                             if schedulable {
                                 ok += 1;
                             }
@@ -282,7 +309,10 @@ mod extension_tests {
         assert_eq!(grids.len(), 2);
         let none = grids[0].get(0, 0);
         let heavy = grids[1].get(0, 0);
-        assert!((none - 1.0).abs() < 1e-9, "zero density is the identity: {none}");
+        assert!(
+            (none - 1.0).abs() < 1e-9,
+            "zero density is the identity: {none}"
+        );
         assert!(heavy >= 1.0, "blocking can only inflate: {heavy}");
     }
 

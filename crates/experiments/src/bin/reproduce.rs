@@ -16,6 +16,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use rtsync_experiments::figures::{custom_grid, figure_grid, Figure};
+use rtsync_experiments::robustness::{self, RobustnessConfig};
 use rtsync_experiments::study::{run_study, StudyConfig};
 use rtsync_experiments::traces::TraceFigure;
 
@@ -30,6 +31,7 @@ struct Options {
     run_contention: bool,
     run_policies: bool,
     run_convergence: bool,
+    run_robustness: bool,
     cfg: StudyConfig,
     out_dir: Option<PathBuf>,
 }
@@ -45,6 +47,7 @@ fn parse_args() -> Result<Options, String> {
     let mut run_contention = false;
     let mut run_policies = false;
     let mut run_convergence = false;
+    let mut run_robustness = false;
     let mut cfg = StudyConfig::default();
     let mut out_dir = None;
     let mut saw_selector = false;
@@ -120,6 +123,10 @@ fn parse_args() -> Result<Options, String> {
                 saw_selector = true;
                 run_convergence = true;
             }
+            "robustness" => {
+                saw_selector = true;
+                run_robustness = true;
+            }
             "ablations" => {
                 saw_selector = true;
                 run_rule2_ablation = true;
@@ -167,6 +174,7 @@ fn parse_args() -> Result<Options, String> {
         run_contention,
         run_policies,
         run_convergence,
+        run_robustness,
         cfg,
         out_dir,
     })
@@ -189,7 +197,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|ablations]... \
+                "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|robustness|ablations]... \
                  [--systems N] [--instances I] [--seed S] [--threads T] [--out DIR]"
             );
             return ExitCode::FAILURE;
@@ -203,9 +211,7 @@ fn main() -> ExitCode {
     }
 
     if opts.run_tails {
-        println!(
-            "running the tail-latency study (p99 EER ratios; beyond the paper)…"
-        );
+        println!("running the tail-latency study (p99 EER ratios; beyond the paper)…");
         let outcomes = run_study(&opts.cfg);
         for (name, file, extract) in [
             (
@@ -312,7 +318,11 @@ fn main() -> ExitCode {
         };
         let pm = analyze_pm(&set, &opts.cfg.analysis).expect("example 2 analyzes");
         let ds = analyze_ds(&set, &opts.cfg.analysis).expect("example 2 analyzes");
-        for protocol in [Protocol::DirectSync, Protocol::ReleaseGuard, Protocol::PhaseModification] {
+        for protocol in [
+            Protocol::DirectSync,
+            Protocol::ReleaseGuard,
+            Protocol::PhaseModification,
+        ] {
             let exact = exact_worst_case(&set, protocol, &cfg).expect("example 2 simulates");
             println!("  {}:", protocol.tag());
             for (i, w) in exact.iter().enumerate() {
@@ -332,10 +342,9 @@ fn main() -> ExitCode {
 
     if opts.run_contention {
         println!("running the resource-contention ablation…");
-        for (i, grid) in
-            rtsync_experiments::ablation::contention_ablation(&opts.cfg, &[0.2, 0.5])
-                .iter()
-                .enumerate()
+        for (i, grid) in rtsync_experiments::ablation::contention_ablation(&opts.cfg, &[0.2, 0.5])
+            .iter()
+            .enumerate()
         {
             println!("{grid}");
             if let Err(e) = write_csv(
@@ -361,6 +370,47 @@ fn main() -> ExitCode {
                 &format!("ablation_policy_{i}.csv"),
                 &grid.to_csv(),
             ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.run_robustness {
+        println!("running the nonideal-conditions robustness grid (drift × latency)…");
+        let rcfg = RobustnessConfig {
+            systems_per_config: opts.cfg.systems_per_config.min(20),
+            seed: opts.cfg.seed,
+            instances_per_task: opts.cfg.instances_per_task,
+            threads: opts.cfg.threads,
+            analysis: opts.cfg.analysis,
+            ..RobustnessConfig::default()
+        };
+        println!(
+            "  {} drift values x {} latency values x {} systems, seed {} ({} threads)",
+            rcfg.drift_ppm_values.len(),
+            rcfg.latency_values.len(),
+            rcfg.systems_per_config,
+            rcfg.seed,
+            rcfg.threads,
+        );
+        let cells = robustness::run_robustness(&rcfg);
+        println!("{}", robustness::render(&cells));
+        // The robustness grid always records its results (default:
+        // `results/`), so the recorded-run command line in EXPERIMENTS.md
+        // reproduces the committed CSVs.
+        let dir = opts
+            .out_dir
+            .clone()
+            .or_else(|| Some(PathBuf::from("results")));
+        if let Err(e) = write_csv(&dir, "robustness.csv", &robustness::to_csv(&cells)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        for protocol in rtsync_core::protocol::Protocol::ALL {
+            let name = format!("robustness_inflation_{}.csv", protocol.tag().to_lowercase());
+            let csv = robustness::inflation_matrix_csv(&cells, protocol);
+            if let Err(e) = write_csv(&dir, &name, &csv) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

@@ -119,7 +119,10 @@ mod tests {
             assert!(r.rg_ds > 0.95 && r.rg_ds < 2.0, "{r:?}");
         }
         let drift = (rows[0].pm_ds - rows[1].pm_ds).abs() / rows[1].pm_ds;
-        assert!(drift < 0.15, "PM/DS drifted {drift:.3} from 10 to 40 instances");
+        assert!(
+            drift < 0.15,
+            "PM/DS drifted {drift:.3} from 10 to 40 instances"
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub fn with_phases(set: &TaskSet, phases: &[Time]) -> TaskSet {
         }
         builder = tb.finish_task();
     }
-    builder.build().expect("re-phased copy of a valid set is valid")
+    builder
+        .build()
+        .expect("re-phased copy of a valid set is valid")
 }
 
 /// Searches phase combinations for the worst observed EER time per task.
@@ -102,10 +104,7 @@ pub fn exact_worst_case(
             }
         })
         .collect();
-    let combinations: u64 = candidates
-        .iter()
-        .map(|c| c.len() as u64)
-        .product();
+    let combinations: u64 = candidates.iter().map(|c| c.len() as u64).product();
     assert!(
         combinations <= cfg.max_combinations,
         "{combinations} phase combinations exceed the cap of {}",
@@ -158,7 +157,11 @@ mod tests {
     #[test]
     fn with_phases_rebuilds_faithfully() {
         let set = example2();
-        let phases = vec![Time::from_ticks(1), Time::from_ticks(2), Time::from_ticks(3)];
+        let phases = vec![
+            Time::from_ticks(1),
+            Time::from_ticks(2),
+            Time::from_ticks(3),
+        ];
         let shifted = with_phases(&set, &phases);
         for (task, &phase) in shifted.tasks().iter().zip(&phases) {
             assert_eq!(task.phase(), phase);

@@ -96,7 +96,11 @@ impl Grid {
 
 impl fmt::Display for Grid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} (rows: subtasks/task, cols: utilization %)", self.name)?;
+        writeln!(
+            f,
+            "{} (rows: subtasks/task, cols: utilization %)",
+            self.name
+        )?;
         write!(f, "{:>4}", "N\\U")?;
         for u in &self.u_values {
             write!(f, "{:>9.0}", u * 100.0)?;

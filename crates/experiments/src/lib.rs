@@ -8,6 +8,8 @@
 //!   configuration `(N, U)`, analyzed with SA/PM and SA/DS and simulated
 //!   under the DS, PM and RG protocols;
 //! * [`figures`] — the mapping from study outcomes to Figures 12–16;
+//! * [`robustness`] — the nonideal-conditions grid (clock drift ×
+//!   signal latency) measuring the paper's §6 robustness claims;
 //! * [`grid`] — `(N, U)` result grids with CSV/ASCII rendering.
 //!
 //! The `reproduce` binary drives all of it:
@@ -39,11 +41,13 @@ pub mod convergence;
 pub mod exact;
 pub mod figures;
 pub mod grid;
+pub mod robustness;
 pub mod study;
 pub mod tightness;
 pub mod traces;
 
 pub use figures::{figure_grid, Figure};
 pub use grid::Grid;
+pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig};
 pub use study::{run_config, run_study, ConfigOutcome, StudyConfig};
 pub use traces::TraceFigure;

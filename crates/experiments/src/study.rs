@@ -127,9 +127,7 @@ pub fn evaluate_system(set: &TaskSet, cfg: &StudyConfig) -> SystemEval {
             let ratios = set
                 .tasks()
                 .iter()
-                .map(|t| {
-                    ds.task_bound(t.id()).as_f64() / pm.task_bound(t.id()).as_f64()
-                })
+                .map(|t| ds.task_bound(t.id()).as_f64() / pm.task_bound(t.id()).as_f64())
                 .collect();
             (false, ratios)
         }
@@ -139,8 +137,7 @@ pub fn evaluate_system(set: &TaskSet, cfg: &StudyConfig) -> SystemEval {
     // Simulations. PM needs finite SA/PM bounds; at the study's U ≤ 0.9
     // they always exist.
     let sim = |protocol| {
-        let sim_cfg = SimConfig::new(protocol)
-            .with_instances(cfg.instances_per_task);
+        let sim_cfg = SimConfig::new(protocol).with_instances(cfg.instances_per_task);
         simulate(set, &sim_cfg).expect("study systems are analyzable under SA/PM")
     };
     let ds_sim = sim(Protocol::DirectSync);
@@ -212,8 +209,7 @@ fn evaluate_many(n: usize, u: f64, cfg: &StudyConfig) -> Vec<SystemEval> {
     let seeds: Vec<u64> = (0..cfg.systems_per_config)
         .map(|i| system_seed(cfg.seed, n, u, i))
         .collect();
-    let results: Mutex<Vec<Option<SystemEval>>> =
-        Mutex::new(vec![None; cfg.systems_per_config]);
+    let results: Mutex<Vec<Option<SystemEval>>> = Mutex::new(vec![None; cfg.systems_per_config]);
     let next = AtomicUsize::new(0);
     let threads = cfg.threads.clamp(1, cfg.systems_per_config.max(1));
     std::thread::scope(|scope| {
@@ -241,7 +237,10 @@ fn evaluate_many(n: usize, u: f64, cfg: &StudyConfig) -> Vec<SystemEval> {
 fn aggregate(n: usize, u: f64, evals: &[SystemEval]) -> ConfigOutcome {
     let ds_failures = evals.iter().filter(|e| e.ds_failed).count();
     let collect = |select: fn(&SystemEval) -> &Vec<f64>| -> Vec<f64> {
-        evals.iter().flat_map(|e| select(e).iter().copied()).collect()
+        evals
+            .iter()
+            .flat_map(|e| select(e).iter().copied())
+            .collect()
     };
     let mean_of = |select: fn(&SystemEval) -> &Vec<f64>| mean(&collect(select));
     ConfigOutcome {

@@ -116,9 +116,8 @@ impl RatioAcc {
 
 /// Renders tightness rows as a text table.
 pub fn render(rows: &[TightnessRow]) -> String {
-    let mut out = String::from(
-        "bound tightness: mean(max observed EER / bound); 1.0 = bound attained\n",
-    );
+    let mut out =
+        String::from("bound tightness: mean(max observed EER / bound); 1.0 = bound attained\n");
     out.push_str(&format!(
         "{:>3}{:>5}{:>10}{:>10}{:>10}\n",
         "N", "U%", "PM", "RG", "DS"

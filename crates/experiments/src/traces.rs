@@ -45,13 +45,14 @@ impl TraceFigure {
         let (set, protocol) = match self {
             TraceFigure::Fig3ExampleUnderDs => (example2(), Protocol::DirectSync),
             TraceFigure::Fig5ExampleUnderPm => (example2(), Protocol::PhaseModification),
-            TraceFigure::Fig6ChainUnderMpm => {
-                (example1(), Protocol::ModifiedPhaseModification)
-            }
+            TraceFigure::Fig6ChainUnderMpm => (example1(), Protocol::ModifiedPhaseModification),
             TraceFigure::Fig7ExampleUnderRg => (example2(), Protocol::ReleaseGuard),
         };
-        simulate(&set, &SimConfig::new(protocol).with_instances(5).with_trace())
-            .expect("the running examples are analyzable")
+        simulate(
+            &set,
+            &SimConfig::new(protocol).with_instances(5).with_trace(),
+        )
+        .expect("the running examples are analyzable")
     }
 
     /// Renders the figure: an ASCII Gantt plus the key observations the
@@ -60,11 +61,7 @@ impl TraceFigure {
         let out = self.run();
         let trace = out.trace.as_ref().expect("trace recording enabled");
         let gantt = trace.render_gantt(Time::from_ticks(30));
-        let mut text = format!(
-            "figure {} — {}\n{gantt}",
-            self.number(),
-            self.caption()
-        );
+        let mut text = format!("figure {} — {}\n{gantt}", self.number(), self.caption());
         match self {
             TraceFigure::Fig3ExampleUnderDs => {
                 let t22 = SubtaskId::new(TaskId::new(1), 1);
@@ -129,7 +126,10 @@ mod tests {
 
     #[test]
     fn fig5_and_fig7_show_no_misses() {
-        for fig in [TraceFigure::Fig5ExampleUnderPm, TraceFigure::Fig7ExampleUnderRg] {
+        for fig in [
+            TraceFigure::Fig5ExampleUnderPm,
+            TraceFigure::Fig7ExampleUnderRg,
+        ] {
             let out = fig.run();
             assert_eq!(out.metrics.task(TaskId::new(2)).deadline_misses(), 0);
         }

@@ -185,8 +185,8 @@ pub fn validate_schedule(
             *entry = (*entry).max(seg.end);
             let released = releases.get(&seg.job).copied();
             let completed = completions.get(&seg.job).copied();
-            let ok_window = released.is_some_and(|r| seg.start >= r)
-                && completed.is_none_or(|c| seg.end <= c);
+            let ok_window =
+                released.is_some_and(|r| seg.start >= r) && completed.is_none_or(|c| seg.end <= c);
             if !ok_window {
                 defects.push(ScheduleDefect::OutsideWindow {
                     job: seg.job,
@@ -235,7 +235,11 @@ pub fn validate_schedule(
             }
             // The other job is pending throughout [max(rel, seg.start), min(completion, seg.end)).
             let pend_from = rel.max(seg.start);
-            let pend_to = completions.get(&other).copied().unwrap_or(Time::MAX).min(seg.end);
+            let pend_to = completions
+                .get(&other)
+                .copied()
+                .unwrap_or(Time::MAX)
+                .min(seg.end);
             if pend_from >= pend_to {
                 continue;
             }
@@ -343,9 +347,12 @@ mod tests {
             },
         );
         let defects = validate_schedule(&set, &trace, false);
-        assert!(defects
-            .iter()
-            .any(|d| matches!(d, ScheduleDefect::Overlap { .. })), "{defects:?}");
+        assert!(
+            defects
+                .iter()
+                .any(|d| matches!(d, ScheduleDefect::Overlap { .. })),
+            "{defects:?}"
+        );
     }
 
     #[test]
@@ -410,9 +417,12 @@ mod tests {
         );
         trace.push_completion(job(1, 0, 0), t(2));
         let defects = validate_schedule(&set, &trace, false);
-        assert!(defects
-            .iter()
-            .any(|d| matches!(d, ScheduleDefect::PriorityInversion { .. })), "{defects:?}");
+        assert!(
+            defects
+                .iter()
+                .any(|d| matches!(d, ScheduleDefect::PriorityInversion { .. })),
+            "{defects:?}"
+        );
     }
 
     #[test]

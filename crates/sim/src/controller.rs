@@ -64,10 +64,7 @@ pub(crate) enum CompletionDirective {
     /// Release the successor instance now.
     ReleaseSuccessor,
     /// The successor was deferred; (re)schedule its guard expiry.
-    ScheduleExpiry {
-        due: Time,
-        gen: u64,
-    },
+    ScheduleExpiry { due: Time, gen: u64 },
     /// Nothing to do (clock- or timer-driven protocols).
     Nothing,
 }
@@ -115,6 +112,18 @@ impl Controller {
     }
 
     pub(crate) fn rg(set: &TaskSet, apply_rule2: bool) -> Controller {
+        Controller::rg_with_guard_periods(set, apply_rule2, |_, period| period)
+    }
+
+    /// RG with per-subtask guard periods derived from the nominal task
+    /// period — the nonideal engine passes the host clock's drift scaling,
+    /// so a guard armed for one *local* period elapses correctly in true
+    /// time. Guards measure durations only, so clock offsets never appear.
+    pub(crate) fn rg_with_guard_periods(
+        set: &TaskSet,
+        apply_rule2: bool,
+        period_of: impl Fn(ProcessorId, rtsync_core::time::Dur) -> rtsync_core::time::Dur,
+    ) -> Controller {
         let flat = FlatIndex::new(set);
         let mut guards = Vec::new();
         let mut slot_of = vec![None; flat.len()];
@@ -122,7 +131,7 @@ impl Controller {
             for sub in task.subtasks().iter().skip(1) {
                 slot_of[flat.of(sub.id())] = Some(guards.len());
                 guards.push(GuardSlot {
-                    guard: ReleaseGuard::new(task.period()),
+                    guard: ReleaseGuard::new(period_of(sub.processor(), task.period())),
                     instances: VecDeque::new(),
                     proc: sub.processor(),
                     subtask: sub.id(),
@@ -170,7 +179,12 @@ impl Controller {
     }
 
     /// `job` was just released at `now`. Returns events to schedule.
-    pub(crate) fn on_release(&mut self, set: &TaskSet, job: JobId, now: Time) -> Vec<(Time, EventKind)> {
+    pub(crate) fn on_release(
+        &mut self,
+        set: &TaskSet,
+        job: JobId,
+        now: Time,
+    ) -> Vec<(Time, EventKind)> {
         match self {
             Controller::Ds | Controller::Pm => Vec::new(),
             Controller::Mpm { bounds } => {
@@ -196,8 +210,8 @@ impl Controller {
                 };
                 let slot = &mut guards[slot_idx];
                 slot.guard.on_release(now); // rule 1
-                // Rule 1 bumped the generation: the queue head (if any)
-                // needs a fresh expiry.
+                                            // Rule 1 bumped the generation: the queue head (if any)
+                                            // needs a fresh expiry.
                 match slot.guard.next_expiry() {
                     Some((due, gen)) => vec![(
                         due,
@@ -351,7 +365,7 @@ mod tests {
             CompletionDirective::ReleaseSuccessor
         );
         assert!(c.on_release(&set, j0, t(4)).is_empty()); // rule 1, no pending
-        // Second signal at 8: deferred until 10.
+                                                          // Second signal at 8: deferred until 10.
         let j1 = JobId::new(sid(1, 1), 1);
         match c.on_predecessor_complete(j1, t(8)) {
             CompletionDirective::ScheduleExpiry { due, .. } => assert_eq!(due, t(10)),
@@ -397,7 +411,7 @@ mod tests {
             CompletionDirective::ReleaseSuccessor
         );
         let _ = c.on_release(&set, j(0), t(0)); // guard 6
-        // Three clumped signals.
+                                                // Three clumped signals.
         let e1 = c.on_predecessor_complete(j(1), t(1));
         let CompletionDirective::ScheduleExpiry { due: d1, gen: g1 } = e1 else {
             panic!("{e1:?}")
@@ -432,7 +446,7 @@ mod tests {
         let _ = c.on_release(&set, j1, t(0)); // guard 6 on P1
         let j2 = JobId::new(sid(1, 1), 1);
         let _ = c.on_predecessor_complete(j2, t(1)); // deferred
-        // Idle point on P0 must not free a P1 deferral.
+                                                     // Idle point on P0 must not free a P1 deferral.
         assert!(c.on_idle_point(ProcessorId::new(0), t(2)).is_empty());
         assert_eq!(c.on_idle_point(ProcessorId::new(1), t(2)), vec![j2]);
     }

@@ -39,6 +39,7 @@ use crate::controller::{CompletionDirective, Controller, FlatIndex};
 use crate::event::{EventKind, EventQueue};
 use crate::job::JobId;
 use crate::metrics::Metrics;
+use crate::nonideal::{ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig};
 use crate::processor::{Milestone, Processor, Resched};
 use crate::profile::PriorityProfile;
 use crate::source::SourceModel;
@@ -70,6 +71,10 @@ pub struct SimConfig {
     /// from the EER statistics (they still count toward the stop target),
     /// removing the start-of-trace transient from average-EER estimates.
     pub warmup_instances: u64,
+    /// Nonideal operating conditions: per-processor clock error and the
+    /// signal channel model. The default is the paper's ideal conditions,
+    /// under which the engine takes the exact legacy code path.
+    pub nonideal: NonidealConfig,
 }
 
 impl SimConfig {
@@ -85,7 +90,26 @@ impl SimConfig {
             analysis: AnalysisConfig::default(),
             rg_apply_rule2: true,
             warmup_instances: 0,
+            nonideal: NonidealConfig::default(),
         }
+    }
+
+    /// Sets the nonideal-conditions model (clock error, signal channel).
+    pub fn with_nonideal(mut self, nonideal: NonidealConfig) -> SimConfig {
+        self.nonideal = nonideal;
+        self
+    }
+
+    /// Sets only the clock model of the nonideal conditions.
+    pub fn with_clocks(mut self, clocks: ClockModel) -> SimConfig {
+        self.nonideal.clocks = clocks;
+        self
+    }
+
+    /// Sets only the signal channel of the nonideal conditions.
+    pub fn with_channel(mut self, channel: crate::nonideal::ChannelModel) -> SimConfig {
+        self.nonideal.channel = Some(channel);
+        self
     }
 
     /// Excludes each task's first `n` completions from the EER statistics.
@@ -134,6 +158,9 @@ pub enum ViolationKind {
     /// An MPM timer fired before its job completed — the response-time
     /// bound was violated (an overrun in the paper's terminology).
     MpmOverrun,
+    /// The channel dropped a signal's first transmission (fault injection);
+    /// the retransmission delivered it late.
+    SignalLost,
 }
 
 /// One recorded protocol violation.
@@ -167,6 +194,8 @@ pub struct SimOutcome {
     pub reached_target: bool,
     /// Ticks each processor spent executing (observed busy time).
     pub busy_ticks: Vec<Dur>,
+    /// Signal-channel counters (all zero when no channel was configured).
+    pub channel_stats: ChannelStats,
 }
 
 impl SimOutcome {
@@ -248,6 +277,11 @@ struct Engine<'a> {
     busy_ticks: Vec<Dur>,
     /// Effective-priority profile per flat subtask index (Highest Locker).
     profiles: Vec<PriorityProfile>,
+    /// Per-processor local clocks; `None` when all clocks are ideal (the
+    /// legacy code path, no conversions anywhere).
+    clocks: Option<Vec<LocalClock>>,
+    /// Signal-channel state; `None` routes signals instantaneously.
+    channel: Option<ChannelState>,
     horizon: Time,
     events: u64,
     now: Time,
@@ -256,9 +290,28 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(set: &'a TaskSet, cfg: &'a SimConfig) -> Result<Engine<'a>, SimulateError> {
         let flat = FlatIndex::new(set);
+        let clocks = (!cfg.nonideal.clocks.is_ideal())
+            .then(|| cfg.nonideal.clocks.resolve(set.num_processors()));
+        let channel = cfg
+            .nonideal
+            .channel
+            .map(|model| ChannelState::new(model, flat.len()));
         let (controller, pm_phases) = match cfg.protocol {
             Protocol::DirectSync => (Controller::ds(), None),
-            Protocol::ReleaseGuard => (Controller::rg(set, cfg.rg_apply_rule2), None),
+            Protocol::ReleaseGuard => {
+                // Guards measure one task period on the host processor's
+                // clock; drift rescales that period in true time (offsets
+                // cancel — guards are pure durations).
+                let controller = match &clocks {
+                    None => Controller::rg(set, cfg.rg_apply_rule2),
+                    Some(clocks) => Controller::rg_with_guard_periods(
+                        set,
+                        cfg.rg_apply_rule2,
+                        |proc, period| clocks[proc.index()].true_dur(period),
+                    ),
+                };
+                (controller, None)
+            }
             Protocol::PhaseModification => {
                 let bounds = analyze_pm(set, &cfg.analysis)?;
                 let phases = PmPhases::compute(set, &bounds);
@@ -281,7 +334,10 @@ impl<'a> Engine<'a> {
             pm_phases,
             flat,
             metrics: Metrics::with_chains(
-                &set.tasks().iter().map(|t| t.chain_len()).collect::<Vec<_>>(),
+                &set.tasks()
+                    .iter()
+                    .map(|t| t.chain_len())
+                    .collect::<Vec<_>>(),
             ),
             trace: cfg.record_trace.then(|| Trace::new(set.num_processors())),
             violations: Vec::new(),
@@ -295,6 +351,8 @@ impl<'a> Engine<'a> {
                 .subtasks()
                 .map(|sub| PriorityProfile::for_subtask(set, sub))
                 .collect(),
+            clocks,
+            channel,
             horizon,
             events: 0,
             now: Time::ZERO,
@@ -305,13 +363,10 @@ impl<'a> Engine<'a> {
         // Seed the queue: source releases for every task, clock-driven
         // releases for PM's later subtasks.
         for task in self.set.tasks() {
-            let t0 = self.cfg.source.release_time(
-                task.id(),
-                task.period(),
-                task.phase(),
-                0,
-                None,
-            );
+            let t0 = self
+                .cfg
+                .source
+                .release_time(task.id(), task.period(), task.phase(), 0, None);
             self.queue.push(
                 t0,
                 EventKind::SourceRelease {
@@ -323,8 +378,19 @@ impl<'a> Engine<'a> {
         if let Some(phases) = &self.pm_phases {
             for task in self.set.tasks() {
                 for sub in task.subtasks().iter().skip(1) {
+                    // PM timers fire when the *local* clock reads the
+                    // modified phase — this is the one place absolute clock
+                    // error enters the protocols. A clock running ahead can
+                    // place the firing before the origin; clamp to zero
+                    // (the release is maximally early either way).
+                    let at = match &self.clocks {
+                        None => phases.phase(sub.id()),
+                        Some(clocks) => clocks[sub.processor().index()]
+                            .true_of_local(phases.phase(sub.id()))
+                            .max(Time::ZERO),
+                    };
                     self.queue.push(
-                        phases.phase(sub.id()),
+                        at,
                         EventKind::TimedRelease {
                             subtask: sub.id(),
                             instance: 0,
@@ -345,6 +411,8 @@ impl<'a> Engine<'a> {
             match event.kind {
                 EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
                 EventKind::MpmTimer { job } => self.on_mpm_timer(job),
+                EventKind::SignalSend { job } => self.on_signal_send(job),
+                EventKind::SignalDeliver { job } => self.on_signal_deliver(job),
                 EventKind::GuardExpiry { subtask, gen } => self.on_guard_expiry(subtask, gen),
                 EventKind::SourceRelease { task, instance } => {
                     self.on_source_release(task, instance)
@@ -375,6 +443,7 @@ impl<'a> Engine<'a> {
             end_time: self.now,
             reached_target,
             busy_ticks: self.busy_ticks,
+            channel_stats: self.channel.map(|ch| ch.stats).unwrap_or_default(),
         })
     }
 
@@ -417,37 +486,12 @@ impl<'a> Engine<'a> {
                 );
             }
             Some(succ) => {
-                let succ_job = JobId::new(succ, job.instance());
-                match self.controller.on_predecessor_complete(succ_job, self.now) {
-                    CompletionDirective::ReleaseSuccessor => self.release(succ_job),
-                    CompletionDirective::ScheduleExpiry { due, gen } => {
-                        // Rule 2 applies at *every* idle instant (§3.2), not
-                        // only at completion instants: a signal deferred
-                        // onto an already-idle processor is released right
-                        // away (the idle point resets the guard). With rule
-                        // 2 disabled (the ablation) nothing is freed and the
-                        // expiry timer proceeds as scheduled.
-                        let succ_proc = self.set.subtask(succ).processor();
-                        let freed = if self.procs[succ_proc.index()].is_idle_point(self.now) {
-                            self.controller.on_idle_point(succ_proc, self.now)
-                        } else {
-                            Vec::new()
-                        };
-                        if freed.is_empty() {
-                            self.queue.push(
-                                due.max(self.now),
-                                EventKind::GuardExpiry {
-                                    subtask: succ,
-                                    gen,
-                                },
-                            );
-                        } else {
-                            for job in freed {
-                                self.release(job);
-                            }
-                        }
-                    }
-                    CompletionDirective::Nothing => {}
+                // Under MPM (and PM) the completion itself carries no
+                // signal — MPM's release request travels with the
+                // MpmTimer firing instead, PM releases by clock alone.
+                if self.cfg.protocol != Protocol::ModifiedPhaseModification {
+                    let succ_job = JobId::new(succ, job.instance());
+                    self.signal_successor(proc, succ_job);
                 }
             }
         }
@@ -482,7 +526,101 @@ impl<'a> Engine<'a> {
             .task(job.task())
             .successor_of(job.subtask())
             .expect("MPM timers are only scheduled for subtasks with successors");
-        self.release(JobId::new(succ, job.instance()));
+        // The timer runs on the predecessor's processor; the release
+        // request is a cross-processor signal like any other.
+        let timer_proc = self.set.subtask(job.subtask()).processor();
+        self.signal_successor(timer_proc, JobId::new(succ, job.instance()));
+    }
+
+    /// Routes a successor-release signal originating on `from`: through
+    /// the channel when one is configured and the hop crosses processors,
+    /// directly (the paper's instantaneous signal) otherwise.
+    fn signal_successor(&mut self, from: ProcessorId, succ_job: JobId) {
+        let succ_proc = self.set.subtask(succ_job.subtask()).processor();
+        // PM releases by clock alone — it sends no signals, so there is
+        // nothing to price on the channel.
+        let signalless = self.cfg.protocol == Protocol::PhaseModification;
+        if self.channel.is_some() && succ_proc != from && !signalless {
+            self.queue
+                .push(self.now, EventKind::SignalSend { job: succ_job });
+        } else {
+            self.apply_signal(succ_job);
+        }
+    }
+
+    /// A successor-release signal has arrived at its processor (directly
+    /// or via the channel): hand it to the protocol.
+    fn apply_signal(&mut self, succ_job: JobId) {
+        if self.cfg.protocol == Protocol::ModifiedPhaseModification {
+            // MPM's signal carries the release itself — its controller
+            // deliberately ignores predecessor completions.
+            self.release(succ_job);
+            return;
+        }
+        let succ = succ_job.subtask();
+        match self.controller.on_predecessor_complete(succ_job, self.now) {
+            CompletionDirective::ReleaseSuccessor => self.release(succ_job),
+            CompletionDirective::ScheduleExpiry { due, gen } => {
+                // Rule 2 applies at *every* idle instant (§3.2), not
+                // only at completion instants: a signal deferred
+                // onto an already-idle processor is released right
+                // away (the idle point resets the guard). With rule
+                // 2 disabled (the ablation) nothing is freed and the
+                // expiry timer proceeds as scheduled.
+                let succ_proc = self.set.subtask(succ).processor();
+                let freed = if self.procs[succ_proc.index()].is_idle_point(self.now) {
+                    self.controller.on_idle_point(succ_proc, self.now)
+                } else {
+                    Vec::new()
+                };
+                if freed.is_empty() {
+                    self.queue.push(
+                        due.max(self.now),
+                        EventKind::GuardExpiry { subtask: succ, gen },
+                    );
+                } else {
+                    for job in freed {
+                        self.release(job);
+                    }
+                }
+            }
+            CompletionDirective::Nothing => {}
+        }
+    }
+
+    /// A signal leaves its sender: draw the channel's latency and faults
+    /// and schedule the deliveries.
+    fn on_signal_send(&mut self, job: JobId) {
+        let plan = self
+            .channel
+            .as_mut()
+            .expect("SignalSend only scheduled with a channel")
+            .send();
+        if plan.dropped {
+            self.violations.push(Violation {
+                kind: ViolationKind::SignalLost,
+                job,
+                time: self.now,
+            });
+        }
+        for delay in plan.deliveries {
+            self.queue
+                .push(self.now + delay, EventKind::SignalDeliver { job });
+        }
+    }
+
+    /// A signal reaches its receiver: apply it — and any earlier-buffered
+    /// successors it unblocks — in instance order.
+    fn on_signal_deliver(&mut self, job: JobId) {
+        let fi = self.flat.of(job.subtask());
+        let applicable = self
+            .channel
+            .as_mut()
+            .expect("SignalDeliver only scheduled with a channel")
+            .deliver(fi, job.instance());
+        for instance in applicable {
+            self.apply_signal(JobId::new(job.subtask(), instance));
+        }
     }
 
     fn on_guard_expiry(&mut self, subtask: SubtaskId, gen: u64) {
@@ -498,13 +636,10 @@ impl<'a> Engine<'a> {
         self.metrics.record_first_release(task, instance, self.now);
         self.release(first);
         // Schedule the next arrival.
-        let next = self.cfg.source.release_time(
-            task,
-            t.period(),
-            t.phase(),
-            instance + 1,
-            Some(self.now),
-        );
+        let next =
+            self.cfg
+                .source
+                .release_time(task, t.period(), t.phase(), instance + 1, Some(self.now));
         if next <= self.horizon {
             self.queue.push(
                 next,
@@ -520,7 +655,22 @@ impl<'a> Engine<'a> {
         // PM's clock-driven release of a later subtask.
         self.release(JobId::new(subtask, instance));
         let period = self.set.task(subtask.task()).period();
-        let next = self.now + period;
+        let next = match &self.clocks {
+            None => self.now + period,
+            Some(clocks) => {
+                // The timer tracks the *local* schedule φ + m·p exactly
+                // (no accumulated rounding): convert the next local firing
+                // back to true time on the host clock.
+                let phases = self
+                    .pm_phases
+                    .as_ref()
+                    .expect("timed releases only occur under PM");
+                let local_next = phases.phase(subtask) + period.saturating_mul(instance as i64 + 1);
+                clocks[self.set.subtask(subtask).processor().index()]
+                    .true_of_local(local_next)
+                    .max(self.now)
+            }
+        };
         if next <= self.horizon {
             self.queue.push(
                 next,
@@ -558,8 +708,18 @@ impl<'a> Engine<'a> {
         if let Some(tr) = &mut self.trace {
             tr.push_release(job, self.now);
         }
-        // Protocol hooks (RG rule 1, MPM timers).
+        // Protocol hooks (RG rule 1, MPM timers). MPM timers measure a
+        // duration on the host processor's clock: rescale it under drift
+        // (RG guard durations were pre-scaled at construction instead,
+        // because the guard compares its own internal due times).
         for (time, kind) in self.controller.on_release(self.set, job, self.now) {
+            let time = match (&self.clocks, &kind) {
+                (Some(clocks), EventKind::MpmTimer { job }) => {
+                    let timer_proc = self.set.subtask(job.subtask()).processor();
+                    self.now + clocks[timer_proc.index()].true_dur(time - self.now)
+                }
+                _ => time,
+            };
             self.queue.push(time, kind);
         }
         let proc = sub.processor();
@@ -617,14 +777,18 @@ fn default_horizon(set: &TaskSet, cfg: &SimConfig) -> Time {
         SourceModel::Sporadic { max_extra, .. } => max_extra,
     };
     let n = cfg.instances_per_task as i64 + 5;
-    set.tasks()
+    let base = set
+        .tasks()
         .iter()
         .map(|t| {
             t.phase()
                 .saturating_add((t.period() + extra).saturating_mul(n))
         })
         .max()
-        .unwrap_or(Time::ZERO)
+        .unwrap_or(Time::ZERO);
+    // Nonideal conditions can retard releases (slow clocks) and deliveries
+    // (channel latency); pad so the instance target stays reachable.
+    base.saturating_add(cfg.nonideal.horizon_slack(base.since_origin()))
 }
 
 #[cfg(test)]
@@ -936,7 +1100,10 @@ mod tests {
         let tr = out.trace.as_ref().unwrap();
         // T1 runs [0, 5) uninterrupted; T0's first instance completes at 7.
         let t1_segs = tr.segments_on(ProcessorId::new(0));
-        assert_eq!(t1_segs[0].job, JobId::new(SubtaskId::new(TaskId::new(1), 0), 0));
+        assert_eq!(
+            t1_segs[0].job,
+            JobId::new(SubtaskId::new(TaskId::new(1), 0), 0)
+        );
         assert_eq!((t1_segs[0].start, t1_segs[0].end), (t(0), t(5)));
         let t0 = SubtaskId::new(TaskId::new(0), 0);
         assert_eq!(tr.completions_of(t0)[0], t(7));
@@ -948,10 +1115,7 @@ mod tests {
         // observed response = 7 − 1 = 6 exactly.
         let bounds = analyze_pm(&set, &AnalysisConfig::default()).unwrap();
         assert_eq!(bounds.response(t0), d(6));
-        assert_eq!(
-            out.metrics.task(TaskId::new(0)).max_eer(),
-            Some(d(6))
-        );
+        assert_eq!(out.metrics.task(TaskId::new(0)).max_eer(), Some(d(6)));
     }
 
     #[test]

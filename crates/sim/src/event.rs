@@ -33,6 +33,21 @@ pub enum EventKind {
         /// The predecessor job whose timer fired.
         job: JobId,
     },
+    /// A nonideal-mode synchronization signal leaves its sender: the
+    /// channel draws its latency (and faults) and schedules the delivery.
+    /// Only produced when a [`ChannelModel`] is configured.
+    ///
+    /// [`ChannelModel`]: crate::nonideal::ChannelModel
+    SignalSend {
+        /// The successor job the signal asks for.
+        job: JobId,
+    },
+    /// A nonideal-mode synchronization signal reaches its receiver, which
+    /// applies deliveries in instance order (early arrivals are buffered).
+    SignalDeliver {
+        /// The successor job the signal asks for.
+        job: JobId,
+    },
     /// A deferred RG release reaches its guard time; valid only if `gen`
     /// matches the guard's generation (idle points invalidate deferrals).
     GuardExpiry {
@@ -61,12 +76,18 @@ pub enum EventKind {
 impl EventKind {
     /// Same-instant processing rank (lower fires first).
     fn rank(&self) -> u8 {
+        // The relative order of the pre-existing kinds is load-bearing
+        // (golden traces); the signal kinds slot in so a delivery lands
+        // where the direct-path release used to happen — after completions
+        // and timers, before guard expiries and fresh releases.
         match self {
             EventKind::Completion { .. } => 0,
             EventKind::MpmTimer { .. } => 1,
-            EventKind::GuardExpiry { .. } => 2,
-            EventKind::SourceRelease { .. } => 3,
-            EventKind::TimedRelease { .. } => 4,
+            EventKind::SignalSend { .. } => 2,
+            EventKind::SignalDeliver { .. } => 3,
+            EventKind::GuardExpiry { .. } => 4,
+            EventKind::SourceRelease { .. } => 5,
+            EventKind::TimedRelease { .. } => 6,
         }
     }
 }
@@ -167,7 +188,9 @@ mod tests {
         q.push(t(5), source(0, 0));
         q.push(t(1), source(1, 0));
         q.push(t(3), source(2, 0));
-        let order: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.ticks()).collect();
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.ticks())
+            .collect();
         assert_eq!(order, vec![1, 3, 5]);
     }
 
@@ -186,9 +209,33 @@ mod tests {
     fn full_same_instant_rank_order() {
         let mut q = EventQueue::new();
         let sub = SubtaskId::new(TaskId::new(0), 1);
-        q.push(t(2), EventKind::TimedRelease { subtask: sub, instance: 0 });
+        q.push(
+            t(2),
+            EventKind::TimedRelease {
+                subtask: sub,
+                instance: 0,
+            },
+        );
         q.push(t(2), source(0, 0));
-        q.push(t(2), EventKind::GuardExpiry { subtask: sub, gen: 0 });
+        q.push(
+            t(2),
+            EventKind::GuardExpiry {
+                subtask: sub,
+                gen: 0,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SignalDeliver {
+                job: JobId::new(sub, 0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SignalSend {
+                job: JobId::new(sub, 0),
+            },
+        );
         q.push(
             t(2),
             EventKind::MpmTimer {
@@ -200,12 +247,14 @@ mod tests {
             .map(|e| match e.kind {
                 EventKind::Completion { .. } => 0,
                 EventKind::MpmTimer { .. } => 1,
-                EventKind::GuardExpiry { .. } => 2,
-                EventKind::SourceRelease { .. } => 3,
-                EventKind::TimedRelease { .. } => 4,
+                EventKind::SignalSend { .. } => 2,
+                EventKind::SignalDeliver { .. } => 3,
+                EventKind::GuardExpiry { .. } => 4,
+                EventKind::SourceRelease { .. } => 5,
+                EventKind::TimedRelease { .. } => 6,
             })
             .collect();
-        assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6]);
     }
 
     #[test]

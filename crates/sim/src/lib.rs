@@ -45,6 +45,7 @@ pub mod event;
 pub mod histogram;
 pub mod job;
 pub mod metrics;
+pub mod nonideal;
 pub mod processor;
 pub mod profile;
 pub mod reference;
@@ -55,5 +56,6 @@ pub use check::{validate_schedule, ScheduleDefect};
 pub use engine::{simulate, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind};
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
+pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
 pub use source::SourceModel;
 pub use trace::{Segment, Trace};

@@ -1,0 +1,377 @@
+//! The inter-processor signal channel model.
+//!
+//! The paper treats synchronization signals as instantaneous ("the time
+//! required to send a synchronization signal … is negligible", §2). This
+//! module prices them: every cross-processor signal takes a latency drawn
+//! from a seeded distribution, and the channel can inject faults — drop a
+//! signal (it is retransmitted after a fixed extra delay), duplicate it,
+//! or reorder it (reordering also arises naturally from independent
+//! latency draws). The receiver applies deliveries strictly in instance
+//! order per subtask, buffering early arrivals, so the engine's in-order
+//! release invariants survive any channel behavior.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtsync_core::time::Dur;
+
+/// Distribution of one signal's transmission latency.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LatencyModel {
+    /// Every signal takes exactly this long.
+    Constant(Dur),
+    /// Uniform over `[lo, hi]` ticks.
+    Uniform {
+        /// Smallest latency.
+        lo: Dur,
+        /// Largest latency.
+        hi: Dur,
+    },
+    /// Exponential with the given mean, truncated at `cap` (so the tail is
+    /// bounded and horizons stay finite).
+    TruncatedExp {
+        /// Mean of the untruncated exponential.
+        mean: Dur,
+        /// Hard upper bound on any single draw.
+        cap: Dur,
+    },
+}
+
+impl LatencyModel {
+    fn draw(&self, rng: &mut StdRng) -> Dur {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi);
+                if lo == hi {
+                    lo
+                } else {
+                    Dur::from_ticks(rng.random_range(lo.ticks()..=hi.ticks()))
+                }
+            }
+            LatencyModel::TruncatedExp { mean, cap } => {
+                let u: f64 = rng.random_range(0.0..1.0);
+                let ticks = (-(1.0_f64 - u).ln() * mean.ticks() as f64).round() as i64;
+                Dur::from_ticks(ticks.clamp(0, cap.ticks()))
+            }
+        }
+    }
+
+    /// The largest latency this model can produce.
+    pub fn max_bound(&self) -> Dur {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { hi, .. } => hi,
+            LatencyModel::TruncatedExp { cap, .. } => cap,
+        }
+    }
+}
+
+/// Fault injection knobs. Defaults inject nothing.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FaultPlan {
+    /// Probability that a signal's first transmission is lost. A lost
+    /// signal is retransmitted once and always arrives — the protocols
+    /// assume eventual delivery; what they must tolerate is lateness.
+    pub drop_probability: f64,
+    /// Extra delay a retransmission adds on top of a fresh latency draw.
+    pub retransmit_delay: Dur,
+    /// Probability that a signal is delivered twice (the receiver counts
+    /// and suppresses the duplicate).
+    pub duplicate_probability: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            drop_probability: 0.0,
+            retransmit_delay: Dur::ZERO,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    fn is_inert(&self) -> bool {
+        self.drop_probability == 0.0 && self.duplicate_probability == 0.0
+    }
+}
+
+/// The full channel specification: latency distribution, fault plan, and
+/// the seed for all stochastic draws.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChannelModel {
+    /// Latency of each transmission.
+    pub latency: LatencyModel,
+    /// Fault injection.
+    pub faults: FaultPlan,
+    /// Seed of the channel's private generator; draws happen in event
+    /// order, so equal seeds give equal fault/latency sequences.
+    pub seed: u64,
+}
+
+impl ChannelModel {
+    /// A fault-free channel with constant latency.
+    pub fn constant(latency: Dur) -> ChannelModel {
+        ChannelModel {
+            latency: LatencyModel::Constant(latency),
+            faults: FaultPlan::default(),
+            seed: 0,
+        }
+    }
+
+    /// A fault-free channel with uniform latency in `[lo, hi]`.
+    pub fn uniform(lo: Dur, hi: Dur) -> ChannelModel {
+        assert!(lo <= hi, "uniform latency needs lo <= hi");
+        ChannelModel {
+            latency: LatencyModel::Uniform { lo, hi },
+            faults: FaultPlan::default(),
+            seed: 0,
+        }
+    }
+
+    /// A fault-free channel with truncated-exponential latency.
+    pub fn truncated_exp(mean: Dur, cap: Dur) -> ChannelModel {
+        ChannelModel {
+            latency: LatencyModel::TruncatedExp { mean, cap },
+            faults: FaultPlan::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed of the channel's generator.
+    pub fn with_seed(mut self, seed: u64) -> ChannelModel {
+        self.seed = seed;
+        self
+    }
+
+    /// Drops each signal's first transmission with probability `p`; the
+    /// retransmission arrives after a fresh latency draw plus `delay`.
+    pub fn with_drops(mut self, p: f64, delay: Dur) -> ChannelModel {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.faults.drop_probability = p;
+        self.faults.retransmit_delay = delay;
+        self
+    }
+
+    /// Duplicates each signal with probability `p`.
+    pub fn with_duplicates(mut self, p: f64) -> ChannelModel {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.faults.duplicate_probability = p;
+        self
+    }
+
+    /// The worst delay any single signal can suffer.
+    pub fn max_delay_bound(&self) -> Dur {
+        let base = self.latency.max_bound();
+        if self.faults.drop_probability > 0.0 {
+            base + self.faults.retransmit_delay
+        } else {
+            base
+        }
+    }
+}
+
+/// Counters the channel accumulates over one run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChannelStats {
+    /// Signals sent (one per cross-processor predecessor completion or
+    /// MPM timer firing).
+    pub sent: u64,
+    /// Deliveries applied at the receiver (excludes suppressed duplicates).
+    pub applied: u64,
+    /// First transmissions lost and retransmitted.
+    pub dropped: u64,
+    /// Extra copies injected by the duplication fault.
+    pub duplicates_injected: u64,
+    /// Deliveries suppressed at the receiver as duplicates.
+    pub duplicates_suppressed: u64,
+    /// Deliveries that arrived ahead of a missing earlier instance and had
+    /// to be buffered (observed reordering).
+    pub reordered: u64,
+    /// Largest send-to-delivery delay scheduled.
+    pub max_delay: Dur,
+}
+
+/// What one send turns into on the wire.
+#[derive(Clone, Debug)]
+pub(crate) struct SendPlan {
+    /// Delay of each scheduled delivery (≥ 1 entry; 2 when duplicated).
+    pub deliveries: Vec<Dur>,
+    /// The first transmission was dropped (deliveries hold the
+    /// retransmission only).
+    pub dropped: bool,
+}
+
+/// Per-run channel state: the seeded generator plus the receiver-side
+/// in-order application buffers (one per flat subtask index).
+#[derive(Debug)]
+pub(crate) struct ChannelState {
+    model: ChannelModel,
+    rng: StdRng,
+    /// Next instance to apply per flat subtask index.
+    next_apply: Vec<u64>,
+    /// Instances delivered ahead of order, per flat subtask index.
+    early: Vec<BTreeSet<u64>>,
+    pub(crate) stats: ChannelStats,
+}
+
+impl ChannelState {
+    pub(crate) fn new(model: ChannelModel, flat_len: usize) -> ChannelState {
+        ChannelState {
+            rng: StdRng::seed_from_u64(model.seed),
+            model,
+            next_apply: vec![0; flat_len],
+            early: vec![BTreeSet::new(); flat_len],
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Draws the wire behavior of one signal. Deterministic given the seed
+    /// and the (deterministic) order of sends.
+    pub(crate) fn send(&mut self) -> SendPlan {
+        self.stats.sent += 1;
+        let faults = self.model.faults;
+        let dropped =
+            faults.drop_probability > 0.0 && self.rng.random_bool(faults.drop_probability);
+        let mut first = self.model.latency.draw(&mut self.rng);
+        if dropped {
+            self.stats.dropped += 1;
+            first += faults.retransmit_delay;
+        }
+        let mut deliveries = vec![first];
+        if !faults.is_inert()
+            && faults.duplicate_probability > 0.0
+            && self.rng.random_bool(faults.duplicate_probability)
+        {
+            self.stats.duplicates_injected += 1;
+            deliveries.push(self.model.latency.draw(&mut self.rng));
+        }
+        for d in &deliveries {
+            if *d > self.stats.max_delay {
+                self.stats.max_delay = *d;
+            }
+        }
+        SendPlan {
+            deliveries,
+            dropped,
+        }
+    }
+
+    /// Registers the delivery of `instance` for flat subtask `fi` and
+    /// returns every instance that becomes applicable, in order. Duplicates
+    /// are suppressed; early arrivals are buffered until the gap fills.
+    pub(crate) fn deliver(&mut self, fi: usize, instance: u64) -> Vec<u64> {
+        if instance < self.next_apply[fi] || self.early[fi].contains(&instance) {
+            self.stats.duplicates_suppressed += 1;
+            return Vec::new();
+        }
+        if instance != self.next_apply[fi] {
+            self.stats.reordered += 1;
+            self.early[fi].insert(instance);
+            return Vec::new();
+        }
+        let mut applicable = vec![instance];
+        self.next_apply[fi] = instance + 1;
+        while self.early[fi].remove(&self.next_apply[fi]) {
+            applicable.push(self.next_apply[fi]);
+            self.next_apply[fi] += 1;
+        }
+        self.stats.applied += applicable.len() as u64;
+        applicable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn constant_channel_is_faithful() {
+        let mut st = ChannelState::new(ChannelModel::constant(d(3)), 2);
+        for _ in 0..10 {
+            let plan = st.send();
+            assert_eq!(plan.deliveries, vec![d(3)]);
+            assert!(!plan.dropped);
+        }
+        assert_eq!(st.stats.sent, 10);
+        assert_eq!(st.stats.dropped, 0);
+        assert_eq!(st.stats.max_delay, d(3));
+    }
+
+    #[test]
+    fn uniform_draws_stay_in_range_and_are_seeded() {
+        let model = ChannelModel::uniform(d(2), d(9)).with_seed(5);
+        let mut a = ChannelState::new(model, 1);
+        let mut b = ChannelState::new(model, 1);
+        for _ in 0..200 {
+            let (pa, pb) = (a.send(), b.send());
+            assert_eq!(pa.deliveries, pb.deliveries, "same seed, same draws");
+            for delay in &pa.deliveries {
+                assert!((d(2)..=d(9)).contains(delay), "{delay:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_exp_is_capped() {
+        let model = ChannelModel::truncated_exp(d(10), d(25)).with_seed(1);
+        let mut st = ChannelState::new(model, 1);
+        let mut saw_positive = false;
+        for _ in 0..500 {
+            let delay = st.send().deliveries[0];
+            assert!(delay >= Dur::ZERO && delay <= d(25), "{delay:?}");
+            saw_positive |= delay > Dur::ZERO;
+        }
+        assert!(saw_positive);
+        assert_eq!(model.max_delay_bound(), d(25));
+    }
+
+    #[test]
+    fn drops_are_counted_and_retransmitted_late() {
+        let model = ChannelModel::constant(d(1))
+            .with_drops(1.0, d(7))
+            .with_seed(3);
+        let mut st = ChannelState::new(model, 1);
+        let plan = st.send();
+        assert!(plan.dropped);
+        assert_eq!(plan.deliveries, vec![d(8)]);
+        assert_eq!(st.stats.dropped, 1);
+        assert_eq!(model.max_delay_bound(), d(8));
+    }
+
+    #[test]
+    fn duplicates_are_injected_then_suppressed() {
+        let model = ChannelModel::constant(d(2))
+            .with_duplicates(1.0)
+            .with_seed(4);
+        let mut st = ChannelState::new(model, 1);
+        let plan = st.send();
+        assert_eq!(plan.deliveries.len(), 2);
+        assert_eq!(st.stats.duplicates_injected, 1);
+        // Receiver: first copy applies, second is suppressed.
+        assert_eq!(st.deliver(0, 0), vec![0]);
+        assert_eq!(st.deliver(0, 0), Vec::<u64>::new());
+        assert_eq!(st.stats.duplicates_suppressed, 1);
+        assert_eq!(st.stats.applied, 1);
+    }
+
+    #[test]
+    fn receiver_restores_instance_order() {
+        let mut st = ChannelState::new(ChannelModel::constant(d(0)), 2);
+        // Instance 1 and 2 arrive before 0: buffered.
+        assert_eq!(st.deliver(0, 1), Vec::<u64>::new());
+        assert_eq!(st.deliver(0, 2), Vec::<u64>::new());
+        assert_eq!(st.stats.reordered, 2);
+        // 0 arrives: the whole run applies in order.
+        assert_eq!(st.deliver(0, 0), vec![0, 1, 2]);
+        // Independent per subtask.
+        assert_eq!(st.deliver(1, 0), vec![0]);
+        assert_eq!(st.stats.applied, 4);
+    }
+}

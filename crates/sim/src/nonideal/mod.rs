@@ -1,0 +1,187 @@
+//! Nonideal operating conditions for the simulator.
+//!
+//! The paper's protocols are derived under three idealizations: perfectly
+//! synchronized clocks, instantaneous synchronization signals, and a
+//! reliable network. This subsystem removes them one axis at a time:
+//!
+//! * [`clock`] — per-processor affine clocks (constant offset + bounded
+//!   drift rate). Only PM reads absolute local time, so offsets break PM
+//!   alone; drift scales RG guard periods and MPM timer durations.
+//! * [`channel`] — cross-processor signals take seeded random latency and
+//!   can be dropped (retransmitted late), duplicated, or reordered; the
+//!   receiver re-applies them in instance order.
+//!
+//! Everything defaults to ideal: a [`NonidealConfig::default`] run takes
+//! the exact code path of the plain engine, bit for bit.
+//!
+//! ```
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::protocol::Protocol;
+//! use rtsync_core::time::Dur;
+//! use rtsync_sim::engine::{simulate, SimConfig};
+//! use rtsync_sim::nonideal::{ChannelModel, NonidealConfig};
+//!
+//! // Release Guard under 2-tick signal latency on the paper's Example 2:
+//! // every cross-processor signal rides the channel and is applied, and
+//! // precedence constraints still hold.
+//! let cfg = SimConfig::new(Protocol::ReleaseGuard).with_nonideal(
+//!     NonidealConfig::default().with_channel(ChannelModel::constant(Dur::from_ticks(2))),
+//! );
+//! let out = simulate(&example2(), &cfg)?;
+//! assert!(out.channel_stats.sent > 0);
+//! assert_eq!(out.channel_stats.applied, out.channel_stats.sent);
+//! assert!(out.violations.is_empty());
+//! # Ok::<(), rtsync_sim::engine::SimulateError>(())
+//! ```
+
+pub mod channel;
+pub mod clock;
+
+pub use channel::{ChannelModel, ChannelStats, FaultPlan, LatencyModel};
+pub use clock::{ClockModel, LocalClock};
+
+pub(crate) use channel::ChannelState;
+
+use rtsync_core::time::Dur;
+
+use crate::metrics::Metrics;
+
+/// The complete nonideal-conditions specification of one run.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct NonidealConfig {
+    /// Per-processor clocks. Default: all ideal.
+    pub clocks: ClockModel,
+    /// The signal channel. `None` keeps the paper's instantaneous signals.
+    pub channel: Option<ChannelModel>,
+}
+
+impl NonidealConfig {
+    /// The paper's ideal conditions (the default).
+    pub fn ideal() -> NonidealConfig {
+        NonidealConfig::default()
+    }
+
+    /// Sets the clock model.
+    pub fn with_clocks(mut self, clocks: ClockModel) -> NonidealConfig {
+        self.clocks = clocks;
+        self
+    }
+
+    /// Sets the signal channel model.
+    pub fn with_channel(mut self, channel: ChannelModel) -> NonidealConfig {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// `true` when the run is indistinguishable from the plain engine:
+    /// ideal clocks and no channel configured. A *zero-latency channel* is
+    /// deliberately not "ideal" — it still routes signals through
+    /// `SignalSend`/`SignalDeliver` events, which is what the equivalence
+    /// tests exercise.
+    pub fn is_ideal(&self) -> bool {
+        self.clocks.is_ideal() && self.channel.is_none()
+    }
+
+    /// Extra horizon slack nonideal conditions may need on top of the
+    /// ideal default: the worst clock advance/retard plus the worst
+    /// channel delay, per instance in flight.
+    pub(crate) fn horizon_slack(&self, base_span: Dur) -> Dur {
+        let clock_slack = match &self.clocks {
+            ClockModel::Ideal => Dur::ZERO,
+            ClockModel::Explicit(clocks) => clocks
+                .iter()
+                .map(|c| clock_worst_case(c, base_span))
+                .max()
+                .unwrap_or(Dur::ZERO),
+            ClockModel::Random {
+                max_offset,
+                max_drift_ppm,
+                ..
+            } => clock_worst_case(
+                &LocalClock {
+                    offset: Dur::from_ticks(-max_offset.ticks().abs()),
+                    drift_ppm: -max_drift_ppm.abs(),
+                },
+                base_span,
+            ),
+        };
+        let channel_slack = self
+            .channel
+            .map(|ch| ch.max_delay_bound())
+            .unwrap_or(Dur::ZERO);
+        clock_slack + channel_slack
+    }
+}
+
+/// How much later than `span` a timer set on clock `c` can fire: the
+/// offset retard plus the drift stretch over the whole span.
+fn clock_worst_case(c: &LocalClock, span: Dur) -> Dur {
+    let offset_slack = Dur::from_ticks(c.offset.ticks().abs());
+    let stretch = (c.true_dur(span) - span).max(Dur::ZERO);
+    offset_slack + stretch
+}
+
+/// Per-task end-to-end-response inflation of an observed run over an ideal
+/// baseline: `avg_eer(observed) / avg_eer(ideal)` per task, `None` where
+/// either run has no measured completions. The central robustness metric
+/// of the nonideal studies.
+pub fn eer_inflation(ideal: &Metrics, observed: &Metrics) -> Vec<Option<f64>> {
+    ideal
+        .tasks()
+        .iter()
+        .zip(observed.tasks())
+        .map(|(i, o)| match (i.avg_eer(), o.avg_eer()) {
+            (Some(base), Some(seen)) if base > 0.0 => Some(seen / base),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn default_is_ideal() {
+        assert!(NonidealConfig::default().is_ideal());
+        assert!(NonidealConfig::ideal().is_ideal());
+        assert_eq!(
+            NonidealConfig::default().horizon_slack(d(1_000_000)),
+            Dur::ZERO
+        );
+    }
+
+    #[test]
+    fn zero_latency_channel_is_not_ideal() {
+        let cfg = NonidealConfig::default().with_channel(ChannelModel::constant(Dur::ZERO));
+        assert!(!cfg.is_ideal(), "zero latency still routes signal events");
+    }
+
+    #[test]
+    fn nonideal_clocks_are_not_ideal() {
+        let cfg = NonidealConfig::default()
+            .with_clocks(ClockModel::Explicit(vec![LocalClock::with_offset(d(1))]));
+        assert!(!cfg.is_ideal());
+        // But an explicit list of ideal clocks is.
+        let cfg =
+            NonidealConfig::default().with_clocks(ClockModel::Explicit(vec![LocalClock::IDEAL; 4]));
+        assert!(cfg.is_ideal());
+    }
+
+    #[test]
+    fn horizon_slack_covers_offset_drift_and_latency() {
+        let cfg = NonidealConfig::default()
+            .with_clocks(ClockModel::Explicit(vec![LocalClock {
+                offset: d(-40),
+                drift_ppm: -100_000, // 10% slow: spans stretch by ~1/9 of base
+            }]))
+            .with_channel(ChannelModel::constant(d(25)));
+        let slack = cfg.horizon_slack(d(900_000));
+        // 40 (offset) + 100_000 (stretch of 900k at 10% slow) + 25 (latency).
+        assert_eq!(slack, d(40 + 100_000 + 25));
+    }
+}

@@ -182,7 +182,11 @@ impl Processor {
     /// Panics if time runs backwards or the running job is driven past its
     /// remaining execution (both indicate an engine bug).
     pub fn advance(&mut self, now: Time) -> Option<ExecutedSlice> {
-        assert!(now >= self.last_advance, "time ran backwards on {}", self.id);
+        assert!(
+            now >= self.last_advance,
+            "time ran backwards on {}",
+            self.id
+        );
         let start = self.last_advance;
         self.last_advance = now;
         let elapsed = now - start;
@@ -381,7 +385,10 @@ mod tests {
         let slice = p.advance(t(3)).unwrap();
         assert_eq!(slice.job, job(0, 0, 0));
         assert_eq!((slice.start, slice.end), (t(0), t(3)));
-        assert_eq!(p.take_milestone(1), Some(Milestone::Completed(job(0, 0, 0))));
+        assert_eq!(
+            p.take_milestone(1),
+            Some(Milestone::Completed(job(0, 0, 0)))
+        );
         assert!(p.is_idle());
         assert_eq!(p.reschedule(t(3)), Resched::Idle);
     }
@@ -443,7 +450,10 @@ mod tests {
         };
         assert_eq!(p.running_job(), Some(job(0, 0, 0)));
         p.advance(t(2));
-        assert_eq!(p.take_milestone(gen), Some(Milestone::Completed(job(0, 0, 0))));
+        assert_eq!(
+            p.take_milestone(gen),
+            Some(Milestone::Completed(job(0, 0, 0)))
+        );
         match p.reschedule(t(2)) {
             Resched::NewMilestone { at, .. } => assert_eq!(at, t(4)),
             other => panic!("{other:?}"),
@@ -465,7 +475,10 @@ mod tests {
         p.advance(t(3)); // remaining hits zero
         rel(&mut p, job(0, 0, 0), 0, 2);
         assert_eq!(p.reschedule(t(3)), Resched::Unchanged);
-        assert_eq!(p.take_milestone(gen), Some(Milestone::Completed(job(1, 0, 0))));
+        assert_eq!(
+            p.take_milestone(gen),
+            Some(Milestone::Completed(job(1, 0, 0)))
+        );
         match p.reschedule(t(3)) {
             Resched::NewMilestone { at, .. } => assert_eq!(at, t(5)),
             other => panic!("{other:?}"),
@@ -501,7 +514,10 @@ mod tests {
             other => panic!("{other:?}"),
         };
         p.advance(t(1));
-        assert_eq!(p.take_milestone(g1), Some(Milestone::Boundary(job(1, 0, 0))));
+        assert_eq!(
+            p.take_milestone(g1),
+            Some(Milestone::Boundary(job(1, 0, 0)))
+        );
         // Inside the section: a mid-priority arrival (1) cannot preempt
         // the ceiling (0).
         rel(&mut p, job(0, 0, 0), 1, 2);
@@ -514,7 +530,10 @@ mod tests {
         };
         assert_eq!(p.running_job(), Some(job(1, 0, 0)));
         p.advance(t(3));
-        assert_eq!(p.take_milestone(g2), Some(Milestone::Boundary(job(1, 0, 0))));
+        assert_eq!(
+            p.take_milestone(g2),
+            Some(Milestone::Boundary(job(1, 0, 0)))
+        );
         // Section over: the waiting mid-priority job preempts now.
         match p.reschedule(t(3)) {
             Resched::NewMilestone { at, .. } => assert_eq!(at, t(5)),
@@ -539,10 +558,8 @@ mod tests {
         // A job whose section starts at offset 0 must still queue at base:
         // a mid-priority job released at the same instant wins dispatch.
         let mut p = proc();
-        let locker = PriorityProfile::for_subtask_test(
-            Priority::new(2),
-            vec![(d(0), Priority::new(0))],
-        );
+        let locker =
+            PriorityProfile::for_subtask_test(Priority::new(2), vec![(d(0), Priority::new(0))]);
         p.release(job(1, 0, 0), locker, d(3), true);
         rel(&mut p, job(0, 0, 0), 1, 2);
         p.reschedule(t(0));
@@ -556,10 +573,8 @@ mod tests {
         // priority-2 arrival *and* a fresh priority-1½-style job cannot
         // exist — verify it resumes before a later base-2 job.
         let mut p = proc();
-        let holder = PriorityProfile::for_subtask_test(
-            Priority::new(3),
-            vec![(d(0), Priority::new(1))],
-        );
+        let holder =
+            PriorityProfile::for_subtask_test(Priority::new(3), vec![(d(0), Priority::new(1))]);
         p.release(job(2, 0, 0), holder, d(2), true);
         p.reschedule(t(0)); // holder starts, acquires (effective 1)
         p.advance(t(1));
@@ -616,4 +631,3 @@ mod tests {
         assert_eq!(p.backlog(), 1);
     }
 }
-

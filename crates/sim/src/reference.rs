@@ -63,9 +63,9 @@ pub fn simulate_reference(set: &TaskSet, cfg: &SimConfig, horizon: Time) -> Refe
         "the reference oracle covers critical-section-free systems only"
     );
     let bounds: Option<PmBounds> = match cfg.protocol {
-        Protocol::PhaseModification | Protocol::ModifiedPhaseModification => Some(
-            analyze_pm(set, &cfg.analysis).expect("PM/MPM need an analyzable system"),
-        ),
+        Protocol::PhaseModification | Protocol::ModifiedPhaseModification => {
+            Some(analyze_pm(set, &cfg.analysis).expect("PM/MPM need an analyzable system"))
+        }
         _ => None,
     };
     let pm_phases = (cfg.protocol == Protocol::PhaseModification)
@@ -80,7 +80,10 @@ pub fn simulate_reference(set: &TaskSet, cfg: &SimConfig, horizon: Time) -> Refe
     let mut src_next: Vec<Time> = set
         .tasks()
         .iter()
-        .map(|t| cfg.source.release_time(t.id(), t.period(), t.phase(), 0, None))
+        .map(|t| {
+            cfg.source
+                .release_time(t.id(), t.period(), t.phase(), 0, None)
+        })
         .collect();
     let mut src_instance: Vec<u64> = vec![0; set.num_tasks()];
 

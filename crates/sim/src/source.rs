@@ -74,9 +74,7 @@ fn extra_delay(seed: u64, task: TaskId, instance: u64, max_extra: Dur) -> Dur {
     if !max_extra.is_positive() {
         return Dur::ZERO;
     }
-    let h = splitmix64(
-        seed ^ (task.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ instance,
-    );
+    let h = splitmix64(seed ^ (task.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ instance);
     Dur::from_ticks((h % (max_extra.ticks() as u64 + 1)) as i64)
 }
 

@@ -104,9 +104,7 @@ fn event_driven(jobs: &[JobSpec]) -> Vec<i64> {
     let mut done = 0;
     while done < jobs.len() {
         // Pop the earliest event; completions before releases at a tie.
-        queue.sort_by_key(|&(t, s, ref ev)| {
-            (t, matches!(ev, Ev::Release(_)) as u8, s)
-        });
+        queue.sort_by_key(|&(t, s, ref ev)| (t, matches!(ev, Ev::Release(_)) as u8, s));
         let (now, _, ev) = queue.remove(0);
         let now_t = Time::from_ticks(now);
         match ev {
@@ -149,27 +147,27 @@ fn event_driven(jobs: &[JobSpec]) -> Vec<i64> {
 }
 
 fn arb_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
-    prop::collection::vec(
-        (0i64..40, 0u32..4, 1i64..6, prop::bool::ANY),
-        1..10,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .map(|(release, priority, budget, preemptible)| JobSpec {
-                release,
-                priority,
-                budget,
-                preemptible,
-            })
-            .collect::<Vec<_>>()
-    })
-    .prop_filter("unique (priority, release) pairs keep FIFO deterministic", |jobs| {
-        // Two jobs with the same priority and the same release time would
-        // tie-break by engine insertion order vs oracle index — make them
-        // unambiguous by requiring distinct (priority, release) pairs.
-        let mut seen = std::collections::HashSet::new();
-        jobs.iter().all(|j| seen.insert((j.priority, j.release)))
-    })
+    prop::collection::vec((0i64..40, 0u32..4, 1i64..6, prop::bool::ANY), 1..10)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .map(|(release, priority, budget, preemptible)| JobSpec {
+                    release,
+                    priority,
+                    budget,
+                    preemptible,
+                })
+                .collect::<Vec<_>>()
+        })
+        .prop_filter(
+            "unique (priority, release) pairs keep FIFO deterministic",
+            |jobs| {
+                // Two jobs with the same priority and the same release time would
+                // tie-break by engine insertion order vs oracle index — make them
+                // unambiguous by requiring distinct (priority, release) pairs.
+                let mut seen = std::collections::HashSet::new();
+                jobs.iter().all(|j| seen.insert((j.priority, j.release)))
+            },
+        )
 }
 
 proptest! {

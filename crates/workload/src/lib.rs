@@ -256,14 +256,16 @@ pub fn generate_with_policy<R: Rng + ?Sized>(
     let mut periods = Vec::with_capacity(spec.num_tasks);
     let mut placements: Vec<Vec<usize>> = Vec::with_capacity(spec.num_tasks);
     for _ in 0..spec.num_tasks {
-        let p_units = spec.period_distribution.sample(
-            rng,
-            spec.period_range.0,
-            spec.period_range.1,
-        );
+        let p_units =
+            spec.period_distribution
+                .sample(rng, spec.period_range.0, spec.period_range.1);
         let p_ticks = (p_units * spec.ticks_per_unit as f64).round().max(1.0) as i64;
         periods.push(Dur::from_ticks(p_ticks));
-        placements.push(place_chain(rng, spec.subtasks_per_task, spec.num_processors));
+        placements.push(place_chain(
+            rng,
+            spec.subtasks_per_task,
+            spec.num_processors,
+        ));
     }
 
     // 2. Utilization-split weights, then per-processor normalization.
@@ -536,7 +538,10 @@ mod tests {
         let total = set.num_subtasks();
         // With p = 0.5 over 48 subtasks, hitting 0 or all is astronomically
         // unlikely under a fixed seed.
-        assert!(nonpreemptive > 5 && nonpreemptive < total - 5, "{nonpreemptive}/{total}");
+        assert!(
+            nonpreemptive > 5 && nonpreemptive < total - 5,
+            "{nonpreemptive}/{total}"
+        );
         // Zero fraction reproduces the paper's model.
         let base = generate(&WorkloadSpec::paper(4, 0.5), &mut rng(21)).unwrap();
         assert!(base.subtasks().all(|s| s.is_preemptible()));

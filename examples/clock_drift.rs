@@ -1,0 +1,75 @@
+//! The paper's headline robustness claim (§6), measured: PM "requires
+//! that clocks on different processors be synchronized", while RG needs
+//! only local clocks. Here every processor clock runs a few percent fast
+//! with a small initial offset — PM's clock-driven releases slide ahead
+//! of true time and break precedence constraints, while Release Guard on
+//! the *same clocks* stays violation-free and inside its SA/PM bound.
+//!
+//! ```text
+//! cargo run --example clock_drift
+//! ```
+
+use rtsync::core::analysis::sa_pm::analyze_pm;
+use rtsync::core::examples::example2;
+use rtsync::core::time::Dur;
+use rtsync::core::{AnalysisConfig, Protocol};
+use rtsync::sim::{simulate, ClockModel, LocalClock, NonidealConfig, SimConfig, ViolationKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = example2();
+    // Both processor clocks start 1 tick ahead and run 2% fast. PM's
+    // modified phases are *local* times: each timed release fires early
+    // in true time, and the error grows as drift accumulates.
+    let clocks = ClockModel::Explicit(vec![
+        LocalClock {
+            offset: Dur::from_ticks(1),
+            drift_ppm: 20_000,
+        };
+        2
+    ]);
+    let conditions = NonidealConfig::default().with_clocks(clocks);
+    let bounds = analyze_pm(&system, &AnalysisConfig::default())?;
+
+    println!("example 2 under drifting clocks (+1 tick offset, 2% fast):\n");
+    println!(
+        "{:<6}{:>22}{:>28}",
+        "proto", "precedence violations", "max EER vs SA/PM bound"
+    );
+    for protocol in [Protocol::PhaseModification, Protocol::ReleaseGuard] {
+        let outcome = simulate(
+            &system,
+            &SimConfig::new(protocol)
+                .with_instances(200)
+                .with_nonideal(conditions.clone()),
+        )?;
+        let precedence = outcome
+            .violations
+            .iter()
+            .filter(|v| v.kind == ViolationKind::PrecedenceViolated)
+            .count();
+        let worst = system
+            .tasks()
+            .iter()
+            .filter_map(|t| {
+                let max = outcome.metrics.task(t.id()).max_eer()?;
+                Some(format!(
+                    "{} <= {}",
+                    max.ticks(),
+                    bounds.task_bound(t.id()).ticks()
+                ))
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("{:<6}{:>22}{:>28}", protocol.tag(), precedence, worst);
+    }
+
+    println!(
+        "\nPM trusts the global clock: once the accumulated drift exceeds\n\
+         the schedule's slack, successors are released before their\n\
+         predecessors complete. RG's guards are *durations* on the local\n\
+         clock — offsets cancel and drift only stretches the guard — so\n\
+         the same clocks leave it correct, with every task still inside\n\
+         its SA/PM bound (Theorem 1 survives nonideal clocks)."
+    );
+    Ok(())
+}

@@ -62,9 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\nPM/MPM jitter within the R(last) bound for every task: {pm_within_bound}"
-    );
+    println!("\nPM/MPM jitter within the R(last) bound for every task: {pm_within_bound}");
     println!(
         "takeaway (paper §6): RG buys a short average EER but its output\n\
          jitter can be as large as the worst-case EER; PM/MPM pin the\n\

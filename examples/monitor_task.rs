@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "proto", "avg EER", "min EER", "max EER", "jitter", "misses"
     );
     for protocol in Protocol::ALL {
-        let outcome = simulate(
-            &system,
-            &SimConfig::new(protocol).with_instances(200),
-        )?;
+        let outcome = simulate(&system, &SimConfig::new(protocol).with_instances(200))?;
         let monitor = outcome.metrics.task(TaskId::new(0));
         println!(
             "{:<6}{:>10.2}{:>10}{:>10}{:>10}{:>8}",

@@ -106,7 +106,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfirst 30 ticks (P0: watch the logger hold off the controller):");
     println!(
         "{}",
-        short.trace.as_ref().expect("trace on").render_gantt(Time::from_ticks(30))
+        short
+            .trace
+            .as_ref()
+            .expect("trace on")
+            .render_gantt(Time::from_ticks(30))
     );
     Ok(())
 }

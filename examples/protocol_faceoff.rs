@@ -35,10 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pm_bounds = analyze_pm(&system, &cfg)?;
     let ds_bounds = analyze_ds(&system, &cfg);
 
-    let sims: Vec<_> = [Protocol::DirectSync, Protocol::PhaseModification, Protocol::ReleaseGuard]
-        .into_iter()
-        .map(|p| simulate(&system, &SimConfig::new(p).with_instances(100)).map(|o| (p, o)))
-        .collect::<Result<_, _>>()?;
+    let sims: Vec<_> = [
+        Protocol::DirectSync,
+        Protocol::PhaseModification,
+        Protocol::ReleaseGuard,
+    ]
+    .into_iter()
+    .map(|p| simulate(&system, &SimConfig::new(p).with_instances(100)).map(|o| (p, o)))
+    .collect::<Result<_, _>>()?;
 
     println!(
         "{:<6}{:>12}{:>14}{:>14}{:>12}{:>12}{:>12}",

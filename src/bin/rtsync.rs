@@ -293,7 +293,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--sporadic: {e}"))?,
                 )
             }
-            "--seed" => seed = grab("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--no-rule2" => rule2 = false,
             "--trace-csv" => trace_csv = Some(grab("--trace-csv")?.clone()),
             other => return Err(format!("unknown option `{other}`")),

@@ -26,7 +26,7 @@ fn golden_bounds_on_a_pinned_system() {
     let periods: Vec<i64> = set.tasks().iter().map(|t| t.period().ticks()).collect();
     assert_eq!(
         periods,
-        vec![888_217, 391_535, 1_008_669, 3_017_455, 216_789, 899_843],
+        vec![2_699_786, 290_307, 1_633_993, 1_440_876, 775_338, 445_305],
         "workload generator drifted; all golden values below are stale"
     );
 
@@ -53,9 +53,9 @@ fn golden_bounds_on_a_pinned_system() {
 }
 
 fn golden_pm() -> Vec<i64> {
-    vec![495_779, 246_367, 541_058, 3_420_507, 74_351, 596_515]
+    vec![2_902_056, 73_071, 1_131_367, 1_420_394, 388_036, 212_581]
 }
 
 fn golden_ds() -> Vec<i64> {
-    vec![510_496, 246_367, 583_931, 3_590_846, 74_351, 630_231]
+    vec![4_473_010, 73_071, 1_197_478, 1_887_300, 428_594, 212_581]
 }

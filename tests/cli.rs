@@ -58,7 +58,14 @@ fn example_check_analyze_simulate_pipeline() {
 
     // 4. `simulate` with a Gantt chart.
     let out = run(&[
-        "simulate", file, "--protocol", "rg", "--instances", "10", "--gantt", "24",
+        "simulate",
+        file,
+        "--protocol",
+        "rg",
+        "--instances",
+        "10",
+        "--gantt",
+        "24",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -167,8 +174,14 @@ fn exact_search_certifies_example2_bounds() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
-    assert!(text.contains("worst observed 8 vs analyzed bound 8"), "{text}");
-    assert!(text.contains("worst observed 5 vs analyzed bound 5"), "{text}");
+    assert!(
+        text.contains("worst observed 8 vs analyzed bound 8"),
+        "{text}"
+    );
+    assert!(
+        text.contains("worst observed 5 vs analyzed bound 5"),
+        "{text}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -209,8 +222,17 @@ fn sporadic_and_no_rule2_flags_accepted() {
     let file = file.to_str().unwrap();
 
     let out = run(&[
-        "simulate", file, "--protocol", "rg", "--instances", "20", "--sporadic", "3",
-        "--seed", "5", "--no-rule2",
+        "simulate",
+        file,
+        "--protocol",
+        "rg",
+        "--instances",
+        "20",
+        "--sporadic",
+        "3",
+        "--seed",
+        "5",
+        "--no-rule2",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("RG protocol:"));

@@ -75,7 +75,10 @@ fn ds_bounds_are_sound_when_finite() {
             }
         }
     }
-    assert!(checked_tasks > 20, "soundness check exercised {checked_tasks} tasks");
+    assert!(
+        checked_tasks > 20,
+        "soundness check exercised {checked_tasks} tasks"
+    );
 }
 
 #[test]

@@ -59,7 +59,10 @@ fn trace_figures_match_paper_observations() {
     // Figure 3: T3 misses; Figures 5 and 7: it does not.
     let ds = TraceFigure::Fig3ExampleUnderDs.run();
     assert!(ds.metrics.task(TaskId::new(2)).deadline_misses() > 0);
-    for fig in [TraceFigure::Fig5ExampleUnderPm, TraceFigure::Fig7ExampleUnderRg] {
+    for fig in [
+        TraceFigure::Fig5ExampleUnderPm,
+        TraceFigure::Fig7ExampleUnderRg,
+    ] {
         assert_eq!(fig.run().metrics.task(TaskId::new(2)).deadline_misses(), 0);
     }
 }

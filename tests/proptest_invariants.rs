@@ -8,7 +8,7 @@ use rtsync::core::priority::{build_with_policy, ChainSpec, ProportionalDeadlineM
 use rtsync::core::task::{SubtaskId, TaskId, TaskSet};
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
-use rtsync::sim::{simulate, JobId, SimConfig};
+use rtsync::sim::{simulate, ClockModel, JobId, NonidealConfig, SimConfig};
 
 /// A random small system: 2–3 processors, 2–4 tasks, chains of 1–3,
 /// integer periods 8–60 ticks, executions kept small so most (not all)
@@ -83,11 +83,8 @@ fn arb_system() -> impl Strategy<Value = TaskSet> {
                 };
                 for &(csi, proc, start, len) in chain_sections {
                     if csi == si {
-                        tb = tb.critical_section(
-                            proc,
-                            Dur::from_ticks(start),
-                            Dur::from_ticks(len),
-                        );
+                        tb =
+                            tb.critical_section(proc, Dur::from_ticks(start), Dur::from_ticks(len));
                     }
                 }
             }
@@ -315,6 +312,74 @@ proptest! {
         let b = simulate(&set, &cfg).unwrap();
         prop_assert_eq!(a.trace, b.trace);
         prop_assert_eq!(a.events, b.events);
+    }
+
+    /// An all-ideal nonideal config (zero offset, zero drift, no channel)
+    /// is bit-for-bit the seed engine: same trace, same event count, on
+    /// any system under every protocol.
+    #[test]
+    fn ideal_nonideal_config_is_bit_identical(set in arb_system()) {
+        let analyzable = analyze_pm(&set, &AnalysisConfig::default()).is_ok();
+        for protocol in Protocol::ALL {
+            if protocol.busy_period_analysis_applies()
+                && protocol != Protocol::ReleaseGuard
+                && !analyzable
+            {
+                continue; // PM/MPM need SA/PM bounds; overloaded system
+            }
+            let plain = SimConfig::new(protocol).with_instances(6).with_trace();
+            let dressed = plain.clone().with_nonideal(NonidealConfig::default());
+            let a = simulate(&set, &plain).unwrap();
+            let b = simulate(&set, &dressed).unwrap();
+            prop_assert_eq!(a.trace, b.trace, "{:?}", protocol);
+            prop_assert_eq!(a.events, b.events, "{:?}", protocol);
+        }
+    }
+
+    /// Theorem 1 under bounded drift: RG's guards are durations on the
+    /// local clock, so a drift rate of at most ε stretches each guard by
+    /// at most a factor 1/(1-ε) — the SA/PM bound stays valid up to the
+    /// proportional slack the stretch can accumulate over the horizon
+    /// (persistently guard-limited chains fall behind by ε·p per period
+    /// until an idle point resets them).
+    #[test]
+    fn sa_pm_bound_degrades_gracefully_under_drift(
+        set in arb_system(),
+        max_drift_ppm in 0i64..=5_000,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = AnalysisConfig::default();
+        let Ok(bounds) = analyze_pm(&set, &cfg) else {
+            return Ok(()); // overloaded system: nothing to check
+        };
+        let instances = 12u64;
+        let clocks = ClockModel::Random {
+            max_offset: Dur::from_ticks(10),
+            max_drift_ppm,
+            seed,
+        };
+        let out = simulate(
+            &set,
+            &SimConfig::new(Protocol::ReleaseGuard)
+                .with_instances(instances)
+                .with_nonideal(NonidealConfig::default().with_clocks(clocks)),
+        ).unwrap();
+        prop_assert!(out.violations.is_empty(), "RG never violates precedence");
+        let eps = max_drift_ppm as f64 / 1e6;
+        for task in set.tasks() {
+            if let Some(max) = out.metrics.task(task.id()).max_eer() {
+                let bound = bounds.task_bound(task.id()).ticks() as f64;
+                // Accumulated stretch over the whole horizon, doubled for
+                // margin, plus one tick of integer rounding per instance.
+                let slack = instances as f64 * task.period().ticks() as f64 * 2.0 * eps
+                    + instances as f64;
+                prop_assert!(
+                    (max.ticks() as f64) <= bound + slack,
+                    "task {} under {} ppm: {} > {} + {}",
+                    task.id(), max_drift_ppm, max, bound, slack
+                );
+            }
+        }
     }
 }
 

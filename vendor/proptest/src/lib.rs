@@ -1,0 +1,176 @@
+//! A dependency-free stand-in for `proptest`, vendored so the workspace
+//! builds without network access.
+//!
+//! It keeps the API shape the rtsync property suites use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_filter`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, `prop_assert*` — and runs
+//! each property a configurable number of deterministic cases.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the assertion message; generated inputs are printed by the
+//! assertions that format them), no persistence of regression seeds
+//! (`*.proptest-regressions` files are ignored), and the byte streams are
+//! not compatible with upstream proptest's. Properties, not exact streams,
+//! are what the suites assert, so the tests' meaning is unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring the `proptest::prop` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random booleans.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares a block of property tests. Supports the subset rtsync uses:
+/// an optional `#![proptest_config(..)]` inner attribute followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut ran: u32 = 0;
+                let mut attempts: u32 = 0;
+                while ran < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts < config.cases.saturating_mul(20).max(1000),
+                        "proptest {}: too many rejected cases",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => ran += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                ran + 1,
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` on equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{:?}` != `{:?}`", l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assert!` on inequality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: both sides equal `{:?}`", l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: both sides equal `{:?}`: {}", l, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is re-drawn, not counted) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
