@@ -129,22 +129,37 @@ pub fn fixed_point(
     terms: &[DemandTerm],
     limits: FixedPointLimits,
 ) -> Result<Dur, FixedPointFailure> {
+    fixed_point_counted(offset, terms, limits).map(|(t, _)| t)
+}
+
+/// Like [`fixed_point`], but also returns how many iterations the search
+/// took (the convergence-instrumentation variant; see
+/// [`crate::analysis::sa_pm::BusyPeriodReport`]).
+///
+/// # Errors
+///
+/// Identical to [`fixed_point`].
+pub fn fixed_point_counted(
+    offset: Dur,
+    terms: &[DemandTerm],
+    limits: FixedPointLimits,
+) -> Result<(Dur, u64), FixedPointFailure> {
     debug_assert!(offset.is_positive() || !terms.is_empty());
     // W(0⁺): evaluating the ceilings at t = 1 tick yields exactly
     // ⌊J/p⌋ + 1 per term, the demand of an instant after the origin.
     let mut t = demand_at(offset, terms, Dur::from_ticks(1))?;
     if t <= Dur::from_ticks(1) {
         // offset + first instances fit in one tick: t is its own fixed point.
-        return Ok(t);
+        return Ok((t, 0));
     }
-    for _ in 0..limits.max_iterations {
+    for i in 0..limits.max_iterations {
         if t > limits.cap {
             return Err(FixedPointFailure::ExceedsCap);
         }
         let next = demand_at(offset, terms, t)?;
         debug_assert!(next >= t, "demand iteration must be monotone");
         if next == t {
-            return Ok(t);
+            return Ok((t, i + 1));
         }
         t = next;
     }
@@ -165,12 +180,27 @@ pub fn fixed_point_with_hint(
     terms: &[DemandTerm],
     limits: FixedPointLimits,
 ) -> Result<Dur, FixedPointFailure> {
+    fixed_point_with_hint_counted(hint, offset, terms, limits).map(|(t, _)| t)
+}
+
+/// Like [`fixed_point_with_hint`], but also returns the iteration count
+/// (the convergence-instrumentation variant).
+///
+/// # Errors
+///
+/// Identical to [`fixed_point_with_hint`].
+pub fn fixed_point_with_hint_counted(
+    hint: Dur,
+    offset: Dur,
+    terms: &[DemandTerm],
+    limits: FixedPointLimits,
+) -> Result<(Dur, u64), FixedPointFailure> {
     let start = demand_at(offset, terms, Dur::from_ticks(1))?;
     let mut t = start.max(hint);
     if t <= Dur::from_ticks(1) {
-        return Ok(t);
+        return Ok((t, 0));
     }
-    for _ in 0..limits.max_iterations {
+    for i in 0..limits.max_iterations {
         if t > limits.cap {
             return Err(FixedPointFailure::ExceedsCap);
         }
@@ -179,7 +209,7 @@ pub fn fixed_point_with_hint(
             // `next < t` can only happen when the hint overshot W's value at
             // t while still being ≤ the least fixed point; t is then already
             // a post-fixed point and, with a valid hint, equals the answer.
-            return Ok(t.max(next));
+            return Ok((t.max(next), i + 1));
         }
         t = next;
     }

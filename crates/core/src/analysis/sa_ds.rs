@@ -34,6 +34,9 @@
 //! > (release at 4, completion at 12), so any sound bound must be ≥ 8.
 //! > We reproduce the algorithm, which here is also tight.
 
+use std::fmt;
+use std::fmt::Write as _;
+
 use crate::analysis::ieert::{ieert_pass, ieert_pass_gauss_seidel, IeerBounds};
 use crate::analysis::AnalysisConfig;
 use crate::error::AnalyzeError;
@@ -143,6 +146,143 @@ pub fn analyze_ds_with(
         subtask: worst,
         limit: cfg.max_outer_iterations,
     })
+}
+
+/// Convergence instrumentation for an [`analyze_ds_traced`] run: the
+/// trajectory of the end-to-end bounds across IEERT sweeps and the
+/// per-sweep convergence deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IeertReport {
+    /// IEERT sweeps performed (including the one that verified the fixed
+    /// point when `converged`).
+    pub sweeps: u64,
+    /// `true` if the bounds reached a fixed point; `false` is the paper's
+    /// *failure* outcome (diverging bounds or sweep budget exhausted).
+    pub converged: bool,
+    /// `trajectory[s][i]`: the end-to-end bound of task `i` after sweep
+    /// `s`, with `trajectory[0]` the optimistic seed `Σ_k c_{i,k}`.
+    pub trajectory: Vec<Vec<Dur>>,
+    /// `deltas[s]`: the largest single-subtask bound growth during sweep
+    /// `s + 1` (zero only on the verifying sweep).
+    pub deltas: Vec<Dur>,
+}
+
+impl IeertReport {
+    /// The bound trajectory of one task across sweeps.
+    pub fn task_trajectory(&self, id: TaskId) -> Vec<Dur> {
+        self.trajectory.iter().map(|row| row[id.index()]).collect()
+    }
+
+    /// Renders the report as a plain-text table (one row per sweep).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SA/DS convergence: {} sweeps, {}",
+            self.sweeps,
+            if self.converged {
+                "converged"
+            } else {
+                "FAILED (no finite fixed point)"
+            }
+        );
+        let tasks = self.trajectory.first().map_or(0, Vec::len);
+        let _ = write!(out, "{:<7}", "sweep");
+        for i in 0..tasks {
+            let _ = write!(out, "{:>9}", format!("T{i}"));
+        }
+        let _ = writeln!(out, "{:>10}", "max delta");
+        for (s, row) in self.trajectory.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{:<7}",
+                if s == 0 { "seed".into() } else { s.to_string() }
+            );
+            for b in row {
+                let _ = write!(out, "{:>9}", b.ticks());
+            }
+            match s.checked_sub(1).and_then(|i| self.deltas.get(i)) {
+                Some(delta) => {
+                    let _ = writeln!(out, "{:>10}", delta.ticks());
+                }
+                None => {
+                    let _ = writeln!(out, "{:>10}", "-");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for IeertReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// [`analyze_ds_with`] plus convergence instrumentation.
+///
+/// Unlike [`analyze_ds`], the paper's *failure* outcome (bounds growing
+/// past the cap, or the sweep budget running out) is not an error here:
+/// it returns `(None, report)` with `report.converged == false` and the
+/// trajectory recorded up to the point the divergence was detected.
+///
+/// # Errors
+///
+/// Only pathological inputs (arithmetic overflow) error.
+pub fn analyze_ds_traced(
+    set: &TaskSet,
+    cfg: &AnalysisConfig,
+    order: SweepOrder,
+) -> Result<(Option<DsBounds>, IeertReport), AnalyzeError> {
+    let task_bounds = |b: &IeerBounds| -> Vec<Dur> {
+        (0..set.num_tasks())
+            .map(|i| b.task_bound(TaskId::new(i)))
+            .collect()
+    };
+    let mut bounds = IeerBounds::seed(set);
+    let mut report = IeertReport {
+        sweeps: 0,
+        converged: false,
+        trajectory: vec![task_bounds(&bounds)],
+        deltas: Vec::new(),
+    };
+    for sweep in 1..=cfg.max_outer_iterations {
+        let next = match order {
+            SweepOrder::Jacobi => ieert_pass(set, &bounds, cfg),
+            SweepOrder::GaussSeidel => ieert_pass_gauss_seidel(set, &bounds, cfg),
+        };
+        let next = match next {
+            Ok(next) => next,
+            // The failure criterion fired mid-sweep: the bounds grew past
+            // `failure_factor × period` — record what we saw and stop.
+            Err(e) if e.is_failure() => {
+                report.sweeps = sweep;
+                return Ok((None, report));
+            }
+            Err(e) => return Err(e),
+        };
+        report.sweeps = sweep;
+        let delta = set
+            .subtasks()
+            .map(|s| next.get(s.id()) - bounds.get(s.id()))
+            .max()
+            .unwrap_or(Dur::ZERO);
+        report.deltas.push(delta);
+        report.trajectory.push(task_bounds(&next));
+        if next == bounds {
+            report.converged = true;
+            return Ok((
+                Some(DsBounds {
+                    bounds,
+                    sweeps: sweep,
+                }),
+                report,
+            ));
+        }
+        bounds = next;
+    }
+    Ok((None, report))
 }
 
 fn worst_ratio_subtask(set: &TaskSet, bounds: &IeerBounds) -> SubtaskId {
@@ -278,5 +418,63 @@ mod tests {
     #[test]
     fn default_sweep_order_is_jacobi() {
         assert_eq!(SweepOrder::default(), SweepOrder::Jacobi);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_trajectory() {
+        let set = example2();
+        let plain = analyze_ds(&set, &cfg()).unwrap();
+        let (bounds, report) = analyze_ds_traced(&set, &cfg(), SweepOrder::Jacobi).unwrap();
+        let bounds = bounds.expect("example 2 converges");
+        assert_eq!(bounds.bounds(), plain.bounds());
+        assert_eq!(bounds.sweeps(), plain.sweeps());
+        assert!(report.converged);
+        assert_eq!(report.sweeps, plain.sweeps());
+        // Seed row + one row per sweep.
+        assert_eq!(report.trajectory.len() as u64, report.sweeps + 1);
+        assert_eq!(report.deltas.len() as u64, report.sweeps);
+        // The final trajectory row is the fixed point.
+        assert_eq!(*report.trajectory.last().unwrap(), plain.task_bounds());
+        // Bounds grow monotonically sweep over sweep.
+        for pair in report.trajectory.windows(2) {
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                assert!(a <= b);
+            }
+        }
+        // The verifying sweep has delta zero; earlier sweeps grew.
+        assert_eq!(*report.deltas.last().unwrap(), Dur::ZERO);
+        assert!(report.deltas[0] > Dur::ZERO);
+        let rendered = report.render();
+        assert!(rendered.contains("converged"), "{rendered}");
+        assert!(rendered.contains("seed"), "{rendered}");
+    }
+
+    #[test]
+    fn traced_run_reports_failure_without_error() {
+        let set = TaskSet::builder(2)
+            .task(d(10))
+            .subtask(0, d(5), Priority::new(0))
+            .subtask(1, d(5), Priority::new(1))
+            .finish_task()
+            .task(d(10))
+            .subtask(1, d(5), Priority::new(0))
+            .subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let (bounds, report) = analyze_ds_traced(&set, &cfg(), SweepOrder::Jacobi).unwrap();
+        assert!(bounds.is_none());
+        assert!(!report.converged);
+        assert!(report.sweeps >= 1);
+        assert!(report.render().contains("FAILED"));
+    }
+
+    #[test]
+    fn task_trajectory_projects_one_task() {
+        let set = example2();
+        let (_, report) = analyze_ds_traced(&set, &cfg(), SweepOrder::Jacobi).unwrap();
+        let t3 = report.task_trajectory(TaskId::new(2));
+        assert_eq!(t3.len(), report.trajectory.len());
+        assert_eq!(*t3.last().unwrap(), d(8));
     }
 }

@@ -32,9 +32,12 @@
 //! # Ok::<(), rtsync_core::error::AnalyzeError>(())
 //! ```
 
+use std::fmt;
+use std::fmt::Write as _;
+
 use crate::analysis::busy_period::{
-    fixed_point, fixed_point_with_hint, utilization_ppm, DemandTerm, FixedPointFailure,
-    FixedPointLimits,
+    fixed_point, fixed_point_counted, fixed_point_with_hint_counted, utilization_ppm, DemandTerm,
+    FixedPointFailure, FixedPointLimits,
 };
 use crate::analysis::AnalysisConfig;
 use crate::error::AnalyzeError;
@@ -116,12 +119,124 @@ pub fn analyze_pm(set: &TaskSet, cfg: &AnalysisConfig) -> Result<PmBounds, Analy
     Ok(PmBounds { responses })
 }
 
+/// Convergence record for one subtask of an [`analyze_pm_traced`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SubtaskConvergence {
+    /// The analyzed subtask.
+    pub subtask: SubtaskId,
+    /// `D_{i,j}`: the level busy-period duration (step 1).
+    pub busy_period: Dur,
+    /// `M_{i,j}`: instances examined inside the busy period (step 2).
+    pub instances: i64,
+    /// Fixed-point iterations burned across steps 1 and 3–4.
+    pub iterations: u64,
+    /// The resulting response-time bound `R_{i,j}`.
+    pub response: Dur,
+}
+
+/// Convergence instrumentation for a whole [`analyze_pm_traced`] run:
+/// per-subtask busy-period sizes, instance counts and fixed-point
+/// iteration totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusyPeriodReport {
+    /// One record per subtask, in task/chain order.
+    pub rows: Vec<SubtaskConvergence>,
+}
+
+impl BusyPeriodReport {
+    /// Fixed-point iterations summed over every subtask.
+    pub fn total_iterations(&self) -> u64 {
+        self.rows.iter().map(|r| r.iterations).sum()
+    }
+
+    /// The costliest single subtask (by iterations), if any.
+    pub fn worst_subtask(&self) -> Option<&SubtaskConvergence> {
+        self.rows.iter().max_by_key(|r| r.iterations)
+    }
+
+    /// Renders the report as a plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SA/PM convergence: {} subtasks, {} fixed-point iterations",
+            self.rows.len(),
+            self.total_iterations()
+        );
+        let _ = writeln!(
+            out,
+            "{:<10}{:>12}{:>11}{:>8}{:>10}",
+            "subtask", "busy period", "instances", "iters", "response"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10}{:>12}{:>11}{:>8}{:>10}",
+                r.subtask.to_string(),
+                r.busy_period.ticks(),
+                r.instances,
+                r.iterations,
+                r.response.ticks()
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for BusyPeriodReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// [`analyze_pm`] plus convergence instrumentation: how large each level
+/// busy period was, how many instances it spanned and how many fixed-point
+/// iterations the Lehoczky recurrences burned.
+///
+/// # Errors
+///
+/// Identical to [`analyze_pm`].
+pub fn analyze_pm_traced(
+    set: &TaskSet,
+    cfg: &AnalysisConfig,
+) -> Result<(PmBounds, BusyPeriodReport), AnalyzeError> {
+    let mut responses: Vec<Vec<Dur>> = Vec::with_capacity(set.num_tasks());
+    let mut rows = Vec::with_capacity(set.num_subtasks());
+    for task in set.tasks() {
+        let mut row = Vec::with_capacity(task.chain_len());
+        for sub in task.subtasks() {
+            let conv = subtask_response_traced(set, sub.id(), cfg)?;
+            row.push(conv.response);
+            rows.push(conv);
+        }
+        responses.push(row);
+    }
+    Ok((PmBounds { responses }, BusyPeriodReport { rows }))
+}
+
 /// Steps 1–4 of SA/PM for one subtask.
+///
+/// # Errors
+///
+/// Same failure modes as [`analyze_pm`].
 pub fn subtask_response(
     set: &TaskSet,
     id: SubtaskId,
     cfg: &AnalysisConfig,
 ) -> Result<Dur, AnalyzeError> {
+    subtask_response_traced(set, id, cfg).map(|c| c.response)
+}
+
+/// Steps 1–4 of SA/PM for one subtask, with convergence instrumentation.
+///
+/// # Errors
+///
+/// Same failure modes as [`analyze_pm`].
+pub fn subtask_response_traced(
+    set: &TaskSet,
+    id: SubtaskId,
+    cfg: &AnalysisConfig,
+) -> Result<SubtaskConvergence, AnalyzeError> {
     let me = set.subtask(id);
     let period = set.task(id.task()).period();
     let interference: Vec<DemandTerm> = set
@@ -142,14 +257,15 @@ pub fn subtask_response(
     with_self.push(DemandTerm::periodic(period, me.execution()));
     let busy_cap = busy_period_cap(&with_self, cfg);
     let limits = FixedPointLimits::new(busy_cap, cfg.max_fixed_point_iterations);
-    let duration = fixed_point(blocking, &with_self, limits).map_err(|f| match f {
-        // An unbounded busy period means the level is overloaded.
-        FixedPointFailure::ExceedsCap => AnalyzeError::Overload {
-            subtask: id,
-            utilization_ppm: utilization_ppm(&with_self),
-        },
-        other => map_failure(other, id, busy_cap),
-    })?;
+    let (duration, mut iterations) =
+        fixed_point_counted(blocking, &with_self, limits).map_err(|f| match f {
+            // An unbounded busy period means the level is overloaded.
+            FixedPointFailure::ExceedsCap => AnalyzeError::Overload {
+                subtask: id,
+                utilization_ppm: utilization_ppm(&with_self),
+            },
+            other => map_failure(other, id, busy_cap),
+        })?;
 
     // Step 2: M_{i,j} = ⌈D_{i,j}/p_i⌉.
     let instances = duration.ceil_div(period).max(1);
@@ -164,8 +280,10 @@ pub fn subtask_response(
             .checked_mul(m)
             .and_then(|x| x.checked_add(blocking))
             .ok_or(AnalyzeError::ArithmeticOverflow { subtask: id })?;
-        let completion = fixed_point_with_hint(prev_completion, offset, &interference, limits)
-            .map_err(|f| map_failure(f, id, duration))?;
+        let (completion, iters) =
+            fixed_point_with_hint_counted(prev_completion, offset, &interference, limits)
+                .map_err(|f| map_failure(f, id, duration))?;
+        iterations += iters;
         prev_completion = completion;
         let response = completion - period * (m - 1);
         worst = worst.max(response);
@@ -175,7 +293,13 @@ pub fn subtask_response(
     if worst > cap {
         return Err(AnalyzeError::BoundExceedsCap { subtask: id, cap });
     }
-    Ok(worst)
+    Ok(SubtaskConvergence {
+        subtask: id,
+        busy_period: duration,
+        instances,
+        iterations,
+        response: worst,
+    })
 }
 
 /// The **naive, unsound** variant that examines only the first instance of

@@ -32,6 +32,7 @@ struct Options {
     run_policies: bool,
     run_convergence: bool,
     run_robustness: bool,
+    obs: bool,
     cfg: StudyConfig,
     out_dir: Option<PathBuf>,
 }
@@ -48,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
     let mut run_policies = false;
     let mut run_convergence = false;
     let mut run_robustness = false;
+    let mut obs = false;
     let mut cfg = StudyConfig::default();
     let mut out_dir = None;
     let mut saw_selector = false;
@@ -156,6 +158,7 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--out" => out_dir = Some(PathBuf::from(grab("--out")?)),
+            "--obs" => obs = true,
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -175,9 +178,67 @@ fn parse_args() -> Result<Options, String> {
         run_policies,
         run_convergence,
         run_robustness,
+        obs,
         cfg,
         out_dir,
     })
+}
+
+/// `git describe` of the working tree, for run-log provenance.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Accumulates the provenance log written to `results/reproduce_run.txt`:
+/// seed, git revision, and wall-clock / event-throughput per study.
+struct RunLog {
+    lines: Vec<String>,
+}
+
+impl RunLog {
+    fn new(cfg: &StudyConfig) -> RunLog {
+        RunLog {
+            lines: vec![
+                format!("command: reproduce {}", {
+                    let args: Vec<String> = std::env::args().skip(1).collect();
+                    args.join(" ")
+                }),
+                format!("git: {}", git_describe()),
+                format!("seed: {:#x}", cfg.seed),
+                format!(
+                    "config: {} systems/config, {} instances/task, {} threads",
+                    cfg.systems_per_config, cfg.instances_per_task, cfg.threads
+                ),
+            ],
+        }
+    }
+
+    /// Records one study section: wall-clock, and events/sec when the
+    /// section reports simulated-event totals (`events > 0`).
+    fn study(&mut self, name: &str, elapsed: std::time::Duration, events: u64) {
+        let secs = elapsed.as_secs_f64();
+        let mut line = format!("{name}: {secs:.2}s");
+        if events > 0 {
+            line.push_str(&format!(
+                ", {events} events ({:.0} events/s)",
+                events as f64 / secs.max(1e-9)
+            ));
+        }
+        self.lines.push(line);
+    }
+
+    fn render(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
 }
 
 fn write_csv(out_dir: &Option<PathBuf>, name: &str, content: &str) -> Result<(), String> {
@@ -198,11 +259,12 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|robustness|ablations]... \
-                 [--systems N] [--instances I] [--seed S] [--threads T] [--out DIR]"
+                 [--systems N] [--instances I] [--seed S] [--threads T] [--out DIR] [--obs]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let mut run_log = RunLog::new(&opts.cfg);
 
     for fig in TraceFigure::ALL {
         if opts.trace_figures.contains(&fig.number()) {
@@ -212,7 +274,13 @@ fn main() -> ExitCode {
 
     if opts.run_tails {
         println!("running the tail-latency study (p99 EER ratios; beyond the paper)…");
+        let started = std::time::Instant::now();
         let outcomes = run_study(&opts.cfg);
+        run_log.study(
+            "tails",
+            started.elapsed(),
+            outcomes.iter().map(|o| o.events).sum(),
+        );
         for (name, file, extract) in [
             (
                 "p99-EER ratio PM/DS",
@@ -243,7 +311,13 @@ fn main() -> ExitCode {
             opts.cfg.seed,
             opts.cfg.threads,
         );
+        let started = std::time::Instant::now();
         let outcomes = run_study(&opts.cfg);
+        run_log.study(
+            "study",
+            started.elapsed(),
+            outcomes.iter().map(|o| o.events).sum(),
+        );
         // The paper: "the 90% confidence intervals are negligibly small".
         let max_ci = |f: fn(&rtsync_experiments::ConfigOutcome) -> f64| {
             outcomes
@@ -394,7 +468,9 @@ fn main() -> ExitCode {
             rcfg.seed,
             rcfg.threads,
         );
+        let started = std::time::Instant::now();
         let cells = robustness::run_robustness(&rcfg);
+        run_log.study("robustness", started.elapsed(), 0);
         println!("{}", robustness::render(&cells));
         // The robustness grid always records its results (default:
         // `results/`), so the recorded-run command line in EXPERIMENTS.md
@@ -419,6 +495,7 @@ fn main() -> ExitCode {
 
     if opts.run_convergence {
         println!("running the ratio-convergence study…");
+        let started = std::time::Instant::now();
         for (n, u) in [(3usize, 0.6f64), (6, 0.8)] {
             let rows = rtsync_experiments::convergence::convergence_study(
                 n,
@@ -427,6 +504,34 @@ fn main() -> ExitCode {
                 &[5, 10, 20, 40, 80],
             );
             println!("{}", rtsync_experiments::convergence::render(n, u, &rows));
+        }
+        run_log.study("convergence", started.elapsed(), 0);
+        if opts.obs {
+            // Analysis-convergence instrumentation: per-system SA/PM
+            // iteration counts and SA/DS sweep trajectories, as CSV.
+            println!("running the analysis-convergence study (--obs)…");
+            let mut all = Vec::new();
+            for (n, u) in [(3usize, 0.6f64), (6, 0.8)] {
+                let rows =
+                    rtsync_experiments::convergence::analysis_convergence_study(n, u, &opts.cfg);
+                print!(
+                    "{}",
+                    rtsync_experiments::convergence::render_analysis(&rows)
+                );
+                all.extend(rows);
+            }
+            let dir = opts
+                .out_dir
+                .clone()
+                .or_else(|| Some(PathBuf::from("results")));
+            if let Err(e) = write_csv(
+                &dir,
+                "convergence_obs.csv",
+                &rtsync_experiments::convergence::analysis_convergence_csv(&all),
+            ) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -441,6 +546,16 @@ fn main() -> ExitCode {
             }
         }
         println!("{}", rtsync_experiments::tightness::render(&rows));
+    }
+
+    // Provenance run log: what ran, from which revision, how fast.
+    let dir = opts
+        .out_dir
+        .clone()
+        .or_else(|| Some(PathBuf::from("results")));
+    if let Err(e) = write_csv(&dir, "reproduce_run.txt", &run_log.render()) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

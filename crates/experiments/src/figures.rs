@@ -141,6 +141,7 @@ mod custom_grid_tests {
             pm_ds_ci90: 0.01,
             rg_ds_ci90: 0.01,
             bound_ratio_ci90: 0.01,
+            events: 1000,
         }];
         let g = custom_grid("p99 PM/DS", &outcomes, |o| o.pm_ds_p99_mean);
         assert_eq!(g.at(2, 0.5), Some(1.5));
@@ -167,6 +168,7 @@ mod tests {
             pm_ds_ci90: 0.01,
             rg_ds_ci90: 0.01,
             bound_ratio_ci90: 0.01,
+            events: 1000,
         }
     }
 

@@ -67,6 +67,9 @@ pub struct SystemEval {
     pub pm_ds_p99: Vec<f64>,
     /// Per-task p99-EER ratio RG/DS.
     pub rg_ds_p99: Vec<f64>,
+    /// Simulation events dispatched across the three protocol runs (for
+    /// run-log throughput accounting).
+    pub events: u64,
 }
 
 /// Aggregates over one configuration `(N, U)`.
@@ -101,6 +104,8 @@ pub struct ConfigOutcome {
     pub rg_ds_ci90: f64,
     /// Half-width of the 90% confidence interval of `bound_ratio_mean`.
     pub bound_ratio_ci90: f64,
+    /// Simulation events dispatched over every system of the configuration.
+    pub events: u64,
 }
 
 impl ConfigOutcome {
@@ -184,6 +189,7 @@ pub fn evaluate_system(set: &TaskSet, cfg: &StudyConfig) -> SystemEval {
         pm_rg,
         pm_ds_p99,
         rg_ds_p99,
+        events: ds_sim.events + pm_sim.events + rg_sim.events,
     }
 }
 
@@ -257,6 +263,7 @@ fn aggregate(n: usize, u: f64, evals: &[SystemEval]) -> ConfigOutcome {
         pm_ds_ci90: ci90_half_width(&collect(|e| &e.pm_ds)),
         rg_ds_ci90: ci90_half_width(&collect(|e| &e.rg_ds)),
         bound_ratio_ci90: ci90_half_width(&collect(|e| &e.bound_ratios)),
+        events: evals.iter().map(|e| e.events).sum(),
     }
 }
 

@@ -40,6 +40,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::job::JobId;
 use crate::metrics::Metrics;
 use crate::nonideal::{ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig};
+use crate::observe::{NoopObserver, Observer};
 use crate::processor::{Milestone, Processor, Resched};
 use crate::profile::PriorityProfile;
 use crate::source::SourceModel;
@@ -248,10 +249,29 @@ impl From<AnalyzeError> for SimulateError {
 /// [`SimulateError::Analysis`] if the protocol needs SA/PM bounds and the
 /// analysis fails.
 pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimOutcome, SimulateError> {
-    Engine::new(set, cfg)?.run()
+    // `NoopObserver` is zero-sized and every hook is an empty `#[inline]`
+    // default, so this monomorphization is the exact unobserved engine.
+    let mut obs = NoopObserver;
+    Engine::new(set, cfg, &mut obs)?.run()
 }
 
-struct Engine<'a> {
+/// Runs one simulation with an [`Observer`] attached to the engine's
+/// instrumentation hooks (see [`crate::observe`]). The schedule is
+/// identical to [`simulate`]'s — observers only watch.
+///
+/// # Errors
+///
+/// [`SimulateError::Analysis`] if the protocol needs SA/PM bounds and the
+/// analysis fails.
+pub fn simulate_observed(
+    set: &TaskSet,
+    cfg: &SimConfig,
+    obs: &mut impl Observer,
+) -> Result<SimOutcome, SimulateError> {
+    Engine::new(set, cfg, obs)?.run()
+}
+
+struct Engine<'a, O: Observer> {
     set: &'a TaskSet,
     cfg: &'a SimConfig,
     queue: EventQueue,
@@ -285,10 +305,17 @@ struct Engine<'a> {
     horizon: Time,
     events: u64,
     now: Time,
+    /// Instrumentation hooks (see [`crate::observe`]); `NoopObserver`
+    /// for unobserved runs, compiled away by monomorphization.
+    obs: &'a mut O,
 }
 
-impl<'a> Engine<'a> {
-    fn new(set: &'a TaskSet, cfg: &'a SimConfig) -> Result<Engine<'a>, SimulateError> {
+impl<'a, O: Observer> Engine<'a, O> {
+    fn new(
+        set: &'a TaskSet,
+        cfg: &'a SimConfig,
+        obs: &'a mut O,
+    ) -> Result<Engine<'a, O>, SimulateError> {
         let flat = FlatIndex::new(set);
         let clocks = (!cfg.nonideal.clocks.is_ideal())
             .then(|| cfg.nonideal.clocks.resolve(set.num_processors()));
@@ -356,10 +383,12 @@ impl<'a> Engine<'a> {
             horizon,
             events: 0,
             now: Time::ZERO,
+            obs,
         })
     }
 
     fn run(mut self) -> Result<SimOutcome, SimulateError> {
+        self.obs.on_run_start(self.set, self.cfg.protocol);
         // Seed the queue: source releases for every task, clock-driven
         // releases for PM's later subtasks.
         for task in self.set.tasks() {
@@ -408,6 +437,7 @@ impl<'a> Engine<'a> {
             debug_assert!(event.time >= self.now, "event queue went backwards");
             self.now = event.time;
             self.events += 1;
+            self.obs.on_event(self.now, &event.kind);
             match event.kind {
                 EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
                 EventKind::MpmTimer { job } => self.on_mpm_timer(job),
@@ -435,6 +465,7 @@ impl<'a> Engine<'a> {
             }
         }
 
+        self.obs.on_run_end(self.now, self.events);
         Ok(SimOutcome {
             metrics: self.metrics,
             trace: self.trace,
@@ -473,6 +504,7 @@ impl<'a> Engine<'a> {
         if let Some(tr) = &mut self.trace {
             tr.push_completion(job, self.now);
         }
+        self.obs.on_completion(self.now, job, proc.index());
         let task = self.set.task(job.task());
         match task.successor_of(job.subtask()) {
             None => {
@@ -501,7 +533,9 @@ impl<'a> Engine<'a> {
         // same-instant completion) do not prevent the idle point.
         if self.procs[proc.index()].is_idle_point(self.now) {
             let now = self.now;
+            self.obs.on_idle_point(now, proc.index());
             for freed in self.controller.on_idle_point(proc, now) {
+                self.obs.on_rule2_release(now, freed);
                 self.release(freed);
             }
         }
@@ -511,11 +545,13 @@ impl<'a> Engine<'a> {
     fn on_mpm_timer(&mut self, job: JobId) {
         // The timer says job's response bound elapsed: signal the successor.
         let fi = self.flat.of(job.subtask());
-        if self.completed[fi] <= job.instance() {
+        let overrun = self.completed[fi] <= job.instance();
+        self.obs.on_mpm_timer_fired(self.now, job, overrun);
+        if overrun {
             // Overrun: the bound was violated (can happen under sporadic
             // sources or modeling error); record and release anyway, as a
             // real MPM scheduler driven purely by the timer would.
-            self.violations.push(Violation {
+            self.push_violation(Violation {
                 kind: ViolationKind::MpmOverrun,
                 job,
                 time: self.now,
@@ -540,6 +576,10 @@ impl<'a> Engine<'a> {
         // PM releases by clock alone — it sends no signals, so there is
         // nothing to price on the channel.
         let signalless = self.cfg.protocol == Protocol::PhaseModification;
+        if succ_proc != from && !signalless {
+            self.obs
+                .on_sync_interrupt(self.now, from.index(), succ_proc.index(), succ_job);
+        }
         if self.channel.is_some() && succ_proc != from && !signalless {
             self.queue
                 .push(self.now, EventKind::SignalSend { job: succ_job });
@@ -561,6 +601,7 @@ impl<'a> Engine<'a> {
         match self.controller.on_predecessor_complete(succ_job, self.now) {
             CompletionDirective::ReleaseSuccessor => self.release(succ_job),
             CompletionDirective::ScheduleExpiry { due, gen } => {
+                self.obs.on_guard_block(self.now, succ_job, due);
                 // Rule 2 applies at *every* idle instant (§3.2), not
                 // only at completion instants: a signal deferred
                 // onto an already-idle processor is released right
@@ -569,6 +610,7 @@ impl<'a> Engine<'a> {
                 // expiry timer proceeds as scheduled.
                 let succ_proc = self.set.subtask(succ).processor();
                 let freed = if self.procs[succ_proc.index()].is_idle_point(self.now) {
+                    self.obs.on_idle_point(self.now, succ_proc.index());
                     self.controller.on_idle_point(succ_proc, self.now)
                 } else {
                     Vec::new()
@@ -580,6 +622,7 @@ impl<'a> Engine<'a> {
                     );
                 } else {
                     for job in freed {
+                        self.obs.on_rule2_release(self.now, job);
                         self.release(job);
                     }
                 }
@@ -596,8 +639,9 @@ impl<'a> Engine<'a> {
             .as_mut()
             .expect("SignalSend only scheduled with a channel")
             .send();
+        self.obs.on_signal_send(self.now, job);
         if plan.dropped {
-            self.violations.push(Violation {
+            self.push_violation(Violation {
                 kind: ViolationKind::SignalLost,
                 job,
                 time: self.now,
@@ -619,12 +663,15 @@ impl<'a> Engine<'a> {
             .expect("SignalDeliver only scheduled with a channel")
             .deliver(fi, job.instance());
         for instance in applicable {
-            self.apply_signal(JobId::new(job.subtask(), instance));
+            let delivered = JobId::new(job.subtask(), instance);
+            self.obs.on_signal_deliver(self.now, delivered);
+            self.apply_signal(delivered);
         }
     }
 
     fn on_guard_expiry(&mut self, subtask: SubtaskId, gen: u64) {
         if let Some(job) = self.controller.on_guard_expiry(subtask, gen, self.now) {
+            self.obs.on_guard_expiry_release(self.now, job);
             self.release(job);
         }
     }
@@ -698,7 +745,7 @@ impl<'a> Engine<'a> {
         // recorded as a violation when PM (or an overrunning MPM) breaks it.
         if let Some(pred) = job.predecessor() {
             if self.completed[self.flat.of(pred.subtask())] <= pred.instance() {
-                self.violations.push(Violation {
+                self.push_violation(Violation {
                     kind: ViolationKind::PrecedenceViolated,
                     job,
                     time: self.now,
@@ -707,6 +754,13 @@ impl<'a> Engine<'a> {
         }
         if let Some(tr) = &mut self.trace {
             tr.push_release(job, self.now);
+        }
+        self.obs.on_release(self.now, job, sub.processor().index());
+        // RG's rule 1 updates the released subtask's own guard (guards
+        // exist for every non-first subtask) as a side effect of
+        // `Controller::on_release` below.
+        if self.cfg.protocol == Protocol::ReleaseGuard && !job.subtask().is_first() {
+            self.obs.on_rule1_update(self.now, job.subtask());
         }
         // Protocol hooks (RG rule 1, MPM timers). MPM timers measure a
         // duration on the host processor's clock: rescale it under drift
@@ -720,6 +774,9 @@ impl<'a> Engine<'a> {
                 }
                 _ => time,
             };
+            if let EventKind::MpmTimer { job: timer_job } = &kind {
+                self.obs.on_mpm_timer_armed(self.now, *timer_job, time);
+            }
             self.queue.push(time, kind);
         }
         let proc = sub.processor();
@@ -737,6 +794,8 @@ impl<'a> Engine<'a> {
         let slice = self.procs[proc.index()].advance(self.now);
         if let Some(slice) = slice {
             self.busy_ticks[proc.index()] += slice.end - slice.start;
+            self.obs
+                .on_slice(proc.index(), slice.job, slice.start, slice.end);
             if let Some(tr) = &mut self.trace {
                 tr.push_slice(proc, slice);
             }
@@ -747,6 +806,11 @@ impl<'a> Engine<'a> {
         self.dirty[proc.index()] = true;
     }
 
+    fn push_violation(&mut self, violation: Violation) {
+        self.obs.on_violation(&violation);
+        self.violations.push(violation);
+    }
+
     /// End-of-instant dispatch: reschedules every processor touched during
     /// the current instant and schedules the fresh completion events.
     fn flush_dispatch(&mut self) {
@@ -755,11 +819,24 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let proc = ProcessorId::new(p);
+            // Completed jobs already vacated the processor during the
+            // instant, so a still-running `before` that differs from
+            // `after` was displaced mid-execution: a preemption.
+            let before = self.procs[p].running_job();
             match self.procs[p].reschedule(self.now) {
                 Resched::NewMilestone { at, gen } => {
                     self.queue.push(at, EventKind::Completion { proc, gen });
                 }
                 Resched::Unchanged | Resched::Idle => {}
+            }
+            let after = self.procs[p].running_job();
+            if let Some(to) = after {
+                if before != Some(to) {
+                    self.obs.on_context_switch(self.now, p, before, to);
+                    if let Some(preempted) = before {
+                        self.obs.on_preemption(self.now, p, preempted, to);
+                    }
+                }
             }
         }
     }

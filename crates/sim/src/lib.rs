@@ -46,6 +46,7 @@ pub mod histogram;
 pub mod job;
 pub mod metrics;
 pub mod nonideal;
+pub mod observe;
 pub mod processor;
 pub mod profile;
 pub mod reference;
@@ -53,9 +54,14 @@ pub mod source;
 pub mod trace;
 
 pub use check::{validate_schedule, ScheduleDefect};
-pub use engine::{simulate, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind};
+pub use engine::{
+    simulate, simulate_observed, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind,
+};
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
 pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
+pub use observe::{
+    EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters, TaskCounters, Tee,
+};
 pub use source::SourceModel;
 pub use trace::{Segment, Trace};

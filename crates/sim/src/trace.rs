@@ -181,7 +181,15 @@ impl Trace {
                     *cell = label;
                 }
             }
-            let _ = writeln!(out, "{proc:<4}| {}", row.into_iter().collect::<String>());
+            // `ProcessorId`'s Display ignores format width, so pad the
+            // rendered string: the label must be exactly 6 columns for the
+            // rows to line up with the tick ruler above.
+            let _ = writeln!(
+                out,
+                "{:<4}| {}",
+                proc.to_string(),
+                row.into_iter().collect::<String>()
+            );
         }
         out
     }
@@ -288,5 +296,79 @@ mod tests {
         assert!(lines[1].contains("P0"));
         assert!(lines[1].contains("00.."));
         assert!(lines[2].contains(".22."));
+    }
+
+    #[test]
+    fn gantt_shows_merged_slices_as_one_unbroken_run() {
+        // Two contiguous slices of the same job must render exactly like
+        // the single merged segment they become — no seam, no gap.
+        let mut tr = Trace::new(1);
+        let p = ProcessorId::new(0);
+        tr.push_slice(p, slice(3, 0, 0, 1, 3));
+        tr.push_slice(p, slice(3, 0, 0, 3, 6));
+        assert_eq!(tr.segments().len(), 1);
+        let g = tr.render_gantt(t(8));
+        let row = g.lines().nth(1).unwrap();
+        assert!(row.contains(".33333.."), "{g}");
+    }
+
+    #[test]
+    fn gantt_renders_idle_gap_between_segments() {
+        let mut tr = Trace::new(1);
+        let p = ProcessorId::new(0);
+        tr.push_slice(p, slice(1, 0, 0, 0, 2));
+        tr.push_slice(p, slice(1, 0, 1, 5, 7)); // idle 2..5
+        let g = tr.render_gantt(t(8));
+        let row = g.lines().nth(1).unwrap();
+        assert!(row.contains("11...11."), "{g}");
+    }
+
+    #[test]
+    fn gantt_aligns_columns_across_processors() {
+        // The same instant must land in the same column on every row, so
+        // cross-processor handoffs read vertically.
+        let mut tr = Trace::new(3);
+        tr.push_slice(ProcessorId::new(0), slice(0, 0, 0, 0, 3));
+        tr.push_slice(ProcessorId::new(1), slice(0, 1, 0, 3, 5));
+        tr.push_slice(ProcessorId::new(2), slice(0, 2, 0, 5, 6));
+        let g = tr.render_gantt(t(6));
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows (and the tick ruler) are equally wide.
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+        // The handoff instants t=3 and t=5 line up column-wise: each row
+        // starts executing exactly where the previous one stopped.
+        let col = |line: &str, tick: usize| line.chars().nth("P0  | ".len() + tick).unwrap();
+        assert_eq!(col(lines[1], 2), '0');
+        assert_eq!(col(lines[1], 3), '.');
+        assert_eq!(col(lines[2], 3), '0');
+        assert_eq!(col(lines[2], 5), '.');
+        assert_eq!(col(lines[3], 5), '0');
+    }
+
+    #[test]
+    fn gantt_of_empty_trace_is_all_idle() {
+        let tr = Trace::new(2);
+        let g = tr.render_gantt(t(5));
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].ends_with("....."), "{g}");
+        assert!(lines[2].ends_with("....."), "{g}");
+        // Zero-width rendering is valid too: just the row labels.
+        let empty = tr.render_gantt(t(0));
+        for line in empty.lines().skip(1) {
+            assert!(line.trim_end().ends_with('|'), "{empty}");
+        }
+    }
+
+    #[test]
+    fn gantt_clamps_segments_past_the_horizon() {
+        let mut tr = Trace::new(1);
+        tr.push_slice(ProcessorId::new(0), slice(4, 0, 0, 2, 9));
+        let g = tr.render_gantt(t(5));
+        let row = g.lines().nth(1).unwrap();
+        assert!(row.contains("..444"), "{g}");
+        assert!(!row.contains("4444"), "{g}");
     }
 }

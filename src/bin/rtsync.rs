@@ -22,7 +22,9 @@ use rtsync::core::task::{ProcessorId, TaskSet};
 use rtsync::core::textfmt;
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
-use rtsync::sim::{simulate, SimConfig, SourceModel};
+use rtsync::sim::{
+    simulate, simulate_observed, EventLogObserver, ProtocolCounters, SimConfig, SourceModel, Tee,
+};
 
 fn main() -> ExitCode {
     match run() {
@@ -47,6 +49,7 @@ fn run() -> Result<(), String> {
         "exact" => cmd_exact(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -59,13 +62,16 @@ fn usage() -> String {
     "usage:\n  \
      rtsync example <1|2>\n  \
      rtsync check <file|->\n  \
-     rtsync analyze <file|-> [--protocol ds|pm|mpm|rg|all]\n  \
+     rtsync analyze <file|-> [--protocol ds|pm|mpm|rg|all] [--convergence]\n  \
      rtsync sensitivity <file|->\n  \
      rtsync exact <file|-> [--steps N] [--instances I]\n  \
      rtsync compare <file|-> [--instances N]\n  \
      rtsync simulate <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--gantt TICKS] [--sporadic MAX_EXTRA] [--seed S] [--no-rule2] \
-     [--trace-csv FILE]"
+     [--trace-csv FILE]\n  \
+     rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
+     [--format perfetto|jsonl|gantt] [--counters] [--out FILE] \
+     [--sporadic MAX_EXTRA] [--seed S]"
         .to_string()
 }
 
@@ -127,6 +133,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
     let set = load(path)?;
     let mut protocols: Vec<Protocol> = Protocol::ALL.to_vec();
+    let mut convergence = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -136,6 +143,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
                     protocols = vec![parse_protocol(tag)?];
                 }
             }
+            "--convergence" => convergence = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -150,6 +158,28 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             Err(e) => return Err(e.to_string()),
         }
     }
+    if convergence {
+        print_convergence(&set, &cfg)?;
+    }
+    Ok(())
+}
+
+/// How the iterative analyses reached (or failed to reach) their fixed
+/// points: SA/PM busy-period iterations and the SA/DS IEERT sweep
+/// trajectory.
+fn print_convergence(set: &TaskSet, cfg: &AnalysisConfig) -> Result<(), String> {
+    use rtsync::core::analysis::sa_ds::{analyze_ds_traced, SweepOrder};
+    use rtsync::core::analysis::sa_pm::analyze_pm_traced;
+    match analyze_pm_traced(set, cfg) {
+        Ok((_, report)) => println!("{report}"),
+        Err(e) if e.is_failure() => {
+            println!("SA/PM convergence: no finite bound found ({e})\n")
+        }
+        Err(e) => return Err(e.to_string()),
+    }
+    let (_, report) =
+        analyze_ds_traced(set, cfg, SweepOrder::default()).map_err(|e| e.to_string())?;
+    println!("{report}");
     Ok(())
 }
 
@@ -331,17 +361,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
     );
     println!(
-        "{:<6}{:>10}{:>12}{:>10}{:>10}{:>10}{:>8}",
-        "task", "done", "avg EER", "min", "max", "jitter", "misses"
+        "{:<6}{:>10}{:>12}{:>10}{:>8}{:>8}{:>8}{:>10}{:>10}{:>8}",
+        "task", "done", "avg EER", "min", "p50", "p95", "p99", "max", "jitter", "misses"
     );
+    let q = |s: &rtsync::sim::TaskStats, q: f64| -> String {
+        s.eer_quantile(q)
+            .map_or("-".into(), |v| v.ticks().to_string())
+    };
     for task in set.tasks() {
         let s = outcome.metrics.task(task.id());
         println!(
-            "{:<6}{:>10}{:>12}{:>10}{:>10}{:>10}{:>8}",
+            "{:<6}{:>10}{:>12}{:>10}{:>8}{:>8}{:>8}{:>10}{:>10}{:>8}",
             task.id().to_string(),
             s.completed(),
             s.avg_eer().map_or("-".into(), |v| format!("{v:.1}")),
             s.min_eer().map_or("-".into(), |v| v.ticks().to_string()),
+            q(s, 0.50),
+            q(s, 0.95),
+            q(s, 0.99),
             s.max_eer().map_or("-".into(), |v| v.ticks().to_string()),
             s.max_output_jitter().ticks(),
             s.deadline_misses(),
@@ -356,6 +393,101 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if let (Some(path), Some(trace)) = (trace_csv, &outcome.trace) {
         std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(usage)?;
+    let set = load(path)?;
+    let mut protocol = None;
+    let mut instances = 100u64;
+    let mut format = "perfetto".to_string();
+    let mut counters = false;
+    let mut out: Option<String> = None;
+    let mut sporadic: Option<i64> = None;
+    let mut seed = 0u64;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--protocol" => protocol = Some(parse_protocol(grab("--protocol")?)?),
+            "--instances" => {
+                instances = grab("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
+            }
+            "--format" => format = grab("--format")?.clone(),
+            "--counters" => counters = true,
+            "--out" => out = Some(grab("--out")?.clone()),
+            "--sporadic" => {
+                sporadic = Some(
+                    grab("--sporadic")?
+                        .parse()
+                        .map_err(|e| format!("--sporadic: {e}"))?,
+                )
+            }
+            "--seed" => {
+                seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let protocol = protocol.ok_or("trace requires --protocol")?;
+    if !matches!(format.as_str(), "perfetto" | "jsonl" | "gantt") {
+        return Err(format!(
+            "unknown format `{format}` (perfetto, jsonl, gantt)"
+        ));
+    }
+    let mut cfg = SimConfig::new(protocol).with_instances(instances);
+    if format == "gantt" {
+        cfg = cfg.with_trace();
+    }
+    if let Some(max_extra) = sporadic {
+        cfg = cfg.with_source(SourceModel::Sporadic {
+            max_extra: Dur::from_ticks(max_extra),
+            seed,
+        });
+    }
+    // The event log and the counters are both observers; a Tee feeds the
+    // trace and the counter report from the same run.
+    let mut log = EventLogObserver::default();
+    let mut tally = ProtocolCounters::default();
+    let outcome = if counters {
+        simulate_observed(&set, &cfg, &mut Tee(&mut tally, &mut log))
+    } else {
+        simulate_observed(&set, &cfg, &mut log)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let rendered = match format.as_str() {
+        "perfetto" => log.to_chrome_trace(),
+        "jsonl" => log.to_jsonl(),
+        _ => outcome
+            .trace
+            .as_ref()
+            .map(|t| t.render_gantt(outcome.end_time))
+            .unwrap_or_default(),
+    };
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path} ({} events)", log.len());
+        }
+        None => print!("{rendered}"),
+    }
+    if counters {
+        let report = tally.render();
+        if out.is_none() && format != "gantt" {
+            // Keep stdout machine-readable; the report goes to stderr.
+            eprint!("{report}");
+        } else {
+            print!("{report}");
+        }
     }
     Ok(())
 }
