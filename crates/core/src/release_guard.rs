@@ -169,6 +169,31 @@ impl ReleaseGuard {
         self.pending.pop_front().is_some()
     }
 
+    /// Fail-stop crash of the host processor: every deferred signal dies
+    /// with the node. Clears the pending queue and bumps the generation so
+    /// any in-flight guard-expiry timer is ignored on replay. The guard
+    /// value itself is left alone — it is re-derived at recovery by
+    /// [`ReleaseGuard::reinitialize`].
+    pub fn on_crash(&mut self) {
+        self.pending.clear();
+        self.gen += 1;
+        self.armed_at = None;
+    }
+
+    /// Recovery rule: `g ← now`. A processor that just rejoined holds no
+    /// released-incomplete instances, so the recovery instant is an idle
+    /// point in the paper's sense and rule 2 applies literally — the guard
+    /// must not carry a pre-crash value forward (a stale `g` in the future
+    /// would delay the first post-recovery release for no reason; one in
+    /// the past is merely raised to `now`, which is harmless because
+    /// future signals arrive at ≥ `now`).
+    pub fn reinitialize(&mut self, now: Time) {
+        self.guard = now;
+        self.pending.clear();
+        self.gen += 1;
+        self.armed_at = None;
+    }
+
     /// A guard-expiry timer stamped with `gen` fired at `now`. Returns
     /// `true` if it is still current and a deferred head is due: the caller
     /// releases it, calls [`ReleaseGuard::on_release`], and reschedules via
@@ -338,6 +363,44 @@ mod tests {
         let _ = g.offer(t(2));
         let _ = g.offer(t(3));
         assert!(g.to_string().contains("2 pending"));
+    }
+
+    #[test]
+    fn crash_drops_deferred_signals_and_stales_timers() {
+        let mut g = guard6();
+        g.on_release(t(0)); // guard 6
+        let _ = g.offer(t(1));
+        let _ = g.offer(t(2));
+        let (due, gen) = g.next_expiry().unwrap();
+        assert_eq!(due, t(6));
+        g.on_crash();
+        assert_eq!(g.pending_len(), 0);
+        assert_eq!(g.next_expiry(), None);
+        assert!(!g.take_due(t(6), gen), "pre-crash timer must be stale");
+    }
+
+    #[test]
+    fn reinitialize_sets_guard_to_recovery_instant() {
+        // Future guard is pulled back: a signal right after recovery
+        // releases immediately (the recovery instant is an idle point).
+        let mut g = guard6();
+        g.on_release(t(100)); // guard 106
+        let _ = g.offer(t(101)); // deferred, dies with the crash
+        g.reinitialize(t(103));
+        assert_eq!(g.guard(), t(103));
+        assert_eq!(g.pending_len(), 0);
+        assert_eq!(g.offer(t(103)), GuardDecision::ReleaseNow);
+        // Past guard is raised to now (harmless, same as rule 2).
+        let mut g2 = guard6();
+        g2.reinitialize(t(50));
+        assert_eq!(g2.guard(), t(50));
+        // Rule-1-wins bookkeeping does not leak across the crash: an idle
+        // point at the recovery instant still applies rule 2.
+        let mut g3 = guard6();
+        g3.on_release(t(10));
+        g3.on_crash();
+        assert!(!g3.on_idle_point(t(10)), "nothing pending to free");
+        assert_eq!(g3.guard(), t(10));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod compare;
 pub mod convergence;
 pub mod exact;
@@ -46,6 +47,7 @@ pub mod study;
 pub mod tightness;
 pub mod traces;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosOutcome, ReproBundle};
 pub use figures::{figure_grid, Figure};
 pub use grid::Grid;
 pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig};

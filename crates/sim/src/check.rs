@@ -30,6 +30,7 @@ use std::fmt;
 use rtsync_core::task::TaskSet;
 use rtsync_core::time::{Dur, Time};
 
+use crate::faults::CrashWindow;
 use crate::job::JobId;
 use crate::trace::{Segment, Trace};
 
@@ -89,6 +90,16 @@ pub enum ScheduleDefect {
         /// completed in the trace).
         predecessor_completed: Option<Time>,
     },
+    /// A job executed, released or completed on a processor during one of
+    /// its crash outages (see [`validate_fault_quiescence`]).
+    ActivityWhileDown {
+        /// The job.
+        job: JobId,
+        /// When the activity landed.
+        at: Time,
+        /// The outage it landed in.
+        window: CrashWindow,
+    },
 }
 
 impl fmt::Display for ScheduleDefect {
@@ -144,6 +155,13 @@ impl fmt::Display for ScheduleDefect {
                 "{job} released at {} before predecessor completion {:?}",
                 released.ticks(),
                 predecessor_completed.map(|t| t.ticks())
+            ),
+            ScheduleDefect::ActivityWhileDown { job, at, window } => write!(
+                f,
+                "{job} active at {} inside the outage [{}, {})",
+                at.ticks(),
+                window.at.ticks(),
+                window.recovers_at().ticks()
             ),
         }
     }
@@ -288,6 +306,58 @@ pub fn validate_schedule(
         }
     }
 
+    defects
+}
+
+/// Validates fail-stop quiescence from the artifact alone: during each
+/// crash outage `[at, recovers_at)` of `windows[p]`, processor `p` must
+/// show no executed slice, no release and no completion in the trace.
+/// Slices truncated exactly at the crash instant and backlog released
+/// exactly at the recovery instant are legitimate and not flagged. This
+/// is the offline counterpart of the engine's down-processor gates — it
+/// proves them from the recorded schedule, independent of the engine.
+pub fn validate_fault_quiescence(
+    set: &TaskSet,
+    trace: &Trace,
+    windows: &[Vec<CrashWindow>],
+) -> Vec<ScheduleDefect> {
+    let mut defects = Vec::new();
+    let in_outage = |proc: usize, t: Time| -> Option<CrashWindow> {
+        windows
+            .get(proc)?
+            .iter()
+            .copied()
+            .find(|w| w.at <= t && t < w.recovers_at())
+    };
+    for p in 0..set.num_processors() {
+        let proc = rtsync_core::task::ProcessorId::new(p);
+        for seg in trace.segments_on(proc) {
+            // A slice overlaps an outage iff some covered instant is down;
+            // its half-open span makes `start` and `end - 1` the extremes.
+            let overlapping = in_outage(p, seg.start)
+                .or_else(|| in_outage(p, seg.end - Dur::from_ticks(1)))
+                .or_else(|| {
+                    windows.get(p).and_then(|ws| {
+                        ws.iter()
+                            .copied()
+                            .find(|w| seg.start < w.at && w.recovers_at() < seg.end)
+                    })
+                });
+            if let Some(window) = overlapping {
+                defects.push(ScheduleDefect::ActivityWhileDown {
+                    job: seg.job,
+                    at: seg.start.max(window.at),
+                    window,
+                });
+            }
+        }
+    }
+    for &(job, at) in trace.releases().iter().chain(trace.completions()) {
+        let p = set.subtask(job.subtask()).processor().index();
+        if let Some(window) = in_outage(p, at) {
+            defects.push(ScheduleDefect::ActivityWhileDown { job, at, window });
+        }
+    }
     defects
 }
 
@@ -444,6 +514,74 @@ mod tests {
     }
 
     #[test]
+    fn faulted_engine_schedules_are_quiescent_during_outages() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        let windows = vec![
+            Vec::new(),
+            vec![CrashWindow {
+                at: t(5),
+                restart_delay: Dur::from_ticks(10),
+            }],
+        ];
+        let set = example2();
+        for protocol in Protocol::ALL {
+            let out = simulate(
+                &set,
+                &SimConfig::new(protocol)
+                    .with_instances(15)
+                    .with_trace()
+                    .with_faults(FaultConfig::explicit(windows.clone())),
+            )
+            .unwrap();
+            let defects = validate_fault_quiescence(&set, out.trace.as_ref().unwrap(), &windows);
+            assert!(defects.is_empty(), "{protocol:?}: {defects:?}");
+        }
+    }
+
+    #[test]
+    fn detects_activity_while_down() {
+        use crate::faults::CrashWindow;
+        let set = example2();
+        let windows = vec![
+            Vec::new(),
+            vec![CrashWindow {
+                at: t(5),
+                restart_delay: Dur::from_ticks(10),
+            }],
+        ];
+        let mut trace = Trace::new(2);
+        // T1.1 lives on P1, which is down over [5, 15): a release at 7 and
+        // a slice [6, 8) are both outage activity.
+        trace.push_release(job(1, 1, 0), t(7));
+        trace.push_slice(
+            ProcessorId::new(1),
+            ExecutedSlice {
+                job: job(1, 1, 0),
+                start: t(6),
+                end: t(8),
+            },
+        );
+        let defects = validate_fault_quiescence(&set, &trace, &windows);
+        assert_eq!(defects.len(), 2, "{defects:?}");
+        assert!(defects
+            .iter()
+            .all(|d| matches!(d, ScheduleDefect::ActivityWhileDown { .. })));
+
+        // The same activity shifted after recovery is clean.
+        let mut trace = Trace::new(2);
+        trace.push_release(job(1, 1, 0), t(15));
+        trace.push_slice(
+            ProcessorId::new(1),
+            ExecutedSlice {
+                job: job(1, 1, 0),
+                start: t(15),
+                end: t(17),
+            },
+        );
+        assert!(validate_fault_quiescence(&set, &trace, &windows).is_empty());
+    }
+
+    #[test]
     fn defect_displays_are_informative() {
         let seg = Segment {
             processor: ProcessorId::new(0),
@@ -479,6 +617,14 @@ mod tests {
                 job: job(1, 1, 0),
                 released: t(1),
                 predecessor_completed: Some(t(4)),
+            },
+            ScheduleDefect::ActivityWhileDown {
+                job: job(1, 1, 0),
+                at: t(7),
+                window: crate::faults::CrashWindow {
+                    at: t(5),
+                    restart_delay: Dur::from_ticks(10),
+                },
             },
         ];
         for d in samples {

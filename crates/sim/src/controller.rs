@@ -251,6 +251,39 @@ impl Controller {
         }
     }
 
+    /// Fail-stop crash of `proc` (RG only): every guard hosted there loses
+    /// its deferred signals — they lived in the crashed scheduler's memory.
+    /// Returns the dropped jobs per guarded subtask, in deterministic
+    /// subtask order, so the engine can account each as cancelled. Guard
+    /// values are left for [`Controller::on_recovery`] to re-derive.
+    pub(crate) fn on_crash(&mut self, proc: ProcessorId) -> Vec<JobId> {
+        match self {
+            Controller::Rg { guards, .. } => {
+                let mut dropped = Vec::new();
+                for slot in guards.iter_mut().filter(|s| s.proc == proc) {
+                    slot.guard.on_crash();
+                    for instance in slot.instances.drain(..) {
+                        dropped.push(JobId::new(slot.subtask, instance));
+                    }
+                }
+                dropped
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// `proc` rejoined at `now` (RG only): re-initialize each hosted guard
+    /// from `now` — the recovery instant is an idle point (the node holds
+    /// no released-incomplete instances), so rule 2 justifies `g ← now`.
+    pub(crate) fn on_recovery(&mut self, proc: ProcessorId, now: Time) {
+        if let Controller::Rg { guards, .. } = self {
+            for slot in guards.iter_mut().filter(|s| s.proc == proc) {
+                slot.guard.reinitialize(now);
+                debug_assert!(slot.instances.is_empty(), "cleared at crash");
+            }
+        }
+    }
+
     /// A guard-expiry timer fired. Returns the job to release, if the timer
     /// is still current.
     pub(crate) fn on_guard_expiry(
@@ -449,6 +482,33 @@ mod tests {
                                                      // Idle point on P0 must not free a P1 deferral.
         assert!(c.on_idle_point(ProcessorId::new(0), t(2)).is_empty());
         assert_eq!(c.on_idle_point(ProcessorId::new(1), t(2)), vec![j2]);
+    }
+
+    #[test]
+    fn rg_crash_drops_deferrals_and_recovery_reopens_the_guard() {
+        let set = example2();
+        let mut c = Controller::rg(&set, true);
+        let sub = sid(1, 1); // hosted on P1
+        let j = |m| JobId::new(sub, m);
+        let _ = c.on_predecessor_complete(j(0), t(0));
+        let _ = c.on_release(&set, j(0), t(0)); // guard 6
+        let CompletionDirective::ScheduleExpiry { gen, .. } = c.on_predecessor_complete(j(1), t(2))
+        else {
+            panic!("deferred")
+        };
+        // Crash on the other processor touches nothing.
+        assert!(c.on_crash(ProcessorId::new(0)).is_empty());
+        // Crash on P1 drops the deferred instance and stales its timer.
+        assert_eq!(c.on_crash(ProcessorId::new(1)), vec![j(1)]);
+        assert_eq!(c.on_guard_expiry(sub, gen, t(6)), None);
+        // Recovery at 8: guard re-initialized to now, so the next signal
+        // releases immediately even though rule 1 had armed g = 6 → the
+        // pre-crash guard value is gone.
+        c.on_recovery(ProcessorId::new(1), t(8));
+        assert_eq!(
+            c.on_predecessor_complete(j(2), t(8)),
+            CompletionDirective::ReleaseSuccessor
+        );
     }
 
     #[test]

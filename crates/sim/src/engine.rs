@@ -37,6 +37,9 @@ use rtsync_core::time::{Dur, Time};
 
 use crate::controller::{CompletionDirective, Controller, FlatIndex};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{
+    BacklogItem, BacklogKind, FaultConfig, FaultState, FaultStats, OverloadPolicy,
+};
 use crate::job::JobId;
 use crate::metrics::Metrics;
 use crate::nonideal::{ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig};
@@ -76,6 +79,9 @@ pub struct SimConfig {
     /// signal channel model. The default is the paper's ideal conditions,
     /// under which the engine takes the exact legacy code path.
     pub nonideal: NonidealConfig,
+    /// Processor crash/recovery faults (fail-stop). `None` — the default —
+    /// keeps the fault domain completely out of the run.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -92,12 +98,19 @@ impl SimConfig {
             rg_apply_rule2: true,
             warmup_instances: 0,
             nonideal: NonidealConfig::default(),
+            faults: None,
         }
     }
 
     /// Sets the nonideal-conditions model (clock error, signal channel).
     pub fn with_nonideal(mut self, nonideal: NonidealConfig) -> SimConfig {
         self.nonideal = nonideal;
+        self
+    }
+
+    /// Enables the processor crash/recovery fault domain.
+    pub fn with_faults(mut self, faults: FaultConfig) -> SimConfig {
+        self.faults = Some(faults);
         self
     }
 
@@ -162,6 +175,11 @@ pub enum ViolationKind {
     /// The channel dropped a signal's first transmission (fault injection);
     /// the retransmission delivered it late.
     SignalLost,
+    /// A signal reached its receiver while that processor was crashed.
+    /// Distinct from [`ViolationKind::SignalLost`]: the wire worked, the
+    /// node did not — the signal goes to the recovery backlog instead of
+    /// being retransmitted.
+    SignalReceiverDown,
 }
 
 /// One recorded protocol violation.
@@ -197,6 +215,8 @@ pub struct SimOutcome {
     pub busy_ticks: Vec<Dur>,
     /// Signal-channel counters (all zero when no channel was configured).
     pub channel_stats: ChannelStats,
+    /// Fault-domain counters (all zero when no faults were configured).
+    pub fault_stats: FaultStats,
 }
 
 impl SimOutcome {
@@ -302,6 +322,8 @@ struct Engine<'a, O: Observer> {
     clocks: Option<Vec<LocalClock>>,
     /// Signal-channel state; `None` routes signals instantaneously.
     channel: Option<ChannelState>,
+    /// Crash/recovery fault state; `None` keeps the fail-free legacy path.
+    faults: Option<FaultState>,
     horizon: Time,
     events: u64,
     now: Time,
@@ -350,6 +372,17 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
         };
         let horizon = cfg.horizon.unwrap_or_else(|| default_horizon(set, cfg));
+        // Resolve the fault schedule against the fail-free horizon, then
+        // extend the horizon by the total scheduled downtime so the
+        // instance target stays reachable despite the outages.
+        let faults = cfg
+            .faults
+            .as_ref()
+            .map(|fc| FaultState::new(fc, set.num_processors(), flat.len(), horizon));
+        let horizon = match &faults {
+            Some(fs) => horizon.saturating_add(fs.total_downtime()),
+            None => horizon,
+        };
         Ok(Engine {
             set,
             cfg,
@@ -380,6 +413,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 .collect(),
             clocks,
             channel,
+            faults,
             horizon,
             events: 0,
             now: Time::ZERO,
@@ -429,6 +463,23 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
         }
 
+        // Seed the resolved crash/recovery schedule. Crash ranks before
+        // every other kind at its instant (the node is gone before
+        // same-instant work happens); Recover ranks right after Crash.
+        let mut fault_events = Vec::new();
+        if let Some(fs) = &self.faults {
+            for (p, windows) in fs.windows.iter().enumerate() {
+                let proc = ProcessorId::new(p);
+                for w in windows {
+                    fault_events.push((w.at, EventKind::Crash { proc }));
+                    fault_events.push((w.recovers_at(), EventKind::Recover { proc }));
+                }
+            }
+        }
+        for (time, kind) in fault_events {
+            self.queue.push(time, kind);
+        }
+
         let mut reached_target = false;
         while let Some(event) = self.queue.pop() {
             if event.time > self.horizon || self.events >= self.cfg.max_events {
@@ -439,6 +490,8 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.events += 1;
             self.obs.on_event(self.now, &event.kind);
             match event.kind {
+                EventKind::Crash { proc } => self.on_crash(proc),
+                EventKind::Recover { proc } => self.on_recover(proc),
                 EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
                 EventKind::MpmTimer { job } => self.on_mpm_timer(job),
                 EventKind::SignalSend { job } => self.on_signal_send(job),
@@ -459,7 +512,11 @@ impl<'a, O: Observer> Engine<'a, O> {
             if self.queue.peek_time() != Some(self.now) {
                 self.flush_dispatch();
             }
-            if self.metrics.min_completed() >= self.cfg.instances_per_task {
+            // Under faults an instance can resolve by being lost instead of
+            // completing; both count toward the stop target (identical to
+            // `min_completed` when the fault domain is off: nothing is ever
+            // lost then).
+            if self.metrics.min_resolved() >= self.cfg.instances_per_task {
                 reached_target = true;
                 break;
             }
@@ -475,6 +532,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             reached_target,
             busy_ticks: self.busy_ticks,
             channel_stats: self.channel.map(|ch| ch.stats).unwrap_or_default(),
+            fault_stats: self.faults.map(|fs| fs.stats).unwrap_or_default(),
         })
     }
 
@@ -491,6 +549,15 @@ impl<'a, O: Observer> Engine<'a, O> {
             Some(Milestone::Completed(job)) => job,
         };
         let fi = self.flat.of(job.subtask());
+        // Crash-cancelled instances never complete: normalize the in-order
+        // counter over the gaps they left.
+        if let Some(fs) = &self.faults {
+            while self.completed[fi] < job.instance()
+                && fs.cancelled[fi].contains(&self.completed[fi])
+            {
+                self.completed[fi] += 1;
+            }
+        }
         debug_assert_eq!(
             self.completed[fi],
             job.instance(),
@@ -543,6 +610,16 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     fn on_mpm_timer(&mut self, job: JobId) {
+        // Fault gate: the timer lives on the predecessor's node. A timer
+        // that was pending when its node crashed was drained (and its
+        // successor instance cancelled) at the crash — this firing is
+        // stale.
+        let timer_proc = self.set.subtask(job.subtask()).processor().index();
+        if let Some(fs) = &mut self.faults {
+            if !fs.take_mpm_pending(timer_proc, job) {
+                return;
+            }
+        }
         // The timer says job's response bound elapsed: signal the successor.
         let fi = self.flat.of(job.subtask());
         let overrun = self.completed[fi] <= job.instance();
@@ -591,6 +668,30 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// A successor-release signal has arrived at its processor (directly
     /// or via the channel): hand it to the protocol.
     fn apply_signal(&mut self, succ_job: JobId) {
+        // Fault gate: a signal reaching a crashed receiver is backlogged
+        // and resolved at recovery under the overload policy. The wire
+        // worked — this is receiver-down, not signal-lost.
+        if self.faults.is_some() {
+            let succ_proc = self.set.subtask(succ_job.subtask()).processor().index();
+            if self.faults.as_ref().expect("checked above").down[succ_proc] {
+                if let Some(ch) = &mut self.channel {
+                    ch.stats.receiver_down += 1;
+                }
+                self.push_violation(Violation {
+                    kind: ViolationKind::SignalReceiverDown,
+                    job: succ_job,
+                    time: self.now,
+                });
+                let fs = self.faults.as_mut().expect("checked above");
+                fs.stats.receiver_down_signals += 1;
+                fs.backlog[succ_proc].push(BacklogItem {
+                    job: succ_job,
+                    arrival: self.now,
+                    kind: BacklogKind::Signal,
+                });
+                return;
+            }
+        }
         if self.cfg.protocol == Protocol::ModifiedPhaseModification {
             // MPM's signal carries the release itself — its controller
             // deliberately ignores predecessor completions.
@@ -681,7 +782,18 @@ impl<'a, O: Observer> Engine<'a, O> {
         let first = JobId::new(SubtaskId::new(task, 0), instance);
         self.prev_source[task.index()] = Some(self.now);
         self.metrics.record_first_release(task, instance, self.now);
-        self.release(first);
+        // Fault gate: a source arrival during the first processor's outage
+        // queues in the recovery backlog (the environment keeps producing
+        // work whether the node is up or not).
+        let first_proc = self.set.subtask(first.subtask()).processor().index();
+        match &mut self.faults {
+            Some(fs) if fs.down[first_proc] => fs.backlog[first_proc].push(BacklogItem {
+                job: first,
+                arrival: self.now,
+                kind: BacklogKind::Source,
+            }),
+            _ => self.release(first),
+        }
         // Schedule the next arrival.
         let next =
             self.cfg
@@ -699,6 +811,20 @@ impl<'a, O: Observer> Engine<'a, O> {
     }
 
     fn on_timed_release(&mut self, subtask: SubtaskId, instance: u64) {
+        // Fault gates. A firing on a down processor is simply gone with
+        // the node (recovery re-derives the schedule from the local
+        // clock and cancels what fell in the outage); a firing whose
+        // instance does not match `pm_next` is a stale duplicate left
+        // behind by that re-derivation. Neither schedules a next firing —
+        // the live chain does.
+        let proc = self.set.subtask(subtask).processor().index();
+        let fi = self.flat.of(subtask);
+        if let Some(fs) = &mut self.faults {
+            if fs.down[proc] || fs.pm_next[fi] != instance {
+                return;
+            }
+            fs.pm_next[fi] = instance + 1;
+        }
         // PM's clock-driven release of a later subtask.
         self.release(JobId::new(subtask, instance));
         let period = self.set.task(subtask.task()).period();
@@ -729,10 +855,258 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
     }
 
+    /// Fail-stop crash of `proc`: kill every in-flight job, stale-drop the
+    /// node's pending timers, and cancel everything those deaths make
+    /// unreachable downstream.
+    fn on_crash(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        // Account the partial slice executed up to the crash instant: the
+        // work happened (and is then lost), the processor was busy.
+        self.advance_proc(proc);
+        let killed = self.procs[p].crash();
+        {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("Crash only scheduled with faults");
+            debug_assert!(!fs.down[p], "crash of an already-down processor");
+            fs.down[p] = true;
+            fs.stats.crashes += 1;
+            fs.stats.killed_jobs += killed.len() as u64;
+        }
+        self.obs.on_crash(self.now, p, &killed);
+        for &job in &killed {
+            self.cancel_instance(job, true);
+        }
+        // RG: guard-deferred signals on this node die with it; their
+        // instances were delivered but never released.
+        for job in self.controller.on_crash(proc) {
+            self.cancel_instance(job, false);
+        }
+        // MPM: every armed-but-unfired timer on this node dies, and each
+        // one carried its successor's only release request.
+        let timers = std::mem::take(
+            &mut self
+                .faults
+                .as_mut()
+                .expect("Crash only scheduled with faults")
+                .mpm_pending[p],
+        );
+        for timer_job in timers {
+            let succ = self
+                .set
+                .task(timer_job.task())
+                .successor_of(timer_job.subtask())
+                .expect("MPM timers are only armed for subtasks with successors");
+            self.cancel_instance(JobId::new(succ, timer_job.instance()), false);
+        }
+        self.mark_dirty(proc);
+    }
+
+    /// `proc` rejoins: reconcile protocol state from what a restarted node
+    /// can know (see [`crate::faults`]), then resolve the outage backlog
+    /// under the overload policy.
+    fn on_recover(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        let backlog = {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("Recover only scheduled with faults");
+            debug_assert!(fs.down[p], "recovery of a processor that is up");
+            fs.down[p] = false;
+            fs.stats.recoveries += 1;
+            std::mem::take(&mut fs.backlog[p])
+        };
+        // RG: re-initialize guards to the recovery instant (rule 2's
+        // idle-point reasoning — a restarted node holds no incomplete
+        // releases).
+        self.controller.on_recovery(proc, self.now);
+        // PM: re-derive the clock-driven release schedule from the first
+        // instance at or after now; instances inside the outage are lost
+        // by that derivation.
+        if self.cfg.protocol == Protocol::PhaseModification {
+            self.rederive_timed_releases(proc);
+        }
+        // Decide the whole backlog first so observers hear the recovery
+        // (with its released/dropped counts) before any backlog release
+        // lands — a release must never look like down-processor activity.
+        let decisions: Vec<(BacklogItem, bool)> = backlog
+            .into_iter()
+            .map(|item| {
+                let keep = self.keep_backlog_item(&item);
+                (item, keep)
+            })
+            .collect();
+        let released = decisions.iter().filter(|(_, keep)| *keep).count() as u64;
+        let dropped = decisions.len() as u64 - released;
+        {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("Recover only scheduled with faults");
+            fs.stats.backlog_released += released;
+            fs.stats.backlog_dropped += dropped;
+        }
+        self.obs.on_recovery(self.now, p, released, dropped);
+        for (item, keep) in decisions {
+            if keep {
+                match item.kind {
+                    BacklogKind::Source => self.release(item.job),
+                    BacklogKind::Signal => self.apply_signal(item.job),
+                }
+            } else {
+                self.cancel_instance(item.job, false);
+            }
+        }
+        self.mark_dirty(proc);
+    }
+
+    /// Does the overload policy keep this backlog item at recovery?
+    fn keep_backlog_item(&self, item: &BacklogItem) -> bool {
+        let task = self.set.task(item.job.task());
+        let policy = self.faults.as_ref().expect("faults active").policy;
+        match policy {
+            OverloadPolicy::ReleaseAll => true,
+            OverloadPolicy::DropStale => {
+                // Keep only if the end-to-end deadline has not passed yet:
+                // anything past it is a guaranteed miss.
+                let released = self
+                    .metrics
+                    .task(item.job.task())
+                    .first_release_time(item.job.instance())
+                    .unwrap_or(item.arrival);
+                self.now < released + task.deadline()
+            }
+            OverloadPolicy::SkipToCurrentPeriod => {
+                // Keep only items whose period window is still open.
+                self.now < item.arrival + task.period()
+            }
+        }
+    }
+
+    /// Cancels one subtask instance (it will never release/complete) and
+    /// propagates downstream exactly as far as the protocol's release rule
+    /// stops propagating releases. `was_released` pops the in-flight
+    /// bookkeeping of a killed running/ready job.
+    fn cancel_instance(&mut self, job: JobId, was_released: bool) {
+        let fi = self.flat.of(job.subtask());
+        {
+            let fs = self.faults.as_mut().expect("faults active");
+            if !fs.cancelled[fi].insert(job.instance()) {
+                return; // already cancelled via another path
+            }
+            fs.stats.cancelled_instances += 1;
+        }
+        if was_released {
+            self.inflight[fi].pop_front();
+        }
+        // The signal that would release this instance may never be sent
+        // now; unblock the channel's in-order cursor so later instances of
+        // the same subtask are not stalled forever behind the gap, and
+        // apply anything buffered behind it.
+        if self.channel.is_some() {
+            let freed = self
+                .channel
+                .as_mut()
+                .expect("checked above")
+                .note_cancelled(fi, job.instance());
+            for instance in freed {
+                let delivered = JobId::new(job.subtask(), instance);
+                self.obs.on_signal_deliver(self.now, delivered);
+                self.apply_signal(delivered);
+            }
+        }
+        // Downstream propagation: DS and RG release successors only from
+        // completions, and this instance will never complete. MPM's release
+        // request is the timer, armed at release — a never-released job
+        // never arms it (a killed released job's pending timer is drained
+        // separately at the crash). PM releases successors from the clock
+        // alone: the chain continues and the precedence violations are
+        // recorded honestly at those releases.
+        let propagate = match self.cfg.protocol {
+            Protocol::DirectSync | Protocol::ReleaseGuard => true,
+            Protocol::ModifiedPhaseModification => !was_released,
+            Protocol::PhaseModification => false,
+        };
+        match self.set.task(job.task()).successor_of(job.subtask()) {
+            Some(succ) if propagate => {
+                self.cancel_instance(JobId::new(succ, job.instance()), false)
+            }
+            Some(_) => {}
+            None => {
+                // The chain tail will never complete: the end-to-end
+                // instance is lost. This resolves it for the stop criterion
+                // and feeds the miss-or-loss metric.
+                self.metrics.record_instance_lost(job.task());
+            }
+        }
+    }
+
+    /// PM recovery: per subtask hosted on `proc`, cancel the timed releases
+    /// whose local firing times fell inside the outage and schedule the
+    /// first one at or after now. The schedule is a pure function of the
+    /// local clock (`φ + m·p`), which is exactly what a restarted node can
+    /// recompute.
+    fn rederive_timed_releases(&mut self, proc: ProcessorId) {
+        let mut to_cancel = Vec::new();
+        let mut to_schedule = Vec::new();
+        for task in self.set.tasks() {
+            let period = task.period();
+            for sub in task.subtasks().iter().skip(1) {
+                if sub.processor() != proc {
+                    continue;
+                }
+                let fi = self.flat.of(sub.id());
+                let phases = self
+                    .pm_phases
+                    .as_ref()
+                    .expect("timed releases only occur under PM");
+                let mut m = self.faults.as_ref().expect("faults active").pm_next[fi];
+                loop {
+                    let local = phases.phase(sub.id()) + period.saturating_mul(m as i64);
+                    let at = match &self.clocks {
+                        None => local,
+                        Some(clocks) => clocks[proc.index()].true_of_local(local).max(Time::ZERO),
+                    };
+                    if at >= self.now {
+                        to_schedule.push((at, sub.id(), m));
+                        break;
+                    }
+                    to_cancel.push(JobId::new(sub.id(), m));
+                    m += 1;
+                }
+                self.faults.as_mut().expect("faults active").pm_next[fi] = m;
+            }
+        }
+        for job in to_cancel {
+            self.cancel_instance(job, false);
+        }
+        // A pre-crash firing for the same instance may still be in the
+        // queue; the `pm_next` instance match makes whichever copy pops
+        // second a no-op.
+        for (at, subtask, instance) in to_schedule {
+            if at <= self.horizon {
+                self.queue
+                    .push(at, EventKind::TimedRelease { subtask, instance });
+            }
+        }
+    }
+
     /// Releases `job` on its host processor at the current instant.
     fn release(&mut self, job: JobId) {
         let sub = self.set.subtask(job.subtask());
         let fi = self.flat.of(job.subtask());
+        // Crash-cancelled instances never release: normalize the in-order
+        // counter over the gaps they left.
+        if let Some(fs) = &self.faults {
+            debug_assert!(!fs.down[sub.processor().index()], "release on a down node");
+            while self.released[fi] < job.instance()
+                && fs.cancelled[fi].contains(&self.released[fi])
+            {
+                self.released[fi] += 1;
+            }
+        }
         debug_assert_eq!(
             self.released[fi],
             job.instance(),
@@ -742,9 +1116,16 @@ impl<'a, O: Observer> Engine<'a, O> {
         self.inflight[fi].push_back(self.now);
         // Precedence check: the same instance of the predecessor must have
         // completed. Structurally guaranteed for DS/RG/MPM-in-bounds;
-        // recorded as a violation when PM (or an overrunning MPM) breaks it.
+        // recorded as a violation when PM (or an overrunning MPM) breaks
+        // it — including a predecessor instance that a crash killed (it
+        // will never complete).
         if let Some(pred) = job.predecessor() {
-            if self.completed[self.flat.of(pred.subtask())] <= pred.instance() {
+            let pred_fi = self.flat.of(pred.subtask());
+            let pred_cancelled = self
+                .faults
+                .as_ref()
+                .is_some_and(|fs| fs.cancelled[pred_fi].contains(&pred.instance()));
+            if self.completed[pred_fi] <= pred.instance() || pred_cancelled {
                 self.push_violation(Violation {
                     kind: ViolationKind::PrecedenceViolated,
                     job,
@@ -776,6 +1157,13 @@ impl<'a, O: Observer> Engine<'a, O> {
             };
             if let EventKind::MpmTimer { job: timer_job } = &kind {
                 self.obs.on_mpm_timer_armed(self.now, *timer_job, time);
+                // Fault domain: track armed timers per node so a crash can
+                // drain (and a stale firing can detect) the ones that died
+                // with it.
+                let timer_proc = self.set.subtask(timer_job.subtask()).processor().index();
+                if let Some(fs) = &mut self.faults {
+                    fs.mpm_pending[timer_proc].push(*timer_job);
+                }
             }
             self.queue.push(time, kind);
         }
@@ -1342,5 +1730,241 @@ mod tests {
         let b = run(Protocol::ReleaseGuard, 8);
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_bit_identical_to_no_faults() {
+        use crate::faults::FaultConfig;
+        // The fault domain enabled with zero scheduled crashes must take
+        // the exact legacy schedule: same trace, same events, same end.
+        for protocol in Protocol::ALL {
+            let base = simulate(
+                &example2(),
+                &SimConfig::new(protocol).with_instances(12).with_trace(),
+            )
+            .unwrap();
+            let faulted = simulate(
+                &example2(),
+                &SimConfig::new(protocol)
+                    .with_instances(12)
+                    .with_trace()
+                    .with_faults(FaultConfig::explicit(Vec::new())),
+            )
+            .unwrap();
+            assert_eq!(base.trace, faulted.trace, "{protocol:?}");
+            assert_eq!(base.events, faulted.events, "{protocol:?}");
+            assert_eq!(base.end_time, faulted.end_time, "{protocol:?}");
+            assert_eq!(faulted.fault_stats, crate::faults::FaultStats::default());
+        }
+    }
+
+    #[test]
+    fn crash_kills_inflight_work_and_accounts_losses() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        // Crash P1 (hosting T2,2 and T3) at t=5 for 10 ticks under DS: the
+        // running job dies, its chain instance is lost, and the run still
+        // resolves every instance.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(20)
+                .with_faults(FaultConfig::explicit(vec![
+                    Vec::new(),
+                    vec![CrashWindow {
+                        at: t(5),
+                        restart_delay: Dur::from_ticks(10),
+                    }],
+                ])),
+        )
+        .unwrap();
+        assert_eq!(out.fault_stats.crashes, 1);
+        assert_eq!(out.fault_stats.recoveries, 1);
+        assert!(out.fault_stats.killed_jobs >= 1, "{:?}", out.fault_stats);
+        assert!(out.fault_stats.cancelled_instances >= 1);
+        assert!(out.metrics.total_lost() >= 1);
+        assert!(out.reached_target, "lost instances must resolve the run");
+        // Completions resume after recovery: every task still completes
+        // instances beyond the outage.
+        for task in out.metrics.tasks() {
+            assert!(task.completed() + task.lost() >= 20);
+        }
+    }
+
+    #[test]
+    fn signals_into_a_crashed_node_are_backlogged_and_replayed() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        // T2's chain hops P0 → P1. With P1 down over [5, 15), completions
+        // of T2,1 keep signalling a dead receiver: each is recorded as a
+        // receiver-down violation (distinct from a channel drop) and
+        // queued; ReleaseAll replays the backlog at recovery.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(20)
+                .with_faults(FaultConfig::explicit(vec![
+                    Vec::new(),
+                    vec![CrashWindow {
+                        at: t(5),
+                        restart_delay: Dur::from_ticks(10),
+                    }],
+                ])),
+        )
+        .unwrap();
+        assert!(out.fault_stats.receiver_down_signals >= 1);
+        assert!(out.fault_stats.backlog_released >= 1);
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::SignalReceiverDown));
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn receiver_down_is_distinguished_on_the_channel() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        use crate::nonideal::ChannelModel;
+        // Same outage, but signals ride a lossless constant-latency
+        // channel: the receiver-down counter (the wire worked, the node
+        // did not) must tally separately from `dropped` (the wire failed).
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::DirectSync)
+                .with_instances(20)
+                .with_channel(ChannelModel::constant(Dur::from_ticks(1)))
+                .with_faults(FaultConfig::explicit(vec![
+                    Vec::new(),
+                    vec![CrashWindow {
+                        at: t(5),
+                        restart_delay: Dur::from_ticks(10),
+                    }],
+                ])),
+        )
+        .unwrap();
+        assert!(out.channel_stats.receiver_down >= 1);
+        assert_eq!(out.channel_stats.dropped, 0, "lossless channel");
+        assert_eq!(
+            out.channel_stats.receiver_down,
+            out.fault_stats.receiver_down_signals
+        );
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn every_protocol_survives_random_crashes_under_every_policy() {
+        use crate::faults::{FaultConfig, OverloadPolicy};
+        for protocol in Protocol::ALL {
+            for policy in OverloadPolicy::ALL {
+                let out = simulate(
+                    &example2(),
+                    &SimConfig::new(protocol).with_instances(30).with_faults(
+                        FaultConfig::random(Dur::from_ticks(40), Dur::from_ticks(7), 11)
+                            .with_policy(policy),
+                    ),
+                )
+                .unwrap();
+                assert!(
+                    out.fault_stats.crashes > 0,
+                    "{protocol:?}/{policy:?}: schedule produced no crash"
+                );
+                assert!(
+                    out.reached_target,
+                    "{protocol:?}/{policy:?}: run did not resolve"
+                );
+                // Shedding policies may drop; ReleaseAll never does.
+                if policy == OverloadPolicy::ReleaseAll {
+                    assert_eq!(out.fault_stats.backlog_dropped, 0, "{protocol:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rg_recovery_reinitializes_the_guard_from_now() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        // Figure-7 scenario with P1 crashing at 5 (T3 mid-execution) and
+        // recovering at 8. The restarted node holds nothing incomplete, so
+        // the first post-recovery release of T2,2 must not be deferred by
+        // a stale pre-crash guard.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::ReleaseGuard)
+                .with_instances(12)
+                .with_trace()
+                .with_faults(FaultConfig::explicit(vec![
+                    Vec::new(),
+                    vec![CrashWindow {
+                        at: t(5),
+                        restart_delay: Dur::from_ticks(3),
+                    }],
+                ])),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let releases = tr.releases_of(t22);
+        // First release at 4 died in the crash; the replayed/next release
+        // lands at or after recovery (8), not at a guard-deferred 4+6=10.
+        assert!(releases.iter().any(|&r| r >= t(8)), "{releases:?}");
+        assert!(out.reached_target);
+        // RG under crashes stays honest: no precedence violations (dead
+        // chains are cancelled, not released early).
+        assert!(
+            !out.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::PrecedenceViolated),
+            "{:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn pm_rederives_clock_releases_after_recovery() {
+        use crate::faults::{CrashWindow, FaultConfig};
+        // PM's T2,2 fires at local 4 + 6m on P1. An outage over [9, 21)
+        // swallows the firings at 10 and 16; recovery re-derives the
+        // schedule from 22 and those two instances are lost, not stalled.
+        let out = simulate(
+            &example2(),
+            &SimConfig::new(Protocol::PhaseModification)
+                .with_instances(20)
+                .with_trace()
+                .with_faults(FaultConfig::explicit(vec![
+                    Vec::new(),
+                    vec![CrashWindow {
+                        at: t(9),
+                        restart_delay: Dur::from_ticks(12),
+                    }],
+                ])),
+        )
+        .unwrap();
+        let tr = out.trace.as_ref().unwrap();
+        let t22 = SubtaskId::new(TaskId::new(1), 1);
+        let releases = tr.releases_of(t22);
+        assert!(releases.contains(&t(4)), "{releases:?}");
+        assert!(
+            !releases.contains(&t(10)) && !releases.contains(&t(16)),
+            "in-outage firings must not release: {releases:?}"
+        );
+        assert!(releases.contains(&t(22)), "re-derived firing: {releases:?}");
+        assert!(out.metrics.total_lost() >= 1);
+        assert!(out.reached_target);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::faults::FaultConfig;
+        let cfg = SimConfig::new(Protocol::ModifiedPhaseModification)
+            .with_instances(25)
+            .with_trace()
+            .with_faults(FaultConfig::random(
+                Dur::from_ticks(30),
+                Dur::from_ticks(5),
+                99,
+            ));
+        let a = simulate(&example2(), &cfg).unwrap();
+        let b = simulate(&example2(), &cfg).unwrap();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fault_stats, b.fault_stats);
     }
 }

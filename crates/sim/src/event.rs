@@ -18,6 +18,21 @@ use crate::job::JobId;
 /// What happens when an event fires.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum EventKind {
+    /// Fail-stop crash of a processor (fault mode only): every in-flight
+    /// job and pending timer on the node dies. Ranked before everything
+    /// else at its instant so the node is down before any same-instant
+    /// completion, signal or release is processed.
+    Crash {
+        /// The processor that fails.
+        proc: ProcessorId,
+    },
+    /// A crashed processor rejoins (fault mode only). Ranked right after
+    /// [`EventKind::Crash`] so the node is up again before any
+    /// same-instant traffic, and protocol state is reconciled first.
+    Recover {
+        /// The processor that rejoins.
+        proc: ProcessorId,
+    },
     /// A tentative completion of the job currently running on `proc`;
     /// valid only if `gen` still matches the processor's completion
     /// generation (stale completions are skipped).
@@ -79,15 +94,20 @@ impl EventKind {
         // The relative order of the pre-existing kinds is load-bearing
         // (golden traces); the signal kinds slot in so a delivery lands
         // where the direct-path release used to happen — after completions
-        // and timers, before guard expiries and fresh releases.
+        // and timers, before guard expiries and fresh releases. Crash and
+        // recovery lead the instant: fault mode never coexists with the
+        // golden traces, and a node must change liveness before any
+        // same-instant traffic touches it.
         match self {
-            EventKind::Completion { .. } => 0,
-            EventKind::MpmTimer { .. } => 1,
-            EventKind::SignalSend { .. } => 2,
-            EventKind::SignalDeliver { .. } => 3,
-            EventKind::GuardExpiry { .. } => 4,
-            EventKind::SourceRelease { .. } => 5,
-            EventKind::TimedRelease { .. } => 6,
+            EventKind::Crash { .. } => 0,
+            EventKind::Recover { .. } => 1,
+            EventKind::Completion { .. } => 2,
+            EventKind::MpmTimer { .. } => 3,
+            EventKind::SignalSend { .. } => 4,
+            EventKind::SignalDeliver { .. } => 5,
+            EventKind::GuardExpiry { .. } => 6,
+            EventKind::SourceRelease { .. } => 7,
+            EventKind::TimedRelease { .. } => 8,
         }
     }
 }
@@ -243,18 +263,32 @@ mod tests {
             },
         );
         q.push(t(2), completion(1, 0));
+        q.push(
+            t(2),
+            EventKind::Recover {
+                proc: ProcessorId::new(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::Crash {
+                proc: ProcessorId::new(0),
+            },
+        );
         let ranks: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::Completion { .. } => 0,
-                EventKind::MpmTimer { .. } => 1,
-                EventKind::SignalSend { .. } => 2,
-                EventKind::SignalDeliver { .. } => 3,
-                EventKind::GuardExpiry { .. } => 4,
-                EventKind::SourceRelease { .. } => 5,
-                EventKind::TimedRelease { .. } => 6,
+                EventKind::Crash { .. } => 0,
+                EventKind::Recover { .. } => 1,
+                EventKind::Completion { .. } => 2,
+                EventKind::MpmTimer { .. } => 3,
+                EventKind::SignalSend { .. } => 4,
+                EventKind::SignalDeliver { .. } => 5,
+                EventKind::GuardExpiry { .. } => 6,
+                EventKind::SourceRelease { .. } => 7,
+                EventKind::TimedRelease { .. } => 8,
             })
             .collect();
-        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

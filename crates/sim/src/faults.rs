@@ -1,0 +1,848 @@
+//! Processor crash/recovery fault domain (fail-stop model).
+//!
+//! The paper's protocols assume processors never fail. This subsystem
+//! layers a *fail-stop* node-failure model on top of the nonideal
+//! conditions of [`crate::nonideal`]:
+//!
+//! * **Crash** — the processor halts instantly. Every in-flight job
+//!   (running or ready) is killed, pending local timers (MPM completion
+//!   timers, RG guard expiries) are stale-dropped via the existing
+//!   generation stamps, and the node stops accepting work.
+//! * **Recovery** — after a configurable restart delay the node rejoins.
+//!   Protocol release state is reconciled from what a restarted node can
+//!   actually know (see [`per-protocol recovery`](#per-protocol-recovery)),
+//!   and the backlog of work that arrived during the outage is resolved
+//!   under an explicit [`OverloadPolicy`].
+//!
+//! # Per-protocol recovery
+//!
+//! Each reconciliation rule is justified by the protocol's own release
+//! rule — a restarted node must not manufacture state it could not have:
+//!
+//! * **RG** — the guard is re-initialized to the recovery instant `now`.
+//!   This is exactly rule 2's idle-point reasoning: a freshly restarted
+//!   processor holds no released-but-incomplete instance of any of its
+//!   subtasks, so the idle point that rule 2 would exploit has just
+//!   occurred; separation from all *future* releases is re-established by
+//!   rule 1 from the first post-recovery release on.
+//! * **MPM** — completion timers are re-armed only from the predecessor's
+//!   signals: a timer that was pending at the crash died with the node,
+//!   and because MPM's timer *is* the successor's only release trigger,
+//!   that successor instance is lost (counted, never silently released).
+//!   Timers armed after recovery behave normally.
+//! * **PM** — release phases are a pure function of the local clock
+//!   (`phase + m·period`), so the node re-derives its timed releases from
+//!   the first instance whose release time is at or after `now`. Instances
+//!   whose release times fell inside the outage are lost by that same
+//!   derivation, not by an ad-hoc rule.
+//! * **DS** — stateless: releases follow completions, so recovery needs no
+//!   reconciliation beyond the backlog policy.
+//!
+//! # Accounting
+//!
+//! A killed or never-released instance is *cancelled*; cancellation
+//! propagates down the chain exactly as far as the protocol's release rule
+//! stops propagating releases (DS/RG: always; MPM: only if the dead job
+//! never armed its timer; PM: never — the clock releases successors and
+//! the honest precedence violations are recorded). A chain whose tail is
+//! cancelled counts as **lost** in [`crate::metrics::TaskStats::lost`] and
+//! resolves the instance for the stop criterion, so runs terminate under
+//! arbitrary fault schedules.
+//!
+//! ```
+//! use rtsync_core::examples::example2;
+//! use rtsync_core::protocol::Protocol;
+//! use rtsync_core::time::Dur;
+//! use rtsync_sim::engine::{simulate, SimConfig};
+//! use rtsync_sim::faults::FaultConfig;
+//!
+//! // Example 2 under random crashes (mean uptime 40 ticks, 5-tick
+//! // restarts): the run still terminates, every instance is either
+//! // completed or accounted lost.
+//! let cfg = SimConfig::new(Protocol::ReleaseGuard)
+//!     .with_instances(40)
+//!     .with_faults(FaultConfig::random(
+//!         Dur::from_ticks(40),
+//!         Dur::from_ticks(5),
+//!         7,
+//!     ));
+//! let out = simulate(&example2(), &cfg)?;
+//! assert!(out.fault_stats.crashes > 0);
+//! # Ok::<(), rtsync_sim::engine::SimulateError>(())
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::TaskSet;
+use rtsync_core::time::{Dur, Time};
+
+use crate::controller::FlatIndex;
+use crate::engine::SimOutcome;
+use crate::job::JobId;
+use crate::observe::Observer;
+
+/// What a recovered processor does with the backlog of work (source
+/// releases and predecessor signals) that arrived while it was down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Release everything that queued up, oldest first. Maximizes
+    /// completions at the cost of a deadline-miss burst and transient
+    /// overload right after recovery.
+    ReleaseAll,
+    /// Drop (cancel) backlog items whose end-to-end deadline has already
+    /// passed at the recovery instant — they are guaranteed misses — and
+    /// release the rest. Dropped instances count as lost.
+    DropStale,
+    /// Drop every backlog item whose period window has closed (arrival
+    /// plus one period is at or before the recovery instant), keeping only
+    /// current work. The most aggressive shed: trades completions for the
+    /// fastest return to steady state.
+    SkipToCurrentPeriod,
+}
+
+impl OverloadPolicy {
+    /// All policies, in declaration order.
+    pub const ALL: [OverloadPolicy; 3] = [
+        OverloadPolicy::ReleaseAll,
+        OverloadPolicy::DropStale,
+        OverloadPolicy::SkipToCurrentPeriod,
+    ];
+
+    /// Short machine-readable tag (used in CSV and report output).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OverloadPolicy::ReleaseAll => "release_all",
+            OverloadPolicy::DropStale => "drop_stale",
+            OverloadPolicy::SkipToCurrentPeriod => "skip_to_current",
+        }
+    }
+}
+
+impl fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One outage of one processor: fail-stop at `at`, rejoin at
+/// `at + restart_delay`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The crash instant.
+    pub at: Time,
+    /// Downtime before the node rejoins. `Dur::ZERO` is a same-instant
+    /// reboot: in-flight work is still killed.
+    pub restart_delay: Dur,
+}
+
+impl CrashWindow {
+    /// The recovery instant.
+    pub fn recovers_at(&self) -> Time {
+        self.at.saturating_add(self.restart_delay)
+    }
+}
+
+/// When processors crash.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrashSchedule {
+    /// Explicit per-processor outage lists (outer index = processor).
+    /// Windows are sorted and de-overlapped during resolution.
+    Explicit(Vec<Vec<CrashWindow>>),
+    /// Seeded random schedule: per processor, exponentially distributed
+    /// uptime between outages with the given mean, each outage lasting
+    /// `restart_delay`. Deterministic for a given seed and horizon.
+    Random {
+        /// Mean up-time between consecutive crashes of one processor.
+        mean_uptime: Dur,
+        /// Downtime of every outage.
+        restart_delay: Dur,
+        /// Master seed; each processor derives an independent stream.
+        seed: u64,
+    },
+}
+
+/// The complete fault specification of one run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// When processors crash.
+    pub schedule: CrashSchedule,
+    /// What recovered processors do with their outage backlog.
+    pub policy: OverloadPolicy,
+}
+
+/// Safety valve on schedule resolution: no realistic campaign needs more
+/// outages per processor, and it bounds work for adversarial configs
+/// (e.g. a 1-tick mean uptime against a huge horizon).
+const MAX_WINDOWS_PER_PROC: usize = 4096;
+
+impl FaultConfig {
+    /// A seeded random fail-stop schedule under [`OverloadPolicy::ReleaseAll`].
+    pub fn random(mean_uptime: Dur, restart_delay: Dur, seed: u64) -> FaultConfig {
+        FaultConfig {
+            schedule: CrashSchedule::Random {
+                mean_uptime,
+                restart_delay,
+                seed,
+            },
+            policy: OverloadPolicy::ReleaseAll,
+        }
+    }
+
+    /// An explicit per-processor schedule under
+    /// [`OverloadPolicy::ReleaseAll`].
+    pub fn explicit(windows: Vec<Vec<CrashWindow>>) -> FaultConfig {
+        FaultConfig {
+            schedule: CrashSchedule::Explicit(windows),
+            policy: OverloadPolicy::ReleaseAll,
+        }
+    }
+
+    /// Sets the overload policy.
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> FaultConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Resolves the schedule into sorted, non-overlapping per-processor
+    /// outage windows over `[0, horizon]`. Deterministic; the random
+    /// variant derives one independent stream per processor so the
+    /// schedule of processor `p` does not depend on how many processors
+    /// exist before it.
+    pub fn resolve(&self, num_procs: usize, horizon: Time) -> Vec<Vec<CrashWindow>> {
+        match &self.schedule {
+            CrashSchedule::Explicit(windows) => {
+                let mut out = windows.clone();
+                out.resize(num_procs, Vec::new());
+                out.truncate(num_procs);
+                for per_proc in &mut out {
+                    per_proc.sort_by_key(|w| w.at);
+                    let mut prev_end: Option<Time> = None;
+                    per_proc.retain(|w| {
+                        let keep = w.at >= Time::ZERO
+                            && w.at <= horizon
+                            && prev_end.is_none_or(|end| w.at > end);
+                        if keep {
+                            prev_end = Some(w.recovers_at());
+                        }
+                        keep
+                    });
+                }
+                out
+            }
+            CrashSchedule::Random {
+                mean_uptime,
+                restart_delay,
+                seed,
+            } => {
+                let mean = mean_uptime.ticks().max(1) as f64;
+                (0..num_procs)
+                    .map(|p| {
+                        let mut rng = StdRng::seed_from_u64(mix(*seed, p as u64));
+                        let mut windows = Vec::new();
+                        let mut t = Time::ZERO;
+                        while windows.len() < MAX_WINDOWS_PER_PROC {
+                            let gap = exponential_ticks(&mut rng, mean);
+                            let at = t.saturating_add(gap);
+                            if at > horizon {
+                                break;
+                            }
+                            let w = CrashWindow {
+                                at,
+                                restart_delay: *restart_delay,
+                            };
+                            t = w.recovers_at();
+                            windows.push(w);
+                        }
+                        windows
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer over `seed ^ f(salt)`: decorrelates per-processor
+/// streams drawn from one master seed.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One exponential inter-crash gap, quantized to ticks, never zero (a
+/// processor is up for at least one tick between outages).
+fn exponential_ticks(rng: &mut StdRng, mean: f64) -> Dur {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let gap = -(1.0 - u).ln() * mean;
+    Dur::from_ticks((gap.round() as i64).max(1))
+}
+
+/// What the fault domain did during one run (part of
+/// [`crate::engine::SimOutcome`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Crash events dispatched.
+    pub crashes: u64,
+    /// Recovery events dispatched.
+    pub recoveries: u64,
+    /// In-flight jobs (running or ready) killed by crashes.
+    pub killed_jobs: u64,
+    /// Subtask instances cancelled (killed, dropped, or unreachable
+    /// because an ancestor died).
+    pub cancelled_instances: u64,
+    /// Backlog items released at recoveries.
+    pub backlog_released: u64,
+    /// Backlog items dropped (cancelled) at recoveries by the overload
+    /// policy.
+    pub backlog_dropped: u64,
+    /// Signals that arrived at a crashed receiver and were backlogged.
+    pub receiver_down_signals: u64,
+}
+
+/// Why a backlog item exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BacklogKind {
+    /// A first-subtask source release that fell in the outage.
+    Source,
+    /// A predecessor signal that reached the node while it was down.
+    Signal,
+}
+
+/// One unit of work that arrived while its processor was down.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BacklogItem {
+    pub(crate) job: JobId,
+    pub(crate) arrival: Time,
+    pub(crate) kind: BacklogKind,
+}
+
+/// Per-run mutable fault state owned by the engine.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// Resolved outage windows, per processor.
+    pub(crate) windows: Vec<Vec<CrashWindow>>,
+    pub(crate) policy: OverloadPolicy,
+    /// `true` while the processor is down.
+    pub(crate) down: Vec<bool>,
+    /// Work that arrived during the current outage, per processor.
+    pub(crate) backlog: Vec<Vec<BacklogItem>>,
+    /// Cancelled instances per flat subtask index; release/completion
+    /// counters normalize lazily over these gaps.
+    pub(crate) cancelled: Vec<BTreeSet<u64>>,
+    /// Armed-but-unfired MPM timers per processor (the timer lives on the
+    /// predecessor's node and dies with it).
+    pub(crate) mpm_pending: Vec<Vec<JobId>>,
+    /// Next expected timed-release instance per flat subtask index (PM
+    /// recovery re-derivation + stale-duplicate filtering).
+    pub(crate) pm_next: Vec<u64>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(
+        cfg: &FaultConfig,
+        num_procs: usize,
+        flat_len: usize,
+        horizon: Time,
+    ) -> FaultState {
+        FaultState {
+            windows: cfg.resolve(num_procs, horizon),
+            policy: cfg.policy,
+            down: vec![false; num_procs],
+            backlog: vec![Vec::new(); num_procs],
+            cancelled: vec![BTreeSet::new(); flat_len],
+            mpm_pending: vec![Vec::new(); num_procs],
+            pm_next: vec![0; flat_len],
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Total scheduled downtime across all processors — the horizon
+    /// extension needed so the instance target stays reachable.
+    pub(crate) fn total_downtime(&self) -> Dur {
+        self.windows
+            .iter()
+            .flatten()
+            .fold(Dur::ZERO, |acc, w| acc.saturating_add(w.restart_delay))
+    }
+
+    /// Removes `job` from the processor's armed-timer list; `false` means
+    /// the timer died in a crash (stale firing).
+    pub(crate) fn take_mpm_pending(&mut self, proc: usize, job: JobId) -> bool {
+        let pending = &mut self.mpm_pending[proc];
+        match pending.iter().position(|j| *j == job) {
+            Some(i) => {
+                pending.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+/// The protocol invariants a chaos campaign checks on every run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// A DS/RG release happened before its predecessor instance
+    /// completed. (PM/MPM releases without a completed predecessor are
+    /// *expected* under faults and recorded as honest engine violations,
+    /// not invariant breaks.)
+    PrecedenceOrder,
+    /// A Release-Guard release violated rule-1 separation without a
+    /// waiving idle point or recovery in between.
+    GuardSpacing,
+    /// A release, completion, or executed slice was observed on a crashed
+    /// processor.
+    DownProcessorActivity,
+    /// Channel conservation broke: the observer saw a different number of
+    /// applied deliveries than the channel counted, or more signals were
+    /// applied than ever entered the wire.
+    SignalConservation,
+    /// A processor's released-but-incomplete backlog exceeded the bound
+    /// implied by its outages (work is accumulating without limit).
+    UnboundedBacklog,
+}
+
+impl InvariantKind {
+    /// Short machine-readable tag (used in verdicts and repro bundles).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InvariantKind::PrecedenceOrder => "precedence_order",
+            InvariantKind::GuardSpacing => "guard_spacing",
+            InvariantKind::DownProcessorActivity => "down_processor_activity",
+            InvariantKind::SignalConservation => "signal_conservation",
+            InvariantKind::UnboundedBacklog => "unbounded_backlog",
+        }
+    }
+}
+
+/// One invariant break observed by an [`InvariantObserver`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant broke.
+    pub kind: InvariantKind,
+    /// When.
+    pub time: Time,
+    /// The job involved, when one is attributable.
+    pub job: Option<JobId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t={}] {}: ", self.time.ticks(), self.kind.tag())?;
+        if let Some(job) = self.job {
+            write!(f, "{job}: ")?;
+        }
+        f.write_str(&self.detail)
+    }
+}
+
+/// An [`Observer`] that checks protocol invariants online, crash-aware.
+///
+/// Attach one per run (it sizes itself in
+/// [`Observer::on_run_start`]), then call
+/// [`InvariantObserver::check_outcome`] with the finished
+/// [`SimOutcome`] to run the end-of-run conservation checks.
+/// [`InvariantObserver::violations`] holds everything found.
+#[derive(Debug, Default)]
+pub struct InvariantObserver {
+    protocol: Option<Protocol>,
+    flat: Option<FlatIndex>,
+    // Static (sized in on_run_start), indexed by flat subtask.
+    proc_of: Vec<usize>,
+    period_of: Vec<Dur>,
+    is_first: Vec<bool>,
+    pred_of: Vec<Option<usize>>,
+    // Dynamic, indexed by flat subtask.
+    completed: Vec<BTreeSet<u64>>,
+    last_release: Vec<Option<Time>>,
+    // Dynamic, indexed by processor.
+    subtasks_on: Vec<i64>,
+    last_idle: Vec<Option<Time>>,
+    last_recovery: Vec<Option<Time>>,
+    down: Vec<bool>,
+    down_since: Vec<Option<Time>>,
+    inflight: Vec<i64>,
+    backlog_limit: Vec<i64>,
+    min_period: Dur,
+    delivers_seen: u64,
+    violations: Vec<InvariantViolation>,
+}
+
+impl InvariantObserver {
+    /// The breaks found so far.
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// `true` when no invariant broke.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// End-of-run conservation checks against the outcome's channel
+    /// statistics. Call once per run, after the simulation returns.
+    pub fn check_outcome(&mut self, outcome: &SimOutcome) {
+        let ch = &outcome.channel_stats;
+        if self.delivers_seen != ch.applied {
+            self.violations.push(InvariantViolation {
+                kind: InvariantKind::SignalConservation,
+                time: outcome.end_time,
+                job: None,
+                detail: format!(
+                    "observer saw {} applied deliveries, channel counted {}",
+                    self.delivers_seen, ch.applied
+                ),
+            });
+        }
+        if ch.applied > ch.sent + ch.duplicates_injected {
+            self.violations.push(InvariantViolation {
+                kind: InvariantKind::SignalConservation,
+                time: outcome.end_time,
+                job: None,
+                detail: format!(
+                    "{} deliveries applied but only {} signals ever entered the wire",
+                    ch.applied,
+                    ch.sent + ch.duplicates_injected
+                ),
+            });
+        }
+    }
+
+    fn fail(&mut self, kind: InvariantKind, time: Time, job: Option<JobId>, detail: String) {
+        self.violations.push(InvariantViolation {
+            kind,
+            time,
+            job,
+            detail,
+        });
+    }
+
+    /// An idle point or a recovery of `proc` strictly after `prev` and at
+    /// or before `now` waives RG rule-1 spacing: both re-initialize the
+    /// guard by the protocol's own rules.
+    fn spacing_waived(&self, proc: usize, prev: Time, now: Time) -> bool {
+        let within = |t: Option<Time>| t.is_some_and(|t| t > prev && t <= now);
+        within(self.last_idle[proc]) || within(self.last_recovery[proc])
+    }
+}
+
+impl Observer for InvariantObserver {
+    fn on_run_start(&mut self, set: &TaskSet, protocol: Protocol) {
+        let flat = FlatIndex::new(set);
+        let n = flat.len();
+        let procs = set.num_processors();
+        self.protocol = Some(protocol);
+        self.proc_of = vec![0; n];
+        self.period_of = vec![Dur::ZERO; n];
+        self.is_first = vec![false; n];
+        self.pred_of = vec![None; n];
+        self.subtasks_on = vec![0; procs];
+        let mut min_period: Option<Dur> = None;
+        for task in set.tasks() {
+            min_period = Some(min_period.map_or(task.period(), |m| m.min(task.period())));
+            for (i, sub) in task.subtasks().iter().enumerate() {
+                let fi = flat.of(sub.id());
+                self.proc_of[fi] = sub.processor().index();
+                self.period_of[fi] = task.period();
+                self.is_first[fi] = i == 0;
+                self.pred_of[fi] = (i > 0).then(|| fi - 1);
+                self.subtasks_on[sub.processor().index()] += 1;
+            }
+        }
+        self.min_period = min_period.unwrap_or(Dur::from_ticks(1));
+        self.completed = vec![BTreeSet::new(); n];
+        self.last_release = vec![None; n];
+        self.last_idle = vec![None; procs];
+        self.last_recovery = vec![None; procs];
+        self.down = vec![false; procs];
+        self.down_since = vec![None; procs];
+        self.inflight = vec![0; procs];
+        // Steady-state bound: a schedulable chain keeps only a handful of
+        // instances of each subtask in flight; outages add an allowance in
+        // on_recovery proportional to the downtime.
+        self.backlog_limit = self.subtasks_on.iter().map(|&s| 8 * s + 8).collect();
+        self.delivers_seen = 0;
+        self.violations.clear();
+        self.flat = Some(flat);
+    }
+
+    fn on_release(&mut self, now: Time, job: JobId, proc: usize) {
+        if self.down[proc] {
+            self.fail(
+                InvariantKind::DownProcessorActivity,
+                now,
+                Some(job),
+                format!("release on crashed processor P{proc}"),
+            );
+        }
+        let fi = self
+            .flat
+            .as_ref()
+            .expect("on_run_start ran")
+            .of(job.subtask());
+        let protocol = self.protocol.expect("on_run_start ran");
+        if matches!(protocol, Protocol::DirectSync | Protocol::ReleaseGuard) {
+            if let Some(pfi) = self.pred_of[fi] {
+                if !self.completed[pfi].contains(&job.instance()) {
+                    self.fail(
+                        InvariantKind::PrecedenceOrder,
+                        now,
+                        Some(job),
+                        "released before its predecessor instance completed".to_string(),
+                    );
+                }
+            }
+        }
+        if protocol == Protocol::ReleaseGuard && !self.is_first[fi] {
+            if let Some(prev) = self.last_release[fi] {
+                let gap = now - prev;
+                if gap < self.period_of[fi] && !self.spacing_waived(proc, prev, now) {
+                    self.fail(
+                        InvariantKind::GuardSpacing,
+                        now,
+                        Some(job),
+                        format!(
+                            "released {} ticks after the previous release (guard period {}), \
+                             with no idle point or recovery in between",
+                            gap.ticks(),
+                            self.period_of[fi].ticks()
+                        ),
+                    );
+                }
+            }
+        }
+        self.last_release[fi] = Some(now);
+        self.inflight[proc] += 1;
+        if self.inflight[proc] > self.backlog_limit[proc] {
+            self.fail(
+                InvariantKind::UnboundedBacklog,
+                now,
+                Some(job),
+                format!(
+                    "{} released-but-incomplete jobs on P{proc} exceed the bound {}",
+                    self.inflight[proc], self.backlog_limit[proc]
+                ),
+            );
+            // Report each processor's runaway once, not per release.
+            self.backlog_limit[proc] = i64::MAX;
+        }
+    }
+
+    fn on_completion(&mut self, now: Time, job: JobId, proc: usize) {
+        if self.down[proc] {
+            self.fail(
+                InvariantKind::DownProcessorActivity,
+                now,
+                Some(job),
+                format!("completion on crashed processor P{proc}"),
+            );
+        }
+        let fi = self
+            .flat
+            .as_ref()
+            .expect("on_run_start ran")
+            .of(job.subtask());
+        self.completed[fi].insert(job.instance());
+        self.inflight[proc] -= 1;
+    }
+
+    fn on_slice(&mut self, proc: usize, job: JobId, start: Time, end: Time) {
+        if self.down[proc] {
+            self.fail(
+                InvariantKind::DownProcessorActivity,
+                start,
+                Some(job),
+                format!(
+                    "executed slice [{}, {}) on crashed processor P{proc}",
+                    start.ticks(),
+                    end.ticks()
+                ),
+            );
+        }
+    }
+
+    fn on_idle_point(&mut self, now: Time, proc: usize) {
+        self.last_idle[proc] = Some(now);
+    }
+
+    fn on_signal_deliver(&mut self, _now: Time, _job: JobId) {
+        self.delivers_seen += 1;
+    }
+
+    fn on_crash(&mut self, now: Time, proc: usize, killed: &[JobId]) {
+        self.down[proc] = true;
+        self.down_since[proc] = Some(now);
+        self.inflight[proc] -= killed.len() as i64;
+    }
+
+    fn on_recovery(&mut self, now: Time, proc: usize, _released: u64, _dropped: u64) {
+        self.down[proc] = false;
+        self.last_recovery[proc] = Some(now);
+        if let Some(since) = self.down_since[proc].take() {
+            // Allow the post-outage burst: roughly one instance per subtask
+            // per elapsed period, plus slack for boundary effects.
+            let periods = (now - since).ticks() / self.min_period.ticks().max(1) + 2;
+            self.backlog_limit[proc] =
+                self.backlog_limit[proc].saturating_add(periods * self.subtasks_on[proc]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::examples::example2;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn random_resolution_is_deterministic_and_non_overlapping() {
+        let cfg = FaultConfig::random(d(50), d(10), 42);
+        let a = cfg.resolve(3, t(10_000));
+        let b = cfg.resolve(3, t(10_000));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.iter().any(|w| !w.is_empty()), "a 10k horizon crashes");
+        for per_proc in &a {
+            for pair in per_proc.windows(2) {
+                assert!(pair[1].at > pair[0].recovers_at(), "windows overlap");
+            }
+        }
+        // Streams are per processor: dropping a processor does not shift
+        // the others.
+        let fewer = cfg.resolve(2, t(10_000));
+        assert_eq!(fewer[0], a[0]);
+        assert_eq!(fewer[1], a[1]);
+    }
+
+    #[test]
+    fn explicit_resolution_sorts_and_drops_overlaps() {
+        let cfg = FaultConfig::explicit(vec![vec![
+            CrashWindow {
+                at: t(50),
+                restart_delay: d(10),
+            },
+            CrashWindow {
+                at: t(20),
+                restart_delay: d(5),
+            },
+            CrashWindow {
+                at: t(22), // inside the [20, 25] outage: dropped
+                restart_delay: d(5),
+            },
+        ]]);
+        let windows = cfg.resolve(2, t(1_000));
+        assert_eq!(windows.len(), 2, "padded to the processor count");
+        assert_eq!(
+            windows[0].iter().map(|w| w.at.ticks()).collect::<Vec<_>>(),
+            vec![20, 50]
+        );
+        assert!(windows[1].is_empty());
+    }
+
+    #[test]
+    fn invariant_observer_flags_activity_on_a_down_processor() {
+        use rtsync_core::task::{SubtaskId, TaskId};
+
+        let mut obs = InvariantObserver::default();
+        let set = example2();
+        obs.on_run_start(&set, Protocol::DirectSync);
+        let job = JobId::new(SubtaskId::new(TaskId::new(0), 0), 0);
+        obs.on_crash(t(10), 0, &[]);
+        obs.on_release(t(12), job, 0);
+        assert_eq!(obs.violations().len(), 1);
+        assert!(obs
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::DownProcessorActivity));
+        obs.on_recovery(t(20), 0, 0, 0);
+        let next = JobId::new(SubtaskId::new(TaskId::new(0), 0), 1);
+        let before = obs.violations().len();
+        obs.on_release(t(22), next, 0);
+        assert_eq!(obs.violations().len(), before, "up again: no new break");
+    }
+
+    #[test]
+    fn guard_spacing_waived_by_recovery_but_not_otherwise() {
+        // T2 of example2 has period 6 and a second subtask; instance gaps
+        // below 6 need a waiver.
+        let set = example2();
+        let sub = set
+            .tasks()
+            .iter()
+            .find(|task| task.chain_len() > 1)
+            .map(|task| task.subtasks()[1].id())
+            .expect("example2 has a chain");
+        let proc = set.subtask(sub).processor().index();
+        let pred = sub.predecessor().expect("non-first subtask");
+        let pred_proc = set.subtask(pred).processor().index();
+
+        // Complete both predecessor instances up front so only the
+        // spacing rule is in play.
+        let feed_preds = |obs: &mut InvariantObserver| {
+            for m in 0..2 {
+                obs.on_release(t(0), JobId::new(pred, m), pred_proc);
+                obs.on_completion(t(0), JobId::new(pred, m), pred_proc);
+            }
+        };
+
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&set, Protocol::ReleaseGuard);
+        feed_preds(&mut obs);
+        obs.on_release(t(0), JobId::new(sub, 0), proc);
+        obs.on_completion(t(1), JobId::new(sub, 0), proc);
+        obs.on_release(t(2), JobId::new(sub, 1), proc);
+        assert!(
+            obs.violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::GuardSpacing),
+            "2-tick spacing with no waiver must be flagged"
+        );
+
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&set, Protocol::ReleaseGuard);
+        feed_preds(&mut obs);
+        obs.on_release(t(0), JobId::new(sub, 0), proc);
+        obs.on_completion(t(1), JobId::new(sub, 0), proc);
+        obs.on_crash(t(1), proc, &[]);
+        obs.on_recovery(t(2), proc, 0, 0);
+        obs.on_release(t(2), JobId::new(sub, 1), proc);
+        assert!(
+            obs.is_clean(),
+            "recovery re-initializes the guard: {:?}",
+            obs.violations()
+        );
+    }
+
+    #[test]
+    fn observer_hooks_absent_from_killed_jobs_balance_inflight() {
+        use rtsync_core::task::{SubtaskId, TaskId};
+
+        let mut obs = InvariantObserver::default();
+        let set = example2();
+        obs.on_run_start(&set, Protocol::DirectSync);
+        let job = JobId::new(SubtaskId::new(TaskId::new(0), 0), 0);
+        obs.on_release(t(0), job, 0);
+        obs.on_crash(t(1), 0, &[job]);
+        obs.on_recovery(t(5), 0, 0, 0);
+        assert_eq!(obs.inflight[0], 0, "killed jobs leave the backlog");
+        assert!(obs.is_clean());
+    }
+}

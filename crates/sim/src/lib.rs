@@ -42,6 +42,7 @@ mod controller;
 pub mod check;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod histogram;
 pub mod job;
 pub mod metrics;
@@ -53,9 +54,13 @@ pub mod reference;
 pub mod source;
 pub mod trace;
 
-pub use check::{validate_schedule, ScheduleDefect};
+pub use check::{validate_fault_quiescence, validate_schedule, ScheduleDefect};
 pub use engine::{
     simulate, simulate_observed, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind,
+};
+pub use faults::{
+    CrashSchedule, CrashWindow, FaultConfig, FaultStats, InvariantKind, InvariantObserver,
+    InvariantViolation, OverloadPolicy,
 };
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};

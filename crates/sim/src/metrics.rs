@@ -23,6 +23,7 @@ pub struct TaskStats {
     max_output_jitter: Dur,
     deadline_misses: u64,
     orphan_completions: u64,
+    lost: u64,
     last_eer: Option<Dur>,
     histogram: EerHistogram,
     /// First-subtask release times, indexed by instance.
@@ -76,6 +77,31 @@ impl TaskStats {
     /// sporadic sources). Excluded from the EER statistics.
     pub fn orphan_completions(&self) -> u64 {
         self.orphan_completions
+    }
+
+    /// End-to-end instances that can never complete: a processor crash
+    /// killed (or an overload policy dropped) some subtask instance on the
+    /// critical path. Lost instances are excluded from the EER mean — an
+    /// instance with no completion has no response time — but are first-
+    /// class in availability accounting: see
+    /// [`TaskStats::miss_or_loss_ratio`]. Always zero in fault-free runs.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// `(deadline misses + lost instances) / (measured + lost)`: the
+    /// fraction of accounted instances that failed to produce a timely
+    /// result. Equals the plain miss ratio when nothing was lost; `None`
+    /// when nothing was accounted at all.
+    pub fn miss_or_loss_ratio(&self) -> Option<f64> {
+        let denom = self.measured + self.lost;
+        (denom > 0).then(|| (self.deadline_misses + self.lost) as f64 / denom as f64)
+    }
+
+    /// The recorded release time of instance `instance` of the first
+    /// subtask, if it was released.
+    pub fn first_release_time(&self, instance: u64) -> Option<Time> {
+        self.first_release.get(instance as usize).copied()
     }
 
     /// An upper bound (within 6.25%) on the `q`-quantile of measured EER
@@ -180,9 +206,35 @@ impl Metrics {
         self.tasks.iter().map(|t| t.completed).min().unwrap_or(0)
     }
 
+    /// The smallest *resolved* instance count over all tasks, where an
+    /// instance is resolved once it either completed end-to-end or was
+    /// declared lost to a crash/overload drop. This is the stop criterion
+    /// under faults: a killed instance never completes, and waiting for it
+    /// would spin the engine to the horizon. Identical to
+    /// [`Metrics::min_completed`] when nothing was lost.
+    pub fn min_resolved(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| t.completed + t.lost)
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Total deadline misses across tasks.
     pub fn total_deadline_misses(&self) -> u64 {
         self.tasks.iter().map(|t| t.deadline_misses).sum()
+    }
+
+    /// Total lost instances across tasks (see [`TaskStats::lost`]).
+    pub fn total_lost(&self) -> u64 {
+        self.tasks.iter().map(|t| t.lost).sum()
+    }
+
+    /// Declares instance `instance` of `task` lost: some subtask instance
+    /// on its critical path was killed by a crash or dropped by an
+    /// overload policy, so the end-to-end completion will never happen.
+    pub fn record_instance_lost(&mut self, task: TaskId) {
+        self.tasks[task.index()].lost += 1;
     }
 
     /// Records the release of instance `instance` of a task's **first**
@@ -347,6 +399,31 @@ mod tests {
         m.record_first_release(TaskId::new(1), 0, t(0));
         m.record_task_completion(TaskId::new(1), 0, t(2), d(5), true);
         assert_eq!(m.min_completed(), 1);
+    }
+
+    #[test]
+    fn lost_instances_resolve_but_do_not_complete() {
+        let mut m = Metrics::new(2);
+        let t0 = TaskId::new(0);
+        let t1 = TaskId::new(1);
+        m.record_first_release(t0, 0, t(0));
+        m.record_task_completion(t0, 0, t(7), d(8), true);
+        m.record_first_release(t1, 0, t(0));
+        m.record_instance_lost(t1);
+        assert_eq!(m.min_completed(), 0, "t1 never completed");
+        assert_eq!(m.min_resolved(), 1, "but its instance is resolved");
+        assert_eq!(m.total_lost(), 1);
+        let s = m.task(t1);
+        assert_eq!(s.lost(), 1);
+        assert_eq!(s.avg_eer(), None, "lost instances carry no EER");
+        assert_eq!(s.miss_or_loss_ratio(), Some(1.0));
+        // A task with one timely completion and one loss: ratio 1/2.
+        m.record_first_release(t1, 1, t(10));
+        m.record_task_completion(t1, 1, t(13), d(8), true);
+        assert_eq!(m.task(t1).miss_or_loss_ratio(), Some(0.5));
+        assert_eq!(m.task(t0).miss_or_loss_ratio(), Some(0.0));
+        assert_eq!(m.task(t0).first_release_time(0), Some(t(0)));
+        assert_eq!(m.task(t0).first_release_time(9), None);
     }
 
     #[test]

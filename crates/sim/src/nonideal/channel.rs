@@ -190,6 +190,10 @@ pub struct ChannelStats {
     /// Deliveries that arrived ahead of a missing earlier instance and had
     /// to be buffered (observed reordering).
     pub reordered: u64,
+    /// Deliveries that reached a crashed receiver (fault mode). Distinct
+    /// from `dropped`: the wire worked, the node did not. These signals go
+    /// to the node's recovery backlog, not onto the wire again.
+    pub receiver_down: u64,
     /// Largest send-to-delivery delay scheduled.
     pub max_delay: Dur,
 }
@@ -214,6 +218,10 @@ pub(crate) struct ChannelState {
     next_apply: Vec<u64>,
     /// Instances delivered ahead of order, per flat subtask index.
     early: Vec<BTreeSet<u64>>,
+    /// Instances whose signal will never be sent (the predecessor died in
+    /// a crash), per flat subtask index: the in-order cursor skips them
+    /// instead of stalling forever.
+    cancelled: Vec<BTreeSet<u64>>,
     pub(crate) stats: ChannelStats,
 }
 
@@ -224,7 +232,39 @@ impl ChannelState {
             model,
             next_apply: vec![0; flat_len],
             early: vec![BTreeSet::new(); flat_len],
+            cancelled: vec![BTreeSet::new(); flat_len],
             stats: ChannelStats::default(),
+        }
+    }
+
+    /// Marks `instance` of flat subtask `fi` as cancelled: its signal will
+    /// never be sent, so the in-order cursor must not wait for it. Any
+    /// already-buffered later instances that become contiguous are
+    /// returned, in order, for the caller to apply.
+    pub(crate) fn note_cancelled(&mut self, fi: usize, instance: u64) -> Vec<u64> {
+        if instance < self.next_apply[fi] {
+            return Vec::new(); // already applied (e.g. an RG-deferred kill)
+        }
+        self.cancelled[fi].insert(instance);
+        let mut applicable = Vec::new();
+        self.drain_in_order(fi, &mut applicable);
+        self.stats.applied += applicable.len() as u64;
+        applicable
+    }
+
+    /// Advances the in-order cursor over cancelled gaps and buffered early
+    /// arrivals, appending every instance that becomes applicable.
+    fn drain_in_order(&mut self, fi: usize, applicable: &mut Vec<u64>) {
+        loop {
+            let next = self.next_apply[fi];
+            if self.cancelled[fi].remove(&next) {
+                self.next_apply[fi] = next + 1;
+            } else if self.early[fi].remove(&next) {
+                applicable.push(next);
+                self.next_apply[fi] = next + 1;
+            } else {
+                return;
+            }
         }
     }
 
@@ -263,7 +303,10 @@ impl ChannelState {
     /// returns every instance that becomes applicable, in order. Duplicates
     /// are suppressed; early arrivals are buffered until the gap fills.
     pub(crate) fn deliver(&mut self, fi: usize, instance: u64) -> Vec<u64> {
-        if instance < self.next_apply[fi] || self.early[fi].contains(&instance) {
+        if instance < self.next_apply[fi]
+            || self.early[fi].contains(&instance)
+            || self.cancelled[fi].contains(&instance)
+        {
             self.stats.duplicates_suppressed += 1;
             return Vec::new();
         }
@@ -274,10 +317,7 @@ impl ChannelState {
         }
         let mut applicable = vec![instance];
         self.next_apply[fi] = instance + 1;
-        while self.early[fi].remove(&self.next_apply[fi]) {
-            applicable.push(self.next_apply[fi]);
-            self.next_apply[fi] += 1;
-        }
+        self.drain_in_order(fi, &mut applicable);
         self.stats.applied += applicable.len() as u64;
         applicable
     }
@@ -359,6 +399,26 @@ mod tests {
         assert_eq!(st.deliver(0, 0), Vec::<u64>::new());
         assert_eq!(st.stats.duplicates_suppressed, 1);
         assert_eq!(st.stats.applied, 1);
+    }
+
+    #[test]
+    fn cancelled_instances_do_not_stall_the_cursor() {
+        let mut st = ChannelState::new(ChannelModel::constant(d(0)), 1);
+        // Instance 0's predecessor dies before sending; 1 and 2 arrive.
+        assert_eq!(st.deliver(0, 1), Vec::<u64>::new());
+        assert_eq!(st.note_cancelled(0, 0), vec![1]);
+        assert_eq!(st.deliver(0, 2), vec![2]);
+        // A cancellation with nothing buffered just moves the cursor.
+        assert_eq!(st.note_cancelled(0, 3), Vec::<u64>::new());
+        assert_eq!(st.deliver(0, 4), vec![4]);
+        // A cancellation below the cursor is a no-op...
+        assert_eq!(st.note_cancelled(0, 2), Vec::<u64>::new());
+        // ...and a stray late delivery for a cancelled slot is suppressed.
+        assert_eq!(st.note_cancelled(0, 6), Vec::<u64>::new());
+        assert_eq!(st.deliver(0, 6), Vec::<u64>::new());
+        assert_eq!(st.stats.duplicates_suppressed, 1);
+        assert_eq!(st.deliver(0, 5), vec![5]);
+        assert_eq!(st.deliver(0, 7), vec![7]);
     }
 
     #[test]

@@ -122,9 +122,23 @@ fn clock_worst_case(c: &LocalClock, span: Dur) -> Dur {
 }
 
 /// Per-task end-to-end-response inflation of an observed run over an ideal
-/// baseline: `avg_eer(observed) / avg_eer(ideal)` per task, `None` where
-/// either run has no measured completions. The central robustness metric
-/// of the nonideal studies.
+/// baseline: `avg_eer(observed) / avg_eer(ideal)` per task. The central
+/// robustness metric of the nonideal studies.
+///
+/// Degenerate baselines are resolved explicitly rather than skewing the
+/// mean:
+///
+/// * either run has **no measured completions** (e.g. every observed
+///   instance was killed by a crash) → `None` — there is nothing to
+///   compare, and the loss shows up in [`crate::metrics::TaskStats::lost`]
+///   / [`crate::metrics::TaskStats::miss_or_loss_ratio`] instead;
+/// * ideal mean of **zero** (a zero-execution chain completes the instant
+///   it is released) and an observed mean of zero → `Some(1.0)` —
+///   0 ticks observed against 0 ticks expected is "unaffected", not
+///   undefined;
+/// * ideal mean of zero with a **positive** observed mean → `None` — the
+///   inflation *ratio* is unbounded and would dominate any average; the
+///   degradation is visible in the absolute EER metrics.
 pub fn eer_inflation(ideal: &Metrics, observed: &Metrics) -> Vec<Option<f64>> {
     ideal
         .tasks()
@@ -132,6 +146,7 @@ pub fn eer_inflation(ideal: &Metrics, observed: &Metrics) -> Vec<Option<f64>> {
         .zip(observed.tasks())
         .map(|(i, o)| match (i.avg_eer(), o.avg_eer()) {
             (Some(base), Some(seen)) if base > 0.0 => Some(seen / base),
+            (Some(base), Some(seen)) if base == 0.0 && seen == 0.0 => Some(1.0),
             _ => None,
         })
         .collect()
@@ -170,6 +185,41 @@ mod tests {
         let cfg =
             NonidealConfig::default().with_clocks(ClockModel::Explicit(vec![LocalClock::IDEAL; 4]));
         assert!(cfg.is_ideal());
+    }
+
+    #[test]
+    fn eer_inflation_degenerate_baselines() {
+        use crate::metrics::Metrics;
+        use rtsync_core::task::TaskId;
+        use rtsync_core::time::Time;
+
+        let t = Time::from_ticks;
+        // Task 0: normal (ideal mean 4, observed mean 6).
+        // Task 1: zero ideal mean, zero observed mean → exactly 1.0.
+        // Task 2: zero ideal mean, positive observed mean → None.
+        // Task 3: no observed completions (all lost to a crash) → None.
+        let mut ideal = Metrics::new(4);
+        let mut observed = Metrics::new(4);
+        for m in [&mut ideal, &mut observed] {
+            for task in 0..4 {
+                m.record_first_release(TaskId::new(task), 0, t(0));
+            }
+        }
+        ideal.record_task_completion(TaskId::new(0), 0, t(4), d(10), true);
+        observed.record_task_completion(TaskId::new(0), 0, t(6), d(10), true);
+        ideal.record_task_completion(TaskId::new(1), 0, t(0), d(10), true);
+        observed.record_task_completion(TaskId::new(1), 0, t(0), d(10), true);
+        ideal.record_task_completion(TaskId::new(2), 0, t(0), d(10), true);
+        observed.record_task_completion(TaskId::new(2), 0, t(5), d(10), true);
+        ideal.record_task_completion(TaskId::new(3), 0, t(4), d(10), true);
+        observed.record_instance_lost(TaskId::new(3));
+
+        let ratios = eer_inflation(&ideal, &observed);
+        assert_eq!(ratios.len(), 4);
+        assert_eq!(ratios[0], Some(1.5));
+        assert_eq!(ratios[1], Some(1.0), "0/0 means unaffected");
+        assert_eq!(ratios[2], None, "unbounded ratio must not skew means");
+        assert_eq!(ratios[3], None, "lost instances are not EER samples");
     }
 
     #[test]

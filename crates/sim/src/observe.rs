@@ -140,6 +140,16 @@ pub trait Observer {
     #[inline]
     fn on_signal_deliver(&mut self, now: Time, job: JobId) {}
 
+    /// Processor `proc` crashed (fail-stop); `killed` are the in-flight
+    /// jobs (running or ready) that died with it, in job-id order.
+    #[inline]
+    fn on_crash(&mut self, now: Time, proc: usize, killed: &[JobId]) {}
+
+    /// Processor `proc` recovered; its outage backlog was resolved into
+    /// `released` releases and `dropped` drops under the overload policy.
+    #[inline]
+    fn on_recovery(&mut self, now: Time, proc: usize, released: u64, dropped: u64) {}
+
     /// A violation was recorded.
     #[inline]
     fn on_violation(&mut self, violation: &Violation) {}
@@ -210,6 +220,8 @@ tee_hooks! {
     on_sync_interrupt(now: Time, from: usize, to: usize, job: JobId);
     on_signal_send(now: Time, job: JobId);
     on_signal_deliver(now: Time, job: JobId);
+    on_crash(now: Time, proc: usize, killed: &[JobId]);
+    on_recovery(now: Time, proc: usize, released: u64, dropped: u64);
     on_violation(violation: &Violation);
     on_run_end(now: Time, events: u64);
 }
@@ -271,6 +283,12 @@ pub struct ProcCounters {
     pub context_switches: u64,
     /// Idle points detected (the rule-2 trigger).
     pub idle_points: u64,
+    /// Fail-stop crashes of this processor.
+    pub crashes: u64,
+    /// Recoveries of this processor.
+    pub recoveries: u64,
+    /// In-flight jobs killed by this processor's crashes.
+    pub killed_jobs: u64,
 }
 
 /// An [`Observer`] that tallies what a protocol actually did during a
@@ -496,6 +514,16 @@ impl Observer for ProtocolCounters {
         self.signal_depth = self.signal_depth.saturating_sub(1);
     }
 
+    fn on_crash(&mut self, _now: Time, proc: usize, killed: &[JobId]) {
+        let c = &mut self.procs[proc];
+        c.crashes += 1;
+        c.killed_jobs += killed.len() as u64;
+    }
+
+    fn on_recovery(&mut self, _now: Time, proc: usize, _released: u64, _dropped: u64) {
+        self.procs[proc].recoveries += 1;
+    }
+
     fn on_violation(&mut self, _violation: &Violation) {
         self.violations += 1;
     }
@@ -573,6 +601,17 @@ enum LogRecord {
         t: i64,
         kind: &'static str,
         job: JobId,
+    },
+    Crash {
+        t: i64,
+        proc: usize,
+        killed: usize,
+    },
+    Recovery {
+        t: i64,
+        proc: usize,
+        released: u64,
+        dropped: u64,
     },
     RunEnd {
         t: i64,
@@ -679,6 +718,19 @@ impl EventLogObserver {
                          \"s\":\"t\",\"ts\":{t},\"pid\":0,\"tid\":{proc}}}"
                     ));
                 }
+                LogRecord::Crash { t, proc, killed } => ev.push(format!(
+                    "{{\"name\":\"CRASH ({killed} killed)\",\"cat\":\"fault\",\"ph\":\"i\",\
+                     \"s\":\"t\",\"ts\":{t},\"pid\":0,\"tid\":{proc}}}"
+                )),
+                LogRecord::Recovery {
+                    t,
+                    proc,
+                    released,
+                    dropped,
+                } => ev.push(format!(
+                    "{{\"name\":\"RECOVER (+{released}/-{dropped})\",\"cat\":\"fault\",\
+                     \"ph\":\"i\",\"s\":\"t\",\"ts\":{t},\"pid\":0,\"tid\":{proc}}}"
+                )),
                 LogRecord::SyncInterrupt { t, from, to, job } => {
                     flow_id += 1;
                     ev.push(format!(
@@ -709,6 +761,7 @@ fn violation_tag(kind: &ViolationKind) -> &'static str {
         ViolationKind::PrecedenceViolated => "precedence",
         ViolationKind::MpmOverrun => "mpm_overrun",
         ViolationKind::SignalLost => "signal_lost",
+        ViolationKind::SignalReceiverDown => "signal_receiver_down",
     }
 }
 
@@ -778,6 +831,18 @@ fn jsonl_line(r: &LogRecord) -> String {
         LogRecord::Violation { t, kind, job } => {
             format!("{{\"type\":\"violation\",\"t\":{t},\"kind\":\"{kind}\",\"job\":\"{job}\"}}")
         }
+        LogRecord::Crash { t, proc, killed } => {
+            format!("{{\"type\":\"crash\",\"t\":{t},\"proc\":{proc},\"killed\":{killed}}}")
+        }
+        LogRecord::Recovery {
+            t,
+            proc,
+            released,
+            dropped,
+        } => format!(
+            "{{\"type\":\"recovery\",\"t\":{t},\"proc\":{proc},\"released\":{released},\
+             \"dropped\":{dropped}}}"
+        ),
         LogRecord::RunEnd { t, events } => {
             format!("{{\"type\":\"run_end\",\"t\":{t},\"events\":{events}}}")
         }
@@ -906,6 +971,23 @@ impl Observer for EventLogObserver {
         self.records.push(LogRecord::SignalDeliver {
             t: now.ticks(),
             job,
+        });
+    }
+
+    fn on_crash(&mut self, now: Time, proc: usize, killed: &[JobId]) {
+        self.records.push(LogRecord::Crash {
+            t: now.ticks(),
+            proc,
+            killed: killed.len(),
+        });
+    }
+
+    fn on_recovery(&mut self, now: Time, proc: usize, released: u64, dropped: u64) {
+        self.records.push(LogRecord::Recovery {
+            t: now.ticks(),
+            proc,
+            released,
+            dropped,
         });
     }
 

@@ -271,6 +271,23 @@ impl Processor {
         Some(Milestone::Boundary(r.job))
     }
 
+    /// Fail-stop crash: drops the running job and the whole ready queue
+    /// (their partial execution is lost) and invalidates any outstanding
+    /// milestone event. Returns the killed jobs sorted by [`JobId`] so the
+    /// caller's bookkeeping is deterministic regardless of heap layout.
+    /// The processor itself stays usable — after the restart delay the
+    /// engine simply releases work onto it again.
+    pub fn crash(&mut self) -> Vec<JobId> {
+        self.milestone_gen += 1;
+        self.needs_milestone = false;
+        let mut killed: Vec<JobId> = self.ready.drain().map(|q| q.job).collect();
+        if let Some(run) = self.running.take() {
+            killed.push(run.job);
+        }
+        killed.sort_unstable();
+        killed
+    }
+
     /// Picks the job to run at `now` (see the module docs for the rules).
     pub fn reschedule(&mut self, now: Time) -> Resched {
         let preempt = match (&self.running, self.ready.peek()) {
@@ -616,6 +633,35 @@ mod tests {
         rel(&mut p, job(0, 0, 0), 0, 2);
         p.reschedule(t(0));
         p.advance(t(5));
+    }
+
+    #[test]
+    fn crash_kills_running_and_ready_and_stales_milestones() {
+        let mut p = proc();
+        rel(&mut p, job(1, 0, 0), 1, 5);
+        rel(&mut p, job(0, 0, 0), 0, 3);
+        rel(&mut p, job(0, 0, 1), 0, 3);
+        let gen = match p.reschedule(t(0)) {
+            Resched::NewMilestone { gen, .. } => gen,
+            other => panic!("{other:?}"),
+        };
+        p.advance(t(2));
+        let killed = p.crash();
+        assert_eq!(
+            killed,
+            vec![job(0, 0, 0), job(0, 0, 1), job(1, 0, 0)],
+            "sorted by JobId, running included"
+        );
+        assert!(p.is_idle());
+        assert_eq!(p.take_milestone(gen), None, "pre-crash milestone stale");
+        assert_eq!(p.reschedule(t(2)), Resched::Idle);
+        // The node keeps scheduling normally after a restart.
+        rel(&mut p, job(2, 0, 0), 0, 2);
+        p.advance(t(7));
+        match p.reschedule(t(7)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(9)),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

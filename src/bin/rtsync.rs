@@ -50,6 +50,7 @@ fn run() -> Result<(), String> {
         "compare" => cmd_compare(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -71,7 +72,8 @@ fn usage() -> String {
      [--trace-csv FILE]\n  \
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--format perfetto|jsonl|gantt] [--counters] [--out FILE] \
-     [--sporadic MAX_EXTRA] [--seed S]"
+     [--sporadic MAX_EXTRA] [--seed S]\n  \
+     rtsync chaos [--runs N] [--smoke] [--seed S] [--threads T] [--out DIR]"
         .to_string()
 }
 
@@ -488,6 +490,110 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         } else {
             print!("{report}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::chaos::{
+        render, repro_bundle, run_chaos, runs_csv, to_csv, ChaosConfig,
+    };
+    let mut runs: Option<usize> = None;
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--runs" => {
+                runs = Some(
+                    grab("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?,
+                )
+            }
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        ChaosConfig::smoke(runs.unwrap_or(25))
+    } else {
+        let mut cfg = ChaosConfig::default();
+        if let Some(total) = runs {
+            let cells = cfg.protocols.len() * cfg.mean_uptimes.len();
+            cfg.runs_per_cell = total.div_ceil(cells).max(1);
+        }
+        cfg
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+
+    eprintln!(
+        "chaos campaign: {} runs ({} protocols x {} crash rates x {} runs/cell), seed {:#x}",
+        cfg.total_runs(),
+        cfg.protocols.len(),
+        cfg.mean_uptimes.len(),
+        cfg.runs_per_cell,
+        cfg.seed
+    );
+    let outcome = run_chaos(&cfg);
+    print!("{}", render(&outcome));
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let summary = format!("{dir}/chaos_summary.csv");
+        std::fs::write(&summary, to_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        let per_run = format!("{dir}/chaos_runs.csv");
+        std::fs::write(&per_run, runs_csv(&outcome))
+            .map_err(|e| format!("writing {per_run}: {e}"))?;
+        eprintln!("wrote {summary} and {per_run}");
+    }
+
+    if !outcome.is_clean() {
+        let dir = out_dir.unwrap_or_else(|| ".".to_string());
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for (i, failure) in outcome.failures.iter().enumerate() {
+            let bundle = repro_bundle(&cfg, failure);
+            for (ext, body) in [
+                ("txt", &bundle.summary),
+                ("jsonl", &bundle.jsonl),
+                ("perfetto.json", &bundle.perfetto_json),
+            ] {
+                let path = format!("{dir}/chaos_repro_{i}.{ext}");
+                std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            eprint!("{}", bundle.summary);
+        }
+        return Err(format!(
+            "{} of {} chaos runs violated invariants; repro bundles written to {dir}/",
+            outcome.failures.len(),
+            outcome.verdicts.len()
+        ));
     }
     Ok(())
 }

@@ -214,6 +214,39 @@ fn trace_csv_export() {
 }
 
 #[test]
+fn chaos_smoke_runs_clean_and_writes_csvs() {
+    let dir = std::env::temp_dir().join(format!("rtsync-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let out = run(&[
+        "chaos",
+        "--smoke",
+        "--runs",
+        "12",
+        "--seed",
+        "3",
+        "--threads",
+        "4",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("chaos campaign"), "{text}");
+    assert!(text.contains("0 failing"), "{text}");
+
+    let summary = std::fs::read_to_string(dir.join("chaos_summary.csv")).unwrap();
+    assert!(summary.starts_with("protocol,mean_uptime,runs,crashes"));
+    // 4 protocols × 3 crash-rate levels.
+    assert_eq!(summary.lines().count(), 1 + 12, "{summary}");
+    let runs_csv = std::fs::read_to_string(dir.join("chaos_runs.csv")).unwrap();
+    assert!(runs_csv.contains("fault_seed"), "{runs_csv}");
+    assert!(runs_csv.lines().count() > 12);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn sporadic_and_no_rule2_flags_accepted() {
     let dir = std::env::temp_dir().join(format!("rtsync-cli-sp-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

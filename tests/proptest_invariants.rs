@@ -8,7 +8,10 @@ use rtsync::core::priority::{build_with_policy, ChainSpec, ProportionalDeadlineM
 use rtsync::core::task::{SubtaskId, TaskId, TaskSet};
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
-use rtsync::sim::{simulate, ClockModel, JobId, NonidealConfig, SimConfig};
+use rtsync::sim::{
+    simulate, simulate_observed, ClockModel, FaultConfig, InvariantObserver, JobId, NonidealConfig,
+    OverloadPolicy, SimConfig,
+};
 
 /// A random small system: 2–3 processors, 2–4 tasks, chains of 1–3,
 /// integer periods 8–60 ticks, executions kept small so most (not all)
@@ -336,6 +339,73 @@ proptest! {
         }
     }
 
+    /// The fault domain enabled with an empty crash schedule is bit-for-bit
+    /// the seed engine: same trace, same event count, on any system under
+    /// every protocol.
+    #[test]
+    fn empty_fault_schedule_is_bit_identical(set in arb_system()) {
+        let analyzable = analyze_pm(&set, &AnalysisConfig::default()).is_ok();
+        for protocol in Protocol::ALL {
+            if protocol.busy_period_analysis_applies()
+                && protocol != Protocol::ReleaseGuard
+                && !analyzable
+            {
+                continue; // PM/MPM need SA/PM bounds; overloaded system
+            }
+            let plain = SimConfig::new(protocol).with_instances(6).with_trace();
+            let faulted = plain.clone().with_faults(FaultConfig::explicit(Vec::new()));
+            let a = simulate(&set, &plain).unwrap();
+            let b = simulate(&set, &faulted).unwrap();
+            prop_assert_eq!(a.trace, b.trace, "{:?}", protocol);
+            prop_assert_eq!(a.events, b.events, "{:?}", protocol);
+            prop_assert_eq!(a.end_time, b.end_time, "{:?}", protocol);
+        }
+    }
+
+    /// Seeded crash/recovery on random systems: every run terminates with
+    /// all instances resolved, upholds the chaos invariants (precedence
+    /// order, guard spacing, no down-processor activity, signal
+    /// conservation, bounded backlog), and is bit-for-bit deterministic.
+    #[test]
+    fn faulted_runs_uphold_invariants(
+        set in arb_system(),
+        mean_uptime in 20i64..=200,
+        restart in 2i64..=30,
+        seed in 0u64..1_000,
+    ) {
+        let analyzable = analyze_pm(&set, &AnalysisConfig::default()).is_ok();
+        let policy = OverloadPolicy::ALL[(seed % 3) as usize];
+        for protocol in Protocol::ALL {
+            if protocol.busy_period_analysis_applies()
+                && protocol != Protocol::ReleaseGuard
+                && !analyzable
+            {
+                continue; // PM/MPM need SA/PM bounds; overloaded system
+            }
+            let cfg = SimConfig::new(protocol).with_instances(6).with_faults(
+                FaultConfig::random(
+                    Dur::from_ticks(mean_uptime),
+                    Dur::from_ticks(restart),
+                    seed,
+                )
+                .with_policy(policy),
+            );
+            let mut obs = InvariantObserver::default();
+            let a = simulate_observed(&set, &cfg, &mut obs).unwrap();
+            obs.check_outcome(&a);
+            prop_assert!(
+                obs.is_clean(),
+                "{protocol:?}/{policy:?}: {:?}",
+                obs.violations()
+            );
+            prop_assert!(a.reached_target, "{protocol:?}: every instance resolves");
+            let b = simulate(&set, &cfg).unwrap();
+            prop_assert_eq!(a.events, b.events, "{:?}", protocol);
+            prop_assert_eq!(a.end_time, b.end_time, "{:?}", protocol);
+            prop_assert_eq!(a.fault_stats, b.fault_stats, "{:?}", protocol);
+        }
+    }
+
     /// Theorem 1 under bounded drift: RG's guards are durations on the
     /// local clock, so a drift rate of at most ε stretches each guard by
     /// at most a factor 1/(1-ε) — the SA/PM bound stays valid up to the
@@ -379,6 +449,38 @@ proptest! {
                     task.id(), max_drift_ppm, max, bound, slack
                 );
             }
+        }
+    }
+}
+
+proptest! {
+    // Whole-campaign determinism is expensive per case; a few seeds with
+    // differing thread counts pin the byte-identical contract.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A chaos campaign is a pure function of its config: the same seed
+    /// and grid produce byte-identical verdicts, cell aggregates and
+    /// minimized schedules regardless of the worker-thread count.
+    #[test]
+    fn chaos_campaigns_are_byte_deterministic(seed in 0u64..1_000_000_000) {
+        use rtsync::experiments::chaos::{run_chaos, runs_csv, to_csv, ChaosConfig};
+        let cfg = ChaosConfig {
+            protocols: vec![Protocol::DirectSync, Protocol::ReleaseGuard],
+            mean_uptimes: vec![5_000_000, 1_000_000],
+            runs_per_cell: 2,
+            instances_per_task: 5,
+            threads: 1,
+            seed,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&ChaosConfig { threads: 4, ..cfg });
+        prop_assert_eq!(runs_csv(&a), runs_csv(&b));
+        prop_assert_eq!(to_csv(&a), to_csv(&b));
+        prop_assert_eq!(a.failures.len(), b.failures.len());
+        for (fa, fb) in a.failures.iter().zip(&b.failures) {
+            prop_assert_eq!(&fa.minimized, &fb.minimized);
+            prop_assert_eq!(fa.verdict.fault_seed, fb.verdict.fault_seed);
         }
     }
 }
