@@ -38,8 +38,8 @@ use rtsync_core::time::{Dur, Time};
 use rtsync_sim::engine::{simulate, simulate_observed, SimConfig, SimOutcome};
 use rtsync_sim::nonideal::{eer_inflation, ChannelModel};
 use rtsync_sim::{
-    CrashWindow, EventLogObserver, FaultConfig, InvariantObserver, InvariantViolation,
-    OverloadPolicy, Tee,
+    CrashWindow, DetectorConfig, EventLogObserver, FaultConfig, InvariantObserver,
+    InvariantViolation, OverloadPolicy, Tee, TransportConfig,
 };
 use rtsync_workload::{generate, WorkloadSpec};
 
@@ -66,6 +66,11 @@ pub struct ChaosConfig {
     pub instances_per_task: u64,
     /// Constant signal latency (ticks) applied on odd-indexed runs.
     pub signal_latency: i64,
+    /// Attach the endpoint transport (ack/retransmit + heartbeat failure
+    /// detection) to every run. Channel runs gain 10% endpoint drops so
+    /// retransmission is exercised alongside the crash schedule; the
+    /// retry budget stays unbounded, so signal loss remains a failure.
+    pub transport: bool,
     /// Master seed; system and fault seeds derive from it.
     pub seed: u64,
     /// Worker threads.
@@ -83,6 +88,7 @@ impl Default for ChaosConfig {
             u: 0.6,
             instances_per_task: 12,
             signal_latency: 1_000,
+            transport: false,
             seed: 0xC4A0_5CA2,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         }
@@ -238,10 +244,31 @@ pub struct ReproBundle {
 }
 
 /// The simulation config of one chaos run, minus the fault schedule.
-fn base_sim_config(cfg: &ChaosConfig, protocol: Protocol, with_channel: bool) -> SimConfig {
+/// `seed` feeds the channel/transport RNG streams in transport mode; the
+/// ideal (transport-off) configs ignore it.
+fn base_sim_config(
+    cfg: &ChaosConfig,
+    protocol: Protocol,
+    with_channel: bool,
+    seed: u64,
+) -> SimConfig {
     let mut sim = SimConfig::new(protocol).with_instances(cfg.instances_per_task);
     if with_channel && cfg.signal_latency > 0 {
-        sim = sim.with_channel(ChannelModel::constant(Dur::from_ticks(cfg.signal_latency)));
+        let mut channel = ChannelModel::constant(Dur::from_ticks(cfg.signal_latency));
+        if cfg.transport {
+            channel = channel.with_endpoint_drops(0.1).with_seed(seed ^ 0xCAFE);
+        }
+        sim = sim.with_channel(channel);
+    }
+    if cfg.transport {
+        let timeout = Dur::from_ticks(4 * cfg.signal_latency.max(250));
+        sim = sim.with_transport(
+            TransportConfig::new(timeout)
+                .with_seed(seed ^ 0xF00D)
+                .with_detector(DetectorConfig::new(Dur::from_ticks(
+                    (cfg.restart_delay / 20).max(1),
+                ))),
+        );
     }
     sim
 }
@@ -285,7 +312,7 @@ fn evaluate_run(
         .expect("paper spec always generates");
     let policy = OverloadPolicy::ALL[run_index % OverloadPolicy::ALL.len()];
     let with_channel = run_index % 2 == 1;
-    let sim = base_sim_config(cfg, protocol, with_channel);
+    let sim = base_sim_config(cfg, protocol, with_channel, system_seed);
     let faults = FaultConfig::random(
         Dur::from_ticks(mean_uptime),
         Dur::from_ticks(cfg.restart_delay),
@@ -514,7 +541,7 @@ pub fn repro_bundle(cfg: &ChaosConfig, failure: &ChaosFailure) -> ReproBundle {
     let spec = WorkloadSpec::paper(cfg.n, cfg.u).with_random_phases();
     let set = generate(&spec, &mut StdRng::seed_from_u64(v.system_seed))
         .expect("paper spec always generates");
-    let sim = base_sim_config(cfg, v.protocol, v.with_channel);
+    let sim = base_sim_config(cfg, v.protocol, v.with_channel, v.system_seed);
     let faults = match &failure.minimized {
         Some(prefix) => {
             FaultConfig::explicit(unflatten(prefix, set.num_processors())).with_policy(v.policy)
@@ -728,6 +755,19 @@ mod tests {
     }
 
     #[test]
+    fn transport_campaign_is_clean() {
+        // The endpoint transport (retransmission over lossy channel runs,
+        // heartbeat detection, degraded releases) must not break any
+        // invariant the oracle-recovery campaign holds.
+        let mut cfg = tiny_cfg();
+        cfg.transport = true;
+        let outcome = run_chaos(&cfg);
+        assert!(outcome.is_clean(), "{:?}", outcome.failures);
+        let total_crashes: u64 = outcome.cells.iter().map(|c| c.crashes).sum();
+        assert!(total_crashes > 0, "the grid must actually crash nodes");
+    }
+
+    #[test]
     fn deterministic_across_thread_counts() {
         let mut cfg = tiny_cfg();
         cfg.threads = 1;
@@ -753,7 +793,7 @@ mod tests {
         let cfg = tiny_cfg();
         let spec = WorkloadSpec::paper(cfg.n, cfg.u).with_random_phases();
         let set = generate(&spec, &mut StdRng::seed_from_u64(7)).unwrap();
-        let sim = base_sim_config(&cfg, Protocol::DirectSync, false);
+        let sim = base_sim_config(&cfg, Protocol::DirectSync, false, 7);
         let faults = FaultConfig::random(
             Dur::from_ticks(2_000_000),
             Dur::from_ticks(cfg.restart_delay),

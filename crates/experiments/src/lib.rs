@@ -10,6 +10,9 @@
 //! * [`figures`] — the mapping from study outcomes to Figures 12–16;
 //! * [`robustness`] — the nonideal-conditions grid (clock drift ×
 //!   signal latency) measuring the paper's §6 robustness claims;
+//! * [`transport`] — the endpoint-transport study: miss/loss ratio and
+//!   EER inflation over drop rate × timeout × backoff, plus heartbeat
+//!   failure-detector accuracy against a ground-truth crash schedule;
 //! * [`grid`] — `(N, U)` result grids with CSV/ASCII rendering.
 //!
 //! The `reproduce` binary drives all of it:
@@ -46,6 +49,7 @@ pub mod robustness;
 pub mod study;
 pub mod tightness;
 pub mod traces;
+pub mod transport;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosOutcome, ReproBundle};
 pub use figures::{figure_grid, Figure};
@@ -53,3 +57,4 @@ pub use grid::Grid;
 pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig};
 pub use study::{run_config, run_study, ConfigOutcome, StudyConfig};
 pub use traces::TraceFigure;
+pub use transport::{run_transport_study, TransportOutcome, TransportStudyConfig};

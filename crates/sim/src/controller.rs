@@ -147,6 +147,12 @@ impl Controller {
     }
 
     /// The predecessor of `successor` just completed at `now`.
+    ///
+    /// Degraded releases enter through here too: when the failure
+    /// detector declares a predecessor's host dead, the engine offers the
+    /// forced release as if the (lost) completion signal had arrived, so
+    /// RG's rule-1 spacing still governs releases made from local
+    /// information alone.
     pub(crate) fn on_predecessor_complete(
         &mut self,
         successor: JobId,
@@ -281,6 +287,23 @@ impl Controller {
                 slot.guard.reinitialize(now);
                 debug_assert!(slot.instances.is_empty(), "cleared at crash");
             }
+        }
+    }
+
+    /// `true` when `subtask`'s guard (RG only) already queues a deferred
+    /// release for `instance`. The degraded-release path checks this
+    /// before forcing: when the real signal beat the death verdict and
+    /// sits deferred behind rule 1, forcing the same instance would
+    /// double-queue it and the duplicate would pop out of order later.
+    pub(crate) fn has_deferred(&self, subtask: SubtaskId, instance: u64) -> bool {
+        match self {
+            Controller::Rg {
+                guards,
+                flat,
+                slot_of,
+                ..
+            } => slot_of[flat.of(subtask)].is_some_and(|i| guards[i].instances.contains(&instance)),
+            _ => false,
         }
     }
 

@@ -1,0 +1,439 @@
+//! Heartbeat failure detection and graceful degradation.
+//!
+//! PR 3's recovery reconciliation is an oracle: the engine consults
+//! `FaultState::down` directly, so every processor "knows" about a crash
+//! the instant it happens. This module replaces that oracle with an
+//! endpoint protocol: every processor broadcasts a heartbeat each
+//! [`DetectorConfig::period`]; each *observer* processor keeps a per-peer
+//! freshness timer and walks the peer through
+//! [`PeerState::Alive`] → [`PeerState::Suspect`] → [`PeerState::Dead`] as
+//! silence accumulates. Transitions are compared against the ground-truth
+//! crash schedule for false-positive accounting ([`DetectStats`]).
+//!
+//! When the detector declares a predecessor's processor dead (and
+//! [`DetectorConfig::degradation`] is on), the engine degrades gracefully
+//! instead of stalling:
+//!
+//! * **RG** releases the blocked successor from local information alone —
+//!   the release is still offered to the guard machinery, so rule 1's
+//!   period spacing `g` holds even without the lost signal;
+//! * **MPM** re-arms its release cadence from the last *acked* signal of
+//!   that predecessor, extrapolating one period per instance.
+//!
+//! Every fallback is logged as a structured [`DegradationEvent`] on
+//! [`SimOutcome::degradations`]; late signals for force-released
+//! instances are recognized and suppressed.
+//!
+//! [`SimOutcome::degradations`]: crate::engine::SimOutcome::degradations
+
+use rtsync_core::time::{Dur, Time};
+
+use crate::job::JobId;
+
+/// Heartbeat failure-detector parameters (attached to a transport via
+/// [`TransportConfig::with_detector`]).
+///
+/// [`TransportConfig::with_detector`]: crate::transport::TransportConfig::with_detector
+#[derive(Clone, Debug)]
+pub struct DetectorConfig {
+    /// Heartbeat broadcast period.
+    pub period: Dur,
+    /// One-way heartbeat latency.
+    pub latency: Dur,
+    /// Silence after the last heartbeat before a peer turns
+    /// [`PeerState::Suspect`].
+    pub suspect_after: Dur,
+    /// Silence after the last heartbeat before a suspect turns
+    /// [`PeerState::Dead`] (must exceed `suspect_after`).
+    pub dead_after: Dur,
+    /// Whether a dead predecessor triggers degraded releases (RG
+    /// guard-from-local-information, MPM re-arm from last ack). Off, the
+    /// detector only observes.
+    pub degradation: bool,
+    /// Consecutive end-to-end deadline misses of one task before the
+    /// deadline watchdog trips (a structured event; `None` disables).
+    pub watchdog_misses: Option<u32>,
+}
+
+impl DetectorConfig {
+    /// A detector with the given heartbeat period: zero latency,
+    /// suspicion at 3 periods of silence, death at 6, degradation on,
+    /// watchdog off.
+    pub fn new(period: Dur) -> DetectorConfig {
+        assert!(period.is_positive(), "heartbeat period must be positive");
+        DetectorConfig {
+            period,
+            latency: Dur::ZERO,
+            suspect_after: Dur::from_ticks(period.ticks().saturating_mul(3)),
+            dead_after: Dur::from_ticks(period.ticks().saturating_mul(6)),
+            degradation: true,
+            watchdog_misses: None,
+        }
+    }
+
+    /// Sets the one-way heartbeat latency.
+    pub fn with_latency(mut self, latency: Dur) -> DetectorConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the suspicion and death thresholds (silence since the last
+    /// heartbeat).
+    pub fn with_thresholds(mut self, suspect_after: Dur, dead_after: Dur) -> DetectorConfig {
+        assert!(
+            suspect_after.is_positive() && dead_after > suspect_after,
+            "need 0 < suspect_after < dead_after"
+        );
+        self.suspect_after = suspect_after;
+        self.dead_after = dead_after;
+        self
+    }
+
+    /// Enables or disables degraded releases on a dead peer.
+    pub fn with_degradation(mut self, on: bool) -> DetectorConfig {
+        self.degradation = on;
+        self
+    }
+
+    /// Trips the deadline watchdog after `misses` consecutive end-to-end
+    /// misses of one task.
+    pub fn with_watchdog(mut self, misses: u32) -> DetectorConfig {
+        assert!(misses >= 1, "watchdog threshold must be at least 1");
+        self.watchdog_misses = Some(misses);
+        self
+    }
+
+    /// Residual silence a suspect must accumulate before it is declared
+    /// dead.
+    pub(crate) fn suspect_to_dead(&self) -> Dur {
+        self.dead_after - self.suspect_after
+    }
+}
+
+/// What an observer processor currently believes about one peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PeerState {
+    /// Heartbeats are fresh.
+    Alive,
+    /// Silence exceeded [`DetectorConfig::suspect_after`].
+    Suspect,
+    /// Silence exceeded [`DetectorConfig::dead_after`]; degraded releases
+    /// may begin.
+    Dead,
+}
+
+/// Detector counters for one run. "False" transitions are judged against
+/// the ground-truth crash schedule *at the instant of the transition*: the
+/// peer was actually up when the observer declared it suspect/dead.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DetectStats {
+    /// Heartbeats broadcast (one per up processor per peer per period).
+    pub heartbeats_sent: u64,
+    /// Heartbeats that reached an up observer.
+    pub heartbeats_delivered: u64,
+    /// Alive → Suspect transitions.
+    pub suspects: u64,
+    /// Suspect transitions where the peer was actually up.
+    pub false_suspects: u64,
+    /// Suspect → Dead transitions.
+    pub deads: u64,
+    /// Dead transitions where the peer was actually up.
+    pub false_deads: u64,
+    /// Suspect/Dead → Alive transitions (a heartbeat got through again).
+    pub revivals: u64,
+    /// Successor instances released from local information only.
+    pub forced_releases: u64,
+    /// Late real signals recognized for an already-forced instance and
+    /// suppressed.
+    pub stale_signals_suppressed: u64,
+    /// Deadline-watchdog trips (consecutive-miss threshold crossings).
+    pub watchdog_trips: u64,
+}
+
+impl DetectStats {
+    /// Share of dead declarations that contradicted the ground-truth
+    /// crash schedule; `None` when the detector never declared anyone
+    /// dead.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        if self.deads == 0 {
+            None
+        } else {
+            Some(self.false_deads as f64 / self.deads as f64)
+        }
+    }
+}
+
+/// One graceful-degradation (or detector-transition) event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Degradation {
+    /// `observer` stopped hearing `subject` and turned it Suspect.
+    PeerSuspect {
+        /// The processor whose detector transitioned.
+        observer: usize,
+        /// The silent peer.
+        subject: usize,
+        /// The peer was actually up (ground truth) at the transition.
+        false_positive: bool,
+    },
+    /// `observer` declared `subject` dead; degraded releases may begin.
+    PeerDead {
+        /// The processor whose detector transitioned.
+        observer: usize,
+        /// The silent peer.
+        subject: usize,
+        /// The peer was actually up (ground truth) at the transition.
+        false_positive: bool,
+    },
+    /// A heartbeat from `subject` reached `observer` again after
+    /// suspicion.
+    PeerRevived {
+        /// The processor whose detector transitioned.
+        observer: usize,
+        /// The recovered peer.
+        subject: usize,
+    },
+    /// `job` was released from local information only, without its
+    /// predecessor's signal, because `dead_peer` was declared dead.
+    ForcedRelease {
+        /// The successor instance released.
+        job: JobId,
+        /// The predecessor's processor, as declared dead.
+        dead_peer: usize,
+    },
+    /// A real (late) signal arrived for an instance that was already
+    /// force-released; the payload was suppressed.
+    StaleSignal {
+        /// The successor instance the late signal targeted.
+        job: JobId,
+    },
+    /// The sender abandoned a signal after its retry budget ran out; the
+    /// successor instance is lost.
+    SignalAbandoned {
+        /// The successor instance the abandoned frame carried.
+        job: JobId,
+        /// Transmission attempts spent (original + retransmissions).
+        attempts: u32,
+    },
+    /// Task `task` missed `streak` consecutive end-to-end deadlines.
+    WatchdogTrip {
+        /// The task whose deadline streak tripped the watchdog.
+        task: usize,
+        /// The consecutive-miss count at the trip.
+        streak: u32,
+    },
+}
+
+/// A [`Degradation`] stamped with its simulation instant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DegradationEvent {
+    /// When the event fired.
+    pub at: Time,
+    /// What happened.
+    pub kind: Degradation,
+}
+
+/// Per-run detector state: one `(observer, subject)` belief matrix plus
+/// the forced-release bookkeeping of the degradation controller.
+#[derive(Debug)]
+pub(crate) struct DetectState {
+    pub(crate) cfg: DetectorConfig,
+    num_procs: usize,
+    /// Heartbeats heard, per `observer × subject` (freshness generation:
+    /// a suspicion timer armed at generation `g` is stale once another
+    /// heartbeat lands).
+    heard_count: Vec<u64>,
+    /// Current belief, per `observer × subject`.
+    state: Vec<PeerState>,
+    /// Per flat successor index: instances force-released from local
+    /// information (late real signals for these are suppressed).
+    forced: Vec<std::collections::BTreeSet<u64>>,
+    pub(crate) stats: DetectStats,
+}
+
+impl DetectState {
+    pub(crate) fn new(cfg: DetectorConfig, num_procs: usize, flat_len: usize) -> DetectState {
+        DetectState {
+            cfg,
+            num_procs,
+            heard_count: vec![0; num_procs * num_procs],
+            state: vec![PeerState::Alive; num_procs * num_procs],
+            forced: vec![std::collections::BTreeSet::new(); flat_len],
+            stats: DetectStats::default(),
+        }
+    }
+
+    fn slot(&self, observer: usize, subject: usize) -> usize {
+        observer * self.num_procs + subject
+    }
+
+    /// A heartbeat from `subject` reached `observer`: refresh the
+    /// generation and revive the peer if it was under suspicion. Returns
+    /// the new generation and whether this was a revival.
+    pub(crate) fn heard(&mut self, observer: usize, subject: usize) -> (u64, bool) {
+        let slot = self.slot(observer, subject);
+        self.stats.heartbeats_delivered += 1;
+        self.heard_count[slot] += 1;
+        let revived = self.state[slot] != PeerState::Alive;
+        if revived {
+            self.stats.revivals += 1;
+            self.state[slot] = PeerState::Alive;
+        }
+        (self.heard_count[slot], revived)
+    }
+
+    /// The freshness generation a suspicion timer must match to fire.
+    pub(crate) fn generation(&self, observer: usize, subject: usize) -> u64 {
+        self.heard_count[self.slot(observer, subject)]
+    }
+
+    /// Current belief of `observer` about `subject`.
+    pub(crate) fn peer_state(&self, observer: usize, subject: usize) -> PeerState {
+        self.state[self.slot(observer, subject)]
+    }
+
+    /// A suspicion timer fired with a fresh generation: advance the
+    /// belief one step. `actually_down` is the ground truth at this
+    /// instant. Returns the transition taken, if any.
+    pub(crate) fn advance_suspicion(
+        &mut self,
+        observer: usize,
+        subject: usize,
+        actually_down: bool,
+    ) -> Option<PeerState> {
+        let slot = self.slot(observer, subject);
+        match self.state[slot] {
+            PeerState::Alive => {
+                self.state[slot] = PeerState::Suspect;
+                self.stats.suspects += 1;
+                if !actually_down {
+                    self.stats.false_suspects += 1;
+                }
+                Some(PeerState::Suspect)
+            }
+            PeerState::Suspect => {
+                self.state[slot] = PeerState::Dead;
+                self.stats.deads += 1;
+                if !actually_down {
+                    self.stats.false_deads += 1;
+                }
+                Some(PeerState::Dead)
+            }
+            PeerState::Dead => None,
+        }
+    }
+
+    /// Marks `instance` of flat successor `fi` as force-released; returns
+    /// `false` if it already was.
+    pub(crate) fn force(&mut self, fi: usize, instance: u64) -> bool {
+        if self.forced[fi].insert(instance) {
+            self.stats.forced_releases += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `instance` of flat successor `fi` was force-released (its
+    /// late real signal must be suppressed).
+    pub(crate) fn is_forced(&self, fi: usize, instance: u64) -> bool {
+        self.forced[fi].contains(&instance)
+    }
+
+    /// Subjects that `observer` currently believes dead.
+    pub(crate) fn dead_peers(&self, observer: usize) -> Vec<usize> {
+        (0..self.num_procs)
+            .filter(|&s| s != observer && self.peer_state(observer, s) == PeerState::Dead)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtsync_core::task::{SubtaskId, TaskId};
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn defaults_scale_with_the_period() {
+        let cfg = DetectorConfig::new(d(10));
+        assert_eq!(cfg.suspect_after, d(30));
+        assert_eq!(cfg.dead_after, d(60));
+        assert_eq!(cfg.suspect_to_dead(), d(30));
+        assert!(cfg.degradation);
+        assert!(cfg.watchdog_misses.is_none());
+    }
+
+    #[test]
+    fn silence_walks_alive_suspect_dead_with_ground_truth_accounting() {
+        let cfg = DetectorConfig::new(d(10));
+        let mut st = DetectState::new(cfg, 3, 2);
+        assert_eq!(st.peer_state(0, 1), PeerState::Alive);
+        // False suspicion: peer actually up.
+        assert_eq!(st.advance_suspicion(0, 1, false), Some(PeerState::Suspect));
+        // Real death: peer actually down by now.
+        assert_eq!(st.advance_suspicion(0, 1, true), Some(PeerState::Dead));
+        // Further firings are inert.
+        assert_eq!(st.advance_suspicion(0, 1, true), None);
+        assert_eq!(st.stats.suspects, 1);
+        assert_eq!(st.stats.false_suspects, 1);
+        assert_eq!(st.stats.deads, 1);
+        assert_eq!(st.stats.false_deads, 0);
+        assert_eq!(st.stats.false_positive_rate(), Some(0.0));
+        assert_eq!(st.dead_peers(0), vec![1]);
+        assert_eq!(st.dead_peers(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn heartbeats_revive_and_bump_the_generation() {
+        let cfg = DetectorConfig::new(d(10));
+        let mut st = DetectState::new(cfg, 2, 1);
+        assert_eq!(st.generation(0, 1), 0);
+        let (generation, revived) = st.heard(0, 1);
+        assert_eq!((generation, revived), (1, false));
+        st.advance_suspicion(0, 1, true);
+        st.advance_suspicion(0, 1, true);
+        assert_eq!(st.peer_state(0, 1), PeerState::Dead);
+        let (generation, revived) = st.heard(0, 1);
+        assert_eq!((generation, revived), (2, true));
+        assert_eq!(st.peer_state(0, 1), PeerState::Alive);
+        assert_eq!(st.stats.revivals, 1);
+    }
+
+    #[test]
+    fn forcing_is_idempotent_per_instance() {
+        let cfg = DetectorConfig::new(d(10));
+        let mut st = DetectState::new(cfg, 2, 3);
+        assert!(st.force(1, 4));
+        assert!(!st.force(1, 4));
+        assert!(st.is_forced(1, 4));
+        assert!(!st.is_forced(1, 5));
+        assert!(!st.is_forced(0, 4));
+        assert_eq!(st.stats.forced_releases, 1);
+    }
+
+    #[test]
+    fn degradation_events_compare_by_value() {
+        let job = JobId::new(SubtaskId::new(TaskId::new(0), 1), 2);
+        let a = DegradationEvent {
+            at: Time::from_ticks(5),
+            kind: Degradation::ForcedRelease { job, dead_peer: 1 },
+        };
+        assert_eq!(a, a);
+        assert_ne!(
+            a,
+            DegradationEvent {
+                at: Time::from_ticks(5),
+                kind: Degradation::StaleSignal { job },
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect_after")]
+    fn thresholds_must_be_ordered() {
+        let _ = DetectorConfig::new(d(10)).with_thresholds(d(20), d(20));
+    }
+}

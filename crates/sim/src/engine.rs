@@ -36,18 +36,22 @@ use rtsync_core::task::{ProcessorId, SubtaskId, TaskSet};
 use rtsync_core::time::{Dur, Time};
 
 use crate::controller::{CompletionDirective, Controller, FlatIndex};
+use crate::detect::{Degradation, DegradationEvent, DetectState, DetectStats, PeerState};
 use crate::event::{EventKind, EventQueue};
 use crate::faults::{
     BacklogItem, BacklogKind, FaultConfig, FaultState, FaultStats, OverloadPolicy,
 };
 use crate::job::JobId;
 use crate::metrics::Metrics;
-use crate::nonideal::{ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig};
+use crate::nonideal::{
+    ChannelModel, ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig,
+};
 use crate::observe::{NoopObserver, Observer};
 use crate::processor::{Milestone, Processor, Resched};
 use crate::profile::PriorityProfile;
 use crate::source::SourceModel;
 use crate::trace::Trace;
+use crate::transport::{TransportConfig, TransportState, TransportStats};
 
 /// Simulation parameters.
 #[derive(Clone, Debug)]
@@ -82,6 +86,11 @@ pub struct SimConfig {
     /// Processor crash/recovery faults (fail-stop). `None` — the default —
     /// keeps the fault domain completely out of the run.
     pub faults: Option<FaultConfig>,
+    /// Endpoint-driven reliable signaling: sequence-numbered frames, acks,
+    /// retransmission timers, and (optionally) heartbeat failure detection
+    /// with graceful degradation. `None` — the default — keeps the signal
+    /// path bit-for-bit identical to the legacy engine.
+    pub transport: Option<TransportConfig>,
 }
 
 impl SimConfig {
@@ -99,7 +108,15 @@ impl SimConfig {
             warmup_instances: 0,
             nonideal: NonidealConfig::default(),
             faults: None,
+            transport: None,
         }
+    }
+
+    /// Enables the endpoint reliable transport (and, through its detector,
+    /// heartbeat failure detection and graceful degradation).
+    pub fn with_transport(mut self, transport: TransportConfig) -> SimConfig {
+        self.transport = Some(transport);
+        self
     }
 
     /// Sets the nonideal-conditions model (clock error, signal channel).
@@ -217,6 +234,15 @@ pub struct SimOutcome {
     pub channel_stats: ChannelStats,
     /// Fault-domain counters (all zero when no faults were configured).
     pub fault_stats: FaultStats,
+    /// Endpoint-transport counters (all zero when no transport was
+    /// configured).
+    pub transport_stats: TransportStats,
+    /// Failure-detector counters (all zero when no detector was
+    /// configured).
+    pub detect_stats: DetectStats,
+    /// Structured degradation events (detector transitions, forced
+    /// releases, abandoned signals, watchdog trips), in firing order.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl SimOutcome {
@@ -324,6 +350,14 @@ struct Engine<'a, O: Observer> {
     channel: Option<ChannelState>,
     /// Crash/recovery fault state; `None` keeps the fail-free legacy path.
     faults: Option<FaultState>,
+    /// Endpoint transport state; `None` keeps the oracle signal path.
+    transport: Option<TransportState>,
+    /// Failure-detector state; `None` runs no heartbeats.
+    detect: Option<DetectState>,
+    /// Structured degradation log (see [`SimOutcome::degradations`]).
+    degradations: Vec<DegradationEvent>,
+    /// Consecutive end-to-end deadline misses per task (the watchdog).
+    miss_streak: Vec<u32>,
     horizon: Time,
     events: u64,
     now: Time,
@@ -341,10 +375,19 @@ impl<'a, O: Observer> Engine<'a, O> {
         let flat = FlatIndex::new(set);
         let clocks = (!cfg.nonideal.clocks.is_ideal())
             .then(|| cfg.nonideal.clocks.resolve(set.num_processors()));
-        let channel = cfg
-            .nonideal
-            .channel
-            .map(|model| ChannelState::new(model, flat.len()));
+        // With a transport attached the channel still prices the wire, but
+        // endpoint retransmission replaces the oracle mode (a drop is a
+        // drop); without a configured channel the transport rides a
+        // zero-latency loss-free wire so frames still flow as events.
+        let channel = match (cfg.nonideal.channel, cfg.transport.is_some()) {
+            (Some(model), true) => Some(ChannelState::new(model.endpoint_normalized(), flat.len())),
+            (Some(model), false) => Some(ChannelState::new(model, flat.len())),
+            (None, true) => Some(ChannelState::new(
+                ChannelModel::constant(Dur::ZERO),
+                flat.len(),
+            )),
+            (None, false) => None,
+        };
         let (controller, pm_phases) = match cfg.protocol {
             Protocol::DirectSync => (Controller::ds(), None),
             Protocol::ReleaseGuard => {
@@ -375,14 +418,38 @@ impl<'a, O: Observer> Engine<'a, O> {
         // Resolve the fault schedule against the fail-free horizon, then
         // extend the horizon by the total scheduled downtime so the
         // instance target stays reachable despite the outages.
-        let faults = cfg
-            .faults
-            .as_ref()
-            .map(|fc| FaultState::new(fc, set.num_processors(), flat.len(), horizon));
+        // The transport's give-up path resolves doomed instances through
+        // the fault domain's cancel machinery, so transport mode always
+        // carries a fault state — an empty schedule when none was asked
+        // for (behaviorally identical to no faults at all).
+        let faults = match (&cfg.faults, cfg.transport.is_some()) {
+            (Some(fc), _) => Some(FaultState::new(
+                fc,
+                set.num_processors(),
+                flat.len(),
+                horizon,
+            )),
+            (None, true) => Some(FaultState::new(
+                &FaultConfig::explicit(Vec::new()),
+                set.num_processors(),
+                flat.len(),
+                horizon,
+            )),
+            (None, false) => None,
+        };
         let horizon = match &faults {
             Some(fs) => horizon.saturating_add(fs.total_downtime()),
             None => horizon,
         };
+        let transport = cfg
+            .transport
+            .as_ref()
+            .map(|t| TransportState::new(t.clone(), flat.len()));
+        let detect = cfg
+            .transport
+            .as_ref()
+            .and_then(|t| t.detector.as_ref())
+            .map(|dc| DetectState::new(dc.clone(), set.num_processors(), flat.len()));
         Ok(Engine {
             set,
             cfg,
@@ -414,6 +481,10 @@ impl<'a, O: Observer> Engine<'a, O> {
             clocks,
             channel,
             faults,
+            transport,
+            detect,
+            degradations: Vec::new(),
+            miss_streak: vec![0; set.num_tasks()],
             horizon,
             events: 0,
             now: Time::ZERO,
@@ -480,6 +551,39 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.queue.push(time, kind);
         }
 
+        // Seed the failure detector: one heartbeat broadcast chain per
+        // processor, plus an initial suspicion timer per ordered pair so a
+        // processor that is down from t = 0 still gets detected (the first
+        // heartbeat lands well before `suspect_after`, refreshing the
+        // generation and staling the initial timer on healthy pairs).
+        if let Some(dt) = &self.detect {
+            let period = dt.cfg.period;
+            let suspect_after = dt.cfg.suspect_after;
+            let procs = self.set.num_processors();
+            for p in 0..procs {
+                self.queue.push(
+                    Time::ZERO + period,
+                    EventKind::HeartbeatSend {
+                        proc: ProcessorId::new(p),
+                    },
+                );
+            }
+            for o in 0..procs {
+                for s in 0..procs {
+                    if o != s {
+                        self.queue.push(
+                            Time::ZERO + suspect_after,
+                            EventKind::SuspectTimer {
+                                observer: ProcessorId::new(o),
+                                subject: ProcessorId::new(s),
+                                gen: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
         let mut reached_target = false;
         while let Some(event) = self.queue.pop() {
             if event.time > self.horizon || self.events >= self.cfg.max_events {
@@ -502,6 +606,21 @@ impl<'a, O: Observer> Engine<'a, O> {
                 }
                 EventKind::TimedRelease { subtask, instance } => {
                     self.on_timed_release(subtask, instance)
+                }
+                EventKind::TransportDeliver { job, seq } => self.on_transport_deliver(job, seq),
+                EventKind::AckDeliver { seq } => self.on_ack_deliver(seq),
+                EventKind::RetransmitTimer { seq, attempt } => {
+                    self.on_retransmit_timer(seq, attempt)
+                }
+                EventKind::HeartbeatSend { proc } => self.on_heartbeat_send(proc),
+                EventKind::HeartbeatDeliver { from, to } => self.on_heartbeat_deliver(from, to),
+                EventKind::SuspectTimer {
+                    observer,
+                    subject,
+                    gen,
+                } => self.on_suspect_timer(observer, subject, gen),
+                EventKind::DegradedRelease { subtask, instance } => {
+                    self.on_degraded_release(subtask, instance)
                 }
             }
             // Dispatch decisions are made once per *instant*, after every
@@ -533,6 +652,9 @@ impl<'a, O: Observer> Engine<'a, O> {
             busy_ticks: self.busy_ticks,
             channel_stats: self.channel.map(|ch| ch.stats).unwrap_or_default(),
             fault_stats: self.faults.map(|fs| fs.stats).unwrap_or_default(),
+            transport_stats: self.transport.map(|t| t.stats).unwrap_or_default(),
+            detect_stats: self.detect.map(|d| d.stats).unwrap_or_default(),
+            degradations: self.degradations,
         })
     }
 
@@ -576,13 +698,16 @@ impl<'a, O: Observer> Engine<'a, O> {
         match task.successor_of(job.subtask()) {
             None => {
                 // End-to-end completion.
-                self.metrics.record_task_completion(
+                let verdict = self.metrics.record_task_completion(
                     job.task(),
                     job.instance(),
                     self.now,
                     task.deadline(),
                     job.instance() >= self.cfg.warmup_instances,
                 );
+                if let Some(missed) = verdict {
+                    self.note_watchdog(job.task().index(), missed);
+                }
             }
             Some(succ) => {
                 // Under MPM (and PM) the completion itself carries no
@@ -657,7 +782,10 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.obs
                 .on_sync_interrupt(self.now, from.index(), succ_proc.index(), succ_job);
         }
-        if self.channel.is_some() && succ_proc != from && !signalless {
+        if self.transport.is_some() && succ_proc != from && !signalless {
+            // Endpoint mode: the signal becomes a numbered, acked frame.
+            self.transport_send(from.index(), succ_job, None);
+        } else if self.channel.is_some() && succ_proc != from && !signalless {
             self.queue
                 .push(self.now, EventKind::SignalSend { job: succ_job });
         } else {
@@ -668,6 +796,22 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// A successor-release signal has arrived at its processor (directly
     /// or via the channel): hand it to the protocol.
     fn apply_signal(&mut self, succ_job: JobId) {
+        // Degradation gate: a late real signal for an instance the
+        // controller already force-released carries nothing new — its
+        // payload is suppressed (and logged) instead of double-releasing.
+        let stale = self
+            .detect
+            .as_ref()
+            .is_some_and(|dt| dt.is_forced(self.flat.of(succ_job.subtask()), succ_job.instance()));
+        if stale {
+            self.detect
+                .as_mut()
+                .expect("checked above")
+                .stats
+                .stale_signals_suppressed += 1;
+            self.push_degradation(Degradation::StaleSignal { job: succ_job });
+            return;
+        }
         // Fault gate: a signal reaching a crashed receiver is backlogged
         // and resolved at recovery under the overload policy. The wire
         // worked — this is receiver-down, not signal-lost.
@@ -768,6 +912,529 @@ impl<'a, O: Observer> Engine<'a, O> {
             self.obs.on_signal_deliver(self.now, delivered);
             self.apply_signal(delivered);
         }
+    }
+
+    /// Transmits (or retransmits) the frame carrying `job`'s release
+    /// request: one wire draw per copy, plus a retransmission timer.
+    /// `resend` is `None` for a fresh frame, `Some((seq, attempt))` for a
+    /// retransmission reusing its original sequence number (so the
+    /// receiver can deduplicate every copy).
+    fn transport_send(&mut self, from: usize, job: JobId, resend: Option<(u64, u32)>) {
+        let (seq, attempt) = match resend {
+            Some((seq, attempt)) => (seq, attempt),
+            None => {
+                let seq = self
+                    .transport
+                    .as_mut()
+                    .expect("transport attached")
+                    .register_send(job, from, self.now);
+                (seq, 0)
+            }
+        };
+        self.obs
+            .on_transport_send(self.now, job, seq, resend.is_some());
+        // The channel prices the wire per copy; in endpoint mode a drop
+        // delivers nothing and the retransmission timer covers the loss.
+        let plan = self
+            .channel
+            .as_mut()
+            .expect("transport implies a channel")
+            .send();
+        for delay in plan.deliveries {
+            self.queue
+                .push(self.now + delay, EventKind::TransportDeliver { job, seq });
+        }
+        let rto = self
+            .transport
+            .as_ref()
+            .expect("transport attached")
+            .cfg
+            .rto(attempt);
+        self.queue
+            .push(self.now + rto, EventKind::RetransmitTimer { seq, attempt });
+    }
+
+    /// One copy of a frame reaches its receiver: ack every copy, apply the
+    /// first. A copy landing on a crashed node is simply gone — no ack and
+    /// no recovery backlog; the sender's retransmission timer replaces the
+    /// oracle replay of the legacy fault path.
+    fn on_transport_deliver(&mut self, job: JobId, seq: u64) {
+        let succ_proc = self.set.subtask(job.subtask()).processor().index();
+        if self.faults.as_ref().is_some_and(|fs| fs.down[succ_proc]) {
+            self.transport
+                .as_mut()
+                .expect("transport attached")
+                .stats
+                .receiver_down += 1;
+            return;
+        }
+        let tr = self.transport.as_mut().expect("transport attached");
+        let fresh = tr.on_deliver(seq);
+        let ack_dropped = tr.ack_dropped();
+        let ack_latency = tr.cfg.ack_latency;
+        if !ack_dropped {
+            self.queue
+                .push(self.now + ack_latency, EventKind::AckDeliver { seq });
+        }
+        if !fresh {
+            return;
+        }
+        // Fresh payload: hand it to the channel's in-order cursor (frames
+        // can arrive instance-out-of-order under retransmission) and apply
+        // whatever becomes applicable.
+        let fi = self.flat.of(job.subtask());
+        let applicable = self
+            .channel
+            .as_mut()
+            .expect("transport implies a channel")
+            .deliver(fi, job.instance());
+        for instance in applicable {
+            let delivered = JobId::new(job.subtask(), instance);
+            self.obs.on_signal_deliver(self.now, delivered);
+            self.apply_signal(delivered);
+        }
+    }
+
+    /// An ack reaches the frame's sender. Acks are accepted even while the
+    /// sender is down: the window is journaled transport state, not
+    /// volatile protocol state.
+    fn on_ack_deliver(&mut self, seq: u64) {
+        let entry = self
+            .transport
+            .as_ref()
+            .expect("transport attached")
+            .in_flight(seq)
+            .copied();
+        match entry {
+            Some(e) => {
+                let fi = self.flat.of(e.job.subtask());
+                let closed = self
+                    .transport
+                    .as_mut()
+                    .expect("transport attached")
+                    .on_ack(seq, self.now, fi)
+                    .expect("entry was in flight");
+                let rtt = self.now - closed.first_sent;
+                self.obs.on_transport_ack(self.now, seq, Some(rtt), false);
+            }
+            None => {
+                // The frame was already closed (or abandoned): a dup-ack.
+                self.transport
+                    .as_mut()
+                    .expect("transport attached")
+                    .on_ack(seq, self.now, 0);
+                self.obs.on_transport_ack(self.now, seq, None, true);
+            }
+        }
+    }
+
+    /// The retransmission timer of one frame fired. Stale firings (the
+    /// frame was acked, abandoned, or already retransmitted under a newer
+    /// timer) are no-ops.
+    fn on_retransmit_timer(&mut self, seq: u64, attempt: u32) {
+        let entry = self
+            .transport
+            .as_ref()
+            .expect("transport attached")
+            .in_flight(seq)
+            .copied();
+        let Some(entry) = entry else {
+            return; // acked or abandoned
+        };
+        if entry.attempt != attempt {
+            return; // superseded by a newer retransmission's timer
+        }
+        // A crashed sender cannot retransmit, but its journaled send
+        // queue survives the outage: re-arm the same attempt so the
+        // frame resumes once the node is back (this is what keeps the
+        // unbounded-budget zero-loss guarantee alive across crashes).
+        if self.faults.as_ref().is_some_and(|fs| fs.down[entry.from]) {
+            let rto = self
+                .transport
+                .as_ref()
+                .expect("transport attached")
+                .cfg
+                .rto(attempt);
+            self.queue
+                .push(self.now + rto, EventKind::RetransmitTimer { seq, attempt });
+            return;
+        }
+        let budget = self
+            .transport
+            .as_ref()
+            .expect("transport attached")
+            .cfg
+            .retry_budget;
+        if budget.is_some_and(|b| entry.attempt >= b) {
+            // Budget exhausted: abandon the frame. The signal it carried
+            // was the instance's only release request — resolve the doomed
+            // chain so bounded-budget runs still terminate.
+            let dead = self
+                .transport
+                .as_mut()
+                .expect("transport attached")
+                .give_up(seq);
+            self.push_violation(Violation {
+                kind: ViolationKind::SignalLost,
+                job: dead.job,
+                time: self.now,
+            });
+            self.push_degradation(Degradation::SignalAbandoned {
+                job: dead.job,
+                attempts: dead.attempt + 1,
+            });
+            let fi = self.flat.of(dead.job.subtask());
+            let forced = self
+                .detect
+                .as_ref()
+                .is_some_and(|dt| dt.is_forced(fi, dead.job.instance()));
+            if self.released[fi] <= dead.job.instance() && !forced {
+                self.cancel_instance(dead.job, false);
+            }
+            return;
+        }
+        let next = self
+            .transport
+            .as_mut()
+            .expect("transport attached")
+            .bump_attempt(seq);
+        self.transport_send(entry.from, entry.job, Some((seq, next)));
+    }
+
+    /// A processor's periodic heartbeat broadcast. The chain ticks whether
+    /// the node is up or not — a crashed node simply stays silent until it
+    /// recovers.
+    fn on_heartbeat_send(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        let up = !self.faults.as_ref().is_some_and(|fs| fs.down[p]);
+        let (period, latency) = {
+            let dt = self.detect.as_ref().expect("detector attached");
+            (dt.cfg.period, dt.cfg.latency)
+        };
+        if up {
+            for q in 0..self.set.num_processors() {
+                if q == p {
+                    continue;
+                }
+                self.detect
+                    .as_mut()
+                    .expect("detector attached")
+                    .stats
+                    .heartbeats_sent += 1;
+                self.queue.push(
+                    self.now + latency,
+                    EventKind::HeartbeatDeliver {
+                        from: proc,
+                        to: ProcessorId::new(q),
+                    },
+                );
+            }
+        }
+        let next = self.now + period;
+        if next <= self.horizon {
+            self.queue.push(next, EventKind::HeartbeatSend { proc });
+        }
+    }
+
+    /// A heartbeat lands on an observer: refresh the pair's freshness
+    /// generation (staling any pending suspicion timer) and arm a new one.
+    /// A detector on a crashed node is frozen — it resumes with its
+    /// pre-crash beliefs at recovery.
+    fn on_heartbeat_deliver(&mut self, from: ProcessorId, to: ProcessorId) {
+        if self.faults.as_ref().is_some_and(|fs| fs.down[to.index()]) {
+            return;
+        }
+        self.obs.on_heartbeat(self.now, from.index(), to.index());
+        let (gen, revived) = self
+            .detect
+            .as_mut()
+            .expect("detector attached")
+            .heard(to.index(), from.index());
+        if revived {
+            self.push_degradation(Degradation::PeerRevived {
+                observer: to.index(),
+                subject: from.index(),
+            });
+        }
+        let suspect_after = self
+            .detect
+            .as_ref()
+            .expect("detector attached")
+            .cfg
+            .suspect_after;
+        self.queue.push(
+            self.now + suspect_after,
+            EventKind::SuspectTimer {
+                observer: to,
+                subject: from,
+                gen,
+            },
+        );
+    }
+
+    /// A pair's suspicion timer fired with a still-fresh generation: walk
+    /// the observer's belief one step (Alive → Suspect → Dead), judging it
+    /// against the ground-truth crash schedule, and start degraded
+    /// releases on a death.
+    fn on_suspect_timer(&mut self, observer: ProcessorId, subject: ProcessorId, gen: u64) {
+        let (o, s) = (observer.index(), subject.index());
+        if self.faults.as_ref().is_some_and(|fs| fs.down[o]) {
+            return; // frozen detector
+        }
+        if self
+            .detect
+            .as_ref()
+            .expect("detector attached")
+            .generation(o, s)
+            != gen
+        {
+            return; // a fresher heartbeat superseded this timer
+        }
+        let actually_down = self.faults.as_ref().is_some_and(|fs| fs.down[s]);
+        let transition = self
+            .detect
+            .as_mut()
+            .expect("detector attached")
+            .advance_suspicion(o, s, actually_down);
+        match transition {
+            Some(PeerState::Suspect) => {
+                self.push_degradation(Degradation::PeerSuspect {
+                    observer: o,
+                    subject: s,
+                    false_positive: !actually_down,
+                });
+                let residue = self
+                    .detect
+                    .as_ref()
+                    .expect("detector attached")
+                    .cfg
+                    .suspect_to_dead();
+                self.queue.push(
+                    self.now + residue,
+                    EventKind::SuspectTimer {
+                        observer,
+                        subject,
+                        gen,
+                    },
+                );
+            }
+            Some(PeerState::Dead) => {
+                self.push_degradation(Degradation::PeerDead {
+                    observer: o,
+                    subject: s,
+                    false_positive: !actually_down,
+                });
+                self.start_degradation(o, s);
+            }
+            _ => {}
+        }
+    }
+
+    /// The detector on `observer` declared `dead` dead: begin degraded
+    /// releases for every successor hosted on `observer` whose predecessor
+    /// lives on `dead`. RG and MPM only — DS has no local release rule to
+    /// fall back on, and PM never waited for the signal to begin with.
+    fn start_degradation(&mut self, observer: usize, dead: usize) {
+        let degrade = self
+            .detect
+            .as_ref()
+            .expect("detector attached")
+            .cfg
+            .degradation;
+        if !degrade
+            || !matches!(
+                self.cfg.protocol,
+                Protocol::ReleaseGuard | Protocol::ModifiedPhaseModification
+            )
+        {
+            return;
+        }
+        let mut targets = Vec::new();
+        for task in self.set.tasks() {
+            let subs = task.subtasks();
+            for i in 1..subs.len() {
+                if subs[i].processor().index() == observer
+                    && subs[i - 1].processor().index() == dead
+                {
+                    targets.push(subs[i].id());
+                }
+            }
+        }
+        for subtask in targets {
+            self.schedule_degraded(subtask, dead);
+        }
+    }
+
+    /// Schedules the next degraded release of `subtask`. MPM re-arms its
+    /// cadence from the last *acked* signal of this successor,
+    /// extrapolating one period per instance; RG releases now and lets the
+    /// guard machinery enforce the period spacing `g`.
+    fn schedule_degraded(&mut self, subtask: SubtaskId, _dead_peer: usize) {
+        let fi = self.flat.of(subtask);
+        let m = self.next_unreleased_instance(fi);
+        let period = self.set.task(subtask.task()).period();
+        let at = match self.cfg.protocol {
+            Protocol::ModifiedPhaseModification => {
+                match self
+                    .transport
+                    .as_ref()
+                    .expect("transport attached")
+                    .last_acked(fi)
+                {
+                    Some((sent, am)) if m > am => sent
+                        .saturating_add(period.saturating_mul((m - am) as i64))
+                        .max(self.now),
+                    _ => self.now,
+                }
+            }
+            _ => self.now,
+        };
+        if at <= self.horizon {
+            self.queue.push(
+                at,
+                EventKind::DegradedRelease {
+                    subtask,
+                    instance: m,
+                },
+            );
+        }
+    }
+
+    /// A degraded release fires: recheck liveness and release progress
+    /// (the event is lazily invalidated), then force-release the instance
+    /// from local information and march the chain one period forward.
+    fn on_degraded_release(&mut self, subtask: SubtaskId, instance: u64) {
+        let proc = self.set.subtask(subtask).processor().index();
+        let task = self.set.task(subtask.task());
+        let pred_proc = task.subtasks()[subtask.index() - 1].processor().index();
+        // The chain dies silently while its own node is down (recovery
+        // restarts it) and on revival (real signals flow again).
+        if self.faults.as_ref().is_some_and(|fs| fs.down[proc]) {
+            return;
+        }
+        let belief = self
+            .detect
+            .as_ref()
+            .expect("detector attached")
+            .peer_state(proc, pred_proc);
+        if belief != PeerState::Dead {
+            return;
+        }
+        let fi = self.flat.of(subtask);
+        let m = self.next_unreleased_instance(fi);
+        if m != instance {
+            // A late real signal (or recovery) already moved the head;
+            // re-aim the chain at the current head one period out.
+            let at = self.now + task.period();
+            if at <= self.horizon {
+                self.queue.push(
+                    at,
+                    EventKind::DegradedRelease {
+                        subtask,
+                        instance: m,
+                    },
+                );
+            }
+            return;
+        }
+        if self.controller.has_deferred(subtask, instance) {
+            // The real signal arrived before the death verdict and sits
+            // deferred behind rule 1 — the guard will release it; forcing
+            // it too would double-queue the instance. Check back in a
+            // period.
+            let at = self.now + task.period();
+            if at <= self.horizon {
+                self.queue
+                    .push(at, EventKind::DegradedRelease { subtask, instance });
+            }
+            return;
+        }
+        let job = JobId::new(subtask, instance);
+        let fresh = self
+            .detect
+            .as_mut()
+            .expect("detector attached")
+            .force(fi, instance);
+        if fresh {
+            // Mark BEFORE releasing so the precedence checks (engine and
+            // invariant observer) see the waiver.
+            self.push_degradation(Degradation::ForcedRelease {
+                job,
+                dead_peer: pred_proc,
+            });
+            match self.cfg.protocol {
+                Protocol::ModifiedPhaseModification => self.release(job),
+                _ => {
+                    // RG: offer the forced release to the guard machinery
+                    // so rule-1 spacing holds without the lost signal.
+                    match self.controller.on_predecessor_complete(job, self.now) {
+                        CompletionDirective::ReleaseSuccessor => self.release(job),
+                        CompletionDirective::ScheduleExpiry { due, gen } => {
+                            self.obs.on_guard_block(self.now, job, due);
+                            self.queue
+                                .push(due.max(self.now), EventKind::GuardExpiry { subtask, gen });
+                        }
+                        CompletionDirective::Nothing => {}
+                    }
+                }
+            }
+        }
+        let next_at = self.now + task.period();
+        if next_at <= self.horizon {
+            self.queue.push(
+                next_at,
+                EventKind::DegradedRelease {
+                    subtask,
+                    instance: instance + 1,
+                },
+            );
+        }
+    }
+
+    /// The next instance of flat subtask `fi` that neither released nor
+    /// got cancelled.
+    fn next_unreleased_instance(&self, fi: usize) -> u64 {
+        let mut m = self.released[fi];
+        if let Some(fs) = &self.faults {
+            while fs.cancelled[fi].contains(&m) {
+                m += 1;
+            }
+        }
+        m
+    }
+
+    /// Deadline watchdog: count consecutive measured end-to-end misses per
+    /// task and trip exactly once per streak when it reaches the
+    /// configured threshold.
+    fn note_watchdog(&mut self, task: usize, missed: bool) {
+        let threshold = self.detect.as_ref().and_then(|dt| dt.cfg.watchdog_misses);
+        let Some(threshold) = threshold else {
+            return;
+        };
+        if !missed {
+            self.miss_streak[task] = 0;
+            return;
+        }
+        self.miss_streak[task] += 1;
+        if self.miss_streak[task] == threshold {
+            self.detect
+                .as_mut()
+                .expect("checked above")
+                .stats
+                .watchdog_trips += 1;
+            self.push_degradation(Degradation::WatchdogTrip {
+                task,
+                streak: threshold,
+            });
+        }
+    }
+
+    /// Logs one structured degradation event (observer hook + outcome
+    /// record).
+    fn push_degradation(&mut self, kind: Degradation) {
+        self.obs.on_degradation(self.now, &kind);
+        self.degradations
+            .push(DegradationEvent { at: self.now, kind });
     }
 
     fn on_guard_expiry(&mut self, subtask: SubtaskId, gen: u64) {
@@ -959,6 +1626,15 @@ impl<'a, O: Observer> Engine<'a, O> {
                 self.cancel_instance(item.job, false);
             }
         }
+        // A restarted node's detector resumes with its pre-crash beliefs:
+        // peers it still holds dead resume degraded releases right away
+        // (the old chains died while the node was down).
+        if self.detect.is_some() {
+            let dead = self.detect.as_ref().expect("checked above").dead_peers(p);
+            for s in dead {
+                self.start_degradation(p, s);
+            }
+        }
         self.mark_dirty(proc);
     }
 
@@ -1125,7 +1801,14 @@ impl<'a, O: Observer> Engine<'a, O> {
                 .faults
                 .as_ref()
                 .is_some_and(|fs| fs.cancelled[pred_fi].contains(&pred.instance()));
-            if self.completed[pred_fi] <= pred.instance() || pred_cancelled {
+            // A forced (degraded) release knowingly precedes its
+            // predecessor's completion; it is a logged degradation event,
+            // not a protocol violation.
+            let forced = self
+                .detect
+                .as_ref()
+                .is_some_and(|dt| dt.is_forced(fi, job.instance()));
+            if (self.completed[pred_fi] <= pred.instance() || pred_cancelled) && !forced {
                 self.push_violation(Violation {
                     kind: ViolationKind::PrecedenceViolated,
                     job,
@@ -1253,7 +1936,40 @@ fn default_horizon(set: &TaskSet, cfg: &SimConfig) -> Time {
         .unwrap_or(Time::ZERO);
     // Nonideal conditions can retard releases (slow clocks) and deliveries
     // (channel latency); pad so the instance target stays reachable.
-    base.saturating_add(cfg.nonideal.horizon_slack(base.since_origin()))
+    let base = base.saturating_add(cfg.nonideal.horizon_slack(base.since_origin()));
+    // Reliable transport can stretch a single signal by its full retry
+    // schedule; pad so retransmitted releases still land in-horizon.
+    let base = match &cfg.transport {
+        Some(t) => base.saturating_add(t.horizon_slack()),
+        None => base,
+    };
+    // Detector-led recovery is slower than the oracle replay of the
+    // legacy fault path: after each outage the suspicion thresholds must
+    // elapse before degraded releases resume progress, and forced chains
+    // march one period at a time. Pad by one worst-case period plus the
+    // outage and detection lag per crash window. The horizon is only a
+    // cap — runs still stop the moment every task resolves its instance
+    // target — so over-padding costs nothing on healthy runs.
+    match (&cfg.transport, &cfg.faults) {
+        (Some(t), Some(f)) => {
+            let max_period = set
+                .tasks()
+                .iter()
+                .map(|t| t.period())
+                .max()
+                .unwrap_or(Dur::ZERO);
+            let detect_lag = t.detector.as_ref().map_or(Dur::ZERO, |d| d.dead_after);
+            let per_window = max_period + detect_lag;
+            let downtime: Dur = f
+                .resolve(set.num_processors(), base)
+                .iter()
+                .flatten()
+                .map(|w| w.restart_delay + per_window)
+                .fold(Dur::ZERO, |a, b| a.saturating_add(b));
+            base.saturating_add(downtime)
+        }
+        _ => base,
+    }
 }
 
 #[cfg(test)]

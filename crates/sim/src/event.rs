@@ -86,6 +86,68 @@ pub enum EventKind {
         /// The 0-based instance to release.
         instance: u64,
     },
+    /// A copy of a numbered transport frame reaches its receiver
+    /// (transport mode only): the endpoint acks it, deduplicates by `seq`
+    /// and applies fresh payloads in instance order. Shares
+    /// [`EventKind::SignalDeliver`]'s rank — the payload lands exactly
+    /// where a channel delivery would.
+    TransportDeliver {
+        /// The successor job the frame asks for.
+        job: JobId,
+        /// The frame's sequence number.
+        seq: u64,
+    },
+    /// An ack reaches the frame's sender, closing its in-flight window
+    /// entry (transport mode only).
+    AckDeliver {
+        /// The acked frame's sequence number.
+        seq: u64,
+    },
+    /// The sender's retransmission timer for one frame fired (transport
+    /// mode only); valid only if `attempt` still matches the window entry
+    /// (an earlier ack or retransmission invalidates it).
+    RetransmitTimer {
+        /// The unacked frame's sequence number.
+        seq: u64,
+        /// The attempt count the timer was armed against.
+        attempt: u32,
+    },
+    /// A processor broadcasts its periodic heartbeat (detector mode
+    /// only). Self-rescheduling; crashed processors stay silent.
+    HeartbeatSend {
+        /// The broadcasting processor.
+        proc: ProcessorId,
+    },
+    /// A heartbeat from `from` reaches observer `to` (detector mode
+    /// only), refreshing the peer's freshness generation.
+    HeartbeatDeliver {
+        /// The broadcaster.
+        from: ProcessorId,
+        /// The observing processor.
+        to: ProcessorId,
+    },
+    /// An observer's per-peer suspicion timer fired (detector mode only);
+    /// valid only if `gen` still matches the pair's freshness generation
+    /// (any later heartbeat invalidates it). Fires once to turn the peer
+    /// Suspect and once more to declare it Dead.
+    SuspectTimer {
+        /// The observing processor.
+        observer: ProcessorId,
+        /// The peer under suspicion.
+        subject: ProcessorId,
+        /// Freshness generation the timer was armed against.
+        gen: u64,
+    },
+    /// The graceful-degradation controller releases a successor instance
+    /// from local information because its predecessor's processor was
+    /// declared dead (transport + detector mode only). Lazily
+    /// invalidated: the handler rechecks liveness and release progress.
+    DegradedRelease {
+        /// The blocked successor subtask.
+        subtask: SubtaskId,
+        /// The 0-based instance to force-release.
+        instance: u64,
+    },
 }
 
 impl EventKind {
@@ -104,10 +166,22 @@ impl EventKind {
             EventKind::Completion { .. } => 2,
             EventKind::MpmTimer { .. } => 3,
             EventKind::SignalSend { .. } => 4,
-            EventKind::SignalDeliver { .. } => 5,
+            // A transport delivery is a signal delivery with an endpoint
+            // wrapped around it: same rank, ties broken by insertion seq.
+            EventKind::SignalDeliver { .. } | EventKind::TransportDeliver { .. } => 5,
             EventKind::GuardExpiry { .. } => 6,
             EventKind::SourceRelease { .. } => 7,
             EventKind::TimedRelease { .. } => 8,
+            // Transport/detector bookkeeping trails the protocol events:
+            // none of it releases work directly except DegradedRelease,
+            // which deliberately runs last so every same-instant real
+            // signal gets the first chance to release the instance.
+            EventKind::AckDeliver { .. } => 9,
+            EventKind::RetransmitTimer { .. } => 10,
+            EventKind::HeartbeatSend { .. } => 11,
+            EventKind::HeartbeatDeliver { .. } => 12,
+            EventKind::SuspectTimer { .. } => 13,
+            EventKind::DegradedRelease { .. } => 14,
         }
     }
 }
@@ -231,6 +305,36 @@ mod tests {
         let sub = SubtaskId::new(TaskId::new(0), 1);
         q.push(
             t(2),
+            EventKind::DegradedRelease {
+                subtask: sub,
+                instance: 0,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SuspectTimer {
+                observer: ProcessorId::new(0),
+                subject: ProcessorId::new(1),
+                gen: 0,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::HeartbeatDeliver {
+                from: ProcessorId::new(1),
+                to: ProcessorId::new(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::HeartbeatSend {
+                proc: ProcessorId::new(0),
+            },
+        );
+        q.push(t(2), EventKind::RetransmitTimer { seq: 0, attempt: 0 });
+        q.push(t(2), EventKind::AckDeliver { seq: 0 });
+        q.push(
+            t(2),
             EventKind::TimedRelease {
                 subtask: sub,
                 instance: 0,
@@ -242,6 +346,13 @@ mod tests {
             EventKind::GuardExpiry {
                 subtask: sub,
                 gen: 0,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::TransportDeliver {
+                job: JobId::new(sub, 0),
+                seq: 0,
             },
         );
         q.push(
@@ -282,13 +393,23 @@ mod tests {
                 EventKind::Completion { .. } => 2,
                 EventKind::MpmTimer { .. } => 3,
                 EventKind::SignalSend { .. } => 4,
+                EventKind::TransportDeliver { .. } => 5,
                 EventKind::SignalDeliver { .. } => 5,
                 EventKind::GuardExpiry { .. } => 6,
                 EventKind::SourceRelease { .. } => 7,
                 EventKind::TimedRelease { .. } => 8,
+                EventKind::AckDeliver { .. } => 9,
+                EventKind::RetransmitTimer { .. } => 10,
+                EventKind::HeartbeatSend { .. } => 11,
+                EventKind::HeartbeatDeliver { .. } => 12,
+                EventKind::SuspectTimer { .. } => 13,
+                EventKind::DegradedRelease { .. } => 14,
             })
             .collect();
-        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            ranks,
+            vec![0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+        );
     }
 
     #[test]

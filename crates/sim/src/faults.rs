@@ -477,6 +477,11 @@ pub struct InvariantObserver {
     backlog_limit: Vec<i64>,
     min_period: Dur,
     delivers_seen: u64,
+    /// Jobs released from local information by the degradation controller
+    /// (detector declared the predecessor's processor dead). Such releases
+    /// deliberately precede the predecessor's completion, so the
+    /// precedence-order invariant is waived for them.
+    forced: BTreeSet<JobId>,
     violations: Vec<InvariantViolation>,
 }
 
@@ -515,6 +520,18 @@ impl InvariantObserver {
                     "{} deliveries applied but only {} signals ever entered the wire",
                     ch.applied,
                     ch.sent + ch.duplicates_injected
+                ),
+            });
+        }
+        let tr = &outcome.transport_stats;
+        if tr.delivered > tr.sent {
+            self.violations.push(InvariantViolation {
+                kind: InvariantKind::SignalConservation,
+                time: outcome.end_time,
+                job: None,
+                detail: format!(
+                    "{} transport frames delivered fresh but only {} were ever sent",
+                    tr.delivered, tr.sent
                 ),
             });
         }
@@ -574,8 +591,15 @@ impl Observer for InvariantObserver {
         // on_recovery proportional to the downtime.
         self.backlog_limit = self.subtasks_on.iter().map(|&s| 8 * s + 8).collect();
         self.delivers_seen = 0;
+        self.forced.clear();
         self.violations.clear();
         self.flat = Some(flat);
+    }
+
+    fn on_degradation(&mut self, _now: Time, kind: &crate::detect::Degradation) {
+        if let crate::detect::Degradation::ForcedRelease { job, .. } = kind {
+            self.forced.insert(*job);
+        }
     }
 
     fn on_release(&mut self, now: Time, job: JobId, proc: usize) {
@@ -595,7 +619,7 @@ impl Observer for InvariantObserver {
         let protocol = self.protocol.expect("on_run_start ran");
         if matches!(protocol, Protocol::DirectSync | Protocol::ReleaseGuard) {
             if let Some(pfi) = self.pred_of[fi] {
-                if !self.completed[pfi].contains(&job.instance()) {
+                if !self.completed[pfi].contains(&job.instance()) && !self.forced.contains(&job) {
                     self.fail(
                         InvariantKind::PrecedenceOrder,
                         now,

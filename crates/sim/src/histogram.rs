@@ -12,7 +12,7 @@ const SUB: u64 = 16; // sub-buckets per octave
 const BUCKETS: usize = 1024;
 
 /// Fixed-footprint log-bucket histogram of non-negative durations.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EerHistogram {
     counts: Vec<u64>,
     total: u64,

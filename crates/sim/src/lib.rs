@@ -40,6 +40,7 @@
 mod controller;
 
 pub mod check;
+pub mod detect;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -53,8 +54,10 @@ pub mod profile;
 pub mod reference;
 pub mod source;
 pub mod trace;
+pub mod transport;
 
 pub use check::{validate_fault_quiescence, validate_schedule, ScheduleDefect};
+pub use detect::{Degradation, DegradationEvent, DetectStats, DetectorConfig, PeerState};
 pub use engine::{
     simulate, simulate_observed, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind,
 };
@@ -64,9 +67,10 @@ pub use faults::{
 };
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
-pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
+pub use nonideal::{ChannelFault, ChannelModel, ClockModel, LocalClock, NonidealConfig};
 pub use observe::{
     EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters, TaskCounters, Tee,
 };
 pub use source::SourceModel;
 pub use trace::{Segment, Trace};
+pub use transport::{TransportConfig, TransportStats};

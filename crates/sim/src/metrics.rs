@@ -263,6 +263,11 @@ impl Metrics {
     /// and excluded from the EER statistics. With `record_stats: false`
     /// (warm-up instances) the completion counts toward `completed` but
     /// not toward the EER/jitter/miss statistics.
+    ///
+    /// Returns `Some(missed)` for a measured completion — whether this
+    /// instance missed its end-to-end deadline — and `None` for orphan or
+    /// warm-up completions that carry no miss verdict. The engine's
+    /// deadline watchdog feeds on this return value.
     pub fn record_task_completion(
         &mut self,
         task: TaskId,
@@ -270,16 +275,16 @@ impl Metrics {
         time: Time,
         deadline: Dur,
         record_stats: bool,
-    ) {
+    ) -> Option<bool> {
         let stats = &mut self.tasks[task.index()];
         let Some(&released) = stats.first_release.get(instance as usize) else {
             stats.orphan_completions += 1;
-            return;
+            return None;
         };
         let eer = time - released;
         stats.completed += 1;
         if !record_stats {
-            return;
+            return None;
         }
         stats.measured += 1;
         stats.eer_sum += eer.ticks() as i128;
@@ -291,9 +296,11 @@ impl Metrics {
             stats.max_output_jitter = stats.max_output_jitter.max(jitter);
         }
         stats.last_eer = Some(eer);
-        if eer > deadline {
+        let missed = eer > deadline;
+        if missed {
             stats.deadline_misses += 1;
         }
+        Some(missed)
     }
 }
 
@@ -333,8 +340,10 @@ mod tests {
         let task = TaskId::new(0);
         m.record_first_release(task, 0, t(0));
         m.record_first_release(task, 1, t(10));
-        m.record_task_completion(task, 0, t(8), d(8), true); // exactly met
-        m.record_task_completion(task, 1, t(19), d(8), true); // missed
+        let hit = m.record_task_completion(task, 0, t(8), d(8), true); // exactly met
+        let miss = m.record_task_completion(task, 1, t(19), d(8), true); // missed
+        assert_eq!(hit, Some(false));
+        assert_eq!(miss, Some(true));
         assert_eq!(m.task(task).deadline_misses(), 1);
         assert_eq!(m.total_deadline_misses(), 1);
     }
@@ -379,7 +388,8 @@ mod tests {
         let task = TaskId::new(0);
         m.record_first_release(task, 0, t(0));
         m.record_first_release(task, 1, t(10));
-        m.record_task_completion(task, 0, t(9), d(5), false); // warm-up, missed
+        let warmup = m.record_task_completion(task, 0, t(9), d(5), false); // warm-up, missed
+        assert_eq!(warmup, None, "warm-up completions carry no miss verdict");
         m.record_task_completion(task, 1, t(13), d(5), true);
         let s = m.task(task);
         assert_eq!(s.completed(), 2);
@@ -447,7 +457,8 @@ mod tests {
     #[test]
     fn completion_without_release_counts_as_orphan() {
         let mut m = Metrics::new(1);
-        m.record_task_completion(TaskId::new(0), 0, t(1), d(5), true);
+        let verdict = m.record_task_completion(TaskId::new(0), 0, t(1), d(5), true);
+        assert_eq!(verdict, None, "orphans carry no miss verdict");
         let s = m.task(TaskId::new(0));
         assert_eq!(s.orphan_completions(), 1);
         assert_eq!(s.completed(), 0);

@@ -4,11 +4,19 @@
 //! required to send a synchronization signal … is negligible", §2). This
 //! module prices them: every cross-processor signal takes a latency drawn
 //! from a seeded distribution, and the channel can inject faults — drop a
-//! signal (it is retransmitted after a fixed extra delay), duplicate it,
-//! or reorder it (reordering also arises naturally from independent
-//! latency draws). The receiver applies deliveries strictly in instance
-//! order per subtask, buffering early arrivals, so the engine's in-order
-//! release invariants survive any channel behavior.
+//! signal, duplicate it, or reorder it (reordering also arises naturally
+//! from independent latency draws). The receiver applies deliveries
+//! strictly in instance order per subtask, buffering early arrivals, so
+//! the engine's in-order release invariants survive any channel behavior.
+//!
+//! What happens to a *dropped* signal is the [`ChannelFault`] mode:
+//! under the legacy [`ChannelFault::OracleRetransmit`] the channel itself
+//! retransmits after a fixed extra delay (the wire is its own reliability
+//! layer — no endpoint ever notices), while under [`ChannelFault::Drop`]
+//! the copy simply dies and recovery is the *endpoints'* job: the
+//! ack/retransmit transport in [`crate::transport`]. The endpoint model
+//! is the default fault story (DESIGN.md §10); dropping without a
+//! transport attached loses the signal outright.
 
 use std::collections::BTreeSet;
 
@@ -38,6 +46,22 @@ pub enum LatencyModel {
     },
 }
 
+/// Smallest latency any draw can produce, in ticks. Draws below this are
+/// clamped up: a negative latency would deliver a signal before it was
+/// sent.
+pub const MIN_LATENCY_TICKS: i64 = 0;
+
+/// Inverse-CDF draw of an `Exp(mean)` latency from uniform `u ∈ [0, 1)`,
+/// rounded to ticks and clamped to `[MIN_LATENCY_TICKS, cap]`. Pure so the
+/// edge cases are unit-testable: `u → 1.0` sends `-ln(1 − u)` to infinity
+/// and the saturating cast plus clamp pin the draw at `cap`; `mean = 0`
+/// turns the product into `NaN` at `u = 1.0` (and `0` elsewhere), and the
+/// `NaN → 0` cast plus clamp pin the draw at `MIN_LATENCY_TICKS`.
+fn truncated_exp_ticks(u: f64, mean: Dur, cap: Dur) -> Dur {
+    let ticks = (-(1.0_f64 - u).ln() * mean.ticks() as f64).round() as i64;
+    Dur::from_ticks(ticks.clamp(MIN_LATENCY_TICKS, cap.ticks()))
+}
+
 impl LatencyModel {
     fn draw(&self, rng: &mut StdRng) -> Dur {
         match *self {
@@ -52,8 +76,7 @@ impl LatencyModel {
             }
             LatencyModel::TruncatedExp { mean, cap } => {
                 let u: f64 = rng.random_range(0.0..1.0);
-                let ticks = (-(1.0_f64 - u).ln() * mean.ticks() as f64).round() as i64;
-                Dur::from_ticks(ticks.clamp(0, cap.ticks()))
+                truncated_exp_ticks(u, mean, cap)
             }
         }
     }
@@ -68,15 +91,39 @@ impl LatencyModel {
     }
 }
 
+/// What the channel does with a transmission it decided to drop.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ChannelFault {
+    /// **Deprecated** legacy mode: the channel *itself* retransmits the
+    /// dropped copy after this extra delay on top of a fresh latency
+    /// draw, so every signal still arrives exactly once and the endpoints
+    /// never learn anything was lost. Kept for the pre-transport studies
+    /// and their recorded results; new configurations should drop for
+    /// real ([`ChannelFault::Drop`]) and let the endpoint transport
+    /// ([`crate::transport`]) recover.
+    OracleRetransmit {
+        /// Extra delay the oracle retransmission adds on top of a fresh
+        /// latency draw.
+        retransmit_delay: Dur,
+    },
+    /// The dropped copy dies on the wire. Recovery, if any, is the
+    /// endpoints' job: attach a [`TransportConfig`] so the sender's
+    /// ack/retransmit machinery notices the silence. Without a transport
+    /// the signal is lost outright.
+    ///
+    /// [`TransportConfig`]: crate::transport::TransportConfig
+    Drop,
+}
+
 /// Fault injection knobs. Defaults inject nothing.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct FaultPlan {
-    /// Probability that a signal's first transmission is lost. A lost
-    /// signal is retransmitted once and always arrives — the protocols
-    /// assume eventual delivery; what they must tolerate is lateness.
+    /// Probability that a single transmission is lost on the wire.
     pub drop_probability: f64,
-    /// Extra delay a retransmission adds on top of a fresh latency draw.
-    pub retransmit_delay: Dur,
+    /// What a drop does: die on the wire ([`ChannelFault::Drop`], the
+    /// default) or be resent by the channel oracle itself (legacy
+    /// [`ChannelFault::OracleRetransmit`]).
+    pub drop_mode: ChannelFault,
     /// Probability that a signal is delivered twice (the receiver counts
     /// and suppresses the duplicate).
     pub duplicate_probability: f64,
@@ -86,7 +133,7 @@ impl Default for FaultPlan {
     fn default() -> FaultPlan {
         FaultPlan {
             drop_probability: 0.0,
-            retransmit_delay: Dur::ZERO,
+            drop_mode: ChannelFault::Drop,
             duplicate_probability: 0.0,
         }
     }
@@ -146,12 +193,40 @@ impl ChannelModel {
         self
     }
 
-    /// Drops each signal's first transmission with probability `p`; the
-    /// retransmission arrives after a fresh latency draw plus `delay`.
+    /// **Deprecated** legacy oracle mode
+    /// ([`ChannelFault::OracleRetransmit`]): drops each signal's first
+    /// transmission with probability `p`; the channel itself retransmits
+    /// and the copy arrives after a fresh latency draw plus `delay`. Use
+    /// [`ChannelModel::with_endpoint_drops`] plus a transport for the
+    /// endpoint fault model.
     pub fn with_drops(mut self, p: f64, delay: Dur) -> ChannelModel {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.faults.drop_probability = p;
-        self.faults.retransmit_delay = delay;
+        self.faults.drop_mode = ChannelFault::OracleRetransmit {
+            retransmit_delay: delay,
+        };
+        self
+    }
+
+    /// Drops each transmission with probability `p`, for real
+    /// ([`ChannelFault::Drop`]): the copy dies on the wire. Attach a
+    /// [`TransportConfig`] so the endpoints recover; without one the
+    /// signal is lost outright.
+    ///
+    /// [`TransportConfig`]: crate::transport::TransportConfig
+    pub fn with_endpoint_drops(mut self, p: f64) -> ChannelModel {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.faults.drop_probability = p;
+        self.faults.drop_mode = ChannelFault::Drop;
+        self
+    }
+
+    /// A copy of this model with drops coerced to [`ChannelFault::Drop`]:
+    /// the engine applies this when a transport is attached, so the
+    /// channel oracle and the endpoint transport never both retransmit
+    /// the same frame.
+    pub(crate) fn endpoint_normalized(mut self) -> ChannelModel {
+        self.faults.drop_mode = ChannelFault::Drop;
         self
     }
 
@@ -162,13 +237,17 @@ impl ChannelModel {
         self
     }
 
-    /// The worst delay any single signal can suffer.
+    /// The worst delay any single *delivered* copy can suffer (an
+    /// endpoint-mode drop delivers nothing and is not a delay).
     pub fn max_delay_bound(&self) -> Dur {
         let base = self.latency.max_bound();
-        if self.faults.drop_probability > 0.0 {
-            base + self.faults.retransmit_delay
-        } else {
-            base
+        match self.faults.drop_mode {
+            ChannelFault::OracleRetransmit { retransmit_delay }
+                if self.faults.drop_probability > 0.0 =>
+            {
+                base + retransmit_delay
+            }
+            _ => base,
         }
     }
 }
@@ -181,7 +260,10 @@ pub struct ChannelStats {
     pub sent: u64,
     /// Deliveries applied at the receiver (excludes suppressed duplicates).
     pub applied: u64,
-    /// First transmissions lost and retransmitted.
+    /// Transmissions lost on the wire. Under the legacy
+    /// [`ChannelFault::OracleRetransmit`] the channel resends them
+    /// itself; under [`ChannelFault::Drop`] the copy is gone and any
+    /// recovery is the endpoint transport's.
     pub dropped: u64,
     /// Extra copies injected by the duplication fault.
     pub duplicates_injected: u64,
@@ -201,10 +283,11 @@ pub struct ChannelStats {
 /// What one send turns into on the wire.
 #[derive(Clone, Debug)]
 pub(crate) struct SendPlan {
-    /// Delay of each scheduled delivery (≥ 1 entry; 2 when duplicated).
+    /// Delay of each scheduled delivery: 1 entry normally, 2 when
+    /// duplicated, 0 when the copy died under [`ChannelFault::Drop`].
     pub deliveries: Vec<Dur>,
-    /// The first transmission was dropped (deliveries hold the
-    /// retransmission only).
+    /// The transmission was dropped (legacy mode: `deliveries` holds the
+    /// oracle retransmission; endpoint mode: `deliveries` is empty).
     pub dropped: bool,
 }
 
@@ -275,13 +358,22 @@ impl ChannelState {
         let faults = self.model.faults;
         let dropped =
             faults.drop_probability > 0.0 && self.rng.random_bool(faults.drop_probability);
+        // The latency is drawn even for an endpoint-mode loss so the
+        // legacy draw sequence (drop, latency, duplicate) is unchanged.
         let mut first = self.model.latency.draw(&mut self.rng);
+        let mut lost = false;
         if dropped {
             self.stats.dropped += 1;
-            first += faults.retransmit_delay;
+            match faults.drop_mode {
+                ChannelFault::OracleRetransmit { retransmit_delay } => {
+                    first += retransmit_delay;
+                }
+                ChannelFault::Drop => lost = true,
+            }
         }
-        let mut deliveries = vec![first];
-        if !faults.is_inert()
+        let mut deliveries = if lost { Vec::new() } else { vec![first] };
+        if !lost
+            && !faults.is_inert()
             && faults.duplicate_probability > 0.0
             && self.rng.random_bool(faults.duplicate_probability)
         {
@@ -373,6 +465,30 @@ mod tests {
     }
 
     #[test]
+    fn truncated_exp_draw_pins_u_near_one_to_the_cap() {
+        // u → 1.0 sends -ln(1 − u) to infinity; the saturating cast and
+        // the clamp must pin the draw at exactly the cap.
+        assert_eq!(truncated_exp_ticks(1.0, d(10), d(25)), d(25));
+        assert_eq!(truncated_exp_ticks(1.0 - f64::EPSILON, d(10), d(25)), d(25));
+        // And an ordinary draw stays within the clamp bounds.
+        let mid = truncated_exp_ticks(0.5, d(10), d(25));
+        assert!(mid >= Dur::from_ticks(MIN_LATENCY_TICKS) && mid <= d(25));
+    }
+
+    #[test]
+    fn truncated_exp_draw_pins_zero_mean_to_the_floor() {
+        // mean = 0: every draw collapses to the clamp floor, including the
+        // u = 1.0 corner where the product is NaN (∞ · 0).
+        for &u in &[0.0, 0.25, 0.999, 1.0] {
+            assert_eq!(
+                truncated_exp_ticks(u, Dur::ZERO, d(25)),
+                Dur::from_ticks(MIN_LATENCY_TICKS),
+                "u = {u}"
+            );
+        }
+    }
+
+    #[test]
     fn drops_are_counted_and_retransmitted_late() {
         let model = ChannelModel::constant(d(1))
             .with_drops(1.0, d(7))
@@ -383,6 +499,46 @@ mod tests {
         assert_eq!(plan.deliveries, vec![d(8)]);
         assert_eq!(st.stats.dropped, 1);
         assert_eq!(model.max_delay_bound(), d(8));
+    }
+
+    #[test]
+    fn endpoint_drops_deliver_nothing() {
+        let model = ChannelModel::constant(d(1))
+            .with_endpoint_drops(1.0)
+            .with_seed(3);
+        assert_eq!(model.faults.drop_mode, ChannelFault::Drop);
+        let mut st = ChannelState::new(model, 1);
+        let plan = st.send();
+        assert!(plan.dropped);
+        assert!(plan.deliveries.is_empty(), "the copy dies on the wire");
+        assert_eq!(st.stats.dropped, 1);
+        // No oracle retransmission: the delay bound is the plain latency.
+        assert_eq!(model.max_delay_bound(), d(1));
+    }
+
+    #[test]
+    fn endpoint_losses_suppress_duplicate_injection() {
+        let model = ChannelModel::constant(d(2))
+            .with_endpoint_drops(1.0)
+            .with_duplicates(1.0)
+            .with_seed(4);
+        let mut st = ChannelState::new(model, 1);
+        let plan = st.send();
+        assert!(plan.dropped && plan.deliveries.is_empty());
+        assert_eq!(st.stats.duplicates_injected, 0, "nothing to duplicate");
+    }
+
+    #[test]
+    fn endpoint_normalization_coerces_the_oracle_mode() {
+        let legacy = ChannelModel::constant(d(1)).with_drops(0.5, d(7));
+        let normalized = legacy.endpoint_normalized();
+        assert_eq!(normalized.faults.drop_mode, ChannelFault::Drop);
+        assert_eq!(normalized.faults.drop_probability, 0.5);
+        // Fault-free models are untouched in every way that matters.
+        assert_eq!(
+            ChannelModel::constant(d(1)).endpoint_normalized(),
+            ChannelModel::constant(d(1))
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@
 pub mod channel;
 pub mod clock;
 
-pub use channel::{ChannelModel, ChannelStats, FaultPlan, LatencyModel};
+pub use channel::{ChannelFault, ChannelModel, ChannelStats, FaultPlan, LatencyModel};
 pub use clock::{ClockModel, LocalClock};
 
 pub(crate) use channel::ChannelState;

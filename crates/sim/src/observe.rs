@@ -47,6 +47,7 @@ use rtsync_core::protocol::Protocol;
 use rtsync_core::task::{SubtaskId, TaskId, TaskSet};
 use rtsync_core::time::{Dur, Time};
 
+use crate::detect::Degradation;
 use crate::engine::{Violation, ViolationKind};
 use crate::event::EventKind;
 use crate::job::JobId;
@@ -140,6 +141,28 @@ pub trait Observer {
     #[inline]
     fn on_signal_deliver(&mut self, now: Time, job: JobId) {}
 
+    /// The reliable transport (re)transmitted the frame carrying the
+    /// signal for `job` with sequence number `seq`; `retransmit` is `true`
+    /// for every copy after the first.
+    #[inline]
+    fn on_transport_send(&mut self, now: Time, job: JobId, seq: u64, retransmit: bool) {}
+
+    /// An acknowledgement for frame `seq` reached the sender. `rtt` is the
+    /// first-transmission-to-ack round trip for a fresh ack; a duplicate
+    /// ack (`dup: true`) carries no round trip.
+    #[inline]
+    fn on_transport_ack(&mut self, now: Time, seq: u64, rtt: Option<Dur>, dup: bool) {}
+
+    /// A heartbeat from processor `from` reached the failure detector on
+    /// processor `to`.
+    #[inline]
+    fn on_heartbeat(&mut self, now: Time, from: usize, to: usize) {}
+
+    /// A failure-detector transition or graceful-degradation action (see
+    /// [`Degradation`]).
+    #[inline]
+    fn on_degradation(&mut self, now: Time, kind: &Degradation) {}
+
     /// Processor `proc` crashed (fail-stop); `killed` are the in-flight
     /// jobs (running or ready) that died with it, in job-id order.
     #[inline]
@@ -220,6 +243,10 @@ tee_hooks! {
     on_sync_interrupt(now: Time, from: usize, to: usize, job: JobId);
     on_signal_send(now: Time, job: JobId);
     on_signal_deliver(now: Time, job: JobId);
+    on_transport_send(now: Time, job: JobId, seq: u64, retransmit: bool);
+    on_transport_ack(now: Time, seq: u64, rtt: Option<Dur>, dup: bool);
+    on_heartbeat(now: Time, from: usize, to: usize);
+    on_degradation(now: Time, kind: &Degradation);
     on_crash(now: Time, proc: usize, killed: &[JobId]);
     on_recovery(now: Time, proc: usize, released: u64, dropped: u64);
     on_violation(violation: &Violation);
@@ -305,6 +332,18 @@ pub struct ProtocolCounters {
     pub signal_sends: u64,
     /// Signals delivered out of the nonideal channel.
     pub signal_delivers: u64,
+    /// Reliable-transport frame transmissions (including retransmissions).
+    pub transport_sends: u64,
+    /// Transport retransmissions alone.
+    pub retransmissions: u64,
+    /// Transport acknowledgements received by senders.
+    pub transport_acks: u64,
+    /// Duplicate transport acknowledgements.
+    pub dup_acks: u64,
+    /// Heartbeats delivered to failure detectors.
+    pub heartbeats: u64,
+    /// Failure-detector transitions and graceful-degradation actions.
+    pub degradations: u64,
     /// Violations recorded.
     pub violations: u64,
     signal_depth: u64,
@@ -375,6 +414,19 @@ impl ProtocolCounters {
             self.events, self.signal_sends, self.signal_delivers, self.signal_depth_hwm,
             self.violations,
         );
+        if self.transport_sends + self.heartbeats + self.degradations > 0 {
+            let _ = writeln!(
+                out,
+                "transport: {} frames ({} retx), {} acks ({} dup), {} heartbeats, \
+                 {} degradation events",
+                self.transport_sends,
+                self.retransmissions,
+                self.transport_acks,
+                self.dup_acks,
+                self.heartbeats,
+                self.degradations,
+            );
+        }
         let _ = writeln!(
             out,
             "{:<6}{:>6}{:>6}{:>8}{:>9}{:>7}{:>6}{:>6}{:>8}{:>9}{:>6}",
@@ -514,6 +566,28 @@ impl Observer for ProtocolCounters {
         self.signal_depth = self.signal_depth.saturating_sub(1);
     }
 
+    fn on_transport_send(&mut self, _now: Time, _job: JobId, _seq: u64, retransmit: bool) {
+        self.transport_sends += 1;
+        if retransmit {
+            self.retransmissions += 1;
+        }
+    }
+
+    fn on_transport_ack(&mut self, _now: Time, _seq: u64, _rtt: Option<Dur>, dup: bool) {
+        self.transport_acks += 1;
+        if dup {
+            self.dup_acks += 1;
+        }
+    }
+
+    fn on_heartbeat(&mut self, _now: Time, _from: usize, _to: usize) {
+        self.heartbeats += 1;
+    }
+
+    fn on_degradation(&mut self, _now: Time, _kind: &Degradation) {
+        self.degradations += 1;
+    }
+
     fn on_crash(&mut self, _now: Time, proc: usize, killed: &[JobId]) {
         let c = &mut self.procs[proc];
         c.crashes += 1;
@@ -596,6 +670,21 @@ enum LogRecord {
     SignalDeliver {
         t: i64,
         job: JobId,
+    },
+    TransportSend {
+        t: i64,
+        job: JobId,
+        seq: u64,
+        retransmit: bool,
+    },
+    TransportAck {
+        t: i64,
+        seq: u64,
+        dup: bool,
+    },
+    Degradation {
+        t: i64,
+        kind: Degradation,
     },
     Violation {
         t: i64,
@@ -765,6 +854,46 @@ fn violation_tag(kind: &ViolationKind) -> &'static str {
     }
 }
 
+fn degradation_json(t: i64, kind: &Degradation) -> String {
+    match kind {
+        Degradation::PeerSuspect {
+            observer,
+            subject,
+            false_positive,
+        } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"peer_suspect\",\
+             \"observer\":{observer},\"subject\":{subject},\"false_positive\":{false_positive}}}"
+        ),
+        Degradation::PeerDead {
+            observer,
+            subject,
+            false_positive,
+        } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"peer_dead\",\
+             \"observer\":{observer},\"subject\":{subject},\"false_positive\":{false_positive}}}"
+        ),
+        Degradation::PeerRevived { observer, subject } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"peer_revived\",\
+             \"observer\":{observer},\"subject\":{subject}}}"
+        ),
+        Degradation::ForcedRelease { job, dead_peer } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"forced_release\",\
+             \"job\":\"{job}\",\"dead_peer\":{dead_peer}}}"
+        ),
+        Degradation::StaleSignal { job } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"stale_signal\",\"job\":\"{job}\"}}"
+        ),
+        Degradation::SignalAbandoned { job, attempts } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"signal_abandoned\",\
+             \"job\":\"{job}\",\"attempts\":{attempts}}}"
+        ),
+        Degradation::WatchdogTrip { task, streak } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"watchdog_trip\",\
+             \"task\":{task},\"streak\":{streak}}}"
+        ),
+    }
+}
+
 fn jsonl_line(r: &LogRecord) -> String {
     match r {
         LogRecord::Release { t, proc, job } => {
@@ -828,6 +957,19 @@ fn jsonl_line(r: &LogRecord) -> String {
         LogRecord::SignalDeliver { t, job } => {
             format!("{{\"type\":\"signal_deliver\",\"t\":{t},\"job\":\"{job}\"}}")
         }
+        LogRecord::TransportSend {
+            t,
+            job,
+            seq,
+            retransmit,
+        } => format!(
+            "{{\"type\":\"transport_send\",\"t\":{t},\"job\":\"{job}\",\"seq\":{seq},\
+             \"retransmit\":{retransmit}}}"
+        ),
+        LogRecord::TransportAck { t, seq, dup } => {
+            format!("{{\"type\":\"transport_ack\",\"t\":{t},\"seq\":{seq},\"dup\":{dup}}}")
+        }
+        LogRecord::Degradation { t, kind } => degradation_json(*t, kind),
         LogRecord::Violation { t, kind, job } => {
             format!("{{\"type\":\"violation\",\"t\":{t},\"kind\":\"{kind}\",\"job\":\"{job}\"}}")
         }
@@ -971,6 +1113,33 @@ impl Observer for EventLogObserver {
         self.records.push(LogRecord::SignalDeliver {
             t: now.ticks(),
             job,
+        });
+    }
+
+    fn on_transport_send(&mut self, now: Time, job: JobId, seq: u64, retransmit: bool) {
+        self.records.push(LogRecord::TransportSend {
+            t: now.ticks(),
+            job,
+            seq,
+            retransmit,
+        });
+    }
+
+    fn on_transport_ack(&mut self, now: Time, seq: u64, _rtt: Option<Dur>, dup: bool) {
+        self.records.push(LogRecord::TransportAck {
+            t: now.ticks(),
+            seq,
+            dup,
+        });
+    }
+
+    // Heartbeats are deliberately not logged: at one per processor pair
+    // per period they would dwarf every other record class.
+
+    fn on_degradation(&mut self, now: Time, kind: &Degradation) {
+        self.records.push(LogRecord::Degradation {
+            t: now.ticks(),
+            kind: *kind,
         });
     }
 

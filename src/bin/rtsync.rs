@@ -23,7 +23,8 @@ use rtsync::core::textfmt;
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
 use rtsync::sim::{
-    simulate, simulate_observed, EventLogObserver, ProtocolCounters, SimConfig, SourceModel, Tee,
+    simulate, simulate_observed, ChannelModel, EventLogObserver, ProtocolCounters, SimConfig,
+    SourceModel, Tee, TransportConfig,
 };
 
 fn main() -> ExitCode {
@@ -51,6 +52,7 @@ fn run() -> Result<(), String> {
         "simulate" => cmd_simulate(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
+        "transport-study" => cmd_transport_study(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -69,11 +71,14 @@ fn usage() -> String {
      rtsync compare <file|-> [--instances N]\n  \
      rtsync simulate <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--gantt TICKS] [--sporadic MAX_EXTRA] [--seed S] [--no-rule2] \
-     [--trace-csv FILE]\n  \
+     [--trace-csv FILE] [--latency TICKS] [--drop P] [--transport] \
+     [--timeout TICKS]\n  \
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--format perfetto|jsonl|gantt] [--counters] [--out FILE] \
      [--sporadic MAX_EXTRA] [--seed S]\n  \
-     rtsync chaos [--runs N] [--smoke] [--seed S] [--threads T] [--out DIR]"
+     rtsync chaos [--runs N] [--smoke] [--transport] [--seed S] [--threads T] \
+     [--out DIR]\n  \
+     rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]"
         .to_string()
 }
 
@@ -299,6 +304,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut rule2 = true;
     let mut trace_csv: Option<String> = None;
+    let mut latency = 0i64;
+    let mut drop = 0.0f64;
+    let mut transport = false;
+    let mut timeout: Option<i64> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| -> Result<&String, String> {
@@ -332,11 +341,46 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
             "--no-rule2" => rule2 = false,
             "--trace-csv" => trace_csv = Some(grab("--trace-csv")?.clone()),
+            "--latency" => {
+                latency = grab("--latency")?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?
+            }
+            "--drop" => {
+                drop = grab("--drop")?
+                    .parse()
+                    .map_err(|e| format!("--drop: {e}"))?
+            }
+            "--transport" => transport = true,
+            "--timeout" => {
+                timeout = Some(
+                    grab("--timeout")?
+                        .parse()
+                        .map_err(|e| format!("--timeout: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     let protocol = protocol.ok_or("simulate requires --protocol")?;
+    if drop > 0.0 && !transport {
+        return Err("--drop loses signals for good without --transport".to_string());
+    }
     let mut cfg = SimConfig::new(protocol).with_instances(instances);
+    if latency > 0 || drop > 0.0 {
+        cfg = cfg.with_channel(
+            ChannelModel::constant(Dur::from_ticks(latency))
+                .with_endpoint_drops(drop)
+                .with_seed(seed ^ 0xCAFE),
+        );
+    }
+    if transport {
+        // Default RTO: four times the one-way latency, floored so a
+        // zero-latency channel still gets a meaningful timer.
+        let rto = timeout.unwrap_or_else(|| (4 * latency).max(8));
+        cfg =
+            cfg.with_transport(TransportConfig::new(Dur::from_ticks(rto)).with_seed(seed ^ 0xF00D));
+    }
     if gantt.is_some() || trace_csv.is_some() {
         cfg = cfg.with_trace();
     }
@@ -388,6 +432,35 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     if !outcome.violations.is_empty() {
         println!("protocol violations: {}", outcome.violations.len());
+    }
+    let ch = &outcome.channel_stats;
+    if ch.sent > 0 {
+        println!(
+            "channel: {} sent, {} applied, {} dropped, {} duplicates, {} reordered",
+            ch.sent, ch.applied, ch.dropped, ch.duplicates_injected, ch.reordered
+        );
+    }
+    let tr = &outcome.transport_stats;
+    if tr.sent > 0 {
+        println!(
+            "transport: {} frames, {} retransmissions, {} dup deliveries, \
+             {} acks ({} dup), {} abandoned",
+            tr.sent, tr.retransmissions, tr.dup_deliveries, tr.acks, tr.dup_acks, tr.gave_up
+        );
+    }
+    let dt = &outcome.detect_stats;
+    if dt.heartbeats_sent > 0 {
+        println!(
+            "detector: {} heartbeats, {} suspects ({} false), {} deads ({} false), \
+             {} forced releases, {} watchdog trips",
+            dt.heartbeats_sent,
+            dt.suspects,
+            dt.false_suspects,
+            dt.deads,
+            dt.false_deads,
+            dt.forced_releases,
+            dt.watchdog_trips
+        );
     }
     if let (Some(until), Some(trace)) = (gantt, &outcome.trace) {
         println!("\n{}", trace.render_gantt(Time::from_ticks(until)));
@@ -500,6 +573,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     };
     let mut runs: Option<usize> = None;
     let mut smoke = false;
+    let mut transport = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir: Option<String> = None;
@@ -517,6 +591,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 )
             }
             "--smoke" => smoke = true,
+            "--transport" => transport = true,
             "--seed" => {
                 seed = Some(
                     grab("--seed")?
@@ -545,6 +620,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         }
         cfg
     };
+    cfg.transport = transport;
     if let Some(s) = seed {
         cfg.seed = s;
     }
@@ -553,12 +629,17 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     }
 
     eprintln!(
-        "chaos campaign: {} runs ({} protocols x {} crash rates x {} runs/cell), seed {:#x}",
+        "chaos campaign: {} runs ({} protocols x {} crash rates x {} runs/cell), seed {:#x}{}",
         cfg.total_runs(),
         cfg.protocols.len(),
         cfg.mean_uptimes.len(),
         cfg.runs_per_cell,
-        cfg.seed
+        cfg.seed,
+        if cfg.transport {
+            ", endpoint transport + failure detector attached"
+        } else {
+            ""
+        }
     );
     let outcome = run_chaos(&cfg);
     print!("{}", render(&outcome));
@@ -594,6 +675,78 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             outcome.failures.len(),
             outcome.verdicts.len()
         ));
+    }
+    Ok(())
+}
+
+fn cmd_transport_study(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::transport::{
+        grid_csv, render, run_transport_study, summary_csv, TransportStudyConfig,
+    };
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        TransportStudyConfig::smoke()
+    } else {
+        TransportStudyConfig::default()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+
+    eprintln!(
+        "transport study: {} grid runs + {} detector runs, seed {:#x}",
+        cfg.total_grid_runs(),
+        cfg.protocols.len() * cfg.detector_runs,
+        cfg.seed
+    );
+    let outcome = run_transport_study(&cfg);
+    print!("{}", render(&outcome));
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let grid = format!("{dir}/transport_grid.csv");
+        std::fs::write(&grid, grid_csv(&outcome)).map_err(|e| format!("writing {grid}: {e}"))?;
+        let summary = format!("{dir}/transport_summary.csv");
+        std::fs::write(&summary, summary_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        eprintln!("wrote {grid} and {summary}");
+    }
+
+    if !outcome.is_clean() {
+        return Err(
+            "transport study saw abandoned frames, lost signals, or stalled runs".to_string(),
+        );
     }
     Ok(())
 }
