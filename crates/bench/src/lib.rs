@@ -1,1 +1,218 @@
-//! Criterion benchmark harness crate; see the `benches/` directory.
+//! Benchmark harness crate.
+//!
+//! Two entry points share the same scenarios:
+//!
+//! * the criterion microbenchmarks under `benches/` (statistical, for
+//!   local investigation), and
+//! * [`run_suite`] — a plain stopwatch runner with **no criterion
+//!   dependency**, used by `rtsync bench --json` to record the tracked
+//!   throughput baseline (`BENCH_sim.json`) and by the CI smoke job.
+//!
+//! The suite measures end-to-end simulator throughput (events per second
+//! of wall time) for every protocol under three escalating condition
+//! tiers: `ideal` (the paper's assumptions), `nonideal` (drifting clocks
+//! and a lossy-free latency channel), and `faults_transport` (crash/
+//! recovery plus the acked endpoint transport with failure detection).
+//! Numbers are machine-dependent: compare trajectories on one machine,
+//! not absolute values across machines.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::task::TaskSet;
+use rtsync_core::time::Dur;
+use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_sim::nonideal::{ChannelModel, ClockModel};
+use rtsync_sim::{DetectorConfig, FaultConfig, TransportConfig};
+use rtsync_workload::{generate, WorkloadSpec};
+
+/// Workload seed shared with the criterion benches, so both harnesses
+/// measure the same task set.
+const WORKLOAD_SEED: u64 = 7;
+const WORKLOAD_TASKS: usize = 4;
+const WORKLOAD_UTILIZATION: f64 = 0.7;
+
+/// One measured cell of the suite.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Protocol tag (`DS`, `PM`, `MPM`, `RG`).
+    pub protocol: &'static str,
+    /// Scenario tag (`ideal`, `nonideal`, `faults_transport`).
+    pub scenario: &'static str,
+    /// Timed iterations (after one untimed warmup).
+    pub iterations: u32,
+    /// Events dispatched per iteration (identical across iterations —
+    /// the simulator is deterministic).
+    pub events_per_iter: u64,
+    /// Total wall-clock seconds across the timed iterations.
+    pub elapsed_secs: f64,
+    /// The headline number: dispatched events per second of wall time.
+    pub events_per_sec: f64,
+}
+
+/// The whole suite's outcome, serializable to the `rtsync-bench-v1`
+/// JSON schema.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// `true` for the reduced CI variant.
+    pub smoke: bool,
+    /// Instances simulated per task in every run.
+    pub instances: u64,
+    /// All measured cells, protocol-major.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// Renders the `rtsync-bench-v1` JSON document (hand-rolled — the
+    /// workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"rtsync-bench-v1\",\n");
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str(&format!(
+            "  \"workload\": {{\"tasks\": {WORKLOAD_TASKS}, \"utilization\": {WORKLOAD_UTILIZATION}, \"seed\": {WORKLOAD_SEED}, \"instances_per_task\": {}}},\n",
+            self.instances
+        ));
+        out.push_str("  \"unit\": \"events per second of wall time\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"iterations\": {}, \"events_per_iter\": {}, \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+                r.protocol,
+                r.scenario,
+                r.iterations,
+                r.events_per_iter,
+                r.elapsed_secs,
+                r.events_per_sec,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The three condition tiers, in escalating order.
+const SCENARIOS: [&str; 3] = ["ideal", "nonideal", "faults_transport"];
+
+/// Builds the `SimConfig` of one cell. Seeds are fixed so every
+/// invocation measures the identical event sequence.
+fn cell_config(protocol: Protocol, scenario: &str, instances: u64) -> SimConfig {
+    let base = SimConfig::new(protocol).with_instances(instances);
+    match scenario {
+        "ideal" => base,
+        "nonideal" => base
+            .with_clocks(ClockModel::Random {
+                max_offset: Dur::from_ticks(500),
+                max_drift_ppm: 200,
+                seed: 21,
+            })
+            .with_channel(
+                ChannelModel::uniform(Dur::from_ticks(50), Dur::from_ticks(400)).with_seed(22),
+            ),
+        "faults_transport" => {
+            // Mirrors the chaos harness's transport-mode configuration:
+            // real endpoint drops recovered by ack/retransmit, plus a
+            // heartbeat failure detector and a random crash schedule.
+            let latency = 1_000;
+            let restart_delay = 200_000;
+            base.with_channel(
+                ChannelModel::constant(Dur::from_ticks(latency))
+                    .with_endpoint_drops(0.05)
+                    .with_seed(33),
+            )
+            .with_transport(
+                TransportConfig::new(Dur::from_ticks(4 * latency))
+                    .with_seed(34)
+                    .with_detector(DetectorConfig::new(Dur::from_ticks(restart_delay / 20))),
+            )
+            .with_faults(FaultConfig::random(
+                Dur::from_ticks(5_000_000),
+                Dur::from_ticks(restart_delay),
+                35,
+            ))
+        }
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// The shared benchmark task set (§5.1 workload, random phases).
+pub fn bench_task_set() -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED);
+    generate(
+        &WorkloadSpec::paper(WORKLOAD_TASKS, WORKLOAD_UTILIZATION).with_random_phases(),
+        &mut rng,
+    )
+    .expect("paper spec generates")
+}
+
+/// Runs the full suite: every protocol × every scenario, one untimed
+/// warmup then `iterations` timed runs per cell. `smoke` shrinks the
+/// instance count and iteration count for CI (the numbers are then only
+/// a crash canary, not a baseline).
+pub fn run_suite(smoke: bool) -> BenchReport {
+    let (instances, iterations) = if smoke { (8, 1) } else { (50, 5) };
+    let set = bench_task_set();
+    let mut results = Vec::new();
+    for protocol in Protocol::ALL {
+        for scenario in SCENARIOS {
+            let cfg = cell_config(protocol, scenario, instances);
+            // Warmup: touches the page cache and verifies the cell runs.
+            let events_per_iter = simulate(&set, &cfg)
+                .expect("benchmark cell simulates")
+                .events;
+            let start = Instant::now();
+            for _ in 0..iterations {
+                let out = simulate(&set, &cfg).expect("benchmark cell simulates");
+                assert_eq!(
+                    out.events, events_per_iter,
+                    "simulator must be deterministic across iterations"
+                );
+            }
+            let elapsed_secs = start.elapsed().as_secs_f64();
+            let total_events = events_per_iter * u64::from(iterations);
+            results.push(BenchResult {
+                protocol: protocol.tag(),
+                scenario,
+                iterations,
+                events_per_iter,
+                elapsed_secs,
+                events_per_sec: total_events as f64 / elapsed_secs.max(1e-9),
+            });
+        }
+    }
+    BenchReport {
+        smoke,
+        instances,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_every_cell_and_serializes() {
+        let report = run_suite(true);
+        assert_eq!(report.results.len(), Protocol::ALL.len() * SCENARIOS.len());
+        for r in &report.results {
+            assert!(
+                r.events_per_iter > 0,
+                "{}/{} ran no events",
+                r.protocol,
+                r.scenario
+            );
+            assert!(r.events_per_sec > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"rtsync-bench-v1\""));
+        assert_eq!(json.matches("\"protocol\"").count(), report.results.len());
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -184,25 +184,28 @@ impl Controller {
         }
     }
 
-    /// `job` was just released at `now`. Returns events to schedule.
+    /// `job` was just released at `now`. Returns the (at most one) event
+    /// to schedule: an MPM timer, or a refreshed RG guard expiry. Every
+    /// protocol arm produces zero or one event, so an `Option` keeps the
+    /// engine's release path allocation-free.
     pub(crate) fn on_release(
         &mut self,
         set: &TaskSet,
         job: JobId,
         now: Time,
-    ) -> Vec<(Time, EventKind)> {
+    ) -> Option<(Time, EventKind)> {
         match self {
-            Controller::Ds | Controller::Pm => Vec::new(),
+            Controller::Ds | Controller::Pm => None,
             Controller::Mpm { bounds } => {
                 // Timer drives the successor; none needed for chain tails.
                 let task = set.task(job.task());
                 if task.successor_of(job.subtask()).is_some() {
-                    vec![(
+                    Some((
                         now + bounds.response(job.subtask()),
                         EventKind::MpmTimer { job },
-                    )]
+                    ))
                 } else {
-                    Vec::new()
+                    None
                 }
             }
             Controller::Rg {
@@ -211,49 +214,44 @@ impl Controller {
                 slot_of,
                 ..
             } => {
-                let Some(slot_idx) = slot_of[flat.of(job.subtask())] else {
-                    return Vec::new(); // first subtasks are unguarded
-                };
+                let slot_idx = slot_of[flat.of(job.subtask())]?; // first subtasks are unguarded
                 let slot = &mut guards[slot_idx];
                 slot.guard.on_release(now); // rule 1
                                             // Rule 1 bumped the generation: the queue head (if any)
                                             // needs a fresh expiry.
-                match slot.guard.next_expiry() {
-                    Some((due, gen)) => vec![(
+                slot.guard.next_expiry().map(|(due, gen)| {
+                    (
                         due,
                         EventKind::GuardExpiry {
                             subtask: job.subtask(),
                             gen,
                         },
-                    )],
-                    None => Vec::new(),
-                }
+                    )
+                })
             }
         }
     }
 
-    /// `now` is an idle point of `proc` (rule 2). Returns deferred jobs
-    /// that become releasable right now, in deterministic subtask order.
-    pub(crate) fn on_idle_point(&mut self, proc: ProcessorId, now: Time) -> Vec<JobId> {
-        match self {
-            Controller::Rg {
-                guards,
-                apply_rule2: true,
-                ..
-            } => {
-                let mut freed = Vec::new();
-                for slot in guards.iter_mut().filter(|s| s.proc == proc) {
-                    if slot.guard.on_idle_point(now) {
-                        let instance = slot
-                            .instances
-                            .pop_front()
-                            .expect("instance queue in lock-step with guard");
-                        freed.push(JobId::new(slot.subtask, instance));
-                    }
+    /// `now` is an idle point of `proc` (rule 2). Appends deferred jobs
+    /// that become releasable right now to `freed`, in deterministic
+    /// subtask order. The caller owns (and clears) the buffer so the
+    /// engine's idle-point path stays allocation-free in steady state.
+    pub(crate) fn on_idle_point(&mut self, proc: ProcessorId, now: Time, freed: &mut Vec<JobId>) {
+        if let Controller::Rg {
+            guards,
+            apply_rule2: true,
+            ..
+        } = self
+        {
+            for slot in guards.iter_mut().filter(|s| s.proc == proc) {
+                if slot.guard.on_idle_point(now) {
+                    let instance = slot
+                        .instances
+                        .pop_front()
+                        .expect("instance queue in lock-step with guard");
+                    freed.push(JobId::new(slot.subtask, instance));
                 }
-                freed
             }
-            _ => Vec::new(),
         }
     }
 
@@ -353,6 +351,13 @@ mod tests {
         SubtaskId::new(TaskId::new(task), j)
     }
 
+    /// Out-param wrapper so assertions read naturally.
+    fn idle_point(c: &mut Controller, proc: usize, now: Time) -> Vec<JobId> {
+        let mut freed = Vec::new();
+        c.on_idle_point(ProcessorId::new(proc), now, &mut freed);
+        freed
+    }
+
     #[test]
     fn flat_index_is_dense_and_ordered() {
         let set = example2();
@@ -373,8 +378,8 @@ mod tests {
             c.on_predecessor_complete(succ, t(4)),
             CompletionDirective::ReleaseSuccessor
         );
-        assert!(c.on_release(&example2(), succ, t(4)).is_empty());
-        assert!(c.on_idle_point(ProcessorId::new(1), t(9)).is_empty());
+        assert!(c.on_release(&example2(), succ, t(4)).is_none());
+        assert!(idle_point(&mut c, 1, t(9)).is_empty());
     }
 
     #[test]
@@ -385,7 +390,7 @@ mod tests {
             c.on_predecessor_complete(succ, t(4)),
             CompletionDirective::Nothing
         );
-        assert!(c.on_release(&example2(), succ, t(4)).is_empty());
+        assert!(c.on_release(&example2(), succ, t(4)).is_none());
     }
 
     #[test]
@@ -396,13 +401,12 @@ mod tests {
         let mut c = Controller::mpm(bounds);
         // T1.0 has a successor: timer at release + R_{1,0} = 0 + 4.
         let head = JobId::new(sid(1, 0), 0);
-        let events = c.on_release(&set, head, t(0));
-        assert_eq!(events.len(), 1);
-        assert_eq!(events[0].0, t(4));
-        assert!(matches!(events[0].1, EventKind::MpmTimer { job } if job == head));
+        let (at, kind) = c.on_release(&set, head, t(0)).expect("timer scheduled");
+        assert_eq!(at, t(4));
+        assert!(matches!(kind, EventKind::MpmTimer { job } if job == head));
         // Chain tails schedule nothing.
         let tail = JobId::new(sid(1, 1), 0);
-        assert!(c.on_release(&set, tail, t(4)).is_empty());
+        assert!(c.on_release(&set, tail, t(4)).is_none());
         assert_eq!(
             c.on_predecessor_complete(tail, t(2)),
             CompletionDirective::Nothing
@@ -420,17 +424,16 @@ mod tests {
             c.on_predecessor_complete(j0, t(4)),
             CompletionDirective::ReleaseSuccessor
         );
-        assert!(c.on_release(&set, j0, t(4)).is_empty()); // rule 1, no pending
-                                                          // Second signal at 8: deferred until 10.
+        assert!(c.on_release(&set, j0, t(4)).is_none()); // rule 1, no pending
+                                                         // Second signal at 8: deferred until 10.
         let j1 = JobId::new(sid(1, 1), 1);
         match c.on_predecessor_complete(j1, t(8)) {
             CompletionDirective::ScheduleExpiry { due, .. } => assert_eq!(due, t(10)),
             other => panic!("{other:?}"),
         }
         // Idle point at 9 on P1 frees it.
-        let freed = c.on_idle_point(ProcessorId::new(1), t(9));
-        assert_eq!(freed, vec![j1]);
-        assert!(c.on_release(&set, j1, t(9)).is_empty());
+        assert_eq!(idle_point(&mut c, 1, t(9)), vec![j1]);
+        assert!(c.on_release(&set, j1, t(9)).is_none());
         // The stale expiry at 10 must not double-release.
         assert_eq!(c.on_guard_expiry(sid(1, 1), 0, t(10)), None);
     }
@@ -483,11 +486,11 @@ mod tests {
         // Old-generation timer is stale; new one fires.
         assert_eq!(c.on_guard_expiry(sub, g1, t(6)), None);
         assert_eq!(c.on_guard_expiry(sub, g2, t(6)), Some(j(1)));
-        let next = c.on_release(&set, j(1), t(6)); // guard 12, one pending
-        assert_eq!(next.len(), 1);
-        assert_eq!(next[0].0, t(12));
-        let EventKind::GuardExpiry { subtask, gen } = next[0].1 else {
-            panic!("{:?}", next[0].1)
+        // guard 12, one pending
+        let (at, kind) = c.on_release(&set, j(1), t(6)).expect("expiry rescheduled");
+        assert_eq!(at, t(12));
+        let EventKind::GuardExpiry { subtask, gen } = kind else {
+            panic!("{kind:?}")
         };
         assert_eq!(subtask, sub);
         assert_eq!(c.on_guard_expiry(sub, gen, t(12)), Some(j(2)));
@@ -503,8 +506,8 @@ mod tests {
         let j2 = JobId::new(sid(1, 1), 1);
         let _ = c.on_predecessor_complete(j2, t(1)); // deferred
                                                      // Idle point on P0 must not free a P1 deferral.
-        assert!(c.on_idle_point(ProcessorId::new(0), t(2)).is_empty());
-        assert_eq!(c.on_idle_point(ProcessorId::new(1), t(2)), vec![j2]);
+        assert!(idle_point(&mut c, 0, t(2)).is_empty());
+        assert_eq!(idle_point(&mut c, 1, t(2)), vec![j2]);
     }
 
     #[test]

@@ -361,6 +361,15 @@ struct Engine<'a, O: Observer> {
     horizon: Time,
     events: u64,
     now: Time,
+    /// Scratch buffers reused across dispatches so the steady-state event
+    /// loop allocates nothing (DESIGN.md §11). Each is `mem::take`n for
+    /// the duration of one handler and restored (cleared) afterwards; the
+    /// handlers they serve never re-enter themselves, so a buffer is
+    /// never taken twice.
+    kill_scratch: Vec<JobId>,
+    rule2_scratch: Vec<JobId>,
+    deliver_scratch: Vec<u64>,
+    recover_scratch: Vec<(BacklogItem, bool)>,
     /// Instrumentation hooks (see [`crate::observe`]); `NoopObserver`
     /// for unobserved runs, compiled away by monomorphization.
     obs: &'a mut O,
@@ -488,6 +497,10 @@ impl<'a, O: Observer> Engine<'a, O> {
             horizon,
             events: 0,
             now: Time::ZERO,
+            kill_scratch: Vec::new(),
+            rule2_scratch: Vec::new(),
+            deliver_scratch: Vec::new(),
+            recover_scratch: Vec::new(),
             obs,
         })
     }
@@ -726,10 +739,14 @@ impl<'a, O: Observer> Engine<'a, O> {
         if self.procs[proc.index()].is_idle_point(self.now) {
             let now = self.now;
             self.obs.on_idle_point(now, proc.index());
-            for freed in self.controller.on_idle_point(proc, now) {
-                self.obs.on_rule2_release(now, freed);
-                self.release(freed);
+            let mut freed = std::mem::take(&mut self.rule2_scratch);
+            self.controller.on_idle_point(proc, now, &mut freed);
+            for &job in &freed {
+                self.obs.on_rule2_release(now, job);
+                self.release(job);
             }
+            freed.clear();
+            self.rule2_scratch = freed;
         }
         self.mark_dirty(proc);
     }
@@ -854,23 +871,25 @@ impl<'a, O: Observer> Engine<'a, O> {
                 // 2 disabled (the ablation) nothing is freed and the
                 // expiry timer proceeds as scheduled.
                 let succ_proc = self.set.subtask(succ).processor();
-                let freed = if self.procs[succ_proc.index()].is_idle_point(self.now) {
+                let mut freed = std::mem::take(&mut self.rule2_scratch);
+                if self.procs[succ_proc.index()].is_idle_point(self.now) {
                     self.obs.on_idle_point(self.now, succ_proc.index());
-                    self.controller.on_idle_point(succ_proc, self.now)
-                } else {
-                    Vec::new()
-                };
+                    self.controller
+                        .on_idle_point(succ_proc, self.now, &mut freed);
+                }
                 if freed.is_empty() {
                     self.queue.push(
                         due.max(self.now),
                         EventKind::GuardExpiry { subtask: succ, gen },
                     );
                 } else {
-                    for job in freed {
+                    for &job in &freed {
                         self.obs.on_rule2_release(self.now, job);
                         self.release(job);
                     }
                 }
+                freed.clear();
+                self.rule2_scratch = freed;
             }
             CompletionDirective::Nothing => {}
         }
@@ -892,7 +911,7 @@ impl<'a, O: Observer> Engine<'a, O> {
                 time: self.now,
             });
         }
-        for delay in plan.deliveries {
+        for &delay in plan.deliveries() {
             self.queue
                 .push(self.now + delay, EventKind::SignalDeliver { job });
         }
@@ -902,16 +921,18 @@ impl<'a, O: Observer> Engine<'a, O> {
     /// successors it unblocks — in instance order.
     fn on_signal_deliver(&mut self, job: JobId) {
         let fi = self.flat.of(job.subtask());
-        let applicable = self
-            .channel
+        let mut applicable = std::mem::take(&mut self.deliver_scratch);
+        self.channel
             .as_mut()
             .expect("SignalDeliver only scheduled with a channel")
-            .deliver(fi, job.instance());
-        for instance in applicable {
+            .deliver(fi, job.instance(), &mut applicable);
+        for &instance in &applicable {
             let delivered = JobId::new(job.subtask(), instance);
             self.obs.on_signal_deliver(self.now, delivered);
             self.apply_signal(delivered);
         }
+        applicable.clear();
+        self.deliver_scratch = applicable;
     }
 
     /// Transmits (or retransmits) the frame carrying `job`'s release
@@ -940,7 +961,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             .as_mut()
             .expect("transport implies a channel")
             .send();
-        for delay in plan.deliveries {
+        for &delay in plan.deliveries() {
             self.queue
                 .push(self.now + delay, EventKind::TransportDeliver { job, seq });
         }
@@ -983,16 +1004,18 @@ impl<'a, O: Observer> Engine<'a, O> {
         // can arrive instance-out-of-order under retransmission) and apply
         // whatever becomes applicable.
         let fi = self.flat.of(job.subtask());
-        let applicable = self
-            .channel
+        let mut applicable = std::mem::take(&mut self.deliver_scratch);
+        self.channel
             .as_mut()
             .expect("transport implies a channel")
-            .deliver(fi, job.instance());
-        for instance in applicable {
+            .deliver(fi, job.instance(), &mut applicable);
+        for &instance in &applicable {
             let delivered = JobId::new(job.subtask(), instance);
             self.obs.on_signal_deliver(self.now, delivered);
             self.apply_signal(delivered);
         }
+        applicable.clear();
+        self.deliver_scratch = applicable;
     }
 
     /// An ack reaches the frame's sender. Acks are accepted even while the
@@ -1530,7 +1553,8 @@ impl<'a, O: Observer> Engine<'a, O> {
         // Account the partial slice executed up to the crash instant: the
         // work happened (and is then lost), the processor was busy.
         self.advance_proc(proc);
-        let killed = self.procs[p].crash();
+        let mut killed = std::mem::take(&mut self.kill_scratch);
+        self.procs[p].crash_into(&mut killed);
         {
             let fs = self
                 .faults
@@ -1545,6 +1569,8 @@ impl<'a, O: Observer> Engine<'a, O> {
         for &job in &killed {
             self.cancel_instance(job, true);
         }
+        killed.clear();
+        self.kill_scratch = killed;
         // RG: guard-deferred signals on this node die with it; their
         // instances were delivered but never released.
         for job in self.controller.on_crash(proc) {
@@ -1598,13 +1624,11 @@ impl<'a, O: Observer> Engine<'a, O> {
         // Decide the whole backlog first so observers hear the recovery
         // (with its released/dropped counts) before any backlog release
         // lands — a release must never look like down-processor activity.
-        let decisions: Vec<(BacklogItem, bool)> = backlog
-            .into_iter()
-            .map(|item| {
-                let keep = self.keep_backlog_item(&item);
-                (item, keep)
-            })
-            .collect();
+        let mut decisions = std::mem::take(&mut self.recover_scratch);
+        decisions.extend(backlog.into_iter().map(|item| {
+            let keep = self.keep_backlog_item(&item);
+            (item, keep)
+        }));
         let released = decisions.iter().filter(|(_, keep)| *keep).count() as u64;
         let dropped = decisions.len() as u64 - released;
         {
@@ -1616,7 +1640,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             fs.stats.backlog_dropped += dropped;
         }
         self.obs.on_recovery(self.now, p, released, dropped);
-        for (item, keep) in decisions {
+        for &(item, keep) in &decisions {
             if keep {
                 match item.kind {
                     BacklogKind::Source => self.release(item.job),
@@ -1626,6 +1650,8 @@ impl<'a, O: Observer> Engine<'a, O> {
                 self.cancel_instance(item.job, false);
             }
         }
+        decisions.clear();
+        self.recover_scratch = decisions;
         // A restarted node's detector resumes with its pre-crash beliefs:
         // peers it still holds dead resume degraded releases right away
         // (the old chains died while the node was down).
@@ -1682,11 +1708,14 @@ impl<'a, O: Observer> Engine<'a, O> {
         // the same subtask are not stalled forever behind the gap, and
         // apply anything buffered behind it.
         if self.channel.is_some() {
-            let freed = self
-                .channel
+            // A local buffer, not a scratch field: cancellation recurses
+            // down the chain, so a shared buffer could be taken twice.
+            // Cancellations only happen on the (rare) fault paths.
+            let mut freed = Vec::new();
+            self.channel
                 .as_mut()
                 .expect("checked above")
-                .note_cancelled(fi, job.instance());
+                .note_cancelled(fi, job.instance(), &mut freed);
             for instance in freed {
                 let delivered = JobId::new(job.subtask(), instance);
                 self.obs.on_signal_deliver(self.now, delivered);
@@ -1830,7 +1859,7 @@ impl<'a, O: Observer> Engine<'a, O> {
         // duration on the host processor's clock: rescale it under drift
         // (RG guard durations were pre-scaled at construction instead,
         // because the guard compares its own internal due times).
-        for (time, kind) in self.controller.on_release(self.set, job, self.now) {
+        if let Some((time, kind)) = self.controller.on_release(self.set, job, self.now) {
             let time = match (&self.clocks, &kind) {
                 (Some(clocks), EventKind::MpmTimer { job }) => {
                     let timer_proc = self.set.subtask(job.subtask()).processor();

@@ -4,12 +4,29 @@
 //! want tails. [`EerHistogram`] records every measured EER in
 //! HDR-histogram-style buckets — 16 sub-buckets per octave, so any
 //! reported quantile is an upper bound within **6.25%** of the true sample
-//! — using a fixed 1 KiB footprint regardless of how many samples arrive.
+//! — using a fixed 4 KiB footprint regardless of how many samples arrive.
+//!
+//! Two honesty guarantees at the edges:
+//!
+//! * Values past the last resolved octave (≥ ~3.3 × 10¹⁰ ticks, decades
+//!   beyond any simulated horizon) land in a **saturation bucket** whose
+//!   upper bound is reported as [`Dur::MAX`] — an explicit "unbounded"
+//!   answer instead of a silently wrong finite one that would break the
+//!   6.25% upper-bound contract.
+//! * Quantile ranks are computed in integer arithmetic, so `q = 1.0` is
+//!   exactly the last sample and totals beyond 2⁵³ (where `f64` loses
+//!   integer precision) never mis-rank.
 
 use rtsync_core::time::Dur;
 
 const SUB: u64 = 16; // sub-buckets per octave
-const BUCKETS: usize = 1024;
+const BUCKETS: usize = 512;
+/// Smallest value that saturates into the open-ended last bucket: the
+/// first value whose bucket index would be `BUCKETS - 1` or beyond
+/// (`idx = 16 + 16·(exp − 4) + sub ≥ 511` first holds at `exp = 34`,
+/// `sub = 15`, i.e. `v = 0b11111 << 30`). That is ≈ 3.3 × 10¹⁰ ticks —
+/// decades past any simulated horizon, so real runs never saturate.
+const SATURATION_FLOOR: u64 = 31 << 30;
 
 /// Fixed-footprint log-bucket histogram of non-negative durations.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -52,7 +69,10 @@ impl EerHistogram {
     }
 
     /// An upper bound (within 6.25%) on the `q`-quantile of the recorded
-    /// samples, `q ∈ (0, 1]`; `None` if the histogram is empty.
+    /// samples, `q ∈ (0, 1]`; `None` if the histogram is empty. A
+    /// quantile that falls into the saturation bucket reports
+    /// [`Dur::MAX`]: the histogram only knows the sample was huge, and an
+    /// open upper bound is the honest answer.
     ///
     /// # Panics
     ///
@@ -62,32 +82,70 @@ impl EerHistogram {
         if self.total == 0 {
             return None;
         }
-        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let rank = rank_of(q, self.total);
         let mut seen = 0;
         for (i, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return Some(Dur::from_ticks(bucket_high(i) as i64));
+                return Some(if i == BUCKETS - 1 {
+                    Dur::MAX // open-ended saturation bucket
+                } else {
+                    Dur::from_ticks(bucket_high(i) as i64)
+                });
             }
         }
         unreachable!("cumulative count reaches the total");
     }
 }
 
-/// Bucket index for value `v`: identity below 16, then
-/// `16 sub-buckets per power of two`.
+/// `ceil(q · total)` clamped to `[1, total]`, in integer arithmetic.
+///
+/// Computed in 64.64 fixed point: scaling `q` by 2⁶⁴ is exact (a power of
+/// two), so the product is exact for every `total` — unlike
+/// `(q * total as f64).ceil()`, which loses integer precision once
+/// `q · total` approaches 2⁵³ and can even exceed `total` at `q = 1.0`
+/// (when `total as f64` rounds up), sending the caller's cumulative scan
+/// past the end.
+///
+/// Before the ceiling, the product backs off by 2⁻¹² — far below any real
+/// rank gap but larger than the representation error `f64` adds to a
+/// decimal like `q = 0.1` (whose nearest double is a hair *above* 1/10).
+/// Without the backoff, `rank_of(0.1, 10)` would be an exact-but-surprising
+/// 2 instead of the intended 1.
+fn rank_of(q: f64, total: u64) -> u64 {
+    debug_assert!(q > 0.0 && q <= 1.0);
+    if q >= 1.0 {
+        return total;
+    }
+    // Exact: q < 1 has a ≤ 53-bit mantissa, and multiplying by 2^64 only
+    // shifts the exponent.
+    let scaled = (q * 18_446_744_073_709_551_616.0) as u128; // q · 2^64
+    let product = (scaled * total as u128).saturating_sub(1 << 52); // − 2⁻¹²
+    let rank = (product + ((1u128 << 64) - 1)) >> 64;
+    (rank as u64).clamp(1, total)
+}
+
+/// Bucket index for value `v`: identity below 16, then 16 sub-buckets per
+/// power of two. Values at or above [`SATURATION_FLOOR`] saturate into the
+/// last bucket, which [`EerHistogram::quantile`] reports as open-ended.
 fn bucket_of(v: u64) -> usize {
+    if v >= SATURATION_FLOOR {
+        return BUCKETS - 1;
+    }
     if v < SUB {
         return v as usize;
     }
     let exp = 63 - v.leading_zeros() as u64; // ≥ 4
     let sub = (v >> (exp - 4)) - SUB; // top 4 mantissa bits
-    let idx = SUB + (exp - 4) * SUB + sub;
-    (idx as usize).min(BUCKETS - 1)
+    (SUB + (exp - 4) * SUB + sub) as usize
 }
 
-/// The largest value mapping to bucket `i`.
+/// The largest value mapping to bucket `i`. The saturation bucket
+/// (`BUCKETS - 1`) has no finite upper bound.
 fn bucket_high(i: usize) -> u64 {
+    if i == BUCKETS - 1 {
+        return u64::MAX; // open-ended: everything ≥ SATURATION_FLOOR
+    }
     let i = i as u64;
     if i < SUB {
         return i;
@@ -128,7 +186,7 @@ mod tests {
         let mut sorted = samples.clone();
         sorted.sort_unstable();
         for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
-            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let rank = rank_of(q, sorted.len() as u64) as usize;
             let exact = sorted[rank - 1];
             let got = h.quantile(q).unwrap().ticks();
             assert!(got >= exact, "q={q}: {got} < exact {exact}");
@@ -177,5 +235,74 @@ mod tests {
         h.record(Dur::MAX);
         assert_eq!(h.len(), 1);
         assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn saturated_quantiles_report_an_open_upper_bound() {
+        // Regression: values past the last resolved octave used to clamp
+        // into a bucket whose finite `bucket_high` was *below* the sample,
+        // silently breaking the "quantile is an upper bound" contract.
+        // The saturation bucket now answers with Dur::MAX instead.
+        let floor = SATURATION_FLOOR as i64;
+        for past_last_octave in [floor, floor + 1, 1 << 40, 1 << 62, i64::MAX] {
+            let mut h = EerHistogram::new();
+            h.record(d(past_last_octave));
+            let got = h.quantile(1.0).unwrap();
+            assert!(
+                got >= d(past_last_octave),
+                "quantile {got:?} is not an upper bound of {past_last_octave}"
+            );
+            assert_eq!(got, Dur::MAX, "saturation bucket must be open-ended");
+        }
+        // The largest value below the floor still resolves finitely.
+        let mut h = EerHistogram::new();
+        h.record(d(floor - 1));
+        let got = h.quantile(1.0).unwrap();
+        assert!(got >= d(floor - 1) && got < Dur::MAX);
+    }
+
+    #[test]
+    fn saturation_floor_matches_the_bucket_map() {
+        // The documented floor is exactly where bucket_of starts clamping.
+        assert_eq!(bucket_of(SATURATION_FLOOR), BUCKETS - 1);
+        assert_eq!(bucket_of(SATURATION_FLOOR - 1), BUCKETS - 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert!(bucket_high(BUCKETS - 2) == SATURATION_FLOOR - 1);
+    }
+
+    #[test]
+    fn rank_math_survives_huge_totals_and_the_q1_boundary() {
+        // Regression: the f64 rank `(q * total as f64).ceil()` mis-rounds
+        // once totals approach 2^53 — at q = 1.0 with total = 2^53 + 1 it
+        // loses the +1 (under-ranking the max), and with totals whose f64
+        // rounding goes *up* the rank exceeded `total`, walking the
+        // cumulative scan off the end.
+        let total = (1u64 << 53) + 1;
+        assert_eq!(rank_of(1.0, total), total);
+        // ceil(0.5 · (2^53 + 1)) = 2^52 + 1; f64 math loses the +1.
+        assert_eq!(rank_of(0.5, total), (1u64 << 52) + 1);
+        // A total that rounds UP in f64: rank must still be ≤ total.
+        let total = (1u64 << 53) + 3; // f64-rounds to 2^53 + 4
+        assert_eq!(rank_of(1.0, total), total);
+        // Ordinary cases are unchanged.
+        assert_eq!(rank_of(1.0, 16), 16);
+        assert_eq!(rank_of(0.5, 16), 8);
+        assert_eq!(rank_of(0.0625, 16), 1);
+        assert_eq!(rank_of(1e-9, 5), 1, "rank never drops below 1");
+        // f64(0.1) sits a hair above 1/10; the sub-half-ulp backoff keeps
+        // the intended decimal rank instead of an exact-but-surprising 2.
+        assert_eq!(rank_of(0.1, 10), 1);
+        assert_eq!(rank_of(0.9, 10), 9);
+    }
+
+    #[test]
+    fn q1_is_exactly_the_last_sample_bucket() {
+        let mut h = EerHistogram::new();
+        for v in [3, 9, 1_000] {
+            h.record(d(v));
+        }
+        // q = 1.0 must land in 1000's bucket, never past it.
+        let got = h.quantile(1.0).unwrap().ticks();
+        assert!((1_000..1_100).contains(&got));
     }
 }

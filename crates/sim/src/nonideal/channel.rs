@@ -281,14 +281,28 @@ pub struct ChannelStats {
 }
 
 /// What one send turns into on the wire.
-#[derive(Clone, Debug)]
+///
+/// At most two copies ever leave the channel (the original plus one
+/// injected duplicate), so the delays live inline — the hot send path
+/// allocates nothing.
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct SendPlan {
-    /// Delay of each scheduled delivery: 1 entry normally, 2 when
-    /// duplicated, 0 when the copy died under [`ChannelFault::Drop`].
-    pub deliveries: Vec<Dur>,
-    /// The transmission was dropped (legacy mode: `deliveries` holds the
-    /// oracle retransmission; endpoint mode: `deliveries` is empty).
+    /// Delay of each scheduled delivery; only the first `n` entries are
+    /// meaningful.
+    deliveries: [Dur; 2],
+    /// Number of scheduled deliveries: 1 normally, 2 when duplicated, 0
+    /// when the copy died under [`ChannelFault::Drop`].
+    n: u8,
+    /// The transmission was dropped (legacy mode: the delivery is the
+    /// oracle retransmission; endpoint mode: there are no deliveries).
     pub dropped: bool,
+}
+
+impl SendPlan {
+    /// Delay of each scheduled delivery, in draw order.
+    pub(crate) fn deliveries(&self) -> &[Dur] {
+        &self.deliveries[..usize::from(self.n)]
+    }
 }
 
 /// Per-run channel state: the seeded generator plus the receiver-side
@@ -323,16 +337,16 @@ impl ChannelState {
     /// Marks `instance` of flat subtask `fi` as cancelled: its signal will
     /// never be sent, so the in-order cursor must not wait for it. Any
     /// already-buffered later instances that become contiguous are
-    /// returned, in order, for the caller to apply.
-    pub(crate) fn note_cancelled(&mut self, fi: usize, instance: u64) -> Vec<u64> {
+    /// appended to `applicable`, in order, for the caller to apply. The
+    /// caller owns (and clears) the buffer.
+    pub(crate) fn note_cancelled(&mut self, fi: usize, instance: u64, applicable: &mut Vec<u64>) {
         if instance < self.next_apply[fi] {
-            return Vec::new(); // already applied (e.g. an RG-deferred kill)
+            return; // already applied (e.g. an RG-deferred kill)
         }
         self.cancelled[fi].insert(instance);
-        let mut applicable = Vec::new();
-        self.drain_in_order(fi, &mut applicable);
-        self.stats.applied += applicable.len() as u64;
-        applicable
+        let before = applicable.len();
+        self.drain_in_order(fi, applicable);
+        self.stats.applied += (applicable.len() - before) as u64;
     }
 
     /// Advances the in-order cursor over cancelled gaps and buffered early
@@ -371,47 +385,54 @@ impl ChannelState {
                 ChannelFault::Drop => lost = true,
             }
         }
-        let mut deliveries = if lost { Vec::new() } else { vec![first] };
-        if !lost
-            && !faults.is_inert()
-            && faults.duplicate_probability > 0.0
-            && self.rng.random_bool(faults.duplicate_probability)
-        {
-            self.stats.duplicates_injected += 1;
-            deliveries.push(self.model.latency.draw(&mut self.rng));
+        let mut plan = SendPlan {
+            deliveries: [Dur::ZERO; 2],
+            n: 0,
+            dropped,
+        };
+        if !lost {
+            plan.deliveries[0] = first;
+            plan.n = 1;
+            if !faults.is_inert()
+                && faults.duplicate_probability > 0.0
+                && self.rng.random_bool(faults.duplicate_probability)
+            {
+                self.stats.duplicates_injected += 1;
+                plan.deliveries[1] = self.model.latency.draw(&mut self.rng);
+                plan.n = 2;
+            }
         }
-        for d in &deliveries {
+        for d in plan.deliveries() {
             if *d > self.stats.max_delay {
                 self.stats.max_delay = *d;
             }
         }
-        SendPlan {
-            deliveries,
-            dropped,
-        }
+        plan
     }
 
     /// Registers the delivery of `instance` for flat subtask `fi` and
-    /// returns every instance that becomes applicable, in order. Duplicates
-    /// are suppressed; early arrivals are buffered until the gap fills.
-    pub(crate) fn deliver(&mut self, fi: usize, instance: u64) -> Vec<u64> {
+    /// appends every instance that becomes applicable to `applicable`, in
+    /// order. Duplicates are suppressed; early arrivals are buffered until
+    /// the gap fills. The caller owns (and clears) the buffer, keeping the
+    /// per-delivery hot path allocation-free.
+    pub(crate) fn deliver(&mut self, fi: usize, instance: u64, applicable: &mut Vec<u64>) {
         if instance < self.next_apply[fi]
             || self.early[fi].contains(&instance)
             || self.cancelled[fi].contains(&instance)
         {
             self.stats.duplicates_suppressed += 1;
-            return Vec::new();
+            return;
         }
         if instance != self.next_apply[fi] {
             self.stats.reordered += 1;
             self.early[fi].insert(instance);
-            return Vec::new();
+            return;
         }
-        let mut applicable = vec![instance];
+        let before = applicable.len();
+        applicable.push(instance);
         self.next_apply[fi] = instance + 1;
-        self.drain_in_order(fi, &mut applicable);
-        self.stats.applied += applicable.len() as u64;
-        applicable
+        self.drain_in_order(fi, applicable);
+        self.stats.applied += (applicable.len() - before) as u64;
     }
 }
 
@@ -423,12 +444,25 @@ mod tests {
         Dur::from_ticks(x)
     }
 
+    /// Out-param wrappers so assertions read naturally.
+    fn deliver(st: &mut ChannelState, fi: usize, instance: u64) -> Vec<u64> {
+        let mut v = Vec::new();
+        st.deliver(fi, instance, &mut v);
+        v
+    }
+
+    fn cancel(st: &mut ChannelState, fi: usize, instance: u64) -> Vec<u64> {
+        let mut v = Vec::new();
+        st.note_cancelled(fi, instance, &mut v);
+        v
+    }
+
     #[test]
     fn constant_channel_is_faithful() {
         let mut st = ChannelState::new(ChannelModel::constant(d(3)), 2);
         for _ in 0..10 {
             let plan = st.send();
-            assert_eq!(plan.deliveries, vec![d(3)]);
+            assert_eq!(plan.deliveries(), &[d(3)]);
             assert!(!plan.dropped);
         }
         assert_eq!(st.stats.sent, 10);
@@ -443,8 +477,8 @@ mod tests {
         let mut b = ChannelState::new(model, 1);
         for _ in 0..200 {
             let (pa, pb) = (a.send(), b.send());
-            assert_eq!(pa.deliveries, pb.deliveries, "same seed, same draws");
-            for delay in &pa.deliveries {
+            assert_eq!(pa.deliveries(), pb.deliveries(), "same seed, same draws");
+            for delay in pa.deliveries() {
                 assert!((d(2)..=d(9)).contains(delay), "{delay:?}");
             }
         }
@@ -456,7 +490,7 @@ mod tests {
         let mut st = ChannelState::new(model, 1);
         let mut saw_positive = false;
         for _ in 0..500 {
-            let delay = st.send().deliveries[0];
+            let delay = st.send().deliveries()[0];
             assert!(delay >= Dur::ZERO && delay <= d(25), "{delay:?}");
             saw_positive |= delay > Dur::ZERO;
         }
@@ -496,7 +530,7 @@ mod tests {
         let mut st = ChannelState::new(model, 1);
         let plan = st.send();
         assert!(plan.dropped);
-        assert_eq!(plan.deliveries, vec![d(8)]);
+        assert_eq!(plan.deliveries(), &[d(8)]);
         assert_eq!(st.stats.dropped, 1);
         assert_eq!(model.max_delay_bound(), d(8));
     }
@@ -510,7 +544,7 @@ mod tests {
         let mut st = ChannelState::new(model, 1);
         let plan = st.send();
         assert!(plan.dropped);
-        assert!(plan.deliveries.is_empty(), "the copy dies on the wire");
+        assert!(plan.deliveries().is_empty(), "the copy dies on the wire");
         assert_eq!(st.stats.dropped, 1);
         // No oracle retransmission: the delay bound is the plain latency.
         assert_eq!(model.max_delay_bound(), d(1));
@@ -524,7 +558,7 @@ mod tests {
             .with_seed(4);
         let mut st = ChannelState::new(model, 1);
         let plan = st.send();
-        assert!(plan.dropped && plan.deliveries.is_empty());
+        assert!(plan.dropped && plan.deliveries().is_empty());
         assert_eq!(st.stats.duplicates_injected, 0, "nothing to duplicate");
     }
 
@@ -548,11 +582,11 @@ mod tests {
             .with_seed(4);
         let mut st = ChannelState::new(model, 1);
         let plan = st.send();
-        assert_eq!(plan.deliveries.len(), 2);
+        assert_eq!(plan.deliveries().len(), 2);
         assert_eq!(st.stats.duplicates_injected, 1);
         // Receiver: first copy applies, second is suppressed.
-        assert_eq!(st.deliver(0, 0), vec![0]);
-        assert_eq!(st.deliver(0, 0), Vec::<u64>::new());
+        assert_eq!(deliver(&mut st, 0, 0), vec![0]);
+        assert_eq!(deliver(&mut st, 0, 0), Vec::<u64>::new());
         assert_eq!(st.stats.duplicates_suppressed, 1);
         assert_eq!(st.stats.applied, 1);
     }
@@ -561,33 +595,33 @@ mod tests {
     fn cancelled_instances_do_not_stall_the_cursor() {
         let mut st = ChannelState::new(ChannelModel::constant(d(0)), 1);
         // Instance 0's predecessor dies before sending; 1 and 2 arrive.
-        assert_eq!(st.deliver(0, 1), Vec::<u64>::new());
-        assert_eq!(st.note_cancelled(0, 0), vec![1]);
-        assert_eq!(st.deliver(0, 2), vec![2]);
+        assert_eq!(deliver(&mut st, 0, 1), Vec::<u64>::new());
+        assert_eq!(cancel(&mut st, 0, 0), vec![1]);
+        assert_eq!(deliver(&mut st, 0, 2), vec![2]);
         // A cancellation with nothing buffered just moves the cursor.
-        assert_eq!(st.note_cancelled(0, 3), Vec::<u64>::new());
-        assert_eq!(st.deliver(0, 4), vec![4]);
+        assert_eq!(cancel(&mut st, 0, 3), Vec::<u64>::new());
+        assert_eq!(deliver(&mut st, 0, 4), vec![4]);
         // A cancellation below the cursor is a no-op...
-        assert_eq!(st.note_cancelled(0, 2), Vec::<u64>::new());
+        assert_eq!(cancel(&mut st, 0, 2), Vec::<u64>::new());
         // ...and a stray late delivery for a cancelled slot is suppressed.
-        assert_eq!(st.note_cancelled(0, 6), Vec::<u64>::new());
-        assert_eq!(st.deliver(0, 6), Vec::<u64>::new());
+        assert_eq!(cancel(&mut st, 0, 6), Vec::<u64>::new());
+        assert_eq!(deliver(&mut st, 0, 6), Vec::<u64>::new());
         assert_eq!(st.stats.duplicates_suppressed, 1);
-        assert_eq!(st.deliver(0, 5), vec![5]);
-        assert_eq!(st.deliver(0, 7), vec![7]);
+        assert_eq!(deliver(&mut st, 0, 5), vec![5]);
+        assert_eq!(deliver(&mut st, 0, 7), vec![7]);
     }
 
     #[test]
     fn receiver_restores_instance_order() {
         let mut st = ChannelState::new(ChannelModel::constant(d(0)), 2);
         // Instance 1 and 2 arrive before 0: buffered.
-        assert_eq!(st.deliver(0, 1), Vec::<u64>::new());
-        assert_eq!(st.deliver(0, 2), Vec::<u64>::new());
+        assert_eq!(deliver(&mut st, 0, 1), Vec::<u64>::new());
+        assert_eq!(deliver(&mut st, 0, 2), Vec::<u64>::new());
         assert_eq!(st.stats.reordered, 2);
         // 0 arrives: the whole run applies in order.
-        assert_eq!(st.deliver(0, 0), vec![0, 1, 2]);
+        assert_eq!(deliver(&mut st, 0, 0), vec![0, 1, 2]);
         // Independent per subtask.
-        assert_eq!(st.deliver(1, 0), vec![0]);
+        assert_eq!(deliver(&mut st, 1, 0), vec![0]);
         assert_eq!(st.stats.applied, 4);
     }
 }

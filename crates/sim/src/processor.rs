@@ -131,6 +131,12 @@ pub struct Processor {
     /// on boundary crossings).
     needs_milestone: bool,
     next_fifo: u64,
+    /// Ready jobs released exactly at `last_advance`. Kept incrementally so
+    /// [`Processor::is_idle_point`] is O(1) instead of scanning `ready`:
+    /// every queued job has `released_at <= last_advance`, so "released at
+    /// or after `now`" can only ever match jobs released at the current
+    /// instant.
+    fresh_ready: usize,
 }
 
 impl Processor {
@@ -144,6 +150,7 @@ impl Processor {
             milestone_gen: 0,
             needs_milestone: false,
             next_fifo: 0,
+            fresh_ready: 0,
         }
     }
 
@@ -160,8 +167,36 @@ impl Processor {
     /// `true` if `now` is an *idle point* in the paper's sense (§3.2):
     /// every instance released **strictly before** `now` has completed —
     /// instances released at the instant itself do not count.
+    ///
+    /// The `released_at >= now` boundary is deliberate, and release guards
+    /// (RG rule 2) depend on it: Sun & Liu define an idle point as an
+    /// instant where all *previously released* work has finished, so an
+    /// instance whose release coincides with the instant must not
+    /// retroactively disqualify it — otherwise a guard queued behind that
+    /// very release could never be freed at its natural boundary. Since
+    /// jobs are stamped `released_at = last_advance` on release and time
+    /// is monotone, a queued job can only satisfy `released_at >= now`
+    /// when it was released at the current instant, which is exactly what
+    /// the `fresh_ready` counter tracks — making this O(1).
     pub fn is_idle_point(&self, now: Time) -> bool {
-        self.running.is_none() && self.ready.iter().all(|j| j.released_at >= now)
+        debug_assert!(
+            now >= self.last_advance,
+            "idle-point query in the past on {}",
+            self.id
+        );
+        let idle = self.running.is_none()
+            && if now == self.last_advance {
+                self.ready.len() == self.fresh_ready
+            } else {
+                self.ready.is_empty()
+            };
+        debug_assert_eq!(
+            idle,
+            self.running.is_none() && self.ready.iter().all(|j| j.released_at >= now),
+            "fresh_ready counter out of sync on {}",
+            self.id
+        );
+        idle
     }
 
     /// The currently running job, if any.
@@ -189,6 +224,10 @@ impl Processor {
         );
         let start = self.last_advance;
         self.last_advance = now;
+        if now > start {
+            // Jobs released at the previous instant are no longer "fresh".
+            self.fresh_ready = 0;
+        }
         let elapsed = now - start;
         if elapsed.is_zero() {
             return None;
@@ -224,6 +263,7 @@ impl Processor {
     ) {
         let fifo = self.next_fifo;
         self.next_fifo += 1;
+        self.fresh_ready += 1; // stamped `released_at = last_advance` below
         self.ready.push(QueuedJob {
             effective: profile.base(), // no locks held before first dispatch
             fifo,
@@ -273,18 +313,29 @@ impl Processor {
 
     /// Fail-stop crash: drops the running job and the whole ready queue
     /// (their partial execution is lost) and invalidates any outstanding
-    /// milestone event. Returns the killed jobs sorted by [`JobId`] so the
-    /// caller's bookkeeping is deterministic regardless of heap layout.
+    /// milestone event. Fills `killed` (cleared first) with the killed
+    /// jobs sorted by [`JobId`] so the caller's bookkeeping is
+    /// deterministic regardless of heap layout. Writing into a
+    /// caller-owned buffer keeps the engine's crash path allocation-free.
     /// The processor itself stays usable — after the restart delay the
     /// engine simply releases work onto it again.
-    pub fn crash(&mut self) -> Vec<JobId> {
+    pub fn crash_into(&mut self, killed: &mut Vec<JobId>) {
         self.milestone_gen += 1;
         self.needs_milestone = false;
-        let mut killed: Vec<JobId> = self.ready.drain().map(|q| q.job).collect();
+        killed.clear();
+        killed.extend(self.ready.drain().map(|q| q.job));
         if let Some(run) = self.running.take() {
             killed.push(run.job);
         }
+        self.fresh_ready = 0;
         killed.sort_unstable();
+    }
+
+    /// Convenience form of [`Processor::crash_into`] returning a fresh
+    /// vector; tests use it, the engine reuses a scratch buffer instead.
+    pub fn crash(&mut self) -> Vec<JobId> {
+        let mut killed = Vec::new();
+        self.crash_into(&mut killed);
         killed
     }
 
@@ -303,9 +354,15 @@ impl Processor {
             if let Some(run) = self.running.take() {
                 // The preempted job keeps its FIFO stamp and its *current*
                 // effective priority (locks stay held across preemption).
+                if run.released_at == self.last_advance {
+                    self.fresh_ready += 1;
+                }
                 self.ready.push(run);
             }
             let mut top = self.ready.pop().expect("peeked job vanished");
+            if top.released_at == self.last_advance {
+                self.fresh_ready -= 1;
+            }
             // Dispatch acquires any lock whose section starts right here.
             top.started = true;
             top.effective = top.profile.at(top.executed);
@@ -662,6 +719,55 @@ mod tests {
             Resched::NewMilestone { at, .. } => assert_eq!(at, t(9)),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn idle_point_release_at_the_instant_does_not_retroactively_count() {
+        // RG rule 2 boundary: an instance released exactly at an idle
+        // instant must not disqualify that instant as an idle point —
+        // only instances released *strictly before* `now` count.
+        let mut p = proc();
+        p.advance(t(5));
+        assert!(p.is_idle_point(t(5)), "empty processor is trivially idle");
+        rel(&mut p, job(0, 0, 0), 0, 3); // released exactly at t=5
+        assert!(
+            p.is_idle_point(t(5)),
+            "a release at the instant itself is not yet 'previous work'"
+        );
+        p.reschedule(t(5));
+        assert!(
+            !p.is_idle_point(t(5)),
+            "once dispatched the instance is running, so no idle point"
+        );
+    }
+
+    #[test]
+    fn idle_point_denied_while_an_earlier_release_is_pending() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 3); // released at t=0
+        assert!(
+            !p.is_idle_point(t(2)),
+            "an undispatched job released earlier blocks the idle point"
+        );
+        p.advance(t(2));
+        assert!(
+            !p.is_idle_point(t(2)),
+            "advancing past the release does not launder it into freshness"
+        );
+        p.reschedule(t(2));
+        p.advance(t(5));
+        let _ = p.take_milestone(p.current_gen());
+        assert!(p.is_idle_point(t(5)), "idle again once the job completed");
+    }
+
+    #[test]
+    fn idle_point_freshness_expires_when_time_moves_on() {
+        let mut p = proc();
+        p.advance(t(3));
+        rel(&mut p, job(0, 0, 0), 0, 2); // fresh at t=3 …
+        assert!(p.is_idle_point(t(3)));
+        p.advance(t(4)); // … stale at t=4
+        assert!(!p.is_idle_point(t(4)));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use rtsync_core::task::{Priority, ProcessorId, SubtaskId, TaskId};
 use rtsync_core::time::{Dur, Time};
-use rtsync_sim::event::{EventKind, EventQueue};
+use rtsync_sim::event::{EventKind, EventQueue, ReferenceEventQueue};
 use rtsync_sim::processor::{Milestone, Processor, Resched};
 use rtsync_sim::profile::PriorityProfile;
 use rtsync_sim::JobId;
@@ -210,6 +210,55 @@ proptest! {
                 );
             }
             prev = Some((ev.time.ticks(), rank));
+        }
+    }
+
+    /// Differential oracle: the two-tier wheel queue pops the exact same
+    /// `(time, kind)` sequence as [`ReferenceEventQueue`] — the plain
+    /// binary-heap implementation it replaced — under random push/pop
+    /// interleavings. The time mapping deliberately stacks three regimes:
+    /// dense same-instant ties (exercising kind-rank and insertion-order
+    /// arbitration, including the adjacent AckDeliver/RetransmitTimer
+    /// ranks), times straddling the wheel horizon (near/far migration),
+    /// and scattered far-future times (overflow-heap refills).
+    #[test]
+    fn wheel_queue_matches_the_reference_heap(
+        ops in prop::collection::vec(
+            (prop::bool::ANY, 0i64..200_000, 0u8..4), 1..200),
+    ) {
+        let kind_of = |sel: u8, i: usize| match sel {
+            0 => EventKind::Completion { proc: ProcessorId::new(0), gen: i as u64 },
+            1 => EventKind::SourceRelease { task: TaskId::new(i), instance: 0 },
+            // Fixed seqs so same-instant ack/retransmit pairs differ only
+            // by kind rank and insertion order.
+            2 => EventKind::AckDeliver { seq: 7 },
+            _ => EventKind::RetransmitTimer { seq: 7, attempt: 1 },
+        };
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceEventQueue::new();
+        for (i, &(is_pop, raw_t, sel)) in ops.iter().enumerate() {
+            if is_pop {
+                let got = wheel.pop().map(|e| (e.time, e.kind));
+                let want = reference.pop().map(|e| (e.time, e.kind));
+                prop_assert_eq!(got, want, "diverged at op {}", i);
+            } else {
+                let t = Time::from_ticks(match raw_t % 10 {
+                    0..=5 => raw_t % 16,             // dense ties
+                    6 | 7 => 32_700 + raw_t % 140,   // wheel-horizon straddle
+                    _ => raw_t,                      // far future
+                });
+                wheel.push(t, kind_of(sel, i));
+                reference.push(t, kind_of(sel, i));
+            }
+        }
+        prop_assert_eq!(wheel.len(), reference.len());
+        loop {
+            let got = wheel.pop().map(|e| (e.time, e.kind));
+            let want = reference.pop().map(|e| (e.time, e.kind));
+            prop_assert_eq!(got, want, "diverged during the final drain");
+            if got.is_none() {
+                break;
+            }
         }
     }
 }

@@ -53,6 +53,7 @@ fn run() -> Result<(), String> {
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -78,7 +79,8 @@ fn usage() -> String {
      [--sporadic MAX_EXTRA] [--seed S]\n  \
      rtsync chaos [--runs N] [--smoke] [--transport] [--seed S] [--threads T] \
      [--out DIR]\n  \
-     rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]"
+     rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
+     rtsync bench [--json] [--smoke] [--out FILE]"
         .to_string()
 }
 
@@ -675,6 +677,50 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             outcome.failures.len(),
             outcome.verdicts.len()
         ));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use rtsync::bench::run_suite;
+    let mut json = false;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+
+    eprintln!(
+        "bench suite: every protocol x {{ideal, nonideal, faults_transport}}{}",
+        if smoke {
+            " (smoke: reduced workload, numbers are a crash canary only)"
+        } else {
+            ""
+        }
+    );
+    let report = run_suite(smoke);
+
+    if json {
+        let path = out.unwrap_or_else(|| "BENCH_sim.json".to_string());
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({} cells)", report.results.len());
+    } else {
+        println!(
+            "{:<6}{:<18}{:>14}{:>12}{:>14}",
+            "proto", "scenario", "events/iter", "iters", "events/sec"
+        );
+        for r in &report.results {
+            println!(
+                "{:<6}{:<18}{:>14}{:>12}{:>14.0}",
+                r.protocol, r.scenario, r.events_per_iter, r.iterations, r.events_per_sec
+            );
+        }
     }
     Ok(())
 }

@@ -13,7 +13,9 @@
 //! * [`core`] — task model, protocols, analyses;
 //! * [`sim`] — the discrete-event simulator;
 //! * [`workload`] — synthetic workload generation;
-//! * [`experiments`] — figure reproduction.
+//! * [`experiments`] — figure reproduction;
+//! * [`bench`](mod@bench) — the stopwatch throughput suite behind
+//!   `rtsync bench`.
 //!
 //! See the `examples/` directory for runnable walk-throughs, starting
 //! with `quickstart.rs`.
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use rtsync_bench as bench;
 pub use rtsync_core as core;
 pub use rtsync_experiments as experiments;
 pub use rtsync_sim as sim;
