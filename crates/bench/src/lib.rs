@@ -9,9 +9,10 @@
 //!   throughput baseline (`BENCH_sim.json`) and by the CI smoke job.
 //!
 //! The suite measures end-to-end simulator throughput (events per second
-//! of wall time) for every protocol under three escalating condition
+//! of wall time) for every protocol under four escalating condition
 //! tiers: `ideal` (the paper's assumptions), `nonideal` (drifting clocks
-//! and a lossy-free latency channel), and `faults_transport` (crash/
+//! and a lossy-free latency channel), `sync` (nonideal plus the periodic
+//! clock-synchronization exchanges), and `faults_transport` (crash/
 //! recovery plus the acked endpoint transport with failure detection).
 //! Numbers are machine-dependent: compare trajectories on one machine,
 //! not absolute values across machines.
@@ -25,7 +26,7 @@ use rtsync_core::task::TaskSet;
 use rtsync_core::time::Dur;
 use rtsync_sim::engine::{simulate, SimConfig};
 use rtsync_sim::nonideal::{ChannelModel, ClockModel};
-use rtsync_sim::{DetectorConfig, FaultConfig, TransportConfig};
+use rtsync_sim::{DetectorConfig, FaultConfig, SyncConfig, TransportConfig};
 use rtsync_workload::{generate, WorkloadSpec};
 
 /// Workload seed shared with the criterion benches, so both harnesses
@@ -39,7 +40,7 @@ const WORKLOAD_UTILIZATION: f64 = 0.7;
 pub struct BenchResult {
     /// Protocol tag (`DS`, `PM`, `MPM`, `RG`).
     pub protocol: &'static str,
-    /// Scenario tag (`ideal`, `nonideal`, `faults_transport`).
+    /// Scenario tag (`ideal`, `nonideal`, `sync`, `faults_transport`).
     pub scenario: &'static str,
     /// Timed iterations (after one untimed warmup).
     pub iterations: u32,
@@ -95,8 +96,8 @@ impl BenchReport {
     }
 }
 
-/// The three condition tiers, in escalating order.
-const SCENARIOS: [&str; 3] = ["ideal", "nonideal", "faults_transport"];
+/// The four condition tiers, in escalating order.
+const SCENARIOS: [&str; 4] = ["ideal", "nonideal", "sync", "faults_transport"];
 
 /// Builds the `SimConfig` of one cell. Seeds are fixed so every
 /// invocation measures the identical event sequence.
@@ -113,6 +114,20 @@ fn cell_config(protocol: Protocol, scenario: &str, instances: u64) -> SimConfig 
             .with_channel(
                 ChannelModel::uniform(Dur::from_ticks(50), Dur::from_ticks(400)).with_seed(22),
             ),
+        "sync" => {
+            // Nonideal clocks plus the clock-synchronization layer: the
+            // price of the periodic NTP-style exchanges riding the same
+            // event queue and channel as the protocol traffic.
+            base.with_clocks(ClockModel::Random {
+                max_offset: Dur::from_ticks(500),
+                max_drift_ppm: 200,
+                seed: 21,
+            })
+            .with_channel(
+                ChannelModel::uniform(Dur::from_ticks(50), Dur::from_ticks(400)).with_seed(22),
+            )
+            .with_sync(SyncConfig::new(Dur::from_ticks(20_000)))
+        }
         "faults_transport" => {
             // Mirrors the chaos harness's transport-mode configuration:
             // real endpoint drops recovered by ack/retransmit, plus a

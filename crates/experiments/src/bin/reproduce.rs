@@ -32,6 +32,7 @@ struct Options {
     run_policies: bool,
     run_convergence: bool,
     run_robustness: bool,
+    run_sync: bool,
     obs: bool,
     cfg: StudyConfig,
     out_dir: Option<PathBuf>,
@@ -49,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
     let mut run_policies = false;
     let mut run_convergence = false;
     let mut run_robustness = false;
+    let mut run_sync = false;
     let mut obs = false;
     let mut cfg = StudyConfig::default();
     let mut out_dir = None;
@@ -129,6 +131,10 @@ fn parse_args() -> Result<Options, String> {
                 saw_selector = true;
                 run_robustness = true;
             }
+            "sync" => {
+                saw_selector = true;
+                run_sync = true;
+            }
             "ablations" => {
                 saw_selector = true;
                 run_rule2_ablation = true;
@@ -178,6 +184,7 @@ fn parse_args() -> Result<Options, String> {
         run_policies,
         run_convergence,
         run_robustness,
+        run_sync,
         obs,
         cfg,
         out_dir,
@@ -258,7 +265,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|robustness|ablations]... \
+                "usage: reproduce [all|traces|study|fig3..fig7|fig12..fig16|rule2|distributions|tightness|exact|tails|contention|policies|convergence|robustness|sync|ablations]... \
                  [--systems N] [--instances I] [--seed S] [--threads T] [--out DIR] [--obs]"
             );
             return ExitCode::FAILURE;
@@ -490,6 +497,69 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    if opts.run_sync {
+        use rtsync_experiments::sync::{self, SyncStudyConfig};
+        println!("running the clock-synchronization study (drift × latency × sync-period)…");
+        let scfg = SyncStudyConfig {
+            systems_per_config: opts.cfg.systems_per_config.min(10),
+            seed: opts.cfg.seed,
+            threads: opts.cfg.threads,
+            analysis: opts.cfg.analysis,
+            ..SyncStudyConfig::default()
+        };
+        println!(
+            "  {} drift values x {} latency values x {} periods x {} systems \
+             ({} simulation runs, seed {}, {} threads)",
+            scfg.drift_ppm_values.len(),
+            scfg.latency_values.len(),
+            scfg.sync_periods.len(),
+            scfg.systems_per_config,
+            scfg.total_runs(),
+            scfg.seed,
+            scfg.threads,
+        );
+        let started = std::time::Instant::now();
+        let outcome = sync::run_sync_study(&scfg);
+        run_log.study("sync", started.elapsed(), 0);
+        println!("{}", sync::render(&outcome));
+        // Like the robustness grid, the sync study always records its
+        // results so EXPERIMENTS.md's recorded command reproduces the
+        // committed CSVs.
+        let dir = opts
+            .out_dir
+            .clone()
+            .or_else(|| Some(PathBuf::from("results")));
+        if let Err(e) = write_csv(&dir, "sync_grid.csv", &sync::grid_csv(&outcome)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = write_csv(&dir, "sync_summary.csv", &sync::summary_csv(&outcome)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        // The PM-synced companion to robustness_inflation_pm.csv: same
+        // grid, same systems and seeds, PM with sync at a feasible
+        // period (10k ticks: 5% drift accumulates only ~500 ticks of
+        // error between rounds, against task periods of 100k–10M ticks).
+        println!("re-running the robustness PM rows with sync attached…");
+        let rcfg = RobustnessConfig {
+            systems_per_config: opts.cfg.systems_per_config.min(10),
+            seed: opts.cfg.seed,
+            instances_per_task: opts.cfg.instances_per_task,
+            threads: opts.cfg.threads,
+            analysis: opts.cfg.analysis,
+            ..RobustnessConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let csv = sync::robustness_pm_synced_csv(&rcfg, 10_000, rtsync_sim::SyncPolicy::Step);
+        run_log.study("robustness_pm_synced", started.elapsed(), 0);
+        print!("PM inflation matrix, synced (period 10000, step policy):\n{csv}");
+        if let Err(e) = write_csv(&dir, "robustness_pm_synced.csv", &csv) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
         }
     }
 

@@ -13,6 +13,9 @@
 //! * [`transport`] — the endpoint-transport study: miss/loss ratio and
 //!   EER inflation over drop rate × timeout × backoff, plus heartbeat
 //!   failure-detector accuracy against a ground-truth crash schedule;
+//! * [`sync`] — the clock-synchronization study: PM's EER inflation
+//!   over drift × latency × sync-period, the achieved clock error, and
+//!   the sync-accuracy threshold at which PM beats MPM/RG again;
 //! * [`grid`] — `(N, U)` result grids with CSV/ASCII rendering.
 //!
 //! The `reproduce` binary drives all of it:
@@ -47,6 +50,7 @@ pub mod figures;
 pub mod grid;
 pub mod robustness;
 pub mod study;
+pub mod sync;
 pub mod tightness;
 pub mod traces;
 pub mod transport;
@@ -56,5 +60,6 @@ pub use figures::{figure_grid, Figure};
 pub use grid::Grid;
 pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig};
 pub use study::{run_config, run_study, ConfigOutcome, StudyConfig};
+pub use sync::{run_sync_study, SyncStudyConfig, SyncStudyOutcome};
 pub use traces::TraceFigure;
 pub use transport::{run_transport_study, TransportOutcome, TransportStudyConfig};

@@ -50,6 +50,7 @@ use crate::observe::{NoopObserver, Observer};
 use crate::processor::{Milestone, Processor, Resched};
 use crate::profile::PriorityProfile;
 use crate::source::SourceModel;
+use crate::sync::{SyncConfig, SyncState, SyncStats};
 use crate::trace::Trace;
 use crate::transport::{TransportConfig, TransportState, TransportStats};
 
@@ -91,6 +92,11 @@ pub struct SimConfig {
     /// with graceful degradation. `None` — the default — keeps the signal
     /// path bit-for-bit identical to the legacy engine.
     pub transport: Option<TransportConfig>,
+    /// The clock-synchronization layer: periodic NTP-style offset
+    /// estimation over the signal channel with Marzullo intersection and
+    /// a correction policy (see [`crate::sync`]). `None` — the default —
+    /// runs no sync traffic and reads clocks exactly as the legacy engine.
+    pub sync: Option<SyncConfig>,
 }
 
 impl SimConfig {
@@ -109,6 +115,7 @@ impl SimConfig {
             nonideal: NonidealConfig::default(),
             faults: None,
             transport: None,
+            sync: None,
         }
     }
 
@@ -116,6 +123,12 @@ impl SimConfig {
     /// heartbeat failure detection and graceful degradation).
     pub fn with_transport(mut self, transport: TransportConfig) -> SimConfig {
         self.transport = Some(transport);
+        self
+    }
+
+    /// Enables the clock-synchronization layer.
+    pub fn with_sync(mut self, sync: SyncConfig) -> SimConfig {
+        self.sync = Some(sync);
         self
     }
 
@@ -243,6 +256,9 @@ pub struct SimOutcome {
     /// Structured degradation events (detector transitions, forced
     /// releases, abandoned signals, watchdog trips), in firing order.
     pub degradations: Vec<DegradationEvent>,
+    /// Clock-synchronization counters (all zero when no sync layer was
+    /// configured).
+    pub sync_stats: SyncStats,
 }
 
 impl SimOutcome {
@@ -354,6 +370,9 @@ struct Engine<'a, O: Observer> {
     transport: Option<TransportState>,
     /// Failure-detector state; `None` runs no heartbeats.
     detect: Option<DetectState>,
+    /// Clock-synchronization state; `None` runs no sync rounds and keeps
+    /// every clock read on the legacy path.
+    sync: Option<SyncState>,
     /// Structured degradation log (see [`SimOutcome::degradations`]).
     degradations: Vec<DegradationEvent>,
     /// Consecutive end-to-end deadline misses per task (the watchdog).
@@ -384,13 +403,14 @@ impl<'a, O: Observer> Engine<'a, O> {
         let flat = FlatIndex::new(set);
         let clocks = (!cfg.nonideal.clocks.is_ideal())
             .then(|| cfg.nonideal.clocks.resolve(set.num_processors()));
-        // With a transport attached the channel still prices the wire, but
-        // endpoint retransmission replaces the oracle mode (a drop is a
-        // drop); without a configured channel the transport rides a
-        // zero-latency loss-free wire so frames still flow as events.
-        let channel = match (cfg.nonideal.channel, cfg.transport.is_some()) {
-            (Some(model), true) => Some(ChannelState::new(model.endpoint_normalized(), flat.len())),
-            (Some(model), false) => Some(ChannelState::new(model, flat.len())),
+        // The transport and the sync layer both ride the wire: with either
+        // attached but no channel configured, a zero-latency loss-free
+        // wire is synthesized so their frames still flow as events (and
+        // sync traffic advances the same fault/latency draws as real
+        // signals — genuine interference).
+        let needs_wire = cfg.transport.is_some() || cfg.sync.is_some();
+        let channel = match (cfg.nonideal.channel, needs_wire) {
+            (Some(model), _) => Some(ChannelState::new(model, flat.len())),
             (None, true) => Some(ChannelState::new(
                 ChannelModel::constant(Dur::ZERO),
                 flat.len(),
@@ -459,6 +479,16 @@ impl<'a, O: Observer> Engine<'a, O> {
             .as_ref()
             .and_then(|t| t.detector.as_ref())
             .map(|dc| DetectState::new(dc.clone(), set.num_processors(), flat.len()));
+        // The sync layer knows each oscillator's rated drift (a spec
+        // sheet bound every real node has), which sizes its NTP-style
+        // drift-tolerance term; the actual offsets stay hidden from it.
+        let sync = cfg.sync.map(|sc| {
+            let state = SyncState::new(sc, set.num_processors());
+            match &clocks {
+                Some(cs) => state.with_drift_ppm(cs.iter().map(|c| c.drift_ppm)),
+                None => state,
+            }
+        });
         Ok(Engine {
             set,
             cfg,
@@ -492,6 +522,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             faults,
             transport,
             detect,
+            sync,
             degradations: Vec::new(),
             miss_streak: vec![0; set.num_tasks()],
             horizon,
@@ -529,12 +560,16 @@ impl<'a, O: Observer> Engine<'a, O> {
                     // modified phase — this is the one place absolute clock
                     // error enters the protocols. A clock running ahead can
                     // place the firing before the origin; clamp to zero
-                    // (the release is maximally early either way).
-                    let at = match &self.clocks {
-                        None => phases.phase(sub.id()),
-                        Some(clocks) => clocks[sub.processor().index()]
+                    // (the release is maximally early either way). With a
+                    // sync layer attached the read goes through the
+                    // corrected clock (no correction exists yet at t = 0,
+                    // but the code path must match the later firings).
+                    let at = if self.clocks.is_none() && self.sync.is_none() {
+                        phases.phase(sub.id())
+                    } else {
+                        self.eff_clock(sub.processor().index())
                             .true_of_local(phases.phase(sub.id()))
-                            .max(Time::ZERO),
+                            .max(Time::ZERO)
                     };
                     self.queue.push(
                         at,
@@ -597,6 +632,20 @@ impl<'a, O: Observer> Engine<'a, O> {
             }
         }
 
+        // Seed the sync layer: one round chain per processor. The first
+        // round fires a period in — there is nothing to settle at t = 0.
+        if let Some(sync) = &self.sync {
+            let period = sync.cfg.period;
+            for p in 0..self.set.num_processors() {
+                self.queue.push(
+                    Time::ZERO + period,
+                    EventKind::SyncRound {
+                        proc: ProcessorId::new(p),
+                    },
+                );
+            }
+        }
+
         let mut reached_target = false;
         while let Some(event) = self.queue.pop() {
             if event.time > self.horizon || self.events >= self.cfg.max_events {
@@ -635,6 +684,11 @@ impl<'a, O: Observer> Engine<'a, O> {
                 EventKind::DegradedRelease { subtask, instance } => {
                     self.on_degraded_release(subtask, instance)
                 }
+                EventKind::SyncRound { proc } => self.on_sync_round(proc),
+                EventKind::SyncRequest { from, to, t1 } => self.on_sync_request(from, to, t1),
+                EventKind::SyncResponse { to, t1, t2, disp } => {
+                    self.on_sync_response(to, t1, t2, disp)
+                }
             }
             // Dispatch decisions are made once per *instant*, after every
             // same-instant event has been absorbed: simultaneous releases
@@ -668,6 +722,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             transport_stats: self.transport.map(|t| t.stats).unwrap_or_default(),
             detect_stats: self.detect.map(|d| d.stats).unwrap_or_default(),
             degradations: self.degradations,
+            sync_stats: self.sync.map(|s| s.stats).unwrap_or_default(),
         })
     }
 
@@ -1414,6 +1469,148 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
     }
 
+    /// The effective clock of processor `p`: the base nonideal clock
+    /// (ideal when no clock model is configured) with the sync layer's
+    /// accumulated correction folded into the offset. Corrections shift
+    /// the *offset* only — RG guards and MPM timers measure durations, so
+    /// they see drift but never the correction, exactly as on real nodes
+    /// where an offset step does not change the oscillator rate.
+    fn eff_clock(&self, p: usize) -> LocalClock {
+        let mut clock = match &self.clocks {
+            Some(clocks) => clocks[p],
+            None => LocalClock::IDEAL,
+        };
+        if let Some(sync) = &self.sync {
+            clock.offset += sync.adj[p];
+        }
+        clock
+    }
+
+    /// A processor's periodic sync round: settle the previous round's
+    /// samples into a correction, then send fresh timestamped requests to
+    /// every peer and the external time reference. The chain ticks on the
+    /// true-time cadence whether the node is up or not (a crashed node
+    /// skips the body, like a silent heartbeat).
+    fn on_sync_round(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        let period = self
+            .sync
+            .as_ref()
+            .expect("SyncRound only scheduled with sync")
+            .cfg
+            .period;
+        let up = !self.faults.as_ref().is_some_and(|fs| fs.down[p]);
+        if up {
+            self.obs.on_sync_round(self.now, p);
+            self.sync.as_mut().expect("sync attached").stats.rounds += 1;
+            if let Some((offset, uncertainty, step)) =
+                self.sync.as_mut().expect("sync attached").settle(p)
+            {
+                self.obs.on_sync_estimate(self.now, p, offset, uncertainty);
+                if step != Dur::ZERO {
+                    self.obs.on_sync_correction(self.now, p, step);
+                }
+            }
+            // Oracle ground-truth error sample, taken *after* the round's
+            // correction — this is what the experiments plot against EER.
+            let err = (self.eff_clock(p).local_of(self.now) - self.now)
+                .ticks()
+                .abs();
+            self.sync
+                .as_mut()
+                .expect("sync attached")
+                .record_true_error(Dur::from_ticks(err));
+            // Fresh requests: every peer, plus the reference addressed as
+            // `to == from` (a processor never syncs with itself).
+            let t1 = self.eff_clock(p).local_of(self.now);
+            for q in 0..self.set.num_processors() {
+                self.send_sync_frame(EventKind::SyncRequest {
+                    from: proc,
+                    to: ProcessorId::new(q),
+                    t1,
+                });
+            }
+        }
+        let next = self.now + period;
+        if next <= self.horizon {
+            self.queue.push(next, EventKind::SyncRound { proc });
+        }
+    }
+
+    /// Sends one sync frame over the channel: a fire-and-forget datagram
+    /// with one latency/fault draw per copy. A dropped frame just loses
+    /// one sample (the exchange is implicitly acked by its response);
+    /// a duplicated one repeats it — Marzullo tolerates both.
+    fn send_sync_frame(&mut self, kind: EventKind) {
+        self.sync.as_mut().expect("sync attached").stats.frames += 1;
+        let plan = self
+            .channel
+            .as_mut()
+            .expect("sync implies a channel")
+            .send();
+        for &delay in plan.deliveries() {
+            self.queue.push(self.now + delay, kind);
+        }
+    }
+
+    /// A sync request lands on its responder, which stamps its clock and
+    /// answers immediately over the channel. The reference (`to == from`)
+    /// lives outside the fault domain and answers with true time and zero
+    /// dispersion; a crashed peer stays silent and the sample is simply
+    /// lost. A live peer advertises its own error bound against true time
+    /// (its last settled uncertainty plus uncorrected residual) so the
+    /// requester can widen the sample honestly — without this, two
+    /// mutually-consistent peers could out-vote the reference in Marzullo
+    /// and the cluster would converge to itself instead of true time.
+    fn on_sync_request(&mut self, from: ProcessorId, to: ProcessorId, t1: Time) {
+        let (t2, disp) = if to == from {
+            (self.now, Some(Dur::ZERO))
+        } else {
+            if self.faults.as_ref().is_some_and(|fs| fs.down[to.index()]) {
+                return;
+            }
+            let disp = self
+                .sync
+                .as_ref()
+                .expect("sync attached")
+                .dispersion(to.index());
+            (self.eff_clock(to.index()).local_of(self.now), disp)
+        };
+        self.send_sync_frame(EventKind::SyncResponse {
+            to: from,
+            t1,
+            t2,
+            disp,
+        });
+    }
+
+    /// A sync response returns to its requester, closing one exchange:
+    /// stamp the arrival and buffer the offset interval for the next
+    /// round's settle.
+    fn on_sync_response(&mut self, to: ProcessorId, t1: Time, t2: Time, disp: Option<Dur>) {
+        let p = to.index();
+        if self.faults.as_ref().is_some_and(|fs| fs.down[p]) {
+            return; // the requester crashed before the response landed
+        }
+        let Some(disp) = disp else {
+            // The responder has never settled an estimate of its own and
+            // cannot bound its error against true time — the sample is
+            // unusable for an absolute-offset vote.
+            return;
+        };
+        let t3 = self.eff_clock(p).local_of(self.now);
+        if t3 < t1 {
+            // A backwards step correction between send and receive can
+            // pull the corrected clock behind the request stamp; the
+            // RTT estimate is meaningless — drop the sample.
+            return;
+        }
+        self.sync
+            .as_mut()
+            .expect("sync attached")
+            .record_exchange(p, t1, t2, t3, disp);
+    }
+
     /// The next instance of flat subtask `fi` that neither released nor
     /// got cancelled.
     fn next_unreleased_instance(&self, fi: usize) -> u64 {
@@ -1518,21 +1715,21 @@ impl<'a, O: Observer> Engine<'a, O> {
         // PM's clock-driven release of a later subtask.
         self.release(JobId::new(subtask, instance));
         let period = self.set.task(subtask.task()).period();
-        let next = match &self.clocks {
-            None => self.now + period,
-            Some(clocks) => {
-                // The timer tracks the *local* schedule φ + m·p exactly
-                // (no accumulated rounding): convert the next local firing
-                // back to true time on the host clock.
-                let phases = self
-                    .pm_phases
-                    .as_ref()
-                    .expect("timed releases only occur under PM");
-                let local_next = phases.phase(subtask) + period.saturating_mul(instance as i64 + 1);
-                clocks[self.set.subtask(subtask).processor().index()]
-                    .true_of_local(local_next)
-                    .max(self.now)
-            }
+        let next = if self.clocks.is_none() && self.sync.is_none() {
+            self.now + period
+        } else {
+            // The timer tracks the *local* schedule φ + m·p exactly
+            // (no accumulated rounding): convert the next local firing
+            // back to true time on the host's corrected clock. This is
+            // where sync corrections reach PM — each firing re-reads the
+            // clock, so a correction applied at any round moves every
+            // later firing.
+            let phases = self
+                .pm_phases
+                .as_ref()
+                .expect("timed releases only occur under PM");
+            let local_next = phases.phase(subtask) + period.saturating_mul(instance as i64 + 1);
+            self.eff_clock(proc).true_of_local(local_next).max(self.now)
         };
         if next <= self.horizon {
             self.queue.push(
@@ -1770,9 +1967,12 @@ impl<'a, O: Observer> Engine<'a, O> {
                 let mut m = self.faults.as_ref().expect("faults active").pm_next[fi];
                 loop {
                     let local = phases.phase(sub.id()) + period.saturating_mul(m as i64);
-                    let at = match &self.clocks {
-                        None => local,
-                        Some(clocks) => clocks[proc.index()].true_of_local(local).max(Time::ZERO),
+                    let at = if self.clocks.is_none() && self.sync.is_none() {
+                        local
+                    } else {
+                        self.eff_clock(proc.index())
+                            .true_of_local(local)
+                            .max(Time::ZERO)
                     };
                     if at >= self.now {
                         to_schedule.push((at, sub.id(), m));

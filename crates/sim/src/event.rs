@@ -25,7 +25,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use rtsync_core::task::{ProcessorId, SubtaskId, TaskId};
-use rtsync_core::time::Time;
+use rtsync_core::time::{Dur, Time};
 
 use crate::job::JobId;
 
@@ -162,6 +162,46 @@ pub enum EventKind {
         /// The 0-based instance to force-release.
         instance: u64,
     },
+    /// A processor starts its next clock-synchronization round (sync mode
+    /// only): it first settles the previous round's samples into a
+    /// correction, then sends fresh timestamped requests to every peer and
+    /// the reference. Self-rescheduling on the true-time cadence;
+    /// crashed processors skip the body but keep the chain.
+    SyncRound {
+        /// The synchronizing processor.
+        proc: ProcessorId,
+    },
+    /// A sync request frame from `from` reaches `to` (sync mode only),
+    /// carrying the sender's corrected-clock send timestamp `t1`. The
+    /// receiver stamps its own clock and responds over the channel.
+    /// `to == from` addresses the external time reference, which answers
+    /// with true time (a processor never syncs with itself).
+    SyncRequest {
+        /// The requesting processor.
+        from: ProcessorId,
+        /// The responder: a peer, or `from` itself for the reference.
+        to: ProcessorId,
+        /// The requester's corrected local clock at send time.
+        t1: Time,
+    },
+    /// A sync response frame reaches the requester `to` (sync mode only),
+    /// closing one NTP-style exchange: `t1` echoes the request's send
+    /// stamp, `t2` is the responder's clock at the moment it answered.
+    SyncResponse {
+        /// The requesting processor the response returns to.
+        to: ProcessorId,
+        /// Echoed request send stamp (requester's corrected clock).
+        t1: Time,
+        /// The responder's clock reading when it answered.
+        t2: Time,
+        /// The responder's advertised error bound against true time (NTP's
+        /// root dispersion): zero for the reference, the last settled
+        /// uncertainty plus uncorrected residual for a peer, `None` for a
+        /// peer that has never settled — the requester discards the
+        /// sample, since a peer's clock reading alone is only a *relative*
+        /// offset and its interval need not contain the true offset.
+        disp: Option<Dur>,
+    },
 }
 
 impl EventKind {
@@ -196,6 +236,14 @@ impl EventKind {
             EventKind::HeartbeatDeliver { .. } => 12,
             EventKind::SuspectTimer { .. } => 13,
             EventKind::DegradedRelease { .. } => 14,
+            // Sync traffic trails everything: corrections settle at round
+            // boundaries only, and a sync frame arriving in the same
+            // instant as protocol work must not perturb its order. With
+            // sync off none of these kinds exist, so ranks 0–14 and their
+            // golden traces are untouched.
+            EventKind::SyncRound { .. } => 15,
+            EventKind::SyncRequest { .. } => 16,
+            EventKind::SyncResponse { .. } => 17,
         }
     }
 }
@@ -600,6 +648,29 @@ mod tests {
                 proc: ProcessorId::new(0),
             },
         );
+        q.push(
+            t(2),
+            EventKind::SyncResponse {
+                to: ProcessorId::new(0),
+                t1: t(0),
+                t2: t(1),
+                disp: None,
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SyncRequest {
+                from: ProcessorId::new(0),
+                to: ProcessorId::new(1),
+                t1: t(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SyncRound {
+                proc: ProcessorId::new(0),
+            },
+        );
         let ranks: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::Crash { .. } => 0,
@@ -618,11 +689,14 @@ mod tests {
                 EventKind::HeartbeatDeliver { .. } => 12,
                 EventKind::SuspectTimer { .. } => 13,
                 EventKind::DegradedRelease { .. } => 14,
+                EventKind::SyncRound { .. } => 15,
+                EventKind::SyncRequest { .. } => 16,
+                EventKind::SyncResponse { .. } => 17,
             })
             .collect();
         assert_eq!(
             ranks,
-            vec![0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+            vec![0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]
         );
     }
 

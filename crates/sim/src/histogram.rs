@@ -98,6 +98,110 @@ impl EerHistogram {
     }
 }
 
+/// Fixed-footprint log-bucket histogram of *signed* durations, for clock
+/// offset estimates and sync corrections (which, unlike EER times, go both
+/// ways). Two magnitude-bucketed halves share [`EerHistogram`]'s bucket
+/// map; quantiles walk the negative half in descending magnitude (i.e.
+/// ascending signed value) and then the non-negative half ascending.
+///
+/// The same honesty contract holds on both sides: a reported quantile is
+/// an **upper bound** on the true sample within one sub-bucket. On the
+/// negative side that means answering with the bucket's *low* magnitude
+/// edge negated (`−bucket_low`), so a saturated negative sample honestly
+/// reports `−SATURATION_FLOOR` (a finite upper bound) while a saturated
+/// positive sample reports the open-ended [`Dur::MAX`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedHistogram {
+    /// Counts of negative samples, bucketed by magnitude.
+    neg: Vec<u64>,
+    /// Counts of non-negative samples, bucketed by value.
+    pos: Vec<u64>,
+    neg_total: u64,
+    total: u64,
+}
+
+impl Default for SignedHistogram {
+    fn default() -> SignedHistogram {
+        SignedHistogram {
+            neg: vec![0; BUCKETS],
+            pos: vec![0; BUCKETS],
+            neg_total: 0,
+            total: 0,
+        }
+    }
+}
+
+impl SignedHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> SignedHistogram {
+        SignedHistogram::default()
+    }
+
+    /// Records one signed duration.
+    pub fn record(&mut self, value: Dur) {
+        let t = value.ticks();
+        if t < 0 {
+            self.neg[bucket_of(t.unsigned_abs())] += 1;
+            self.neg_total += 1;
+        } else {
+            self.pos[bucket_of(t as u64)] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// An upper bound (within one sub-bucket) on the `q`-quantile of the
+    /// recorded signed samples, `q ∈ (0, 1]`; `None` if empty. Ranks are
+    /// the same integer arithmetic as [`EerHistogram::quantile`]; rank 1
+    /// is the most-negative sample, rank `len()` the most-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<Dur> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = rank_of(q, self.total);
+        if rank <= self.neg_total {
+            // Ascending signed order over negatives = descending magnitude.
+            let mut seen = 0;
+            for i in (0..BUCKETS).rev() {
+                seen += self.neg[i];
+                if seen >= rank {
+                    // Samples here are in [−bucket_high(i), −bucket_low(i)];
+                    // the low magnitude edge is the honest upper bound.
+                    return Some(Dur::from_ticks(-(bucket_low(i) as i64)));
+                }
+            }
+            unreachable!("negative counts reach neg_total");
+        }
+        let rank = rank - self.neg_total;
+        let mut seen = 0;
+        for (i, &count) in self.pos.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(if i == BUCKETS - 1 {
+                    Dur::MAX // open-ended saturation bucket
+                } else {
+                    Dur::from_ticks(bucket_high(i) as i64)
+                });
+            }
+        }
+        unreachable!("cumulative count reaches the total");
+    }
+}
+
 /// `ceil(q · total)` clamped to `[1, total]`, in integer arithmetic.
 ///
 /// Computed in 64.64 fixed point: scaling `q` by 2⁶⁴ is exact (a power of
@@ -154,6 +258,15 @@ fn bucket_high(i: usize) -> u64 {
     let sub = (i - SUB) % SUB;
     let low = (SUB + sub) << (octave - 4);
     low + (1u64 << (octave - 4)) - 1
+}
+
+/// The smallest value mapping to bucket `i` (the saturation bucket starts
+/// exactly at [`SATURATION_FLOOR`]).
+fn bucket_low(i: usize) -> u64 {
+    if i == 0 {
+        return 0;
+    }
+    bucket_high(i - 1) + 1
 }
 
 #[cfg(test)]
@@ -304,5 +417,102 @@ mod tests {
         // q = 1.0 must land in 1000's bucket, never past it.
         let got = h.quantile(1.0).unwrap().ticks();
         assert!((1_000..1_100).contains(&got));
+    }
+
+    #[test]
+    fn signed_small_values_are_exact() {
+        let mut h = SignedHistogram::new();
+        for v in -8..8 {
+            h.record(d(v));
+        }
+        assert_eq!(h.len(), 16);
+        // Small magnitudes resolve exactly on both sides, and the signed
+        // rank order runs most-negative to most-positive.
+        assert_eq!(h.quantile(0.0625), Some(d(-8)));
+        assert_eq!(h.quantile(0.5), Some(d(-1))); // 8th of 16 samples
+        assert_eq!(h.quantile(1.0), Some(d(7)));
+    }
+
+    #[test]
+    fn signed_quantiles_are_upper_bounds() {
+        let mut h = SignedHistogram::new();
+        let samples: Vec<i64> = (1..=2_000).map(|i| (i * 37 % 100_000) - 50_000).collect();
+        for &s in &samples {
+            h.record(d(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let rank = rank_of(q, sorted.len() as u64) as usize;
+            let exact = sorted[rank - 1];
+            let got = h.quantile(q).unwrap().ticks();
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            // Within one sub-bucket of the magnitude, on either side.
+            assert!(
+                (got - exact) as f64 <= exact.abs() as f64 / 16.0 + 1.0,
+                "q={q}: {got} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_empty_and_edges() {
+        let h = SignedHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = SignedHistogram::new();
+        h.record(d(0));
+        assert_eq!(h.quantile(1.0), Some(d(0)));
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn signed_quantile_range_checked() {
+        let mut h = SignedHistogram::new();
+        h.record(d(1));
+        let _ = h.quantile(0.0);
+    }
+
+    #[test]
+    fn signed_saturation_is_honest_on_both_sides() {
+        let floor = SATURATION_FLOOR as i64;
+        // Positive saturation: open-ended, exactly like EerHistogram.
+        let mut h = SignedHistogram::new();
+        h.record(d(i64::MAX));
+        assert_eq!(h.quantile(1.0), Some(Dur::MAX));
+        // Negative saturation: the bucket's low magnitude edge negated is
+        // a *finite* honest upper bound (every sample is ≤ −floor).
+        for v in [-floor, -(1 << 40), i64::MIN] {
+            let mut h = SignedHistogram::new();
+            h.record(d(v));
+            let got = h.quantile(1.0).unwrap();
+            assert_eq!(got, d(-floor), "sample {v}");
+            assert!(got >= d(v), "upper bound of {v}");
+        }
+    }
+
+    #[test]
+    fn signed_rank_boundary_between_halves() {
+        // 3 negatives + 2 positives: rank 3 is the last negative, rank 4
+        // the first positive; q on each side of 0.6 must flip sign.
+        let mut h = SignedHistogram::new();
+        for v in [-30, -20, -10, 5, 12] {
+            h.record(d(v));
+        }
+        assert_eq!(h.quantile(0.2), Some(d(-30)));
+        assert_eq!(h.quantile(0.6), Some(d(-10)));
+        assert_eq!(h.quantile(0.8), Some(d(5)));
+        assert_eq!(h.quantile(1.0), Some(d(12)));
+    }
+
+    #[test]
+    fn bucket_low_is_the_previous_high_plus_one() {
+        assert_eq!(bucket_low(0), 0);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1);
+        }
+        assert_eq!(bucket_low(BUCKETS - 1), SATURATION_FLOOR);
     }
 }

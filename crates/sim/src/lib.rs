@@ -53,6 +53,7 @@ pub mod processor;
 pub mod profile;
 pub mod reference;
 pub mod source;
+pub mod sync;
 pub mod trace;
 pub mod transport;
 
@@ -67,10 +68,11 @@ pub use faults::{
 };
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
-pub use nonideal::{ChannelFault, ChannelModel, ClockModel, LocalClock, NonidealConfig};
+pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
 pub use observe::{
     EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters, TaskCounters, Tee,
 };
 pub use source::SourceModel;
+pub use sync::{SyncConfig, SyncPolicy, SyncStats};
 pub use trace::{Segment, Trace};
 pub use transport::{TransportConfig, TransportStats};

@@ -9,14 +9,11 @@
 //! strictly in instance order per subtask, buffering early arrivals, so
 //! the engine's in-order release invariants survive any channel behavior.
 //!
-//! What happens to a *dropped* signal is the [`ChannelFault`] mode:
-//! under the legacy [`ChannelFault::OracleRetransmit`] the channel itself
-//! retransmits after a fixed extra delay (the wire is its own reliability
-//! layer — no endpoint ever notices), while under [`ChannelFault::Drop`]
-//! the copy simply dies and recovery is the *endpoints'* job: the
-//! ack/retransmit transport in [`crate::transport`]. The endpoint model
-//! is the default fault story (DESIGN.md §10); dropping without a
-//! transport attached loses the signal outright.
+//! A *dropped* copy dies on the wire; recovery is the *endpoints'* job:
+//! the ack/retransmit transport in [`crate::transport`] (DESIGN.md §10).
+//! Dropping without a transport attached loses the signal outright. (An
+//! earlier "oracle retransmit" mode where the channel resent its own
+//! losses was removed once the endpoint transport landed.)
 
 use std::collections::BTreeSet;
 
@@ -91,39 +88,13 @@ impl LatencyModel {
     }
 }
 
-/// What the channel does with a transmission it decided to drop.
-#[derive(Clone, Copy, PartialEq, Debug)]
-pub enum ChannelFault {
-    /// **Deprecated** legacy mode: the channel *itself* retransmits the
-    /// dropped copy after this extra delay on top of a fresh latency
-    /// draw, so every signal still arrives exactly once and the endpoints
-    /// never learn anything was lost. Kept for the pre-transport studies
-    /// and their recorded results; new configurations should drop for
-    /// real ([`ChannelFault::Drop`]) and let the endpoint transport
-    /// ([`crate::transport`]) recover.
-    OracleRetransmit {
-        /// Extra delay the oracle retransmission adds on top of a fresh
-        /// latency draw.
-        retransmit_delay: Dur,
-    },
-    /// The dropped copy dies on the wire. Recovery, if any, is the
-    /// endpoints' job: attach a [`TransportConfig`] so the sender's
-    /// ack/retransmit machinery notices the silence. Without a transport
-    /// the signal is lost outright.
-    ///
-    /// [`TransportConfig`]: crate::transport::TransportConfig
-    Drop,
-}
-
 /// Fault injection knobs. Defaults inject nothing.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct FaultPlan {
-    /// Probability that a single transmission is lost on the wire.
+    /// Probability that a single transmission is lost on the wire. The
+    /// dropped copy dies; recovery, if any, is the endpoint transport's
+    /// ([`crate::transport`]).
     pub drop_probability: f64,
-    /// What a drop does: die on the wire ([`ChannelFault::Drop`], the
-    /// default) or be resent by the channel oracle itself (legacy
-    /// [`ChannelFault::OracleRetransmit`]).
-    pub drop_mode: ChannelFault,
     /// Probability that a signal is delivered twice (the receiver counts
     /// and suppresses the duplicate).
     pub duplicate_probability: f64,
@@ -133,7 +104,6 @@ impl Default for FaultPlan {
     fn default() -> FaultPlan {
         FaultPlan {
             drop_probability: 0.0,
-            drop_mode: ChannelFault::Drop,
             duplicate_probability: 0.0,
         }
     }
@@ -193,40 +163,14 @@ impl ChannelModel {
         self
     }
 
-    /// **Deprecated** legacy oracle mode
-    /// ([`ChannelFault::OracleRetransmit`]): drops each signal's first
-    /// transmission with probability `p`; the channel itself retransmits
-    /// and the copy arrives after a fresh latency draw plus `delay`. Use
-    /// [`ChannelModel::with_endpoint_drops`] plus a transport for the
-    /// endpoint fault model.
-    pub fn with_drops(mut self, p: f64, delay: Dur) -> ChannelModel {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.faults.drop_probability = p;
-        self.faults.drop_mode = ChannelFault::OracleRetransmit {
-            retransmit_delay: delay,
-        };
-        self
-    }
-
-    /// Drops each transmission with probability `p`, for real
-    /// ([`ChannelFault::Drop`]): the copy dies on the wire. Attach a
-    /// [`TransportConfig`] so the endpoints recover; without one the
-    /// signal is lost outright.
+    /// Drops each transmission with probability `p`: the copy dies on the
+    /// wire. Attach a [`TransportConfig`] so the endpoints recover;
+    /// without one the signal is lost outright.
     ///
     /// [`TransportConfig`]: crate::transport::TransportConfig
     pub fn with_endpoint_drops(mut self, p: f64) -> ChannelModel {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.faults.drop_probability = p;
-        self.faults.drop_mode = ChannelFault::Drop;
-        self
-    }
-
-    /// A copy of this model with drops coerced to [`ChannelFault::Drop`]:
-    /// the engine applies this when a transport is attached, so the
-    /// channel oracle and the endpoint transport never both retransmit
-    /// the same frame.
-    pub(crate) fn endpoint_normalized(mut self) -> ChannelModel {
-        self.faults.drop_mode = ChannelFault::Drop;
         self
     }
 
@@ -237,18 +181,10 @@ impl ChannelModel {
         self
     }
 
-    /// The worst delay any single *delivered* copy can suffer (an
-    /// endpoint-mode drop delivers nothing and is not a delay).
+    /// The worst delay any single *delivered* copy can suffer (a drop
+    /// delivers nothing and is not a delay).
     pub fn max_delay_bound(&self) -> Dur {
-        let base = self.latency.max_bound();
-        match self.faults.drop_mode {
-            ChannelFault::OracleRetransmit { retransmit_delay }
-                if self.faults.drop_probability > 0.0 =>
-            {
-                base + retransmit_delay
-            }
-            _ => base,
-        }
+        self.latency.max_bound()
     }
 }
 
@@ -260,10 +196,8 @@ pub struct ChannelStats {
     pub sent: u64,
     /// Deliveries applied at the receiver (excludes suppressed duplicates).
     pub applied: u64,
-    /// Transmissions lost on the wire. Under the legacy
-    /// [`ChannelFault::OracleRetransmit`] the channel resends them
-    /// itself; under [`ChannelFault::Drop`] the copy is gone and any
-    /// recovery is the endpoint transport's.
+    /// Transmissions lost on the wire. The copy is gone; any recovery is
+    /// the endpoint transport's.
     pub dropped: u64,
     /// Extra copies injected by the duplication fault.
     pub duplicates_injected: u64,
@@ -291,10 +225,9 @@ pub(crate) struct SendPlan {
     /// meaningful.
     deliveries: [Dur; 2],
     /// Number of scheduled deliveries: 1 normally, 2 when duplicated, 0
-    /// when the copy died under [`ChannelFault::Drop`].
+    /// when the copy died on the wire.
     n: u8,
-    /// The transmission was dropped (legacy mode: the delivery is the
-    /// oracle retransmission; endpoint mode: there are no deliveries).
+    /// The transmission was dropped (there are no deliveries).
     pub dropped: bool,
 }
 
@@ -372,25 +305,18 @@ impl ChannelState {
         let faults = self.model.faults;
         let dropped =
             faults.drop_probability > 0.0 && self.rng.random_bool(faults.drop_probability);
-        // The latency is drawn even for an endpoint-mode loss so the
-        // legacy draw sequence (drop, latency, duplicate) is unchanged.
-        let mut first = self.model.latency.draw(&mut self.rng);
-        let mut lost = false;
+        // The latency is drawn even for a loss so the draw sequence
+        // (drop, latency, duplicate) is independent of the outcome.
+        let first = self.model.latency.draw(&mut self.rng);
         if dropped {
             self.stats.dropped += 1;
-            match faults.drop_mode {
-                ChannelFault::OracleRetransmit { retransmit_delay } => {
-                    first += retransmit_delay;
-                }
-                ChannelFault::Drop => lost = true,
-            }
         }
         let mut plan = SendPlan {
             deliveries: [Dur::ZERO; 2],
             n: 0,
             dropped,
         };
-        if !lost {
+        if !dropped {
             plan.deliveries[0] = first;
             plan.n = 1;
             if !faults.is_inert()
@@ -523,30 +449,16 @@ mod tests {
     }
 
     #[test]
-    fn drops_are_counted_and_retransmitted_late() {
-        let model = ChannelModel::constant(d(1))
-            .with_drops(1.0, d(7))
-            .with_seed(3);
-        let mut st = ChannelState::new(model, 1);
-        let plan = st.send();
-        assert!(plan.dropped);
-        assert_eq!(plan.deliveries(), &[d(8)]);
-        assert_eq!(st.stats.dropped, 1);
-        assert_eq!(model.max_delay_bound(), d(8));
-    }
-
-    #[test]
     fn endpoint_drops_deliver_nothing() {
         let model = ChannelModel::constant(d(1))
             .with_endpoint_drops(1.0)
             .with_seed(3);
-        assert_eq!(model.faults.drop_mode, ChannelFault::Drop);
         let mut st = ChannelState::new(model, 1);
         let plan = st.send();
         assert!(plan.dropped);
         assert!(plan.deliveries().is_empty(), "the copy dies on the wire");
         assert_eq!(st.stats.dropped, 1);
-        // No oracle retransmission: the delay bound is the plain latency.
+        // A drop delivers nothing: the delay bound is the plain latency.
         assert_eq!(model.max_delay_bound(), d(1));
     }
 
@@ -560,19 +472,6 @@ mod tests {
         let plan = st.send();
         assert!(plan.dropped && plan.deliveries().is_empty());
         assert_eq!(st.stats.duplicates_injected, 0, "nothing to duplicate");
-    }
-
-    #[test]
-    fn endpoint_normalization_coerces_the_oracle_mode() {
-        let legacy = ChannelModel::constant(d(1)).with_drops(0.5, d(7));
-        let normalized = legacy.endpoint_normalized();
-        assert_eq!(normalized.faults.drop_mode, ChannelFault::Drop);
-        assert_eq!(normalized.faults.drop_probability, 0.5);
-        // Fault-free models are untouched in every way that matters.
-        assert_eq!(
-            ChannelModel::constant(d(1)).endpoint_normalized(),
-            ChannelModel::constant(d(1))
-        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //!   drift rate). Only PM reads absolute local time, so offsets break PM
 //!   alone; drift scales RG guard periods and MPM timer durations.
 //! * [`channel`] — cross-processor signals take seeded random latency and
-//!   can be dropped (retransmitted late), duplicated, or reordered; the
-//!   receiver re-applies them in instance order.
+//!   can be dropped (recovered, if at all, by the endpoint transport),
+//!   duplicated, or reordered; the receiver re-applies them in instance
+//!   order.
 //!
 //! Everything defaults to ideal: a [`NonidealConfig::default`] run takes
 //! the exact code path of the plain engine, bit for bit.
@@ -37,7 +38,7 @@
 pub mod channel;
 pub mod clock;
 
-pub use channel::{ChannelFault, ChannelModel, ChannelStats, FaultPlan, LatencyModel};
+pub use channel::{ChannelModel, ChannelStats, FaultPlan, LatencyModel};
 pub use clock::{ClockModel, LocalClock};
 
 pub(crate) use channel::ChannelState;

@@ -50,6 +50,7 @@ use rtsync_core::time::{Dur, Time};
 use crate::detect::Degradation;
 use crate::engine::{Violation, ViolationKind};
 use crate::event::EventKind;
+use crate::histogram::SignedHistogram;
 use crate::job::JobId;
 
 /// Engine instrumentation hooks. Every method has an empty default, so an
@@ -158,6 +159,25 @@ pub trait Observer {
     #[inline]
     fn on_heartbeat(&mut self, now: Time, from: usize, to: usize) {}
 
+    /// A clock-synchronization round ran on processor `proc`: it settled
+    /// the previous round's samples and sent a fresh batch of timestamped
+    /// requests. Rounds on crashed processors are skipped and not
+    /// reported.
+    #[inline]
+    fn on_sync_round(&mut self, now: Time, proc: usize) {}
+
+    /// Marzullo intersection on processor `proc` produced an offset
+    /// `estimate` (signed, encoded as a [`Dur`]) with half-width
+    /// `uncertainty` — the achieved offset bound of that round.
+    #[inline]
+    fn on_sync_estimate(&mut self, now: Time, proc: usize, estimate: Dur, uncertainty: Dur) {}
+
+    /// Processor `proc` corrected its clock by `step` (signed; clamped by
+    /// the slew policy when one is configured). Fires only for nonzero
+    /// corrections.
+    #[inline]
+    fn on_sync_correction(&mut self, now: Time, proc: usize, step: Dur) {}
+
     /// A failure-detector transition or graceful-degradation action (see
     /// [`Degradation`]).
     #[inline]
@@ -246,6 +266,9 @@ tee_hooks! {
     on_transport_send(now: Time, job: JobId, seq: u64, retransmit: bool);
     on_transport_ack(now: Time, seq: u64, rtt: Option<Dur>, dup: bool);
     on_heartbeat(now: Time, from: usize, to: usize);
+    on_sync_round(now: Time, proc: usize);
+    on_sync_estimate(now: Time, proc: usize, estimate: Dur, uncertainty: Dur);
+    on_sync_correction(now: Time, proc: usize, step: Dur);
     on_degradation(now: Time, kind: &Degradation);
     on_crash(now: Time, proc: usize, killed: &[JobId]);
     on_recovery(now: Time, proc: usize, released: u64, dropped: u64);
@@ -342,6 +365,17 @@ pub struct ProtocolCounters {
     pub dup_acks: u64,
     /// Heartbeats delivered to failure detectors.
     pub heartbeats: u64,
+    /// Clock-synchronization rounds run (across all processors).
+    pub sync_rounds: u64,
+    /// Sync request/response frames delivered out of the channel.
+    pub sync_frames: u64,
+    /// Sync rounds that produced a Marzullo offset estimate.
+    pub sync_estimates: u64,
+    /// Worst (largest) uncertainty half-width over all sync estimates —
+    /// the achieved offset bound of the run.
+    pub sync_max_uncertainty: Dur,
+    /// Signed clock-correction magnitudes applied by the sync layer.
+    pub sync_corrections: SignedHistogram,
     /// Failure-detector transitions and graceful-degradation actions.
     pub degradations: u64,
     /// Violations recorded.
@@ -404,6 +438,14 @@ impl ProtocolCounters {
         self.procs.iter().map(|p| p.context_switches).sum()
     }
 
+    /// Fraction of delivered wire traffic that was sync frames:
+    /// `sync / (signals + transport frames + heartbeats + sync)`.
+    /// `None` when nothing crossed the wire.
+    pub fn sync_traffic_share(&self) -> Option<f64> {
+        let total = self.signal_sends + self.transport_sends + self.heartbeats + self.sync_frames;
+        (total > 0).then(|| self.sync_frames as f64 / total as f64)
+    }
+
     /// Renders the counters as a plain-text table.
     pub fn render(&self) -> String {
         let tag = self.protocol.map_or("?", Protocol::tag);
@@ -425,6 +467,22 @@ impl ProtocolCounters {
                 self.dup_acks,
                 self.heartbeats,
                 self.degradations,
+            );
+        }
+        if self.sync_rounds > 0 {
+            let share = self.sync_traffic_share().unwrap_or(0.0) * 100.0;
+            let tick = |q: Option<Dur>| q.map_or(0, |d| d.ticks());
+            let _ = writeln!(
+                out,
+                "sync: {} rounds, {} estimates (bound {} ticks), {} frames ({share:.1}% of \
+                 wire), corrections n={} p50={} max={}",
+                self.sync_rounds,
+                self.sync_estimates,
+                self.sync_max_uncertainty.ticks(),
+                self.sync_frames,
+                self.sync_corrections.len(),
+                tick(self.sync_corrections.quantile(0.5)),
+                tick(self.sync_corrections.quantile(1.0)),
             );
         }
         let _ = writeln!(
@@ -498,8 +556,14 @@ impl Observer for ProtocolCounters {
         self.procs = vec![ProcCounters::default(); set.num_processors()];
     }
 
-    fn on_event(&mut self, _now: Time, _kind: &EventKind) {
+    fn on_event(&mut self, _now: Time, kind: &EventKind) {
         self.events += 1;
+        if matches!(
+            kind,
+            EventKind::SyncRequest { .. } | EventKind::SyncResponse { .. }
+        ) {
+            self.sync_frames += 1;
+        }
     }
 
     fn on_release(&mut self, _now: Time, job: JobId, _proc: usize) {
@@ -582,6 +646,19 @@ impl Observer for ProtocolCounters {
 
     fn on_heartbeat(&mut self, _now: Time, _from: usize, _to: usize) {
         self.heartbeats += 1;
+    }
+
+    fn on_sync_round(&mut self, _now: Time, _proc: usize) {
+        self.sync_rounds += 1;
+    }
+
+    fn on_sync_estimate(&mut self, _now: Time, _proc: usize, _estimate: Dur, uncertainty: Dur) {
+        self.sync_estimates += 1;
+        self.sync_max_uncertainty = self.sync_max_uncertainty.max(uncertainty);
+    }
+
+    fn on_sync_correction(&mut self, _now: Time, _proc: usize, step: Dur) {
+        self.sync_corrections.record(step);
     }
 
     fn on_degradation(&mut self, _now: Time, _kind: &Degradation) {
@@ -1214,6 +1291,36 @@ mod tests {
         assert_eq!(c.signal_sends, 3);
         assert_eq!(c.signal_delivers, 1);
         assert_eq!(c.signal_depth_high_water(), 2);
+    }
+
+    #[test]
+    fn counters_track_sync_rounds_and_corrections() {
+        let mut c = ProtocolCounters::default();
+        let set = rtsync_core::examples::example2();
+        c.on_run_start(&set, Protocol::PhaseModification);
+        c.on_sync_round(Time::from_ticks(10), 0);
+        c.on_sync_round(Time::from_ticks(10), 1);
+        c.on_sync_estimate(
+            Time::from_ticks(20),
+            0,
+            Dur::from_ticks(-3),
+            Dur::from_ticks(2),
+        );
+        c.on_sync_estimate(
+            Time::from_ticks(20),
+            1,
+            Dur::from_ticks(4),
+            Dur::from_ticks(5),
+        );
+        c.on_sync_correction(Time::from_ticks(20), 0, Dur::from_ticks(-3));
+        c.on_sync_correction(Time::from_ticks(20), 1, Dur::from_ticks(4));
+        assert_eq!(c.sync_rounds, 2);
+        assert_eq!(c.sync_estimates, 2);
+        assert_eq!(c.sync_max_uncertainty, Dur::from_ticks(5));
+        assert_eq!(c.sync_corrections.len(), 2);
+        assert_eq!(c.sync_corrections.quantile(0.5), Some(Dur::from_ticks(-3)));
+        let rendered = c.render();
+        assert!(rendered.contains("sync: 2 rounds"), "{rendered}");
     }
 
     #[test]

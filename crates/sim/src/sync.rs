@@ -1,0 +1,483 @@
+//! Clock synchronization as a first-class protocol layer.
+//!
+//! The paper's PM protocol assumes perfectly synchronized clocks; the
+//! nonideal clock model (`sim::nonideal::clock`) shows what that costs —
+//! 5% drift inflates PM's end-to-end responses 4–5x. This module closes
+//! the loop: each processor runs periodic *sync rounds* that exchange
+//! NTP-style timestamped request/response frames over the **same channel**
+//! as the protocols' synchronization signals (so sync traffic advances the
+//! channel's fault/latency draws and genuinely interferes with real
+//! signals), estimates its clock offset with [Marzullo's
+//! interval-intersection algorithm](marzullo), and applies a correction
+//! under a pluggable [`SyncPolicy`].
+//!
+//! # The exchange
+//!
+//! At each round, processor `p` sends a request to every peer and to an
+//! external *time reference* (a GPS receiver / fieldbus master on the
+//! environment's timebase — the same timebase that drives source
+//! releases). The request carries `t1`, `p`'s corrected clock at send
+//! time. The responder answers immediately with `t2`, its own clock at
+//! arrival (the reference answers with true time). When the response
+//! reaches `p` at corrected-clock time `t3`, the classic NTP estimate
+//!
+//! ```text
+//! θ = t2 − (t1 + t3)/2        (responder clock minus p's clock)
+//! ε = (t3 − t1)/2             (half the round-trip: the uncertainty)
+//! ```
+//!
+//! yields the interval `[θ − ε, θ + ε]` guaranteed to contain the true
+//! offset under symmetric latency — *when the responder itself is on true
+//! time*. A peer is not: its reading measures only the **relative** offset
+//! between two wrong clocks, so each response also carries the responder's
+//! own advertised error bound against true time (NTP's *root dispersion*:
+//! zero for the reference, last settled uncertainty plus uncorrected
+//! residual for a peer, absent for a peer that has never settled — such
+//! samples are discarded). The requester widens the interval by that
+//! bound, which restores the containment guarantee that interval
+//! intersection rests on; without it, two mutually-consistent peers can
+//! out-vote the reference and the cluster converges to itself instead of
+//! to true time. A round later, `p` intersects the intervals it collected
+//! with [`marzullo`] and corrects its clock by the consensus midpoint —
+//! stepped at once ([`SyncPolicy::Step`]), slewed with a bounded per-round
+//! rate ([`SyncPolicy::Slew`]), or merely observed
+//! ([`SyncPolicy::Observe`], the do-nothing baseline).
+//!
+//! Corrections shift the clock's *offset* only. Drift is not modelled
+//! away: between rounds the clock keeps drifting, so the residual error
+//! floor is about `drift · period + RTT/2` — which is exactly the
+//! trade-off the `experiments::sync` study sweeps.
+//!
+//! Frames are fire-and-forget datagrams on the channel (no
+//! ack/retransmit): a request/response pair is implicitly acknowledged by
+//! the response itself, and a lost frame just costs one sample —
+//! Marzullo's intersection tolerates missing and even lying sources.
+
+use rtsync_core::time::{Dur, Time};
+
+use crate::histogram::SignedHistogram;
+
+/// How a settled offset estimate is turned into a clock correction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// Apply the full estimated offset at once. Fast convergence, but a
+    /// large step can make the corrected clock jump (even backwards).
+    Step,
+    /// Apply at most `max_step` of the estimate per round, preserving
+    /// bounded clock-rate change (an amortized slew).
+    Slew {
+        /// Largest correction magnitude applied in one round.
+        max_step: Dur,
+    },
+    /// Estimate and record, but never correct — the baseline that
+    /// isolates what estimation alone would have bought.
+    Observe,
+}
+
+/// Configuration of the synchronization layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyncConfig {
+    /// True-time cadence of sync rounds on every processor.
+    pub period: Dur,
+    /// The correction policy.
+    pub policy: SyncPolicy,
+}
+
+impl SyncConfig {
+    /// A sync layer with the given round period and the [`SyncPolicy::Step`]
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(period: Dur) -> SyncConfig {
+        assert!(period > Dur::ZERO, "sync period must be positive");
+        SyncConfig {
+            period,
+            policy: SyncPolicy::Step,
+        }
+    }
+
+    /// Sets the correction policy.
+    pub fn with_policy(mut self, policy: SyncPolicy) -> SyncConfig {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Marzullo's interval-intersection algorithm: given per-source intervals
+/// `[lo, hi]` each claiming to contain the true offset, returns the
+/// midpoint and half-width of the smallest region consistent with the
+/// **largest number of sources** — `Some((offset, uncertainty))`, or
+/// `None` for an empty slice. Sources that lie (disjoint intervals) are
+/// out-voted rather than averaged in.
+pub fn marzullo(intervals: &[(i64, i64)]) -> Option<(i64, i64)> {
+    if intervals.is_empty() {
+        return None;
+    }
+    // Edge sweep: starts sort before ends at the same point, so touching
+    // intervals count as overlapping.
+    let mut edges: Vec<(i64, u8)> = Vec::with_capacity(intervals.len() * 2);
+    for &(lo, hi) in intervals {
+        debug_assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        edges.push((lo, 0));
+        edges.push((hi, 1));
+    }
+    edges.sort_unstable();
+    let (mut count, mut best) = (0u32, 0u32);
+    let (mut best_lo, mut best_hi) = (0i64, 0i64);
+    let mut awaiting_hi = false;
+    for &(v, kind) in &edges {
+        if kind == 0 {
+            count += 1;
+            if count > best {
+                best = count;
+                best_lo = v;
+                awaiting_hi = true;
+            }
+        } else {
+            if awaiting_hi {
+                best_hi = v;
+                awaiting_hi = false;
+            }
+            count -= 1;
+        }
+    }
+    debug_assert!(best >= 1);
+    // Midpoint rounded toward the lower edge keeps the result inside the
+    // region; the half-width rounds up so the bound stays honest.
+    let offset = best_lo + (best_hi - best_lo) / 2;
+    let uncertainty = (best_hi - best_lo) - (best_hi - best_lo) / 2;
+    Some((offset, uncertainty))
+}
+
+/// Aggregate statistics of one run's synchronization layer.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SyncStats {
+    /// Sync round bodies executed (across all processors).
+    pub rounds: u64,
+    /// Request + response frames sent on the channel.
+    pub frames: u64,
+    /// Completed request/response exchanges (offset samples gathered).
+    pub exchanges: u64,
+    /// Settled Marzullo estimates (rounds with at least one sample).
+    pub estimates: u64,
+    /// Largest Marzullo half-width over all estimates: the achieved
+    /// offset-uncertainty bound.
+    pub max_uncertainty: Dur,
+    /// Sum of half-widths, for [`SyncStats::mean_uncertainty`].
+    pub sum_uncertainty: i64,
+    /// Magnitude distribution of applied, nonzero corrections (signed:
+    /// positive pushes the local clock forward). Empty under
+    /// [`SyncPolicy::Observe`].
+    pub corrections: SignedHistogram,
+    /// Largest ground-truth clock error `|corrected local − true|`
+    /// sampled at round instants (an oracle measurement the nodes
+    /// themselves cannot make; the experiments report it).
+    pub max_true_error: Dur,
+    /// Sum of sampled ground-truth errors.
+    pub sum_true_error: i64,
+    /// Number of ground-truth error samples.
+    pub true_error_samples: u64,
+}
+
+impl Default for SyncStats {
+    fn default() -> SyncStats {
+        SyncStats {
+            rounds: 0,
+            frames: 0,
+            exchanges: 0,
+            estimates: 0,
+            max_uncertainty: Dur::ZERO,
+            sum_uncertainty: 0,
+            corrections: SignedHistogram::new(),
+            max_true_error: Dur::ZERO,
+            sum_true_error: 0,
+            true_error_samples: 0,
+        }
+    }
+}
+
+impl SyncStats {
+    /// Mean Marzullo half-width over all estimates, if any settled.
+    pub fn mean_uncertainty(&self) -> Option<f64> {
+        (self.estimates > 0).then(|| self.sum_uncertainty as f64 / self.estimates as f64)
+    }
+
+    /// Mean ground-truth clock error over the round-instant samples.
+    pub fn mean_true_error(&self) -> Option<f64> {
+        (self.true_error_samples > 0)
+            .then(|| self.sum_true_error as f64 / self.true_error_samples as f64)
+    }
+}
+
+/// Per-run state of the synchronization layer (engine-internal).
+#[derive(Debug)]
+pub(crate) struct SyncState {
+    /// The configuration.
+    pub(crate) cfg: SyncConfig,
+    /// Per-processor accumulated clock correction, added to the base
+    /// clock's offset by the engine's effective-clock reads.
+    pub(crate) adj: Vec<Dur>,
+    /// Per-processor offset intervals gathered since the last settle.
+    pub(crate) samples: Vec<Vec<(i64, i64)>>,
+    /// Per-processor advertised error bound against true time (root
+    /// dispersion), in ticks: the last settled Marzullo uncertainty plus
+    /// whatever part of the estimate the policy left uncorrected, plus the
+    /// drift slack. `None` until the processor settles its first estimate.
+    pub(crate) disp: Vec<Option<i64>>,
+    /// Per-processor drift tolerance over one sync period, in ticks
+    /// (ceiling): how far the oscillator's rated drift can carry the clock
+    /// while a sample ages from exchange to settle — NTP's PHI·τ term. A
+    /// settle widens every sample by this and folds it into the advertised
+    /// dispersion; without it a just-settled node would claim a perfect
+    /// clock, its relative samples would tie with the reference's in
+    /// Marzullo, and a common-mode drift would never be corrected.
+    pub(crate) drift_slack: Vec<i64>,
+    /// Run statistics.
+    pub(crate) stats: SyncStats,
+}
+
+impl SyncState {
+    pub(crate) fn new(cfg: SyncConfig, num_processors: usize) -> SyncState {
+        SyncState {
+            cfg,
+            adj: vec![Dur::ZERO; num_processors],
+            samples: vec![Vec::new(); num_processors],
+            disp: vec![None; num_processors],
+            drift_slack: vec![0; num_processors],
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// Sets the per-processor drift tolerances from the oscillators' rated
+    /// drift (in ppm): the node-visible spec bound, not oracle knowledge.
+    pub(crate) fn with_drift_ppm(mut self, drift_ppm: impl Iterator<Item = i64>) -> SyncState {
+        let period = self.cfg.period.ticks();
+        for (slack, ppm) in self.drift_slack.iter_mut().zip(drift_ppm) {
+            *slack = (ppm.abs() * period + 999_999) / 1_000_000;
+        }
+        self
+    }
+
+    /// Records one completed exchange for processor `p`: the NTP estimate
+    /// from stamps `(t1, t2, t3)` as an offset interval, widened by the
+    /// responder's advertised error bound `disp` (0 for the reference) so
+    /// the interval contains the *true* offset, not just the relative one.
+    pub(crate) fn record_exchange(&mut self, p: usize, t1: Time, t2: Time, t3: Time, disp: Dur) {
+        let (t1, t2, t3) = (
+            t1.since_origin().ticks(),
+            t2.since_origin().ticks(),
+            t3.since_origin().ticks(),
+        );
+        debug_assert!(t3 >= t1, "response before request");
+        debug_assert!(disp >= Dur::ZERO);
+        // θ = t2 − (t1 + t3)/2 without intermediate rounding: double
+        // everything, halve at the end (rounding toward −∞ on lo and +∞
+        // on hi keeps the interval a superset).
+        let theta2 = 2 * t2 - (t1 + t3);
+        let eps2 = t3 - t1;
+        let lo = (theta2 - eps2).div_euclid(2) - disp.ticks();
+        let hi = (theta2 + eps2 + 1).div_euclid(2) + disp.ticks();
+        self.samples[p].push((lo, hi));
+        self.stats.exchanges += 1;
+    }
+
+    /// Settles processor `p`'s accumulated samples into a correction:
+    /// runs Marzullo, applies the policy, updates `adj` and the stats.
+    /// Returns `(estimate, uncertainty, applied_step)` if any sample was
+    /// gathered.
+    pub(crate) fn settle(&mut self, p: usize) -> Option<(Dur, Dur, Dur)> {
+        let mut samples = std::mem::take(&mut self.samples[p]);
+        // Samples are up to one period old: the local clock has drifted
+        // since the stamps were taken, so every interval widens by the
+        // oscillator's rated drift over a period to keep containing the
+        // *current* true offset.
+        let slack = self.drift_slack[p];
+        for s in &mut samples {
+            s.0 -= slack;
+            s.1 += slack;
+        }
+        let (offset, uncertainty) = marzullo(&samples)?;
+        let step = match self.cfg.policy {
+            SyncPolicy::Step => offset,
+            SyncPolicy::Slew { max_step } => {
+                let m = max_step.ticks().max(0);
+                offset.clamp(-m, m)
+            }
+            SyncPolicy::Observe => 0,
+        };
+        self.adj[p] += Dur::from_ticks(step);
+        // Advertised dispersion for the next exchanges this node answers:
+        // the estimate's own half-width, plus whatever the policy chose
+        // not to correct (the whole estimate under `Observe`), plus one
+        // more period of drift until the answers are themselves settled.
+        self.disp[p] = Some(uncertainty + (offset - step).abs() + slack);
+        self.stats.estimates += 1;
+        self.stats.max_uncertainty = self.stats.max_uncertainty.max(Dur::from_ticks(uncertainty));
+        self.stats.sum_uncertainty += uncertainty;
+        if step != 0 {
+            self.stats.corrections.record(Dur::from_ticks(step));
+        }
+        Some((
+            Dur::from_ticks(offset),
+            Dur::from_ticks(uncertainty),
+            Dur::from_ticks(step),
+        ))
+    }
+
+    /// The error bound processor `p` advertises when answering a sync
+    /// request (`None` before its first settle — such samples are
+    /// discarded by the requester).
+    pub(crate) fn dispersion(&self, p: usize) -> Option<Dur> {
+        self.disp[p].map(Dur::from_ticks)
+    }
+
+    /// Records one oracle ground-truth error sample.
+    pub(crate) fn record_true_error(&mut self, err: Dur) {
+        debug_assert!(err >= Dur::ZERO);
+        self.stats.max_true_error = self.stats.max_true_error.max(err);
+        self.stats.sum_true_error += err.ticks();
+        self.stats.true_error_samples += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: i64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn d(x: i64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn marzullo_classic_three_sources() {
+        // Marzullo's canonical example: [8,12], [11,13], [10,12] — all
+        // three agree on [11,12].
+        let (offset, eps) = marzullo(&[(8, 12), (11, 13), (10, 12)]).unwrap();
+        assert!((11..=12).contains(&offset), "midpoint inside [11,12]");
+        assert!(eps <= 1);
+    }
+
+    #[test]
+    fn marzullo_outvotes_a_liar() {
+        // Two honest sources around 0, one liar far away: the consensus
+        // region ignores the liar entirely.
+        let (offset, eps) = marzullo(&[(-2, 2), (-1, 3), (100, 104)]).unwrap();
+        assert!((-1..=2).contains(&offset), "offset {offset}");
+        assert!(eps <= 2, "eps {eps}");
+    }
+
+    #[test]
+    fn marzullo_single_and_empty() {
+        assert_eq!(marzullo(&[]), None);
+        let (offset, eps) = marzullo(&[(4, 10)]).unwrap();
+        assert_eq!(offset, 7);
+        assert_eq!(eps, 3);
+        // Odd width rounds the bound up, never down.
+        let (offset, eps) = marzullo(&[(0, 3)]).unwrap();
+        assert_eq!(offset, 1);
+        assert_eq!(eps, 2);
+    }
+
+    #[test]
+    fn marzullo_disjoint_sources_pick_the_majority() {
+        let (offset, _) = marzullo(&[(0, 1), (0, 2), (50, 51)]).unwrap();
+        assert!((0..=2).contains(&offset));
+    }
+
+    #[test]
+    fn exchange_interval_contains_the_true_offset() {
+        // Responder's clock is 7 ahead of the requester's; request takes
+        // 3, response takes 1 (asymmetric). t1=100 → arrives 103, reads
+        // 110; response lands at t3=104.
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO);
+        let &(lo, hi) = &s.samples[0][0];
+        assert!(lo <= 7 && 7 <= hi, "true offset 7 outside [{lo}, {hi}]");
+        // ε = RTT/2 = 2.
+        assert!(hi - lo <= 4);
+        assert_eq!(s.stats.exchanges, 1);
+    }
+
+    #[test]
+    fn responder_dispersion_widens_the_interval() {
+        // Same exchange, but the responder admits it may itself be up to
+        // 3 ticks off true time: the interval grows by 3 on each side.
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO);
+        s.record_exchange(0, t(100), t(110), t(104), d(3));
+        let (tight, wide) = (s.samples[0][0], s.samples[0][1]);
+        assert_eq!(wide.0, tight.0 - 3);
+        assert_eq!(wide.1, tight.1 + 3);
+    }
+
+    #[test]
+    fn settle_applies_policy() {
+        // One perfect sample: responder ahead by exactly 5 (zero RTT).
+        let sample = |s: &mut SyncState| s.record_exchange(0, t(100), t(105), t(100), Dur::ZERO);
+
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        assert_eq!(s.disp[0], None, "unsettled nodes advertise no bound");
+        sample(&mut s);
+        let (est, eps, step) = s.settle(0).unwrap();
+        assert_eq!((est, eps, step), (d(5), d(0), d(5)));
+        assert_eq!(s.adj[0], d(5));
+        assert_eq!(s.disp[0], Some(0), "a full step leaves no residual");
+
+        let mut s = SyncState::new(
+            SyncConfig::new(d(10)).with_policy(SyncPolicy::Slew { max_step: d(2) }),
+            1,
+        );
+        sample(&mut s);
+        let (_, _, step) = s.settle(0).unwrap();
+        assert_eq!(step, d(2), "slew clamps the step");
+        assert_eq!(s.adj[0], d(2));
+        assert_eq!(s.disp[0], Some(3), "the unapplied 3 ticks are admitted");
+
+        let mut s = SyncState::new(SyncConfig::new(d(10)).with_policy(SyncPolicy::Observe), 1);
+        sample(&mut s);
+        let (est, _, step) = s.settle(0).unwrap();
+        assert_eq!(est, d(5));
+        assert_eq!(step, Dur::ZERO, "observe never corrects");
+        assert_eq!(s.adj[0], Dur::ZERO);
+        assert_eq!(s.disp[0], Some(5), "the whole estimate stays unapplied");
+
+        // Settling with no samples is a no-op.
+        assert_eq!(s.settle(0), None);
+    }
+
+    #[test]
+    fn settle_clears_the_sample_buffer() {
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        s.record_exchange(0, t(0), t(3), t(2), Dur::ZERO);
+        assert!(s.settle(0).is_some());
+        assert!(s.samples[0].is_empty());
+        assert_eq!(s.settle(0), None, "samples were consumed");
+    }
+
+    #[test]
+    fn stats_means() {
+        let mut stats = SyncStats::default();
+        assert_eq!(stats.mean_uncertainty(), None);
+        assert_eq!(stats.mean_true_error(), None);
+        stats.estimates = 4;
+        stats.sum_uncertainty = 6;
+        assert_eq!(stats.mean_uncertainty(), Some(1.5));
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        s.record_true_error(d(3));
+        s.record_true_error(d(5));
+        assert_eq!(s.stats.mean_true_error(), Some(4.0));
+        assert_eq!(s.stats.max_true_error, d(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "sync period must be positive")]
+    fn zero_period_rejected() {
+        let _ = SyncConfig::new(Dur::ZERO);
+    }
+}

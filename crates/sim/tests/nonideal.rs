@@ -8,7 +8,7 @@ use rtsync_core::time::{Dur, Time};
 use rtsync_core::AnalysisConfig;
 use rtsync_sim::engine::{simulate, SimConfig};
 use rtsync_sim::nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
-use rtsync_sim::ViolationKind;
+use rtsync_sim::{TransportConfig, ViolationKind};
 
 fn d(x: i64) -> Dur {
     Dur::from_ticks(x)
@@ -269,19 +269,20 @@ fn mpm_latency_degrades_additively() {
 }
 
 /// Randomized channels are seeded: identical configs give bit-identical
-/// runs, and every sent signal is eventually applied even under drops,
-/// duplicates and reordering.
+/// runs, and with the endpoint transport attached every dropped signal is
+/// recovered even under drops, duplicates and reordering.
 #[test]
 fn faulty_channel_is_deterministic_and_lossless() {
     let set = example2();
     let channel = ChannelModel::uniform(Dur::ZERO, d(3))
         .with_seed(42)
-        .with_drops(0.4, d(2))
+        .with_endpoint_drops(0.4)
         .with_duplicates(0.3);
     let cfg = SimConfig::new(Protocol::DirectSync)
         .with_instances(60)
         .with_trace()
-        .with_channel(channel);
+        .with_channel(channel)
+        .with_transport(TransportConfig::new(d(8)));
     let a = simulate(&set, &cfg).unwrap();
     let b = simulate(&set, &cfg).unwrap();
     assert_eq!(a.trace, b.trace);
@@ -291,46 +292,50 @@ fn faulty_channel_is_deterministic_and_lossless() {
     let stats = a.channel_stats;
     assert!(stats.dropped > 0, "p=0.4 over {} sends", stats.sent);
     assert!(stats.duplicates_injected > 0);
-    assert_eq!(
-        stats.applied, stats.sent,
-        "every signal is applied exactly once (drops are retransmitted, \
-         duplicates suppressed)"
-    );
-    // Drops are reported, and they are the only violation kind DS can
-    // produce: precedence survives any channel behavior.
-    assert_eq!(
-        a.violations
+    // The endpoint transport recovers every drop: nothing is lost, no
+    // `SignalLost` is ever reported.
+    assert_eq!(a.transport_stats.gave_up, 0);
+    assert_eq!(a.metrics.total_lost(), 0);
+    assert!(
+        !a.violations
             .iter()
-            .filter(|v| v.kind == ViolationKind::SignalLost)
-            .count(),
-        stats.dropped as usize
+            .any(|v| v.kind == ViolationKind::SignalLost),
+        "{:?}",
+        a.violations
     );
-    assert!(a
-        .violations
-        .iter()
-        .all(|v| v.kind == ViolationKind::SignalLost));
     // The independent validator agrees: the delayed schedule is still a
     // correct preemptive fixed-priority schedule with precedence intact.
     let defects = rtsync_sim::validate_schedule(&set, a.trace.as_ref().unwrap(), true);
     assert!(defects.is_empty(), "{defects:?}");
 }
 
-/// Even certain loss (`p = 1`) cannot wedge the simulation: every signal
-/// is retransmitted and the run completes with releases in order.
+/// Even heavy loss (`p = 0.7`) cannot wedge the simulation: the endpoint
+/// transport retransmits until every signal lands and the run completes
+/// with releases in order.
 #[test]
-fn total_loss_still_delivers_via_retransmission() {
+fn heavy_loss_still_delivers_via_endpoint_retransmission() {
     let set = example2();
     let out = simulate(
         &set,
         &SimConfig::new(Protocol::ReleaseGuard)
             .with_instances(30)
-            .with_channel(ChannelModel::constant(d(1)).with_drops(1.0, d(3))),
+            .with_channel(
+                ChannelModel::constant(d(1))
+                    .with_endpoint_drops(0.7)
+                    .with_seed(3),
+            )
+            .with_transport(TransportConfig::new(d(3))),
     )
     .unwrap();
+    assert!(out.reached_target);
     let stats = out.channel_stats;
-    assert_eq!(stats.dropped, stats.sent);
-    assert_eq!(stats.applied, stats.sent);
-    assert!(stats.sent > 0);
+    assert!(stats.dropped > 0);
+    assert!(
+        out.transport_stats.retransmissions > 0,
+        "recovery is the endpoints' job now"
+    );
+    assert_eq!(out.transport_stats.gave_up, 0);
+    assert_eq!(out.metrics.total_lost(), 0);
 }
 
 /// Drifting clocks leave the signal-driven protocols' correctness alone:

@@ -24,7 +24,7 @@ use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
 use rtsync::sim::{
     simulate, simulate_observed, ChannelModel, EventLogObserver, ProtocolCounters, SimConfig,
-    SourceModel, Tee, TransportConfig,
+    SourceModel, SyncConfig, SyncPolicy, Tee, TransportConfig,
 };
 
 fn main() -> ExitCode {
@@ -53,6 +53,7 @@ fn run() -> Result<(), String> {
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
+        "sync-study" => cmd_sync_study(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -73,13 +74,14 @@ fn usage() -> String {
      rtsync simulate <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--gantt TICKS] [--sporadic MAX_EXTRA] [--seed S] [--no-rule2] \
      [--trace-csv FILE] [--latency TICKS] [--drop P] [--transport] \
-     [--timeout TICKS]\n  \
+     [--timeout TICKS] [--sync-period TICKS] [--sync-policy step|slew:MAX|observe]\n  \
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--format perfetto|jsonl|gantt] [--counters] [--out FILE] \
      [--sporadic MAX_EXTRA] [--seed S]\n  \
      rtsync chaos [--runs N] [--smoke] [--transport] [--seed S] [--threads T] \
      [--out DIR]\n  \
      rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
+     rtsync sync-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync bench [--json] [--smoke] [--out FILE]"
         .to_string()
 }
@@ -135,6 +137,30 @@ fn parse_protocol(tag: &str) -> Result<Protocol, String> {
         "mpm" => Ok(Protocol::ModifiedPhaseModification),
         "rg" => Ok(Protocol::ReleaseGuard),
         other => Err(format!("unknown protocol `{other}` (ds, pm, mpm, rg)")),
+    }
+}
+
+fn parse_sync_policy(tag: &str) -> Result<SyncPolicy, String> {
+    let tag = tag.to_ascii_lowercase();
+    match tag.as_str() {
+        "step" => Ok(SyncPolicy::Step),
+        "observe" => Ok(SyncPolicy::Observe),
+        _ => match tag.strip_prefix("slew:") {
+            Some(max) => {
+                let max: i64 = max
+                    .parse()
+                    .map_err(|e| format!("--sync-policy slew: {e}"))?;
+                if max <= 0 {
+                    return Err("--sync-policy slew:MAX needs a positive MAX".to_string());
+                }
+                Ok(SyncPolicy::Slew {
+                    max_step: Dur::from_ticks(max),
+                })
+            }
+            None => Err(format!(
+                "unknown sync policy `{tag}` (step, slew:MAX, observe)"
+            )),
+        },
     }
 }
 
@@ -310,6 +336,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut drop = 0.0f64;
     let mut transport = false;
     let mut timeout: Option<i64> = None;
+    let mut drift_ppm = 0i64;
+    let mut clock_offset = 0i64;
+    let mut sync_period: Option<i64> = None;
+    let mut sync_policy = SyncPolicy::Step;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| -> Result<&String, String> {
@@ -361,6 +391,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--timeout: {e}"))?,
                 )
             }
+            "--drift" => {
+                drift_ppm = grab("--drift")?
+                    .parse()
+                    .map_err(|e| format!("--drift: {e}"))?
+            }
+            "--clock-offset" => {
+                clock_offset = grab("--clock-offset")?
+                    .parse()
+                    .map_err(|e| format!("--clock-offset: {e}"))?
+            }
+            "--sync-period" => {
+                sync_period = Some(
+                    grab("--sync-period")?
+                        .parse()
+                        .map_err(|e| format!("--sync-period: {e}"))?,
+                )
+            }
+            "--sync-policy" => sync_policy = parse_sync_policy(grab("--sync-policy")?)?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -382,6 +430,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         let rto = timeout.unwrap_or_else(|| (4 * latency).max(8));
         cfg =
             cfg.with_transport(TransportConfig::new(Dur::from_ticks(rto)).with_seed(seed ^ 0xF00D));
+    }
+    if drift_ppm > 0 || clock_offset > 0 {
+        cfg = cfg.with_clocks(rtsync::sim::ClockModel::Random {
+            max_offset: Dur::from_ticks(clock_offset),
+            max_drift_ppm: drift_ppm,
+            seed: seed ^ 0xC10C,
+        });
+    }
+    if let Some(period) = sync_period {
+        if period <= 0 {
+            return Err("--sync-period must be positive".to_string());
+        }
+        cfg = cfg.with_sync(SyncConfig::new(Dur::from_ticks(period)).with_policy(sync_policy));
     }
     if gantt.is_some() || trace_csv.is_some() {
         cfg = cfg.with_trace();
@@ -462,6 +523,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             dt.false_deads,
             dt.forced_releases,
             dt.watchdog_trips
+        );
+    }
+    let sy = &outcome.sync_stats;
+    if sy.rounds > 0 {
+        println!(
+            "sync: {} rounds, {} exchanges, {} corrections, \
+             clock error mean {:.1} max {} ticks, bound <= {} ticks",
+            sy.rounds,
+            sy.exchanges,
+            sy.corrections.len(),
+            sy.mean_true_error().unwrap_or(0.0),
+            sy.max_true_error.ticks(),
+            sy.max_uncertainty.ticks(),
         );
     }
     if let (Some(until), Some(trace)) = (gantt, &outcome.trace) {
@@ -697,7 +771,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     eprintln!(
-        "bench suite: every protocol x {{ideal, nonideal, faults_transport}}{}",
+        "bench suite: every protocol x {{ideal, nonideal, sync, faults_transport}}{}",
         if smoke {
             " (smoke: reduced workload, numbers are a crash canary only)"
         } else {
@@ -793,6 +867,72 @@ fn cmd_transport_study(args: &[String]) -> Result<(), String> {
         return Err(
             "transport study saw abandoned frames, lost signals, or stalled runs".to_string(),
         );
+    }
+    Ok(())
+}
+
+fn cmd_sync_study(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::sync::{
+        grid_csv, render, run_sync_study, summary_csv, SyncStudyConfig,
+    };
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        SyncStudyConfig::smoke()
+    } else {
+        SyncStudyConfig::default()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+
+    eprintln!(
+        "sync study: {} runs over {} drift x latency cells, seed {:#x}",
+        cfg.total_runs(),
+        cfg.drift_ppm_values.len() * cfg.latency_values.len(),
+        cfg.seed
+    );
+    let outcome = run_sync_study(&cfg);
+    print!("{}", render(&outcome));
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let grid = format!("{dir}/sync_grid.csv");
+        std::fs::write(&grid, grid_csv(&outcome)).map_err(|e| format!("writing {grid}: {e}"))?;
+        let summary = format!("{dir}/sync_summary.csv");
+        std::fs::write(&summary, summary_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        eprintln!("wrote {grid} and {summary}");
     }
     Ok(())
 }
