@@ -1,0 +1,260 @@
+//! A minimal JSON reader for the regression sentry — just enough to
+//! parse `BENCH_sim.json` baselines (the workspace carries no serde,
+//! and every writer here hand-rolls its JSON; this is the matching
+//! hand-rolled reader).
+//!
+//! Full JSON value grammar: objects, arrays, strings with the standard
+//! escapes, numbers via `f64`, `true`/`false`/`null`. Errors carry a
+//! byte offset so a truncated or doctored baseline fails loudly.
+
+/// A parsed JSON value. Objects preserve key order (harmless here and
+/// keeps the parser allocation-simple).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, as `f64` (baseline fields all fit).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        // Surrogate pairs don't occur in our baselines;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole code point.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = s.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_nested_objects() {
+        let doc = r#"{"a": 1.5, "b": [true, null, "x\ny"], "c": {"d": -2e3}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], Json::Null);
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing_input() {
+        assert!(parse("{\"a\": ").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

@@ -15,7 +15,20 @@
 //! clock-synchronization exchanges), and `faults_transport` (crash/
 //! recovery plus the acked endpoint transport with failure detection).
 //! Numbers are machine-dependent: compare trajectories on one machine,
-//! not absolute values across machines.
+//! not absolute values across machines — which is exactly what the
+//! [`compare`] sentry automates: per-iteration timings make a
+//! noise-aware best-of-N comparison against the committed baseline, and
+//! `rtsync bench --compare` exits nonzero on regression. The
+//! `rtsync-bench-v2` JSON schema carries [`Provenance`] (git describe,
+//! seed, wall-clock timestamp, host) following the convention of
+//! `results/reproduce_run.txt`, plus an optional engine self-profile per
+//! cell (`rtsync bench --profile`, see `rtsync_sim::perf`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod json;
 
 use std::time::Instant;
 
@@ -24,9 +37,9 @@ use rand::SeedableRng;
 use rtsync_core::protocol::Protocol;
 use rtsync_core::task::TaskSet;
 use rtsync_core::time::Dur;
-use rtsync_sim::engine::{simulate, SimConfig};
+use rtsync_sim::engine::{simulate, simulate_profiled, SimConfig};
 use rtsync_sim::nonideal::{ChannelModel, ClockModel};
-use rtsync_sim::{DetectorConfig, FaultConfig, SyncConfig, TransportConfig};
+use rtsync_sim::{DetectorConfig, EngineProfile, FaultConfig, SyncConfig, TransportConfig};
 use rtsync_workload::{generate, WorkloadSpec};
 
 /// Workload seed shared with the criterion benches, so both harnesses
@@ -34,6 +47,96 @@ use rtsync_workload::{generate, WorkloadSpec};
 const WORKLOAD_SEED: u64 = 7;
 const WORKLOAD_TASKS: usize = 4;
 const WORKLOAD_UTILIZATION: f64 = 0.7;
+
+/// Where the measurement came from: enough context to judge whether two
+/// baselines are comparable, following the `results/reproduce_run.txt`
+/// convention (command, git, seed, config).
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    /// `git describe --always --dirty` at measurement time (`unknown`
+    /// outside a work tree).
+    pub git: String,
+    /// Wall-clock capture time, seconds since the Unix epoch.
+    pub timestamp_unix: u64,
+    /// The same instant as UTC `YYYY-MM-DDTHH:MM:SSZ`.
+    pub timestamp_utc: String,
+    /// Host kernel/arch line (`uname -srm`, falling back to the compiled
+    /// OS/arch).
+    pub host: String,
+    /// Available hardware parallelism on the measuring host.
+    pub parallelism: usize,
+    /// The workload seed the suite ran with.
+    pub seed: u64,
+}
+
+impl Provenance {
+    /// Captures provenance on this host, now.
+    pub fn collect() -> Provenance {
+        let git = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let host = std::process::Command::new("uname")
+            .args(["-srm"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| format!("{} {}", std::env::consts::OS, std::env::consts::ARCH));
+        let timestamp_unix = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        Provenance {
+            git,
+            timestamp_unix,
+            timestamp_utc: utc_string(timestamp_unix),
+            host,
+            parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+            seed: WORKLOAD_SEED,
+        }
+    }
+}
+
+/// Formats Unix seconds as UTC `YYYY-MM-DDTHH:MM:SSZ` (civil-from-days,
+/// no date dependency).
+fn utc_string(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = mp + if mp < 10 { 3 } else { -9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// One measured cell of the suite.
 #[derive(Clone, Debug)]
@@ -49,11 +152,19 @@ pub struct BenchResult {
     pub events_per_iter: u64,
     /// Total wall-clock seconds across the timed iterations.
     pub elapsed_secs: f64,
-    /// The headline number: dispatched events per second of wall time.
+    /// Mean throughput: dispatched events per second of wall time.
     pub events_per_sec: f64,
+    /// Wall-clock seconds of each timed iteration, in run order.
+    pub iter_secs: Vec<f64>,
+    /// Best-of-N throughput (fastest iteration) — the noise-resistant
+    /// number the regression sentry compares.
+    pub best_events_per_sec: f64,
+    /// Engine self-profile of one extra run of this cell, when the suite
+    /// ran with profiling on.
+    pub profile: Option<EngineProfile>,
 }
 
-/// The whole suite's outcome, serializable to the `rtsync-bench-v1`
+/// The whole suite's outcome, serializable to the `rtsync-bench-v2`
 /// JSON schema.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -61,18 +172,30 @@ pub struct BenchReport {
     pub smoke: bool,
     /// Instances simulated per task in every run.
     pub instances: u64,
+    /// Where and when the numbers were measured.
+    pub provenance: Provenance,
     /// All measured cells, protocol-major.
     pub results: Vec<BenchResult>,
 }
 
 impl BenchReport {
-    /// Renders the `rtsync-bench-v1` JSON document (hand-rolled — the
+    /// Renders the `rtsync-bench-v2` JSON document (hand-rolled — the
     /// workspace carries no serde).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"rtsync-bench-v1\",\n");
+        out.push_str("  \"schema\": \"rtsync-bench-v2\",\n");
         out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        let p = &self.provenance;
+        out.push_str(&format!(
+            "  \"provenance\": {{\"git\": \"{}\", \"timestamp_unix\": {}, \"timestamp_utc\": \"{}\", \"host\": \"{}\", \"parallelism\": {}, \"seed\": {}}},\n",
+            json_escape(&p.git),
+            p.timestamp_unix,
+            p.timestamp_utc,
+            json_escape(&p.host),
+            p.parallelism,
+            p.seed,
+        ));
         out.push_str(&format!(
             "  \"workload\": {{\"tasks\": {WORKLOAD_TASKS}, \"utilization\": {WORKLOAD_UTILIZATION}, \"seed\": {WORKLOAD_SEED}, \"instances_per_task\": {}}},\n",
             self.instances
@@ -80,14 +203,23 @@ impl BenchReport {
         out.push_str("  \"unit\": \"events per second of wall time\",\n");
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
+            let iter_secs: Vec<String> = r.iter_secs.iter().map(|s| format!("{s:.6}")).collect();
+            let profile = r
+                .profile
+                .as_ref()
+                .map(|p| format!(", \"profile\": {}", p.to_json()))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"iterations\": {}, \"events_per_iter\": {}, \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+                "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"iterations\": {}, \"events_per_iter\": {}, \"elapsed_secs\": {:.6}, \"events_per_sec\": {:.0}, \"iter_secs\": [{}], \"best_events_per_sec\": {:.0}{}}}{}\n",
                 r.protocol,
                 r.scenario,
                 r.iterations,
                 r.events_per_iter,
                 r.elapsed_secs,
                 r.events_per_sec,
+                iter_secs.join(", "),
+                r.best_events_per_sec,
+                profile,
                 if i + 1 < self.results.len() { "," } else { "" },
             ));
         }
@@ -167,8 +299,18 @@ pub fn bench_task_set() -> TaskSet {
 /// Runs the full suite: every protocol × every scenario, one untimed
 /// warmup then `iterations` timed runs per cell. `smoke` shrinks the
 /// instance count and iteration count for CI (the numbers are then only
-/// a crash canary, not a baseline).
+/// a crash canary, not a baseline). Equivalent to
+/// [`run_suite_opts`]`(smoke, false)`.
 pub fn run_suite(smoke: bool) -> BenchReport {
+    run_suite_opts(smoke, false)
+}
+
+/// [`run_suite`] with an option: when `profile` is set, each cell runs
+/// once more under the engine's wall-clock self-profiler (see
+/// `rtsync_sim::perf`) and the resulting [`EngineProfile`] rides along
+/// in the cell — the profiled run is *extra* and never part of the
+/// timed iterations, so profiling cannot perturb the throughput numbers.
+pub fn run_suite_opts(smoke: bool, profile: bool) -> BenchReport {
     let (instances, iterations) = if smoke { (8, 1) } else { (50, 5) };
     let set = bench_task_set();
     let mut results = Vec::new();
@@ -179,16 +321,24 @@ pub fn run_suite(smoke: bool) -> BenchReport {
             let events_per_iter = simulate(&set, &cfg)
                 .expect("benchmark cell simulates")
                 .events;
-            let start = Instant::now();
+            let mut iter_secs = Vec::with_capacity(iterations as usize);
             for _ in 0..iterations {
+                let start = Instant::now();
                 let out = simulate(&set, &cfg).expect("benchmark cell simulates");
+                iter_secs.push(start.elapsed().as_secs_f64());
                 assert_eq!(
                     out.events, events_per_iter,
                     "simulator must be deterministic across iterations"
                 );
             }
-            let elapsed_secs = start.elapsed().as_secs_f64();
+            let elapsed_secs: f64 = iter_secs.iter().sum();
+            let best_secs = iter_secs.iter().cloned().fold(f64::INFINITY, f64::min);
             let total_events = events_per_iter * u64::from(iterations);
+            let cell_profile = profile.then(|| {
+                simulate_profiled(&set, &cfg)
+                    .expect("benchmark cell simulates")
+                    .1
+            });
             results.push(BenchResult {
                 protocol: protocol.tag(),
                 scenario,
@@ -196,12 +346,16 @@ pub fn run_suite(smoke: bool) -> BenchReport {
                 events_per_iter,
                 elapsed_secs,
                 events_per_sec: total_events as f64 / elapsed_secs.max(1e-9),
+                iter_secs,
+                best_events_per_sec: events_per_iter as f64 / best_secs.max(1e-9),
+                profile: cell_profile,
             });
         }
     }
     BenchReport {
         smoke,
         instances,
+        provenance: Provenance::collect(),
         results,
     }
 }
@@ -222,12 +376,36 @@ mod tests {
                 r.scenario
             );
             assert!(r.events_per_sec > 0.0);
+            assert_eq!(r.iter_secs.len(), r.iterations as usize);
+            // Best-of-N throughput can't be slower than the mean.
+            assert!(r.best_events_per_sec >= r.events_per_sec * 0.999);
+            assert!(r.profile.is_none());
         }
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"rtsync-bench-v1\""));
+        assert!(json.starts_with("{\n  \"schema\": \"rtsync-bench-v2\""));
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"best_events_per_sec\""));
         assert_eq!(json.matches("\"protocol\"").count(), report.results.len());
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The hand-rolled writer parses with the hand-rolled reader.
+        let parsed = json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str(),
+            Some("rtsync-bench-v2")
+        );
+    }
+
+    #[test]
+    fn provenance_is_populated_and_timestamps_render() {
+        let p = Provenance::collect();
+        assert!(!p.git.is_empty());
+        assert!(!p.host.is_empty());
+        assert!(p.parallelism >= 1);
+        assert_eq!(p.seed, WORKLOAD_SEED);
+        assert_eq!(utc_string(0), "1970-01-01T00:00:00Z");
+        assert_eq!(utc_string(951_867_228), "2000-02-29T23:33:48Z");
+        assert!(p.timestamp_utc.ends_with('Z') && p.timestamp_utc.len() == 20);
     }
 }

@@ -39,7 +39,7 @@ use rtsync_sim::engine::{simulate, simulate_observed, SimConfig, SimOutcome};
 use rtsync_sim::nonideal::{eer_inflation, ChannelModel};
 use rtsync_sim::{
     CrashWindow, DetectorConfig, EventLogObserver, FaultConfig, InvariantObserver,
-    InvariantViolation, OverloadPolicy, Tee, TransportConfig,
+    InvariantViolation, OverloadPolicy, Tee, TelemetryObserver, TelemetryReport, TransportConfig,
 };
 use rtsync_workload::{generate, WorkloadSpec};
 
@@ -531,6 +531,48 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         verdicts,
         failures,
     }
+}
+
+/// Re-runs the campaign's worst run with the telemetry recorder attached
+/// and returns its verdict plus the windowed time series — the crash
+/// dips and recovery backlog drain are visible in the per-processor
+/// backlog, detector-census and completion series.
+///
+/// "Worst" is the run with the most `missed + lost` instances, ties
+/// broken by crash count then killed jobs (integer keys, so a campaign
+/// with NaN ratios still picks deterministically). `window` is the
+/// telemetry window width; pass `None` to auto-size to ~120 windows via
+/// an untelemetered pre-run. Returns `None` on an empty campaign.
+pub fn worst_case_telemetry(
+    cfg: &ChaosConfig,
+    outcome: &ChaosOutcome,
+    window: Option<Dur>,
+) -> Option<(RunVerdict, TelemetryReport)> {
+    let v = outcome
+        .verdicts
+        .iter()
+        .max_by_key(|v| (v.missed + v.lost, v.crashes, v.killed_jobs))?
+        .clone();
+    let spec = WorkloadSpec::paper(cfg.n, cfg.u).with_random_phases();
+    let set = generate(&spec, &mut StdRng::seed_from_u64(v.system_seed))
+        .expect("paper spec always generates");
+    let sim = base_sim_config(cfg, v.protocol, v.with_channel, v.system_seed);
+    let faults = FaultConfig::random(
+        Dur::from_ticks(v.mean_uptime),
+        Dur::from_ticks(cfg.restart_delay),
+        v.fault_seed,
+    )
+    .with_policy(v.policy);
+    let sim = sim.with_faults(faults);
+    let width = window.unwrap_or_else(|| {
+        let end = simulate(&set, &sim)
+            .expect("telemetry re-run of an analyzable system")
+            .end_time;
+        Dur::from_ticks((end.ticks() / 120).max(1))
+    });
+    let mut tel = TelemetryObserver::new(width);
+    simulate_observed(&set, &sim, &mut tel).expect("telemetry re-run of an analyzable system");
+    Some((v, tel.into_report()))
 }
 
 /// Rebuilds a failure's exact run and packages it for offline debugging.

@@ -339,6 +339,26 @@ impl DetectState {
         self.forced[fi].contains(&instance)
     }
 
+    /// Census of current beliefs over all ordered `observer × subject`
+    /// pairs (self-pairs excluded): `(alive, suspect, dead)`. Read-only;
+    /// the telemetry layer samples it at end-of-instant.
+    pub(crate) fn census(&self) -> (u32, u32, u32) {
+        let (mut alive, mut suspect, mut dead) = (0, 0, 0);
+        for o in 0..self.num_procs {
+            for s in 0..self.num_procs {
+                if o == s {
+                    continue;
+                }
+                match self.state[self.slot(o, s)] {
+                    PeerState::Alive => alive += 1,
+                    PeerState::Suspect => suspect += 1,
+                    PeerState::Dead => dead += 1,
+                }
+            }
+        }
+        (alive, suspect, dead)
+    }
+
     /// Subjects that `observer` currently believes dead.
     pub(crate) fn dead_peers(&self, observer: usize) -> Vec<usize> {
         (0..self.num_procs)

@@ -46,9 +46,10 @@ use crate::metrics::Metrics;
 use crate::nonideal::{
     ChannelModel, ChannelState, ChannelStats, ClockModel, LocalClock, NonidealConfig,
 };
-use crate::observe::{NoopObserver, Observer};
+use crate::observe::{EngineSample, NoopObserver, Observer};
+use crate::perf::{EngineProfile, NoopProfiler, PerfScope, Profiler, WallProfiler};
+use crate::priority_profile::PriorityProfile;
 use crate::processor::{Milestone, Processor, Resched};
-use crate::profile::PriorityProfile;
 use crate::source::SourceModel;
 use crate::sync::{SyncConfig, SyncState, SyncStats};
 use crate::trace::Trace;
@@ -314,7 +315,8 @@ pub fn simulate(set: &TaskSet, cfg: &SimConfig) -> Result<SimOutcome, SimulateEr
     // `NoopObserver` is zero-sized and every hook is an empty `#[inline]`
     // default, so this monomorphization is the exact unobserved engine.
     let mut obs = NoopObserver;
-    Engine::new(set, cfg, &mut obs)?.run()
+    let mut prof = NoopProfiler;
+    Engine::new(set, cfg, &mut obs, &mut prof)?.run()
 }
 
 /// Runs one simulation with an [`Observer`] attached to the engine's
@@ -330,10 +332,31 @@ pub fn simulate_observed(
     cfg: &SimConfig,
     obs: &mut impl Observer,
 ) -> Result<SimOutcome, SimulateError> {
-    Engine::new(set, cfg, obs)?.run()
+    let mut prof = NoopProfiler;
+    Engine::new(set, cfg, obs, &mut prof)?.run()
 }
 
-struct Engine<'a, O: Observer> {
+/// Runs one simulation with the wall-clock self-profiler attached (see
+/// [`crate::perf`]). The schedule is identical to [`simulate`]'s — the
+/// profiler only reads the host clock between engine phases. Returns the
+/// outcome together with the exclusive-time [`EngineProfile`].
+///
+/// # Errors
+///
+/// [`SimulateError::Analysis`] if the protocol needs SA/PM bounds and the
+/// analysis fails.
+pub fn simulate_profiled(
+    set: &TaskSet,
+    cfg: &SimConfig,
+) -> Result<(SimOutcome, EngineProfile), SimulateError> {
+    let mut obs = NoopObserver;
+    let mut prof = WallProfiler::new();
+    let outcome = Engine::new(set, cfg, &mut obs, &mut prof)?.run()?;
+    let profile = prof.finish(outcome.events);
+    Ok((outcome, profile))
+}
+
+struct Engine<'a, O: Observer, P: Profiler> {
     set: &'a TaskSet,
     cfg: &'a SimConfig,
     queue: EventQueue,
@@ -392,14 +415,18 @@ struct Engine<'a, O: Observer> {
     /// Instrumentation hooks (see [`crate::observe`]); `NoopObserver`
     /// for unobserved runs, compiled away by monomorphization.
     obs: &'a mut O,
+    /// Wall-clock scope accounting (see [`crate::perf`]); `NoopProfiler`
+    /// for unprofiled runs, compiled away by monomorphization.
+    prof: &'a mut P,
 }
 
-impl<'a, O: Observer> Engine<'a, O> {
+impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     fn new(
         set: &'a TaskSet,
         cfg: &'a SimConfig,
         obs: &'a mut O,
-    ) -> Result<Engine<'a, O>, SimulateError> {
+        prof: &'a mut P,
+    ) -> Result<Engine<'a, O, P>, SimulateError> {
         let flat = FlatIndex::new(set);
         let clocks = (!cfg.nonideal.clocks.is_ideal())
             .then(|| cfg.nonideal.clocks.resolve(set.num_processors()));
@@ -533,6 +560,7 @@ impl<'a, O: Observer> Engine<'a, O> {
             deliver_scratch: Vec::new(),
             recover_scratch: Vec::new(),
             obs,
+            prof,
         })
     }
 
@@ -647,6 +675,12 @@ impl<'a, O: Observer> Engine<'a, O> {
         }
 
         let mut reached_target = false;
+        // From here to loop exit every moment is attributed to a scope:
+        // Queue while popping/checking, Observer around hooks, the
+        // event's own family during dispatch, Flush for the
+        // end-of-instant reschedule. `switch` on NoopProfiler is an
+        // empty inline default, so the unprofiled loop is unchanged.
+        self.prof.switch(PerfScope::Queue);
         while let Some(event) = self.queue.pop() {
             if event.time > self.horizon || self.events >= self.cfg.max_events {
                 break;
@@ -654,7 +688,9 @@ impl<'a, O: Observer> Engine<'a, O> {
             debug_assert!(event.time >= self.now, "event queue went backwards");
             self.now = event.time;
             self.events += 1;
+            self.prof.switch(PerfScope::Observer);
             self.obs.on_event(self.now, &event.kind);
+            self.prof.switch(PerfScope::of(&event.kind));
             match event.kind {
                 EventKind::Crash { proc } => self.on_crash(proc),
                 EventKind::Recover { proc } => self.on_recover(proc),
@@ -696,8 +732,18 @@ impl<'a, O: Observer> Engine<'a, O> {
             // non-preemptive job must not start ahead of a higher-priority
             // job released at the same instant).
             if self.queue.peek_time() != Some(self.now) {
+                self.prof.switch(PerfScope::Flush);
                 self.flush_dispatch();
+                // End-of-instant telemetry sample. `wants_samples` is a
+                // monomorphized constant: with NoopObserver the whole
+                // block — including assembling the sample — folds away,
+                // keeping the unobserved hot path untouched.
+                if self.obs.wants_samples() {
+                    self.prof.switch(PerfScope::Observer);
+                    self.emit_sample();
+                }
             }
+            self.prof.switch(PerfScope::Queue);
             // Under faults an instance can resolve by being lost instead of
             // completing; both count toward the stop target (identical to
             // `min_completed` when the fault domain is off: nothing is ever
@@ -775,6 +821,19 @@ impl<'a, O: Observer> Engine<'a, O> {
                 );
                 if let Some(missed) = verdict {
                     self.note_watchdog(job.task().index(), missed);
+                }
+                if let Some(released) = self
+                    .metrics
+                    .task(job.task())
+                    .first_release_time(job.instance())
+                {
+                    self.obs.on_task_completion(
+                        self.now,
+                        job.task(),
+                        job.instance(),
+                        self.now - released,
+                        verdict.is_some(),
+                    );
                 }
             }
             Some(succ) => {
@@ -2139,6 +2198,25 @@ impl<'a, O: Observer> Engine<'a, O> {
                 }
             }
         }
+    }
+
+    /// Assembles the end-of-instant [`EngineSample`] and hands it to the
+    /// observer. Reached only through the `wants_samples` gate in the main
+    /// loop; everything read here is a plain gauge, so sampling cannot
+    /// perturb the schedule.
+    fn emit_sample(&mut self) {
+        let (peers_alive, peers_suspect, peers_dead) =
+            self.detect.as_ref().map_or((0, 0, 0), |d| d.census());
+        let sample = EngineSample {
+            procs: &self.procs,
+            queue_near: self.queue.near_depth(),
+            queue_far: self.queue.far_depth(),
+            transport_in_flight: self.transport.as_ref().map_or(0, |t| t.in_flight_count()),
+            peers_alive,
+            peers_suspect,
+            peers_dead,
+        };
+        self.obs.on_sample(self.now, &sample);
     }
 }
 

@@ -407,6 +407,19 @@ impl EventQueue {
         self.near_len == 0 && self.far.is_empty()
     }
 
+    /// Events currently parked in the near wheel (within `WHEEL_SPAN`
+    /// ticks of the anchor). The telemetry layer's occupancy gauge.
+    pub fn near_depth(&self) -> usize {
+        self.near_len
+    }
+
+    /// Events parked in the far-future overflow heap (beyond the wheel's
+    /// span). A persistently deep far heap means event times outrun the
+    /// wheel and every refill pays heap churn.
+    pub fn far_depth(&self) -> usize {
+        self.far.len()
+    }
+
     fn insert_near(&mut self, event: Event) {
         let slot = event.time.ticks().rem_euclid(WHEEL_SPAN as i64) as usize;
         debug_assert!(

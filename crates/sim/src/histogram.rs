@@ -96,6 +96,25 @@ impl EerHistogram {
         }
         unreachable!("cumulative count reaches the total");
     }
+
+    /// Folds `other`'s samples into `self`. Both histograms share the
+    /// same static bucket map, so the merge is an exact elementwise sum:
+    /// merging window histograms into a running one yields bit-identical
+    /// counts to recording every sample into the running histogram
+    /// directly. Allocation-free.
+    pub fn merge(&mut self, other: &EerHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Resets the histogram to empty without releasing its buckets, so a
+    /// per-window histogram can be reused allocation-free.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
 }
 
 /// Fixed-footprint log-bucket histogram of *signed* durations, for clock
@@ -199,6 +218,27 @@ impl SignedHistogram {
             }
         }
         unreachable!("cumulative count reaches the total");
+    }
+
+    /// Folds `other`'s samples into `self` — the signed counterpart of
+    /// [`EerHistogram::merge`], exact on both halves.
+    pub fn merge(&mut self, other: &SignedHistogram) {
+        for (a, b) in self.neg.iter_mut().zip(&other.neg) {
+            *a += b;
+        }
+        for (a, b) in self.pos.iter_mut().zip(&other.pos) {
+            *a += b;
+        }
+        self.neg_total += other.neg_total;
+        self.total += other.total;
+    }
+
+    /// Resets the histogram to empty without releasing its buckets.
+    pub fn clear(&mut self) {
+        self.neg.fill(0);
+        self.pos.fill(0);
+        self.neg_total = 0;
+        self.total = 0;
     }
 }
 
@@ -505,6 +545,122 @@ mod tests {
         assert_eq!(h.quantile(0.6), Some(d(-10)));
         assert_eq!(h.quantile(0.8), Some(d(5)));
         assert_eq!(h.quantile(1.0), Some(d(12)));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation() {
+        // Split a sample stream across two window histograms; merging the
+        // windows into a running histogram must be bit-identical to
+        // recording the whole stream directly.
+        let samples: Vec<i64> = (1..=500).map(|i| i * 97 % 10_000).collect();
+        let (left, right) = samples.split_at(samples.len() / 3);
+        let mut a = EerHistogram::new();
+        let mut b = EerHistogram::new();
+        let mut direct = EerHistogram::new();
+        for &s in left {
+            a.record(d(s));
+            direct.record(d(s));
+        }
+        for &s in right {
+            b.record(d(s));
+            direct.record(d(s));
+        }
+        let mut merged = EerHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.len(), samples.len() as u64);
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_on_both_sides() {
+        let mut h = EerHistogram::new();
+        for v in [3, 9, 1_000] {
+            h.record(d(v));
+        }
+        let snapshot = h.clone();
+        h.merge(&EerHistogram::new());
+        assert_eq!(h, snapshot, "merging an empty window changes nothing");
+        let mut fresh = EerHistogram::new();
+        fresh.merge(&snapshot);
+        assert_eq!(fresh, snapshot, "merging into empty is a copy");
+    }
+
+    #[test]
+    fn merge_preserves_the_saturation_bucket() {
+        // A saturated sample in one window must stay open-ended after the
+        // merge — the saturation bucket is a count like any other.
+        let mut window = EerHistogram::new();
+        window.record(Dur::MAX);
+        let mut running = EerHistogram::new();
+        running.record(d(10));
+        running.merge(&window);
+        assert_eq!(running.len(), 2);
+        assert_eq!(running.quantile(1.0), Some(Dur::MAX));
+        assert!(running.quantile(0.5).unwrap() < Dur::MAX);
+    }
+
+    #[test]
+    fn clear_resets_without_forgetting_how_to_record() {
+        let mut h = EerHistogram::new();
+        h.record(d(42));
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(1.0), None);
+        h.record(d(7));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h, {
+            let mut fresh = EerHistogram::new();
+            fresh.record(d(7));
+            fresh
+        });
+    }
+
+    #[test]
+    fn signed_merge_equals_recording_the_concatenation() {
+        let samples: Vec<i64> = (1..=400).map(|i| (i * 37 % 10_000) - 5_000).collect();
+        let (left, right) = samples.split_at(100);
+        let mut a = SignedHistogram::new();
+        let mut b = SignedHistogram::new();
+        let mut direct = SignedHistogram::new();
+        for &s in left {
+            a.record(d(s));
+            direct.record(d(s));
+        }
+        for &s in right {
+            b.record(d(s));
+            direct.record(d(s));
+        }
+        let mut merged = SignedHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, direct);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q), "q={q}");
+        }
+        let mut cleared = merged.clone();
+        cleared.clear();
+        assert!(cleared.is_empty());
+        assert_eq!(cleared, SignedHistogram::new());
+    }
+
+    #[test]
+    fn signed_merge_keeps_both_saturated_edges_honest() {
+        let mut window = SignedHistogram::new();
+        window.record(d(i64::MAX));
+        window.record(d(i64::MIN));
+        let mut running = SignedHistogram::new();
+        running.record(d(0));
+        running.merge(&window);
+        assert_eq!(running.len(), 3);
+        // Most-negative rank: the finite negated floor; most-positive:
+        // open-ended — exactly as if recorded directly.
+        let floor = SATURATION_FLOOR as i64;
+        assert_eq!(running.quantile(0.01), Some(d(-floor)));
+        assert_eq!(running.quantile(1.0), Some(Dur::MAX));
     }
 
     #[test]

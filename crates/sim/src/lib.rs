@@ -49,18 +49,21 @@ pub mod job;
 pub mod metrics;
 pub mod nonideal;
 pub mod observe;
+pub mod perf;
+pub mod priority_profile;
 pub mod processor;
-pub mod profile;
 pub mod reference;
 pub mod source;
 pub mod sync;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
 pub use check::{validate_fault_quiescence, validate_schedule, ScheduleDefect};
 pub use detect::{Degradation, DegradationEvent, DetectStats, DetectorConfig, PeerState};
 pub use engine::{
-    simulate, simulate_observed, SimConfig, SimOutcome, SimulateError, Violation, ViolationKind,
+    simulate, simulate_observed, simulate_profiled, SimConfig, SimOutcome, SimulateError,
+    Violation, ViolationKind,
 };
 pub use faults::{
     CrashSchedule, CrashWindow, FaultConfig, FaultStats, InvariantKind, InvariantObserver,
@@ -70,9 +73,12 @@ pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
 pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
 pub use observe::{
-    EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters, TaskCounters, Tee,
+    EngineSample, EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters,
+    TaskCounters, Tee,
 };
+pub use perf::{EngineProfile, PerfScope};
 pub use source::SourceModel;
 pub use sync::{SyncConfig, SyncPolicy, SyncStats};
+pub use telemetry::{render_dashboard, TelemetryObserver, TelemetryReport, TelemetryWindow};
 pub use trace::{Segment, Trace};
 pub use transport::{TransportConfig, TransportStats};

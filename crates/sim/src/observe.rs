@@ -52,6 +52,32 @@ use crate::engine::{Violation, ViolationKind};
 use crate::event::EventKind;
 use crate::histogram::SignedHistogram;
 use crate::job::JobId;
+use crate::processor::Processor;
+
+/// End-of-instant engine state handed to [`Observer::on_sample`]: the
+/// gauges a windowed telemetry recorder cannot reconstruct from discrete
+/// hook events alone. Assembled only when [`Observer::wants_samples`]
+/// returns `true`, so the unobserved engine never pays for it.
+#[derive(Debug)]
+pub struct EngineSample<'a> {
+    /// The processors, for per-processor ready-queue backlog
+    /// ([`Processor::backlog`]) and idle state.
+    pub procs: &'a [Processor],
+    /// Events parked in the event queue's near wheel.
+    pub queue_near: usize,
+    /// Events parked in the far-future overflow heap.
+    pub queue_far: usize,
+    /// Unacked frames across all transport sender windows (0 when the
+    /// endpoint transport is off).
+    pub transport_in_flight: usize,
+    /// Detector census: ordered observer × subject pairs currently
+    /// believed Alive (0 when no detector runs).
+    pub peers_alive: u32,
+    /// Pairs currently believed Suspect.
+    pub peers_suspect: u32,
+    /// Pairs currently believed Dead.
+    pub peers_dead: u32,
+}
 
 /// Engine instrumentation hooks. Every method has an empty default, so an
 /// implementation overrides only what it cares about. The engine is
@@ -76,6 +102,41 @@ pub trait Observer {
     /// `job` finished executing on processor `proc`.
     #[inline]
     fn on_completion(&mut self, now: Time, job: JobId, proc: usize) {}
+
+    /// Instance `instance` of `task` completed end to end with EER time
+    /// `eer` (last-subtask completion minus first-subtask release).
+    /// `measured` is `false` for warm-up instances, which are excluded
+    /// from the EER statistics. Not called for orphan completions, whose
+    /// first release was never recorded.
+    #[inline]
+    fn on_task_completion(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        instance: u64,
+        eer: Dur,
+        measured: bool,
+    ) {
+    }
+
+    /// Whether the engine should assemble end-of-instant
+    /// [`EngineSample`]s for [`Observer::on_sample`]. The default `false`
+    /// keeps the unobserved hot path from even gathering the sample:
+    /// monomorphization folds the constant away, so the telemetry-off
+    /// engine stays bit-for-bit (and instruction-for-instruction)
+    /// identical.
+    #[inline]
+    fn wants_samples(&self) -> bool {
+        false
+    }
+
+    /// End-of-instant state snapshot: queue depths, per-processor ready
+    /// backlogs, transport window, detector census. Emitted after the
+    /// dispatch flush of each distinct instant, and only when
+    /// [`Observer::wants_samples`] returns `true`. The sample is
+    /// read-only: observers can record it but never perturb the schedule.
+    #[inline]
+    fn on_sample(&mut self, now: Time, sample: &EngineSample<'_>) {}
 
     /// `job` occupied processor `proc` over `[start, end)`. Slices are
     /// maximal: consecutive ticks of the same job arrive merged.
@@ -234,6 +295,14 @@ pub struct Tee<'a, A, B>(pub &'a mut A, pub &'a mut B);
 macro_rules! tee_hooks {
     ($($hook:ident($($arg:ident: $ty:ty),*);)*) => {
         impl<A: Observer, B: Observer> Observer for Tee<'_, A, B> {
+            /// A tee wants samples as soon as either side does; a side
+            /// that did not ask still receives them (its `on_sample`
+            /// default is empty, so that costs nothing).
+            #[inline]
+            fn wants_samples(&self) -> bool {
+                self.0.wants_samples() || self.1.wants_samples()
+            }
+
             $(
                 #[inline]
                 fn $hook(&mut self, $($arg: $ty),*) {
@@ -250,6 +319,8 @@ tee_hooks! {
     on_event(now: Time, kind: &EventKind);
     on_release(now: Time, job: JobId, proc: usize);
     on_completion(now: Time, job: JobId, proc: usize);
+    on_task_completion(now: Time, task: TaskId, instance: u64, eer: Dur, measured: bool);
+    on_sample(now: Time, sample: &EngineSample<'_>);
     on_slice(proc: usize, job: JobId, start: Time, end: Time);
     on_context_switch(now: Time, proc: usize, from: Option<JobId>, to: JobId);
     on_preemption(now: Time, proc: usize, preempted: JobId, by: JobId);
@@ -833,6 +904,15 @@ impl EventLogObserver {
     /// are `s`/`f` flow pairs from the completing processor's track to
     /// the receiving one — drawn by both viewers as arrows.
     pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_with(&[])
+    }
+
+    /// [`EventLogObserver::to_chrome_trace`] with extra pre-serialized
+    /// trace events spliced into the `traceEvents` array — the hook the
+    /// telemetry layer uses to lay its counter tracks
+    /// ([`crate::telemetry::TelemetryReport::chrome_counter_events`])
+    /// above the flow arrows of the same run.
+    pub fn to_chrome_trace_with(&self, extra: &[String]) -> String {
         let tag = self.protocol.map_or("?", Protocol::tag);
         let mut ev: Vec<String> = Vec::new();
         ev.push(format!(
@@ -915,6 +995,7 @@ impl EventLogObserver {
                 _ => {}
             }
         }
+        ev.extend(extra.iter().cloned());
         format!(
             "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
             ev.join(",\n")

@@ -11,7 +11,7 @@
 //! A milestone is the next instant the running job needs attention: its
 //! **completion**, or a **priority boundary** — the start or end of a
 //! critical section, where its Highest-Locker effective priority changes
-//! (see [`crate::profile`]). Tentative milestones are invalidated lazily:
+//! (see [`crate::priority_profile`]). Tentative milestones are invalidated lazily:
 //! every time the running slot (or its effective priority) changes, the
 //! milestone *generation* is bumped, and a stale event is skipped by the
 //! engine.
@@ -33,7 +33,7 @@ use rtsync_core::task::{Priority, ProcessorId};
 use rtsync_core::time::{Dur, Time};
 
 use crate::job::JobId;
-use crate::profile::PriorityProfile;
+use crate::priority_profile::PriorityProfile;
 
 /// A contiguous slice of execution, for the trace.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

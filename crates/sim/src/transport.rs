@@ -224,6 +224,12 @@ impl TransportState {
         }
     }
 
+    /// Frames currently unacked in the sender window — the telemetry
+    /// layer's in-flight gauge.
+    pub(crate) fn in_flight_count(&self) -> usize {
+        self.window.len()
+    }
+
     /// Opens a window entry for a fresh frame and returns its sequence
     /// number.
     pub(crate) fn register_send(&mut self, job: JobId, from: usize, now: Time) -> u64 {

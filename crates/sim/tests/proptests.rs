@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use rtsync_core::task::{Priority, ProcessorId, SubtaskId, TaskId};
 use rtsync_core::time::{Dur, Time};
 use rtsync_sim::event::{EventKind, EventQueue, ReferenceEventQueue};
+use rtsync_sim::priority_profile::PriorityProfile;
 use rtsync_sim::processor::{Milestone, Processor, Resched};
-use rtsync_sim::profile::PriorityProfile;
 use rtsync_sim::JobId;
 
 #[derive(Clone, Copy, Debug)]

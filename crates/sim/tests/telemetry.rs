@@ -1,0 +1,123 @@
+//! Integration tests for the telemetry layer: attaching the windowed
+//! recorder never perturbs the schedule — for every protocol, ideal or
+//! nonideal or synced, the run with a `TelemetryObserver` attached is
+//! bit-for-bit the run without one (trace, event count, end time), and
+//! the recorder still fills its windows while watching.
+
+use proptest::prelude::*;
+use rtsync_core::examples::example2;
+use rtsync_core::protocol::Protocol;
+use rtsync_core::time::Dur;
+use rtsync_sim::engine::{simulate, simulate_observed, SimConfig};
+use rtsync_sim::nonideal::{ChannelModel, ClockModel, NonidealConfig};
+use rtsync_sim::{EventLogObserver, SyncConfig, Tee, TelemetryObserver};
+
+fn d(x: i64) -> Dur {
+    Dur::from_ticks(x)
+}
+
+/// Clocks with offsets up to ±50 ticks and up to 5% drift.
+fn bad_clocks(seed: u64) -> ClockModel {
+    ClockModel::Random {
+        max_offset: d(50),
+        max_drift_ppm: 50_000,
+        seed,
+    }
+}
+
+/// The three environment modes the identity guarantee must hold in.
+fn mode_config(cfg: SimConfig, mode: usize) -> SimConfig {
+    match mode {
+        // Nonideal: skewed clocks and a lossy, laggy channel.
+        1 => cfg.with_nonideal(
+            NonidealConfig::default()
+                .with_clocks(bad_clocks(9))
+                .with_channel(ChannelModel::uniform(Dur::ZERO, d(3)).with_seed(17)),
+        ),
+        // Synced: skewed clocks corrected by sync rounds on the wire.
+        2 => cfg
+            .with_nonideal(NonidealConfig::default().with_clocks(bad_clocks(9)))
+            .with_sync(SyncConfig::new(d(8))),
+        // Ideal.
+        _ => cfg,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The telemetry-off path is the unobserved engine, and attaching the
+    /// recorder (alone or teed with the event log) changes nothing the
+    /// engine computes: 4 protocols × {ideal, nonideal, sync}.
+    #[test]
+    fn telemetry_never_perturbs_the_schedule(
+        proto_idx in 0usize..4,
+        instances in 5u64..30,
+        mode in 0usize..3,
+    ) {
+        let set = example2();
+        let protocol = Protocol::ALL[proto_idx];
+        let cfg = mode_config(
+            SimConfig::new(protocol).with_instances(instances).with_trace(),
+            mode,
+        );
+
+        let plain = simulate(&set, &cfg).unwrap();
+
+        let mut tel = TelemetryObserver::new(d(16));
+        let watched = simulate_observed(&set, &cfg, &mut tel).unwrap();
+        prop_assert_eq!(&plain.trace, &watched.trace, "{:?} mode {}", protocol, mode);
+        prop_assert_eq!(plain.events, watched.events);
+        prop_assert_eq!(plain.end_time, watched.end_time);
+        prop_assert_eq!(&plain.busy_ticks, &watched.busy_ticks);
+
+        let report = tel.into_report();
+        prop_assert!(!report.windows.is_empty());
+        prop_assert!(report.windows.iter().any(|w| w.samples > 0));
+
+        // Teed with the event log the guarantee still holds — the sample
+        // gate ORs across the tee without changing either side.
+        let mut tel2 = TelemetryObserver::new(d(16));
+        let mut log = EventLogObserver::default();
+        let mut tee = Tee(&mut log, &mut tel2);
+        let teed = simulate_observed(&set, &cfg, &mut tee).unwrap();
+        prop_assert_eq!(&plain.trace, &teed.trace, "{:?} mode {} (teed)", protocol, mode);
+        prop_assert_eq!(plain.events, teed.events);
+    }
+}
+
+/// A telemetry run is deterministic: same config, same report.
+#[test]
+fn telemetry_report_is_deterministic() {
+    let set = example2();
+    let cfg = mode_config(
+        SimConfig::new(Protocol::ModifiedPhaseModification).with_instances(40),
+        1,
+    );
+    let mut a = TelemetryObserver::new(d(12));
+    simulate_observed(&set, &cfg, &mut a).unwrap();
+    let mut b = TelemetryObserver::new(d(12));
+    simulate_observed(&set, &cfg, &mut b).unwrap();
+    assert_eq!(a.into_report(), b.into_report());
+}
+
+/// Counter events splice into the Chrome trace the event log exports:
+/// same `ts` domain, valid JSON objects, every window covered.
+#[test]
+fn counter_tracks_share_the_trace_time_domain() {
+    let set = example2();
+    let cfg = SimConfig::new(Protocol::ReleaseGuard).with_instances(30);
+    let mut tel = TelemetryObserver::new(d(10));
+    let mut log = EventLogObserver::default();
+    let mut tee = Tee(&mut log, &mut tel);
+    simulate_observed(&set, &cfg, &mut tee).unwrap();
+    let report = tel.into_report();
+    let counters = report.chrome_counter_events();
+    assert!(!counters.is_empty());
+    let last_window_start = report.windows.last().unwrap().start.ticks();
+    assert!(counters
+        .iter()
+        .any(|c| c.contains(&format!("\"ts\":{last_window_start}"))));
+    let trace = log.to_chrome_trace();
+    assert!(trace.contains("\"traceEvents\""));
+}

@@ -237,6 +237,18 @@ pub fn generate<R: Rng + ?Sized>(
     generate_with_policy(spec, &ProportionalDeadlineMonotonic, rng)
 }
 
+/// Generates one system from a bare `u64` seed, for entry points (the
+/// CLI, scripts) that don't want to thread an RNG themselves.
+///
+/// # Errors
+///
+/// See [`GenerateError`].
+pub fn generate_seeded(spec: &WorkloadSpec, seed: u64) -> Result<TaskSet, GenerateError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    generate(spec, &mut StdRng::seed_from_u64(seed))
+}
+
 /// Generates one system with an explicit priority policy (an extension
 /// knob beyond the paper, which fixes PDM).
 ///

@@ -23,8 +23,9 @@ use rtsync::core::textfmt;
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
 use rtsync::sim::{
-    simulate, simulate_observed, ChannelModel, EventLogObserver, ProtocolCounters, SimConfig,
-    SourceModel, SyncConfig, SyncPolicy, Tee, TransportConfig,
+    render_dashboard, simulate, simulate_observed, ChannelModel, EventLogObserver,
+    ProtocolCounters, SimConfig, SourceModel, SyncConfig, SyncPolicy, Tee, TelemetryObserver,
+    TransportConfig,
 };
 
 fn main() -> ExitCode {
@@ -50,6 +51,7 @@ fn run() -> Result<(), String> {
         "exact" => cmd_exact(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
         "simulate" => cmd_simulate(&args[1..]),
+        "report" => cmd_report(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
@@ -74,15 +76,21 @@ fn usage() -> String {
      rtsync simulate <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--gantt TICKS] [--sporadic MAX_EXTRA] [--seed S] [--no-rule2] \
      [--trace-csv FILE] [--latency TICKS] [--drop P] [--transport] \
-     [--timeout TICKS] [--sync-period TICKS] [--sync-policy step|slew:MAX|observe]\n  \
+     [--timeout TICKS] [--sync-period TICKS] [--sync-policy step|slew:MAX|observe] \
+     [--telemetry FILE] [--window TICKS]\n  \
+     rtsync report <file|-|--paper N:U> --protocol ds|pm|mpm|rg [--instances N] \
+     [--window TICKS] [--out FILE] [--csv FILE] [--jsonl FILE] \
+     [nonideal flags as in simulate]\n  \
+     rtsync report --from CSV [--out FILE]\n  \
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
-     [--format perfetto|jsonl|gantt] [--counters] [--out FILE] \
-     [--sporadic MAX_EXTRA] [--seed S]\n  \
+     [--format perfetto|jsonl|gantt] [--counters] [--telemetry] [--window TICKS] \
+     [--out FILE] [--sporadic MAX_EXTRA] [--seed S]\n  \
      rtsync chaos [--runs N] [--smoke] [--transport] [--seed S] [--threads T] \
-     [--out DIR]\n  \
+     [--out DIR] [--telemetry FILE] [--window TICKS]\n  \
      rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync sync-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
-     rtsync bench [--json] [--smoke] [--out FILE]"
+     rtsync bench [--json] [--smoke] [--out FILE] [--profile] \
+     [--compare BASELINE] [--tolerance FRAC|scenario=FRAC]"
         .to_string()
 }
 
@@ -322,26 +330,175 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The nonideal-world knobs shared by `simulate` and `report`: channel
+/// latency/drops, endpoint transport, clock imperfection, and the clock
+/// synchronization service.
+struct NonidealFlags {
+    seed: u64,
+    sporadic: Option<i64>,
+    latency: i64,
+    drop: f64,
+    transport: bool,
+    timeout: Option<i64>,
+    drift_ppm: i64,
+    clock_offset: i64,
+    sync_period: Option<i64>,
+    sync_policy: SyncPolicy,
+}
+
+impl NonidealFlags {
+    fn new() -> NonidealFlags {
+        NonidealFlags {
+            seed: 0,
+            sporadic: None,
+            latency: 0,
+            drop: 0.0,
+            transport: false,
+            timeout: None,
+            drift_ppm: 0,
+            clock_offset: 0,
+            sync_period: None,
+            sync_policy: SyncPolicy::Step,
+        }
+    }
+
+    /// Consumes `arg` (and its value from `it`) when it is one of the
+    /// shared flags; `Ok(false)` hands it back to the caller's parser.
+    fn consume(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg {
+            "--sporadic" => {
+                self.sporadic = Some(
+                    grab("--sporadic")?
+                        .parse()
+                        .map_err(|e| format!("--sporadic: {e}"))?,
+                )
+            }
+            "--seed" => {
+                self.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--latency" => {
+                self.latency = grab("--latency")?
+                    .parse()
+                    .map_err(|e| format!("--latency: {e}"))?
+            }
+            "--drop" => {
+                self.drop = grab("--drop")?
+                    .parse()
+                    .map_err(|e| format!("--drop: {e}"))?
+            }
+            "--transport" => self.transport = true,
+            "--timeout" => {
+                self.timeout = Some(
+                    grab("--timeout")?
+                        .parse()
+                        .map_err(|e| format!("--timeout: {e}"))?,
+                )
+            }
+            "--drift" => {
+                self.drift_ppm = grab("--drift")?
+                    .parse()
+                    .map_err(|e| format!("--drift: {e}"))?
+            }
+            "--clock-offset" => {
+                self.clock_offset = grab("--clock-offset")?
+                    .parse()
+                    .map_err(|e| format!("--clock-offset: {e}"))?
+            }
+            "--sync-period" => {
+                self.sync_period = Some(
+                    grab("--sync-period")?
+                        .parse()
+                        .map_err(|e| format!("--sync-period: {e}"))?,
+                )
+            }
+            "--sync-policy" => self.sync_policy = parse_sync_policy(grab("--sync-policy")?)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn apply(&self, mut cfg: SimConfig) -> Result<SimConfig, String> {
+        if self.drop > 0.0 && !self.transport {
+            return Err("--drop loses signals for good without --transport".to_string());
+        }
+        if self.latency > 0 || self.drop > 0.0 {
+            cfg = cfg.with_channel(
+                ChannelModel::constant(Dur::from_ticks(self.latency))
+                    .with_endpoint_drops(self.drop)
+                    .with_seed(self.seed ^ 0xCAFE),
+            );
+        }
+        if self.transport {
+            // Default RTO: four times the one-way latency, floored so a
+            // zero-latency channel still gets a meaningful timer.
+            let rto = self.timeout.unwrap_or_else(|| (4 * self.latency).max(8));
+            cfg = cfg.with_transport(
+                TransportConfig::new(Dur::from_ticks(rto)).with_seed(self.seed ^ 0xF00D),
+            );
+        }
+        if self.drift_ppm > 0 || self.clock_offset > 0 {
+            cfg = cfg.with_clocks(rtsync::sim::ClockModel::Random {
+                max_offset: Dur::from_ticks(self.clock_offset),
+                max_drift_ppm: self.drift_ppm,
+                seed: self.seed ^ 0xC10C,
+            });
+        }
+        if let Some(period) = self.sync_period {
+            if period <= 0 {
+                return Err("--sync-period must be positive".to_string());
+            }
+            cfg = cfg
+                .with_sync(SyncConfig::new(Dur::from_ticks(period)).with_policy(self.sync_policy));
+        }
+        if let Some(max_extra) = self.sporadic {
+            cfg = cfg.with_source(SourceModel::Sporadic {
+                max_extra: Dur::from_ticks(max_extra),
+                seed: self.seed,
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+/// The telemetry window width: the explicit `--window`, or an auto fit
+/// that sizes ~64 windows off an untelemetered probe run (cheap next to
+/// the observed run, and keeps dashboards legible at any horizon).
+fn telemetry_width(window: Option<i64>, set: &TaskSet, cfg: &SimConfig) -> Result<Dur, String> {
+    match window {
+        Some(w) if w > 0 => Ok(Dur::from_ticks(w)),
+        Some(_) => Err("--window must be positive".to_string()),
+        None => {
+            let probe = simulate(set, cfg).map_err(|e| e.to_string())?;
+            Ok(Dur::from_ticks((probe.end_time.ticks() / 64).max(1)))
+        }
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or_else(usage)?;
     let set = load(path)?;
     let mut protocol = None;
     let mut instances = 100u64;
     let mut gantt: Option<i64> = None;
-    let mut sporadic: Option<i64> = None;
-    let mut seed = 0u64;
     let mut rule2 = true;
     let mut trace_csv: Option<String> = None;
-    let mut latency = 0i64;
-    let mut drop = 0.0f64;
-    let mut transport = false;
-    let mut timeout: Option<i64> = None;
-    let mut drift_ppm = 0i64;
-    let mut clock_offset = 0i64;
-    let mut sync_period: Option<i64> = None;
-    let mut sync_policy = SyncPolicy::Step;
+    let mut telemetry_out: Option<String> = None;
+    let mut window: Option<i64> = None;
+    let mut flags = NonidealFlags::new();
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
+        if flags.consume(arg, &mut it)? {
+            continue;
+        }
         let mut grab = |name: &str| -> Result<&String, String> {
             it.next().ok_or(format!("{name} needs a value"))
         };
@@ -359,104 +516,35 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("--gantt: {e}"))?,
                 )
             }
-            "--sporadic" => {
-                sporadic = Some(
-                    grab("--sporadic")?
-                        .parse()
-                        .map_err(|e| format!("--sporadic: {e}"))?,
-                )
-            }
-            "--seed" => {
-                seed = grab("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
             "--no-rule2" => rule2 = false,
             "--trace-csv" => trace_csv = Some(grab("--trace-csv")?.clone()),
-            "--latency" => {
-                latency = grab("--latency")?
-                    .parse()
-                    .map_err(|e| format!("--latency: {e}"))?
-            }
-            "--drop" => {
-                drop = grab("--drop")?
-                    .parse()
-                    .map_err(|e| format!("--drop: {e}"))?
-            }
-            "--transport" => transport = true,
-            "--timeout" => {
-                timeout = Some(
-                    grab("--timeout")?
+            "--telemetry" => telemetry_out = Some(grab("--telemetry")?.clone()),
+            "--window" => {
+                window = Some(
+                    grab("--window")?
                         .parse()
-                        .map_err(|e| format!("--timeout: {e}"))?,
+                        .map_err(|e| format!("--window: {e}"))?,
                 )
             }
-            "--drift" => {
-                drift_ppm = grab("--drift")?
-                    .parse()
-                    .map_err(|e| format!("--drift: {e}"))?
-            }
-            "--clock-offset" => {
-                clock_offset = grab("--clock-offset")?
-                    .parse()
-                    .map_err(|e| format!("--clock-offset: {e}"))?
-            }
-            "--sync-period" => {
-                sync_period = Some(
-                    grab("--sync-period")?
-                        .parse()
-                        .map_err(|e| format!("--sync-period: {e}"))?,
-                )
-            }
-            "--sync-policy" => sync_policy = parse_sync_policy(grab("--sync-policy")?)?,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     let protocol = protocol.ok_or("simulate requires --protocol")?;
-    if drop > 0.0 && !transport {
-        return Err("--drop loses signals for good without --transport".to_string());
-    }
-    let mut cfg = SimConfig::new(protocol).with_instances(instances);
-    if latency > 0 || drop > 0.0 {
-        cfg = cfg.with_channel(
-            ChannelModel::constant(Dur::from_ticks(latency))
-                .with_endpoint_drops(drop)
-                .with_seed(seed ^ 0xCAFE),
-        );
-    }
-    if transport {
-        // Default RTO: four times the one-way latency, floored so a
-        // zero-latency channel still gets a meaningful timer.
-        let rto = timeout.unwrap_or_else(|| (4 * latency).max(8));
-        cfg =
-            cfg.with_transport(TransportConfig::new(Dur::from_ticks(rto)).with_seed(seed ^ 0xF00D));
-    }
-    if drift_ppm > 0 || clock_offset > 0 {
-        cfg = cfg.with_clocks(rtsync::sim::ClockModel::Random {
-            max_offset: Dur::from_ticks(clock_offset),
-            max_drift_ppm: drift_ppm,
-            seed: seed ^ 0xC10C,
-        });
-    }
-    if let Some(period) = sync_period {
-        if period <= 0 {
-            return Err("--sync-period must be positive".to_string());
-        }
-        cfg = cfg.with_sync(SyncConfig::new(Dur::from_ticks(period)).with_policy(sync_policy));
-    }
+    let mut cfg = flags.apply(SimConfig::new(protocol).with_instances(instances))?;
     if gantt.is_some() || trace_csv.is_some() {
         cfg = cfg.with_trace();
-    }
-    if let Some(max_extra) = sporadic {
-        cfg = cfg.with_source(SourceModel::Sporadic {
-            max_extra: Dur::from_ticks(max_extra),
-            seed,
-        });
     }
     if !rule2 {
         cfg = cfg.without_rg_rule2();
     }
-    let outcome = simulate(&set, &cfg).map_err(|e| e.to_string())?;
+    let (outcome, telemetry) = match &telemetry_out {
+        None => (simulate(&set, &cfg).map_err(|e| e.to_string())?, None),
+        Some(_) => {
+            let mut tel = TelemetryObserver::new(telemetry_width(window, &set, &cfg)?);
+            let outcome = simulate_observed(&set, &cfg, &mut tel).map_err(|e| e.to_string())?;
+            (outcome, Some(tel.into_report()))
+        }
+    };
 
     println!(
         "{} protocol: {} events, ended at t={}{}",
@@ -545,7 +633,170 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }
+    if let (Some(path), Some(report)) = (&telemetry_out, &telemetry) {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {path} ({} windows x {} ticks)",
+            report.windows.len(),
+            report.width.ticks()
+        );
+    }
     Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let first = args.first().ok_or_else(usage)?;
+    if first == "--from" {
+        let csv_path = args.get(1).ok_or("--from needs a CSV file")?;
+        let mut out = "telemetry.html".to_string();
+        let mut it = args[2..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => out = it.next().ok_or("--out needs a value")?.clone(),
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        let text =
+            std::fs::read_to_string(csv_path).map_err(|e| format!("reading {csv_path}: {e}"))?;
+        let series = series_from_csv(&text)?;
+        let html = render_dashboard(
+            "rtsync telemetry",
+            &format!("replayed from {csv_path}"),
+            &series,
+        );
+        std::fs::write(&out, html).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "wrote {out} ({} series replayed from {csv_path})",
+            series.len()
+        );
+        return Ok(());
+    }
+    let (paper, rest): (Option<&String>, &[String]) = if first == "--paper" {
+        (
+            Some(args.get(1).ok_or("--paper needs N:U (e.g. 4:0.25)")?),
+            &args[2..],
+        )
+    } else {
+        (None, &args[1..])
+    };
+    let mut protocol = None;
+    let mut instances = 200u64;
+    let mut window: Option<i64> = None;
+    let mut out = "telemetry.html".to_string();
+    let mut csv_out: Option<String> = None;
+    let mut jsonl_out: Option<String> = None;
+    let mut flags = NonidealFlags::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if flags.consume(arg, &mut it)? {
+            continue;
+        }
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--protocol" => protocol = Some(parse_protocol(grab("--protocol")?)?),
+            "--instances" => {
+                instances = grab("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
+            }
+            "--window" => {
+                window = Some(
+                    grab("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
+            "--out" => out = grab("--out")?.clone(),
+            "--csv" => csv_out = Some(grab("--csv")?.clone()),
+            "--jsonl" => jsonl_out = Some(grab("--jsonl")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let protocol = protocol.ok_or("report requires --protocol")?;
+    let set = match paper {
+        Some(spec) => {
+            // A §5.1 synthetic system: N subtasks per task at per-processor
+            // utilization U, random phases, seeded by --seed.
+            let (n, u) = spec
+                .split_once(':')
+                .ok_or("--paper needs N:U (e.g. 4:0.25)")?;
+            let n: usize = n.parse().map_err(|e| format!("--paper: {e}"))?;
+            let u: f64 = u.parse().map_err(|e| format!("--paper: {e}"))?;
+            if n == 0 || !(u > 0.0 && u <= 1.0) {
+                return Err("--paper needs N >= 1 and U in (0, 1]".to_string());
+            }
+            rtsync::workload::generate_seeded(
+                &rtsync::workload::WorkloadSpec::paper(n, u).with_random_phases(),
+                flags.seed,
+            )
+            .map_err(|e| e.to_string())?
+        }
+        None => load(first)?,
+    };
+    let cfg = flags.apply(SimConfig::new(protocol).with_instances(instances))?;
+    let mut tel = TelemetryObserver::new(telemetry_width(window, &set, &cfg)?);
+    let outcome = simulate_observed(&set, &cfg, &mut tel).map_err(|e| e.to_string())?;
+    let report = tel.into_report();
+    if let Some(path) = &csv_out {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = &jsonl_out {
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    std::fs::write(&out, report.to_html()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} windows x {} ticks, {} series ({} events, ended at t={})",
+        report.windows.len(),
+        report.width.ticks(),
+        report.series().len(),
+        outcome.events,
+        outcome.end_time.ticks()
+    );
+    Ok(())
+}
+
+/// Rebuilds dashboard series from a telemetry CSV written by
+/// `--telemetry`/`--csv`: every column except the window bookkeeping
+/// becomes one series; empty cells (gauges with nothing to report yet)
+/// carry the previous value forward.
+fn series_from_csv(text: &str) -> Result<Vec<(String, Vec<f64>)>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty telemetry CSV")?;
+    let cols: Vec<&str> = header.split(',').collect();
+    let keep: Vec<usize> = cols
+        .iter()
+        .enumerate()
+        .filter(|(_, name)| !matches!(**name, "window" | "start" | "end"))
+        .map(|(i, _)| i)
+        .collect();
+    if keep.is_empty() {
+        return Err("no data columns in the CSV header".to_string());
+    }
+    let mut series: Vec<(String, Vec<f64>)> = keep
+        .iter()
+        .map(|&i| (cols[i].to_string(), Vec::new()))
+        .collect();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        for (slot, &col) in keep.iter().enumerate() {
+            let values = &mut series[slot].1;
+            let value = match cells.get(col).copied().unwrap_or("") {
+                "" => values.last().copied().unwrap_or(0.0),
+                cell => cell
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: column `{}`: {e}", lineno + 2, cols[col]))?,
+            };
+            values.push(value);
+        }
+    }
+    Ok(series)
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
@@ -555,6 +806,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut instances = 100u64;
     let mut format = "perfetto".to_string();
     let mut counters = false;
+    let mut telemetry = false;
+    let mut window: Option<i64> = None;
     let mut out: Option<String> = None;
     let mut sporadic: Option<i64> = None;
     let mut seed = 0u64;
@@ -572,6 +825,14 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             }
             "--format" => format = grab("--format")?.clone(),
             "--counters" => counters = true,
+            "--telemetry" => telemetry = true,
+            "--window" => {
+                window = Some(
+                    grab("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
             "--out" => out = Some(grab("--out")?.clone()),
             "--sporadic" => {
                 sporadic = Some(
@@ -594,6 +855,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "unknown format `{format}` (perfetto, jsonl, gantt)"
         ));
     }
+    if telemetry && format != "perfetto" {
+        return Err("--telemetry adds counter tracks; it requires --format perfetto".to_string());
+    }
     let mut cfg = SimConfig::new(protocol).with_instances(instances);
     if format == "gantt" {
         cfg = cfg.with_trace();
@@ -604,19 +868,31 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             seed,
         });
     }
-    // The event log and the counters are both observers; a Tee feeds the
-    // trace and the counter report from the same run.
+    // The event log, the counters, and the telemetry recorder are all
+    // observers; Tees feed every requested report from the same run.
     let mut log = EventLogObserver::default();
     let mut tally = ProtocolCounters::default();
-    let outcome = if counters {
-        simulate_observed(&set, &cfg, &mut Tee(&mut tally, &mut log))
+    let mut tel: Option<TelemetryObserver> = if telemetry {
+        Some(TelemetryObserver::new(telemetry_width(window, &set, &cfg)?))
     } else {
-        simulate_observed(&set, &cfg, &mut log)
+        None
+    };
+    let outcome = match (&mut tel, counters) {
+        (None, false) => simulate_observed(&set, &cfg, &mut log),
+        (None, true) => simulate_observed(&set, &cfg, &mut Tee(&mut tally, &mut log)),
+        (Some(t), false) => simulate_observed(&set, &cfg, &mut Tee(&mut log, t)),
+        (Some(t), true) => {
+            let mut inner = Tee(&mut log, t);
+            simulate_observed(&set, &cfg, &mut Tee(&mut tally, &mut inner))
+        }
     }
     .map_err(|e| e.to_string())?;
 
     let rendered = match format.as_str() {
-        "perfetto" => log.to_chrome_trace(),
+        "perfetto" => match tel {
+            Some(t) => log.to_chrome_trace_with(&t.into_report().chrome_counter_events()),
+            None => log.to_chrome_trace(),
+        },
         "jsonl" => log.to_jsonl(),
         _ => outcome
             .trace
@@ -645,7 +921,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
     use rtsync::experiments::chaos::{
-        render, repro_bundle, run_chaos, runs_csv, to_csv, ChaosConfig,
+        render, repro_bundle, run_chaos, runs_csv, to_csv, worst_case_telemetry, ChaosConfig,
     };
     let mut runs: Option<usize> = None;
     let mut smoke = false;
@@ -653,6 +929,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
+    let mut window: Option<i64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| -> Result<&String, String> {
@@ -683,8 +961,19 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 )
             }
             "--out" => out_dir = Some(grab("--out")?.clone()),
+            "--telemetry" => telemetry_out = Some(grab("--telemetry")?.clone()),
+            "--window" => {
+                window = Some(
+                    grab("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if window.is_some_and(|w| w <= 0) {
+        return Err("--window must be positive".to_string());
     }
     let mut cfg = if smoke {
         ChaosConfig::smoke(runs.unwrap_or(25))
@@ -731,6 +1020,29 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         eprintln!("wrote {summary} and {per_run}");
     }
 
+    if let Some(path) = &telemetry_out {
+        match worst_case_telemetry(&cfg, &outcome, window.map(Dur::from_ticks)) {
+            Some((v, report)) => {
+                std::fs::write(path, report.to_csv())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!(
+                    "wrote {path}: worst run replayed under telemetry ({} windows x {} ticks; \
+                     {} {:?}, system seed {:#x}, fault seed {:#x}: {} missed, {} lost, {} crashes)",
+                    report.windows.len(),
+                    report.width.ticks(),
+                    v.protocol.tag(),
+                    v.policy,
+                    v.system_seed,
+                    v.fault_seed,
+                    v.missed,
+                    v.lost,
+                    v.crashes
+                );
+            }
+            None => eprintln!("no chaos runs to capture telemetry from"),
+        }
+    }
+
     if !outcome.is_clean() {
         let dir = out_dir.unwrap_or_else(|| ".".to_string());
         std::fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
@@ -756,18 +1068,51 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    use rtsync::bench::run_suite;
+    use rtsync::bench::compare::{compare, parse_baseline, Tolerances};
+    use rtsync::bench::run_suite_opts;
+    use rtsync::sim::EngineProfile;
     let mut json = false;
     let mut smoke = false;
+    let mut profile = false;
     let mut out: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut tol_specs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--smoke" => smoke = true,
+            "--profile" => profile = true,
             "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--compare" => {
+                baseline_path = Some(it.next().ok_or("--compare needs a value")?.clone())
+            }
+            "--tolerance" => tol_specs.push(it.next().ok_or("--tolerance needs a value")?.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    // A global fraction replaces the default; `scenario=FRAC` overrides
+    // it per scenario. Apply globals first so order on the command line
+    // doesn't matter.
+    let parse_frac = |spec: &str, text: &str| -> Result<f64, String> {
+        let frac: f64 = text
+            .parse()
+            .map_err(|e| format!("--tolerance {spec}: {e}"))?;
+        if !frac.is_finite() || frac < 0.0 {
+            return Err(format!("--tolerance {spec}: must be a fraction >= 0"));
+        }
+        Ok(frac)
+    };
+    let mut tol = Tolerances::default();
+    for spec in tol_specs.iter().filter(|s| !s.contains('=')) {
+        tol = Tolerances::uniform(parse_frac(spec, spec)?);
+    }
+    for spec in tol_specs.iter().filter(|s| s.contains('=')) {
+        let (scenario, frac) = spec.split_once('=').expect("filtered on '='");
+        tol = tol.with_scenario(scenario, parse_frac(spec, frac)?);
+    }
+    if !tol_specs.is_empty() && baseline_path.is_none() {
+        return Err("--tolerance only means something with --compare".to_string());
     }
 
     eprintln!(
@@ -778,7 +1123,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             ""
         }
     );
-    let report = run_suite(smoke);
+    let report = run_suite_opts(smoke, profile);
 
     if json {
         let path = out.unwrap_or_else(|| "BENCH_sim.json".to_string());
@@ -786,14 +1131,49 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         eprintln!("wrote {path} ({} cells)", report.results.len());
     } else {
         println!(
-            "{:<6}{:<18}{:>14}{:>12}{:>14}",
-            "proto", "scenario", "events/iter", "iters", "events/sec"
+            "{:<6}{:<18}{:>14}{:>12}{:>14}{:>14}",
+            "proto", "scenario", "events/iter", "iters", "events/sec", "best ev/sec"
         );
         for r in &report.results {
             println!(
-                "{:<6}{:<18}{:>14}{:>12}{:>14.0}",
-                r.protocol, r.scenario, r.events_per_iter, r.iterations, r.events_per_sec
+                "{:<6}{:<18}{:>14}{:>12}{:>14.0}{:>14.0}",
+                r.protocol,
+                r.scenario,
+                r.events_per_iter,
+                r.iterations,
+                r.events_per_sec,
+                r.best_events_per_sec
             );
+        }
+    }
+    if profile {
+        // One profiled run per cell; merge them per scenario so the
+        // table shows where each workload shape spends its time.
+        let mut merged: Vec<(String, EngineProfile)> = Vec::new();
+        for r in &report.results {
+            if let Some(p) = &r.profile {
+                match merged.iter_mut().find(|(s, _)| *s == r.scenario) {
+                    Some((_, acc)) => acc.merge(p),
+                    None => merged.push((r.scenario.to_string(), p.clone())),
+                }
+            }
+        }
+        println!("\nengine self-profile (one extra profiled run per cell, merged per scenario):");
+        for (scenario, prof) in &merged {
+            println!("[{scenario}]");
+            print!("{}", prof.render_table());
+        }
+    }
+    if let Some(path) = &baseline_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline = parse_baseline(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let cmp = compare(&report, &baseline, &tol);
+        print!("{}", cmp.render());
+        if !cmp.is_clean() {
+            return Err(format!(
+                "{} cell(s) regressed past tolerance vs {path}",
+                cmp.regressions().count()
+            ));
         }
     }
     Ok(())
