@@ -9,11 +9,13 @@
 //!   throughput baseline (`BENCH_sim.json`) and by the CI smoke job.
 //!
 //! The suite measures end-to-end simulator throughput (events per second
-//! of wall time) for every protocol under four escalating condition
+//! of wall time) for every protocol under five escalating condition
 //! tiers: `ideal` (the paper's assumptions), `nonideal` (drifting clocks
 //! and a lossy-free latency channel), `sync` (nonideal plus the periodic
-//! clock-synchronization exchanges), and `faults_transport` (crash/
-//! recovery plus the acked endpoint transport with failure detection).
+//! clock-synchronization exchanges), `partition` (sync plus a seeded
+//! random partition schedule severing and replaying traffic), and
+//! `faults_transport` (crash/recovery plus the acked endpoint transport
+//! with failure detection).
 //! Numbers are machine-dependent: compare trajectories on one machine,
 //! not absolute values across machines — which is exactly what the
 //! [`compare`] sentry automates: per-iteration timings make a
@@ -39,7 +41,9 @@ use rtsync_core::task::TaskSet;
 use rtsync_core::time::Dur;
 use rtsync_sim::engine::{simulate, simulate_profiled, SimConfig};
 use rtsync_sim::nonideal::{ChannelModel, ClockModel};
-use rtsync_sim::{DetectorConfig, EngineProfile, FaultConfig, SyncConfig, TransportConfig};
+use rtsync_sim::{
+    DetectorConfig, EngineProfile, FaultConfig, PartitionSchedule, SyncConfig, TransportConfig,
+};
 use rtsync_workload::{generate, WorkloadSpec};
 
 /// Workload seed shared with the criterion benches, so both harnesses
@@ -228,8 +232,8 @@ impl BenchReport {
     }
 }
 
-/// The four condition tiers, in escalating order.
-const SCENARIOS: [&str; 4] = ["ideal", "nonideal", "sync", "faults_transport"];
+/// The five condition tiers, in escalating order.
+const SCENARIOS: [&str; 5] = ["ideal", "nonideal", "sync", "partition", "faults_transport"];
 
 /// Builds the `SimConfig` of one cell. Seeds are fixed so every
 /// invocation measures the identical event sequence.
@@ -259,6 +263,27 @@ fn cell_config(protocol: Protocol, scenario: &str, instances: u64) -> SimConfig 
                 ChannelModel::uniform(Dur::from_ticks(50), Dur::from_ticks(400)).with_seed(22),
             )
             .with_sync(SyncConfig::new(Dur::from_ticks(20_000)))
+        }
+        "partition" => {
+            // The sync tier plus a seeded random partition schedule:
+            // the price of the partition gate on every frame send, the
+            // parked-signal bookkeeping, and the heal-time replays.
+            base.with_clocks(ClockModel::Random {
+                max_offset: Dur::from_ticks(500),
+                max_drift_ppm: 200,
+                seed: 21,
+            })
+            .with_channel(
+                ChannelModel::uniform(Dur::from_ticks(50), Dur::from_ticks(400)).with_seed(22),
+            )
+            .with_sync(SyncConfig::new(Dur::from_ticks(20_000)))
+            .with_faults(FaultConfig::explicit(Vec::new()).with_partitions(
+                PartitionSchedule::Random {
+                    mean_connected: Dur::from_ticks(2_000_000),
+                    heal_delay: Dur::from_ticks(500_000),
+                    seed: 44,
+                },
+            ))
         }
         "faults_transport" => {
             // Mirrors the chaos harness's transport-mode configuration:

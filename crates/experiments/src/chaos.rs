@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::seeding::job_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtsync_core::protocol::Protocol;
@@ -753,16 +754,6 @@ fn fmt_f64(v: f64) -> String {
     } else {
         String::from("NaN")
     }
-}
-
-/// Deterministic per-job seed (SplitMix64 finalizer over mixed inputs).
-fn job_seed(master: u64, cell: usize, index: usize) -> u64 {
-    let mut x = master
-        ^ (cell as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        ^ (index as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adversary;
 pub mod chaos;
 pub mod compare;
 pub mod convergence;
@@ -49,12 +50,14 @@ pub mod exact;
 pub mod figures;
 pub mod grid;
 pub mod robustness;
+pub mod seeding;
 pub mod study;
 pub mod sync;
 pub mod tightness;
 pub mod traces;
 pub mod transport;
 
+pub use adversary::{run_adversary, AdversaryCell, AdversaryConfig, AdversaryOutcome};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosOutcome, ReproBundle};
 pub use figures::{figure_grid, Figure};
 pub use grid::Grid;

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::seeding::system_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtsync_core::analysis::sa_ds::analyze_ds;
@@ -286,18 +287,6 @@ pub fn ci90_half_width(vals: &[f64]) -> f64 {
     1.645 * (var / vals.len() as f64).sqrt()
 }
 
-/// Deterministic per-system seed from the master seed and configuration.
-fn system_seed(master: u64, n: usize, u: f64, index: usize) -> u64 {
-    let mut x = master
-        ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        ^ ((u * 100.0).round() as u64).wrapping_mul(0xd1b5_4a32_d192_ed03)
-        ^ (index as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
-    // SplitMix64 finalizer.
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,15 +367,6 @@ mod tests {
         assert_eq!(a.bound_ratio_mean, b.bound_ratio_mean);
         assert_eq!(a.pm_ds_mean, b.pm_ds_mean);
         assert_eq!(a.rg_ds_mean, b.rg_ds_mean);
-    }
-
-    #[test]
-    fn system_seed_varies_in_all_inputs() {
-        let base = system_seed(1, 2, 0.5, 0);
-        assert_ne!(base, system_seed(2, 2, 0.5, 0));
-        assert_ne!(base, system_seed(1, 3, 0.5, 0));
-        assert_ne!(base, system_seed(1, 2, 0.6, 0));
-        assert_ne!(base, system_seed(1, 2, 0.5, 1));
     }
 
     #[test]

@@ -100,6 +100,17 @@ pub enum ScheduleDefect {
         /// The outage it landed in.
         window: CrashWindow,
     },
+    /// A successor was released across an open partition cut although its
+    /// predecessor completed after the cut opened — the release signal
+    /// could not have crossed (see [`validate_partition_quiescence`]).
+    CrossPartitionRelease {
+        /// The leaked successor.
+        job: JobId,
+        /// Its release time (inside the partition window).
+        released: Time,
+        /// The predecessor's completion (also inside the window).
+        predecessor_completed: Time,
+    },
 }
 
 impl fmt::Display for ScheduleDefect {
@@ -162,6 +173,16 @@ impl fmt::Display for ScheduleDefect {
                 at.ticks(),
                 window.at.ticks(),
                 window.recovers_at().ticks()
+            ),
+            ScheduleDefect::CrossPartitionRelease {
+                job,
+                released,
+                predecessor_completed,
+            } => write!(
+                f,
+                "{job} released at {} across an open cut (predecessor completed at {})",
+                released.ticks(),
+                predecessor_completed.ticks()
             ),
         }
     }
@@ -356,6 +377,47 @@ pub fn validate_fault_quiescence(
         let p = set.subtask(job.subtask()).processor().index();
         if let Some(window) = in_outage(p, at) {
             defects.push(ScheduleDefect::ActivityWhileDown { job, at, window });
+        }
+    }
+    defects
+}
+
+/// Validates partition quiescence from the artifact alone: while a
+/// partition window is open, no successor whose predecessor lives across
+/// the cut may be released on the strength of a completion that happened
+/// *after* the cut opened — the signal carrying it could not have
+/// crossed. This is the offline counterpart of the engine's `apply_signal`
+/// partition gate and the invariant observer's leak check.
+///
+/// Meaningful for the signal-driven protocols (DS, RG, MPM). PM releases
+/// by clock alone and legitimately "leaks" across any cut — skip it.
+pub fn validate_partition_quiescence(
+    set: &TaskSet,
+    trace: &Trace,
+    windows: &[crate::faults::PartitionWindow],
+) -> Vec<ScheduleDefect> {
+    let mut defects = Vec::new();
+    let completions: HashMap<JobId, Time> = trace.completions().iter().copied().collect();
+    for &(job, rel) in trace.releases() {
+        let Some(pred) = job.predecessor() else {
+            continue;
+        };
+        let Some(w) = windows.iter().find(|w| w.at <= rel && rel < w.heals_at()) else {
+            continue;
+        };
+        let from = set.subtask(pred.subtask()).processor().index();
+        let to = set.subtask(job.subtask()).processor().index();
+        if w.island.contains(&from) == w.island.contains(&to) {
+            continue; // same side — the signal never met the cut
+        }
+        if let Some(&c) = completions.get(&pred) {
+            if w.at <= c && c <= rel {
+                defects.push(ScheduleDefect::CrossPartitionRelease {
+                    job,
+                    released: rel,
+                    predecessor_completed: c,
+                });
+            }
         }
     }
     defects
@@ -582,6 +644,67 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_engine_schedules_show_no_cross_cut_release() {
+        use crate::faults::{FaultConfig, PartitionSchedule, PartitionWindow};
+        let set = example2();
+        let windows = vec![PartitionWindow {
+            at: t(8),
+            heal_delay: Dur::from_ticks(30),
+            island: vec![0],
+        }];
+        for protocol in [
+            Protocol::DirectSync,
+            Protocol::ReleaseGuard,
+            Protocol::ModifiedPhaseModification,
+        ] {
+            let out = simulate(
+                &set,
+                &SimConfig::new(protocol)
+                    .with_instances(15)
+                    .with_trace()
+                    .with_faults(
+                        FaultConfig::explicit(vec![Vec::new(), Vec::new()])
+                            .with_partitions(PartitionSchedule::Explicit(windows.clone())),
+                    ),
+            )
+            .unwrap();
+            let defects =
+                validate_partition_quiescence(&set, out.trace.as_ref().unwrap(), &windows);
+            assert!(defects.is_empty(), "{protocol:?}: {defects:?}");
+        }
+    }
+
+    #[test]
+    fn detects_cross_partition_release() {
+        use crate::faults::PartitionWindow;
+        let set = example2();
+        let windows = vec![PartitionWindow {
+            at: t(8),
+            heal_delay: Dur::from_ticks(30),
+            island: vec![0],
+        }];
+        // T1.0 (P0) completes at 10, inside the cut; T1.1 (P1) released at
+        // 12 — the signal could not have crossed.
+        let mut trace = Trace::new(2);
+        trace.push_release(job(1, 0, 0), t(0));
+        trace.push_completion(job(1, 0, 0), t(10));
+        trace.push_release(job(1, 1, 0), t(12));
+        let defects = validate_partition_quiescence(&set, &trace, &windows);
+        assert_eq!(defects.len(), 1, "{defects:?}");
+        assert!(matches!(
+            defects[0],
+            ScheduleDefect::CrossPartitionRelease { .. }
+        ));
+        // A completion before the cut opened is legitimate: the signal was
+        // already in flight (or applied) when the partition started.
+        let mut trace = Trace::new(2);
+        trace.push_release(job(1, 0, 0), t(0));
+        trace.push_completion(job(1, 0, 0), t(5));
+        trace.push_release(job(1, 1, 0), t(12));
+        assert!(validate_partition_quiescence(&set, &trace, &windows).is_empty());
+    }
+
+    #[test]
     fn defect_displays_are_informative() {
         let seg = Segment {
             processor: ProcessorId::new(0),
@@ -625,6 +748,11 @@ mod tests {
                     at: t(5),
                     restart_delay: Dur::from_ticks(10),
                 },
+            },
+            ScheduleDefect::CrossPartitionRelease {
+                job: job(1, 1, 0),
+                released: t(12),
+                predecessor_completed: t(10),
             },
         ];
         for d in samples {

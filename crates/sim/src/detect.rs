@@ -139,6 +139,11 @@ pub struct DetectStats {
     pub deads: u64,
     /// Dead transitions where the peer was actually up.
     pub false_deads: u64,
+    /// False suspects charged to an open partition: the peer was up but
+    /// unreachable across the cut when the verdict landed.
+    pub partition_false_suspects: u64,
+    /// False deads charged to an open partition.
+    pub partition_false_deads: u64,
     /// Suspect/Dead → Alive transitions (a heartbeat got through again).
     pub revivals: u64,
     /// Successor instances released from local information only.

@@ -51,7 +51,7 @@ use crate::perf::{EngineProfile, NoopProfiler, PerfScope, Profiler, WallProfiler
 use crate::priority_profile::PriorityProfile;
 use crate::processor::{Milestone, Processor, Resched};
 use crate::source::SourceModel;
-use crate::sync::{SyncConfig, SyncState, SyncStats};
+use crate::sync::{SyncConfig, SyncState, SyncStats, SYNC_RETRY_BUDGET};
 use crate::trace::Trace;
 use crate::transport::{TransportConfig, TransportState, TransportStats};
 
@@ -509,7 +509,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         // The sync layer knows each oscillator's rated drift (a spec
         // sheet bound every real node has), which sizes its NTP-style
         // drift-tolerance term; the actual offsets stay hidden from it.
-        let sync = cfg.sync.map(|sc| {
+        let sync = cfg.sync.clone().map(|sc| {
             let state = SyncState::new(sc, set.num_processors());
             match &clocks {
                 Some(cs) => state.with_drift_ppm(cs.iter().map(|c| c.drift_ppm)),
@@ -622,6 +622,13 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                     fault_events.push((w.recovers_at(), EventKind::Recover { proc }));
                 }
             }
+            // Partition windows: the cut opens and heals with the same
+            // liveness-prologue ranking as crashes, so a cut at instant T
+            // severs every same-instant frame.
+            for (i, w) in fs.partition_windows.iter().enumerate() {
+                fault_events.push((w.at, EventKind::PartitionStart { idx: i as u32 }));
+                fault_events.push((w.heals_at(), EventKind::PartitionHeal { idx: i as u32 }));
+            }
         }
         for (time, kind) in fault_events {
             self.queue.push(time, kind);
@@ -694,6 +701,8 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             match event.kind {
                 EventKind::Crash { proc } => self.on_crash(proc),
                 EventKind::Recover { proc } => self.on_recover(proc),
+                EventKind::PartitionStart { idx } => self.on_partition_start(idx),
+                EventKind::PartitionHeal { idx } => self.on_partition_heal(idx),
                 EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
                 EventKind::MpmTimer { job } => self.on_mpm_timer(job),
                 EventKind::SignalSend { job } => self.on_signal_send(job),
@@ -722,9 +731,20 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 }
                 EventKind::SyncRound { proc } => self.on_sync_round(proc),
                 EventKind::SyncRequest { from, to, t1 } => self.on_sync_request(from, to, t1),
-                EventKind::SyncResponse { to, t1, t2, disp } => {
-                    self.on_sync_response(to, t1, t2, disp)
-                }
+                EventKind::SyncResponse {
+                    from,
+                    to,
+                    t1,
+                    t2,
+                    disp,
+                } => self.on_sync_response(from, to, t1, t2, disp),
+                EventKind::SyncRetry {
+                    from,
+                    to,
+                    t1,
+                    respond,
+                    attempt,
+                } => self.on_sync_retry(from, to, t1, respond, attempt),
             }
             // Dispatch decisions are made once per *instant*, after every
             // same-instant event has been absorbed: simultaneous releases
@@ -927,6 +947,23 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// A successor-release signal has arrived at its processor (directly
     /// or via the channel): hand it to the protocol.
     fn apply_signal(&mut self, succ_job: JobId) {
+        // Partition gate: a cross-cut signal is parked until the heal.
+        // This sits *after* the channel's in-order cursor (the frame did
+        // traverse the wire) so later instances don't stall forever behind
+        // a severed one — mirroring the receiver-down path below.
+        if let Some(fs) = &mut self.faults {
+            if fs.partitioned {
+                if let Some(pred) = succ_job.predecessor() {
+                    let from = self.set.subtask(pred.subtask()).processor().index();
+                    let to = self.set.subtask(succ_job.subtask()).processor().index();
+                    if fs.island[from] != fs.island[to] {
+                        fs.stats.severed_signals += 1;
+                        fs.partition_backlog.push(succ_job);
+                        return;
+                    }
+                }
+            }
+        }
         // Degradation gate: a late real signal for an instance the
         // controller already force-released carries nothing new — its
         // payload is suppressed (and logged) instead of double-releasing.
@@ -1025,9 +1062,20 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 time: self.now,
             });
         }
+        // Channel-routed signals always cross processors: bias the hop by
+        // the link's directional extra delay when asymmetry is modeled.
+        let (src, dst) = match job.predecessor() {
+            Some(pred) => (
+                self.set.subtask(pred.subtask()).processor().index(),
+                self.set.subtask(job.subtask()).processor().index(),
+            ),
+            None => (0, 0),
+        };
         for &delay in plan.deliveries() {
-            self.queue
-                .push(self.now + delay, EventKind::SignalDeliver { job });
+            self.queue.push(
+                self.now + delay + self.link_extra(src, dst),
+                EventKind::SignalDeliver { job },
+            );
         }
     }
 
@@ -1068,16 +1116,33 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         };
         self.obs
             .on_transport_send(self.now, job, seq, resend.is_some());
-        // The channel prices the wire per copy; in endpoint mode a drop
-        // delivers nothing and the retransmission timer covers the loss.
-        let plan = self
-            .channel
-            .as_mut()
-            .expect("transport implies a channel")
-            .send();
-        for &delay in plan.deliveries() {
-            self.queue
-                .push(self.now + delay, EventKind::TransportDeliver { job, seq });
+        let succ_proc = self.set.subtask(job.subtask()).processor().index();
+        if self.cut(from, succ_proc) {
+            // Severed at the cut: the frame never reaches the wire. The
+            // retransmission timer below still arms, so attempts burn
+            // through the outage (honest backoff) and a bounded budget can
+            // abandon the chain — partitions are indistinguishable from
+            // loss at the endpoints.
+            self.faults
+                .as_mut()
+                .expect("a cut implies faults")
+                .stats
+                .severed_transport += 1;
+        } else {
+            // The channel prices the wire per copy; in endpoint mode a
+            // drop delivers nothing and the retransmission timer covers
+            // the loss.
+            let plan = self
+                .channel
+                .as_mut()
+                .expect("transport implies a channel")
+                .send();
+            for &delay in plan.deliveries() {
+                self.queue.push(
+                    self.now + delay + self.link_extra(from, succ_proc),
+                    EventKind::TransportDeliver { job, seq },
+                );
+            }
         }
         let rto = self
             .transport
@@ -1095,6 +1160,19 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// oracle replay of the legacy fault path.
     fn on_transport_deliver(&mut self, job: JobId, seq: u64) {
         let succ_proc = self.set.subtask(job.subtask()).processor().index();
+        // A partition opening while the frame was in flight severs it at
+        // the delivery edge: no ack, so the sender's timer keeps burning.
+        if let Some(pred) = job.predecessor() {
+            let from = self.set.subtask(pred.subtask()).processor().index();
+            if self.cut(from, succ_proc) {
+                self.faults
+                    .as_mut()
+                    .expect("a cut implies faults")
+                    .stats
+                    .severed_transport += 1;
+                return;
+            }
+        }
         if self.faults.as_ref().is_some_and(|fs| fs.down[succ_proc]) {
             self.transport
                 .as_mut()
@@ -1144,6 +1222,18 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             .copied();
         match entry {
             Some(e) => {
+                // The ack travels receiver → sender: sever it if the cut
+                // opened while it was in flight (the window stays open and
+                // the frame will be retransmitted after the heal).
+                let succ_proc = self.set.subtask(e.job.subtask()).processor().index();
+                if self.cut(succ_proc, e.from) {
+                    self.faults
+                        .as_mut()
+                        .expect("a cut implies faults")
+                        .stats
+                        .severed_transport += 1;
+                    return;
+                }
                 let fi = self.flat.of(e.job.subtask());
                 let closed = self
                     .transport
@@ -1253,6 +1343,16 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 if q == p {
                     continue;
                 }
+                // A broadcast to the far side of an open cut dies at the
+                // boundary — the peer's detector starves honestly.
+                if self.cut(p, q) {
+                    self.faults
+                        .as_mut()
+                        .expect("a cut implies faults")
+                        .stats
+                        .severed_heartbeats += 1;
+                    continue;
+                }
                 self.detect
                     .as_mut()
                     .expect("detector attached")
@@ -1279,6 +1379,16 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// pre-crash beliefs at recovery.
     fn on_heartbeat_deliver(&mut self, from: ProcessorId, to: ProcessorId) {
         if self.faults.as_ref().is_some_and(|fs| fs.down[to.index()]) {
+            return;
+        }
+        // In-flight heartbeats caught by a cut opening mid-hop die here,
+        // before the observer hears a cross-partition delivery.
+        if self.cut(from.index(), to.index()) {
+            self.faults
+                .as_mut()
+                .expect("a cut implies faults")
+                .stats
+                .severed_heartbeats += 1;
             return;
         }
         self.obs.on_heartbeat(self.now, from.index(), to.index());
@@ -1335,6 +1445,16 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             .advance_suspicion(o, s, actually_down);
         match transition {
             Some(PeerState::Suspect) => {
+                // A suspect verdict on a live peer across an open cut is a
+                // false positive the partition *caused* — count it apart
+                // from plain latency-induced ones.
+                if !actually_down && self.cut(o, s) {
+                    self.detect
+                        .as_mut()
+                        .expect("detector attached")
+                        .stats
+                        .partition_false_suspects += 1;
+                }
                 self.push_degradation(Degradation::PeerSuspect {
                     observer: o,
                     subject: s,
@@ -1356,6 +1476,13 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 );
             }
             Some(PeerState::Dead) => {
+                if !actually_down && self.cut(o, s) {
+                    self.detect
+                        .as_mut()
+                        .expect("detector attached")
+                        .stats
+                        .partition_false_deads += 1;
+                }
                 self.push_degradation(Degradation::PeerDead {
                     observer: o,
                     subject: s,
@@ -1562,6 +1689,9 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         if up {
             self.obs.on_sync_round(self.now, p);
             self.sync.as_mut().expect("sync attached").stats.rounds += 1;
+            // Ground truth *before* the settle steps the clock: the
+            // estimate about to land claims to measure exactly this.
+            let true_off = self.now - self.eff_clock(p).local_of(self.now);
             if let Some((offset, uncertainty, step)) =
                 self.sync.as_mut().expect("sync attached").settle(p)
             {
@@ -1569,6 +1699,17 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 if step != Dur::ZERO {
                     self.obs.on_sync_correction(self.now, p, step);
                 }
+                // Uncertainty honesty: did the advertised interval bracket
+                // the true offset? Recorded per settle; the invariant
+                // observer decides whether a miss is a violation (it is
+                // only promised while liars stay a minority).
+                let hit = (offset.ticks() - true_off.ticks()).abs() <= uncertainty.ticks();
+                self.sync
+                    .as_mut()
+                    .expect("sync attached")
+                    .record_bracket(hit);
+                self.obs
+                    .on_sync_bracket(self.now, p, offset, uncertainty, true_off);
             }
             // Oracle ground-truth error sample, taken *after* the round's
             // correction — this is what the experiments plot against EER.
@@ -1583,11 +1724,16 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             // `to == from` (a processor never syncs with itself).
             let t1 = self.eff_clock(p).local_of(self.now);
             for q in 0..self.set.num_processors() {
-                self.send_sync_frame(EventKind::SyncRequest {
-                    from: proc,
-                    to: ProcessorId::new(q),
-                    t1,
-                });
+                self.send_sync_frame(
+                    p,
+                    q,
+                    EventKind::SyncRequest {
+                        from: proc,
+                        to: ProcessorId::new(q),
+                        t1,
+                    },
+                    0,
+                );
             }
         }
         let next = self.now + period;
@@ -1599,55 +1745,169 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// Sends one sync frame over the channel: a fire-and-forget datagram
     /// with one latency/fault draw per copy. A dropped frame just loses
     /// one sample (the exchange is implicitly acked by its response);
-    /// a duplicated one repeats it — Marzullo tolerates both.
-    fn send_sync_frame(&mut self, kind: EventKind) {
-        self.sync.as_mut().expect("sync attached").stats.frames += 1;
+    /// a duplicated one repeats it — Marzullo tolerates both. In
+    /// sync-over-transport mode a channel drop instead arms a bounded
+    /// retry with the transport's backoff, so rounds survive lossy wires.
+    /// A frame whose endpoints sit on opposite sides of an open partition
+    /// never reaches the wire at all — severed, not dropped, and never
+    /// retried (the cut outlives any backoff; the heal restores rounds).
+    fn send_sync_frame(&mut self, src: usize, dst: usize, kind: EventKind, attempt: u8) {
+        if src == dst {
+            // The self-addressed reference exchange is a local read of
+            // the node's time source, not a network frame: it cannot be
+            // dropped, delayed, severed, or skewed. Guaranteeing the
+            // reference vote in every settle is what lets Marzullo's
+            // anchored tie-break hold the line against minority liars
+            // even when channel loss thins the honest sample set.
+            self.queue.push(self.now, kind);
+            return;
+        }
+        if self.cut(src, dst) {
+            self.sever_sync_frame();
+            return;
+        }
+        {
+            let stats = &mut self.sync.as_mut().expect("sync attached").stats;
+            stats.frames += 1;
+            if attempt > 0 {
+                stats.retransmits += 1;
+            }
+        }
         let plan = self
             .channel
             .as_mut()
             .expect("sync implies a channel")
             .send();
+        if plan.dropped {
+            let sync = self.sync.as_mut().expect("sync attached");
+            sync.stats.frames_lost += 1;
+            if sync.cfg.over_transport && attempt < SYNC_RETRY_BUDGET {
+                // The retry carries the requester/responder pair in
+                // on_sync_request order: `from` asks, `to` answers.
+                let retry = match kind {
+                    EventKind::SyncRequest { from, to, t1 } => EventKind::SyncRetry {
+                        from,
+                        to,
+                        t1,
+                        respond: false,
+                        attempt: attempt + 1,
+                    },
+                    EventKind::SyncResponse { from, to, t1, .. } => EventKind::SyncRetry {
+                        from: to,
+                        to: from,
+                        t1,
+                        respond: true,
+                        attempt: attempt + 1,
+                    },
+                    _ => unreachable!("send_sync_frame only carries sync frames"),
+                };
+                let delay = self.sync_retry_delay(attempt);
+                self.queue.push(self.now + delay, retry);
+            }
+        }
         for &delay in plan.deliveries() {
-            self.queue.push(self.now + delay, kind);
+            self.queue
+                .push(self.now + delay + self.link_extra(src, dst), kind);
         }
     }
 
-    /// A sync request lands on its responder, which stamps its clock and
-    /// answers immediately over the channel. The reference (`to == from`)
-    /// lives outside the fault domain and answers with true time and zero
-    /// dispersion; a crashed peer stays silent and the sample is simply
-    /// lost. A live peer advertises its own error bound against true time
-    /// (its last settled uncertainty plus uncorrected residual) so the
-    /// requester can widen the sample honestly — without this, two
-    /// mutually-consistent peers could out-vote the reference in Marzullo
-    /// and the cluster would converge to itself instead of true time.
-    fn on_sync_request(&mut self, from: ProcessorId, to: ProcessorId, t1: Time) {
+    /// Accounts one sync frame severed at an open partition cut.
+    fn sever_sync_frame(&mut self) {
+        self.sync
+            .as_mut()
+            .expect("sync attached")
+            .stats
+            .frames_severed += 1;
+        self.faults
+            .as_mut()
+            .expect("a cut implies faults")
+            .stats
+            .severed_sync += 1;
+    }
+
+    /// Backoff before retrying a dropped sync frame: the transport's RTO
+    /// schedule when one is attached, else an eighth of the sync period.
+    fn sync_retry_delay(&self, attempt: u8) -> Dur {
+        match &self.transport {
+            Some(t) => t.cfg.rto(attempt as u32),
+            None => {
+                let period = self.sync.as_ref().expect("sync attached").cfg.period;
+                Dur::from_ticks((period.ticks() / 8).max(1))
+            }
+        }
+    }
+
+    /// The responder side of one exchange: stamp the clock (passing it
+    /// through the node's timeserver persona, which may lie) and answer
+    /// over the channel. The reference (`to == from`) lives outside both
+    /// the fault domain and the persona model and always answers with true
+    /// time and zero dispersion; a crashed peer stays silent and the
+    /// sample is simply lost. A live honest peer advertises its own error
+    /// bound against true time (its last settled uncertainty plus
+    /// uncorrected residual) so the requester can widen the sample
+    /// honestly — without this, two mutually-consistent peers could
+    /// out-vote the reference in Marzullo and the cluster would converge
+    /// to itself instead of true time. Liars corrupt exactly this
+    /// advertisement.
+    fn serve_sync_response(&mut self, from: ProcessorId, to: ProcessorId, t1: Time, attempt: u8) {
         let (t2, disp) = if to == from {
             (self.now, Some(Dur::ZERO))
         } else {
             if self.faults.as_ref().is_some_and(|fs| fs.down[to.index()]) {
                 return;
             }
-            let disp = self
-                .sync
-                .as_ref()
-                .expect("sync attached")
-                .dispersion(to.index());
-            (self.eff_clock(to.index()).local_of(self.now), disp)
+            let honest_t2 = self.eff_clock(to.index()).local_of(self.now);
+            let sync = self.sync.as_mut().expect("sync attached");
+            let honest_disp = sync.dispersion(to.index());
+            let lying = !sync.personas[to.index()].is_honest();
+            let (t2, disp) = sync.corrupt_response(to.index(), self.now, honest_t2, honest_disp);
+            if lying {
+                self.obs.on_sync_corrupted(self.now, to.index());
+            }
+            (t2, disp)
         };
-        self.send_sync_frame(EventKind::SyncResponse {
-            to: from,
-            t1,
-            t2,
-            disp,
-        });
+        self.send_sync_frame(
+            to.index(),
+            from.index(),
+            EventKind::SyncResponse {
+                from: to,
+                to: from,
+                t1,
+                t2,
+                disp,
+            },
+            attempt,
+        );
+    }
+
+    /// A sync request lands on its responder. A partition opening while
+    /// the frame was in flight severs it here, at the delivery edge.
+    fn on_sync_request(&mut self, from: ProcessorId, to: ProcessorId, t1: Time) {
+        if from != to && self.cut(from.index(), to.index()) {
+            self.sever_sync_frame();
+            return;
+        }
+        self.serve_sync_response(from, to, t1, 0);
     }
 
     /// A sync response returns to its requester, closing one exchange:
-    /// stamp the arrival and buffer the offset interval for the next
-    /// round's settle.
-    fn on_sync_response(&mut self, to: ProcessorId, t1: Time, t2: Time, disp: Option<Dur>) {
+    /// stamp the arrival, widen the advertised dispersion by the link's
+    /// asymmetry bound (NTP's midpoint is biased by up to half the one-way
+    /// imbalance), and buffer the offset interval for the next round's
+    /// settle.
+    fn on_sync_response(
+        &mut self,
+        from: ProcessorId,
+        to: ProcessorId,
+        t1: Time,
+        t2: Time,
+        disp: Option<Dur>,
+    ) {
         let p = to.index();
+        if from != to && self.cut(from.index(), p) {
+            self.sever_sync_frame();
+            return;
+        }
         if self.faults.as_ref().is_some_and(|fs| fs.down[p]) {
             return; // the requester crashed before the response landed
         }
@@ -1664,10 +1924,43 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             // RTT estimate is meaningless — drop the sample.
             return;
         }
-        self.sync
-            .as_mut()
-            .expect("sync attached")
-            .record_exchange(p, t1, t2, t3, disp);
+        let widened = disp + self.link_asym_bound(p, from.index());
+        self.sync.as_mut().expect("sync attached").record_exchange(
+            p,
+            t1,
+            t2,
+            t3,
+            widened,
+            from == to,
+        );
+    }
+
+    /// A sync retry timer fired: re-send the dropped frame. Responder
+    /// retries re-stamp `t2` at the current instant (a stale stamp would
+    /// poison the RTT bound); requester retries restart the exchange with
+    /// a fresh `t1` for the same reason.
+    fn on_sync_retry(
+        &mut self,
+        from: ProcessorId,
+        to: ProcessorId,
+        t1: Time,
+        respond: bool,
+        attempt: u8,
+    ) {
+        if respond {
+            self.serve_sync_response(from, to, t1, attempt);
+            return;
+        }
+        if self.faults.as_ref().is_some_and(|fs| fs.down[from.index()]) {
+            return; // the requester crashed while the retry was pending
+        }
+        let t1 = self.eff_clock(from.index()).local_of(self.now);
+        self.send_sync_frame(
+            from.index(),
+            to.index(),
+            EventKind::SyncRequest { from, to, t1 },
+            attempt,
+        );
     }
 
     /// The next instance of flat subtask `fi` that neither released nor
@@ -1918,6 +2211,79 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             }
         }
         self.mark_dirty(proc);
+    }
+
+    /// A partition window opens: record which side of the cut each
+    /// processor lands on. Every node stays up and keeps executing — only
+    /// cross-cut traffic (signals, transport frames, acks, heartbeats,
+    /// sync frames) is severed until the heal.
+    fn on_partition_start(&mut self, idx: u32) {
+        {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("PartitionStart only scheduled with faults");
+            let w = &fs.partition_windows[idx as usize];
+            for (p, side) in fs.island.iter_mut().enumerate() {
+                *side = w.island.contains(&p);
+            }
+            fs.partitioned = true;
+            fs.stats.partitions += 1;
+        }
+        self.obs.on_partition_start(
+            self.now,
+            &self.faults.as_ref().expect("checked above").island,
+        );
+    }
+
+    /// The partition heals: connectivity is whole again and every signal
+    /// parked at the cut is replayed through the normal protocol path.
+    /// Replays bypass the channel (the frames never entered the wire — the
+    /// cut severed them before the send), so channel conservation holds.
+    fn on_partition_heal(&mut self, _idx: u32) {
+        let parked = {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("PartitionHeal only scheduled with faults");
+            fs.partitioned = false;
+            fs.stats.heals += 1;
+            std::mem::take(&mut fs.partition_backlog)
+        };
+        self.obs.on_partition_heal(self.now);
+        self.faults
+            .as_mut()
+            .expect("checked above")
+            .stats
+            .partition_replayed += parked.len() as u64;
+        for job in parked {
+            self.apply_signal(job);
+        }
+    }
+
+    /// Is the `a`↔`b` link currently severed by a partition?
+    fn cut(&self, a: usize, b: usize) -> bool {
+        self.faults.as_ref().is_some_and(|fs| fs.cut(a, b))
+    }
+
+    /// The configured one-way extra delay of the `from`→`to` link
+    /// (zero without an asymmetry model).
+    fn link_extra(&self, from: usize, to: usize) -> Dur {
+        match &self.cfg.nonideal.asymmetry {
+            Some(asym) => asym.extra(from, to),
+            None => Dur::ZERO,
+        }
+    }
+
+    /// The advertised asymmetry bound of the `a`↔`b` link: half the
+    /// one-way imbalance, rounded up. NTP's midpoint estimate is biased by
+    /// exactly this much in the worst case, so sync widens every sample's
+    /// dispersion by it.
+    fn link_asym_bound(&self, a: usize, b: usize) -> Dur {
+        match &self.cfg.nonideal.asymmetry {
+            Some(asym) => asym.bound(a, b),
+            None => Dur::ZERO,
+        }
     }
 
     /// Does the overload policy keep this backlog item at recovery?
@@ -2257,7 +2623,7 @@ fn default_horizon(set: &TaskSet, cfg: &SimConfig) -> Time {
     // outage and detection lag per crash window. The horizon is only a
     // cap — runs still stop the moment every task resolves its instance
     // target — so over-padding costs nothing on healthy runs.
-    match (&cfg.transport, &cfg.faults) {
+    let base = match (&cfg.transport, &cfg.faults) {
         (Some(t), Some(f)) => {
             let max_period = set
                 .tasks()
@@ -2276,6 +2642,33 @@ fn default_horizon(set: &TaskSet, cfg: &SimConfig) -> Time {
             base.saturating_add(downtime)
         }
         _ => base,
+    };
+    // A partition stalls every cross-cut chain for its whole open window:
+    // severed signals park until the heal and transport frames burn their
+    // backoff schedule against the cut. Pad by each window's span plus one
+    // worst-case period (and the detector's death lag, whose degraded
+    // machinery may engage mid-cut and unwind only after the heal).
+    match &cfg.faults {
+        Some(f) => {
+            let max_period = set
+                .tasks()
+                .iter()
+                .map(|t| t.period())
+                .max()
+                .unwrap_or(Dur::ZERO);
+            let detect_lag = cfg
+                .transport
+                .as_ref()
+                .and_then(|t| t.detector.as_ref())
+                .map_or(Dur::ZERO, |d| d.dead_after);
+            let stall: Dur = f
+                .resolve_partitions(set.num_processors(), base)
+                .iter()
+                .map(|w| (w.heals_at() - w.at) + max_period + detect_lag)
+                .fold(Dur::ZERO, |a, b| a.saturating_add(b));
+            base.saturating_add(stall)
+        }
+        None => base,
     }
 }
 

@@ -47,6 +47,22 @@ pub enum EventKind {
         /// The processor that rejoins.
         proc: ProcessorId,
     },
+    /// A network partition opens (partition mode only): the processor set
+    /// splits into two islands and every cross-island signal, heartbeat,
+    /// transport frame and sync frame is severed until the heal. Ranked
+    /// with the liveness events — the cut must be in force before any
+    /// same-instant traffic is routed.
+    PartitionStart {
+        /// Index into the resolved partition-window schedule.
+        idx: u32,
+    },
+    /// A network partition heals (partition mode only): connectivity is
+    /// restored and signals parked at the cut are replayed through the
+    /// per-protocol recovery reconciliation.
+    PartitionHeal {
+        /// Index into the resolved partition-window schedule.
+        idx: u32,
+    },
     /// A tentative completion of the job currently running on `proc`;
     /// valid only if `gen` still matches the processor's completion
     /// generation (stale completions are skipped).
@@ -188,6 +204,11 @@ pub enum EventKind {
     /// closing one NTP-style exchange: `t1` echoes the request's send
     /// stamp, `t2` is the responder's clock at the moment it answered.
     SyncResponse {
+        /// The responder the exchange measured against (`from == to`
+        /// addresses the external reference). Carried so the requester can
+        /// widen the sample by the link's advertised asymmetry bound and
+        /// so delivery honors an active partition cut.
+        from: ProcessorId,
         /// The requesting processor the response returns to.
         to: ProcessorId,
         /// Echoed request send stamp (requester's corrected clock).
@@ -201,6 +222,24 @@ pub enum EventKind {
         /// sample, since a peer's clock reading alone is only a *relative*
         /// offset and its interval need not contain the true offset.
         disp: Option<Dur>,
+    },
+    /// A sync frame lost on the wire is retried (sync-over-transport mode
+    /// only): the endpoint re-sends the request or response with a fresh
+    /// budgeted attempt instead of silently losing the sample. Ranked
+    /// last — a retry is pure bookkeeping and must not perturb the order
+    /// of first-attempt sync traffic at the same instant.
+    SyncRetry {
+        /// The requesting processor of the exchange being repaired.
+        from: ProcessorId,
+        /// The responder of the exchange (`from` itself for the reference).
+        to: ProcessorId,
+        /// The request send stamp carried by the exchange (re-stamped on a
+        /// request retry, echoed on a response retry).
+        t1: Time,
+        /// `true` to re-send the response leg, `false` the request leg.
+        respond: bool,
+        /// Attempt count already consumed, bounded by the retry budget.
+        attempt: u8,
     },
 }
 
@@ -217,33 +256,42 @@ impl EventKind {
         match self {
             EventKind::Crash { .. } => 0,
             EventKind::Recover { .. } => 1,
-            EventKind::Completion { .. } => 2,
-            EventKind::MpmTimer { .. } => 3,
-            EventKind::SignalSend { .. } => 4,
+            // Partition edges join the liveness prologue: the cut (or the
+            // heal's replay) must be in force before any same-instant
+            // traffic is routed. With partitions off these kinds never
+            // exist, so the relative order of everything below is exactly
+            // the pre-partition total order.
+            EventKind::PartitionStart { .. } => 2,
+            EventKind::PartitionHeal { .. } => 3,
+            EventKind::Completion { .. } => 4,
+            EventKind::MpmTimer { .. } => 5,
+            EventKind::SignalSend { .. } => 6,
             // A transport delivery is a signal delivery with an endpoint
             // wrapped around it: same rank, ties broken by insertion seq.
-            EventKind::SignalDeliver { .. } | EventKind::TransportDeliver { .. } => 5,
-            EventKind::GuardExpiry { .. } => 6,
-            EventKind::SourceRelease { .. } => 7,
-            EventKind::TimedRelease { .. } => 8,
+            EventKind::SignalDeliver { .. } | EventKind::TransportDeliver { .. } => 7,
+            EventKind::GuardExpiry { .. } => 8,
+            EventKind::SourceRelease { .. } => 9,
+            EventKind::TimedRelease { .. } => 10,
             // Transport/detector bookkeeping trails the protocol events:
             // none of it releases work directly except DegradedRelease,
             // which deliberately runs last so every same-instant real
             // signal gets the first chance to release the instance.
-            EventKind::AckDeliver { .. } => 9,
-            EventKind::RetransmitTimer { .. } => 10,
-            EventKind::HeartbeatSend { .. } => 11,
-            EventKind::HeartbeatDeliver { .. } => 12,
-            EventKind::SuspectTimer { .. } => 13,
-            EventKind::DegradedRelease { .. } => 14,
+            EventKind::AckDeliver { .. } => 11,
+            EventKind::RetransmitTimer { .. } => 12,
+            EventKind::HeartbeatSend { .. } => 13,
+            EventKind::HeartbeatDeliver { .. } => 14,
+            EventKind::SuspectTimer { .. } => 15,
+            EventKind::DegradedRelease { .. } => 16,
             // Sync traffic trails everything: corrections settle at round
             // boundaries only, and a sync frame arriving in the same
             // instant as protocol work must not perturb its order. With
-            // sync off none of these kinds exist, so ranks 0–14 and their
-            // golden traces are untouched.
-            EventKind::SyncRound { .. } => 15,
-            EventKind::SyncRequest { .. } => 16,
-            EventKind::SyncResponse { .. } => 17,
+            // sync off none of these kinds exist, so the earlier ranks and
+            // their golden traces are untouched. Retries trail even
+            // first-attempt sync frames.
+            EventKind::SyncRound { .. } => 17,
+            EventKind::SyncRequest { .. } => 18,
+            EventKind::SyncResponse { .. } => 19,
+            EventKind::SyncRetry { .. } => 20,
         }
     }
 }
@@ -661,9 +709,22 @@ mod tests {
                 proc: ProcessorId::new(0),
             },
         );
+        q.push(t(2), EventKind::PartitionHeal { idx: 0 });
+        q.push(t(2), EventKind::PartitionStart { idx: 0 });
+        q.push(
+            t(2),
+            EventKind::SyncRetry {
+                from: ProcessorId::new(0),
+                to: ProcessorId::new(1),
+                t1: t(0),
+                respond: false,
+                attempt: 1,
+            },
+        );
         q.push(
             t(2),
             EventKind::SyncResponse {
+                from: ProcessorId::new(1),
                 to: ProcessorId::new(0),
                 t1: t(0),
                 t2: t(1),
@@ -688,28 +749,31 @@ mod tests {
             .map(|e| match e.kind {
                 EventKind::Crash { .. } => 0,
                 EventKind::Recover { .. } => 1,
-                EventKind::Completion { .. } => 2,
-                EventKind::MpmTimer { .. } => 3,
-                EventKind::SignalSend { .. } => 4,
-                EventKind::TransportDeliver { .. } => 5,
-                EventKind::SignalDeliver { .. } => 5,
-                EventKind::GuardExpiry { .. } => 6,
-                EventKind::SourceRelease { .. } => 7,
-                EventKind::TimedRelease { .. } => 8,
-                EventKind::AckDeliver { .. } => 9,
-                EventKind::RetransmitTimer { .. } => 10,
-                EventKind::HeartbeatSend { .. } => 11,
-                EventKind::HeartbeatDeliver { .. } => 12,
-                EventKind::SuspectTimer { .. } => 13,
-                EventKind::DegradedRelease { .. } => 14,
-                EventKind::SyncRound { .. } => 15,
-                EventKind::SyncRequest { .. } => 16,
-                EventKind::SyncResponse { .. } => 17,
+                EventKind::PartitionStart { .. } => 2,
+                EventKind::PartitionHeal { .. } => 3,
+                EventKind::Completion { .. } => 4,
+                EventKind::MpmTimer { .. } => 5,
+                EventKind::SignalSend { .. } => 6,
+                EventKind::TransportDeliver { .. } => 7,
+                EventKind::SignalDeliver { .. } => 7,
+                EventKind::GuardExpiry { .. } => 8,
+                EventKind::SourceRelease { .. } => 9,
+                EventKind::TimedRelease { .. } => 10,
+                EventKind::AckDeliver { .. } => 11,
+                EventKind::RetransmitTimer { .. } => 12,
+                EventKind::HeartbeatSend { .. } => 13,
+                EventKind::HeartbeatDeliver { .. } => 14,
+                EventKind::SuspectTimer { .. } => 15,
+                EventKind::DegradedRelease { .. } => 16,
+                EventKind::SyncRound { .. } => 17,
+                EventKind::SyncRequest { .. } => 18,
+                EventKind::SyncResponse { .. } => 19,
+                EventKind::SyncRetry { .. } => 20,
             })
             .collect();
         assert_eq!(
             ranks,
-            vec![0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17]
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20]
         );
     }
 

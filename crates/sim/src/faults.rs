@@ -165,6 +165,55 @@ pub enum CrashSchedule {
     },
 }
 
+/// One network partition: at `at` the processor set splits into the
+/// `island` and everything else; the cut heals `heal_delay` later.
+///
+/// While the cut is up, nothing crosses it: protocol signals are held in
+/// a network backlog and replayed at the heal, transport frames die on
+/// the severed wire (the sender's retransmit machinery keeps trying),
+/// heartbeats and sync frames are simply lost. Both sides stay up and
+/// keep executing local work — a partition is a *network* fault, not a
+/// crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// The split instant.
+    pub at: Time,
+    /// How long the cut lasts before the network heals.
+    pub heal_delay: Dur,
+    /// Processors on the minority side of the cut; everything else forms
+    /// the other island. Sanitized during resolution (sorted, deduped,
+    /// out-of-range dropped; windows whose island is empty or covers
+    /// every processor partition nothing and are discarded).
+    pub island: Vec<usize>,
+}
+
+impl PartitionWindow {
+    /// The heal instant.
+    pub fn heals_at(&self) -> Time {
+        self.at.saturating_add(self.heal_delay)
+    }
+}
+
+/// When the network splits (mirrors [`CrashSchedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionSchedule {
+    /// Explicit partition windows. Sorted and de-overlapped during
+    /// resolution — at most one cut is up at any instant.
+    Explicit(Vec<PartitionWindow>),
+    /// Seeded random schedule: exponentially distributed connected time
+    /// between cuts with the given mean, each cut lasting `heal_delay`,
+    /// with a random nonempty proper subset of processors on the island
+    /// side. Deterministic for a given seed and horizon.
+    Random {
+        /// Mean fully-connected time between consecutive cuts.
+        mean_connected: Dur,
+        /// Duration of every cut.
+        heal_delay: Dur,
+        /// Seed of the schedule's private stream.
+        seed: u64,
+    },
+}
+
 /// The complete fault specification of one run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
@@ -172,6 +221,9 @@ pub struct FaultConfig {
     pub schedule: CrashSchedule,
     /// What recovered processors do with their outage backlog.
     pub policy: OverloadPolicy,
+    /// When the network splits; `None` keeps the network whole (and the
+    /// engine's partition machinery entirely inert).
+    pub partitions: Option<PartitionSchedule>,
 }
 
 /// Safety valve on schedule resolution: no realistic campaign needs more
@@ -189,6 +241,7 @@ impl FaultConfig {
                 seed,
             },
             policy: OverloadPolicy::ReleaseAll,
+            partitions: None,
         }
     }
 
@@ -198,12 +251,19 @@ impl FaultConfig {
         FaultConfig {
             schedule: CrashSchedule::Explicit(windows),
             policy: OverloadPolicy::ReleaseAll,
+            partitions: None,
         }
     }
 
     /// Sets the overload policy.
     pub fn with_policy(mut self, policy: OverloadPolicy) -> FaultConfig {
         self.policy = policy;
+        self
+    }
+
+    /// Adds a network-partition schedule on top of the crash schedule.
+    pub fn with_partitions(mut self, partitions: PartitionSchedule) -> FaultConfig {
+        self.partitions = Some(partitions);
         self
     }
 
@@ -263,6 +323,85 @@ impl FaultConfig {
             }
         }
     }
+
+    /// Resolves the partition schedule into sorted, non-overlapping cut
+    /// windows over `[0, horizon]` with sanitized islands. At most one
+    /// cut is up at any instant; a window whose island would be empty or
+    /// would cover every processor partitions nothing and is dropped.
+    pub fn resolve_partitions(&self, num_procs: usize, horizon: Time) -> Vec<PartitionWindow> {
+        let Some(schedule) = &self.partitions else {
+            return Vec::new();
+        };
+        match schedule {
+            PartitionSchedule::Explicit(windows) => {
+                let mut out: Vec<PartitionWindow> = windows
+                    .iter()
+                    .filter_map(|w| {
+                        let mut island = w.island.clone();
+                        island.sort_unstable();
+                        island.dedup();
+                        island.retain(|&p| p < num_procs);
+                        (!island.is_empty() && island.len() < num_procs).then_some(
+                            PartitionWindow {
+                                at: w.at,
+                                heal_delay: w.heal_delay,
+                                island,
+                            },
+                        )
+                    })
+                    .collect();
+                out.sort_by_key(|w| w.at);
+                let mut prev_end: Option<Time> = None;
+                out.retain(|w| {
+                    let keep = w.at >= Time::ZERO
+                        && w.at <= horizon
+                        && prev_end.is_none_or(|end| w.at > end);
+                    if keep {
+                        prev_end = Some(w.heals_at());
+                    }
+                    keep
+                });
+                out
+            }
+            PartitionSchedule::Random {
+                mean_connected,
+                heal_delay,
+                seed,
+            } => {
+                if num_procs < 2 {
+                    return Vec::new(); // one node cannot split
+                }
+                let mean = mean_connected.ticks().max(1) as f64;
+                let mut rng = StdRng::seed_from_u64(mix(*seed, 0x9a27));
+                let mut out = Vec::new();
+                let mut t = Time::ZERO;
+                // Mask draws need a nonempty proper subset; 2^k - 2 of
+                // them exist over k bits. Cap at 16 bits so the range
+                // stays sane for wide systems (processors past the 16th
+                // simply stay on the mainland side).
+                let bits = num_procs.min(16) as u32;
+                while out.len() < MAX_WINDOWS_PER_PROC {
+                    let gap = exponential_ticks(&mut rng, mean);
+                    let at = t.saturating_add(gap);
+                    if at > horizon {
+                        break;
+                    }
+                    let mask: u64 = rng.random_range(1..(1u64 << bits) - 1);
+                    let island = (0..num_procs.min(16))
+                        .filter(|p| mask & (1 << p) != 0)
+                        .collect();
+                    let w = PartitionWindow {
+                        at,
+                        heal_delay: *heal_delay,
+                        island,
+                    };
+                    t = w.heals_at();
+                    out.push(w);
+                }
+                out
+            }
+        }
+    }
 }
 
 /// SplitMix64 finalizer over `seed ^ f(salt)`: decorrelates per-processor
@@ -302,6 +441,24 @@ pub struct FaultStats {
     pub backlog_dropped: u64,
     /// Signals that arrived at a crashed receiver and were backlogged.
     pub receiver_down_signals: u64,
+    /// Partition cuts that went up.
+    pub partitions: u64,
+    /// Partition cuts that healed.
+    pub heals: u64,
+    /// Protocol signals severed by a cut (held in the network backlog
+    /// until the heal).
+    pub severed_signals: u64,
+    /// Heartbeats severed by a cut (lost outright; the detector's false
+    /// positives are the observable consequence).
+    pub severed_heartbeats: u64,
+    /// Transport frames and acks severed by a cut (lost on the wire; the
+    /// sender's retransmit/backoff machinery carries the recovery).
+    pub severed_transport: u64,
+    /// Sync request/response frames severed by a cut (a lost sample or a
+    /// retry, depending on the sync transport mode).
+    pub severed_sync: u64,
+    /// Backlogged signals replayed when a cut healed.
+    pub partition_replayed: u64,
 }
 
 /// Why a backlog item exists.
@@ -340,6 +497,15 @@ pub(crate) struct FaultState {
     /// Next expected timed-release instance per flat subtask index (PM
     /// recovery re-derivation + stale-duplicate filtering).
     pub(crate) pm_next: Vec<u64>,
+    /// Resolved partition cut windows (network-wide, non-overlapping).
+    pub(crate) partition_windows: Vec<PartitionWindow>,
+    /// `true` while a cut is up.
+    pub(crate) partitioned: bool,
+    /// Current side of each processor; meaningful only while partitioned.
+    pub(crate) island: Vec<bool>,
+    /// Protocol signals severed by the current cut, in arrival order;
+    /// replayed through the normal apply path at the heal.
+    pub(crate) partition_backlog: Vec<JobId>,
     pub(crate) stats: FaultStats,
 }
 
@@ -358,8 +524,17 @@ impl FaultState {
             cancelled: vec![BTreeSet::new(); flat_len],
             mpm_pending: vec![Vec::new(); num_procs],
             pm_next: vec![0; flat_len],
+            partition_windows: cfg.resolve_partitions(num_procs, horizon),
+            partitioned: false,
+            island: vec![false; num_procs],
+            partition_backlog: Vec::new(),
             stats: FaultStats::default(),
         }
+    }
+
+    /// Whether the current cut separates processors `a` and `b`.
+    pub(crate) fn cut(&self, a: usize, b: usize) -> bool {
+        self.partitioned && self.island[a] != self.island[b]
     }
 
     /// Total scheduled downtime across all processors — the horizon
@@ -410,6 +585,15 @@ pub enum InvariantKind {
     /// A processor's released-but-incomplete backlog exceeded the bound
     /// implied by its outages (work is accumulating without limit).
     UnboundedBacklog,
+    /// A signal or heartbeat was applied across an active partition cut:
+    /// the release (or heartbeat) implies information crossed a severed
+    /// link while the cut was up.
+    CrossPartitionDelivery,
+    /// A settled sync estimate's uncertainty interval failed to bracket
+    /// the oracle's true clock offset. Checked only while enabled (the
+    /// adversary campaign disables it for liar-majority cells, where
+    /// Marzullo's tolerance is exceeded by construction).
+    UncertaintyDishonest,
 }
 
 impl InvariantKind {
@@ -421,6 +605,8 @@ impl InvariantKind {
             InvariantKind::DownProcessorActivity => "down_processor_activity",
             InvariantKind::SignalConservation => "signal_conservation",
             InvariantKind::UnboundedBacklog => "unbounded_backlog",
+            InvariantKind::CrossPartitionDelivery => "cross_partition_delivery",
+            InvariantKind::UncertaintyDishonest => "uncertainty_dishonest",
         }
     }
 }
@@ -482,6 +668,27 @@ pub struct InvariantObserver {
     /// deliberately precede the predecessor's completion, so the
     /// precedence-order invariant is waived for them.
     forced: BTreeSet<JobId>,
+    // Partition tracking: current side of each processor and when the
+    // active cut went up (`None` while whole).
+    side: Vec<bool>,
+    partitioned_since: Option<Time>,
+    /// Completion instants per flat subtask, recorded from the first cut
+    /// on (a completion never recorded happened before any partition and
+    /// cannot witness a cross-cut leak).
+    completed_when: Vec<std::collections::BTreeMap<u64, Time>>,
+    track_completion_times: bool,
+    /// Whether [`InvariantKind::UncertaintyDishonest`] is disarmed
+    /// (inverted so the derived `Default` arms the check). The adversary
+    /// campaign disarms it for liar-majority cells, where the
+    /// intersection's tolerance is exceeded by design.
+    uncertainty_disarmed: bool,
+    /// Fractional slack (ppm of the guard period) allowed on RG spacing.
+    /// The observer measures spacing in *true* time while RG times its
+    /// guards on the processor's corrected local clock, so a drifting
+    /// oscillator plus sync step corrections legitimately compress the
+    /// true-time gap by up to the clock-error rate. Zero (the default)
+    /// keeps the exact ideal-clock check.
+    spacing_slack_ppm: i64,
     violations: Vec<InvariantViolation>,
 }
 
@@ -489,6 +696,26 @@ impl InvariantObserver {
     /// The breaks found so far.
     pub fn violations(&self) -> &[InvariantViolation] {
         &self.violations
+    }
+
+    /// Arms or disarms the sync uncertainty-honesty invariant (armed by
+    /// default). Disarm it for runs where a liar majority is *expected*
+    /// to defeat the intersection.
+    pub fn with_uncertainty_check(mut self, on: bool) -> InvariantObserver {
+        self.uncertainty_disarmed = !on;
+        self
+    }
+
+    /// Allows RG guard-spacing to fall short of the period by up to
+    /// `ppm` parts-per-million of the period — the tolerance for runs
+    /// on drifting, sync-corrected clocks, whose guard timers measure
+    /// local time while the observer measures true time. Pass roughly
+    /// twice the oscillator drift bound (rate error both ways plus the
+    /// honest step corrections it forces).
+    pub fn with_spacing_slack_ppm(mut self, ppm: i64) -> InvariantObserver {
+        assert!(ppm >= 0, "spacing slack must be non-negative");
+        self.spacing_slack_ppm = ppm;
+        self
     }
 
     /// `true` when no invariant broke.
@@ -592,8 +819,69 @@ impl Observer for InvariantObserver {
         self.backlog_limit = self.subtasks_on.iter().map(|&s| 8 * s + 8).collect();
         self.delivers_seen = 0;
         self.forced.clear();
+        self.side = vec![false; procs];
+        self.partitioned_since = None;
+        self.completed_when = vec![std::collections::BTreeMap::new(); n];
+        self.track_completion_times = false;
         self.violations.clear();
         self.flat = Some(flat);
+    }
+
+    fn on_partition_start(&mut self, now: Time, island: &[bool]) {
+        self.side.clear();
+        self.side.extend_from_slice(island);
+        self.partitioned_since = Some(now);
+        // Completion instants only matter once a cut exists; start
+        // recording at the first cut so partition-free runs pay nothing.
+        self.track_completion_times = true;
+    }
+
+    fn on_partition_heal(&mut self, _now: Time) {
+        self.partitioned_since = None;
+    }
+
+    fn on_heartbeat(&mut self, now: Time, from: usize, to: usize) {
+        if self.partitioned_since.is_some()
+            && from < self.side.len()
+            && to < self.side.len()
+            && self.side[from] != self.side[to]
+        {
+            self.fail(
+                InvariantKind::CrossPartitionDelivery,
+                now,
+                None,
+                format!("heartbeat P{from} -> P{to} applied across an active cut"),
+            );
+        }
+    }
+
+    fn on_sync_bracket(
+        &mut self,
+        now: Time,
+        proc: usize,
+        estimate: Dur,
+        uncertainty: Dur,
+        true_offset: Dur,
+    ) {
+        if self.uncertainty_disarmed {
+            return;
+        }
+        let err = Dur::from_ticks((estimate.ticks() - true_offset.ticks()).abs());
+        if err > uncertainty {
+            self.fail(
+                InvariantKind::UncertaintyDishonest,
+                now,
+                None,
+                format!(
+                    "P{proc} settled estimate {} +/- {} ticks but the true offset was {} \
+                     ({} ticks outside the bracket)",
+                    estimate.ticks(),
+                    uncertainty.ticks(),
+                    true_offset.ticks(),
+                    (err - uncertainty).ticks()
+                ),
+            );
+        }
     }
 
     fn on_degradation(&mut self, _now: Time, kind: &crate::detect::Degradation) {
@@ -632,16 +920,54 @@ impl Observer for InvariantObserver {
         if protocol == Protocol::ReleaseGuard && !self.is_first[fi] {
             if let Some(prev) = self.last_release[fi] {
                 let gap = now - prev;
-                if gap < self.period_of[fi] && !self.spacing_waived(proc, prev, now) {
+                let period = self.period_of[fi];
+                let slack = Dur::from_ticks(period.ticks() * self.spacing_slack_ppm / 1_000_000);
+                if gap + slack < period && !self.spacing_waived(proc, prev, now) {
                     self.fail(
                         InvariantKind::GuardSpacing,
                         now,
                         Some(job),
                         format!(
-                            "released {} ticks after the previous release (guard period {}), \
-                             with no idle point or recovery in between",
+                            "released {} ticks after the previous release (guard period {}, \
+                             clock slack {}), with no idle point or recovery in between",
                             gap.ticks(),
-                            self.period_of[fi].ticks()
+                            period.ticks(),
+                            slack.ticks()
+                        ),
+                    );
+                }
+            }
+        }
+        // Cross-partition leak: a release driven by predecessor
+        // information that could only have crossed an active cut. DS/RG
+        // releases follow completions, so the predecessor must have
+        // completed during the cut for the release to witness a leak
+        // (earlier completions signalled legitimately before the split).
+        // MPM releases fire the instant the timer signal is applied, so
+        // any cross-cut release while partitioned is a leak. PM is
+        // signalless and exempt.
+        if let (Some(t0), Some(pfi)) = (self.partitioned_since, self.pred_of[fi]) {
+            let pred_proc = self.proc_of[pfi];
+            if pred_proc != proc
+                && self.side[pred_proc] != self.side[proc]
+                && !self.forced.contains(&job)
+            {
+                let leaked = match protocol {
+                    Protocol::PhaseModification => false,
+                    Protocol::ModifiedPhaseModification => true,
+                    Protocol::DirectSync | Protocol::ReleaseGuard => self.completed_when[pfi]
+                        .get(&job.instance())
+                        .is_some_and(|&done| done >= t0),
+                };
+                if leaked {
+                    self.fail(
+                        InvariantKind::CrossPartitionDelivery,
+                        now,
+                        Some(job),
+                        format!(
+                            "released on P{proc} from predecessor information on P{pred_proc}, \
+                             across the cut up since t={}",
+                            t0.ticks()
                         ),
                     );
                 }
@@ -679,6 +1005,9 @@ impl Observer for InvariantObserver {
             .expect("on_run_start ran")
             .of(job.subtask());
         self.completed[fi].insert(job.instance());
+        if self.track_completion_times {
+            self.completed_when[fi].insert(job.instance(), now);
+        }
         self.inflight[proc] -= 1;
     }
 
@@ -779,6 +1108,141 @@ mod tests {
             vec![20, 50]
         );
         assert!(windows[1].is_empty());
+    }
+
+    #[test]
+    fn partition_resolution_sanitizes_islands_and_overlaps() {
+        let cfg =
+            FaultConfig::explicit(Vec::new()).with_partitions(PartitionSchedule::Explicit(vec![
+                PartitionWindow {
+                    at: t(100),
+                    heal_delay: d(50),
+                    island: vec![2, 0, 2, 9], // dup + out-of-range sanitized
+                },
+                PartitionWindow {
+                    at: t(120), // inside the [100, 150] cut: dropped
+                    heal_delay: d(10),
+                    island: vec![1],
+                },
+                PartitionWindow {
+                    at: t(200),
+                    heal_delay: d(10),
+                    island: vec![0, 1, 2], // covers everyone: partitions nothing
+                },
+                PartitionWindow {
+                    at: t(300),
+                    heal_delay: d(10),
+                    island: vec![1],
+                },
+            ]));
+        let windows = cfg.resolve_partitions(3, t(1_000));
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].at, t(100));
+        assert_eq!(windows[0].island, vec![0, 2]);
+        assert_eq!(windows[0].heals_at(), t(150));
+        assert_eq!(windows[1].at, t(300));
+    }
+
+    #[test]
+    fn random_partitions_are_deterministic_proper_and_non_overlapping() {
+        let cfg = FaultConfig::explicit(Vec::new()).with_partitions(PartitionSchedule::Random {
+            mean_connected: d(500),
+            heal_delay: d(100),
+            seed: 11,
+        });
+        let a = cfg.resolve_partitions(4, t(50_000));
+        let b = cfg.resolve_partitions(4, t(50_000));
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "a 50k horizon splits");
+        for w in &a {
+            assert!(!w.island.is_empty() && w.island.len() < 4, "proper subset");
+        }
+        for pair in a.windows(2) {
+            assert!(pair[1].at > pair[0].heals_at(), "cuts overlap");
+        }
+        // A single node cannot split.
+        assert!(cfg.resolve_partitions(1, t(50_000)).is_empty());
+    }
+
+    #[test]
+    fn cross_partition_release_is_flagged_only_for_cut_pairs() {
+        let set = example2();
+        // Find a cross-processor successor.
+        let (sub, pred, proc, pred_proc) = set
+            .tasks()
+            .iter()
+            .flat_map(|task| task.subtasks().windows(2))
+            .find_map(|pair| {
+                let (a, b) = (&pair[0], &pair[1]);
+                (a.processor() != b.processor())
+                    .then(|| (b.id(), a.id(), b.processor().index(), a.processor().index()))
+            })
+            .expect("example2 has a cross-processor hop");
+
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&set, Protocol::DirectSync);
+        let mut island = vec![false; set.num_processors()];
+        island[pred_proc] = true;
+        obs.on_partition_start(t(10), &island);
+        // Predecessor completes during the cut, successor releases: leak.
+        obs.on_release(t(11), JobId::new(pred, 0), pred_proc);
+        obs.on_completion(t(12), JobId::new(pred, 0), pred_proc);
+        obs.on_release(t(13), JobId::new(sub, 0), proc);
+        assert!(
+            obs.violations()
+                .iter()
+                .any(|v| v.kind == InvariantKind::CrossPartitionDelivery),
+            "cross-cut DS release must be flagged: {:?}",
+            obs.violations()
+        );
+
+        // Same sequence after the heal: clean.
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&set, Protocol::DirectSync);
+        obs.on_partition_start(t(10), &island);
+        obs.on_partition_heal(t(12));
+        obs.on_release(t(13), JobId::new(pred, 1), pred_proc);
+        obs.on_completion(t(14), JobId::new(pred, 1), pred_proc);
+        obs.on_release(t(15), JobId::new(sub, 1), proc);
+        assert!(obs.is_clean(), "{:?}", obs.violations());
+    }
+
+    #[test]
+    fn cross_partition_heartbeat_is_flagged() {
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&example2(), Protocol::DirectSync);
+        obs.on_partition_start(t(5), &[true, false]);
+        obs.on_heartbeat(t(6), 0, 1);
+        assert!(obs
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::CrossPartitionDelivery));
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&example2(), Protocol::DirectSync);
+        obs.on_partition_start(t(5), &[true, true]);
+        obs.on_heartbeat(t(6), 0, 1);
+        assert!(obs.is_clean(), "same side: no break");
+    }
+
+    #[test]
+    fn dishonest_uncertainty_is_flagged_unless_disarmed() {
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&example2(), Protocol::DirectSync);
+        obs.on_sync_bracket(t(5), 0, d(100), d(10), d(50));
+        assert!(obs
+            .violations()
+            .iter()
+            .any(|v| v.kind == InvariantKind::UncertaintyDishonest));
+
+        let mut obs = InvariantObserver::default();
+        obs.on_run_start(&example2(), Protocol::DirectSync);
+        obs.on_sync_bracket(t(5), 0, d(100), d(60), d(50));
+        assert!(obs.is_clean(), "true offset inside the bracket");
+
+        let mut obs = InvariantObserver::default().with_uncertainty_check(false);
+        obs.on_run_start(&example2(), Protocol::DirectSync);
+        obs.on_sync_bracket(t(5), 0, d(100), d(10), d(50));
+        assert!(obs.is_clean(), "disarmed: no break");
     }
 
     #[test]

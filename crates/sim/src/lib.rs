@@ -59,7 +59,9 @@ pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
-pub use check::{validate_fault_quiescence, validate_schedule, ScheduleDefect};
+pub use check::{
+    validate_fault_quiescence, validate_partition_quiescence, validate_schedule, ScheduleDefect,
+};
 pub use detect::{Degradation, DegradationEvent, DetectStats, DetectorConfig, PeerState};
 pub use engine::{
     simulate, simulate_observed, simulate_profiled, SimConfig, SimOutcome, SimulateError,
@@ -67,18 +69,18 @@ pub use engine::{
 };
 pub use faults::{
     CrashSchedule, CrashWindow, FaultConfig, FaultStats, InvariantKind, InvariantObserver,
-    InvariantViolation, OverloadPolicy,
+    InvariantViolation, OverloadPolicy, PartitionSchedule, PartitionWindow,
 };
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};
-pub use nonideal::{ChannelModel, ClockModel, LocalClock, NonidealConfig};
+pub use nonideal::{ChannelModel, ClockModel, LinkAsymmetry, LocalClock, NonidealConfig};
 pub use observe::{
     EngineSample, EventLogObserver, NoopObserver, Observer, ProcCounters, ProtocolCounters,
     TaskCounters, Tee,
 };
 pub use perf::{EngineProfile, PerfScope};
 pub use source::SourceModel;
-pub use sync::{SyncConfig, SyncPolicy, SyncStats};
+pub use sync::{Persona, SyncConfig, SyncPolicy, SyncStats};
 pub use telemetry::{render_dashboard, TelemetryObserver, TelemetryReport, TelemetryWindow};
 pub use trace::{Segment, Trace};
 pub use transport::{TransportConfig, TransportStats};

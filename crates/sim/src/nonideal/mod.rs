@@ -43,9 +43,105 @@ pub use clock::{ClockModel, LocalClock};
 
 pub(crate) use channel::ChannelState;
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use rtsync_core::time::Dur;
 
 use crate::metrics::Metrics;
+
+/// Per-ordered-link extra one-way delay, added on top of the channel's
+/// symmetric latency draw. Asymmetric paths are what bias NTP's offset
+/// estimate: the classic `θ = t2 − (t1+t3)/2` derivation assumes the two
+/// directions take equally long, and a route where `a→b` is slower than
+/// `b→a` shifts every estimate by half the difference. The *advertised*
+/// per-pair bound ([`LinkAsymmetry::bound`]) is deployment knowledge the
+/// sync layer widens its intervals by, so uncertainty stays an honest
+/// bracket even on asymmetric links.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkAsymmetry {
+    /// `extra[from][to]` = extra one-way delay on the `from → to` link.
+    extra: Vec<Vec<Dur>>,
+}
+
+impl LinkAsymmetry {
+    /// An explicit extra-delay matrix (`extra[from][to]`, diagonal
+    /// ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or any entry is negative.
+    pub fn explicit(extra: Vec<Vec<Dur>>) -> LinkAsymmetry {
+        let n = extra.len();
+        for row in &extra {
+            assert_eq!(row.len(), n, "asymmetry matrix must be square");
+            assert!(
+                row.iter().all(|d| *d >= Dur::ZERO),
+                "extra delays must be non-negative"
+            );
+        }
+        LinkAsymmetry { extra }
+    }
+
+    /// A seeded random matrix: each ordered pair gets an independent
+    /// uniform extra delay in `[0, max_bias]` (diagonal zero).
+    pub fn random(num_procs: usize, max_bias: Dur, seed: u64) -> LinkAsymmetry {
+        assert!(max_bias >= Dur::ZERO, "max_bias must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let extra = (0..num_procs)
+            .map(|from| {
+                (0..num_procs)
+                    .map(|to| {
+                        if from == to || max_bias == Dur::ZERO {
+                            Dur::ZERO
+                        } else {
+                            Dur::from_ticks(rng.random_range(0..=max_bias.ticks()))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        LinkAsymmetry { extra }
+    }
+
+    /// The extra one-way delay on the `from → to` link. Out-of-range
+    /// links (a matrix smaller than the processor count) carry no extra
+    /// delay.
+    pub fn extra(&self, from: usize, to: usize) -> Dur {
+        if from == to {
+            return Dur::ZERO;
+        }
+        self.extra
+            .get(from)
+            .and_then(|row| row.get(to))
+            .copied()
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// The advertised asymmetry bound of the `{a, b}` pair: half the
+    /// round-trip imbalance, rounded up — exactly the NTP estimate bias
+    /// an asymmetric route can induce, so widening an offset interval by
+    /// this keeps it a superset of the truth.
+    pub fn bound(&self, a: usize, b: usize) -> Dur {
+        let diff = (self.extra(a, b) - self.extra(b, a)).ticks().abs();
+        Dur::from_ticks((diff + 1) / 2)
+    }
+
+    /// The largest extra delay any link carries (horizon padding).
+    pub fn max_extra(&self) -> Dur {
+        self.extra
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(Dur::ZERO)
+    }
+
+    /// Whether every pair is symmetric (no link can bias an estimate).
+    pub fn is_symmetric(&self) -> bool {
+        let n = self.extra.len();
+        (0..n).all(|a| (0..n).all(|b| self.extra(a, b) == self.extra(b, a)))
+    }
+}
 
 /// The complete nonideal-conditions specification of one run.
 #[derive(Clone, PartialEq, Debug, Default)]
@@ -54,6 +150,9 @@ pub struct NonidealConfig {
     pub clocks: ClockModel,
     /// The signal channel. `None` keeps the paper's instantaneous signals.
     pub channel: Option<ChannelModel>,
+    /// Per-link asymmetric extra delays on top of the channel draw.
+    /// `None` keeps every link symmetric.
+    pub asymmetry: Option<LinkAsymmetry>,
 }
 
 impl NonidealConfig {
@@ -74,13 +173,19 @@ impl NonidealConfig {
         self
     }
 
+    /// Sets the per-link asymmetry matrix.
+    pub fn with_asymmetry(mut self, asymmetry: LinkAsymmetry) -> NonidealConfig {
+        self.asymmetry = Some(asymmetry);
+        self
+    }
+
     /// `true` when the run is indistinguishable from the plain engine:
-    /// ideal clocks and no channel configured. A *zero-latency channel* is
-    /// deliberately not "ideal" — it still routes signals through
-    /// `SignalSend`/`SignalDeliver` events, which is what the equivalence
-    /// tests exercise.
+    /// ideal clocks, no channel, and no link asymmetry configured. A
+    /// *zero-latency channel* is deliberately not "ideal" — it still
+    /// routes signals through `SignalSend`/`SignalDeliver` events, which
+    /// is what the equivalence tests exercise.
     pub fn is_ideal(&self) -> bool {
-        self.clocks.is_ideal() && self.channel.is_none()
+        self.clocks.is_ideal() && self.channel.is_none() && self.asymmetry.is_none()
     }
 
     /// Extra horizon slack nonideal conditions may need on top of the
@@ -110,7 +215,12 @@ impl NonidealConfig {
             .channel
             .map(|ch| ch.max_delay_bound())
             .unwrap_or(Dur::ZERO);
-        clock_slack + channel_slack
+        let asym_slack = self
+            .asymmetry
+            .as_ref()
+            .map(|a| a.max_extra())
+            .unwrap_or(Dur::ZERO);
+        clock_slack + channel_slack + asym_slack
     }
 }
 
@@ -221,6 +331,38 @@ mod tests {
         assert_eq!(ratios[1], Some(1.0), "0/0 means unaffected");
         assert_eq!(ratios[2], None, "unbounded ratio must not skew means");
         assert_eq!(ratios[3], None, "lost instances are not EER samples");
+    }
+
+    #[test]
+    fn asymmetry_bound_is_half_the_imbalance_rounded_up() {
+        let asym = LinkAsymmetry::explicit(vec![vec![d(0), d(7)], vec![d(2), d(0)]]);
+        assert_eq!(asym.extra(0, 1), d(7));
+        assert_eq!(asym.extra(1, 0), d(2));
+        assert_eq!(asym.extra(0, 0), d(0), "self links carry nothing");
+        assert_eq!(asym.bound(0, 1), d(3), "ceil(5/2)");
+        assert_eq!(asym.bound(1, 0), d(3), "symmetric in the pair");
+        assert_eq!(asym.max_extra(), d(7));
+        assert!(!asym.is_symmetric());
+        assert_eq!(asym.extra(5, 1), d(0), "out of range links are free");
+        let cfg = NonidealConfig::default().with_asymmetry(asym);
+        assert!(!cfg.is_ideal());
+        assert_eq!(cfg.horizon_slack(d(1_000)), d(7));
+    }
+
+    #[test]
+    fn random_asymmetry_is_seeded_and_bounded() {
+        let a = LinkAsymmetry::random(4, d(30), 9);
+        let b = LinkAsymmetry::random(4, d(30), 9);
+        assert_eq!(a, b, "same seed, same matrix");
+        for from in 0..4 {
+            for to in 0..4 {
+                assert!(a.extra(from, to) <= d(30));
+            }
+            assert_eq!(a.extra(from, from), d(0));
+        }
+        let zero = LinkAsymmetry::random(4, Dur::ZERO, 9);
+        assert!(zero.is_symmetric());
+        assert_eq!(zero.max_extra(), Dur::ZERO);
     }
 
     #[test]

@@ -220,6 +220,17 @@ pub trait Observer {
     #[inline]
     fn on_heartbeat(&mut self, now: Time, from: usize, to: usize) {}
 
+    /// A network partition opened: `island` marks, per processor, which
+    /// side of the cut it landed on (the two truth values are the two
+    /// islands). Cross-island traffic is severed until the heal.
+    #[inline]
+    fn on_partition_start(&mut self, now: Time, island: &[bool]) {}
+
+    /// The current network partition healed; severed signals are replayed
+    /// through the per-protocol recovery reconciliation.
+    #[inline]
+    fn on_partition_heal(&mut self, now: Time) {}
+
     /// A clock-synchronization round ran on processor `proc`: it settled
     /// the previous round's samples and sent a fresh batch of timestamped
     /// requests. Rounds on crashed processors are skipped and not
@@ -238,6 +249,27 @@ pub trait Observer {
     /// corrections.
     #[inline]
     fn on_sync_correction(&mut self, now: Time, proc: usize, step: Dur) {}
+
+    /// Oracle check of one settled sync round on processor `proc`: the
+    /// Marzullo `estimate ± uncertainty` interval against the processor's
+    /// `true_offset` (both signed, encoded as [`Dur`]). The bracket is
+    /// honest iff `|estimate - true_offset| <= uncertainty`.
+    #[inline]
+    fn on_sync_bracket(
+        &mut self,
+        now: Time,
+        proc: usize,
+        estimate: Dur,
+        uncertainty: Dur,
+        true_offset: Dur,
+    ) {
+    }
+
+    /// A timeserver persona on `responder` corrupted the sync response it
+    /// just sent (adversarial mode only; the reference self-exchange is
+    /// exempt).
+    #[inline]
+    fn on_sync_corrupted(&mut self, now: Time, responder: usize) {}
 
     /// A failure-detector transition or graceful-degradation action (see
     /// [`Degradation`]).
@@ -337,9 +369,13 @@ tee_hooks! {
     on_transport_send(now: Time, job: JobId, seq: u64, retransmit: bool);
     on_transport_ack(now: Time, seq: u64, rtt: Option<Dur>, dup: bool);
     on_heartbeat(now: Time, from: usize, to: usize);
+    on_partition_start(now: Time, island: &[bool]);
+    on_partition_heal(now: Time);
     on_sync_round(now: Time, proc: usize);
     on_sync_estimate(now: Time, proc: usize, estimate: Dur, uncertainty: Dur);
     on_sync_correction(now: Time, proc: usize, step: Dur);
+    on_sync_bracket(now: Time, proc: usize, estimate: Dur, uncertainty: Dur, true_offset: Dur);
+    on_sync_corrupted(now: Time, responder: usize);
     on_degradation(now: Time, kind: &Degradation);
     on_crash(now: Time, proc: usize, killed: &[JobId]);
     on_recovery(now: Time, proc: usize, released: u64, dropped: u64);

@@ -79,7 +79,10 @@ impl PerfScope {
     /// The scope that handles `kind` in the engine's dispatch match.
     pub fn of(kind: &EventKind) -> PerfScope {
         match kind {
-            EventKind::Crash { .. } | EventKind::Recover { .. } => PerfScope::Faults,
+            EventKind::Crash { .. }
+            | EventKind::Recover { .. }
+            | EventKind::PartitionStart { .. }
+            | EventKind::PartitionHeal { .. } => PerfScope::Faults,
             EventKind::Completion { .. }
             | EventKind::MpmTimer { .. }
             | EventKind::GuardExpiry { .. }
@@ -95,7 +98,8 @@ impl PerfScope {
             | EventKind::SuspectTimer { .. } => PerfScope::Detect,
             EventKind::SyncRound { .. }
             | EventKind::SyncRequest { .. }
-            | EventKind::SyncResponse { .. } => PerfScope::Sync,
+            | EventKind::SyncResponse { .. }
+            | EventKind::SyncRetry { .. } => PerfScope::Sync,
         }
     }
 }

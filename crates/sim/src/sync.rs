@@ -48,10 +48,24 @@
 //! floor is about `drift · period + RTT/2` — which is exactly the
 //! trade-off the `experiments::sync` study sweeps.
 //!
-//! Frames are fire-and-forget datagrams on the channel (no
-//! ack/retransmit): a request/response pair is implicitly acknowledged by
-//! the response itself, and a lost frame just costs one sample —
-//! Marzullo's intersection tolerates missing and even lying sources.
+//! Frames default to fire-and-forget datagrams on the channel: a
+//! request/response pair is implicitly acknowledged by the response
+//! itself, and a lost frame costs one sample — Marzullo's intersection
+//! tolerates missing and even lying sources. Losses are counted
+//! ([`SyncStats::frames_lost`]), and
+//! [`SyncConfig::with_over_transport`] switches rounds onto acked
+//! semantics: a dropped frame is re-sent after the transport's timeout
+//! (fresh stamps, bounded retries) instead of silently costing the
+//! sample.
+//!
+//! # Adversarial timeservers
+//!
+//! Each node can carry a [`Persona`]: it requests, settles, and runs its
+//! own clock honestly, but *corrupts the responses it serves to others*
+//! — a fixed offset lie, seeded jitter, a frozen clock, or collusion on
+//! a shared phantom offset designed to bias the intersection. Marzullo
+//! out-votes a minority of such liars; the adversary campaign measures
+//! where the tolerance breaks as the liar fraction crosses n/2.
 
 use rtsync_core::time::{Dur, Time};
 
@@ -74,13 +88,81 @@ pub enum SyncPolicy {
     Observe,
 }
 
+/// A timeserver's fault model: how the node corrupts the sync responses
+/// it serves. The node is otherwise well-behaved — it requests, settles,
+/// and schedules honestly; only the answers it gives others lie.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Persona {
+    /// Truthful responses (the default).
+    #[default]
+    Honest,
+    /// Adds a fixed offset to every served timestamp and advertises a
+    /// perfect (zero) dispersion — a confident, consistent liar.
+    FixedLiar {
+        /// The lie, added to every served `t2`.
+        offset: Dur,
+    },
+    /// Adds seeded uniform jitter in `[-jitter, +jitter]` to every served
+    /// timestamp while advertising its honest dispersion — a faulty
+    /// oscillator or a flaky serialization path, not a strategic liar.
+    Noisy {
+        /// Largest jitter magnitude.
+        jitter: Dur,
+    },
+    /// Serves the same timestamp it first answered with, forever, with
+    /// zero claimed dispersion — a latched register. Drifts arbitrarily
+    /// far from truth as the run progresses.
+    StuckClock,
+    /// Answers as if true time were `true + target`, with zero claimed
+    /// dispersion. All colluders sharing one `target` produce mutually
+    /// consistent intervals, so together they form a coherent phantom
+    /// cluster that can out-vote the honest one once they are a majority.
+    Colluder {
+        /// The phantom offset the collusion pushes toward.
+        target: Dur,
+    },
+}
+
+impl Persona {
+    /// Whether this persona serves truthful responses.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Persona::Honest)
+    }
+
+    /// Short machine-readable tag (used in CSV output).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Persona::Honest => "honest",
+            Persona::FixedLiar { .. } => "fixed_liar",
+            Persona::Noisy { .. } => "noisy",
+            Persona::StuckClock => "stuck_clock",
+            Persona::Colluder { .. } => "colluder",
+        }
+    }
+}
+
+/// Retransmission budget of the acked sync-transport mode: the original
+/// send plus at most this many retries per frame.
+pub const SYNC_RETRY_BUDGET: u8 = 3;
+
 /// Configuration of the synchronization layer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SyncConfig {
     /// True-time cadence of sync rounds on every processor.
     pub period: Dur,
     /// The correction policy.
     pub policy: SyncPolicy,
+    /// Per-node timeserver personas (index = processor). Shorter vectors
+    /// are padded with [`Persona::Honest`]; empty means everyone is
+    /// honest.
+    pub personas: Vec<Persona>,
+    /// Seed of the [`Persona::Noisy`] jitter stream.
+    pub persona_seed: u64,
+    /// Ride acked-transport semantics: a sync frame lost on the channel
+    /// is detected by timeout and re-sent with fresh stamps (bounded by
+    /// [`SYNC_RETRY_BUDGET`] retries) instead of silently costing the
+    /// sample.
+    pub over_transport: bool,
 }
 
 impl SyncConfig {
@@ -95,6 +177,9 @@ impl SyncConfig {
         SyncConfig {
             period,
             policy: SyncPolicy::Step,
+            personas: Vec::new(),
+            persona_seed: 0,
+            over_transport: false,
         }
     }
 
@@ -103,6 +188,39 @@ impl SyncConfig {
         self.policy = policy;
         self
     }
+
+    /// Assigns per-node timeserver personas.
+    pub fn with_personas(mut self, personas: Vec<Persona>) -> SyncConfig {
+        self.personas = personas;
+        self
+    }
+
+    /// Sets the [`Persona::Noisy`] jitter seed.
+    pub fn with_persona_seed(mut self, seed: u64) -> SyncConfig {
+        self.persona_seed = seed;
+        self
+    }
+
+    /// Enables (or disables) the acked sync-transport mode.
+    pub fn with_over_transport(mut self, on: bool) -> SyncConfig {
+        self.over_transport = on;
+        self
+    }
+
+    /// Number of nodes whose persona lies (anything but
+    /// [`Persona::Honest`]).
+    pub fn liar_count(&self) -> usize {
+        self.personas.iter().filter(|p| !p.is_honest()).count()
+    }
+}
+
+/// SplitMix64 finalizer over `seed ^ f(ctr)`: the [`Persona::Noisy`]
+/// jitter stream, deterministic and independent of every other draw.
+fn mix64(seed: u64, ctr: u64) -> u64 {
+    let mut x = seed ^ ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Marzullo's interval-intersection algorithm: given per-source intervals
@@ -112,6 +230,21 @@ impl SyncConfig {
 /// `None` for an empty slice. Sources that lie (disjoint intervals) are
 /// out-voted rather than averaged in.
 pub fn marzullo(intervals: &[(i64, i64)]) -> Option<(i64, i64)> {
+    marzullo_anchored(intervals, None)
+}
+
+/// [`marzullo`] with a trust anchor: when several disjoint regions tie
+/// for the largest source count, the one intersecting `anchor` wins
+/// (leftmost otherwise, as before). The engine anchors each settle to
+/// the round's reference self-exchange — the one interval no Byzantine
+/// timeserver can forge — so a phantom cluster must *strictly* out-vote
+/// the honest sources to capture the estimate. Without the anchor, a
+/// single zero-dispersion liar could tie the reference on a thinned
+/// sample set (channel loss, pre-warm-up peers) and win on sort order.
+pub(crate) fn marzullo_anchored(
+    intervals: &[(i64, i64)],
+    anchor: Option<(i64, i64)>,
+) -> Option<(i64, i64)> {
     if intervals.is_empty() {
         return None;
     }
@@ -124,26 +257,38 @@ pub fn marzullo(intervals: &[(i64, i64)]) -> Option<(i64, i64)> {
         edges.push((hi, 1));
     }
     edges.sort_unstable();
+    // Pass 1: the best overlap count.
     let (mut count, mut best) = (0u32, 0u32);
-    let (mut best_lo, mut best_hi) = (0i64, 0i64);
-    let mut awaiting_hi = false;
-    for &(v, kind) in &edges {
+    for &(_, kind) in &edges {
         if kind == 0 {
             count += 1;
-            if count > best {
-                best = count;
-                best_lo = v;
-                awaiting_hi = true;
-            }
+            best = best.max(count);
         } else {
-            if awaiting_hi {
-                best_hi = v;
-                awaiting_hi = false;
-            }
             count -= 1;
         }
     }
     debug_assert!(best >= 1);
+    // Pass 2: every maximal region attaining it, in sweep order.
+    let mut regions: Vec<(i64, i64)> = Vec::new();
+    let mut count = 0u32;
+    let mut open_lo = None;
+    for &(v, kind) in &edges {
+        if kind == 0 {
+            count += 1;
+            if count == best {
+                open_lo = Some(v);
+            }
+        } else {
+            if let Some(lo) = open_lo.take() {
+                regions.push((lo, v));
+            }
+            count -= 1;
+        }
+    }
+    let &(best_lo, best_hi) = regions
+        .iter()
+        .find(|&&(lo, hi)| anchor.is_some_and(|(alo, ahi)| lo <= ahi && alo <= hi))
+        .unwrap_or(&regions[0]);
     // Midpoint rounded toward the lower edge keeps the result inside the
     // region; the half-width rounds up so the bound stays honest.
     let offset = best_lo + (best_hi - best_lo) / 2;
@@ -179,6 +324,24 @@ pub struct SyncStats {
     pub sum_true_error: i64,
     /// Number of ground-truth error samples.
     pub true_error_samples: u64,
+    /// Request/response frames lost to channel faults (each costs one
+    /// sample in datagram mode, or triggers a retry over transport).
+    pub frames_lost: u64,
+    /// Request/response frames severed by a network partition cut.
+    pub frames_severed: u64,
+    /// Frames re-sent by the acked sync-transport mode after a loss.
+    pub retransmits: u64,
+    /// Responses served with persona-corrupted stamps or dispersion.
+    pub corrupted_samples: u64,
+    /// Settled estimates checked against the oracle's true offset.
+    pub bracket_samples: u64,
+    /// Settled estimates whose uncertainty interval failed to bracket
+    /// the true offset — the dishonesty the adversary campaign measures.
+    pub bracket_misses: u64,
+    /// Widest offset interval ever recorded (round-trip ε plus the
+    /// responder's dispersion, itself widened by the link's advertised
+    /// asymmetry bound) — how much raw samples pay for hostile links.
+    pub max_sample_width: Dur,
 }
 
 impl Default for SyncStats {
@@ -194,6 +357,13 @@ impl Default for SyncStats {
             max_true_error: Dur::ZERO,
             sum_true_error: 0,
             true_error_samples: 0,
+            frames_lost: 0,
+            frames_severed: 0,
+            retransmits: 0,
+            corrupted_samples: 0,
+            bracket_samples: 0,
+            bracket_misses: 0,
+            max_sample_width: Dur::ZERO,
         }
     }
 }
@@ -221,6 +391,11 @@ pub(crate) struct SyncState {
     pub(crate) adj: Vec<Dur>,
     /// Per-processor offset intervals gathered since the last settle.
     pub(crate) samples: Vec<Vec<(i64, i64)>>,
+    /// Per-processor interval of the round's *reference* self-exchange —
+    /// the one vote that cannot be a liar's. The settle anchors
+    /// Marzullo's tie-break to it, so a phantom cluster needs a strict
+    /// majority (not a thinned sample set) to out-vote the truth.
+    ref_anchor: Vec<Option<(i64, i64)>>,
     /// Per-processor advertised error bound against true time (root
     /// dispersion), in ticks: the last settled Marzullo uncertainty plus
     /// whatever part of the estimate the policy left uncorrected, plus the
@@ -234,19 +409,76 @@ pub(crate) struct SyncState {
     /// clock, its relative samples would tie with the reference's in
     /// Marzullo, and a common-mode drift would never be corrected.
     pub(crate) drift_slack: Vec<i64>,
+    /// Per-node persona, padded to the processor count with
+    /// [`Persona::Honest`].
+    pub(crate) personas: Vec<Persona>,
+    /// [`Persona::StuckClock`] latch: the first timestamp each stuck node
+    /// answered with.
+    stuck_at: Vec<Option<Time>>,
+    /// [`Persona::Noisy`] draw counter (hashed with the persona seed for
+    /// a deterministic jitter stream independent of other randomness).
+    noise_ctr: u64,
     /// Run statistics.
     pub(crate) stats: SyncStats,
 }
 
 impl SyncState {
     pub(crate) fn new(cfg: SyncConfig, num_processors: usize) -> SyncState {
+        let mut personas = cfg.personas.clone();
+        personas.resize(num_processors, Persona::Honest);
+        personas.truncate(num_processors);
         SyncState {
             cfg,
             adj: vec![Dur::ZERO; num_processors],
             samples: vec![Vec::new(); num_processors],
+            ref_anchor: vec![None; num_processors],
             disp: vec![None; num_processors],
             drift_slack: vec![0; num_processors],
+            personas,
+            stuck_at: vec![None; num_processors],
+            noise_ctr: 0,
             stats: SyncStats::default(),
+        }
+    }
+
+    /// Applies `responder`'s persona to the honest response stamps it
+    /// would have served: returns the (possibly corrupted) `(t2, disp)`
+    /// pair actually put on the wire and counts the corruption. `now` is
+    /// true time at the serve instant (what a colluder's phantom clock is
+    /// anchored to).
+    pub(crate) fn corrupt_response(
+        &mut self,
+        responder: usize,
+        now: Time,
+        t2: Time,
+        disp: Option<Dur>,
+    ) -> (Time, Option<Dur>) {
+        match self.personas[responder] {
+            Persona::Honest => (t2, disp),
+            Persona::FixedLiar { offset } => {
+                self.stats.corrupted_samples += 1;
+                (t2 + offset, Some(Dur::ZERO))
+            }
+            Persona::Noisy { jitter } => {
+                self.stats.corrupted_samples += 1;
+                let j = jitter.ticks().max(0);
+                let draw = mix64(
+                    self.cfg.persona_seed ^ ((responder as u64) << 32),
+                    self.noise_ctr,
+                );
+                self.noise_ctr += 1;
+                let jit = (draw % (2 * j + 1) as u64) as i64 - j;
+                (t2 + Dur::from_ticks(jit), disp)
+            }
+            Persona::StuckClock => {
+                self.stats.corrupted_samples += 1;
+                let frozen = *self.stuck_at[responder].get_or_insert(t2);
+                (frozen, Some(Dur::ZERO))
+            }
+            Persona::Colluder { target } => {
+                self.stats.corrupted_samples += 1;
+                (now + target, Some(Dur::ZERO))
+            }
         }
     }
 
@@ -264,7 +496,17 @@ impl SyncState {
     /// from stamps `(t1, t2, t3)` as an offset interval, widened by the
     /// responder's advertised error bound `disp` (0 for the reference) so
     /// the interval contains the *true* offset, not just the relative one.
-    pub(crate) fn record_exchange(&mut self, p: usize, t1: Time, t2: Time, t3: Time, disp: Dur) {
+    /// `is_ref` marks the round's reference self-exchange; its interval
+    /// also becomes the settle's Marzullo trust anchor.
+    pub(crate) fn record_exchange(
+        &mut self,
+        p: usize,
+        t1: Time,
+        t2: Time,
+        t3: Time,
+        disp: Dur,
+        is_ref: bool,
+    ) {
         let (t1, t2, t3) = (
             t1.since_origin().ticks(),
             t2.since_origin().ticks(),
@@ -280,7 +522,11 @@ impl SyncState {
         let lo = (theta2 - eps2).div_euclid(2) - disp.ticks();
         let hi = (theta2 + eps2 + 1).div_euclid(2) + disp.ticks();
         self.samples[p].push((lo, hi));
+        if is_ref {
+            self.ref_anchor[p] = Some((lo, hi));
+        }
         self.stats.exchanges += 1;
+        self.stats.max_sample_width = self.stats.max_sample_width.max(Dur::from_ticks(hi - lo));
     }
 
     /// Settles processor `p`'s accumulated samples into a correction:
@@ -298,7 +544,10 @@ impl SyncState {
             s.0 -= slack;
             s.1 += slack;
         }
-        let (offset, uncertainty) = marzullo(&samples)?;
+        let anchor = self.ref_anchor[p]
+            .take()
+            .map(|(lo, hi)| (lo - slack, hi + slack));
+        let (offset, uncertainty) = marzullo_anchored(&samples, anchor)?;
         let step = match self.cfg.policy {
             SyncPolicy::Step => offset,
             SyncPolicy::Slew { max_step } => {
@@ -339,6 +588,15 @@ impl SyncState {
         self.stats.max_true_error = self.stats.max_true_error.max(err);
         self.stats.sum_true_error += err.ticks();
         self.stats.true_error_samples += 1;
+    }
+
+    /// Records one oracle bracket check of a settled estimate: did the
+    /// uncertainty interval contain the true offset?
+    pub(crate) fn record_bracket(&mut self, hit: bool) {
+        self.stats.bracket_samples += 1;
+        if !hit {
+            self.stats.bracket_misses += 1;
+        }
     }
 }
 
@@ -391,12 +649,34 @@ mod tests {
     }
 
     #[test]
+    fn anchored_tie_breaks_toward_the_reference() {
+        // A lone zero-width liar at -40 ties the reference at 0 on a
+        // thinned sample set. Unanchored, the sweep picks the leftmost
+        // (the liar); anchored to the reference interval, truth wins.
+        let samples = [(-40, -40), (-1, 1)];
+        let (offset, _) = marzullo_anchored(&samples, None).unwrap();
+        assert_eq!(offset, -40, "leftmost wins without an anchor");
+        let (offset, eps) = marzullo_anchored(&samples, Some((-1, 1))).unwrap();
+        assert!((-1..=1).contains(&offset), "offset {offset}");
+        assert!(eps <= 1);
+    }
+
+    #[test]
+    fn anchor_cannot_veto_a_strict_majority() {
+        // Three mutually-consistent phantoms out-vote the anchored
+        // reference outright: the documented >= n/2 failure mode.
+        let samples = [(-41, -39), (-40, -38), (-42, -40), (-1, 1)];
+        let (offset, _) = marzullo_anchored(&samples, Some((-1, 1))).unwrap();
+        assert!((-42..=-38).contains(&offset), "offset {offset}");
+    }
+
+    #[test]
     fn exchange_interval_contains_the_true_offset() {
         // Responder's clock is 7 ahead of the requester's; request takes
         // 3, response takes 1 (asymmetric). t1=100 → arrives 103, reads
         // 110; response lands at t3=104.
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO);
+        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO, false);
         let &(lo, hi) = &s.samples[0][0];
         assert!(lo <= 7 && 7 <= hi, "true offset 7 outside [{lo}, {hi}]");
         // ε = RTT/2 = 2.
@@ -409,8 +689,8 @@ mod tests {
         // Same exchange, but the responder admits it may itself be up to
         // 3 ticks off true time: the interval grows by 3 on each side.
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO);
-        s.record_exchange(0, t(100), t(110), t(104), d(3));
+        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO, false);
+        s.record_exchange(0, t(100), t(110), t(104), d(3), false);
         let (tight, wide) = (s.samples[0][0], s.samples[0][1]);
         assert_eq!(wide.0, tight.0 - 3);
         assert_eq!(wide.1, tight.1 + 3);
@@ -419,7 +699,8 @@ mod tests {
     #[test]
     fn settle_applies_policy() {
         // One perfect sample: responder ahead by exactly 5 (zero RTT).
-        let sample = |s: &mut SyncState| s.record_exchange(0, t(100), t(105), t(100), Dur::ZERO);
+        let sample =
+            |s: &mut SyncState| s.record_exchange(0, t(100), t(105), t(100), Dur::ZERO, false);
 
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
         assert_eq!(s.disp[0], None, "unsettled nodes advertise no bound");
@@ -454,7 +735,7 @@ mod tests {
     #[test]
     fn settle_clears_the_sample_buffer() {
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(0), t(3), t(2), Dur::ZERO);
+        s.record_exchange(0, t(0), t(3), t(2), Dur::ZERO, false);
         assert!(s.settle(0).is_some());
         assert!(s.samples[0].is_empty());
         assert_eq!(s.settle(0), None, "samples were consumed");
@@ -479,5 +760,86 @@ mod tests {
     #[should_panic(expected = "sync period must be positive")]
     fn zero_period_rejected() {
         let _ = SyncConfig::new(Dur::ZERO);
+    }
+
+    #[test]
+    fn personas_pad_to_the_processor_count() {
+        let cfg = SyncConfig::new(d(10)).with_personas(vec![Persona::StuckClock]);
+        assert_eq!(cfg.liar_count(), 1);
+        let s = SyncState::new(cfg, 3);
+        assert_eq!(s.personas[0], Persona::StuckClock);
+        assert_eq!(s.personas[1], Persona::Honest);
+        assert_eq!(s.personas[2], Persona::Honest);
+    }
+
+    #[test]
+    fn fixed_liar_shifts_and_claims_perfection() {
+        let cfg = SyncConfig::new(d(10))
+            .with_personas(vec![Persona::Honest, Persona::FixedLiar { offset: d(500) }]);
+        let mut s = SyncState::new(cfg, 2);
+        let honest = s.corrupt_response(0, t(50), t(40), Some(d(3)));
+        assert_eq!(honest, (t(40), Some(d(3))), "honest responses untouched");
+        assert_eq!(s.stats.corrupted_samples, 0);
+        let lie = s.corrupt_response(1, t(50), t(40), Some(d(3)));
+        assert_eq!(lie, (t(540), Some(Dur::ZERO)));
+        assert_eq!(s.stats.corrupted_samples, 1);
+    }
+
+    #[test]
+    fn stuck_clock_latches_its_first_answer() {
+        let cfg = SyncConfig::new(d(10)).with_personas(vec![Persona::StuckClock]);
+        let mut s = SyncState::new(cfg, 1);
+        assert_eq!(s.corrupt_response(0, t(10), t(12), None).0, t(12));
+        assert_eq!(s.corrupt_response(0, t(90), t(95), None).0, t(12));
+        assert_eq!(s.corrupt_response(0, t(900), t(907), None).0, t(12));
+    }
+
+    #[test]
+    fn colluders_agree_regardless_of_their_own_clocks() {
+        let cfg = SyncConfig::new(d(10)).with_personas(vec![
+            Persona::Colluder { target: d(-200) },
+            Persona::Colluder { target: d(-200) },
+        ]);
+        let mut s = SyncState::new(cfg, 2);
+        // Different local stamps, identical served answers: a coherent
+        // phantom cluster.
+        let a = s.corrupt_response(0, t(100), t(137), Some(d(9)));
+        let b = s.corrupt_response(1, t(100), t(61), Some(d(2)));
+        assert_eq!(a, (t(-100), Some(Dur::ZERO)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noisy_jitter_is_seeded_and_bounded() {
+        let mk = |seed| {
+            SyncState::new(
+                SyncConfig::new(d(10))
+                    .with_personas(vec![Persona::Noisy { jitter: d(4) }])
+                    .with_persona_seed(seed),
+                1,
+            )
+        };
+        let (mut a, mut b, mut c) = (mk(7), mk(7), mk(8));
+        let mut diverged = false;
+        for i in 0..64 {
+            let base = t(1_000 + 13 * i);
+            let (ta, _) = a.corrupt_response(0, base, base, Some(d(1)));
+            let (tb, _) = b.corrupt_response(0, base, base, Some(d(1)));
+            let (tc, _) = c.corrupt_response(0, base, base, Some(d(1)));
+            assert_eq!(ta, tb, "same seed, same jitter");
+            assert!((ta - base).ticks().abs() <= 4, "jitter out of bounds");
+            diverged |= ta != tc;
+        }
+        assert!(diverged, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn bracket_accounting() {
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
+        s.record_bracket(true);
+        s.record_bracket(false);
+        s.record_bracket(true);
+        assert_eq!(s.stats.bracket_samples, 3);
+        assert_eq!(s.stats.bracket_misses, 1);
     }
 }

@@ -96,6 +96,11 @@ pub struct TelemetryWindow {
     pub crashes: u64,
     /// Processor recoveries in the window.
     pub recoveries: u64,
+    /// Whether a network partition was open at window close (gauge,
+    /// carried through quiet windows like the detector census).
+    pub partition_open: bool,
+    /// Sync samples corrupted by a lying timeserver persona in the window.
+    pub sync_corrupted: u64,
 }
 
 /// In-progress aggregation for the currently open window.
@@ -123,6 +128,7 @@ struct Accum {
     window_eer: EerHistogram,
     crashes: u64,
     recoveries: u64,
+    sync_corrupted: u64,
 }
 
 impl Accum {
@@ -150,6 +156,7 @@ impl Accum {
         self.window_eer.clear();
         self.crashes = 0;
         self.recoveries = 0;
+        self.sync_corrupted = 0;
     }
 }
 
@@ -190,6 +197,9 @@ pub struct TelemetryObserver {
     last_suspect: u32,
     last_dead: u32,
     last_uncertainty: Option<i64>,
+    /// Current partition state — hooks update it only after `roll`, so at
+    /// each flush it is the state at that window's close.
+    partition_open: bool,
 }
 
 impl TelemetryObserver {
@@ -212,6 +222,7 @@ impl TelemetryObserver {
             last_suspect: 0,
             last_dead: 0,
             last_uncertainty: None,
+            partition_open: false,
         }
     }
 
@@ -291,6 +302,8 @@ impl TelemetryObserver {
             eer_p99: q(0.99),
             crashes: a.crashes,
             recoveries: a.recoveries,
+            partition_open: self.partition_open,
+            sync_corrupted: a.sync_corrupted,
         });
         self.last_alive = alive;
         self.last_suspect = suspect;
@@ -310,6 +323,7 @@ impl Observer for TelemetryObserver {
         self.last_suspect = 0;
         self.last_dead = 0;
         self.last_uncertainty = None;
+        self.partition_open = false;
     }
 
     #[inline]
@@ -392,6 +406,21 @@ impl Observer for TelemetryObserver {
         self.cur.recoveries += 1;
     }
 
+    fn on_partition_start(&mut self, now: Time, _island: &[bool]) {
+        self.roll(now);
+        self.partition_open = true;
+    }
+
+    fn on_partition_heal(&mut self, now: Time) {
+        self.roll(now);
+        self.partition_open = false;
+    }
+
+    fn on_sync_corrupted(&mut self, now: Time, _responder: usize) {
+        self.roll(now);
+        self.cur.sync_corrupted += 1;
+    }
+
     fn on_run_end(&mut self, now: Time, _events: u64) {
         // Make sure the instant of the last event has a window, then let
         // `into_report` close it.
@@ -434,7 +463,7 @@ impl TelemetryReport {
             ",queue_near_mean,queue_near_max,queue_far_max,inflight_max,transport_sends,\
              retransmits,traffic_protocol,traffic_sync,traffic_heartbeat,peers_alive,\
              peers_suspect,peers_dead,sync_uncertainty,completions,eer_p50,eer_p95,eer_p99,\
-             crashes,recoveries\n",
+             crashes,recoveries,partition_open,sync_corrupted\n",
         );
         for w in &self.windows {
             let _ = write!(
@@ -450,7 +479,7 @@ impl TelemetryReport {
             }
             let _ = writeln!(
                 out,
-                ",{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                ",{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 w.queue_near_mean,
                 w.queue_near_max,
                 w.queue_far_max,
@@ -470,6 +499,8 @@ impl TelemetryReport {
                 opt_cell(w.eer_p99),
                 w.crashes,
                 w.recoveries,
+                w.partition_open as u8,
+                w.sync_corrupted,
             );
         }
         out
@@ -493,7 +524,8 @@ impl TelemetryReport {
                  \"peers\":{{\"alive\":{},\"suspect\":{},\"dead\":{}}},\
                  \"sync_uncertainty\":{},\"completions\":{},\
                  \"eer\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
-                 \"crashes\":{},\"recoveries\":{}}}",
+                 \"crashes\":{},\"recoveries\":{},\
+                 \"partition_open\":{},\"sync_corrupted\":{}}}",
                 w.index,
                 w.start.ticks(),
                 w.end.ticks(),
@@ -519,6 +551,8 @@ impl TelemetryReport {
                 opt(w.eer_p99),
                 w.crashes,
                 w.recoveries,
+                w.partition_open,
+                w.sync_corrupted,
             );
         }
         out
@@ -532,6 +566,10 @@ impl TelemetryReport {
     /// render above the per-processor swimlanes and flow arrows.
     pub fn chrome_counter_events(&self) -> Vec<String> {
         let mut ev = Vec::new();
+        let adversarial = self
+            .windows
+            .iter()
+            .any(|w| w.partition_open || w.sync_corrupted > 0);
         for w in &self.windows {
             let ts = w.start.ticks();
             let backlog: Vec<String> = w
@@ -569,6 +607,13 @@ impl TelemetryReport {
                 ev.push(format!(
                     "{{\"name\":\"sync uncertainty\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
                      \"args\":{{\"bound\":{u}}}}}"
+                ));
+            }
+            if adversarial {
+                ev.push(format!(
+                    "{{\"name\":\"adversary\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                     \"args\":{{\"partition_open\":{},\"sync_corrupted\":{}}}}}",
+                    w.partition_open as u8, w.sync_corrupted
                 ));
             }
             if let (Some(p50), Some(p95), Some(p99)) = (w.eer_p50, w.eer_p95, w.eer_p99) {
@@ -636,6 +681,17 @@ impl TelemetryReport {
         if self.windows.iter().any(|w| w.crashes + w.recoveries > 0) {
             out.push(("crashes".into(), col(&|w| w.crashes as f64)));
             out.push(("recoveries".into(), col(&|w| w.recoveries as f64)));
+        }
+        if self
+            .windows
+            .iter()
+            .any(|w| w.partition_open || w.sync_corrupted > 0)
+        {
+            out.push((
+                "partition_open".into(),
+                col(&|w| w.partition_open as u8 as f64),
+            ));
+            out.push(("sync_corrupted".into(), col(&|w| w.sync_corrupted as f64)));
         }
         out
     }

@@ -9,8 +9,11 @@ use rtsync_core::examples::example2;
 use rtsync_core::protocol::Protocol;
 use rtsync_core::time::Dur;
 use rtsync_sim::engine::{simulate, simulate_observed, SimConfig};
+use rtsync_sim::nonideal::LinkAsymmetry;
 use rtsync_sim::nonideal::{eer_inflation, ChannelModel, ClockModel, NonidealConfig};
-use rtsync_sim::{ProtocolCounters, SyncConfig, SyncPolicy, SyncStats};
+use rtsync_sim::{
+    FaultConfig, PartitionSchedule, Persona, ProtocolCounters, SyncConfig, SyncPolicy, SyncStats,
+};
 
 fn d(x: i64) -> Dur {
     Dur::from_ticks(x)
@@ -239,5 +242,61 @@ proptest! {
         prop_assert_eq!(&c.trace, &e.trace, "{:?}", protocol);
         prop_assert_eq!(c.events, e.events, "{:?}", protocol);
         prop_assert_eq!(&c.sync_stats, &SyncStats::default());
+    }
+
+    /// Adversary knobs in their neutral position are exact no-ops: all-
+    /// honest personas, an all-zero asymmetry matrix and an empty
+    /// partition schedule leave every protocol's schedule bit-identical
+    /// on the ideal path, the nonideal path and the synced path alike.
+    #[test]
+    fn neutral_adversary_knobs_are_bit_identical(
+        proto_idx in 0usize..4,
+        instances in 5u64..25,
+    ) {
+        let set = example2();
+        let n = set.num_processors();
+        let protocol = Protocol::ALL[proto_idx];
+        let zero_asym = LinkAsymmetry::explicit(vec![vec![Dur::ZERO; n]; n]);
+        let no_cut = FaultConfig::explicit(vec![Vec::new(); n])
+            .with_partitions(PartitionSchedule::Explicit(Vec::new()));
+
+        // Ideal path: a plain run vs the same with every knob neutral.
+        let plain = SimConfig::new(protocol)
+            .with_instances(instances)
+            .with_trace();
+        let neutral_plain = plain
+            .clone()
+            .with_nonideal(NonidealConfig::default().with_asymmetry(zero_asym.clone()))
+            .with_faults(no_cut.clone());
+        let a = simulate(&set, &plain).unwrap();
+        let b = simulate(&set, &neutral_plain).unwrap();
+        prop_assert_eq!(&a.trace, &b.trace, "{:?}", protocol);
+        prop_assert_eq!(a.events, b.events, "{:?}", protocol);
+
+        // Nonideal + synced path: a lossy, drifting, synced run vs the
+        // same with honest personas, zero asymmetry and an empty cut.
+        let nonideal = NonidealConfig::default()
+            .with_clocks(bad_clocks(5))
+            .with_channel(ChannelModel::uniform(Dur::ZERO, d(2)).with_seed(21));
+        let synced = SimConfig::new(protocol)
+            .with_instances(instances)
+            .with_trace()
+            .with_nonideal(nonideal.clone())
+            .with_sync(SyncConfig::new(d(10)));
+        let neutral_synced = SimConfig::new(protocol)
+            .with_instances(instances)
+            .with_trace()
+            .with_nonideal(nonideal.with_asymmetry(zero_asym))
+            .with_sync(
+                SyncConfig::new(d(10))
+                    .with_personas(vec![Persona::Honest; n])
+                    .with_persona_seed(41),
+            )
+            .with_faults(no_cut);
+        let c = simulate(&set, &synced).unwrap();
+        let e = simulate(&set, &neutral_synced).unwrap();
+        prop_assert_eq!(&c.trace, &e.trace, "{:?}", protocol);
+        prop_assert_eq!(c.events, e.events, "{:?}", protocol);
+        prop_assert_eq!(&c.sync_stats, &e.sync_stats, "{:?}", protocol);
     }
 }

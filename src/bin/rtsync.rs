@@ -54,6 +54,7 @@ fn run() -> Result<(), String> {
         "report" => cmd_report(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
+        "adversary-study" => cmd_adversary_study(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
         "sync-study" => cmd_sync_study(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
@@ -85,8 +86,9 @@ fn usage() -> String {
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--format perfetto|jsonl|gantt] [--counters] [--telemetry] [--window TICKS] \
      [--out FILE] [--sporadic MAX_EXTRA] [--seed S]\n  \
-     rtsync chaos [--runs N] [--smoke] [--transport] [--seed S] [--threads T] \
-     [--out DIR] [--telemetry FILE] [--window TICKS]\n  \
+     rtsync chaos [--runs N] [--smoke] [--adversarial] [--transport] [--seed S] \
+     [--threads T] [--out DIR] [--telemetry FILE] [--window TICKS]\n  \
+     rtsync adversary-study [--smoke] [--runs N] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync sync-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync bench [--json] [--smoke] [--out FILE] [--profile] \
@@ -625,6 +627,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             sy.max_true_error.ticks(),
             sy.max_uncertainty.ticks(),
         );
+        if sy.frames_lost + sy.frames_severed + sy.retransmits + sy.corrupted_samples > 0 {
+            println!(
+                "sync faults: {} frames lost, {} severed by partitions, \
+                 {} retransmits, {} corrupted samples",
+                sy.frames_lost, sy.frames_severed, sy.retransmits, sy.corrupted_samples
+            );
+        }
     }
     if let (Some(until), Some(trace)) = (gantt, &outcome.trace) {
         println!("\n{}", trace.render_gantt(Time::from_ticks(until)));
@@ -920,11 +929,13 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::adversary::AdversaryConfig;
     use rtsync::experiments::chaos::{
         render, repro_bundle, run_chaos, runs_csv, to_csv, worst_case_telemetry, ChaosConfig,
     };
     let mut runs: Option<usize> = None;
     let mut smoke = false;
+    let mut adversarial = false;
     let mut transport = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
@@ -945,6 +956,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
                 )
             }
             "--smoke" => smoke = true,
+            "--adversarial" => adversarial = true,
             "--transport" => transport = true,
             "--seed" => {
                 seed = Some(
@@ -974,6 +986,19 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     }
     if window.is_some_and(|w| w <= 0) {
         return Err("--window must be positive".to_string());
+    }
+    if adversarial {
+        // Route to the adversarial-time campaign, smoke-sized: chaos is
+        // the exploratory entry point, `adversary-study` runs the full
+        // grid. Transport/telemetry flags apply to crash chaos only.
+        let mut acfg = AdversaryConfig::smoke(runs.unwrap_or(24));
+        if let Some(s) = seed {
+            acfg.seed = s;
+        }
+        if let Some(t) = threads {
+            acfg.threads = t.max(1);
+        }
+        return run_adversary_campaign(&acfg, out_dir.as_deref());
     }
     let mut cfg = if smoke {
         ChaosConfig::smoke(runs.unwrap_or(25))
@@ -1067,6 +1092,103 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_adversary_study(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::adversary::AdversaryConfig;
+    let mut smoke = false;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--runs" => {
+                runs = Some(
+                    grab("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?,
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        AdversaryConfig::smoke(runs.unwrap_or(24))
+    } else {
+        let mut cfg = AdversaryConfig::default();
+        if let Some(total) = runs {
+            let cells = cfg.liar_counts.len() * cfg.partition_spans.len() * cfg.asym_biases.len();
+            cfg.runs_per_cell = total.div_ceil(cells).max(1);
+        }
+        cfg
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+    run_adversary_campaign(&cfg, out_dir.as_deref())
+}
+
+/// Shared driver of `adversary-study` and `chaos --adversarial`: run
+/// the grid, render it, optionally persist the CSVs, and fail the
+/// process if any armed invariant broke.
+fn run_adversary_campaign(
+    cfg: &rtsync::experiments::adversary::AdversaryConfig,
+    out_dir: Option<&str>,
+) -> Result<(), String> {
+    use rtsync::experiments::adversary::{grid_csv, render, run_adversary, summary_csv};
+    eprintln!(
+        "adversary campaign: {} runs ({} liar levels x {} partition spans x \
+         {} asymmetry biases x {} runs/cell), seed {:#x}",
+        cfg.total_runs(),
+        cfg.liar_counts.len(),
+        cfg.partition_spans.len(),
+        cfg.asym_biases.len(),
+        cfg.runs_per_cell,
+        cfg.seed
+    );
+    let outcome = run_adversary(cfg);
+    print!("{}", render(&outcome));
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let grid = format!("{dir}/adversary_grid.csv");
+        std::fs::write(&grid, grid_csv(&outcome)).map_err(|e| format!("writing {grid}: {e}"))?;
+        let summary = format!("{dir}/adversary_summary.csv");
+        std::fs::write(&summary, summary_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        eprintln!("wrote {grid} and {summary}");
+    }
+    if !outcome.is_clean() {
+        return Err(format!(
+            "{} of {} adversarial runs violated an armed invariant or stalled",
+            outcome.failures().len(),
+            outcome.verdicts.len()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use rtsync::bench::compare::{compare, parse_baseline, Tolerances};
     use rtsync::bench::run_suite_opts;
@@ -1116,7 +1238,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     eprintln!(
-        "bench suite: every protocol x {{ideal, nonideal, sync, faults_transport}}{}",
+        "bench suite: every protocol x {{ideal, nonideal, sync, partition, faults_transport}}{}",
         if smoke {
             " (smoke: reduced workload, numbers are a crash canary only)"
         } else {
