@@ -9,13 +9,16 @@
 //!   throughput baseline (`BENCH_sim.json`) and by the CI smoke job.
 //!
 //! The suite measures end-to-end simulator throughput (events per second
-//! of wall time) for every protocol under five escalating condition
+//! of wall time) for every protocol under six escalating condition
 //! tiers: `ideal` (the paper's assumptions), `nonideal` (drifting clocks
 //! and a lossy-free latency channel), `sync` (nonideal plus the periodic
 //! clock-synchronization exchanges), `partition` (sync plus a seeded
-//! random partition schedule severing and replaying traffic), and
+//! random partition schedule severing and replaying traffic),
 //! `faults_transport` (crash/recovery plus the acked endpoint transport
-//! with failure detection).
+//! with failure detection), and `gray` (slowdown/stall/degraded-link
+//! personas under the adaptive φ-accrual detector — the price of the
+//! gray penalty lookups, stretched service accounting, and φ window
+//! updates on every heartbeat).
 //! Numbers are machine-dependent: compare trajectories on one machine,
 //! not absolute values across machines — which is exactly what the
 //! [`compare`] sentry automates: per-iteration timings make a
@@ -42,7 +45,8 @@ use rtsync_core::time::Dur;
 use rtsync_sim::engine::{simulate, simulate_profiled, SimConfig};
 use rtsync_sim::nonideal::{ChannelModel, ClockModel};
 use rtsync_sim::{
-    DetectorConfig, EngineProfile, FaultConfig, PartitionSchedule, SyncConfig, TransportConfig,
+    DetectorConfig, EngineProfile, FaultConfig, GrayConfig, LinkSchedule, PartitionSchedule,
+    PhiConfig, SlowSchedule, StallSchedule, SyncConfig, TransportConfig,
 };
 use rtsync_workload::{generate, WorkloadSpec};
 
@@ -147,7 +151,8 @@ fn json_escape(s: &str) -> String {
 pub struct BenchResult {
     /// Protocol tag (`DS`, `PM`, `MPM`, `RG`).
     pub protocol: &'static str,
-    /// Scenario tag (`ideal`, `nonideal`, `sync`, `faults_transport`).
+    /// Scenario tag (`ideal`, `nonideal`, `sync`, `partition`,
+    /// `faults_transport`, `gray`).
     pub scenario: &'static str,
     /// Timed iterations (after one untimed warmup).
     pub iterations: u32,
@@ -232,8 +237,15 @@ impl BenchReport {
     }
 }
 
-/// The five condition tiers, in escalating order.
-const SCENARIOS: [&str; 5] = ["ideal", "nonideal", "sync", "partition", "faults_transport"];
+/// The six condition tiers, in escalating order.
+const SCENARIOS: [&str; 6] = [
+    "ideal",
+    "nonideal",
+    "sync",
+    "partition",
+    "faults_transport",
+    "gray",
+];
 
 /// Builds the `SimConfig` of one cell. Seeds are fixed so every
 /// invocation measures the identical event sequence.
@@ -306,6 +318,44 @@ fn cell_config(protocol: Protocol, scenario: &str, instances: u64) -> SimConfig 
                 Dur::from_ticks(restart_delay),
                 35,
             ))
+        }
+        "gray" => {
+            // Gray failures under the adaptive detector: slow windows,
+            // stalls and degraded links on a live system, with φ-accrual
+            // (window updates per heartbeat, Degraded cadence stretches)
+            // riding the acked transport. Nothing actually crashes.
+            let latency = 1_000;
+            base.with_channel(ChannelModel::constant(Dur::from_ticks(latency)).with_seed(33))
+                .with_transport(
+                    TransportConfig::new(Dur::from_ticks(4 * latency))
+                        .with_seed(34)
+                        .with_detector(
+                            DetectorConfig::new(Dur::from_ticks(10_000)).with_phi(PhiConfig::new()),
+                        ),
+                )
+                .with_faults(FaultConfig::gray_only(
+                    GrayConfig::new()
+                        .with_slow(SlowSchedule::Random {
+                            mean_healthy: Dur::from_ticks(4_000_000),
+                            span: Dur::from_ticks(200_000),
+                            factor: 8,
+                            seed: 36,
+                        })
+                        .with_stalls(StallSchedule::Random {
+                            mean_healthy: Dur::from_ticks(6_000_000),
+                            span: Dur::from_ticks(40_000),
+                            seed: 37,
+                        })
+                        .with_links(LinkSchedule::Random {
+                            mean_healthy: Dur::from_ticks(3_000_000),
+                            span: Dur::from_ticks(400_000),
+                            extra_latency: Dur::from_ticks(2_000),
+                            jitter: Dur::from_ticks(1_000),
+                            drop_permille: 300,
+                            seed: 38,
+                        })
+                        .with_frame_seed(39),
+                ))
         }
         other => unreachable!("unknown scenario {other}"),
     }

@@ -48,6 +48,7 @@ pub mod compare;
 pub mod convergence;
 pub mod exact;
 pub mod figures;
+pub mod gray;
 pub mod grid;
 pub mod robustness;
 pub mod seeding;
@@ -60,6 +61,7 @@ pub mod transport;
 pub use adversary::{run_adversary, AdversaryCell, AdversaryConfig, AdversaryOutcome};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosOutcome, ReproBundle};
 pub use figures::{figure_grid, Figure};
+pub use gray::{run_gray, GrayCell, GrayOutcome, GrayStudyConfig, GrayVerdict};
 pub use grid::Grid;
 pub use robustness::{run_robustness, RobustnessCell, RobustnessConfig};
 pub use study::{run_config, run_study, ConfigOutcome, StudyConfig};

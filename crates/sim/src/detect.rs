@@ -30,6 +30,143 @@ use rtsync_core::time::{Dur, Time};
 
 use crate::job::JobId;
 
+/// Adaptive φ-accrual detector parameters (armed via
+/// [`DetectorConfig::with_phi`]).
+///
+/// Instead of the fixed `suspect_after`/`dead_after` silence cliff, the
+/// φ-accrual detector keeps a per-pair window of heartbeat inter-arrival
+/// times and maps current silence `t` to a continuous suspicion level.
+/// Under the exponential-arrival simplification the survival probability
+/// is `P(alive) = exp(-t / mean)`, so
+///
+/// ```text
+/// φ(t) = -log10 P(alive) = t / (mean · ln 10)
+/// ```
+///
+/// which inverts to a *deterministic threshold-crossing instant*
+/// `t* = ⌈φ* · mean · ln 10⌉` for each configured φ threshold — the
+/// engine schedules those instants as ordinary generation-stamped
+/// suspicion timers, so the adaptive detector costs no more events than
+/// the fixed one. A peer that merely slows down stretches its observed
+/// inter-arrival mean, which pushes every threshold-crossing instant
+/// out proportionally: that is the adaptivity the fixed cliff lacks.
+///
+/// Verdicts walk [`PeerState::Alive`] → [`PeerState::Degraded`] →
+/// [`PeerState::Suspect`] → [`PeerState::Dead`] as φ crosses
+/// `degraded_phi` < `suspect_phi` < `dead_phi`. Demotion back to Alive
+/// requires `hysteresis` consecutive on-time heartbeats, so a jittery
+/// wire cannot flap verdicts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhiConfig {
+    /// Inter-arrival history window per `(observer, subject)` pair.
+    pub window: usize,
+    /// Below this many samples the observed mean is not trusted yet and
+    /// the configured heartbeat period stands in (warmup).
+    pub min_samples: usize,
+    /// φ at which a peer turns [`PeerState::Degraded`].
+    pub degraded_phi: f64,
+    /// φ at which a peer turns [`PeerState::Suspect`].
+    pub suspect_phi: f64,
+    /// φ at which a peer turns [`PeerState::Dead`].
+    pub dead_phi: f64,
+    /// Consecutive on-time heartbeats required before a peer under
+    /// suspicion is demoted back to [`PeerState::Alive`].
+    pub hysteresis: u32,
+    /// RG response while a predecessor's host is Degraded: the guard
+    /// expiry is pushed out by this much slack (late signals from a slow
+    /// node then land before the guard, avoiding a spurious forced
+    /// cadence).
+    pub rg_guard_slack: Dur,
+    /// MPM response while Degraded: the degraded re-arm cadence marches
+    /// at `period · (1000 + stretch) / 1000` instead of one period.
+    pub mpm_stretch_permille: u32,
+    /// Deadline-watchdog response: while any peer pair is Degraded the
+    /// consecutive-miss budget is scaled by this permille (≥ 1000), so a
+    /// known-slow system gets a slowdown-aware budget instead of
+    /// tripping on the inevitable misses.
+    pub watchdog_scale_permille: u32,
+}
+
+impl PhiConfig {
+    /// Defaults: 16-sample window, 3-sample warmup, φ thresholds
+    /// 1 / 2 / 4 (suspicion at 90%, 99%, 99.99% confidence), hysteresis
+    /// of 2 on-time beats, no RG slack, +25% MPM stretch, 2× watchdog
+    /// budget.
+    pub fn new() -> PhiConfig {
+        PhiConfig {
+            window: 16,
+            min_samples: 3,
+            degraded_phi: 1.0,
+            suspect_phi: 2.0,
+            dead_phi: 4.0,
+            hysteresis: 2,
+            rg_guard_slack: Dur::ZERO,
+            mpm_stretch_permille: 250,
+            watchdog_scale_permille: 2000,
+        }
+    }
+
+    /// Sets the three φ thresholds (must be positive and strictly
+    /// increasing).
+    pub fn with_thresholds(mut self, degraded: f64, suspect: f64, dead: f64) -> PhiConfig {
+        assert!(
+            degraded > 0.0 && suspect > degraded && dead > suspect,
+            "need 0 < degraded_phi < suspect_phi < dead_phi"
+        );
+        self.degraded_phi = degraded;
+        self.suspect_phi = suspect;
+        self.dead_phi = dead;
+        self
+    }
+
+    /// Sets the history window and warmup sample count.
+    pub fn with_window(mut self, window: usize, min_samples: usize) -> PhiConfig {
+        assert!(window >= 1 && min_samples >= 1, "window and warmup >= 1");
+        self.window = window;
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Sets the demotion hysteresis (consecutive on-time beats).
+    pub fn with_hysteresis(mut self, beats: u32) -> PhiConfig {
+        assert!(beats >= 1, "hysteresis must be at least 1");
+        self.hysteresis = beats;
+        self
+    }
+
+    /// Sets the RG degraded-mode guard slack.
+    pub fn with_rg_guard_slack(mut self, slack: Dur) -> PhiConfig {
+        self.rg_guard_slack = slack;
+        self
+    }
+
+    /// Sets the MPM degraded-cadence stretch in permille.
+    pub fn with_mpm_stretch_permille(mut self, stretch: u32) -> PhiConfig {
+        self.mpm_stretch_permille = stretch;
+        self
+    }
+
+    /// Sets the degraded-mode watchdog budget scale in permille (≥ 1000).
+    pub fn with_watchdog_scale_permille(mut self, scale: u32) -> PhiConfig {
+        assert!(scale >= 1000, "watchdog scale must not shrink the budget");
+        self.watchdog_scale_permille = scale;
+        self
+    }
+
+    /// The silence after which φ crosses `phi`, for a given inter-arrival
+    /// mean: `⌈φ · mean · ln 10⌉` ticks, at least 1.
+    fn deadline(&self, phi: f64, mean_ticks: f64) -> Dur {
+        let t = (phi * mean_ticks * std::f64::consts::LN_10).ceil() as i64;
+        Dur::from_ticks(t.max(1))
+    }
+}
+
+impl Default for PhiConfig {
+    fn default() -> PhiConfig {
+        PhiConfig::new()
+    }
+}
+
 /// Heartbeat failure-detector parameters (attached to a transport via
 /// [`TransportConfig::with_detector`]).
 ///
@@ -53,6 +190,9 @@ pub struct DetectorConfig {
     /// Consecutive end-to-end deadline misses of one task before the
     /// deadline watchdog trips (a structured event; `None` disables).
     pub watchdog_misses: Option<u32>,
+    /// Adaptive φ-accrual mode; `None` keeps the fixed
+    /// `suspect_after`/`dead_after` cliff bit-identically.
+    pub phi: Option<PhiConfig>,
 }
 
 impl DetectorConfig {
@@ -68,6 +208,7 @@ impl DetectorConfig {
             dead_after: Dur::from_ticks(period.ticks().saturating_mul(6)),
             degradation: true,
             watchdog_misses: None,
+            phi: None,
         }
     }
 
@@ -103,6 +244,45 @@ impl DetectorConfig {
         self
     }
 
+    /// Arms the adaptive φ-accrual mode.
+    pub fn with_phi(mut self, phi: PhiConfig) -> DetectorConfig {
+        assert!(
+            phi.degraded_phi > 0.0
+                && phi.suspect_phi > phi.degraded_phi
+                && phi.dead_phi > phi.suspect_phi,
+            "need 0 < degraded_phi < suspect_phi < dead_phi"
+        );
+        assert!(
+            phi.window >= 1 && phi.min_samples >= 1,
+            "window/warmup >= 1"
+        );
+        self.phi = Some(phi);
+        self
+    }
+
+    /// Normalizes the thresholds so the detector state machine is sound
+    /// even for configs built by struct literal or whose defaults
+    /// saturated (`DetectorConfig::new` multiplies the period by 3 and 6
+    /// with saturating arithmetic, so an enormous period used to collapse
+    /// `dead_after` onto `suspect_after` and the peer jumped straight to
+    /// Dead). Guarantees `0 < suspect_after < dead_after`.
+    pub fn normalized(mut self) -> DetectorConfig {
+        if !self.suspect_after.is_positive() {
+            self.suspect_after = self.period.max(Dur::from_ticks(1));
+        }
+        if self.dead_after <= self.suspect_after {
+            self.dead_after = self
+                .suspect_after
+                .saturating_add(self.suspect_after.max(Dur::from_ticks(1)));
+            if self.dead_after <= self.suspect_after {
+                // The add saturated at the top of the tick range: pull the
+                // suspicion threshold down instead.
+                self.suspect_after = Dur::from_ticks((self.dead_after.ticks() / 2).max(1));
+            }
+        }
+        self
+    }
+
     /// Residual silence a suspect must accumulate before it is declared
     /// dead.
     pub(crate) fn suspect_to_dead(&self) -> Dur {
@@ -115,10 +295,16 @@ impl DetectorConfig {
 pub enum PeerState {
     /// Heartbeats are fresh.
     Alive,
-    /// Silence exceeded [`DetectorConfig::suspect_after`].
+    /// φ crossed [`PhiConfig::degraded_phi`]: the peer looks slow but
+    /// alive. Per-protocol degraded responses (RG guard slack, MPM
+    /// cadence stretch, watchdog budget scale) apply; forced releases do
+    /// not. Only the φ-accrual mode ever enters this state.
+    Degraded,
+    /// Silence exceeded [`DetectorConfig::suspect_after`] (or φ crossed
+    /// [`PhiConfig::suspect_phi`]).
     Suspect,
-    /// Silence exceeded [`DetectorConfig::dead_after`]; degraded releases
-    /// may begin.
+    /// Silence exceeded [`DetectorConfig::dead_after`] (or φ crossed
+    /// [`PhiConfig::dead_phi`]); degraded releases may begin.
     Dead,
 }
 
@@ -153,6 +339,19 @@ pub struct DetectStats {
     pub stale_signals_suppressed: u64,
     /// Deadline-watchdog trips (consecutive-miss threshold crossings).
     pub watchdog_trips: u64,
+    /// Alive → Degraded transitions (φ-accrual mode only).
+    pub degradeds: u64,
+    /// Degraded transitions whose subject really was gray (slowed,
+    /// stalled, or behind a degraded link) and up — the adaptive
+    /// detector calling a gray failure a gray failure.
+    pub gray_hits: u64,
+    /// Dead verdicts on a peer that was up but gray — the headline
+    /// failure mode of a fixed-timeout detector against a merely-slow
+    /// node.
+    pub false_dead_gray: u64,
+    /// Heartbeats that arrived while a peer was under suspicion but were
+    /// held back from reviving it by the demotion hysteresis.
+    pub hysteresis_holds: u64,
 }
 
 impl DetectStats {
@@ -171,6 +370,16 @@ impl DetectStats {
 /// One graceful-degradation (or detector-transition) event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Degradation {
+    /// `observer`'s φ crossed the degraded threshold for `subject`: the
+    /// peer looks slow but alive (φ-accrual mode only).
+    PeerDegraded {
+        /// The processor whose detector transitioned.
+        observer: usize,
+        /// The slow-looking peer.
+        subject: usize,
+        /// The peer really was gray (ground truth) at the transition.
+        gray_truth: bool,
+    },
     /// `observer` stopped hearing `subject` and turned it Suspect.
     PeerSuspect {
         /// The processor whose detector transitioned.
@@ -237,6 +446,56 @@ pub struct DegradationEvent {
     pub kind: Degradation,
 }
 
+/// Per-pair φ-accrual state: a ring of heartbeat inter-arrival times
+/// plus the hysteresis streak.
+#[derive(Clone, Debug)]
+struct PhiState {
+    /// Inter-arrival ring (ticks), capacity = [`PhiConfig::window`].
+    intervals: Vec<i64>,
+    pos: usize,
+    len: usize,
+    sum: i64,
+    /// When the last heartbeat landed.
+    last_heard: Option<Time>,
+    /// Consecutive on-time heartbeats since suspicion began.
+    streak: u32,
+}
+
+impl PhiState {
+    fn new() -> PhiState {
+        PhiState {
+            intervals: Vec::new(),
+            pos: 0,
+            len: 0,
+            sum: 0,
+            last_heard: None,
+            streak: 0,
+        }
+    }
+
+    fn push(&mut self, interval: i64, window: usize) {
+        if self.intervals.len() < window {
+            self.intervals.push(interval);
+            self.sum += interval;
+            self.len += 1;
+            return;
+        }
+        self.sum += interval - self.intervals[self.pos];
+        self.intervals[self.pos] = interval;
+        self.pos = (self.pos + 1) % window;
+    }
+
+    /// Observed mean inter-arrival in ticks; `period` stands in during
+    /// warmup.
+    fn mean(&self, min_samples: usize, period: Dur) -> f64 {
+        if self.len < min_samples {
+            period.ticks().max(1) as f64
+        } else {
+            self.sum as f64 / self.len as f64
+        }
+    }
+}
+
 /// Per-run detector state: one `(observer, subject)` belief matrix plus
 /// the forced-release bookkeeping of the degradation controller.
 #[derive(Debug)]
@@ -249,6 +508,8 @@ pub(crate) struct DetectState {
     heard_count: Vec<u64>,
     /// Current belief, per `observer × subject`.
     state: Vec<PeerState>,
+    /// φ-accrual state per `observer × subject`; empty in fixed mode.
+    phi: Vec<PhiState>,
     /// Per flat successor index: instances force-released from local
     /// information (late real signals for these are suppressed).
     forced: Vec<std::collections::BTreeSet<u64>>,
@@ -257,11 +518,18 @@ pub(crate) struct DetectState {
 
 impl DetectState {
     pub(crate) fn new(cfg: DetectorConfig, num_procs: usize, flat_len: usize) -> DetectState {
+        let cfg = cfg.normalized();
+        let phi = if cfg.phi.is_some() {
+            vec![PhiState::new(); num_procs * num_procs]
+        } else {
+            Vec::new()
+        };
         DetectState {
             cfg,
             num_procs,
             heard_count: vec![0; num_procs * num_procs],
             state: vec![PeerState::Alive; num_procs * num_procs],
+            phi,
             forced: vec![std::collections::BTreeSet::new(); flat_len],
             stats: DetectStats::default(),
         }
@@ -271,18 +539,113 @@ impl DetectState {
         observer * self.num_procs + subject
     }
 
-    /// A heartbeat from `subject` reached `observer`: refresh the
-    /// generation and revive the peer if it was under suspicion. Returns
-    /// the new generation and whether this was a revival.
-    pub(crate) fn heard(&mut self, observer: usize, subject: usize) -> (u64, bool) {
+    /// The silence after which the *next* verdict on this pair lands,
+    /// measured from the most recent heartbeat. `None` when the pair is
+    /// already Dead. In fixed mode this is the `suspect_after` /
+    /// `dead_after` cliff; in φ mode it is the threshold-crossing
+    /// instant of the next φ level under the pair's current mean.
+    pub(crate) fn arm_budget(&self, observer: usize, subject: usize) -> Option<Dur> {
+        let slot = self.slot(observer, subject);
+        match &self.cfg.phi {
+            None => match self.state[slot] {
+                PeerState::Alive | PeerState::Degraded => Some(self.cfg.suspect_after),
+                PeerState::Suspect => Some(self.cfg.dead_after),
+                PeerState::Dead => None,
+            },
+            Some(phi) => {
+                let mean = self.phi[slot].mean(phi.min_samples, self.cfg.period);
+                match self.state[slot] {
+                    PeerState::Alive => Some(phi.deadline(phi.degraded_phi, mean)),
+                    PeerState::Degraded => Some(phi.deadline(phi.suspect_phi, mean)),
+                    PeerState::Suspect => Some(phi.deadline(phi.dead_phi, mean)),
+                    PeerState::Dead => None,
+                }
+            }
+        }
+    }
+
+    /// The residual silence from the verdict that just landed to the
+    /// next one (the suspicion timer fires exactly at threshold
+    /// instants, so the residue is the difference of consecutive
+    /// deadlines). `None` when the pair is Dead.
+    pub(crate) fn residue_budget(&self, observer: usize, subject: usize) -> Option<Dur> {
+        let slot = self.slot(observer, subject);
+        match &self.cfg.phi {
+            None => match self.state[slot] {
+                PeerState::Suspect => Some(self.cfg.suspect_to_dead()),
+                _ => None,
+            },
+            Some(phi) => {
+                let mean = self.phi[slot].mean(phi.min_samples, self.cfg.period);
+                match self.state[slot] {
+                    PeerState::Degraded => Some(Dur::from_ticks(
+                        (phi.deadline(phi.suspect_phi, mean)
+                            - phi.deadline(phi.degraded_phi, mean))
+                        .ticks()
+                        .max(1),
+                    )),
+                    PeerState::Suspect => Some(Dur::from_ticks(
+                        (phi.deadline(phi.dead_phi, mean) - phi.deadline(phi.suspect_phi, mean))
+                            .ticks()
+                            .max(1),
+                    )),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// A heartbeat from `subject` reached `observer` at `now`: refresh
+    /// the generation, record the inter-arrival sample (φ mode), and
+    /// revive the peer if it was under suspicion — immediately in fixed
+    /// mode, after [`PhiConfig::hysteresis`] consecutive on-time beats
+    /// in φ mode. Returns the new generation and whether this was a
+    /// revival.
+    pub(crate) fn heard(&mut self, observer: usize, subject: usize, now: Time) -> (u64, bool) {
         let slot = self.slot(observer, subject);
         self.stats.heartbeats_delivered += 1;
         self.heard_count[slot] += 1;
-        let revived = self.state[slot] != PeerState::Alive;
-        if revived {
-            self.stats.revivals += 1;
-            self.state[slot] = PeerState::Alive;
-        }
+        let revived = match self.cfg.phi.clone() {
+            None => {
+                let revived = self.state[slot] != PeerState::Alive;
+                if revived {
+                    self.stats.revivals += 1;
+                    self.state[slot] = PeerState::Alive;
+                }
+                revived
+            }
+            Some(phi) => {
+                // Judge the arrival against the expectations held *before*
+                // it: on-time means it would not itself have pushed φ past
+                // the degraded threshold.
+                let mean = self.phi[slot].mean(phi.min_samples, self.cfg.period);
+                let on_time_bound = phi.deadline(phi.degraded_phi, mean);
+                let interval = self.phi[slot].last_heard.map(|last| (now - last).ticks());
+                self.phi[slot].last_heard = Some(now);
+                if let Some(ticks) = interval {
+                    self.phi[slot].push(ticks.max(0), phi.window);
+                }
+                if self.state[slot] == PeerState::Alive {
+                    false
+                } else {
+                    let on_time = interval.is_none_or(|t| t <= on_time_bound.ticks());
+                    if on_time {
+                        self.phi[slot].streak += 1;
+                    } else {
+                        self.phi[slot].streak = 0;
+                    }
+                    if self.phi[slot].streak >= phi.hysteresis {
+                        self.stats.revivals += 1;
+                        self.state[slot] = PeerState::Alive;
+                        self.phi[slot].streak = 0;
+                        true
+                    } else {
+                        self.stats.hysteresis_holds += 1;
+                        false
+                    }
+                }
+            }
+        };
         (self.heard_count[slot], revived)
     }
 
@@ -297,33 +660,73 @@ impl DetectState {
     }
 
     /// A suspicion timer fired with a fresh generation: advance the
-    /// belief one step. `actually_down` is the ground truth at this
+    /// belief one step — Alive → Suspect → Dead on the fixed cliff,
+    /// Alive → Degraded → Suspect → Dead under φ-accrual.
+    /// `actually_down` / `actually_gray` are the ground truth at this
     /// instant. Returns the transition taken, if any.
     pub(crate) fn advance_suspicion(
         &mut self,
         observer: usize,
         subject: usize,
         actually_down: bool,
+        actually_gray: bool,
     ) -> Option<PeerState> {
         let slot = self.slot(observer, subject);
-        match self.state[slot] {
-            PeerState::Alive => {
-                self.state[slot] = PeerState::Suspect;
+        let adaptive = self.cfg.phi.is_some();
+        let next = match self.state[slot] {
+            PeerState::Alive if adaptive => PeerState::Degraded,
+            PeerState::Alive | PeerState::Degraded => PeerState::Suspect,
+            PeerState::Suspect => PeerState::Dead,
+            PeerState::Dead => return None,
+        };
+        if self.state[slot] == PeerState::Alive && adaptive {
+            self.phi[slot].streak = 0;
+        }
+        self.state[slot] = next;
+        match next {
+            PeerState::Degraded => {
+                self.stats.degradeds += 1;
+                if actually_gray && !actually_down {
+                    self.stats.gray_hits += 1;
+                }
+            }
+            PeerState::Suspect => {
                 self.stats.suspects += 1;
                 if !actually_down {
                     self.stats.false_suspects += 1;
                 }
-                Some(PeerState::Suspect)
             }
-            PeerState::Suspect => {
-                self.state[slot] = PeerState::Dead;
+            PeerState::Dead => {
                 self.stats.deads += 1;
                 if !actually_down {
                     self.stats.false_deads += 1;
+                    if actually_gray {
+                        self.stats.false_dead_gray += 1;
+                    }
                 }
-                Some(PeerState::Dead)
             }
-            PeerState::Dead => None,
+            PeerState::Alive => unreachable!("transitions never target Alive"),
+        }
+        Some(next)
+    }
+
+    /// `true` while any ordered pair is currently Degraded (the
+    /// slowdown-aware watchdog budget applies system-wide).
+    pub(crate) fn any_degraded(&self) -> bool {
+        self.state.contains(&PeerState::Degraded)
+    }
+
+    /// The effective consecutive-miss watchdog budget: the configured
+    /// threshold, scaled by [`PhiConfig::watchdog_scale_permille`] while
+    /// any peer pair is Degraded.
+    pub(crate) fn watchdog_budget(&self) -> Option<u32> {
+        let base = self.cfg.watchdog_misses?;
+        match &self.cfg.phi {
+            Some(phi) if self.any_degraded() => {
+                let scaled = (u64::from(base) * u64::from(phi.watchdog_scale_permille)) / 1000;
+                Some((scaled as u32).max(base))
+            }
+            _ => Some(base),
         }
     }
 
@@ -345,10 +748,10 @@ impl DetectState {
     }
 
     /// Census of current beliefs over all ordered `observer × subject`
-    /// pairs (self-pairs excluded): `(alive, suspect, dead)`. Read-only;
-    /// the telemetry layer samples it at end-of-instant.
-    pub(crate) fn census(&self) -> (u32, u32, u32) {
-        let (mut alive, mut suspect, mut dead) = (0, 0, 0);
+    /// pairs (self-pairs excluded): `(alive, degraded, suspect, dead)`.
+    /// Read-only; the telemetry layer samples it at end-of-instant.
+    pub(crate) fn census(&self) -> (u32, u32, u32, u32) {
+        let (mut alive, mut degraded, mut suspect, mut dead) = (0, 0, 0, 0);
         for o in 0..self.num_procs {
             for s in 0..self.num_procs {
                 if o == s {
@@ -356,12 +759,13 @@ impl DetectState {
                 }
                 match self.state[self.slot(o, s)] {
                     PeerState::Alive => alive += 1,
+                    PeerState::Degraded => degraded += 1,
                     PeerState::Suspect => suspect += 1,
                     PeerState::Dead => dead += 1,
                 }
             }
         }
-        (alive, suspect, dead)
+        (alive, degraded, suspect, dead)
     }
 
     /// Subjects that `observer` currently believes dead.
@@ -397,11 +801,17 @@ mod tests {
         let mut st = DetectState::new(cfg, 3, 2);
         assert_eq!(st.peer_state(0, 1), PeerState::Alive);
         // False suspicion: peer actually up.
-        assert_eq!(st.advance_suspicion(0, 1, false), Some(PeerState::Suspect));
+        assert_eq!(
+            st.advance_suspicion(0, 1, false, false),
+            Some(PeerState::Suspect)
+        );
         // Real death: peer actually down by now.
-        assert_eq!(st.advance_suspicion(0, 1, true), Some(PeerState::Dead));
+        assert_eq!(
+            st.advance_suspicion(0, 1, true, false),
+            Some(PeerState::Dead)
+        );
         // Further firings are inert.
-        assert_eq!(st.advance_suspicion(0, 1, true), None);
+        assert_eq!(st.advance_suspicion(0, 1, true, false), None);
         assert_eq!(st.stats.suspects, 1);
         assert_eq!(st.stats.false_suspects, 1);
         assert_eq!(st.stats.deads, 1);
@@ -416,12 +826,12 @@ mod tests {
         let cfg = DetectorConfig::new(d(10));
         let mut st = DetectState::new(cfg, 2, 1);
         assert_eq!(st.generation(0, 1), 0);
-        let (generation, revived) = st.heard(0, 1);
+        let (generation, revived) = st.heard(0, 1, Time::from_ticks(10));
         assert_eq!((generation, revived), (1, false));
-        st.advance_suspicion(0, 1, true);
-        st.advance_suspicion(0, 1, true);
+        st.advance_suspicion(0, 1, true, false);
+        st.advance_suspicion(0, 1, true, false);
         assert_eq!(st.peer_state(0, 1), PeerState::Dead);
-        let (generation, revived) = st.heard(0, 1);
+        let (generation, revived) = st.heard(0, 1, Time::from_ticks(80));
         assert_eq!((generation, revived), (2, true));
         assert_eq!(st.peer_state(0, 1), PeerState::Alive);
         assert_eq!(st.stats.revivals, 1);
@@ -460,5 +870,182 @@ mod tests {
     #[should_panic(expected = "suspect_after")]
     fn thresholds_must_be_ordered() {
         let _ = DetectorConfig::new(d(10)).with_thresholds(d(20), d(20));
+    }
+
+    #[test]
+    fn saturated_default_thresholds_are_normalized() {
+        // Regression: a period near the top of the tick range saturates
+        // both `saturating_mul(3)` and `saturating_mul(6)`, collapsing
+        // `dead_after` onto `suspect_after` — `suspect_to_dead()` was
+        // zero and a silent peer jumped straight from Suspect to Dead at
+        // the same instant.
+        let cfg = DetectorConfig::new(Dur::from_ticks(i64::MAX / 4)).normalized();
+        assert!(
+            cfg.dead_after > cfg.suspect_after,
+            "normalization must restore the ordering"
+        );
+        assert!(cfg.suspect_to_dead().is_positive());
+    }
+
+    #[test]
+    fn literal_constructed_thresholds_are_normalized_at_state_build() {
+        // Public fields allow configs that bypass `with_thresholds`; the
+        // state machine normalizes at construction instead of running
+        // with a zero Suspect->Dead residue.
+        let cfg = DetectorConfig {
+            period: d(10),
+            latency: Dur::ZERO,
+            suspect_after: d(30),
+            dead_after: d(20), // out of order on purpose
+            degradation: true,
+            watchdog_misses: None,
+            phi: None,
+        };
+        let st = DetectState::new(cfg, 2, 1);
+        assert!(st.cfg.dead_after > st.cfg.suspect_after);
+        assert!(st.cfg.suspect_to_dead().is_positive());
+        assert_eq!(st.arm_budget(0, 1), Some(d(30)), "suspect cliff intact");
+    }
+
+    fn phi_cfg() -> DetectorConfig {
+        DetectorConfig::new(d(10)).with_phi(PhiConfig::new().with_window(8, 3).with_hysteresis(2))
+    }
+
+    #[test]
+    fn phi_suspicion_is_monotone_in_silence() {
+        // The three threshold-crossing instants must be strictly ordered
+        // for any mean: longer silence, higher suspicion level.
+        let st = DetectState::new(phi_cfg(), 2, 1);
+        let degraded = st.arm_budget(0, 1).unwrap();
+        let mut st2 = DetectState::new(phi_cfg(), 2, 1);
+        st2.advance_suspicion(0, 1, false, false); // -> Degraded
+        let suspect_residue = st2.residue_budget(0, 1).unwrap();
+        st2.advance_suspicion(0, 1, false, false); // -> Suspect
+        let dead_residue = st2.residue_budget(0, 1).unwrap();
+        assert!(degraded.is_positive());
+        assert!(suspect_residue.is_positive());
+        assert!(dead_residue.is_positive());
+        // Deadlines accumulate: d(degraded) < d(suspect) < d(dead).
+        let phi = PhiConfig::new();
+        let mean = 10.0;
+        assert!(phi.deadline(phi.degraded_phi, mean) < phi.deadline(phi.suspect_phi, mean));
+        assert!(phi.deadline(phi.suspect_phi, mean) < phi.deadline(phi.dead_phi, mean));
+    }
+
+    #[test]
+    fn phi_deadlines_stretch_with_the_observed_mean() {
+        // A slowed peer doubles its inter-arrival mean; once past warmup
+        // the degraded deadline doubles with it (±1 for ceiling).
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        let warm = st.arm_budget(0, 1).unwrap();
+        // Feed 4 nominal beats (period 10), then check the deadline is
+        // unchanged from warmup (mean == period).
+        for k in 0..5 {
+            st.heard(0, 1, Time::from_ticks(10 * (k + 1)));
+        }
+        let nominal = st.arm_budget(0, 1).unwrap();
+        assert_eq!(warm, nominal, "nominal beats keep the warmup deadline");
+        // Now feed slow beats at period 20 until the window is full of
+        // them; the deadline must roughly double.
+        let mut now = 50;
+        for _ in 0..8 {
+            now += 20;
+            st.heard(0, 1, Time::from_ticks(now));
+        }
+        let slowed = st.arm_budget(0, 1).unwrap();
+        assert!(
+            slowed.ticks() >= nominal.ticks() * 2 - 2,
+            "deadline must stretch with the mean: {} vs {}",
+            slowed.ticks(),
+            nominal.ticks()
+        );
+    }
+
+    #[test]
+    fn phi_window_warmup_falls_back_to_the_period() {
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        let warm = st.arm_budget(0, 1).unwrap();
+        // One wild first interval below min_samples must not move the
+        // deadline (mean still the configured period).
+        st.heard(0, 1, Time::from_ticks(5));
+        st.heard(0, 1, Time::from_ticks(500));
+        let still_warm = st.arm_budget(0, 1).unwrap();
+        assert_eq!(warm, still_warm, "below min_samples the period stands in");
+    }
+
+    #[test]
+    fn phi_hysteresis_requires_consecutive_on_time_beats() {
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        // Establish a nominal history, then degrade the pair.
+        for k in 0..4 {
+            st.heard(0, 1, Time::from_ticks(10 * (k + 1)));
+        }
+        st.advance_suspicion(0, 1, false, true);
+        assert_eq!(st.peer_state(0, 1), PeerState::Degraded);
+        // First on-time beat: held by hysteresis (streak 1 < 2).
+        let (_, revived) = st.heard(0, 1, Time::from_ticks(50));
+        assert!(!revived, "one on-time beat must not revive yet");
+        assert_eq!(st.stats.hysteresis_holds, 1);
+        assert_eq!(st.peer_state(0, 1), PeerState::Degraded);
+        // Second consecutive on-time beat: revived.
+        let (_, revived) = st.heard(0, 1, Time::from_ticks(60));
+        assert!(revived, "two consecutive on-time beats revive");
+        assert_eq!(st.peer_state(0, 1), PeerState::Alive);
+        assert_eq!(st.stats.revivals, 1);
+    }
+
+    #[test]
+    fn phi_late_beat_resets_the_hysteresis_streak() {
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        for k in 0..4 {
+            st.heard(0, 1, Time::from_ticks(10 * (k + 1)));
+        }
+        st.advance_suspicion(0, 1, false, true);
+        let (_, revived) = st.heard(0, 1, Time::from_ticks(50));
+        assert!(!revived);
+        // A very late beat resets the streak; the next on-time beat is
+        // streak 1 again, still held.
+        let (_, revived) = st.heard(0, 1, Time::from_ticks(400));
+        assert!(!revived, "late beat must not count toward demotion");
+        let (_, revived) = st.heard(0, 1, Time::from_ticks(410));
+        assert!(!revived, "streak restarted after the late beat");
+        assert_eq!(st.peer_state(0, 1), PeerState::Degraded);
+    }
+
+    #[test]
+    fn phi_walk_counts_gray_ground_truth() {
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        // Degraded on a genuinely gray peer: a gray hit.
+        assert_eq!(
+            st.advance_suspicion(0, 1, false, true),
+            Some(PeerState::Degraded)
+        );
+        assert_eq!(st.stats.degradeds, 1);
+        assert_eq!(st.stats.gray_hits, 1);
+        // Walk to Dead while the peer is up-but-gray: headline metric.
+        st.advance_suspicion(0, 1, false, true);
+        st.advance_suspicion(0, 1, false, true);
+        assert_eq!(st.peer_state(0, 1), PeerState::Dead);
+        assert_eq!(st.stats.false_deads, 1);
+        assert_eq!(st.stats.false_dead_gray, 1);
+        let (alive, degraded, suspect, dead) = st.census();
+        assert_eq!((alive, degraded, suspect, dead), (1, 0, 0, 1));
+    }
+
+    #[test]
+    fn watchdog_budget_scales_while_any_pair_is_degraded() {
+        let cfg = DetectorConfig::new(d(10))
+            .with_watchdog(3)
+            .with_phi(PhiConfig::new().with_watchdog_scale_permille(2000));
+        let mut st = DetectState::new(cfg, 2, 1);
+        assert_eq!(st.watchdog_budget(), Some(3));
+        st.advance_suspicion(0, 1, false, true); // -> Degraded
+        assert_eq!(st.watchdog_budget(), Some(6), "2x budget while degraded");
+        st.advance_suspicion(0, 1, false, true); // -> Suspect
+        assert_eq!(
+            st.watchdog_budget(),
+            Some(3),
+            "back to base once past Degraded"
+        );
     }
 }

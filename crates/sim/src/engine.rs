@@ -356,6 +356,20 @@ pub fn simulate_profiled(
     Ok((outcome, profile))
 }
 
+/// Which wire family a frame belongs to, for gray-link drop accounting.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GrayFamily {
+    /// Oracle signal path — pays latency and jitter but is never
+    /// gray-dropped (the channel model owns signal loss).
+    Signal,
+    /// Failure-detector heartbeats.
+    Heartbeat,
+    /// Reliable-transport payload frames.
+    Transport,
+    /// Clock-sync request/response frames.
+    Sync,
+}
+
 struct Engine<'a, O: Observer, P: Profiler> {
     set: &'a TaskSet,
     cfg: &'a SimConfig,
@@ -400,6 +414,10 @@ struct Engine<'a, O: Observer, P: Profiler> {
     degradations: Vec<DegradationEvent>,
     /// Consecutive end-to-end deadline misses per task (the watchdog).
     miss_streak: Vec<u32>,
+    /// Whether the watchdog already tripped for the current miss streak
+    /// (one trip per streak even when the budget moves under it: a
+    /// degraded-mode budget can shrink back below an ongoing streak).
+    watchdog_tripped: Vec<bool>,
     horizon: Time,
     events: u64,
     now: Time,
@@ -493,8 +511,39 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             )),
             (None, false) => None,
         };
+        // Gray windows retard without stopping: slowdowns stretch every
+        // service tick by their factor, stalls freeze their node outright,
+        // and degraded links tax every crossing frame. Pad the horizon by
+        // the worst-case stretch so the instance target stays reachable;
+        // the horizon is only a cap, so over-padding costs nothing on
+        // healthy runs.
         let horizon = match &faults {
-            Some(fs) => horizon.saturating_add(fs.total_downtime()),
+            Some(fs) => {
+                let link: Dur = fs
+                    .link_windows
+                    .iter()
+                    .map(|w| w.extra_latency.saturating_add(w.jitter))
+                    .fold(Dur::ZERO, |a, b| a.saturating_add(b));
+                // Gray windows add demand without killing it: a slowed or
+                // stalled processor accumulates backlog that drains only
+                // at the idle capacity 1 - U, so the horizon must absorb
+                // extra_demand / (1 - U), not just the extra demand. The
+                // busy fraction is capped at 95% so a saturated set still
+                // gets a finite (if generous) drain allowance.
+                let extra = fs.gray_service_padding();
+                let drain = if extra.is_positive() {
+                    let busy_ppm = set.max_processor_utilization_ppm().min(950_000);
+                    let drained =
+                        (extra.ticks() as i128) * 1_000_000 / (1_000_000 - busy_ppm as i128);
+                    Dur::from_ticks(drained.min(i64::MAX as i128) as i64)
+                } else {
+                    Dur::ZERO
+                };
+                horizon
+                    .saturating_add(fs.total_downtime())
+                    .saturating_add(drain)
+                    .saturating_add(link)
+            }
             None => horizon,
         };
         let transport = cfg
@@ -552,6 +601,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             sync,
             degradations: Vec::new(),
             miss_streak: vec![0; set.num_tasks()],
+            watchdog_tripped: vec![false; set.num_tasks()],
             horizon,
             events: 0,
             now: Time::ZERO,
@@ -629,6 +679,33 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 fault_events.push((w.at, EventKind::PartitionStart { idx: i as u32 }));
                 fault_events.push((w.heals_at(), EventKind::PartitionHeal { idx: i as u32 }));
             }
+            // Gray degradations rank after the liveness prologue but
+            // before all payload work at their instant: a window opening
+            // at T already taxes same-instant service and frames.
+            for (p, windows) in fs.slow_windows.iter().enumerate() {
+                let proc = ProcessorId::new(p);
+                for (i, w) in windows.iter().enumerate() {
+                    fault_events.push((
+                        w.at,
+                        EventKind::SlowStart {
+                            proc,
+                            idx: i as u32,
+                        },
+                    ));
+                    fault_events.push((w.ends_at(), EventKind::SlowEnd { proc }));
+                }
+            }
+            for (p, windows) in fs.stall_windows.iter().enumerate() {
+                let proc = ProcessorId::new(p);
+                for w in windows {
+                    fault_events.push((w.at, EventKind::StallStart { proc }));
+                    fault_events.push((w.ends_at(), EventKind::StallEnd { proc }));
+                }
+            }
+            for (i, w) in fs.link_windows.iter().enumerate() {
+                fault_events.push((w.at, EventKind::LinkDegradeStart { idx: i as u32 }));
+                fault_events.push((w.ends_at(), EventKind::LinkDegradeEnd { idx: i as u32 }));
+            }
         }
         for (time, kind) in fault_events {
             self.queue.push(time, kind);
@@ -641,8 +718,20 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         // generation and staling the initial timer on healthy pairs).
         if let Some(dt) = &self.detect {
             let period = dt.cfg.period;
-            let suspect_after = dt.cfg.suspect_after;
             let procs = self.set.num_processors();
+            // In φ mode the first escalation budget comes from the
+            // detector's warmup prior; in fixed mode `arm_budget` is
+            // exactly `suspect_after`, reproducing the legacy seeding.
+            let mut arms = Vec::new();
+            for o in 0..procs {
+                for s in 0..procs {
+                    if o != s {
+                        if let Some(budget) = dt.arm_budget(o, s) {
+                            arms.push((o, s, budget));
+                        }
+                    }
+                }
+            }
             for p in 0..procs {
                 self.queue.push(
                     Time::ZERO + period,
@@ -651,19 +740,15 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                     },
                 );
             }
-            for o in 0..procs {
-                for s in 0..procs {
-                    if o != s {
-                        self.queue.push(
-                            Time::ZERO + suspect_after,
-                            EventKind::SuspectTimer {
-                                observer: ProcessorId::new(o),
-                                subject: ProcessorId::new(s),
-                                gen: 0,
-                            },
-                        );
-                    }
-                }
+            for (o, s, budget) in arms {
+                self.queue.push(
+                    Time::ZERO + budget,
+                    EventKind::SuspectTimer {
+                        observer: ProcessorId::new(o),
+                        subject: ProcessorId::new(s),
+                        gen: 0,
+                    },
+                );
             }
         }
 
@@ -703,6 +788,12 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 EventKind::Recover { proc } => self.on_recover(proc),
                 EventKind::PartitionStart { idx } => self.on_partition_start(idx),
                 EventKind::PartitionHeal { idx } => self.on_partition_heal(idx),
+                EventKind::SlowStart { proc, idx } => self.on_slow_start(proc, idx),
+                EventKind::SlowEnd { proc } => self.on_slow_end(proc),
+                EventKind::StallStart { proc } => self.on_stall_start(proc),
+                EventKind::StallEnd { proc } => self.on_stall_end(proc),
+                EventKind::LinkDegradeStart { idx } => self.on_link_degrade_start(idx),
+                EventKind::LinkDegradeEnd { idx } => self.on_link_degrade_end(idx),
                 EventKind::Completion { proc, gen } => self.on_completion(proc, gen),
                 EventKind::MpmTimer { job } => self.on_mpm_timer(job),
                 EventKind::SignalSend { job } => self.on_signal_send(job),
@@ -1014,6 +1105,25 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         match self.controller.on_predecessor_complete(succ_job, self.now) {
             CompletionDirective::ReleaseSuccessor => self.release(succ_job),
             CompletionDirective::ScheduleExpiry { due, gen } => {
+                // φ-mode RG response to a *Degraded* predecessor host:
+                // widen the guard by the configured slack. The signal
+                // from a slow peer is late but coming — a little extra
+                // rope preserves rule-1 spacing against its real
+                // completion instead of releasing into a near-collision.
+                let due = match (&self.detect, succ_job.predecessor()) {
+                    (Some(dt), Some(pred)) if dt.cfg.phi.is_some() => {
+                        let succ_proc = self.set.subtask(succ).processor().index();
+                        let pred_proc = self.set.subtask(pred.subtask()).processor().index();
+                        if dt.peer_state(succ_proc, pred_proc) == PeerState::Degraded {
+                            due.saturating_add(
+                                dt.cfg.phi.as_ref().expect("checked above").rg_guard_slack,
+                            )
+                        } else {
+                            due
+                        }
+                    }
+                    _ => due,
+                };
                 self.obs.on_guard_block(self.now, succ_job, due);
                 // Rule 2 applies at *every* idle instant (§3.2), not
                 // only at completion instants: a signal deferred
@@ -1071,9 +1181,12 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             ),
             None => (0, 0),
         };
+        let gray = self
+            .gray_penalty(src, dst, GrayFamily::Signal)
+            .expect("signals are never gray-dropped");
         for &delay in plan.deliveries() {
             self.queue.push(
-                self.now + delay + self.link_extra(src, dst),
+                self.now + delay + self.link_extra(src, dst) + gray,
                 EventKind::SignalDeliver { job },
             );
         }
@@ -1137,11 +1250,15 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 .as_mut()
                 .expect("transport implies a channel")
                 .send();
-            for &delay in plan.deliveries() {
-                self.queue.push(
-                    self.now + delay + self.link_extra(from, succ_proc),
-                    EventKind::TransportDeliver { job, seq },
-                );
+            // A gray drop on top of the channel plan delivers nothing;
+            // the retransmission timer below covers it like any loss.
+            if let Some(gray) = self.gray_penalty(from, succ_proc, GrayFamily::Transport) {
+                for &delay in plan.deliveries() {
+                    self.queue.push(
+                        self.now + delay + self.link_extra(from, succ_proc) + gray,
+                        EventKind::TransportDeliver { job, seq },
+                    );
+                }
             }
         }
         let rto = self
@@ -1334,11 +1451,17 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     fn on_heartbeat_send(&mut self, proc: ProcessorId) {
         let p = proc.index();
         let up = !self.faults.as_ref().is_some_and(|fs| fs.down[p]);
+        let stalled = self.faults.as_ref().is_some_and(|fs| fs.stalled[p]);
+        let rate = self.faults.as_ref().map_or(1, |fs| fs.rate[p]).max(1);
         let (period, latency) = {
             let dt = self.detect.as_ref().expect("detector attached");
             (dt.cfg.period, dt.cfg.latency)
         };
-        if up {
+        // A stalled node's heartbeat daemon is as frozen as everything
+        // else on it: the beat is skipped (this is exactly what makes a
+        // stall look like a death from outside), but the chain keeps its
+        // cadence so beats resume on time after the window.
+        if up && !stalled {
             for q in 0..self.set.num_processors() {
                 if q == p {
                     continue;
@@ -1358,16 +1481,28 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                     .expect("detector attached")
                     .stats
                     .heartbeats_sent += 1;
-                self.queue.push(
-                    self.now + latency,
-                    EventKind::HeartbeatDeliver {
-                        from: proc,
-                        to: ProcessorId::new(q),
-                    },
-                );
+                // A degraded wire taxes the beat: extra latency and
+                // jitter stretch the observer's inter-arrival history, a
+                // drop starves it outright. Sent-counting stays above so
+                // drop accounting is visible in the send/deliver gap.
+                if let Some(extra) = self.gray_penalty(p, q, GrayFamily::Heartbeat) {
+                    self.queue.push(
+                        self.now + latency + extra,
+                        EventKind::HeartbeatDeliver {
+                            from: proc,
+                            to: ProcessorId::new(q),
+                        },
+                    );
+                }
             }
         }
-        let next = self.now + period;
+        // A slowed node's daemon breathes at the stretched rate — the
+        // honest gray signature the φ detector is built to absorb.
+        let next = if stalled || rate == 1 {
+            self.now + period
+        } else {
+            self.now + Dur::from_ticks(period.ticks().saturating_mul(rate as i64))
+        };
         if next <= self.horizon {
             self.queue.push(next, EventKind::HeartbeatSend { proc });
         }
@@ -1392,31 +1527,35 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             return;
         }
         self.obs.on_heartbeat(self.now, from.index(), to.index());
-        let (gen, revived) = self
-            .detect
-            .as_mut()
-            .expect("detector attached")
-            .heard(to.index(), from.index());
+        let (gen, revived) = self.detect.as_mut().expect("detector attached").heard(
+            to.index(),
+            from.index(),
+            self.now,
+        );
         if revived {
             self.push_degradation(Degradation::PeerRevived {
                 observer: to.index(),
                 subject: from.index(),
             });
         }
-        let suspect_after = self
+        // Fixed mode: the legacy `suspect_after` cliff. φ mode: the
+        // budget to the next escalation threshold, scaled by the pair's
+        // observed inter-arrival mean — a slowed peer earns longer rope.
+        if let Some(budget) = self
             .detect
             .as_ref()
             .expect("detector attached")
-            .cfg
-            .suspect_after;
-        self.queue.push(
-            self.now + suspect_after,
-            EventKind::SuspectTimer {
-                observer: to,
-                subject: from,
-                gen,
-            },
-        );
+            .arm_budget(to.index(), from.index())
+        {
+            self.queue.push(
+                self.now + budget,
+                EventKind::SuspectTimer {
+                    observer: to,
+                    subject: from,
+                    gen,
+                },
+            );
+        }
     }
 
     /// A pair's suspicion timer fired with a still-fresh generation: walk
@@ -1438,12 +1577,45 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             return; // a fresher heartbeat superseded this timer
         }
         let actually_down = self.faults.as_ref().is_some_and(|fs| fs.down[s]);
+        // Gray ground truth: the subject is not down but *is* impaired —
+        // stalled, slowed, or behind a degraded wire toward this
+        // observer. Verdicts are scored against both truths.
+        let actually_gray = self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.actually_gray(o, s));
         let transition = self
             .detect
             .as_mut()
             .expect("detector attached")
-            .advance_suspicion(o, s, actually_down);
+            .advance_suspicion(o, s, actually_down, actually_gray);
         match transition {
+            Some(PeerState::Degraded) => {
+                // The φ detector's intermediate verdict: suspicious but
+                // not condemned. Protocol responses soften (RG guard
+                // slack, MPM cadence stretch, watchdog budget scaling)
+                // instead of force-releasing.
+                self.push_degradation(Degradation::PeerDegraded {
+                    observer: o,
+                    subject: s,
+                    gray_truth: actually_gray,
+                });
+                if let Some(residue) = self
+                    .detect
+                    .as_ref()
+                    .expect("detector attached")
+                    .residue_budget(o, s)
+                {
+                    self.queue.push(
+                        self.now + residue,
+                        EventKind::SuspectTimer {
+                            observer,
+                            subject,
+                            gen,
+                        },
+                    );
+                }
+            }
             Some(PeerState::Suspect) => {
                 // A suspect verdict on a live peer across an open cut is a
                 // false positive the partition *caused* — count it apart
@@ -1460,20 +1632,24 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                     subject: s,
                     false_positive: !actually_down,
                 });
-                let residue = self
+                // Fixed mode: the legacy `suspect_to_dead` residue. φ
+                // mode: the gap between the suspect and dead thresholds
+                // on the pair's observed inter-arrival scale.
+                if let Some(residue) = self
                     .detect
                     .as_ref()
                     .expect("detector attached")
-                    .cfg
-                    .suspect_to_dead();
-                self.queue.push(
-                    self.now + residue,
-                    EventKind::SuspectTimer {
-                        observer,
-                        subject,
-                        gen,
-                    },
-                );
+                    .residue_budget(o, s)
+                {
+                    self.queue.push(
+                        self.now + residue,
+                        EventKind::SuspectTimer {
+                            observer,
+                            subject,
+                            gen,
+                        },
+                    );
+                }
             }
             Some(PeerState::Dead) => {
                 if !actually_down && self.cut(o, s) {
@@ -1564,6 +1740,31 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         }
     }
 
+    /// The re-arm cadence of a degraded-release chain. Under MPM with
+    /// the φ detector attached, any Degraded peer stretches the march by
+    /// the configured permille — force-released instances back off while
+    /// a peer might merely be slow, trading a little lateness against
+    /// double-release pressure when the real signal catches up. RG keeps
+    /// the true period: its guard machinery owns the spacing.
+    fn degraded_cadence(&self, period: Dur) -> Dur {
+        if self.cfg.protocol != Protocol::ModifiedPhaseModification {
+            return period;
+        }
+        let Some(dt) = &self.detect else {
+            return period;
+        };
+        let Some(phi) = &dt.cfg.phi else {
+            return period;
+        };
+        if !dt.any_degraded() {
+            return period;
+        }
+        let t = period.ticks();
+        let stretched =
+            t.saturating_add(t.saturating_mul(i64::from(phi.mpm_stretch_permille)) / 1000);
+        Dur::from_ticks(stretched.max(1))
+    }
+
     /// A degraded release fires: recheck liveness and release progress
     /// (the event is lazily invalidated), then force-release the instance
     /// from local information and march the chain one period forward.
@@ -1589,7 +1790,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         if m != instance {
             // A late real signal (or recovery) already moved the head;
             // re-aim the chain at the current head one period out.
-            let at = self.now + task.period();
+            let at = self.now + self.degraded_cadence(task.period());
             if at <= self.horizon {
                 self.queue.push(
                     at,
@@ -1606,7 +1807,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             // deferred behind rule 1 — the guard will release it; forcing
             // it too would double-queue the instance. Check back in a
             // period.
-            let at = self.now + task.period();
+            let at = self.now + self.degraded_cadence(task.period());
             if at <= self.horizon {
                 self.queue
                     .push(at, EventKind::DegradedRelease { subtask, instance });
@@ -1643,7 +1844,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 }
             }
         }
-        let next_at = self.now + task.period();
+        let next_at = self.now + self.degraded_cadence(task.period());
         if next_at <= self.horizon {
             self.queue.push(
                 next_at,
@@ -1685,10 +1886,31 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
             .expect("SyncRound only scheduled with sync")
             .cfg
             .period;
-        let up = !self.faults.as_ref().is_some_and(|fs| fs.down[p]);
+        // A stalled node's sync daemon is as frozen as its scheduler: the
+        // round is skipped (no settle, no fresh requests) but the chain
+        // keeps ticking, so rounds resume after the window.
+        let up = !self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.down[p] || fs.stalled[p]);
         if up {
             self.obs.on_sync_round(self.now, p);
             self.sync.as_mut().expect("sync attached").stats.rounds += 1;
+            // Partition-aware estimate aging: with a cut open, samples
+            // gathered *before* it opened from peers now on the far side
+            // describe a cluster that no longer exists — feeding them to
+            // Marzullo would anchor this island to stale cross-island
+            // time. Discard them before the settle.
+            if let Some(fs) = &self.faults {
+                if fs.partitioned {
+                    if let Some(since) = fs.partition_since {
+                        self.sync
+                            .as_mut()
+                            .expect("sync attached")
+                            .discard_cross_island(p, since, &fs.island);
+                    }
+                }
+            }
             // Ground truth *before* the settle steps the clock: the
             // estimate about to land claims to measure exactly this.
             let true_off = self.now - self.eff_clock(p).local_of(self.now);
@@ -1805,9 +2027,13 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 self.queue.push(self.now + delay, retry);
             }
         }
-        for &delay in plan.deliveries() {
-            self.queue
-                .push(self.now + delay + self.link_extra(src, dst), kind);
+        // A gray drop on top of the channel plan loses the sample like
+        // any datagram loss — Marzullo tolerates a thinner round.
+        if let Some(gray) = self.gray_penalty(src, dst, GrayFamily::Sync) {
+            for &delay in plan.deliveries() {
+                self.queue
+                    .push(self.now + delay + self.link_extra(src, dst) + gray, kind);
+            }
         }
     }
 
@@ -1853,7 +2079,16 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         let (t2, disp) = if to == from {
             (self.now, Some(Dur::ZERO))
         } else {
-            if self.faults.as_ref().is_some_and(|fs| fs.down[to.index()]) {
+            // A stalled responder cannot stamp: like a crashed one it
+            // stays silent and the sample is lost (requester-side
+            // processing of already-in-flight responses still runs — the
+            // detector-daemon model keeps receive paths outside the
+            // stalled userspace).
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|fs| fs.down[to.index()] || fs.stalled[to.index()])
+            {
                 return;
             }
             let honest_t2 = self.eff_clock(to.index()).local_of(self.now);
@@ -1927,11 +2162,12 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         let widened = disp + self.link_asym_bound(p, from.index());
         self.sync.as_mut().expect("sync attached").record_exchange(
             p,
+            from.index(),
             t1,
             t2,
             t3,
             widened,
-            from == to,
+            self.now,
         );
     }
 
@@ -1979,16 +2215,24 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// task and trip exactly once per streak when it reaches the
     /// configured threshold.
     fn note_watchdog(&mut self, task: usize, missed: bool) {
-        let threshold = self.detect.as_ref().and_then(|dt| dt.cfg.watchdog_misses);
+        // The budget is slowdown-aware: while any peer is Degraded in φ
+        // mode it scales up, so a merely-slow cluster doesn't trip the
+        // watchdog on misses the detector already explains. A moving
+        // budget means the streak can *skip over* a threshold that
+        // shrinks back — hence `>=` plus a one-trip-per-streak latch
+        // (equivalent to the legacy `==` when the budget is static).
+        let threshold = self.detect.as_ref().and_then(DetectState::watchdog_budget);
         let Some(threshold) = threshold else {
             return;
         };
         if !missed {
             self.miss_streak[task] = 0;
+            self.watchdog_tripped[task] = false;
             return;
         }
         self.miss_streak[task] += 1;
-        if self.miss_streak[task] == threshold {
+        if self.miss_streak[task] >= threshold && !self.watchdog_tripped[task] {
+            self.watchdog_tripped[task] = true;
             self.detect
                 .as_mut()
                 .expect("checked above")
@@ -1996,7 +2240,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 .watchdog_trips += 1;
             self.push_degradation(Degradation::WatchdogTrip {
                 task,
-                streak: threshold,
+                streak: self.miss_streak[task],
             });
         }
     }
@@ -2111,6 +2355,10 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 .expect("Crash only scheduled with faults");
             debug_assert!(!fs.down[p], "crash of an already-down processor");
             fs.down[p] = true;
+            // A crash supersedes an open stall: the fail-stop loses the
+            // state the stall was preserving, and the stall window's end
+            // event then finds nothing to resume.
+            fs.stalled[p] = false;
             fs.stats.crashes += 1;
             fs.stats.killed_jobs += killed.len() as u64;
         }
@@ -2228,6 +2476,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 *side = w.island.contains(&p);
             }
             fs.partitioned = true;
+            fs.partition_since = Some(self.now);
             fs.stats.partitions += 1;
         }
         self.obs.on_partition_start(
@@ -2247,6 +2496,7 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
                 .as_mut()
                 .expect("PartitionHeal only scheduled with faults");
             fs.partitioned = false;
+            fs.partition_since = None;
             fs.stats.heals += 1;
             std::mem::take(&mut fs.partition_backlog)
         };
@@ -2261,9 +2511,168 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
         }
     }
 
+    /// A slowdown window opens on `proc`: the slice executed up to now is
+    /// settled at the old rate, then every remaining service tick costs
+    /// `factor` wall ticks. Unlike a crash nothing is lost — jobs keep
+    /// their state and merely stretch. The rate is recorded even while
+    /// the processor is down, so a mid-window recovery resumes slow.
+    fn on_slow_start(&mut self, proc: ProcessorId, idx: u32) {
+        let p = proc.index();
+        self.advance_proc(proc);
+        let factor = {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("SlowStart only scheduled with faults");
+            let factor = fs.slow_windows[p][idx as usize].factor;
+            fs.rate[p] = factor;
+            fs.stats.slowdowns += 1;
+            factor
+        };
+        self.procs[p].set_rate(factor);
+        self.obs.on_slowdown(self.now, p, factor);
+        self.mark_dirty(proc);
+    }
+
+    /// The slowdown window closes: settle the stretched slice, restore
+    /// full speed.
+    fn on_slow_end(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        self.advance_proc(proc);
+        self.faults
+            .as_mut()
+            .expect("SlowEnd only scheduled with faults")
+            .rate[p] = 1;
+        self.procs[p].set_rate(1);
+        self.obs.on_slowdown(self.now, p, 1);
+        self.mark_dirty(proc);
+    }
+
+    /// A GC-pause-style stall opens: the processor stops executing
+    /// entirely but — unlike a crash — keeps its in-flight jobs, guards,
+    /// timers and generation stamps. A stall landing on a down (or
+    /// already-stalled) processor is absorbed by the outage.
+    fn on_stall_start(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.down[p] || fs.stalled[p])
+        {
+            return;
+        }
+        self.advance_proc(proc);
+        {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("StallStart only scheduled with faults");
+            fs.stalled[p] = true;
+            fs.stats.stalls += 1;
+        }
+        self.procs[p].set_stalled(true);
+        self.obs.on_stall(self.now, p, true);
+        self.mark_dirty(proc);
+    }
+
+    /// The stall window closes. A no-op when the stall never took hold
+    /// or a crash swallowed it mid-window (the recovery path owns the
+    /// restart then).
+    fn on_stall_end(&mut self, proc: ProcessorId) {
+        let p = proc.index();
+        if !self.faults.as_ref().is_some_and(|fs| fs.stalled[p]) {
+            return;
+        }
+        self.advance_proc(proc);
+        self.faults.as_mut().expect("checked above").stalled[p] = false;
+        self.procs[p].set_stalled(false);
+        self.obs.on_stall(self.now, p, false);
+        self.mark_dirty(proc);
+    }
+
+    /// A degradation window opens on a directed link: frames keep
+    /// flowing (the wire is live, unlike a partition) but pay extra
+    /// latency, seeded jitter and an elevated drop rate until the close.
+    fn on_link_degrade_start(&mut self, idx: u32) {
+        let (from, to) = {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("LinkDegradeStart only scheduled with faults");
+            let w = fs.link_windows[idx as usize];
+            let n = fs.rate.len();
+            fs.link_active[w.from * n + w.to] = idx + 1;
+            fs.stats.link_degrades += 1;
+            (w.from, w.to)
+        };
+        self.obs.on_link_degrade(self.now, from, to, true);
+    }
+
+    /// The link-degradation window closes. With overlapping windows on
+    /// one link, only the window that owns the active slot clears it.
+    fn on_link_degrade_end(&mut self, idx: u32) {
+        let (from, to) = {
+            let fs = self
+                .faults
+                .as_mut()
+                .expect("LinkDegradeEnd only scheduled with faults");
+            let w = fs.link_windows[idx as usize];
+            let n = fs.rate.len();
+            if fs.link_active[w.from * n + w.to] == idx + 1 {
+                fs.link_active[w.from * n + w.to] = 0;
+            }
+            (w.from, w.to)
+        };
+        self.obs.on_link_degrade(self.now, from, to, false);
+    }
+
     /// Is the `a`↔`b` link currently severed by a partition?
     fn cut(&self, a: usize, b: usize) -> bool {
         self.faults.as_ref().is_some_and(|fs| fs.cut(a, b))
+    }
+
+    /// Gray-link tax on one frame crossing `from → to`: `None` when the
+    /// degraded wire dropped it, otherwise the additional one-way latency
+    /// (window base plus a seeded jitter draw). A healthy link returns
+    /// `Some(ZERO)` without touching the draw stream, so runs with no
+    /// link windows stay bit-identical to the pre-gray engine. Called
+    /// *after* the channel draws its own plan, preserving the legacy
+    /// channel RNG stream.
+    fn gray_penalty(&mut self, from: usize, to: usize, family: GrayFamily) -> Option<Dur> {
+        let Some(fs) = self.faults.as_mut() else {
+            return Some(Dur::ZERO);
+        };
+        let Some(w) = fs.link_gray(from, to).copied() else {
+            return Some(Dur::ZERO);
+        };
+        // Jitter first, drop second: a dropped frame still consumed its
+        // jitter draw, keeping the stream aligned across arms that only
+        // differ in drop rate.
+        let jitter = if w.jitter.ticks() > 0 {
+            Dur::from_ticks((fs.frame_draw() % (w.jitter.ticks() as u64 + 1)) as i64)
+        } else {
+            Dur::ZERO
+        };
+        // Signals are never gray-dropped: loss on the oracle signal path
+        // is the channel model's contract (signal conservation), and the
+        // lossy families all carry their own recovery machinery —
+        // transport retransmits, heartbeats re-send every period, sync
+        // rounds retry.
+        if family != GrayFamily::Signal && w.drop_permille > 0 {
+            let dropped = fs.frame_draw() % 1000 < u64::from(w.drop_permille);
+            if dropped {
+                match family {
+                    GrayFamily::Signal => unreachable!("signals are never gray-dropped"),
+                    GrayFamily::Heartbeat => fs.stats.gray_dropped_heartbeats += 1,
+                    GrayFamily::Transport => fs.stats.gray_dropped_transport += 1,
+                    GrayFamily::Sync => fs.stats.gray_dropped_sync += 1,
+                }
+                return None;
+            }
+        }
+        let extra = w.extra_latency.saturating_add(jitter);
+        fs.stats.gray_extra_latency_ticks += extra.ticks() as u64;
+        Some(extra)
     }
 
     /// The configured one-way extra delay of the `from`→`to` link
@@ -2571,14 +2980,15 @@ impl<'a, O: Observer, P: Profiler> Engine<'a, O, P> {
     /// loop; everything read here is a plain gauge, so sampling cannot
     /// perturb the schedule.
     fn emit_sample(&mut self) {
-        let (peers_alive, peers_suspect, peers_dead) =
-            self.detect.as_ref().map_or((0, 0, 0), |d| d.census());
+        let (peers_alive, peers_degraded, peers_suspect, peers_dead) =
+            self.detect.as_ref().map_or((0, 0, 0, 0), |d| d.census());
         let sample = EngineSample {
             procs: &self.procs,
             queue_near: self.queue.near_depth(),
             queue_far: self.queue.far_depth(),
             transport_in_flight: self.transport.as_ref().map_or(0, |t| t.in_flight_count()),
             peers_alive,
+            peers_degraded,
             peers_suspect,
             peers_dead,
         };

@@ -63,6 +63,49 @@ pub enum EventKind {
         /// Index into the resolved partition-window schedule.
         idx: u32,
     },
+    /// A gray-failure slowdown window opens (gray mode only): the
+    /// processor's execution rate drops to `1/factor` of nominal, and its
+    /// heartbeat cadence stretches by the same factor. Joins the liveness
+    /// prologue so the degraded rate is in force before any same-instant
+    /// work executes.
+    SlowStart {
+        /// The degrading processor.
+        proc: ProcessorId,
+        /// Index into the resolved slow-window schedule of `proc`.
+        idx: u32,
+    },
+    /// A slowdown window closes: the processor returns to nominal rate.
+    SlowEnd {
+        /// The recovering processor.
+        proc: ProcessorId,
+    },
+    /// A GC-pause-style stall begins (gray mode only): the processor
+    /// stops executing and broadcasting entirely, but — unlike a crash —
+    /// keeps every in-flight job and all generation-stamped protocol
+    /// state. Work resumes where it left off at the matching
+    /// [`EventKind::StallEnd`].
+    StallStart {
+        /// The stalling processor.
+        proc: ProcessorId,
+    },
+    /// A stall ends: frozen jobs resume with their remaining execution
+    /// intact.
+    StallEnd {
+        /// The resuming processor.
+        proc: ProcessorId,
+    },
+    /// A per-link degradation window opens (gray mode only): the directed
+    /// link gains extra latency, seeded jitter and elevated drop while
+    /// staying nominally alive.
+    LinkDegradeStart {
+        /// Index into the resolved link-degradation schedule.
+        idx: u32,
+    },
+    /// A link-degradation window closes: the wire returns to nominal.
+    LinkDegradeEnd {
+        /// Index into the resolved link-degradation schedule.
+        idx: u32,
+    },
     /// A tentative completion of the job currently running on `proc`;
     /// valid only if `gen` still matches the processor's completion
     /// generation (stale completions are skipped).
@@ -263,35 +306,46 @@ impl EventKind {
             // the pre-partition total order.
             EventKind::PartitionStart { .. } => 2,
             EventKind::PartitionHeal { .. } => 3,
-            EventKind::Completion { .. } => 4,
-            EventKind::MpmTimer { .. } => 5,
-            EventKind::SignalSend { .. } => 6,
+            // Gray-failure edges complete the liveness prologue: a rate
+            // change, stall edge or link-degradation edge must be in force
+            // before any same-instant traffic. With gray faults off these
+            // kinds never exist, so the relative order of everything below
+            // is exactly the pre-gray total order.
+            EventKind::SlowStart { .. } => 4,
+            EventKind::SlowEnd { .. } => 5,
+            EventKind::StallStart { .. } => 6,
+            EventKind::StallEnd { .. } => 7,
+            EventKind::LinkDegradeStart { .. } => 8,
+            EventKind::LinkDegradeEnd { .. } => 9,
+            EventKind::Completion { .. } => 10,
+            EventKind::MpmTimer { .. } => 11,
+            EventKind::SignalSend { .. } => 12,
             // A transport delivery is a signal delivery with an endpoint
             // wrapped around it: same rank, ties broken by insertion seq.
-            EventKind::SignalDeliver { .. } | EventKind::TransportDeliver { .. } => 7,
-            EventKind::GuardExpiry { .. } => 8,
-            EventKind::SourceRelease { .. } => 9,
-            EventKind::TimedRelease { .. } => 10,
+            EventKind::SignalDeliver { .. } | EventKind::TransportDeliver { .. } => 13,
+            EventKind::GuardExpiry { .. } => 14,
+            EventKind::SourceRelease { .. } => 15,
+            EventKind::TimedRelease { .. } => 16,
             // Transport/detector bookkeeping trails the protocol events:
             // none of it releases work directly except DegradedRelease,
             // which deliberately runs last so every same-instant real
             // signal gets the first chance to release the instance.
-            EventKind::AckDeliver { .. } => 11,
-            EventKind::RetransmitTimer { .. } => 12,
-            EventKind::HeartbeatSend { .. } => 13,
-            EventKind::HeartbeatDeliver { .. } => 14,
-            EventKind::SuspectTimer { .. } => 15,
-            EventKind::DegradedRelease { .. } => 16,
+            EventKind::AckDeliver { .. } => 17,
+            EventKind::RetransmitTimer { .. } => 18,
+            EventKind::HeartbeatSend { .. } => 19,
+            EventKind::HeartbeatDeliver { .. } => 20,
+            EventKind::SuspectTimer { .. } => 21,
+            EventKind::DegradedRelease { .. } => 22,
             // Sync traffic trails everything: corrections settle at round
             // boundaries only, and a sync frame arriving in the same
             // instant as protocol work must not perturb its order. With
             // sync off none of these kinds exist, so the earlier ranks and
             // their golden traces are untouched. Retries trail even
             // first-attempt sync frames.
-            EventKind::SyncRound { .. } => 17,
-            EventKind::SyncRequest { .. } => 18,
-            EventKind::SyncResponse { .. } => 19,
-            EventKind::SyncRetry { .. } => 20,
+            EventKind::SyncRound { .. } => 23,
+            EventKind::SyncRequest { .. } => 24,
+            EventKind::SyncResponse { .. } => 25,
+            EventKind::SyncRetry { .. } => 26,
         }
     }
 }
@@ -711,6 +765,33 @@ mod tests {
         );
         q.push(t(2), EventKind::PartitionHeal { idx: 0 });
         q.push(t(2), EventKind::PartitionStart { idx: 0 });
+        q.push(t(2), EventKind::LinkDegradeEnd { idx: 0 });
+        q.push(t(2), EventKind::LinkDegradeStart { idx: 0 });
+        q.push(
+            t(2),
+            EventKind::StallEnd {
+                proc: ProcessorId::new(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::StallStart {
+                proc: ProcessorId::new(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SlowEnd {
+                proc: ProcessorId::new(0),
+            },
+        );
+        q.push(
+            t(2),
+            EventKind::SlowStart {
+                proc: ProcessorId::new(0),
+                idx: 0,
+            },
+        );
         q.push(
             t(2),
             EventKind::SyncRetry {
@@ -751,29 +832,38 @@ mod tests {
                 EventKind::Recover { .. } => 1,
                 EventKind::PartitionStart { .. } => 2,
                 EventKind::PartitionHeal { .. } => 3,
-                EventKind::Completion { .. } => 4,
-                EventKind::MpmTimer { .. } => 5,
-                EventKind::SignalSend { .. } => 6,
-                EventKind::TransportDeliver { .. } => 7,
-                EventKind::SignalDeliver { .. } => 7,
-                EventKind::GuardExpiry { .. } => 8,
-                EventKind::SourceRelease { .. } => 9,
-                EventKind::TimedRelease { .. } => 10,
-                EventKind::AckDeliver { .. } => 11,
-                EventKind::RetransmitTimer { .. } => 12,
-                EventKind::HeartbeatSend { .. } => 13,
-                EventKind::HeartbeatDeliver { .. } => 14,
-                EventKind::SuspectTimer { .. } => 15,
-                EventKind::DegradedRelease { .. } => 16,
-                EventKind::SyncRound { .. } => 17,
-                EventKind::SyncRequest { .. } => 18,
-                EventKind::SyncResponse { .. } => 19,
-                EventKind::SyncRetry { .. } => 20,
+                EventKind::SlowStart { .. } => 4,
+                EventKind::SlowEnd { .. } => 5,
+                EventKind::StallStart { .. } => 6,
+                EventKind::StallEnd { .. } => 7,
+                EventKind::LinkDegradeStart { .. } => 8,
+                EventKind::LinkDegradeEnd { .. } => 9,
+                EventKind::Completion { .. } => 10,
+                EventKind::MpmTimer { .. } => 11,
+                EventKind::SignalSend { .. } => 12,
+                EventKind::TransportDeliver { .. } => 13,
+                EventKind::SignalDeliver { .. } => 13,
+                EventKind::GuardExpiry { .. } => 14,
+                EventKind::SourceRelease { .. } => 15,
+                EventKind::TimedRelease { .. } => 16,
+                EventKind::AckDeliver { .. } => 17,
+                EventKind::RetransmitTimer { .. } => 18,
+                EventKind::HeartbeatSend { .. } => 19,
+                EventKind::HeartbeatDeliver { .. } => 20,
+                EventKind::SuspectTimer { .. } => 21,
+                EventKind::DegradedRelease { .. } => 22,
+                EventKind::SyncRound { .. } => 23,
+                EventKind::SyncRequest { .. } => 24,
+                EventKind::SyncResponse { .. } => 25,
+                EventKind::SyncRetry { .. } => 26,
             })
             .collect();
         assert_eq!(
             ranks,
-            vec![0, 1, 2, 3, 4, 5, 6, 7, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20]
+            vec![
+                0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 13, 14, 15, 16, 17, 18, 19, 20, 21,
+                22, 23, 24, 25, 26
+            ]
         );
     }
 

@@ -214,6 +214,240 @@ pub enum PartitionSchedule {
     },
 }
 
+/// One gray slowdown of one processor: from `at` for `span`, the node
+/// retires one work tick per `factor` wall ticks instead of one per one.
+/// The scheduler stays live — it dispatches, preempts, signals — it is
+/// just slow, which is exactly what a fixed-timeout failure detector
+/// cannot distinguish from death.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowWindow {
+    /// When the slowdown begins.
+    pub at: Time,
+    /// How long it lasts.
+    pub span: Dur,
+    /// Execution-rate divisor (`2` = half speed). Windows with `factor
+    /// < 2` are no-ops and dropped during resolution.
+    pub factor: u32,
+}
+
+impl SlowWindow {
+    /// The instant nominal speed returns.
+    pub fn ends_at(&self) -> Time {
+        self.at.saturating_add(self.span)
+    }
+}
+
+/// When processors run slow (mirrors [`CrashSchedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SlowSchedule {
+    /// Explicit per-processor slowdown lists (outer index = processor).
+    Explicit(Vec<Vec<SlowWindow>>),
+    /// Seeded random schedule: per processor, exponentially distributed
+    /// healthy time between slowdowns of fixed span and factor.
+    Random {
+        /// Mean healthy time between consecutive slowdowns.
+        mean_healthy: Dur,
+        /// Duration of every slowdown.
+        span: Dur,
+        /// Execution-rate divisor of every slowdown.
+        factor: u32,
+        /// Master seed; each processor derives an independent stream.
+        seed: u64,
+    },
+}
+
+/// One GC-pause-style stall: from `at` for `span` the processor freezes —
+/// no execution, no dispatch, no heartbeats — but unlike a crash every
+/// in-flight job survives with its partial execution intact and no
+/// generation state is lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StallWindow {
+    /// When the stall begins.
+    pub at: Time,
+    /// How long the freeze lasts.
+    pub span: Dur,
+}
+
+impl StallWindow {
+    /// The thaw instant.
+    pub fn ends_at(&self) -> Time {
+        self.at.saturating_add(self.span)
+    }
+}
+
+/// When processors stall (mirrors [`CrashSchedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum StallSchedule {
+    /// Explicit per-processor stall lists (outer index = processor).
+    Explicit(Vec<Vec<StallWindow>>),
+    /// Seeded random schedule: exponentially distributed healthy time
+    /// between stalls of fixed span.
+    Random {
+        /// Mean healthy time between consecutive stalls.
+        mean_healthy: Dur,
+        /// Duration of every stall.
+        span: Dur,
+        /// Master seed; each processor derives an independent stream.
+        seed: u64,
+    },
+}
+
+/// One degraded window on one directed link: frames from `from` to `to`
+/// suffer `extra_latency` plus seeded jitter up to `jitter`, and lossy
+/// frame families (heartbeats, sync frames, transport frames — never
+/// in-order channel signals, which would wedge the channel cursor) are
+/// dropped with probability `drop_permille`/1000. The wire stays *live*:
+/// this is a lossy link, not a partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDegradeWindow {
+    /// When the degradation begins.
+    pub at: Time,
+    /// How long it lasts.
+    pub span: Dur,
+    /// Sending side of the degraded direction.
+    pub from: usize,
+    /// Receiving side of the degraded direction.
+    pub to: usize,
+    /// Deterministic latency added to every frame in the window.
+    pub extra_latency: Dur,
+    /// Maximum seeded jitter added on top (uniform in `[0, jitter]`).
+    pub jitter: Dur,
+    /// Drop probability of lossy frame families, in permille (0..=1000).
+    pub drop_permille: u32,
+}
+
+impl LinkDegradeWindow {
+    /// The instant the link heals.
+    pub fn ends_at(&self) -> Time {
+        self.at.saturating_add(self.span)
+    }
+}
+
+/// When links degrade (mirrors [`CrashSchedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkSchedule {
+    /// Explicit degraded windows. Sanitized during resolution: loops and
+    /// out-of-range endpoints dropped, per-directed-pair overlaps
+    /// de-overlapped, `drop_permille` clamped to 1000.
+    Explicit(Vec<LinkDegradeWindow>),
+    /// Seeded random schedule: exponentially distributed healthy time
+    /// between windows, each hitting one random directed pair.
+    Random {
+        /// Mean healthy time between consecutive windows.
+        mean_healthy: Dur,
+        /// Duration of every window.
+        span: Dur,
+        /// Deterministic latency added in every window.
+        extra_latency: Dur,
+        /// Maximum seeded jitter per frame.
+        jitter: Dur,
+        /// Drop probability in permille.
+        drop_permille: u32,
+        /// Seed of the schedule's private stream.
+        seed: u64,
+    },
+}
+
+/// One flapping burst: starting at `at`, the processor crash/recover
+/// cycles `cycles` times (down for `down`, up for `up`). Resolved into
+/// ordinary crash windows and merged with the base crash schedule, so
+/// the whole crash machinery (kill, backlog, recovery reconciliation)
+/// applies to every cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlapBurst {
+    /// When the first crash of the burst hits.
+    pub at: Time,
+    /// Crash/recover cycles in the burst.
+    pub cycles: u32,
+    /// Downtime of each cycle.
+    pub down: Dur,
+    /// Uptime between consecutive cycles.
+    pub up: Dur,
+}
+
+/// When processors flap (mirrors [`CrashSchedule`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlapSchedule {
+    /// Explicit per-processor burst lists (outer index = processor).
+    Explicit(Vec<Vec<FlapBurst>>),
+    /// Seeded random schedule: exponentially distributed stable time
+    /// between bursts of fixed shape.
+    Random {
+        /// Mean stable time between consecutive bursts.
+        mean_stable: Dur,
+        /// Cycles per burst.
+        cycles: u32,
+        /// Downtime of each cycle.
+        down: Dur,
+        /// Uptime between consecutive cycles.
+        up: Dur,
+        /// Master seed; each processor derives an independent stream.
+        seed: u64,
+    },
+}
+
+/// The gray-failure personas of one run: everything here degrades
+/// without fail-stopping. `None` everywhere (the default) keeps every
+/// gray code path inert and the simulation bit-identical to the
+/// pre-gray engine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GrayConfig {
+    /// When processors run slow.
+    pub slow: Option<SlowSchedule>,
+    /// When processors stall.
+    pub stalls: Option<StallSchedule>,
+    /// When links degrade.
+    pub links: Option<LinkSchedule>,
+    /// When processors flap (crash/recover cycles).
+    pub flaps: Option<FlapSchedule>,
+    /// Seed of the per-frame jitter/drop stream used inside degraded
+    /// link windows (independent of every schedule stream and of the
+    /// nonideal channel's RNG).
+    pub frame_seed: u64,
+}
+
+impl GrayConfig {
+    /// An all-inert gray domain to build on.
+    pub fn new() -> GrayConfig {
+        GrayConfig::default()
+    }
+
+    /// Sets the slowdown schedule.
+    pub fn with_slow(mut self, slow: SlowSchedule) -> GrayConfig {
+        self.slow = Some(slow);
+        self
+    }
+
+    /// Sets the stall schedule.
+    pub fn with_stalls(mut self, stalls: StallSchedule) -> GrayConfig {
+        self.stalls = Some(stalls);
+        self
+    }
+
+    /// Sets the link-degradation schedule.
+    pub fn with_links(mut self, links: LinkSchedule) -> GrayConfig {
+        self.links = Some(links);
+        self
+    }
+
+    /// Sets the flapping schedule.
+    pub fn with_flaps(mut self, flaps: FlapSchedule) -> GrayConfig {
+        self.flaps = Some(flaps);
+        self
+    }
+
+    /// Sets the per-frame jitter/drop stream seed.
+    pub fn with_frame_seed(mut self, seed: u64) -> GrayConfig {
+        self.frame_seed = seed;
+        self
+    }
+
+    /// `true` when every persona is inert.
+    pub fn is_inert(&self) -> bool {
+        self.slow.is_none() && self.stalls.is_none() && self.links.is_none() && self.flaps.is_none()
+    }
+}
+
 /// The complete fault specification of one run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
@@ -224,6 +458,9 @@ pub struct FaultConfig {
     /// When the network splits; `None` keeps the network whole (and the
     /// engine's partition machinery entirely inert).
     pub partitions: Option<PartitionSchedule>,
+    /// Gray-failure personas; `None` keeps every degraded-mode code path
+    /// inert.
+    pub gray: Option<GrayConfig>,
 }
 
 /// Safety valve on schedule resolution: no realistic campaign needs more
@@ -242,6 +479,7 @@ impl FaultConfig {
             },
             policy: OverloadPolicy::ReleaseAll,
             partitions: None,
+            gray: None,
         }
     }
 
@@ -252,7 +490,13 @@ impl FaultConfig {
             schedule: CrashSchedule::Explicit(windows),
             policy: OverloadPolicy::ReleaseAll,
             partitions: None,
+            gray: None,
         }
+    }
+
+    /// A crash-free config carrying only gray-failure personas.
+    pub fn gray_only(gray: GrayConfig) -> FaultConfig {
+        FaultConfig::explicit(Vec::new()).with_gray(gray)
     }
 
     /// Sets the overload policy.
@@ -267,13 +511,19 @@ impl FaultConfig {
         self
     }
 
+    /// Adds gray-failure personas on top of the fail-stop schedule.
+    pub fn with_gray(mut self, gray: GrayConfig) -> FaultConfig {
+        self.gray = Some(gray);
+        self
+    }
+
     /// Resolves the schedule into sorted, non-overlapping per-processor
     /// outage windows over `[0, horizon]`. Deterministic; the random
     /// variant derives one independent stream per processor so the
     /// schedule of processor `p` does not depend on how many processors
     /// exist before it.
     pub fn resolve(&self, num_procs: usize, horizon: Time) -> Vec<Vec<CrashWindow>> {
-        match &self.schedule {
+        let mut out = match &self.schedule {
             CrashSchedule::Explicit(windows) => {
                 let mut out = windows.clone();
                 out.resize(num_procs, Vec::new());
@@ -320,6 +570,238 @@ impl FaultConfig {
                         windows
                     })
                     .collect()
+            }
+        };
+        // Flapping personas become ordinary crash windows merged into the
+        // base schedule, so every cycle goes through the full
+        // kill/backlog/recovery machinery. With no flap schedule the base
+        // windows pass through untouched (bit-identity).
+        if let Some(flaps) = self.gray.as_ref().and_then(|g| g.flaps.as_ref()) {
+            let bursts = resolve_flaps(flaps, num_procs, horizon);
+            for (per_proc, extra) in out.iter_mut().zip(bursts) {
+                if extra.is_empty() {
+                    continue;
+                }
+                per_proc.extend(extra);
+                per_proc.sort_by_key(|w| w.at);
+                let mut prev_end: Option<Time> = None;
+                per_proc.retain(|w| {
+                    let keep = w.at >= Time::ZERO
+                        && w.at <= horizon
+                        && prev_end.is_none_or(|end| w.at > end);
+                    if keep {
+                        prev_end = Some(w.recovers_at());
+                    }
+                    keep
+                });
+            }
+        }
+        out
+    }
+
+    /// Resolves the slowdown schedule into sorted, non-overlapping
+    /// per-processor windows over `[0, horizon]`. No-op windows (factor
+    /// below 2 or empty span) are dropped.
+    pub fn resolve_slow(&self, num_procs: usize, horizon: Time) -> Vec<Vec<SlowWindow>> {
+        let Some(schedule) = self.gray.as_ref().and_then(|g| g.slow.as_ref()) else {
+            return vec![Vec::new(); num_procs];
+        };
+        match schedule {
+            SlowSchedule::Explicit(windows) => {
+                let mut out = windows.clone();
+                out.resize(num_procs, Vec::new());
+                out.truncate(num_procs);
+                for per_proc in &mut out {
+                    per_proc.retain(|w| w.factor >= 2 && w.span.is_positive());
+                    per_proc.sort_by_key(|w| w.at);
+                    let mut prev_end: Option<Time> = None;
+                    per_proc.retain(|w| {
+                        let keep = w.at >= Time::ZERO
+                            && w.at <= horizon
+                            && prev_end.is_none_or(|end| w.at > end);
+                        if keep {
+                            prev_end = Some(w.ends_at());
+                        }
+                        keep
+                    });
+                }
+                out
+            }
+            SlowSchedule::Random {
+                mean_healthy,
+                span,
+                factor,
+                seed,
+            } => {
+                if *factor < 2 || !span.is_positive() {
+                    return vec![Vec::new(); num_procs];
+                }
+                let mean = mean_healthy.ticks().max(1) as f64;
+                (0..num_procs)
+                    .map(|p| {
+                        let mut rng = StdRng::seed_from_u64(mix(*seed, SLOW_SALT ^ p as u64));
+                        let mut windows = Vec::new();
+                        let mut t = Time::ZERO;
+                        while windows.len() < MAX_WINDOWS_PER_PROC {
+                            let gap = exponential_ticks(&mut rng, mean);
+                            let at = t.saturating_add(gap);
+                            if at > horizon {
+                                break;
+                            }
+                            let w = SlowWindow {
+                                at,
+                                span: *span,
+                                factor: *factor,
+                            };
+                            t = w.ends_at();
+                            windows.push(w);
+                        }
+                        windows
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Resolves the stall schedule into sorted, non-overlapping
+    /// per-processor windows over `[0, horizon]`.
+    pub fn resolve_stalls(&self, num_procs: usize, horizon: Time) -> Vec<Vec<StallWindow>> {
+        let Some(schedule) = self.gray.as_ref().and_then(|g| g.stalls.as_ref()) else {
+            return vec![Vec::new(); num_procs];
+        };
+        match schedule {
+            StallSchedule::Explicit(windows) => {
+                let mut out = windows.clone();
+                out.resize(num_procs, Vec::new());
+                out.truncate(num_procs);
+                for per_proc in &mut out {
+                    per_proc.retain(|w| w.span.is_positive());
+                    per_proc.sort_by_key(|w| w.at);
+                    let mut prev_end: Option<Time> = None;
+                    per_proc.retain(|w| {
+                        let keep = w.at >= Time::ZERO
+                            && w.at <= horizon
+                            && prev_end.is_none_or(|end| w.at > end);
+                        if keep {
+                            prev_end = Some(w.ends_at());
+                        }
+                        keep
+                    });
+                }
+                out
+            }
+            StallSchedule::Random {
+                mean_healthy,
+                span,
+                seed,
+            } => {
+                if !span.is_positive() {
+                    return vec![Vec::new(); num_procs];
+                }
+                let mean = mean_healthy.ticks().max(1) as f64;
+                (0..num_procs)
+                    .map(|p| {
+                        let mut rng = StdRng::seed_from_u64(mix(*seed, STALL_SALT ^ p as u64));
+                        let mut windows = Vec::new();
+                        let mut t = Time::ZERO;
+                        while windows.len() < MAX_WINDOWS_PER_PROC {
+                            let gap = exponential_ticks(&mut rng, mean);
+                            let at = t.saturating_add(gap);
+                            if at > horizon {
+                                break;
+                            }
+                            let w = StallWindow { at, span: *span };
+                            t = w.ends_at();
+                            windows.push(w);
+                        }
+                        windows
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Resolves the link-degradation schedule into windows over
+    /// `[0, horizon]`, sanitized (no loops, endpoints in range,
+    /// `drop_permille` clamped) and non-overlapping per directed pair.
+    /// The result is sorted by start instant for deterministic seeding.
+    pub fn resolve_links(&self, num_procs: usize, horizon: Time) -> Vec<LinkDegradeWindow> {
+        let Some(schedule) = self.gray.as_ref().and_then(|g| g.links.as_ref()) else {
+            return Vec::new();
+        };
+        match schedule {
+            LinkSchedule::Explicit(windows) => {
+                let mut out: Vec<LinkDegradeWindow> = windows
+                    .iter()
+                    .filter(|w| {
+                        w.from != w.to
+                            && w.from < num_procs
+                            && w.to < num_procs
+                            && w.span.is_positive()
+                            && w.at >= Time::ZERO
+                            && w.at <= horizon
+                    })
+                    .map(|w| LinkDegradeWindow {
+                        drop_permille: w.drop_permille.min(1000),
+                        ..*w
+                    })
+                    .collect();
+                // De-overlap within each directed pair, then restore
+                // global start order.
+                out.sort_by_key(|w| (w.from, w.to, w.at));
+                let mut prev: Option<(usize, usize, Time)> = None;
+                out.retain(|w| {
+                    let keep = match prev {
+                        Some((f, t, end)) if f == w.from && t == w.to => w.at > end,
+                        _ => true,
+                    };
+                    if keep {
+                        prev = Some((w.from, w.to, w.ends_at()));
+                    }
+                    keep
+                });
+                out.sort_by_key(|w| (w.at, w.from, w.to));
+                out
+            }
+            LinkSchedule::Random {
+                mean_healthy,
+                span,
+                extra_latency,
+                jitter,
+                drop_permille,
+                seed,
+            } => {
+                if num_procs < 2 || !span.is_positive() {
+                    return Vec::new();
+                }
+                let mean = mean_healthy.ticks().max(1) as f64;
+                let mut rng = StdRng::seed_from_u64(mix(*seed, LINK_SALT));
+                let mut out = Vec::new();
+                let mut t = Time::ZERO;
+                while out.len() < MAX_WINDOWS_PER_PROC {
+                    let gap = exponential_ticks(&mut rng, mean);
+                    let at = t.saturating_add(gap);
+                    if at > horizon {
+                        break;
+                    }
+                    let from = rng.random_range(0..num_procs as u64) as usize;
+                    let mut to = rng.random_range(0..(num_procs - 1) as u64) as usize;
+                    if to >= from {
+                        to += 1;
+                    }
+                    let w = LinkDegradeWindow {
+                        at,
+                        span: *span,
+                        from,
+                        to,
+                        extra_latency: *extra_latency,
+                        jitter: *jitter,
+                        drop_permille: (*drop_permille).min(1000),
+                    };
+                    t = w.ends_at();
+                    out.push(w);
+                }
+                out
             }
         }
     }
@@ -404,6 +886,89 @@ impl FaultConfig {
     }
 }
 
+/// Salt domains keeping each gray persona's random stream independent of
+/// the crash streams (and each other) under a shared master seed.
+const SLOW_SALT: u64 = 0x510_3d0c;
+const STALL_SALT: u64 = 0x57a_11ed;
+const LINK_SALT: u64 = 0x11_4bad;
+const FLAP_SALT: u64 = 0xf1a_99ed;
+
+/// Expands a flap schedule into per-processor crash windows (one per
+/// cycle), bounded like every other resolution.
+fn resolve_flaps(
+    schedule: &FlapSchedule,
+    num_procs: usize,
+    horizon: Time,
+) -> Vec<Vec<CrashWindow>> {
+    let expand = |burst: &FlapBurst, out: &mut Vec<CrashWindow>| {
+        let stride = burst.down.saturating_add(burst.up).max(Dur::from_ticks(1));
+        for c in 0..burst.cycles.min(MAX_WINDOWS_PER_PROC as u32) {
+            let at = burst
+                .at
+                .saturating_add(Dur::from_ticks(stride.ticks().saturating_mul(c as i64)));
+            if at > horizon || out.len() >= MAX_WINDOWS_PER_PROC {
+                break;
+            }
+            out.push(CrashWindow {
+                at,
+                restart_delay: burst.down,
+            });
+        }
+    };
+    match schedule {
+        FlapSchedule::Explicit(bursts) => {
+            let mut padded = bursts.clone();
+            padded.resize(num_procs, Vec::new());
+            padded.truncate(num_procs);
+            padded
+                .iter()
+                .map(|per_proc| {
+                    let mut out = Vec::new();
+                    for burst in per_proc {
+                        expand(burst, &mut out);
+                    }
+                    out
+                })
+                .collect()
+        }
+        FlapSchedule::Random {
+            mean_stable,
+            cycles,
+            down,
+            up,
+            seed,
+        } => {
+            let mean = mean_stable.ticks().max(1) as f64;
+            (0..num_procs)
+                .map(|p| {
+                    let mut rng = StdRng::seed_from_u64(mix(*seed, FLAP_SALT ^ p as u64));
+                    let mut out = Vec::new();
+                    let mut t = Time::ZERO;
+                    while out.len() < MAX_WINDOWS_PER_PROC {
+                        let gap = exponential_ticks(&mut rng, mean);
+                        let at = t.saturating_add(gap);
+                        if at > horizon {
+                            break;
+                        }
+                        let burst = FlapBurst {
+                            at,
+                            cycles: *cycles,
+                            down: *down,
+                            up: *up,
+                        };
+                        expand(&burst, &mut out);
+                        let stride = down.saturating_add(*up).max(Dur::from_ticks(1));
+                        t = at.saturating_add(Dur::from_ticks(
+                            stride.ticks().saturating_mul(*cycles as i64),
+                        ));
+                    }
+                    out
+                })
+                .collect()
+        }
+    }
+}
+
 /// SplitMix64 finalizer over `seed ^ f(salt)`: decorrelates per-processor
 /// streams drawn from one master seed.
 fn mix(seed: u64, salt: u64) -> u64 {
@@ -459,6 +1024,21 @@ pub struct FaultStats {
     pub severed_sync: u64,
     /// Backlogged signals replayed when a cut healed.
     pub partition_replayed: u64,
+    /// Slowdown windows entered.
+    pub slowdowns: u64,
+    /// Stall windows entered.
+    pub stalls: u64,
+    /// Link-degradation windows opened.
+    pub link_degrades: u64,
+    /// Heartbeats dropped by degraded links.
+    pub gray_dropped_heartbeats: u64,
+    /// Transport frames and acks dropped by degraded links.
+    pub gray_dropped_transport: u64,
+    /// Sync frames dropped by degraded links.
+    pub gray_dropped_sync: u64,
+    /// Total extra latency (deterministic plus jitter) injected by
+    /// degraded links, in ticks.
+    pub gray_extra_latency_ticks: u64,
 }
 
 /// Why a backlog item exists.
@@ -506,6 +1086,30 @@ pub(crate) struct FaultState {
     /// Protocol signals severed by the current cut, in arrival order;
     /// replayed through the normal apply path at the heal.
     pub(crate) partition_backlog: Vec<JobId>,
+    /// When the currently open cut went up (`None` while whole). The sync
+    /// layer uses it to age out cross-island samples taken before the
+    /// split.
+    pub(crate) partition_since: Option<Time>,
+    /// Resolved slowdown windows, per processor.
+    pub(crate) slow_windows: Vec<Vec<SlowWindow>>,
+    /// Resolved stall windows, per processor.
+    pub(crate) stall_windows: Vec<Vec<StallWindow>>,
+    /// Resolved link-degradation windows (event `idx` indexes this).
+    pub(crate) link_windows: Vec<LinkDegradeWindow>,
+    /// Current execution-rate divisor per processor (1 = nominal).
+    pub(crate) rate: Vec<u32>,
+    /// `true` while the processor is gray-stalled.
+    pub(crate) stalled: Vec<bool>,
+    /// Active link window per directed pair (`from * n + to`), stored as
+    /// window index + 1 (`0` = healthy). Windows never overlap per pair,
+    /// so one slot suffices.
+    pub(crate) link_active: Vec<u32>,
+    /// Seed and counter of the per-frame jitter/drop stream. A dedicated
+    /// SplitMix64 counter stream keeps gray draws off the nonideal
+    /// channel's RNG, so arming gray personas never perturbs the
+    /// channel's own loss/latency sequence.
+    frame_seed: u64,
+    frame_ctr: u64,
     pub(crate) stats: FaultStats,
 }
 
@@ -528,6 +1132,15 @@ impl FaultState {
             partitioned: false,
             island: vec![false; num_procs],
             partition_backlog: Vec::new(),
+            partition_since: None,
+            slow_windows: cfg.resolve_slow(num_procs, horizon),
+            stall_windows: cfg.resolve_stalls(num_procs, horizon),
+            link_windows: cfg.resolve_links(num_procs, horizon),
+            rate: vec![1; num_procs],
+            stalled: vec![false; num_procs],
+            link_active: vec![0; num_procs * num_procs],
+            frame_seed: cfg.gray.as_ref().map(|g| g.frame_seed).unwrap_or(0),
+            frame_ctr: 0,
             stats: FaultStats::default(),
         }
     }
@@ -535,6 +1148,51 @@ impl FaultState {
     /// Whether the current cut separates processors `a` and `b`.
     pub(crate) fn cut(&self, a: usize, b: usize) -> bool {
         self.partitioned && self.island[a] != self.island[b]
+    }
+
+    /// The active degraded window on the directed link `from -> to`.
+    pub(crate) fn link_gray(&self, from: usize, to: usize) -> Option<&LinkDegradeWindow> {
+        let n = self.rate.len();
+        match self.link_active[from * n + to] {
+            0 => None,
+            idx => Some(&self.link_windows[idx as usize - 1]),
+        }
+    }
+
+    /// Gray ground truth for a verdict on `subject` as seen by
+    /// `observer`: the subject is stalled, slowed, or its heartbeat path
+    /// toward the observer runs over a degraded link.
+    pub(crate) fn actually_gray(&self, observer: usize, subject: usize) -> bool {
+        self.stalled[subject]
+            || self.rate[subject] > 1
+            || self.link_gray(subject, observer).is_some()
+    }
+
+    /// One draw from the dedicated per-frame gray stream.
+    pub(crate) fn frame_draw(&mut self) -> u64 {
+        let v = mix(self.frame_seed, self.frame_ctr);
+        self.frame_ctr += 1;
+        v
+    }
+
+    /// Extra tick-count a slowed processor stretches one nominal tick
+    /// into — the horizon padding each slow window costs.
+    pub(crate) fn gray_service_padding(&self) -> Dur {
+        let slow = self
+            .slow_windows
+            .iter()
+            .flatten()
+            .fold(Dur::ZERO, |acc, w| {
+                acc.saturating_add(Dur::from_ticks(
+                    w.span.ticks().saturating_mul(i64::from(w.factor) - 1),
+                ))
+            });
+        let stall = self
+            .stall_windows
+            .iter()
+            .flatten()
+            .fold(Dur::ZERO, |acc, w| acc.saturating_add(w.span));
+        slow.saturating_add(stall)
     }
 
     /// Total scheduled downtime across all processors — the horizon

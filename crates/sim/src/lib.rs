@@ -62,14 +62,18 @@ pub mod transport;
 pub use check::{
     validate_fault_quiescence, validate_partition_quiescence, validate_schedule, ScheduleDefect,
 };
-pub use detect::{Degradation, DegradationEvent, DetectStats, DetectorConfig, PeerState};
+pub use detect::{
+    Degradation, DegradationEvent, DetectStats, DetectorConfig, PeerState, PhiConfig,
+};
 pub use engine::{
     simulate, simulate_observed, simulate_profiled, SimConfig, SimOutcome, SimulateError,
     Violation, ViolationKind,
 };
 pub use faults::{
-    CrashSchedule, CrashWindow, FaultConfig, FaultStats, InvariantKind, InvariantObserver,
-    InvariantViolation, OverloadPolicy, PartitionSchedule, PartitionWindow,
+    CrashSchedule, CrashWindow, FaultConfig, FaultStats, FlapBurst, FlapSchedule, GrayConfig,
+    InvariantKind, InvariantObserver, InvariantViolation, LinkDegradeWindow, LinkSchedule,
+    OverloadPolicy, PartitionSchedule, PartitionWindow, SlowSchedule, SlowWindow, StallSchedule,
+    StallWindow,
 };
 pub use job::JobId;
 pub use metrics::{Metrics, TaskStats};

@@ -73,6 +73,9 @@ pub struct EngineSample<'a> {
     /// Detector census: ordered observer × subject pairs currently
     /// believed Alive (0 when no detector runs).
     pub peers_alive: u32,
+    /// Pairs currently believed Degraded (φ-accrual mode only; the
+    /// fixed-cliff detector has no such state and always reports 0).
+    pub peers_degraded: u32,
     /// Pairs currently believed Suspect.
     pub peers_suspect: u32,
     /// Pairs currently believed Dead.
@@ -286,6 +289,24 @@ pub trait Observer {
     #[inline]
     fn on_recovery(&mut self, now: Time, proc: usize, released: u64, dropped: u64) {}
 
+    /// Processor `proc` changed execution rate: `factor > 1` opens a
+    /// slowdown window (every tick of service takes `factor` wall ticks),
+    /// `factor == 1` restores full speed.
+    #[inline]
+    fn on_slowdown(&mut self, now: Time, proc: usize, factor: u32) {}
+
+    /// Processor `proc` entered (`stalled: true`) or left a GC-pause-style
+    /// stall: a full stop that, unlike a crash, keeps in-flight jobs and
+    /// generation-stamped state.
+    #[inline]
+    fn on_stall(&mut self, now: Time, proc: usize, stalled: bool) {}
+
+    /// The directed link `from → to` entered (`on: true`) or left a
+    /// degradation window (inflated latency, jitter and drop rate on a
+    /// live wire).
+    #[inline]
+    fn on_link_degrade(&mut self, now: Time, from: usize, to: usize, on: bool) {}
+
     /// A violation was recorded.
     #[inline]
     fn on_violation(&mut self, violation: &Violation) {}
@@ -379,6 +400,9 @@ tee_hooks! {
     on_degradation(now: Time, kind: &Degradation);
     on_crash(now: Time, proc: usize, killed: &[JobId]);
     on_recovery(now: Time, proc: usize, released: u64, dropped: u64);
+    on_slowdown(now: Time, proc: usize, factor: u32);
+    on_stall(now: Time, proc: usize, stalled: bool);
+    on_link_degrade(now: Time, from: usize, to: usize, on: bool);
     on_violation(violation: &Violation);
     on_run_end(now: Time, events: u64);
 }
@@ -485,6 +509,12 @@ pub struct ProtocolCounters {
     pub sync_corrections: SignedHistogram,
     /// Failure-detector transitions and graceful-degradation actions.
     pub degradations: u64,
+    /// Slowdown windows opened (gray faults).
+    pub slowdowns: u64,
+    /// Stall windows opened (gray faults).
+    pub stalls: u64,
+    /// Link-degradation windows opened (gray faults).
+    pub link_degrades: u64,
     /// Violations recorded.
     pub violations: u64,
     signal_depth: u64,
@@ -782,6 +812,24 @@ impl Observer for ProtocolCounters {
         self.procs[proc].recoveries += 1;
     }
 
+    fn on_slowdown(&mut self, _now: Time, _proc: usize, factor: u32) {
+        if factor > 1 {
+            self.slowdowns += 1;
+        }
+    }
+
+    fn on_stall(&mut self, _now: Time, _proc: usize, stalled: bool) {
+        if stalled {
+            self.stalls += 1;
+        }
+    }
+
+    fn on_link_degrade(&mut self, _now: Time, _from: usize, _to: usize, on: bool) {
+        if on {
+            self.link_degrades += 1;
+        }
+    }
+
     fn on_violation(&mut self, _violation: &Violation) {
         self.violations += 1;
     }
@@ -1050,6 +1098,14 @@ fn violation_tag(kind: &ViolationKind) -> &'static str {
 
 fn degradation_json(t: i64, kind: &Degradation) -> String {
     match kind {
+        Degradation::PeerDegraded {
+            observer,
+            subject,
+            gray_truth,
+        } => format!(
+            "{{\"type\":\"degradation\",\"t\":{t},\"kind\":\"peer_degraded\",\
+             \"observer\":{observer},\"subject\":{subject},\"gray_truth\":{gray_truth}}}"
+        ),
         Degradation::PeerSuspect {
             observer,
             subject,

@@ -82,7 +82,13 @@ impl PerfScope {
             EventKind::Crash { .. }
             | EventKind::Recover { .. }
             | EventKind::PartitionStart { .. }
-            | EventKind::PartitionHeal { .. } => PerfScope::Faults,
+            | EventKind::PartitionHeal { .. }
+            | EventKind::SlowStart { .. }
+            | EventKind::SlowEnd { .. }
+            | EventKind::StallStart { .. }
+            | EventKind::StallEnd { .. }
+            | EventKind::LinkDegradeStart { .. }
+            | EventKind::LinkDegradeEnd { .. } => PerfScope::Faults,
             EventKind::Completion { .. }
             | EventKind::MpmTimer { .. }
             | EventKind::GuardExpiry { .. }

@@ -137,6 +137,17 @@ pub struct Processor {
     /// or after `now`" can only ever match jobs released at the current
     /// instant.
     fresh_ready: usize,
+    /// Gray-failure execution-rate divisor: one work tick is retired per
+    /// `rate` wall ticks. `1` (the default) is the exact legacy 1:1 path.
+    rate: u32,
+    /// Wall ticks accumulated toward the next work tick while `rate > 1`
+    /// (always `0` at nominal rate, so the legacy arithmetic is
+    /// untouched).
+    rate_rem: i64,
+    /// Gray-failure stall: the scheduler is frozen — no execution, no
+    /// dispatch, no milestones — but, unlike a crash, every queued and
+    /// running job survives with its partial execution intact.
+    stalled: bool,
 }
 
 impl Processor {
@@ -151,6 +162,9 @@ impl Processor {
             needs_milestone: false,
             next_fifo: 0,
             fresh_ready: 0,
+            rate: 1,
+            rate_rem: 0,
+            stalled: false,
         }
     }
 
@@ -229,18 +243,31 @@ impl Processor {
             self.fresh_ready = 0;
         }
         let elapsed = now - start;
-        if elapsed.is_zero() {
+        if elapsed.is_zero() || self.stalled {
+            // A stalled processor burns wall time without retiring work:
+            // the running job (if any) keeps its partial execution frozen.
             return None;
         }
         match self.running.as_mut() {
             Some(r) => {
+                // At nominal rate every wall tick is a work tick; under a
+                // slowdown only every `rate`-th wall tick retires work, with
+                // `rate_rem` carrying the sub-tick remainder across slices.
+                let work = if self.rate == 1 {
+                    elapsed
+                } else {
+                    let wall = self.rate_rem + elapsed.ticks();
+                    let rate = i64::from(self.rate);
+                    self.rate_rem = wall % rate;
+                    Dur::from_ticks(wall / rate)
+                };
                 assert!(
-                    elapsed <= r.remaining(),
-                    "job {} overran: elapsed {elapsed} > remaining {}",
+                    work <= r.remaining(),
+                    "job {} overran: work {work} > remaining {}",
                     r.job,
                     r.remaining()
                 );
-                r.executed += elapsed;
+                r.executed += work;
                 Some(ExecutedSlice {
                     job: r.job,
                     start,
@@ -328,6 +355,11 @@ impl Processor {
             killed.push(run.job);
         }
         self.fresh_ready = 0;
+        // A crash clears a stall (the frozen jobs are gone anyway) and the
+        // mid-tick slowdown remainder; the rate itself is a property of the
+        // node's current gray window and survives the restart.
+        self.stalled = false;
+        self.rate_rem = 0;
         killed.sort_unstable();
     }
 
@@ -339,8 +371,56 @@ impl Processor {
         killed
     }
 
+    /// The current execution-rate divisor (1 = nominal speed).
+    pub fn rate(&self) -> u32 {
+        self.rate
+    }
+
+    /// `true` while the processor is gray-stalled.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Changes the execution-rate divisor (`1` restores nominal speed).
+    /// Call only after [`Processor::advance`]-ing to the present: the old
+    /// rate must have been accounted through "now" first. Any outstanding
+    /// milestone is invalidated; reschedule to arm a fresh one.
+    pub fn set_rate(&mut self, rate: u32) {
+        assert!(rate >= 1, "rate divisor must be at least 1 on {}", self.id);
+        if rate == self.rate {
+            return;
+        }
+        self.rate = rate;
+        // Restart the remainder at the new rate's tick edge.
+        self.rate_rem = 0;
+        self.milestone_gen += 1;
+        self.needs_milestone = self.running.is_some();
+    }
+
+    /// Freezes (`true`) or thaws (`false`) the scheduler. Unlike a crash
+    /// every job survives with its partial execution intact — including the
+    /// slowdown remainder, so a stall inside a slow window resumes exactly
+    /// where it left off. Call only after advancing to the present.
+    pub fn set_stalled(&mut self, on: bool) {
+        if on == self.stalled {
+            return;
+        }
+        self.stalled = on;
+        self.milestone_gen += 1;
+        self.needs_milestone = self.running.is_some();
+    }
+
     /// Picks the job to run at `now` (see the module docs for the rules).
     pub fn reschedule(&mut self, now: Time) -> Resched {
+        if self.stalled {
+            // Frozen: no dispatch, no milestones. `needs_milestone` is
+            // preserved so thawing re-arms the running job's milestone.
+            return if self.running.is_some() {
+                Resched::Unchanged
+            } else {
+                Resched::Idle
+            };
+        }
         let preempt = match (&self.running, self.ready.peek()) {
             (Some(run), Some(top)) => {
                 run.preemptible
@@ -381,8 +461,15 @@ impl Processor {
                     Some(b) => b.min(run.remaining()),
                     None => run.remaining(),
                 };
+                // `step` is work ticks; under a slowdown the milestone lands
+                // where the divided clock retires that much work.
+                let wall = if self.rate == 1 {
+                    step
+                } else {
+                    Dur::from_ticks(step.ticks() * i64::from(self.rate) - self.rate_rem)
+                };
                 return Resched::NewMilestone {
-                    at: now + step,
+                    at: now + wall,
                     gen: self.milestone_gen,
                 };
             }
@@ -768,6 +855,128 @@ mod tests {
         assert!(p.is_idle_point(t(3)));
         p.advance(t(4)); // … stale at t=4
         assert!(!p.is_idle_point(t(4)));
+    }
+
+    #[test]
+    fn slowdown_stretches_service_time_by_the_rate_divisor() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 3);
+        p.set_rate(4);
+        let (at, gen) = match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, gen } => (at, gen),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(at, t(12), "3 work ticks at rate 4 = 12 wall ticks");
+        // Partial advances accumulate the remainder correctly.
+        let s = p.advance(t(5)).unwrap();
+        assert_eq!((s.start, s.end), (t(0), t(5)), "slice spans wall time");
+        p.advance(t(12));
+        assert_eq!(
+            p.take_milestone(gen),
+            Some(Milestone::Completed(job(0, 0, 0)))
+        );
+    }
+
+    #[test]
+    fn rate_change_midstream_rearms_from_retired_work() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 4);
+        let gen1 = match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, gen } => {
+                assert_eq!(at, t(4));
+                gen
+            }
+            other => panic!("{other:?}"),
+        };
+        p.advance(t(2)); // 2 work ticks retired at nominal rate
+        p.set_rate(3);
+        assert_eq!(p.take_milestone(gen1), None, "old milestone invalidated");
+        match p.reschedule(t(2)) {
+            // 2 work ticks left at rate 3 = 6 wall ticks.
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(8)),
+            other => panic!("{other:?}"),
+        }
+        p.advance(t(8));
+        assert!(matches!(
+            p.take_milestone(p.current_gen()),
+            Some(Milestone::Completed(_))
+        ));
+    }
+
+    #[test]
+    fn restoring_nominal_rate_recovers_legacy_arithmetic() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 4);
+        p.set_rate(2);
+        p.reschedule(t(0));
+        p.advance(t(4)); // 2 work ticks retired
+        p.set_rate(1);
+        match p.reschedule(t(4)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(6)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_freezes_execution_without_losing_jobs() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 5);
+        let gen1 = match p.reschedule(t(0)) {
+            Resched::NewMilestone { gen, .. } => gen,
+            other => panic!("{other:?}"),
+        };
+        p.advance(t(2)); // 2 ticks retired
+        p.set_stalled(true);
+        assert!(p.is_stalled());
+        assert_eq!(p.take_milestone(gen1), None, "milestone invalidated");
+        assert_eq!(p.advance(t(10)), None, "no slice while stalled");
+        assert_eq!(p.reschedule(t(10)), Resched::Unchanged);
+        assert_eq!(p.running_job(), Some(job(0, 0, 0)), "job survives");
+        p.set_stalled(false);
+        match p.reschedule(t(10)) {
+            // 3 ticks remain: the stall cost wall time but no work.
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(13)),
+            other => panic!("{other:?}"),
+        }
+        p.advance(t(13));
+        assert!(matches!(
+            p.take_milestone(p.current_gen()),
+            Some(Milestone::Completed(_))
+        ));
+    }
+
+    #[test]
+    fn stalled_processor_queues_releases_without_dispatching() {
+        let mut p = proc();
+        p.set_stalled(true);
+        rel(&mut p, job(0, 0, 0), 0, 2);
+        assert_eq!(p.reschedule(t(0)), Resched::Idle, "no dispatch frozen");
+        assert_eq!(p.running_job(), None);
+        assert_eq!(p.backlog(), 1);
+        p.set_stalled(false);
+        match p.reschedule(t(0)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_clears_stall_but_keeps_rate() {
+        let mut p = proc();
+        rel(&mut p, job(0, 0, 0), 0, 3);
+        p.set_rate(2);
+        p.set_stalled(true);
+        p.reschedule(t(0));
+        let killed = p.crash();
+        assert_eq!(killed, vec![job(0, 0, 0)]);
+        assert!(!p.is_stalled(), "crash thaws the scheduler");
+        assert_eq!(p.rate(), 2, "slow window outlives the crash");
+        rel(&mut p, job(1, 0, 0), 0, 3);
+        p.advance(t(4));
+        match p.reschedule(t(4)) {
+            Resched::NewMilestone { at, .. } => assert_eq!(at, t(10)),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

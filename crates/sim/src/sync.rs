@@ -331,6 +331,11 @@ pub struct SyncStats {
     pub frames_severed: u64,
     /// Frames re-sent by the acked sync-transport mode after a loss.
     pub retransmits: u64,
+    /// Buffered samples discarded at a settle because they were gathered
+    /// from a peer across the open partition cut *before* the cut opened
+    /// — stale pre-partition estimates that would otherwise keep voting
+    /// in Marzullo against a connectivity that no longer exists.
+    pub stale_discards: u64,
     /// Responses served with persona-corrupted stamps or dispersion.
     pub corrupted_samples: u64,
     /// Settled estimates checked against the oracle's true offset.
@@ -360,6 +365,7 @@ impl Default for SyncStats {
             frames_lost: 0,
             frames_severed: 0,
             retransmits: 0,
+            stale_discards: 0,
             corrupted_samples: 0,
             bracket_samples: 0,
             bracket_misses: 0,
@@ -381,6 +387,21 @@ impl SyncStats {
     }
 }
 
+/// One buffered offset sample: the interval itself plus the provenance
+/// the partition-aware settle needs — who answered, and when the
+/// response landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SyncSample {
+    /// Interval lower bound, in ticks.
+    pub(crate) lo: i64,
+    /// Interval upper bound, in ticks.
+    pub(crate) hi: i64,
+    /// The responding processor (`p` itself for the reference exchange).
+    pub(crate) responder: usize,
+    /// True time the response was recorded.
+    pub(crate) at: Time,
+}
+
 /// Per-run state of the synchronization layer (engine-internal).
 #[derive(Debug)]
 pub(crate) struct SyncState {
@@ -390,7 +411,7 @@ pub(crate) struct SyncState {
     /// clock's offset by the engine's effective-clock reads.
     pub(crate) adj: Vec<Dur>,
     /// Per-processor offset intervals gathered since the last settle.
-    pub(crate) samples: Vec<Vec<(i64, i64)>>,
+    pub(crate) samples: Vec<Vec<SyncSample>>,
     /// Per-processor interval of the round's *reference* self-exchange —
     /// the one vote that cannot be a liar's. The settle anchors
     /// Marzullo's tie-break to it, so a phantom cluster needs a strict
@@ -496,16 +517,20 @@ impl SyncState {
     /// from stamps `(t1, t2, t3)` as an offset interval, widened by the
     /// responder's advertised error bound `disp` (0 for the reference) so
     /// the interval contains the *true* offset, not just the relative one.
-    /// `is_ref` marks the round's reference self-exchange; its interval
-    /// also becomes the settle's Marzullo trust anchor.
+    /// `responder` and `now` are kept with the sample so a later settle
+    /// can age out pre-partition cross-island votes; `responder == p`
+    /// marks the round's reference self-exchange, whose interval also
+    /// becomes the settle's Marzullo trust anchor.
+    #[allow(clippy::too_many_arguments)] // the three NTP stamps are positional by protocol
     pub(crate) fn record_exchange(
         &mut self,
         p: usize,
+        responder: usize,
         t1: Time,
         t2: Time,
         t3: Time,
         disp: Dur,
-        is_ref: bool,
+        now: Time,
     ) {
         let (t1, t2, t3) = (
             t1.since_origin().ticks(),
@@ -521,12 +546,31 @@ impl SyncState {
         let eps2 = t3 - t1;
         let lo = (theta2 - eps2).div_euclid(2) - disp.ticks();
         let hi = (theta2 + eps2 + 1).div_euclid(2) + disp.ticks();
-        self.samples[p].push((lo, hi));
-        if is_ref {
+        self.samples[p].push(SyncSample {
+            lo,
+            hi,
+            responder,
+            at: now,
+        });
+        if responder == p {
             self.ref_anchor[p] = Some((lo, hi));
         }
         self.stats.exchanges += 1;
         self.stats.max_sample_width = self.stats.max_sample_width.max(Dur::from_ticks(hi - lo));
+    }
+
+    /// Ages processor `p`'s sample buffer against an open partition: a
+    /// sample gathered *before* the cut opened at `cut_at` from a
+    /// responder now on the other side of it describes connectivity the
+    /// cut revoked — feeding it to Marzullo would keep the pre-partition
+    /// estimate voting long after the peer went unreachable. Cross-island
+    /// samples older than the cut are discarded; same-island samples and
+    /// the reference self-exchange always survive.
+    pub(crate) fn discard_cross_island(&mut self, p: usize, cut_at: Time, island: &[bool]) {
+        let before = self.samples[p].len();
+        let side = island[p];
+        self.samples[p].retain(|s| s.at >= cut_at || island[s.responder] == side);
+        self.stats.stale_discards += (before - self.samples[p].len()) as u64;
     }
 
     /// Settles processor `p`'s accumulated samples into a correction:
@@ -540,10 +584,10 @@ impl SyncState {
         // oscillator's rated drift over a period to keep containing the
         // *current* true offset.
         let slack = self.drift_slack[p];
-        for s in &mut samples {
-            s.0 -= slack;
-            s.1 += slack;
-        }
+        let samples: Vec<(i64, i64)> = samples
+            .drain(..)
+            .map(|s| (s.lo - slack, s.hi + slack))
+            .collect();
         let anchor = self.ref_anchor[p]
             .take()
             .map(|(lo, hi)| (lo - slack, hi + slack));
@@ -676,8 +720,8 @@ mod tests {
         // 3, response takes 1 (asymmetric). t1=100 → arrives 103, reads
         // 110; response lands at t3=104.
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO, false);
-        let &(lo, hi) = &s.samples[0][0];
+        s.record_exchange(0, 1, t(100), t(110), t(104), Dur::ZERO, t(104));
+        let SyncSample { lo, hi, .. } = s.samples[0][0];
         assert!(lo <= 7 && 7 <= hi, "true offset 7 outside [{lo}, {hi}]");
         // ε = RTT/2 = 2.
         assert!(hi - lo <= 4);
@@ -689,18 +733,18 @@ mod tests {
         // Same exchange, but the responder admits it may itself be up to
         // 3 ticks off true time: the interval grows by 3 on each side.
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(100), t(110), t(104), Dur::ZERO, false);
-        s.record_exchange(0, t(100), t(110), t(104), d(3), false);
+        s.record_exchange(0, 1, t(100), t(110), t(104), Dur::ZERO, t(104));
+        s.record_exchange(0, 1, t(100), t(110), t(104), d(3), t(104));
         let (tight, wide) = (s.samples[0][0], s.samples[0][1]);
-        assert_eq!(wide.0, tight.0 - 3);
-        assert_eq!(wide.1, tight.1 + 3);
+        assert_eq!(wide.lo, tight.lo - 3);
+        assert_eq!(wide.hi, tight.hi + 3);
     }
 
     #[test]
     fn settle_applies_policy() {
         // One perfect sample: responder ahead by exactly 5 (zero RTT).
         let sample =
-            |s: &mut SyncState| s.record_exchange(0, t(100), t(105), t(100), Dur::ZERO, false);
+            |s: &mut SyncState| s.record_exchange(0, 1, t(100), t(105), t(100), Dur::ZERO, t(100));
 
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
         assert_eq!(s.disp[0], None, "unsettled nodes advertise no bound");
@@ -735,10 +779,32 @@ mod tests {
     #[test]
     fn settle_clears_the_sample_buffer() {
         let mut s = SyncState::new(SyncConfig::new(d(10)), 1);
-        s.record_exchange(0, t(0), t(3), t(2), Dur::ZERO, false);
+        s.record_exchange(0, 1, t(0), t(3), t(2), Dur::ZERO, t(2));
         assert!(s.settle(0).is_some());
         assert!(s.samples[0].is_empty());
         assert_eq!(s.settle(0), None, "samples were consumed");
+    }
+
+    #[test]
+    fn cross_island_samples_older_than_the_cut_are_discarded() {
+        // Node 0 gathered three samples: from peer 1 (same island, old),
+        // from peer 2 (far island, old) and from itself (reference). A
+        // cut opening at t = 50 with {0, 1} on one side must age out
+        // exactly the pre-cut sample from peer 2.
+        let mut s = SyncState::new(SyncConfig::new(d(10)), 3);
+        s.record_exchange(0, 1, t(10), t(12), t(14), Dur::ZERO, t(14));
+        s.record_exchange(0, 2, t(10), t(13), t(14), Dur::ZERO, t(14));
+        s.record_exchange(0, 0, t(20), t(20), t(20), Dur::ZERO, t(20));
+        let island = [true, true, false];
+        s.discard_cross_island(0, t(50), &island);
+        assert_eq!(s.samples[0].len(), 2);
+        assert!(s.samples[0].iter().all(|x| x.responder != 2));
+        assert_eq!(s.stats.stale_discards, 1);
+        // A fresh post-cut sample from the same island always survives.
+        s.record_exchange(0, 1, t(60), t(62), t(64), Dur::ZERO, t(64));
+        s.discard_cross_island(0, t(50), &island);
+        assert_eq!(s.samples[0].len(), 3);
+        assert_eq!(s.stats.stale_discards, 1, "nothing new to discard");
     }
 
     #[test]

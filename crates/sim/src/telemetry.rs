@@ -74,6 +74,8 @@ pub struct TelemetryWindow {
     pub traffic_heartbeat: u64,
     /// Detector census at window close: pairs believed Alive.
     pub peers_alive: u32,
+    /// Pairs believed Degraded at window close (φ-accrual mode only).
+    pub peers_degraded: u32,
     /// Pairs believed Suspect at window close.
     pub peers_suspect: u32,
     /// Pairs believed Dead at window close.
@@ -96,6 +98,12 @@ pub struct TelemetryWindow {
     pub crashes: u64,
     /// Processor recoveries in the window.
     pub recoveries: u64,
+    /// Slowdown windows opened in the window (gray faults).
+    pub slowdowns: u64,
+    /// Stall windows opened in the window (gray faults).
+    pub stalls: u64,
+    /// Link-degradation windows opened in the window (gray faults).
+    pub link_degrades: u64,
     /// Whether a network partition was open at window close (gauge,
     /// carried through quiet windows like the detector census).
     pub partition_open: bool,
@@ -120,6 +128,7 @@ struct Accum {
     traffic_sync: u64,
     traffic_heartbeat: u64,
     peers_alive: u32,
+    peers_degraded: u32,
     peers_suspect: u32,
     peers_dead: u32,
     saw_census: bool,
@@ -128,6 +137,9 @@ struct Accum {
     window_eer: EerHistogram,
     crashes: u64,
     recoveries: u64,
+    slowdowns: u64,
+    stalls: u64,
+    link_degrades: u64,
     sync_corrupted: u64,
 }
 
@@ -156,6 +168,9 @@ impl Accum {
         self.window_eer.clear();
         self.crashes = 0;
         self.recoveries = 0;
+        self.slowdowns = 0;
+        self.stalls = 0;
+        self.link_degrades = 0;
         self.sync_corrupted = 0;
     }
 }
@@ -194,6 +209,7 @@ pub struct TelemetryObserver {
     running_eer: EerHistogram,
     // Gauges carried into windows that close without fresh values.
     last_alive: u32,
+    last_degraded: u32,
     last_suspect: u32,
     last_dead: u32,
     last_uncertainty: Option<i64>,
@@ -219,6 +235,7 @@ impl TelemetryObserver {
             windows: Vec::new(),
             running_eer: EerHistogram::new(),
             last_alive: 0,
+            last_degraded: 0,
             last_suspect: 0,
             last_dead: 0,
             last_uncertainty: None,
@@ -264,10 +281,20 @@ impl TelemetryObserver {
     fn flush(&mut self) {
         let a = &self.cur;
         let n = a.samples.max(1) as f64;
-        let (alive, suspect, dead) = if a.saw_census {
-            (a.peers_alive, a.peers_suspect, a.peers_dead)
+        let (alive, degraded, suspect, dead) = if a.saw_census {
+            (
+                a.peers_alive,
+                a.peers_degraded,
+                a.peers_suspect,
+                a.peers_dead,
+            )
         } else {
-            (self.last_alive, self.last_suspect, self.last_dead)
+            (
+                self.last_alive,
+                self.last_degraded,
+                self.last_suspect,
+                self.last_dead,
+            )
         };
         let uncertainty = a.uncertainty_max.or(self.last_uncertainty);
         self.running_eer.merge(&a.window_eer);
@@ -293,6 +320,7 @@ impl TelemetryObserver {
             traffic_sync: a.traffic_sync,
             traffic_heartbeat: a.traffic_heartbeat,
             peers_alive: alive,
+            peers_degraded: degraded,
             peers_suspect: suspect,
             peers_dead: dead,
             sync_uncertainty: uncertainty,
@@ -302,10 +330,14 @@ impl TelemetryObserver {
             eer_p99: q(0.99),
             crashes: a.crashes,
             recoveries: a.recoveries,
+            slowdowns: a.slowdowns,
+            stalls: a.stalls,
+            link_degrades: a.link_degrades,
             partition_open: self.partition_open,
             sync_corrupted: a.sync_corrupted,
         });
         self.last_alive = alive;
+        self.last_degraded = degraded;
         self.last_suspect = suspect;
         self.last_dead = dead;
         self.last_uncertainty = uncertainty;
@@ -320,6 +352,7 @@ impl Observer for TelemetryObserver {
         self.windows.clear();
         self.running_eer.clear();
         self.last_alive = 0;
+        self.last_degraded = 0;
         self.last_suspect = 0;
         self.last_dead = 0;
         self.last_uncertainty = None;
@@ -345,6 +378,7 @@ impl Observer for TelemetryObserver {
         a.queue_far_max = a.queue_far_max.max(sample.queue_far as u64);
         a.inflight_max = a.inflight_max.max(sample.transport_in_flight as u64);
         a.peers_alive = sample.peers_alive;
+        a.peers_degraded = sample.peers_degraded;
         a.peers_suspect = sample.peers_suspect;
         a.peers_dead = sample.peers_dead;
         a.saw_census = true;
@@ -406,6 +440,27 @@ impl Observer for TelemetryObserver {
         self.cur.recoveries += 1;
     }
 
+    fn on_slowdown(&mut self, now: Time, _proc: usize, factor: u32) {
+        self.roll(now);
+        if factor > 1 {
+            self.cur.slowdowns += 1;
+        }
+    }
+
+    fn on_stall(&mut self, now: Time, _proc: usize, stalled: bool) {
+        self.roll(now);
+        if stalled {
+            self.cur.stalls += 1;
+        }
+    }
+
+    fn on_link_degrade(&mut self, now: Time, _from: usize, _to: usize, on: bool) {
+        self.roll(now);
+        if on {
+            self.cur.link_degrades += 1;
+        }
+    }
+
     fn on_partition_start(&mut self, now: Time, _island: &[bool]) {
         self.roll(now);
         self.partition_open = true;
@@ -462,8 +517,9 @@ impl TelemetryReport {
         out.push_str(
             ",queue_near_mean,queue_near_max,queue_far_max,inflight_max,transport_sends,\
              retransmits,traffic_protocol,traffic_sync,traffic_heartbeat,peers_alive,\
-             peers_suspect,peers_dead,sync_uncertainty,completions,eer_p50,eer_p95,eer_p99,\
-             crashes,recoveries,partition_open,sync_corrupted\n",
+             peers_degraded,peers_suspect,peers_dead,sync_uncertainty,completions,eer_p50,\
+             eer_p95,eer_p99,crashes,recoveries,slowdowns,stalls,link_degrades,\
+             partition_open,sync_corrupted\n",
         );
         for w in &self.windows {
             let _ = write!(
@@ -479,7 +535,7 @@ impl TelemetryReport {
             }
             let _ = writeln!(
                 out,
-                ",{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                ",{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 w.queue_near_mean,
                 w.queue_near_max,
                 w.queue_far_max,
@@ -490,6 +546,7 @@ impl TelemetryReport {
                 w.traffic_sync,
                 w.traffic_heartbeat,
                 w.peers_alive,
+                w.peers_degraded,
                 w.peers_suspect,
                 w.peers_dead,
                 opt_cell(w.sync_uncertainty),
@@ -499,6 +556,9 @@ impl TelemetryReport {
                 opt_cell(w.eer_p99),
                 w.crashes,
                 w.recoveries,
+                w.slowdowns,
+                w.stalls,
+                w.link_degrades,
                 w.partition_open as u8,
                 w.sync_corrupted,
             );
@@ -521,10 +581,11 @@ impl TelemetryReport {
                  \"queue_near_mean\":{:.3},\"queue_near_max\":{},\"queue_far_max\":{},\
                  \"inflight_max\":{},\"transport_sends\":{},\"retransmits\":{},\
                  \"traffic\":{{\"protocol\":{},\"sync\":{},\"heartbeat\":{}}},\
-                 \"peers\":{{\"alive\":{},\"suspect\":{},\"dead\":{}}},\
+                 \"peers\":{{\"alive\":{},\"degraded\":{},\"suspect\":{},\"dead\":{}}},\
                  \"sync_uncertainty\":{},\"completions\":{},\
                  \"eer\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},\
                  \"crashes\":{},\"recoveries\":{},\
+                 \"gray\":{{\"slowdowns\":{},\"stalls\":{},\"link_degrades\":{}}},\
                  \"partition_open\":{},\"sync_corrupted\":{}}}",
                 w.index,
                 w.start.ticks(),
@@ -542,6 +603,7 @@ impl TelemetryReport {
                 w.traffic_sync,
                 w.traffic_heartbeat,
                 w.peers_alive,
+                w.peers_degraded,
                 w.peers_suspect,
                 w.peers_dead,
                 opt(w.sync_uncertainty),
@@ -551,6 +613,9 @@ impl TelemetryReport {
                 opt(w.eer_p99),
                 w.crashes,
                 w.recoveries,
+                w.slowdowns,
+                w.stalls,
+                w.link_degrades,
                 w.partition_open,
                 w.sync_corrupted,
             );
@@ -570,6 +635,10 @@ impl TelemetryReport {
             .windows
             .iter()
             .any(|w| w.partition_open || w.sync_corrupted > 0);
+        let gray = self
+            .windows
+            .iter()
+            .any(|w| w.slowdowns + w.stalls + w.link_degrades > 0);
         for w in &self.windows {
             let ts = w.start.ticks();
             let backlog: Vec<String> = w
@@ -600,8 +669,8 @@ impl TelemetryReport {
             ));
             ev.push(format!(
                 "{{\"name\":\"detector\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
-                 \"args\":{{\"alive\":{},\"suspect\":{},\"dead\":{}}}}}",
-                w.peers_alive, w.peers_suspect, w.peers_dead
+                 \"args\":{{\"alive\":{},\"degraded\":{},\"suspect\":{},\"dead\":{}}}}}",
+                w.peers_alive, w.peers_degraded, w.peers_suspect, w.peers_dead
             ));
             if let Some(u) = w.sync_uncertainty {
                 ev.push(format!(
@@ -614,6 +683,13 @@ impl TelemetryReport {
                     "{{\"name\":\"adversary\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
                      \"args\":{{\"partition_open\":{},\"sync_corrupted\":{}}}}}",
                     w.partition_open as u8, w.sync_corrupted
+                ));
+            }
+            if gray {
+                ev.push(format!(
+                    "{{\"name\":\"gray faults\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                     \"args\":{{\"slowdowns\":{},\"stalls\":{},\"link_degrades\":{}}}}}",
+                    w.slowdowns, w.stalls, w.link_degrades
                 ));
             }
             if let (Some(p50), Some(p95), Some(p99)) = (w.eer_p50, w.eer_p95, w.eer_p99) {
@@ -666,9 +742,10 @@ impl TelemetryReport {
         if self
             .windows
             .iter()
-            .any(|w| w.peers_alive + w.peers_suspect + w.peers_dead > 0)
+            .any(|w| w.peers_alive + w.peers_degraded + w.peers_suspect + w.peers_dead > 0)
         {
             out.push(("peers_alive".into(), col(&|w| w.peers_alive as f64)));
+            out.push(("peers_degraded".into(), col(&|w| w.peers_degraded as f64)));
             out.push(("peers_suspect".into(), col(&|w| w.peers_suspect as f64)));
             out.push(("peers_dead".into(), col(&|w| w.peers_dead as f64)));
         }
@@ -681,6 +758,15 @@ impl TelemetryReport {
         if self.windows.iter().any(|w| w.crashes + w.recoveries > 0) {
             out.push(("crashes".into(), col(&|w| w.crashes as f64)));
             out.push(("recoveries".into(), col(&|w| w.recoveries as f64)));
+        }
+        if self
+            .windows
+            .iter()
+            .any(|w| w.slowdowns + w.stalls + w.link_degrades > 0)
+        {
+            out.push(("slowdowns".into(), col(&|w| w.slowdowns as f64)));
+            out.push(("stalls".into(), col(&|w| w.stalls as f64)));
+            out.push(("link_degrades".into(), col(&|w| w.link_degrades as f64)));
         }
         if self
             .windows

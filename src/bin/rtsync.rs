@@ -23,9 +23,9 @@ use rtsync::core::textfmt;
 use rtsync::core::time::{Dur, Time};
 use rtsync::core::{AnalysisConfig, Protocol};
 use rtsync::sim::{
-    render_dashboard, simulate, simulate_observed, ChannelModel, EventLogObserver,
-    ProtocolCounters, SimConfig, SourceModel, SyncConfig, SyncPolicy, Tee, TelemetryObserver,
-    TransportConfig,
+    render_dashboard, simulate, simulate_observed, ChannelModel, EventLogObserver, FaultConfig,
+    GrayConfig, ProtocolCounters, SimConfig, SlowSchedule, SlowWindow, SourceModel, StallSchedule,
+    StallWindow, SyncConfig, SyncPolicy, Tee, TelemetryObserver, TransportConfig,
 };
 
 fn main() -> ExitCode {
@@ -55,6 +55,7 @@ fn run() -> Result<(), String> {
         "trace" => cmd_trace(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "adversary-study" => cmd_adversary_study(&args[1..]),
+        "gray-study" => cmd_gray_study(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
         "sync-study" => cmd_sync_study(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
@@ -78,6 +79,7 @@ fn usage() -> String {
      [--gantt TICKS] [--sporadic MAX_EXTRA] [--seed S] [--no-rule2] \
      [--trace-csv FILE] [--latency TICKS] [--drop P] [--transport] \
      [--timeout TICKS] [--sync-period TICKS] [--sync-policy step|slew:MAX|observe] \
+     [--slow PROC:AT:SPAN:FACTOR] [--stall PROC:AT:SPAN] \
      [--telemetry FILE] [--window TICKS]\n  \
      rtsync report <file|-|--paper N:U> --protocol ds|pm|mpm|rg [--instances N] \
      [--window TICKS] [--out FILE] [--csv FILE] [--jsonl FILE] \
@@ -86,9 +88,10 @@ fn usage() -> String {
      rtsync trace <file|-> --protocol ds|pm|mpm|rg [--instances N] \
      [--format perfetto|jsonl|gantt] [--counters] [--telemetry] [--window TICKS] \
      [--out FILE] [--sporadic MAX_EXTRA] [--seed S]\n  \
-     rtsync chaos [--runs N] [--smoke] [--adversarial] [--transport] [--seed S] \
+     rtsync chaos [--runs N] [--smoke] [--adversarial] [--gray] [--transport] [--seed S] \
      [--threads T] [--out DIR] [--telemetry FILE] [--window TICKS]\n  \
      rtsync adversary-study [--smoke] [--runs N] [--seed S] [--threads T] [--out DIR]\n  \
+     rtsync gray-study [--smoke] [--runs N] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync sync-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync bench [--json] [--smoke] [--out FILE] [--profile] \
@@ -346,6 +349,23 @@ struct NonidealFlags {
     clock_offset: i64,
     sync_period: Option<i64>,
     sync_policy: SyncPolicy,
+    slow: Vec<SlowWindowSpec>,
+    stall: Vec<StallWindowSpec>,
+}
+
+/// One `--slow PROC:AT:SPAN:FACTOR` occurrence.
+struct SlowWindowSpec {
+    proc: usize,
+    at: i64,
+    span: i64,
+    factor: u32,
+}
+
+/// One `--stall PROC:AT:SPAN` occurrence.
+struct StallWindowSpec {
+    proc: usize,
+    at: i64,
+    span: i64,
 }
 
 impl NonidealFlags {
@@ -361,6 +381,8 @@ impl NonidealFlags {
             clock_offset: 0,
             sync_period: None,
             sync_policy: SyncPolicy::Step,
+            slow: Vec::new(),
+            stall: Vec::new(),
         }
     }
 
@@ -423,6 +445,31 @@ impl NonidealFlags {
                 )
             }
             "--sync-policy" => self.sync_policy = parse_sync_policy(grab("--sync-policy")?)?,
+            "--slow" => {
+                let spec = grab("--slow")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [proc, at, span, factor] = parts[..] else {
+                    return Err(format!("--slow wants PROC:AT:SPAN:FACTOR, got `{spec}`"));
+                };
+                self.slow.push(SlowWindowSpec {
+                    proc: proc.parse().map_err(|e| format!("--slow PROC: {e}"))?,
+                    at: at.parse().map_err(|e| format!("--slow AT: {e}"))?,
+                    span: span.parse().map_err(|e| format!("--slow SPAN: {e}"))?,
+                    factor: factor.parse().map_err(|e| format!("--slow FACTOR: {e}"))?,
+                });
+            }
+            "--stall" => {
+                let spec = grab("--stall")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [proc, at, span] = parts[..] else {
+                    return Err(format!("--stall wants PROC:AT:SPAN, got `{spec}`"));
+                };
+                self.stall.push(StallWindowSpec {
+                    proc: proc.parse().map_err(|e| format!("--stall PROC: {e}"))?,
+                    at: at.parse().map_err(|e| format!("--stall AT: {e}"))?,
+                    span: span.parse().map_err(|e| format!("--stall SPAN: {e}"))?,
+                });
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -466,6 +513,36 @@ impl NonidealFlags {
                 max_extra: Dur::from_ticks(max_extra),
                 seed: self.seed,
             });
+        }
+        if !self.slow.is_empty() || !self.stall.is_empty() {
+            let mut gray = GrayConfig::new().with_frame_seed(self.seed ^ 0x6EA7);
+            if !self.slow.is_empty() {
+                let procs = self.slow.iter().map(|w| w.proc).max().unwrap_or(0) + 1;
+                let mut per_proc = vec![Vec::new(); procs];
+                for w in &self.slow {
+                    if w.factor < 2 {
+                        return Err("--slow FACTOR must be at least 2".to_string());
+                    }
+                    per_proc[w.proc].push(SlowWindow {
+                        at: Time::from_ticks(w.at),
+                        span: Dur::from_ticks(w.span),
+                        factor: w.factor,
+                    });
+                }
+                gray = gray.with_slow(SlowSchedule::Explicit(per_proc));
+            }
+            if !self.stall.is_empty() {
+                let procs = self.stall.iter().map(|w| w.proc).max().unwrap_or(0) + 1;
+                let mut per_proc = vec![Vec::new(); procs];
+                for w in &self.stall {
+                    per_proc[w.proc].push(StallWindow {
+                        at: Time::from_ticks(w.at),
+                        span: Dur::from_ticks(w.span),
+                    });
+                }
+                gray = gray.with_stalls(StallSchedule::Explicit(per_proc));
+            }
+            cfg = cfg.with_faults(FaultConfig::gray_only(gray));
         }
         Ok(cfg)
     }
@@ -613,6 +690,25 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             dt.false_deads,
             dt.forced_releases,
             dt.watchdog_trips
+        );
+        if dt.degradeds + dt.false_dead_gray + dt.hysteresis_holds > 0 {
+            println!(
+                "detector (gray): {} degradeds ({} confirmed gray), \
+                 {} false deads on gray peers, {} hysteresis holds",
+                dt.degradeds, dt.gray_hits, dt.false_dead_gray, dt.hysteresis_holds
+            );
+        }
+    }
+    let fs = &outcome.fault_stats;
+    if fs.slowdowns + fs.stalls + fs.link_degrades > 0 {
+        println!(
+            "gray faults: {} slowdowns, {} stalls, {} link windows, \
+             {} heartbeats dropped, {} extra latency ticks",
+            fs.slowdowns,
+            fs.stalls,
+            fs.link_degrades,
+            fs.gray_dropped_heartbeats,
+            fs.gray_extra_latency_ticks
         );
     }
     let sy = &outcome.sync_stats;
@@ -936,6 +1032,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     let mut runs: Option<usize> = None;
     let mut smoke = false;
     let mut adversarial = false;
+    let mut gray = false;
     let mut transport = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
@@ -957,6 +1054,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             }
             "--smoke" => smoke = true,
             "--adversarial" => adversarial = true,
+            "--gray" => gray = true,
             "--transport" => transport = true,
             "--seed" => {
                 seed = Some(
@@ -999,6 +1097,18 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             acfg.threads = t.max(1);
         }
         return run_adversary_campaign(&acfg, out_dir.as_deref());
+    }
+    if gray {
+        // Route to the gray-failure campaign, smoke-sized: `gray-study`
+        // runs the full slowdown x stall x link grid.
+        let mut gcfg = rtsync::experiments::gray::GrayStudyConfig::smoke(runs.unwrap_or(16));
+        if let Some(s) = seed {
+            gcfg.seed = s;
+        }
+        if let Some(t) = threads {
+            gcfg.threads = t.max(1);
+        }
+        return run_gray_campaign(&gcfg, out_dir.as_deref());
     }
     let mut cfg = if smoke {
         ChaosConfig::smoke(runs.unwrap_or(25))
@@ -1189,6 +1299,110 @@ fn run_adversary_campaign(
     Ok(())
 }
 
+fn cmd_gray_study(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::gray::GrayStudyConfig;
+    let mut smoke = false;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--runs" => {
+                runs = Some(
+                    grab("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?,
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        GrayStudyConfig::smoke(runs.unwrap_or(16))
+    } else {
+        let mut cfg = GrayStudyConfig::default();
+        if let Some(total) = runs {
+            let cells = cfg.slow_factors.len() * cfg.stall_spans.len() * cfg.link_drops.len();
+            cfg.runs_per_cell = total.div_ceil(cells).max(1);
+        }
+        cfg
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+    run_gray_campaign(&cfg, out_dir.as_deref())
+}
+
+/// Shared driver of `gray-study` and `chaos --gray`: run the grid,
+/// render it, optionally persist the CSVs, and fail the process if any
+/// clock-independent safety invariant broke.
+fn run_gray_campaign(
+    cfg: &rtsync::experiments::gray::GrayStudyConfig,
+    out_dir: Option<&str>,
+) -> Result<(), String> {
+    use rtsync::experiments::gray::{grid_csv, render, run_gray, summary_csv};
+    eprintln!(
+        "gray campaign: {} runs ({} slow factors x {} stall spans x \
+         {} link drops x {} runs/cell), seed {:#x}",
+        cfg.total_runs(),
+        cfg.slow_factors.len(),
+        cfg.stall_spans.len(),
+        cfg.link_drops.len(),
+        cfg.runs_per_cell,
+        cfg.seed
+    );
+    let outcome = run_gray(cfg);
+    print!("{}", render(&outcome));
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let grid = format!("{dir}/gray_grid.csv");
+        std::fs::write(&grid, grid_csv(&outcome)).map_err(|e| format!("writing {grid}: {e}"))?;
+        let summary = format!("{dir}/gray_summary.csv");
+        std::fs::write(&summary, summary_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        eprintln!("wrote {grid} and {summary}");
+    }
+    if !outcome.is_clean() {
+        return Err(format!(
+            "{} of {} gray runs violated a clock-independent safety invariant",
+            outcome.failures().len(),
+            outcome.verdicts.len()
+        ));
+    }
+    if !outcome.adaptive_dominates() {
+        return Err(
+            "the adaptive detector failed to dominate the fixed cliff on false deads \
+             in a slowdown-only cell"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use rtsync::bench::compare::{compare, parse_baseline, Tolerances};
     use rtsync::bench::run_suite_opts;
@@ -1238,7 +1452,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     eprintln!(
-        "bench suite: every protocol x {{ideal, nonideal, sync, partition, faults_transport}}{}",
+        "bench suite: every protocol x {{ideal, nonideal, sync, partition, faults_transport, \
+         gray}}{}",
         if smoke {
             " (smoke: reduced workload, numbers are a crash canary only)"
         } else {
