@@ -18,7 +18,12 @@
 //! with failure detection), and `gray` (slowdown/stall/degraded-link
 //! personas under the adaptive φ-accrual detector — the price of the
 //! gray penalty lookups, stretched service accounting, and φ window
-//! updates on every heartbeat).
+//! updates on every heartbeat). A seventh `admit` tier measures the
+//! incremental admission-control engine instead of the simulator: its
+//! "events" are admit/retire decisions served against the same §5.1
+//! workload (fill + churn), so `events_per_sec` reads as decisions per
+//! second there. DS cells run the engine in SA/DS mode; PM, MPM and RG
+//! share the SA/PM analysis and measure the PM-family mode.
 //! Numbers are machine-dependent: compare trajectories on one machine,
 //! not absolute values across machines — which is exactly what the
 //! [`compare`] sentry automates: per-iteration timings make a
@@ -39,6 +44,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rtsync_core::analysis::admission::{
+    AdmissionConfig, AdmissionMode, AdmissionState, ChainRequest,
+};
 use rtsync_core::protocol::Protocol;
 use rtsync_core::task::TaskSet;
 use rtsync_core::time::Dur;
@@ -152,7 +160,7 @@ pub struct BenchResult {
     /// Protocol tag (`DS`, `PM`, `MPM`, `RG`).
     pub protocol: &'static str,
     /// Scenario tag (`ideal`, `nonideal`, `sync`, `partition`,
-    /// `faults_transport`, `gray`).
+    /// `faults_transport`, `gray`, `admit`).
     pub scenario: &'static str,
     /// Timed iterations (after one untimed warmup).
     pub iterations: u32,
@@ -237,14 +245,16 @@ impl BenchReport {
     }
 }
 
-/// The six condition tiers, in escalating order.
-const SCENARIOS: [&str; 6] = [
+/// The six simulator condition tiers in escalating order, plus the
+/// `admit` tier driving the admission-control engine.
+const SCENARIOS: [&str; 7] = [
     "ideal",
     "nonideal",
     "sync",
     "partition",
     "faults_transport",
     "gray",
+    "admit",
 ];
 
 /// Builds the `SimConfig` of one cell. Seeds are fixed so every
@@ -361,6 +371,45 @@ fn cell_config(protocol: Protocol, scenario: &str, instances: u64) -> SimConfig 
     }
 }
 
+/// The benchmark task set as admission requests: one chain per task,
+/// ranked shortest-period-first.
+fn admit_requests(set: &TaskSet) -> Vec<ChainRequest> {
+    set.tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            let subtasks = task
+                .subtasks()
+                .iter()
+                .map(|sub| (sub.processor().index(), sub.execution()))
+                .collect();
+            ChainRequest::new(i as u64, task.period(), subtasks)
+                .with_deadline(task.deadline())
+                .with_rank(task.period().ticks().min(i64::from(u32::MAX)) as u32)
+        })
+        .collect()
+}
+
+/// One iteration of the `admit` tier: fill the engine with every chain
+/// of the shared workload, then `churn` retire + re-admit rounds
+/// cycling over the chains. Returns decisions served (deterministic for
+/// a given workload and churn count).
+fn admit_ops(set: &TaskSet, mode: AdmissionMode, churn: usize) -> u64 {
+    let requests = admit_requests(set);
+    let mut state = AdmissionState::new(set.num_processors(), AdmissionConfig::new(mode));
+    for req in &requests {
+        state.admit(req.clone());
+    }
+    for round in 0..churn {
+        let id = (round % requests.len()) as u64;
+        if state.retire(id).is_ok() {
+            state.admit(requests[id as usize].clone());
+        }
+    }
+    let stats = state.stats();
+    stats.decisions + stats.retired
+}
+
 /// The shared benchmark task set (§5.1 workload, random phases).
 pub fn bench_task_set() -> TaskSet {
     let mut rng = StdRng::seed_from_u64(WORKLOAD_SEED);
@@ -391,6 +440,41 @@ pub fn run_suite_opts(smoke: bool, profile: bool) -> BenchReport {
     let mut results = Vec::new();
     for protocol in Protocol::ALL {
         for scenario in SCENARIOS {
+            if scenario == "admit" {
+                // The admission tier measures the engine, not the
+                // simulator: events are admit/retire decisions.
+                let mode = match protocol {
+                    Protocol::DirectSync => AdmissionMode::DirectSync,
+                    _ => AdmissionMode::PmFamily,
+                };
+                let churn = instances as usize * 10;
+                let events_per_iter = admit_ops(&set, mode, churn);
+                let mut iter_secs = Vec::with_capacity(iterations as usize);
+                for _ in 0..iterations {
+                    let start = Instant::now();
+                    let ops = admit_ops(&set, mode, churn);
+                    iter_secs.push(start.elapsed().as_secs_f64());
+                    assert_eq!(
+                        ops, events_per_iter,
+                        "admission engine must be deterministic across iterations"
+                    );
+                }
+                let elapsed_secs: f64 = iter_secs.iter().sum();
+                let best_secs = iter_secs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let total_events = events_per_iter * u64::from(iterations);
+                results.push(BenchResult {
+                    protocol: protocol.tag(),
+                    scenario,
+                    iterations,
+                    events_per_iter,
+                    elapsed_secs,
+                    events_per_sec: total_events as f64 / elapsed_secs.max(1e-9),
+                    iter_secs,
+                    best_events_per_sec: events_per_iter as f64 / best_secs.max(1e-9),
+                    profile: None,
+                });
+                continue;
+            }
             let cfg = cell_config(protocol, scenario, instances);
             // Warmup: touches the page cache and verifies the cell runs.
             let events_per_iter = simulate(&set, &cfg)
@@ -456,6 +540,21 @@ mod tests {
             assert!(r.best_events_per_sec >= r.events_per_sec * 0.999);
             assert!(r.profile.is_none());
         }
+        // The admit tier ran for every protocol, and the PM-family
+        // protocols (PM, MPM, RG) share one engine mode, so they serve
+        // identical decision counts.
+        let admit: Vec<&BenchResult> = report
+            .results
+            .iter()
+            .filter(|r| r.scenario == "admit")
+            .collect();
+        assert_eq!(admit.len(), Protocol::ALL.len());
+        let pm_family: Vec<u64> = admit
+            .iter()
+            .filter(|r| r.protocol != "DS")
+            .map(|r| r.events_per_iter)
+            .collect();
+        assert!(pm_family.windows(2).all(|w| w[0] == w[1]));
         let json = report.to_json();
         assert!(json.starts_with("{\n  \"schema\": \"rtsync-bench-v2\""));
         assert!(json.contains("\"provenance\""));

@@ -226,12 +226,25 @@ fn demand_at(offset: Dur, terms: &[DemandTerm], t: Dur) -> Result<Dur, FixedPoin
     Ok(total)
 }
 
-/// Approximate total utilization of `terms` in parts-per-million (reporting
-/// aid for overload diagnostics; truncating per-term division).
+/// Total utilization of `terms` in parts-per-million, with each per-term
+/// division rounded **up**.
+///
+/// Rounding up is the safe direction for this number's consumers: the
+/// overload diagnostics and any admission gate that treats `< 1_000_000`
+/// as "below capacity". Truncation understates — three terms of
+/// execution 1 / period 3 would report 999 999 ppm and read as strictly
+/// under 100% when the processor is in fact fully saturated. With ceiling
+/// rounding the result never understates the true utilization (it may
+/// overstate by strictly less than one ppm per term), so a saturated or
+/// overloaded set can never masquerade as having headroom.
 pub fn utilization_ppm(terms: &[DemandTerm]) -> u64 {
     terms
         .iter()
-        .map(|t| (t.execution.ticks() as i128 * 1_000_000 / t.period.ticks() as i128) as u64)
+        .map(|t| {
+            let num = t.execution.ticks() as i128 * 1_000_000;
+            let den = t.period.ticks() as i128;
+            ((num + den - 1) / den) as u64
+        })
         .sum()
 }
 
@@ -363,6 +376,28 @@ mod tests {
             DemandTerm::periodic(d(10), d(3)), // 0.3
         ];
         assert_eq!(utilization_ppm(&terms), 800_000);
+    }
+
+    #[test]
+    fn utilization_ppm_rounds_up_never_understating_saturation() {
+        // Regression: three tasks of execution 1 / period 3 saturate a
+        // processor exactly (utilization = 1). The old truncating division
+        // reported 3 × 333_333 = 999_999 ppm — strictly under 100% — so a
+        // gate keyed on `< 1_000_000` would have claimed headroom on a
+        // saturated set. Ceiling rounding must report ≥ 100%.
+        let terms = [
+            DemandTerm::periodic(d(3), d(1)),
+            DemandTerm::periodic(d(3), d(1)),
+            DemandTerm::periodic(d(3), d(1)),
+        ];
+        assert!(utilization_ppm(&terms) >= 1_000_000);
+        // Each term overstates by strictly less than one ppm.
+        assert_eq!(utilization_ppm(&terms), 1_000_002);
+        // Exact divisions stay exact.
+        assert_eq!(
+            utilization_ppm(&[DemandTerm::periodic(d(4), d(1))]),
+            250_000
+        );
     }
 
     #[test]

@@ -58,6 +58,34 @@ impl IeerBounds {
         IeerBounds { bounds }
     }
 
+    /// The optimistic seed of [`seed`](IeerBounds::seed), with individual
+    /// entries *raised* to a caller-supplied prior where one is available
+    /// (`max(cumulative execution, prior)` per subtask).
+    ///
+    /// This is the warm seed of the incremental admission engine: after a
+    /// system grows, the previously *converged* bounds of the retained
+    /// subtasks are valid priors — demand growth moves the least fixed
+    /// point of the IEERT sweep up, never down, so each old bound still
+    /// lies at or below its new converged value. Seeding there skips the
+    /// sweeps that would only re-climb already-established ground.
+    ///
+    /// Soundness requires every prior to be ≤ the subtask's bound at the
+    /// **new** least fixed point; priors taken from a *shrunk* system
+    /// (after a retirement) violate that and must not be used. The seed
+    /// stays within `[optimistic seed, least fixed point]`, where the
+    /// monotone sweep provably converges to the same least fixed point as
+    /// the cold seed (see `seeded_run_matches_cold_run` in `sa_ds`).
+    pub fn seed_with(set: &TaskSet, prior: impl Fn(SubtaskId) -> Option<Dur>) -> IeerBounds {
+        let mut seeded = IeerBounds::seed(set);
+        for sub in set.subtasks() {
+            if let Some(p) = prior(sub.id()) {
+                let floor = seeded.get(sub.id());
+                seeded.set(sub.id(), floor.max(p));
+            }
+        }
+        seeded
+    }
+
     /// Builds bounds from raw per-subtask values (`[task][chain index]`).
     ///
     /// # Panics
@@ -377,6 +405,28 @@ mod tests {
             }
         }
         assert!(failed, "expected the failure criterion to fire");
+    }
+
+    #[test]
+    fn seed_with_raises_entries_but_never_lowers_them() {
+        let set = example2();
+        // A prior below the optimistic seed is ignored (the seed is a
+        // hard floor); one above it wins.
+        let seeded = IeerBounds::seed_with(&set, |id| {
+            if id == sid(1, 1) {
+                Some(d(7)) // converged value, above the seed of 5
+            } else if id == sid(0, 0) {
+                Some(d(1)) // below the seed of 2: ignored
+            } else {
+                None
+            }
+        });
+        assert_eq!(seeded.get(sid(1, 1)), d(7));
+        assert_eq!(seeded.get(sid(0, 0)), d(2));
+        assert_eq!(seeded.get(sid(2, 0)), d(2));
+        // No priors at all: identical to the plain seed.
+        let plain = IeerBounds::seed_with(&set, |_| None);
+        assert_eq!(plain, IeerBounds::seed(&set));
     }
 
     #[test]

@@ -16,7 +16,14 @@
 //!
 //! [`report`] assembles per-protocol bounds and deadlines into a
 //! human-readable schedulability verdict.
+//!
+//! [`admission`] wraps the batch analyses in an incremental online
+//! admission-control engine: a resident [`admission::AdmissionState`]
+//! memoizes per-subtask fixed points and re-runs only the analyses whose
+//! interference sets an `admit`/`retire` actually changed, producing
+//! verdicts bit-identical to a from-scratch batch re-analysis.
 
+pub mod admission;
 pub mod busy_period;
 pub mod ieert;
 pub mod report;

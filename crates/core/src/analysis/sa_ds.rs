@@ -125,7 +125,29 @@ pub fn analyze_ds_with(
     cfg: &AnalysisConfig,
     order: SweepOrder,
 ) -> Result<DsBounds, AnalyzeError> {
-    let mut bounds = IeerBounds::seed(set);
+    analyze_ds_seeded(set, cfg, order, IeerBounds::seed(set))
+}
+
+/// Runs Algorithm SA/DS from a caller-supplied seed instead of the
+/// optimistic one — the warm-start path of the incremental admission
+/// engine (build the seed with [`IeerBounds::seed_with`]).
+///
+/// The caller must guarantee the seed lies at or below the least fixed
+/// point of the IEERT sweep on `set` (entry-wise); any seed between the
+/// optimistic one and the least fixed point converges to the *same*
+/// least fixed point, in no more sweeps. Seeds above it would be
+/// confirmed as-is and silently overestimate.
+///
+/// # Errors
+///
+/// See [`analyze_ds`].
+pub fn analyze_ds_seeded(
+    set: &TaskSet,
+    cfg: &AnalysisConfig,
+    order: SweepOrder,
+    seed: IeerBounds,
+) -> Result<DsBounds, AnalyzeError> {
+    let mut bounds = seed;
     for sweep in 1..=cfg.max_outer_iterations {
         let next = match order {
             SweepOrder::Jacobi => ieert_pass(set, &bounds, cfg)?,
@@ -386,6 +408,37 @@ mod tests {
         let gs = analyze_ds_with(&set, &cfg(), SweepOrder::GaussSeidel).unwrap();
         assert_eq!(j.bounds(), gs.bounds());
         assert!(gs.sweeps() <= j.sweeps());
+    }
+
+    #[test]
+    fn seeded_run_matches_cold_run() {
+        // Seeding from the converged bounds of a *smaller* system (valid:
+        // growth only raises the least fixed point) reaches the same
+        // fixed point as the cold optimistic seed, in fewer sweeps.
+        let set = example2();
+        let cold = analyze_ds(&set, &cfg()).unwrap();
+        // Warm seed = the converged bounds themselves: one verifying sweep.
+        let warm = analyze_ds_seeded(
+            &set,
+            &cfg(),
+            SweepOrder::Jacobi,
+            IeerBounds::seed_with(&set, |id| Some(cold.ieer(id))),
+        )
+        .unwrap();
+        assert_eq!(warm.bounds(), cold.bounds());
+        assert_eq!(warm.sweeps(), 1);
+        // A partial prior (only T1's chain) also converges identically.
+        let partial = analyze_ds_seeded(
+            &set,
+            &cfg(),
+            SweepOrder::Jacobi,
+            IeerBounds::seed_with(&set, |id| {
+                (id.task() == TaskId::new(1)).then(|| cold.ieer(id))
+            }),
+        )
+        .unwrap();
+        assert_eq!(partial.bounds(), cold.bounds());
+        assert!(partial.sweeps() <= cold.sweeps());
     }
 
     #[test]

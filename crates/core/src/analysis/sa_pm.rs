@@ -36,8 +36,8 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use crate::analysis::busy_period::{
-    fixed_point, fixed_point_counted, fixed_point_with_hint_counted, utilization_ppm, DemandTerm,
-    FixedPointFailure, FixedPointLimits,
+    fixed_point, fixed_point_with_hint_counted, utilization_ppm, DemandTerm, FixedPointFailure,
+    FixedPointLimits,
 };
 use crate::analysis::AnalysisConfig;
 use crate::error::AnalyzeError;
@@ -237,6 +237,64 @@ pub fn subtask_response_traced(
     id: SubtaskId,
     cfg: &AnalysisConfig,
 ) -> Result<SubtaskConvergence, AnalyzeError> {
+    subtask_response_memo(set, id, cfg, None).map(|m| SubtaskConvergence {
+        subtask: id,
+        busy_period: m.busy_period,
+        instances: m.instances,
+        iterations: m.iterations,
+        response: m.response,
+    })
+}
+
+/// Memoized convergence state of one SA/PM subtask analysis: every
+/// fixed point the analysis solved, recorded so a later re-analysis of a
+/// *grown* system can seed its searches from them via
+/// [`fixed_point_with_hint_counted`].
+///
+/// The hint contract (see [`fixed_point_with_hint`]): a memo taken on
+/// system `S` is a valid warm start for the same subtask on system `S′`
+/// whenever `S′`'s demand dominates `S`'s — i.e. `S′` only *adds*
+/// interference (admission) and leaves this subtask's own period,
+/// execution and blocking unchanged. Demand growth moves every least
+/// fixed point up, so each memoized value is ≤ its new counterpart.
+/// After *removing* interference (retirement) the memo may overshoot and
+/// must be discarded.
+///
+/// [`fixed_point_with_hint`]: crate::analysis::busy_period::fixed_point_with_hint
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubtaskMemo {
+    /// `D_{i,j}`: the converged level busy-period duration (step 1).
+    pub busy_period: Dur,
+    /// `M_{i,j}`: instances examined inside the busy period (step 2).
+    pub instances: i64,
+    /// Converged completion time of instance `m` at index `m − 1`
+    /// (steps 3–4).
+    pub completions: Vec<Dur>,
+    /// The response-time bound `R_{i,j}`.
+    pub response: Dur,
+    /// Fixed-point iterations burned producing this memo.
+    pub iterations: u64,
+}
+
+/// Steps 1–4 of SA/PM for one subtask, warm-started from a previous
+/// run's [`SubtaskMemo`] when one is given.
+///
+/// With `warm = None` this is exactly [`subtask_response_traced`] plus
+/// the recorded completions. With a memo, the step-1 busy-period search
+/// starts from the memoized duration and each step-3 instance search
+/// from the memoized completion — valid only under the monotone-growth
+/// contract documented on [`SubtaskMemo`]; the result is bit-identical
+/// either way, only the iteration count changes.
+///
+/// # Errors
+///
+/// Same failure modes as [`analyze_pm`].
+pub fn subtask_response_memo(
+    set: &TaskSet,
+    id: SubtaskId,
+    cfg: &AnalysisConfig,
+    warm: Option<&SubtaskMemo>,
+) -> Result<SubtaskMemo, AnalyzeError> {
     let me = set.subtask(id);
     let period = set.task(id.task()).period();
     let interference: Vec<DemandTerm> = set
@@ -257,15 +315,18 @@ pub fn subtask_response_traced(
     with_self.push(DemandTerm::periodic(period, me.execution()));
     let busy_cap = busy_period_cap(&with_self, cfg);
     let limits = FixedPointLimits::new(busy_cap, cfg.max_fixed_point_iterations);
+    let duration_hint = warm.map_or(Dur::ZERO, |w| w.busy_period);
     let (duration, mut iterations) =
-        fixed_point_counted(blocking, &with_self, limits).map_err(|f| match f {
-            // An unbounded busy period means the level is overloaded.
-            FixedPointFailure::ExceedsCap => AnalyzeError::Overload {
-                subtask: id,
-                utilization_ppm: utilization_ppm(&with_self),
+        fixed_point_with_hint_counted(duration_hint, blocking, &with_self, limits).map_err(
+            |f| match f {
+                // An unbounded busy period means the level is overloaded.
+                FixedPointFailure::ExceedsCap => AnalyzeError::Overload {
+                    subtask: id,
+                    utilization_ppm: utilization_ppm(&with_self),
+                },
+                other => map_failure(other, id, busy_cap),
             },
-            other => map_failure(other, id, busy_cap),
-        })?;
+        )?;
 
     // Step 2: M_{i,j} = ⌈D_{i,j}/p_i⌉.
     let instances = duration.ceil_div(period).max(1);
@@ -274,17 +335,26 @@ pub fn subtask_response_traced(
     let limits = FixedPointLimits::new(duration, cfg.max_fixed_point_iterations);
     let mut worst = Dur::ZERO;
     let mut prev_completion = Dur::ZERO;
+    let mut completions = Vec::with_capacity(instances.max(0) as usize);
     for m in 1..=instances {
         let offset = me
             .execution()
             .checked_mul(m)
             .and_then(|x| x.checked_add(blocking))
             .ok_or(AnalyzeError::ArithmeticOverflow { subtask: id })?;
+        // The previous instance's completion is always a valid hint
+        // (C(m−1) ≤ C(m)); a warm memo's C(m) from the smaller system is
+        // another — take whichever is larger.
+        let hint = warm
+            .and_then(|w| w.completions.get((m - 1) as usize).copied())
+            .unwrap_or(Dur::ZERO)
+            .max(prev_completion);
         let (completion, iters) =
-            fixed_point_with_hint_counted(prev_completion, offset, &interference, limits)
+            fixed_point_with_hint_counted(hint, offset, &interference, limits)
                 .map_err(|f| map_failure(f, id, duration))?;
         iterations += iters;
         prev_completion = completion;
+        completions.push(completion);
         let response = completion - period * (m - 1);
         worst = worst.max(response);
     }
@@ -293,12 +363,12 @@ pub fn subtask_response_traced(
     if worst > cap {
         return Err(AnalyzeError::BoundExceedsCap { subtask: id, cap });
     }
-    Ok(SubtaskConvergence {
-        subtask: id,
+    Ok(SubtaskMemo {
         busy_period: duration,
         instances,
-        iterations,
+        completions,
         response: worst,
+        iterations,
     })
 }
 
@@ -576,6 +646,70 @@ mod tests {
         let b0 = analyze_pm(&mk(0), &cfg()).unwrap();
         let b5 = analyze_pm(&mk(5), &cfg()).unwrap();
         assert_eq!(b0, b5);
+    }
+
+    #[test]
+    fn warm_memo_is_bit_identical_to_cold_on_a_grown_system() {
+        // Analyze T1 (p=100,c=62) under interference from T0 (p=70,c=26),
+        // memoize, then grow the system with a third, higher-priority
+        // interferer and re-analyze warm-started from the stale memo. The
+        // hint contract guarantees the warm result equals the cold one
+        // bit for bit, in no more fixed-point iterations.
+        let small = TaskSet::builder(1)
+            .task(d(70))
+            .subtask(0, d(26), Priority::new(0))
+            .finish_task()
+            .task(d(100))
+            .subtask(0, d(62), Priority::new(2))
+            .finish_task()
+            .build()
+            .unwrap();
+        let stale = subtask_response_memo(&small, sid(1, 0), &cfg(), None).unwrap();
+        let grown = TaskSet::builder(1)
+            .task(d(70))
+            .subtask(0, d(26), Priority::new(0))
+            .finish_task()
+            .task(d(100))
+            .subtask(0, d(62), Priority::new(2))
+            .finish_task()
+            .task(d(1000))
+            .subtask(0, d(5), Priority::new(1))
+            .finish_task()
+            .build()
+            .unwrap();
+        let cold = subtask_response_memo(&grown, sid(1, 0), &cfg(), None).unwrap();
+        let warm = subtask_response_memo(&grown, sid(1, 0), &cfg(), Some(&stale)).unwrap();
+        assert_eq!(warm.response, cold.response);
+        assert_eq!(warm.busy_period, cold.busy_period);
+        assert_eq!(warm.instances, cold.instances);
+        assert_eq!(warm.completions, cold.completions);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // A same-system warm start converges almost immediately: every
+        // search starts at its own fixed point.
+        let rewarm = subtask_response_memo(&grown, sid(1, 0), &cfg(), Some(&cold)).unwrap();
+        assert_eq!(rewarm.completions, cold.completions);
+        assert!(rewarm.iterations <= warm.iterations);
+    }
+
+    #[test]
+    fn memo_matches_traced_convergence() {
+        let set = example2();
+        for task in set.tasks() {
+            for sub in task.subtasks() {
+                let traced = subtask_response_traced(&set, sub.id(), &cfg()).unwrap();
+                let memo = subtask_response_memo(&set, sub.id(), &cfg(), None).unwrap();
+                assert_eq!(memo.response, traced.response);
+                assert_eq!(memo.busy_period, traced.busy_period);
+                assert_eq!(memo.instances, traced.instances);
+                assert_eq!(memo.iterations, traced.iterations);
+                assert_eq!(memo.completions.len(), memo.instances as usize);
+            }
+        }
     }
 
     #[test]

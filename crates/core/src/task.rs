@@ -536,7 +536,18 @@ impl TaskSet {
 
     /// Approximate utilization of processor `proc` in parts-per-million
     /// (per-subtask truncating division; the error is below one ppm per
-    /// subtask). Reporting aid only — the analyses never branch on this.
+    /// subtask).
+    ///
+    /// Flooring can only *under*state the true utilization, so this
+    /// number is safe for one kind of decision only: a **reject-only
+    /// gate** that fires when the result strictly exceeds `1_000_000`
+    /// (then the true utilization certainly exceeds 100% and no priority
+    /// assignment is schedulable) — the admission engine's quick-reject
+    /// uses exactly that direction. Never treat a value `≤ 1_000_000` as
+    /// evidence of headroom; a saturated processor can floor to
+    /// `999_999`. For a sum that never understates, see the
+    /// ceiling-rounding
+    /// [`utilization_ppm`](crate::analysis::busy_period::utilization_ppm).
     pub fn processor_utilization_ppm(&self, proc: ProcessorId) -> u64 {
         self.subtasks_on(proc)
             .map(|s| {

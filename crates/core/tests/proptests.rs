@@ -3,6 +3,9 @@
 //! format, and basic analysis laws.
 
 use proptest::prelude::*;
+use rtsync_core::analysis::admission::{
+    AdmissionConfig, AdmissionMode, AdmissionState, ChainRequest,
+};
 use rtsync_core::analysis::busy_period::{
     fixed_point, fixed_point_with_hint, DemandTerm, FixedPointLimits,
 };
@@ -98,6 +101,14 @@ proptest! {
         let hint = Dur::from_ticks((t.ticks() as f64 * hint_frac) as i64);
         let hinted = fixed_point_with_hint(hint, Dur::from_ticks(offset), &terms, limits).unwrap();
         prop_assert_eq!(hinted, t);
+        // Near-lfp hints drive the "demand does not grow past the
+        // iterate" early return: a hint of exactly the least fixed point
+        // (and one tick under it) must still land on the same answer.
+        let at_lfp = fixed_point_with_hint(t, Dur::from_ticks(offset), &terms, limits).unwrap();
+        prop_assert_eq!(at_lfp, t);
+        let near = Dur::from_ticks((t.ticks() - 1).max(0));
+        let near_lfp = fixed_point_with_hint(near, Dur::from_ticks(offset), &terms, limits).unwrap();
+        prop_assert_eq!(near_lfp, t);
     }
 
     /// PriorityKey's exact rational order agrees with cross-multiplication
@@ -222,5 +233,62 @@ proptest! {
         let text = textfmt::to_text(&set);
         let parsed = textfmt::parse(&text).unwrap();
         prop_assert_eq!(parsed, set);
+    }
+
+    /// Incremental admission control with memoization on is bit-identical
+    /// to a from-scratch batch re-analysis (memoization off) across
+    /// arbitrary admit/retire sequences, in both analysis modes: same
+    /// verdicts, same bounds, same reject reasons, same resident state.
+    #[test]
+    fn incremental_admission_matches_batch(
+        direct_sync in prop::bool::ANY,
+        ops in prop::collection::vec(
+            (
+                0u8..4,                                       // 0 = retire, else admit
+                2i64..40,                                     // period
+                1i64..4,                                      // deadline = period × this
+                0u32..6,                                      // rank
+                prop::collection::vec((0usize..2, 1i64..4), 1..3), // subtasks
+            ),
+            1..16,
+        ),
+    ) {
+        let mode = if direct_sync {
+            AdmissionMode::DirectSync
+        } else {
+            AdmissionMode::PmFamily
+        };
+        let cfg = AdmissionConfig::new(mode);
+        let mut warm = AdmissionState::new(2, cfg);
+        let mut cold = AdmissionState::new(2, cfg.with_memoization(false));
+        for (i, (op, period, dfac, rank, subs)) in ops.into_iter().enumerate() {
+            // A small id space so retires hit residents and duplicate
+            // admits genuinely occur.
+            let id = (i % 5) as u64;
+            if op == 0 {
+                // The reanalyzed/skipped work counters legitimately differ
+                // between the two configurations; the verdicts must not.
+                let a = warm.retire(id);
+                let b = cold.retire(id);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                prop_assert_eq!(a.err(), b.err());
+            } else {
+                let subtasks = subs
+                    .into_iter()
+                    .map(|(proc, c)| (proc, Dur::from_ticks(c)))
+                    .collect();
+                let req = ChainRequest::new(id, Dur::from_ticks(period), subtasks)
+                    .with_deadline(Dur::from_ticks(period * dfac))
+                    .with_rank(rank);
+                let a = warm.admit(req.clone());
+                let b = cold.admit(req);
+                prop_assert_eq!(a.admitted, b.admitted);
+                prop_assert_eq!(a.bound, b.bound);
+                prop_assert_eq!(a.reject, b.reject);
+                prop_assert_eq!(a.residents, b.residents);
+            }
+            prop_assert_eq!(warm.resident_bounds(), cold.resident_bounds());
+            prop_assert_eq!(warm.residents(), cold.residents());
+        }
     }
 }

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod admit;
 pub mod adversary;
 pub mod chaos;
 pub mod compare;
@@ -58,6 +59,7 @@ pub mod tightness;
 pub mod traces;
 pub mod transport;
 
+pub use admit::{run_admit_study, AdmitCell, AdmitOutcome, AdmitStudyConfig, AdmitVerdict};
 pub use adversary::{run_adversary, AdversaryCell, AdversaryConfig, AdversaryOutcome};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosOutcome, ReproBundle};
 pub use figures::{figure_grid, Figure};

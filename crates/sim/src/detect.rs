@@ -485,11 +485,30 @@ impl PhiState {
         self.pos = (self.pos + 1) % window;
     }
 
-    /// Observed mean inter-arrival in ticks; `period` stands in during
-    /// warmup.
+    /// Observed mean inter-arrival in ticks. During warmup (fewer than
+    /// `min_samples` intervals recorded) the stand-in is
+    /// `max(configured period, observed mean so far)` rather than the
+    /// configured period alone.
+    ///
+    /// Taking the max matters for a peer that is *already* slow at first
+    /// contact: with the bare period as the stand-in, a 16× slowdown
+    /// walked the pair Alive → Degraded → Suspect → Dead against
+    /// deadlines scaled to the nominal cadence before three samples ever
+    /// arrived — every one of those verdicts false (the pre-warmup cliff
+    /// recorded in `results/gray_grid.csv`). Folding in the observed
+    /// inter-arrivals stretches the warmup deadlines as soon as the first
+    /// slow gap is seen. The max is one-sided on purpose: a few *fast*
+    /// early beats must not shrink the deadline below the configured
+    /// cadence, or a nominal peer could be suspected off two lucky
+    /// samples.
     fn mean(&self, min_samples: usize, period: Dur) -> f64 {
+        let floor = period.ticks().max(1) as f64;
         if self.len < min_samples {
-            period.ticks().max(1) as f64
+            if self.len == 0 {
+                floor
+            } else {
+                floor.max(self.sum as f64 / self.len as f64)
+            }
         } else {
             self.sum as f64 / self.len as f64
         }
@@ -962,15 +981,77 @@ mod tests {
     }
 
     #[test]
-    fn phi_window_warmup_falls_back_to_the_period() {
+    fn phi_window_warmup_stand_in_is_one_sided() {
+        // Below min_samples the stand-in is max(period, observed mean):
+        // *fast* early beats must not shrink the deadline below the
+        // configured cadence…
         let mut st = DetectState::new(phi_cfg(), 2, 1);
         let warm = st.arm_budget(0, 1).unwrap();
-        // One wild first interval below min_samples must not move the
-        // deadline (mean still the configured period).
         st.heard(0, 1, Time::from_ticks(5));
-        st.heard(0, 1, Time::from_ticks(500));
-        let still_warm = st.arm_budget(0, 1).unwrap();
-        assert_eq!(warm, still_warm, "below min_samples the period stands in");
+        st.heard(0, 1, Time::from_ticks(7)); // interval 2 < period 10
+        assert_eq!(
+            st.arm_budget(0, 1).unwrap(),
+            warm,
+            "fast early beats must not tighten the warmup deadline"
+        );
+        // …while a *slow* first interval stretches it immediately.
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        st.heard(0, 1, Time::from_ticks(5));
+        st.heard(0, 1, Time::from_ticks(500)); // interval 495
+        assert!(
+            st.arm_budget(0, 1).unwrap() > warm,
+            "a slow first interval must stretch the warmup deadline"
+        );
+    }
+
+    /// Replay the engine's suspicion loop across one heartbeat gap of
+    /// `gap` ticks: the first timer arms at `arm_budget` after the last
+    /// beat, and each transition re-arms at `residue_budget`, exactly as
+    /// `on_suspect_timer` does.
+    fn walk_gap(st: &mut DetectState, gap: i64) {
+        let Some(budget) = st.arm_budget(0, 1) else {
+            return;
+        };
+        let mut silence = budget.ticks();
+        while silence <= gap {
+            st.advance_suspicion(0, 1, false, true);
+            match st.residue_budget(0, 1) {
+                Some(residue) => silence += residue.ticks(),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn phi_pre_warmup_slow_peer_is_not_false_deaded() {
+        // Regression for the warmup cliff: a peer that is *already* 16x
+        // slow at first contact. With the configured period standing in
+        // unconditionally during warmup, every threshold deadline stayed
+        // scaled to the nominal cadence until 3 samples arrived, so each
+        // slow gap walked the pair Degraded -> Suspect -> Dead (total
+        // silence to Dead ~= 4 * 10 * ln10 ~= 93 ticks << the 160-tick
+        // gap). With the one-sided stand-in, the *first* observed slow
+        // interval re-centers the deadlines and later gaps never reach
+        // Dead.
+        let slow = 160; // 16x the configured period of 10
+        let mut st = DetectState::new(phi_cfg(), 2, 1);
+        st.heard(0, 1, Time::from_ticks(0));
+        st.heard(0, 1, Time::from_ticks(slow)); // first slow interval recorded
+        assert_eq!(st.stats.false_deads, 0);
+        // Still in warmup: only 1 of min_samples = 3 intervals recorded.
+        // Walk the remaining pre-warmup gaps; the stretched stand-in
+        // (mean 160 -> dead threshold ~= 1474 ticks) must keep every
+        // verdict short of Dead, where the bare period condemned the
+        // pair inside each gap.
+        for k in 2..4 {
+            walk_gap(&mut st, slow);
+            st.heard(0, 1, Time::from_ticks(slow * k));
+        }
+        assert_eq!(
+            st.stats.false_deads, 0,
+            "a pre-warmup slow peer must not be false-deaded"
+        );
+        assert_ne!(st.peer_state(0, 1), PeerState::Dead);
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn run() -> Result<(), String> {
         "example" => cmd_example(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "admit" => cmd_admit(&args[1..]),
         "sensitivity" => cmd_sensitivity(&args[1..]),
         "exact" => cmd_exact(&args[1..]),
         "compare" => cmd_compare(&args[1..]),
@@ -58,6 +59,7 @@ fn run() -> Result<(), String> {
         "gray-study" => cmd_gray_study(&args[1..]),
         "transport-study" => cmd_transport_study(&args[1..]),
         "sync-study" => cmd_sync_study(&args[1..]),
+        "admit-study" => cmd_admit_study(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -72,6 +74,8 @@ fn usage() -> String {
      rtsync example <1|2>\n  \
      rtsync check <file|->\n  \
      rtsync analyze <file|-> [--protocol ds|pm|mpm|rg|all] [--convergence]\n  \
+     rtsync admit <file|-> [--processors N] [--mode pm|ds] [--no-memo] \
+     [--no-gate] [--batch] [--expect FILE]\n  \
      rtsync sensitivity <file|->\n  \
      rtsync exact <file|-> [--steps N] [--instances I]\n  \
      rtsync compare <file|-> [--instances N]\n  \
@@ -94,6 +98,7 @@ fn usage() -> String {
      rtsync gray-study [--smoke] [--runs N] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync transport-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync sync-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
+     rtsync admit-study [--smoke] [--seed S] [--threads T] [--out DIR]\n  \
      rtsync bench [--json] [--smoke] [--out FILE] [--profile] \
      [--compare BASELINE] [--tolerance FRAC|scenario=FRAC]"
         .to_string()
@@ -229,6 +234,315 @@ fn print_convergence(set: &TaskSet, cfg: &AnalysisConfig) -> Result<(), String> 
         analyze_ds_traced(set, cfg, SweepOrder::default()).map_err(|e| e.to_string())?;
     println!("{report}");
     Ok(())
+}
+
+/// `rtsync admit` — serve admission-control requests over JSONL: one
+/// request object per input line, one verdict object per output line.
+///
+/// ```text
+/// {"op":"admit","id":1,"period":100,"deadline":80,"rank":2,"subtasks":[[0,30],[1,20]]}
+/// {"op":"retire","id":1}
+/// ```
+///
+/// Admit replies carry `admitted`, the end-to-end `bound` (when
+/// admitted), the `reject` reason (when not), the resident count, the
+/// reanalyzed/skipped work split, and the decision latency in
+/// microseconds. Retire replies carry `ok` (plus `error` when the id is
+/// unknown). Blank lines and `#` comments are skipped. By default stdin
+/// is served a line at a time (each reply flushed); `--batch` reads the
+/// whole input first and reports throughput. `--expect FILE` compares
+/// every verdict against a recorded reply line and exits nonzero on any
+/// mismatch (work counters and latency are not compared).
+fn cmd_admit(args: &[String]) -> Result<(), String> {
+    use rtsync::bench::json;
+    use rtsync::core::analysis::admission::{AdmissionConfig, AdmissionMode, AdmissionState};
+    use std::io::{BufRead as _, Write as _};
+
+    let path = args.first().ok_or_else(usage)?;
+    let mut processors = 4usize;
+    let mut mode = AdmissionMode::PmFamily;
+    let mut memo = true;
+    let mut gate = true;
+    let mut batch = false;
+    let mut expect_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--processors" => {
+                processors = grab("--processors")?
+                    .parse()
+                    .map_err(|e| format!("--processors: {e}"))?
+            }
+            "--mode" => {
+                mode = match grab("--mode")?.as_str() {
+                    "pm" | "mpm" | "rg" => AdmissionMode::PmFamily,
+                    "ds" => AdmissionMode::DirectSync,
+                    other => return Err(format!("unknown mode `{other}` (pm, ds)")),
+                }
+            }
+            "--no-memo" => memo = false,
+            "--no-gate" => gate = false,
+            "--batch" => batch = true,
+            "--expect" => expect_path = Some(grab("--expect")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if processors == 0 {
+        return Err("--processors must be at least 1".to_string());
+    }
+    let cfg = AdmissionConfig::new(mode)
+        .with_memoization(memo)
+        .with_quick_gate(gate);
+    let mut state = AdmissionState::new(processors, cfg);
+
+    let expected: Option<Vec<json::Json>> = match &expect_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let verdicts: Result<Vec<json::Json>, String> = text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(|l| json::parse(l).map_err(|e| format!("{path}: {e}")))
+                .collect();
+            Some(verdicts?)
+        }
+        None => None,
+    };
+
+    let mut served = 0usize;
+    let mut mismatches: Vec<String> = Vec::new();
+    let started = std::time::Instant::now();
+    {
+        // One closure serves a request line and checks it against the
+        // expectations; the two input paths below share it.
+        let mut serve = |line: &str, sink: &mut dyn std::io::Write| -> Result<(), String> {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return Ok(());
+            }
+            let reply = admit_serve(&mut state, line)
+                .map_err(|e| format!("request {}: {e}", served + 1))?;
+            if let Some(expected) = &expected {
+                let got = admit_verdict_key(&json::parse(&reply).expect("replies are JSON"));
+                match expected.get(served) {
+                    Some(want) if admit_verdict_key(want) == got => {}
+                    Some(want) => mismatches.push(format!(
+                        "request {}: expected {} got {got}",
+                        served + 1,
+                        admit_verdict_key(want)
+                    )),
+                    None => mismatches.push(format!(
+                        "request {}: no expected verdict on file",
+                        served + 1
+                    )),
+                }
+            }
+            served += 1;
+            writeln!(sink, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
+            Ok(())
+        };
+        if path == "-" && !batch {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+                serve(&line, &mut out)?;
+                out.flush().map_err(|e| format!("flushing stdout: {e}"))?;
+            }
+        } else {
+            let text = if path == "-" {
+                let mut buffer = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buffer)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                buffer
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+            };
+            let mut replies = Vec::with_capacity(text.len());
+            for line in text.lines() {
+                serve(line, &mut replies)?;
+            }
+            std::io::stdout()
+                .write_all(&replies)
+                .map_err(|e| format!("writing replies: {e}"))?;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = state.stats();
+    eprintln!(
+        "served {served} requests in {:.1} ms ({:.0} decisions/s): \
+         {} admitted, {} rejected ({} by gate), {} retired; \
+         {} subtask analyses run, {} skipped",
+        elapsed * 1e3,
+        if elapsed > 0.0 {
+            served as f64 / elapsed
+        } else {
+            0.0
+        },
+        stats.admitted,
+        stats.rejected,
+        stats.gate_rejects,
+        stats.retired,
+        stats.subtasks_reanalyzed,
+        stats.subtasks_skipped,
+    );
+    if let Some(expected) = &expected {
+        for missing in served..expected.len() {
+            mismatches.push(format!(
+                "request {}: expected but never served",
+                missing + 1
+            ));
+        }
+        if !mismatches.is_empty() {
+            return Err(format!(
+                "{} verdict mismatch(es) vs {}:\n  {}",
+                mismatches.len(),
+                expect_path.as_deref().unwrap_or("-"),
+                mismatches.join("\n  ")
+            ));
+        }
+        eprintln!(
+            "all {served} verdicts match {}",
+            expect_path.as_deref().unwrap_or("-")
+        );
+    }
+    Ok(())
+}
+
+/// Serves one JSONL admission request against the engine and renders the
+/// reply line. The decision latency covers the engine call alone, not
+/// parsing or I/O.
+fn admit_serve(
+    state: &mut rtsync::core::analysis::admission::AdmissionState,
+    line: &str,
+) -> Result<String, String> {
+    use rtsync::bench::json::{self, Json};
+    use rtsync::core::analysis::admission::ChainRequest;
+
+    let v = json::parse(line)?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field \"op\"")?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric field \"id\"")? as u64;
+    match op {
+        "admit" => {
+            let period = v
+                .get("period")
+                .and_then(Json::as_f64)
+                .ok_or("missing numeric field \"period\"")? as i64;
+            let pairs = v
+                .get("subtasks")
+                .and_then(Json::as_arr)
+                .ok_or("missing array field \"subtasks\"")?;
+            let mut subtasks = Vec::with_capacity(pairs.len());
+            for pair in pairs {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("\"subtasks\" entries are [processor, execution] pairs")?;
+                let proc = pair[0]
+                    .as_f64()
+                    .ok_or("subtask processor must be a number")?
+                    as usize;
+                let exec = pair[1]
+                    .as_f64()
+                    .ok_or("subtask execution must be a number")? as i64;
+                subtasks.push((proc, Dur::from_ticks(exec)));
+            }
+            let mut req = ChainRequest::new(id, Dur::from_ticks(period), subtasks);
+            if let Some(deadline) = v.get("deadline").and_then(Json::as_f64) {
+                req = req.with_deadline(Dur::from_ticks(deadline as i64));
+            }
+            if let Some(rank) = v.get("rank").and_then(Json::as_f64) {
+                req = req.with_rank(rank as u32);
+            }
+            let t0 = std::time::Instant::now();
+            let decision = state.admit(req);
+            let latency_us = t0.elapsed().as_nanos() as f64 / 1e3;
+            let mut reply = format!(
+                "{{\"op\":\"admit\",\"id\":{id},\"admitted\":{}",
+                decision.admitted
+            );
+            if let Some(bound) = decision.bound {
+                reply.push_str(&format!(",\"bound\":{}", bound.ticks()));
+            }
+            if let Some(reject) = &decision.reject {
+                reply.push_str(&format!(
+                    ",\"reject\":\"{}\"",
+                    admit_json_escape(&reject.to_string())
+                ));
+            }
+            reply.push_str(&format!(
+                ",\"residents\":{},\"reanalyzed\":{},\"skipped\":{},\"latency_us\":{latency_us:.1}}}",
+                decision.residents, decision.reanalyzed, decision.skipped
+            ));
+            Ok(reply)
+        }
+        "retire" => {
+            let t0 = std::time::Instant::now();
+            let outcome = state.retire(id);
+            let latency_us = t0.elapsed().as_nanos() as f64 / 1e3;
+            Ok(match outcome {
+                Ok(out) => format!(
+                    "{{\"op\":\"retire\",\"id\":{id},\"ok\":true,\"residents\":{},\
+                     \"reanalyzed\":{},\"skipped\":{},\"latency_us\":{latency_us:.1}}}",
+                    out.residents, out.reanalyzed, out.skipped
+                ),
+                Err(e) => format!(
+                    "{{\"op\":\"retire\",\"id\":{id},\"ok\":false,\"error\":\"{}\",\
+                     \"latency_us\":{latency_us:.1}}}",
+                    admit_json_escape(&e.to_string())
+                ),
+            })
+        }
+        other => Err(format!("unknown op `{other}` (admit, retire)")),
+    }
+}
+
+/// The fields of a reply that constitute the verdict — everything
+/// `--expect` compares. Latency and the reanalyzed/skipped work split
+/// are measurements, not verdicts, and stay out.
+fn admit_verdict_key(v: &rtsync::bench::json::Json) -> String {
+    [
+        "op",
+        "id",
+        "admitted",
+        "ok",
+        "bound",
+        "reject",
+        "error",
+        "residents",
+    ]
+    .iter()
+    .filter_map(|key| v.get(key).map(|value| format!("{key}={value:?}")))
+    .collect::<Vec<String>>()
+    .join(",")
+}
+
+/// Escapes a string for embedding in a JSON reply.
+fn admit_json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_sensitivity(args: &[String]) -> Result<(), String> {
@@ -1403,6 +1717,78 @@ fn run_gray_campaign(
     Ok(())
 }
 
+fn cmd_admit_study(args: &[String]) -> Result<(), String> {
+    use rtsync::experiments::admit::{
+        grid_csv, render, run_admit_study, summary_csv, AdmitStudyConfig,
+    };
+    let mut smoke = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = Some(
+                    grab("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
+            }
+            "--threads" => {
+                threads = Some(
+                    grab("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--out" => out_dir = Some(grab("--out")?.clone()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    let mut cfg = if smoke {
+        AdmitStudyConfig::smoke()
+    } else {
+        AdmitStudyConfig::default()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+
+    eprintln!(
+        "admission study: {} runs over {} shape x mode cells, seed {:#x}",
+        cfg.total_runs(),
+        cfg.shapes.len() * cfg.modes.len(),
+        cfg.seed
+    );
+    let outcome = run_admit_study(&cfg);
+    print!("{}", render(&outcome));
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let grid = format!("{dir}/admit_grid.csv");
+        std::fs::write(&grid, grid_csv(&outcome)).map_err(|e| format!("writing {grid}: {e}"))?;
+        let summary = format!("{dir}/admit_summary.csv");
+        std::fs::write(&summary, summary_csv(&outcome))
+            .map_err(|e| format!("writing {summary}: {e}"))?;
+        eprintln!("wrote {grid} and {summary}");
+    }
+
+    if !outcome.is_clean() {
+        return Err(
+            "memoized and from-scratch admission verdicts disagreed on some operation".to_string(),
+        );
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use rtsync::bench::compare::{compare, parse_baseline, Tolerances};
     use rtsync::bench::run_suite_opts;
@@ -1453,7 +1839,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     eprintln!(
         "bench suite: every protocol x {{ideal, nonideal, sync, partition, faults_transport, \
-         gray}}{}",
+         gray, admit}}{}",
         if smoke {
             " (smoke: reduced workload, numbers are a crash canary only)"
         } else {
